@@ -1,0 +1,38 @@
+"""Ablations: design choices the paper fixes without sweeping.
+
+* Attribute ordering (the paper fixes the Figure 9 order for all
+  algorithms): how much does lazy-slice-cover's cost move if the
+  categorical attributes are ordered by domain size ascending vs
+  descending?
+* Rank-shrink's split threshold (the paper's ``k/4``): divisor sweep.
+
+These have no paper counterpart to match; the assertions only pin
+sanity (all variants crawl the same bag; costs are positive), and the
+measured series land in ``extra_info`` for DESIGN.md's discussion.
+"""
+
+from benchmarks.conftest import record_figure, run_once
+from repro.experiments.figures import ablation_ordering, ablation_split_threshold
+
+
+def test_ordering_ablation(benchmark, scale):
+    figure = run_once(benchmark, ablation_ordering, scale=scale, k=256)
+    record_figure(benchmark, figure)
+    series = figure.series_by_name("lazy-slice-cover")
+    costs = dict(zip(series.xs(), series.ys()))
+    assert all(cost >= 1 for cost in costs.values())
+    # The paper's order starts with the smallest domains; it should not
+    # be dramatically worse than the explicit ascending order.
+    assert costs["paper (Figure 9)"] <= 2 * costs["domain asc"]
+
+
+def test_split_threshold_ablation(benchmark, scale):
+    figure = run_once(
+        benchmark, ablation_split_threshold, scale=scale, k=256, divisors=(2, 3, 4, 8, 16)
+    )
+    record_figure(benchmark, figure)
+    costs = figure.series_by_name("rank-shrink").ys()
+    assert all(cost >= 1 for cost in costs)
+    # The paper's divisor 4 should be within 2x of the best divisor.
+    by_divisor = dict(zip(figure.series_by_name("rank-shrink").xs(), costs))
+    assert by_divisor[4] <= 2 * min(costs)

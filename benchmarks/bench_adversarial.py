@@ -1,0 +1,67 @@
+"""Robustness benchmark: crawl cost under adversarial response choices.
+
+Theorem 1's guarantees are independent of *which* ``k`` tuples an
+overflowing query returns.  This benchmark measures the practical side
+of that statement: rank-shrink's query cost when the server ranks
+results like a real site ("cheapest first" / "newest first") or
+actively clusters responses to force 3-way splits, compared with the
+neutral random-priority behaviour the paper's experiments use.
+
+Expected shape: costs move (skewed pivots make splits uneven), but
+every variant stays under the same ``20 d n / k`` Lemma 2 envelope.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.verify import assert_complete
+from repro.datasets.adult import adult_numeric
+from repro.server.server import TopKServer
+from repro.theory.adversary import (
+    AdversarialTopKServer,
+    ModeClusterPolicy,
+    PriorityOrderPolicy,
+    RankByAttributePolicy,
+)
+from repro.theory.bounds import rank_shrink_upper_bound
+
+K = 256
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    n = max(2000, int(45222 * bench_scale()))
+    return adult_numeric(n=n, seed=2)
+
+
+def crawl(server, bound):
+    result = RankShrink(server, max_queries=bound).crawl()
+    assert result.complete
+    return result
+
+
+@pytest.mark.parametrize(
+    "policy_name",
+    ["neutral", "rank-asc", "rank-desc", "mode-cluster"],
+)
+def test_rank_shrink_under_response_policies(benchmark, dataset, policy_name):
+    d = dataset.space.dimensionality
+    bound = rank_shrink_upper_bound(dataset.n, K, d)
+    if policy_name == "neutral":
+        server = TopKServer(dataset, k=K)
+    else:
+        policy = {
+            "rank-asc": lambda: RankByAttributePolicy(0),
+            "rank-desc": lambda: RankByAttributePolicy(0, descending=True),
+            "mode-cluster": lambda: ModeClusterPolicy(0),
+        }[policy_name]()
+        server = AdversarialTopKServer(dataset, K, policy)
+    result = benchmark.pedantic(
+        crawl, args=(server, bound), rounds=1, iterations=1
+    )
+    assert_complete(result, dataset)
+    assert result.cost <= bound
+    benchmark.extra_info["policy"] = policy_name
+    benchmark.extra_info["queries"] = result.cost
+    benchmark.extra_info["lemma2_bound"] = bound

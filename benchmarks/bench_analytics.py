@@ -1,0 +1,46 @@
+"""Sampling-vs-crawling benchmark: accuracy per query budget.
+
+Regenerates the quantitative backing for the paper's Section 1.4
+positioning: drill-down sampling buys approximate aggregates cheaply
+but plateaus; crawling pays a near-optimal finite cost after which
+*everything* is exact.  The recorded series is the equal-budget sweep
+of :func:`repro.analytics.compare.compare_at_budgets`.
+
+Expected shape:
+
+* sampling errors shrink roughly like ``1/sqrt(budget)`` and never
+  reach zero;
+* the crawled fraction grows roughly linearly (the paper's Figure 13
+  progressiveness) and snaps to exactly 1.0 at the crawler's
+  finishing cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.analytics.compare import compare_at_budgets
+from repro.datasets.yahoo import yahoo_autos
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    n = max(4000, int(69768 * bench_scale()))
+    data = yahoo_autos(n=n, seed=5, duplicates=0)
+    return data.with_bounds_from_data()
+
+
+def run_sweep(dataset, k, budgets):
+    return compare_at_budgets(dataset, k, budgets, seed=4)
+
+
+def test_sampling_vs_crawling(benchmark, dataset):
+    k = 256
+    budgets = [25, 50, 100, 200, 400, 800]
+    report = benchmark.pedantic(
+        run_sweep, args=(dataset, k, budgets), rounds=1, iterations=1
+    )
+    fractions = [p.crawl_fraction for p in report.points]
+    assert fractions == sorted(fractions), "crawl coverage must be monotone"
+    assert report.points[-1].crawl_complete or budgets[-1] < report.crawl_full_cost
+    benchmark.extra_info["full_crawl_cost"] = report.crawl_full_cost
+    benchmark.extra_info["rows"] = report.rows()

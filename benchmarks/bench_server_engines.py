@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the simulated server's query engines.
+
+Unlike the figure benchmarks (whose scientific metric is query count),
+these measure genuine wall-clock throughput: how fast the substrate
+answers queries.  The vector engine must beat the linear reference by a
+wide margin at paper scale -- it is what makes full-scale experiment
+runs (hundreds of thousands of simulated queries) practical.
+"""
+
+import pytest
+
+from repro.datasets.nsf import nsf
+from repro.datasets.yahoo import yahoo_autos
+from repro.query.query import Query, slice_query
+from repro.server.server import TopKServer
+
+
+@pytest.fixture(scope="module")
+def nsf_small():
+    return nsf(n=8000, seed=23)
+
+
+@pytest.fixture(scope="module")
+def yahoo_small():
+    return yahoo_autos(n=8000, seed=5, duplicates=0)
+
+
+def run_queries(server, queries):
+    for q in queries:
+        server.run(q)
+
+
+def test_vector_engine_slice_queries(benchmark, nsf_small):
+    server = TopKServer(nsf_small, k=256, engine="vector")
+    queries = [
+        slice_query(nsf_small.space, i, v)
+        for i in range(3)
+        for v in range(1, nsf_small.space[i].domain_size + 1)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_linear_engine_slice_queries(benchmark, nsf_small):
+    server = TopKServer(nsf_small, k=256, engine="linear")
+    queries = [slice_query(nsf_small.space, 0, v) for v in range(1, 6)]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_vector_engine_range_queries(benchmark, yahoo_small):
+    server = TopKServer(yahoo_small, k=256, engine="vector")
+    space = yahoo_small.space
+    price = space.index_of("Price")
+    queries = [
+        Query.full(space).with_range(price, lo, lo + 5000)
+        for lo in range(0, 50000, 500)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_vector_engine_mixed_queries(benchmark, yahoo_small):
+    server = TopKServer(yahoo_small, k=256, engine="vector")
+    space = yahoo_small.space
+    queries = [
+        Query.full(space)
+        .with_value(0, 1 + (i % 2))
+        .with_value(2, 1 + (i % 85))
+        .with_range(4, 2000, 2012)
+        for i in range(100)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_indexed_engine_slice_queries(benchmark, nsf_small):
+    server = TopKServer(nsf_small, k=256, engine="indexed")
+    queries = [
+        slice_query(nsf_small.space, i, v)
+        for i in range(3)
+        for v in range(1, nsf_small.space[i].domain_size + 1)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_indexed_engine_selective_queries(benchmark, nsf_small):
+    """The indexed engine's sweet spot: deep, rare-prefix queries."""
+    space = nsf_small.space
+    server = TopKServer(nsf_small, k=256, engine="indexed")
+    pi_name = space.dimensionality - 1  # the huge-domain attribute
+    queries = [
+        Query.full(space).with_value(pi_name, v) for v in range(1, 401)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_vector_engine_selective_queries(benchmark, nsf_small):
+    """Same workload as above on the vector engine, for comparison."""
+    space = nsf_small.space
+    server = TopKServer(nsf_small, k=256, engine="vector")
+    pi_name = space.dimensionality - 1
+    queries = [
+        Query.full(space).with_value(pi_name, v) for v in range(1, 401)
+    ]
+    benchmark(run_queries, server, queries)
+    benchmark.extra_info["queries"] = len(queries)

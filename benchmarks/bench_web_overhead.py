@@ -1,0 +1,54 @@
+"""Web-layer micro-benchmark: what HTML adds on top of the interface.
+
+The abstract query interface and the scraped web interface are
+information-equivalent (the adapter tests prove cost/bag parity); this
+benchmark quantifies the only thing the web layer *does* add -- the
+wall-clock overhead of rendering, transporting and parsing HTML --
+by running the same full hybrid crawl both ways.
+
+The interesting outcome is qualitative: overhead per query is a small
+constant (form encoding + page parse), so crawling through HTML remains
+entirely practical, supporting the paper's framing that the bottleneck
+is the *number of queries*, never the mechanics of issuing one.
+"""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.datasets.yahoo import yahoo_autos
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from repro.web.adapter import WebSession
+from repro.web.site import HiddenWebSite
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return yahoo_autos(n=8000, seed=5, duplicates=0)
+
+
+def crawl_direct(dataset, k):
+    result = Hybrid(TopKServer(dataset, k=k)).crawl()
+    assert result.complete
+    return result
+
+
+def crawl_via_web(dataset, k):
+    session = WebSession(HiddenWebSite(TopKServer(dataset, k=k)))
+    result = Hybrid(CachingClient(session)).crawl()
+    assert result.complete
+    return result
+
+
+def test_hybrid_direct(benchmark, dataset):
+    result = benchmark.pedantic(
+        crawl_direct, args=(dataset, 256), rounds=1, iterations=1
+    )
+    benchmark.extra_info["queries"] = result.cost
+
+
+def test_hybrid_via_web(benchmark, dataset):
+    result = benchmark.pedantic(
+        crawl_via_web, args=(dataset, 256), rounds=1, iterations=1
+    )
+    benchmark.extra_info["queries"] = result.cost

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only                  # quick (scale 0.1)
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only   # paper scale
+
+Each benchmark regenerates one figure of the paper through
+:mod:`repro.experiments.figures`, asserts the qualitative shape the
+paper reports, and attaches the measured series to the benchmark record
+(``extra_info``), so the JSON output doubles as an experiment artefact.
+The wall-clock numbers produced by pytest-benchmark measure the whole
+experiment (dataset generation + simulated crawls); the scientifically
+meaningful metric is the *query count* inside ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Dataset scale for benchmarks (env REPRO_BENCH_SCALE, default 0.1)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def record_figure(benchmark, figure) -> None:
+    """Attach a FigureResult's series to the benchmark record."""
+    benchmark.extra_info["figure"] = figure.figure_id
+    for series in figure.series:
+        benchmark.extra_info[series.name] = list(zip(series.xs(), series.ys()))
+    if figure.notes:
+        benchmark.extra_info["notes"] = list(figure.notes)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock.
+
+    The experiments are deterministic and expensive; statistical
+    repetition belongs to the engine micro-benchmarks, not here.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Watch the lower bounds bite: crawls of the Theorem 3 / 4 instances.
+
+The paper's second contribution is a pair of adversarial constructions
+proving no algorithm can beat rank-shrink / slice-cover by more than a
+constant factor.  This example builds those instances, crawls them, and
+prints the sandwich
+
+    lower bound  <=  measured cost  <=  Theorem 1 upper bound
+
+together with the structural facts the proofs rest on (Lemma 5's
+distinct-resolved-query cover; Lemma 7's "diverse queries resolve").
+
+Run::
+
+    python examples/adversarial_hardness.py
+"""
+
+from repro import RankShrink, SliceCover, TopKServer, assert_complete
+from repro.datasets import theorem3_instance, theorem4_instance
+from repro.theory import bounds
+from repro.theory.hardness import (
+    check_lemma5_cover,
+    check_lemma7_diverse_resolves,
+    classify_categorical_query,
+)
+
+
+def theorem3_demo() -> None:
+    k, d = 32, 4
+    print(f"Theorem 3 (numeric): k={k}, d={d}")
+    print(f"  {'m':>4} {'n':>6} {'lower d*m':>10} {'measured':>9} {'upper':>7}")
+    for m in (8, 16, 32):
+        instance = theorem3_instance(k, d, m)
+        crawler = RankShrink(TopKServer(instance.dataset, k=k))
+        result = crawler.crawl()
+        assert_complete(result, instance.dataset)
+        upper = bounds.rank_shrink_upper_bound(instance.dataset.n, k, d)
+        print(
+            f"  {m:>4} {instance.dataset.n:>6} {instance.lower_bound:>10} "
+            f"{result.cost:>9} {upper:>7}"
+        )
+        # Lemma 5: every non-diagonal point needs its own resolved query.
+        log = [(q, crawler.client.peek(q)) for q in crawler.client.history]
+        check_lemma5_cover(log, instance.non_diagonal_points)
+    print("  Lemma 5 verified: each non-diagonal point covered by a "
+          "distinct resolved query\n")
+
+
+def theorem4_demo() -> None:
+    k = 20  # d = 2k = 40; dU^2 <= 2^(d/4) holds for U <= 5
+    print(f"Theorem 4 (categorical): k={k}, d={2 * k}")
+    print(f"  {'U':>4} {'n':>5} {'lower':>7} {'measured':>9} {'upper':>7} "
+          f"{'diverse':>8} {'monotonic':>10}")
+    for U in (3, 4, 5):
+        instance = theorem4_instance(k, U)
+        crawler = SliceCover(TopKServer(instance.dataset, k=k))
+        result = crawler.crawl()
+        assert_complete(result, instance.dataset)
+        log = [(q, crawler.client.peek(q)) for q in crawler.client.history]
+        check_lemma7_diverse_resolves(log)
+        kinds = [classify_categorical_query(q) for q in crawler.client.history]
+        print(
+            f"  {U:>4} {instance.n:>5} "
+            f"{bounds.theorem4_lower_bound(instance.d, U):>7} "
+            f"{result.cost:>9} {bounds.theorem4_upper_bound(k, U):>7} "
+            f"{kinds.count('diverse'):>8} {kinds.count('monotonic'):>10}"
+        )
+    print("  Lemma 7 verified: every diverse query resolved")
+    print("\nThe measured costs track the Omega(dU^2) shape -- the "
+          "multiplicative penalty the paper proves unavoidable once a "
+          "database has two categorical attributes with large domains.")
+
+
+def main() -> None:
+    theorem3_demo()
+    theorem4_demo()
+
+
+if __name__ == "__main__":
+    main()

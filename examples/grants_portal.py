@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Crawl a purely categorical grants portal: DFS vs slice-cover variants.
+
+An NSF-awards-style database has only categorical attributes (funding
+bracket, instrument, field, state, ...) with wildly different domain
+sizes -- from 5 up to tens of thousands.  This is where the choice of
+algorithm matters by orders of magnitude (paper Figure 11): the eager
+slice table pays ``sum(Ui)`` up front, DFS explores the data space tree
+blindly, and lazy-slice-cover touches only the slices the traversal
+actually needs.
+
+The script also demonstrates the domain-discovery extension: crawling
+the same portal when the attribute domains are *not* printed on the
+search form.
+
+Run::
+
+    python examples/grants_portal.py
+"""
+
+from repro import DepthFirstSearch, LazySliceCover, SliceCover, TopKServer, assert_complete
+from repro.datasets import nsf
+from repro.discovery import discover_domains
+
+N = 8000  # scaled-down portal (the paper's NSF crawl has 47,816)
+K = 64
+
+
+def main() -> None:
+    dataset = nsf(n=N, seed=23)
+    sizes = dataset.space.categorical_domain_sizes
+    print(f"portal: {dataset.n} awards, domain sizes {sizes}")
+    print(f"slice-table cost floor (sum Ui): {sum(sizes)}\n")
+
+    print(f"algorithm comparison at k = {K}:")
+    print(f"  {'algorithm':<18} {'queries':>8}  {'phases'}")
+    for cls in (DepthFirstSearch, SliceCover, LazySliceCover):
+        server = TopKServer(dataset, k=K, priority_seed=3)
+        result = cls(server).crawl()
+        assert_complete(result, dataset)
+        phases = result.phase_costs or "-"
+        print(f"  {result.algorithm:<18} {result.cost:>8}  {phases}")
+
+    # -- domain discovery (extension) ----------------------------------
+    print("\ndomain discovery (when the form shows no pull-down menus):")
+    server = TopKServer(dataset, k=K, priority_seed=3)
+    report = discover_domains(server, max_queries=400)
+    print(f"  probes spent: {report.cost}, saturated: {report.saturated}")
+    coverage = report.coverage(dataset.space)
+    for i, attr in enumerate(dataset.space):
+        present = len({int(v) for v in dataset.rows[:, i]})
+        print(
+            f"  {attr.name:<10} discovered {report.counts[i]:>6} values "
+            f"({present} present in data, domain {attr.domain_size})"
+        )
+    print(
+        "  note: values absent from the data are undiscoverable -- and "
+        "irrelevant to the crawl's output."
+    )
+
+
+if __name__ == "__main__":
+    main()

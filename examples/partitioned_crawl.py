@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Partitioned crawling: several rate-limited identities, one database.
+
+The paper's cost metric exists because servers meter queries per IP per
+day.  A crawler with several identities can split the data space into
+disjoint regions and crawl them through separate sessions -- each with
+its own daily quota -- cutting the *wall-clock days* needed to finish
+even though the total query count rises slightly (shared prefixes are
+re-paid per session).
+
+This example partitions a synthetic Yahoo! Autos database on MAKE
+across four sessions, gives each a 60-queries-per-day quota, and
+compares the calendar time against a single-identity crawl under the
+same quota.
+
+Run::
+
+    python examples/partitioned_crawl.py
+"""
+
+from repro import (
+    DailyRateLimit,
+    Hybrid,
+    QueryBudgetExhausted,
+    SimulatedClock,
+    TopKServer,
+)
+from repro.crawl.partition import (
+    SubspaceView,
+    crawl_partitioned,
+    partition_space,
+)
+from repro.datasets import yahoo_autos
+
+
+def crawl_days(crawl_once, clock: SimulatedClock) -> int:
+    """Drive a budgeted crawl to completion, sleeping across days."""
+    while True:
+        try:
+            crawl_once()
+            return clock.day + 1
+        except QueryBudgetExhausted:
+            clock.sleep_until_next_day()
+
+
+def main() -> None:
+    dataset = yahoo_autos(n=12000, seed=5, duplicates=0)
+    k, per_day, sessions = 256, 60, 4
+
+    # ------------------------------------------------------------------
+    # Baseline: one identity, one daily quota.
+    # ------------------------------------------------------------------
+    clock = SimulatedClock()
+    server = TopKServer(
+        dataset, k, limits=[DailyRateLimit(per_day, clock)]
+    )
+    # Deterministic algorithm + shared response cache: each retry
+    # replays the finished prefix for free and continues.
+    from repro.server.client import CachingClient
+
+    client = CachingClient(server)
+    single_cost = []
+
+    def run_single():
+        result = Hybrid(client).crawl()
+        single_cost.append(client.cost)
+
+    days_single = crawl_days(run_single, clock)
+    print(
+        f"single identity : {single_cost[0]:4d} queries, "
+        f"{days_single:2d} simulated days at {per_day}/day"
+    )
+
+    # ------------------------------------------------------------------
+    # Partitioned: four identities, each with its own quota and region.
+    # ------------------------------------------------------------------
+    plan = partition_space(dataset.space, sessions)
+    attr = dataset.space[plan.attribute]
+    print(
+        f"plan            : {len(plan.regions)} regions on "
+        f"{attr.name!r}, {plan.sessions} sessions"
+    )
+
+    clocks = [SimulatedClock() for _ in range(sessions)]
+    servers = [
+        TopKServer(dataset, k, limits=[DailyRateLimit(per_day, clocks[i])])
+        for i in range(sessions)
+    ]
+
+    # Each session crawls its bundle across as many days as it needs;
+    # sessions run in parallel, so calendar time = the slowest session.
+    session_days, session_costs, all_rows = [], [], []
+    for i, bundle in enumerate(plan.bundles):
+        client = CachingClient(servers[i])
+        rows_before = len(all_rows)
+
+        # Re-running replays cached prefixes at zero cost, so retrying
+        # the whole bundle after each budget interruption is idempotent.
+        def run_bundle(client=client, bundle=bundle, rows_before=rows_before):
+            del all_rows[rows_before:]
+            for region in bundle:
+                result = Hybrid(
+                    CachingClient(SubspaceView(client, region))
+                ).crawl()
+                all_rows.extend(result.rows)
+
+        days = crawl_days(run_bundle, clocks[i])
+        session_days.append(days)
+        session_costs.append(client.cost)
+
+    print(
+        f"four identities : {sum(session_costs):4d} total queries "
+        f"({session_costs} per session)"
+    )
+    print(
+        f"calendar time   : {max(session_days):2d} days "
+        f"(vs {days_single} single) -- sessions run concurrently"
+    )
+    assert sorted(all_rows) == sorted(dataset.iter_rows())
+    print(f"merged bag      : exact ({len(all_rows)} tuples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Crawl a hidden database through its *web interface* -- HTML only.
+
+Everything the paper assumes about the interface is exercised for real
+here: the crawler fetches the search page, reads the schema and the
+categorical domains off the pull-down menus (the Section 1.3
+observation), learns the retrieval limit ``k`` from the page, and then
+runs the hybrid algorithm by submitting form queries and scraping the
+dynamically generated result pages.  At no point does it hold a handle
+to the server or the dataset.
+
+Run::
+
+    python examples/web_interface_crawl.py
+"""
+
+from repro import CachingClient, Hybrid, TopKServer, verify_complete
+from repro.datasets import yahoo_autos
+from repro.web import HiddenWebSite, WebSession
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Provider side: a site fronting the (synthetic) Yahoo! Autos data.
+    # Nothing below this object is reachable by the crawler.
+    # ------------------------------------------------------------------
+    dataset = yahoo_autos()
+    site = HiddenWebSite(TopKServer(dataset, k=1024))
+
+    # ------------------------------------------------------------------
+    # Crawler side: bootstrap everything from the search page.
+    # ------------------------------------------------------------------
+    session = WebSession(site)
+    print("Parsed the search form:")
+    print(f"  schema: {session.space}")
+    for i in range(session.space.cat):
+        attr = session.space[i]
+        print(f"  menu {attr.name!r} advertises {attr.domain_size} values")
+    print(f"  page says each search returns at most k={session.k} results")
+    print()
+
+    result = Hybrid(CachingClient(session)).crawl()
+    print(f"crawl: {result}")
+    print(f"search requests sent: {session.requests}")
+    print(f"pages served by the site (incl. the form): {site.pages_served}")
+
+    # The paper's headline anecdote: ~200 queries suffice for the
+    # 69,768-tuple Yahoo! Autos database at k around 1000.
+    print()
+    print(
+        f"paper anecdote check: {result.cost} queries for "
+        f"{result.tuples_extracted} tuples at k=1024 "
+        "(paper: ~200 at k=1000)"
+    )
+
+    # Verification is possible only because this demo owns the dataset.
+    report = verify_complete(result, dataset)
+    print(f"verify: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Analytics over hidden databases: sampling estimators vs crawling.
+
+The paper positions crawling against the sampling line of deep-web
+research (Section 1.4): samples answer fixed aggregate questions
+approximately; a crawl -- provably near the cheapest possible one --
+answers everything exactly.  This package supplies the sampling side
+so the claim can be measured rather than asserted:
+
+* :class:`~repro.analytics.random_walk.DrillDownSampler` -- random
+  drill-down walks with tracked selection probabilities;
+* :mod:`repro.analytics.estimators` -- Horvitz-Thompson size / sum /
+  mean estimation from walks;
+* :func:`~repro.analytics.compare.compare_at_budgets` -- the equal
+  budget sampling-vs-crawling sweep behind
+  ``benchmarks/bench_analytics.py``.
+"""
+
+from repro.analytics.compare import (
+    BudgetPoint,
+    ComparisonReport,
+    compare_at_budgets,
+)
+from repro.analytics.estimators import (
+    EstimateReport,
+    estimate_mean,
+    estimate_size,
+    estimate_sum,
+    horvitz_thompson,
+)
+from repro.analytics.random_walk import DrillDownSampler, WalkOutcome
+
+__all__ = [
+    "BudgetPoint",
+    "ComparisonReport",
+    "compare_at_budgets",
+    "EstimateReport",
+    "estimate_mean",
+    "estimate_size",
+    "estimate_sum",
+    "horvitz_thompson",
+    "DrillDownSampler",
+    "WalkOutcome",
+]

@@ -1,0 +1,163 @@
+"""Sampling versus crawling, at equal query budgets.
+
+The paper's pitch (Sections 1.2 and 1.4): sampling answers *specific*
+aggregate questions approximately, while crawling -- at a cost the
+paper proves is near the minimum possible -- buys the full content and
+with it *exact* answers to "virtually any form of processing".  This
+module stages that comparison fairly:
+
+for each query budget ``B``
+
+* **sampling** spends ``B`` queries on drill-down walks and reports the
+  Horvitz-Thompson size/sum estimates with their actual relative
+  errors;
+* **crawling** runs the paper's crawler under a hard ``B``-query limit
+  (partial results allowed) and reports the fraction of the database
+  extracted; once the budget reaches the crawler's finishing cost the
+  errors are exactly zero, forever.
+
+The output is the raw series behind ``benchmarks/bench_analytics.py``.
+The comparison needs ground truth, so it runs on an owned dataset --
+like every experiment in the paper's Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.estimators import estimate_size, estimate_sum
+from repro.crawl.hybrid import Hybrid
+from repro.dataspace.dataset import Dataset
+from repro.exceptions import SchemaError
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+
+__all__ = ["BudgetPoint", "ComparisonReport", "compare_at_budgets"]
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetPoint:
+    """Both approaches' outcomes at one query budget.
+
+    ``sample_*_error`` are relative errors of the sampling estimates;
+    ``crawl_fraction`` is the fraction of the bag a budget-limited
+    crawl extracted (``1.0`` means exact answers to everything).
+    """
+
+    budget: int
+    sample_size_error: float
+    sample_sum_error: float
+    sample_walks: int
+    crawl_fraction: float
+    crawl_complete: bool
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """The full sweep, plus the anchors that contextualise it."""
+
+    points: tuple[BudgetPoint, ...]
+    crawl_full_cost: int
+    n: int
+    attribute: int
+
+    def rows(self) -> list[tuple]:
+        """Printable rows: one per budget."""
+        return [
+            (
+                p.budget,
+                round(p.sample_size_error, 4),
+                round(p.sample_sum_error, 4),
+                round(p.crawl_fraction, 4),
+                "yes" if p.crawl_complete else "no",
+            )
+            for p in self.points
+        ]
+
+
+#: Stop sampling after this many consecutive fully-cached walks: the
+#: sampler has exhausted every query it will ever issue, so further
+#: walks refine the estimate without spending budget.
+_STALL_LIMIT = 200
+
+
+def _sampling_point(dataset, k, budget, attribute, seed):
+    """Spend up to ``budget`` queries on walks; report actual errors.
+
+    Walks continue until the budget is spent *or* the response cache
+    saturates (many consecutive walks issuing no new query) -- on a
+    small space the sampler may simply run out of distinct queries
+    below the budget.
+    """
+    from repro.analytics.random_walk import DrillDownSampler
+
+    server = TopKServer(dataset, k, priority_seed=seed)
+    sampler = DrillDownSampler(CachingClient(server), seed=seed)
+    outcomes = []
+    stalled = 0
+    while sampler.client.cost < budget and stalled < _STALL_LIMIT:
+        before = sampler.client.cost
+        outcomes.append(sampler.walk())
+        stalled = stalled + 1 if sampler.client.cost == before else 0
+    from repro.analytics.estimators import horvitz_thompson
+
+    cost = sampler.client.cost
+    size = horvitz_thompson(outcomes, lambda row: 1.0, cost=cost)
+    total = horvitz_thompson(
+        outcomes, lambda row: float(row[attribute]), cost=cost
+    )
+    true_sum = float(sum(row[attribute] for row in dataset.iter_rows()))
+    return (
+        size.relative_error(dataset.n),
+        total.relative_error(true_sum) if true_sum else 0.0,
+        len(outcomes),
+    )
+
+
+def _crawling_point(dataset, k, budget, seed):
+    """Crawl under a hard budget; report the extracted fraction."""
+    server = TopKServer(
+        dataset, k, priority_seed=seed, limits=[QueryBudget(budget)]
+    )
+    result = Hybrid(server).crawl(allow_partial=True)
+    return len(result.rows) / max(1, dataset.n), result.complete
+
+
+def compare_at_budgets(
+    dataset: Dataset,
+    k: int,
+    budgets: list[int],
+    *,
+    attribute: int | None = None,
+    seed: int = 0,
+) -> ComparisonReport:
+    """Run the sampling-vs-crawling sweep on an owned dataset.
+
+    Parameters
+    ----------
+    dataset, k:
+        The ground-truth content and the interface limit.
+    budgets:
+        Query budgets to evaluate, ascending.
+    attribute:
+        Attribute for the sum estimate; defaults to the last (numeric
+        attributes live at the end of a mixed schema).
+    seed:
+        Controls priorities and walk randomness.
+    """
+    if not budgets or sorted(budgets) != list(budgets):
+        raise SchemaError("budgets must be a non-empty ascending list")
+    if attribute is None:
+        attribute = dataset.space.dimensionality - 1
+    full_cost = Hybrid(TopKServer(dataset, k, priority_seed=seed)).crawl().cost
+    points = []
+    for budget in budgets:
+        size_err, sum_err, walks = _sampling_point(
+            dataset, k, budget, attribute, seed
+        )
+        fraction, complete = _crawling_point(dataset, k, budget, seed)
+        points.append(
+            BudgetPoint(budget, size_err, sum_err, walks, fraction, complete)
+        )
+    return ComparisonReport(tuple(points), full_cost, dataset.n, attribute)

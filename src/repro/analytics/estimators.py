@@ -1,0 +1,158 @@
+"""Horvitz-Thompson estimation over drill-down samples.
+
+Given walks from :class:`~repro.analytics.random_walk.DrillDownSampler`,
+a successful walk that sampled tuple instance ``t`` with probability
+``p(t)`` contributes ``f(t) / p(t)`` to an estimate of the database
+total ``sum_t f(t)``; failed walks contribute ``0``.  Because the walk
+reaches each tuple instance along exactly one path,
+
+    E[f(t_sampled) / p(t_sampled)] = sum_t p(t) * f(t) / p(t)
+                                   = sum_t f(t),
+
+so the per-walk contributions are independent unbiased estimators:
+
+* ``f = 1`` estimates the hidden database's **size** ``n`` (which the
+  interface never reveals);
+* ``f = value of attribute j`` estimates the **sum** over that
+  attribute;
+* the ratio of the two estimates the **mean** (a standard ratio
+  estimator: consistent, only asymptotically unbiased).
+
+Each estimate carries the sample standard error, so callers can judge
+whether a budget bought them anything -- the comparison harness
+(:mod:`repro.analytics.compare`) and the accuracy benchmark rely on it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.analytics.random_walk import DrillDownSampler, WalkOutcome
+from repro.exceptions import SchemaError
+from repro.server.response import Row
+
+__all__ = [
+    "EstimateReport",
+    "horvitz_thompson",
+    "estimate_size",
+    "estimate_sum",
+    "estimate_mean",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateReport:
+    """One estimated quantity plus the sampling effort that bought it.
+
+    Attributes
+    ----------
+    estimate:
+        The Horvitz-Thompson point estimate.
+    stderr:
+        Standard error of the estimate (sample std of the per-walk
+        contributions over ``sqrt(walks)``); ``nan`` for fewer than two
+        walks.
+    walks, successes:
+        Walks performed and walks that produced a sample.
+    cost:
+        Distinct queries issued (the Problem 1 cost metric), including
+        cache-warmed re-walks at zero marginal cost.
+    """
+
+    estimate: float
+    stderr: float
+    walks: int
+    successes: int
+    cost: int
+
+    def relative_error(self, truth: float) -> float:
+        """``|estimate - truth| / truth`` against a known ground truth."""
+        if truth == 0:
+            raise SchemaError("relative error undefined for zero truth")
+        return abs(self.estimate - truth) / abs(truth)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.1f} +- {self.stderr:.1f} "
+            f"({self.successes}/{self.walks} walks, {self.cost} queries)"
+        )
+
+
+def horvitz_thompson(
+    outcomes: Sequence[WalkOutcome],
+    f: Callable[[Row], float],
+    *,
+    cost: int,
+) -> EstimateReport:
+    """The HT estimate of ``sum_t f(t)`` from walk outcomes."""
+    if not outcomes:
+        raise SchemaError("at least one walk outcome is required")
+    contributions = []
+    successes = 0
+    for outcome in outcomes:
+        if outcome.success:
+            successes += 1
+            assert outcome.row is not None
+            contributions.append(f(outcome.row) / outcome.probability)
+        else:
+            contributions.append(0.0)
+    count = len(contributions)
+    mean = sum(contributions) / count
+    if count > 1:
+        variance = sum((x - mean) ** 2 for x in contributions) / (count - 1)
+        stderr = math.sqrt(variance / count)
+    else:
+        stderr = float("nan")
+    return EstimateReport(mean, stderr, count, successes, cost)
+
+
+def _run_walks(source, walks: int, seed: int) -> tuple[list[WalkOutcome], int]:
+    sampler = DrillDownSampler(source, seed=seed)
+    before = sampler.client.cost
+    outcomes = sampler.walks(walks)
+    return outcomes, sampler.client.cost - before
+
+
+def estimate_size(source, *, walks: int, seed: int = 0) -> EstimateReport:
+    """Estimate the hidden database's size ``n`` (never revealed directly)."""
+    outcomes, cost = _run_walks(source, walks, seed)
+    return horvitz_thompson(outcomes, lambda row: 1.0, cost=cost)
+
+
+def estimate_sum(
+    source, attribute: int, *, walks: int, seed: int = 0
+) -> EstimateReport:
+    """Estimate ``sum`` of one attribute over the hidden database."""
+    outcomes, cost = _run_walks(source, walks, seed)
+    return horvitz_thompson(
+        outcomes, lambda row: float(row[attribute]), cost=cost
+    )
+
+
+def estimate_mean(
+    source, attribute: int, *, walks: int, seed: int = 0
+) -> EstimateReport:
+    """Estimate the mean of one attribute (HT ratio estimator).
+
+    The ratio of two unbiased totals is consistent but only
+    asymptotically unbiased; its reported ``stderr`` is the first-order
+    (delta-method-free, conservative) scaling of the numerator's error
+    by the size estimate.
+    """
+    outcomes, cost = _run_walks(source, walks, seed)
+    total = horvitz_thompson(
+        outcomes, lambda row: float(row[attribute]), cost=cost
+    )
+    size = horvitz_thompson(outcomes, lambda row: 1.0, cost=cost)
+    if size.estimate == 0:
+        raise SchemaError(
+            "all walks failed; cannot form a mean estimate "
+            "(raise the walk count)"
+        )
+    estimate = total.estimate / size.estimate
+    stderr = total.stderr / size.estimate
+    return EstimateReport(
+        estimate, stderr, total.walks, total.successes, cost
+    )

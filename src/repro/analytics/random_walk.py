@@ -1,0 +1,184 @@
+"""Random drill-down sampling over the top-k interface.
+
+The paper's related work (Section 1.4, references [8, 9, 14]) contrasts
+crawling with *sampling*: instead of extracting everything, issue a few
+queries and estimate aggregates from the tuples they surface.  This
+module implements the canonical technique of that line -- the random
+drill-down walk in the spirit of Dasgupta et al. (reference [9]) -- so
+the trade-off the paper argues about is measurable in this codebase.
+
+One **walk** descends the query hierarchy until a query resolves:
+
+* each categorical attribute (in schema order) is pinned to a value
+  drawn uniformly from its domain -- a branch taken with probability
+  ``1 / U_i``;
+* each numeric attribute's bounded extent is halved repeatedly, the
+  walk picking a half with probability ``1/2`` per split;
+* at the first *resolved* query, one tuple is drawn uniformly from the
+  returned bag (an empty bag fails the walk).
+
+Every step's probability is recorded, so the tuple instance ``t``
+reached by a walk has a known selection probability ``p(t)`` -- the
+product of its branch probabilities times ``1 / |R|``.  Because each
+tuple is reachable along exactly one path, the Horvitz-Thompson
+weighting ``1 / p(t)`` makes walk outcomes unbiased estimators of
+database totals (see :mod:`repro.analytics.estimators`).
+
+Requirements and caveats, stated honestly:
+
+* numeric attributes must carry finite bounds (the halving walk needs
+  a starting extent); categorical-only spaces need nothing;
+* a point query that still overflows (multiplicity above ``k``) fails
+  the walk -- the same pathological input that makes Problem 1
+  unsolvable;
+* walks *fail* whenever they resolve on an empty region, and sparse
+  spaces fail a lot: that inefficiency is intrinsic to sampling and is
+  precisely what the comparison benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SchemaError, UnboundedDomainError
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.response import Row
+
+__all__ = ["WalkOutcome", "DrillDownSampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class WalkOutcome:
+    """The result of one drill-down walk.
+
+    Attributes
+    ----------
+    row:
+        The sampled tuple instance, or ``None`` for a failed walk
+        (empty resolved region, or an overflowing point query).
+    probability:
+        The selection probability ``p(row)`` of the sampled instance;
+        meaningless for failed walks.
+    depth:
+        Queries issued along the walk (before client-side caching).
+    """
+
+    row: Row | None
+    probability: float
+    depth: int
+
+    @property
+    def success(self) -> bool:
+        """Whether the walk produced a sample."""
+        return self.row is not None
+
+
+class DrillDownSampler:
+    """Random drill-down walks with tracked selection probabilities.
+
+    Parameters
+    ----------
+    source:
+        The hidden database; a shared :class:`CachingClient` is
+        accepted (and is the recommended way to run many walks:
+        repeated prefixes then cost nothing).
+    seed:
+        RNG seed; two samplers with the same seed walk identically.
+
+    Raises
+    ------
+    UnboundedDomainError
+        If the space has a numeric attribute without finite bounds.
+    """
+
+    def __init__(self, source, *, seed: int = 0):
+        if isinstance(source, CachingClient):
+            self._client = source
+        else:
+            self._client = CachingClient(source)
+        self._rng = np.random.default_rng(seed)
+        space = self._client.space
+        for attr in space:
+            if attr.is_numeric and not attr.is_bounded:
+                raise UnboundedDomainError(
+                    f"drill-down sampling needs finite bounds on numeric "
+                    f"attribute {attr.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def client(self) -> CachingClient:
+        """The (possibly shared) caching client; its ``cost`` is the budget."""
+        return self._client
+
+    # ------------------------------------------------------------------
+    def walk(self) -> WalkOutcome:
+        """Perform one drill-down walk."""
+        space = self._client.space
+        query = Query.full(space)
+        probability = 1.0
+        depth = 0
+
+        def attempt(q: Query) -> WalkOutcome | None:
+            nonlocal depth
+            depth += 1
+            response = self._client.run(q)
+            if response.overflow:
+                return None
+            if not response.rows:
+                return WalkOutcome(None, 0.0, depth)
+            index = int(self._rng.integers(0, len(response.rows)))
+            return WalkOutcome(
+                response.rows[index],
+                probability / len(response.rows),
+                depth,
+            )
+
+        outcome = attempt(query)
+        if outcome is not None:
+            return outcome
+
+        # Pin categorical attributes one by one, uniformly at random.
+        for i in range(space.cat):
+            size = space[i].domain_size
+            assert size is not None
+            value = int(self._rng.integers(1, size + 1))
+            probability /= size
+            query = query.with_value(i, value)
+            outcome = attempt(query)
+            if outcome is not None:
+                return outcome
+
+        # Halve numeric extents, one coin flip per split.
+        for j in range(space.cat, space.dimensionality):
+            attr = space[j]
+            lo, hi = attr.lo, attr.hi
+            assert lo is not None and hi is not None
+            query = query.with_range(j, lo, hi)
+            outcome = attempt(query)
+            if outcome is not None:
+                return outcome
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._rng.integers(0, 2):
+                    lo = mid + 1
+                else:
+                    hi = mid
+                probability /= 2.0
+                query = query.with_range(j, lo, hi)
+                outcome = attempt(query)
+                if outcome is not None:
+                    return outcome
+
+        # Every attribute is exhausted and the point query still
+        # overflowed: multiplicity above k, the Problem-1-breaking case.
+        return WalkOutcome(None, 0.0, depth)
+
+    def walks(self, count: int) -> list[WalkOutcome]:
+        """Perform ``count`` independent walks."""
+        if count < 1:
+            raise SchemaError(f"walk count must be positive, got {count}")
+        return [self.walk() for _ in range(count)]

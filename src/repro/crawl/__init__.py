@@ -1,0 +1,70 @@
+"""The paper's crawling algorithms and shared crawler machinery.
+
+Quick map (paper section -> class):
+
+* Section 2.1  ``binary-shrink``     -> :class:`BinaryShrink`
+* Section 2.2+ ``rank-shrink``       -> :class:`RankShrink`
+* Section 3.1  ``DFS``               -> :class:`DepthFirstSearch`
+* Section 3.2  ``slice-cover``       -> :class:`SliceCover`
+* Section 3.2  ``lazy-slice-cover``  -> :class:`LazySliceCover`
+* Section 5    ``hybrid``            -> :class:`Hybrid`
+
+:class:`Hybrid` accepts any space kind and is the right default for
+callers who just want the database crawled.
+"""
+
+from repro.crawl.base import Crawler, CrawlResult, ProgressPoint
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
+from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.incremental import SnapshotDiff, diff_snapshots, recrawl
+from repro.crawl.ordering import (
+    order_by_distinct_count,
+    order_by_domain_size,
+    reorder_dataset,
+)
+from repro.crawl.partition import (
+    PartitionedResult,
+    PartitionPlan,
+    SubspaceView,
+    crawl_partitioned,
+    partition_space,
+)
+from repro.crawl.rank_shrink import RankShrink, solve_numeric
+from repro.crawl.sampling import RandomProber
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import VerificationReport, assert_complete, verify_complete
+
+__all__ = [
+    "Crawler",
+    "CrawlResult",
+    "ProgressPoint",
+    "BinaryShrink",
+    "RankShrink",
+    "solve_numeric",
+    "DepthFirstSearch",
+    "SliceCover",
+    "LazySliceCover",
+    "Hybrid",
+    "RandomProber",
+    "DependencyFilteringClient",
+    "PairwiseDependencyOracle",
+    "load_checkpoint",
+    "save_checkpoint",
+    "order_by_distinct_count",
+    "order_by_domain_size",
+    "reorder_dataset",
+    "PartitionedResult",
+    "PartitionPlan",
+    "SubspaceView",
+    "crawl_partitioned",
+    "partition_space",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "recrawl",
+    "VerificationReport",
+    "assert_complete",
+    "verify_complete",
+]

@@ -1,0 +1,124 @@
+"""CLI: simulate a full crawl of a CSV-backed hidden database.
+
+Loads a dataset (see :mod:`repro.datasets.io` for the schema-carrying
+CSV format), hides it behind a top-``k`` server, crawls it with a chosen
+algorithm, verifies the extracted bag, and optionally writes it back
+out::
+
+    python -m repro.crawl data.csv --k 256
+    python -m repro.crawl data.csv --k 64 --algorithm lazy-slice-cover \
+        --output extracted.csv --progress
+
+This is a simulation utility: the CSV plays the role of the hidden
+content, and the reported cost is what a crawl of a real server with
+the same data would pay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import verify_complete
+from repro.datasets.io import load_csv, save_csv
+from repro.exceptions import InfeasibleCrawlError, ReproError
+from repro.server.server import TopKServer
+
+ALGORITHMS = {
+    "hybrid": Hybrid,
+    "rank-shrink": RankShrink,
+    "binary-shrink": BinaryShrink,
+    "dfs": DepthFirstSearch,
+    "slice-cover": SliceCover,
+    "lazy-slice-cover": LazySliceCover,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.crawl",
+        description="Simulate crawling a CSV-backed hidden database.",
+    )
+    parser.add_argument("csv", help="dataset CSV (schema-carrying header)")
+    parser.add_argument("--k", type=int, required=True, help="retrieval limit")
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="hybrid",
+        help="crawling algorithm (default: hybrid, works on any schema)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="priority seed")
+    parser.add_argument(
+        "--bounds-from-data",
+        action="store_true",
+        help="attach observed min/max bounds to numeric attributes "
+        "(required by binary-shrink)",
+    )
+    parser.add_argument("--output", help="write the extracted bag to this CSV")
+    parser.add_argument(
+        "--max-queries", type=int, default=None, help="sanity cap on cost"
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print the progressiveness curve (deciles)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        dataset = load_csv(args.csv)
+    except (OSError, ReproError) as exc:
+        print(f"error: cannot load {args.csv}: {exc}", file=sys.stderr)
+        return 2
+    if args.bounds_from_data:
+        dataset = dataset.with_bounds_from_data()
+    print(
+        f"dataset: n={dataset.n}, d={dataset.dimensionality}, "
+        f"kind={dataset.space.kind.value}, "
+        f"min feasible k={dataset.min_feasible_k()}"
+    )
+    server = TopKServer(dataset, args.k, priority_seed=args.seed)
+    try:
+        crawler = ALGORITHMS[args.algorithm](server, max_queries=args.max_queries)
+        result = crawler.crawl()
+    except InfeasibleCrawlError as exc:
+        print(f"infeasible at k={args.k}: {exc}", file=sys.stderr)
+        return 3
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = verify_complete(result, dataset)
+    print(
+        f"crawl: {result.cost} queries, {result.tuples_extracted} tuples "
+        f"({result.algorithm})"
+    )
+    if result.phase_costs:
+        phases = ", ".join(f"{k}={v}" for k, v in result.phase_costs.items())
+        print(f"phases: {phases}")
+    print(f"verify: {report.summary()}")
+    if args.progress:
+        curve = result.progress_fractions()
+        print("progress (queries% -> tuples%):")
+        for target in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            reached = max(
+                (p for p in curve if p[0] <= target),
+                default=(0.0, 0.0),
+                key=lambda p: (p[0], p[1]),
+            )
+            print(f"  {target:>5.0%} -> {reached[1]:.1%}")
+    if args.output:
+        save_csv(result.as_dataset(), args.output)
+        print(f"extracted bag written to {args.output}")
+    return 0 if report.complete else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""Shared crawler machinery: results, progress tracking, the base class.
+
+Every algorithm of the paper is packaged as a :class:`Crawler`: construct
+it around a :class:`~repro.server.server.TopKServer` (or an existing
+:class:`~repro.server.client.CachingClient` to share a cache between
+phases/algorithms), call :meth:`Crawler.crawl`, and receive a
+:class:`CrawlResult` carrying the extracted bag, the query cost, and a
+progressiveness log (the data behind the paper's Figure 13).
+
+Correctness contract: a crawler confirms each tuple of the hidden bag
+exactly once, because it only confirms results of *resolved* queries (or
+locally-filtered resolved slice responses) over pairwise-disjoint regions
+of the data space.  :func:`repro.crawl.verify.verify_complete` checks the
+contract against the ground truth in every test.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import AlgorithmInvariantError, QueryBudgetExhausted
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.response import QueryResponse, Row
+from repro.server.server import TopKServer
+
+__all__ = ["ProgressPoint", "CrawlResult", "Crawler"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressPoint:
+    """One sample of the crawl's progress curve (Figure 13).
+
+    ``queries`` is the cumulative cost at the moment of the sample;
+    ``tuples`` is the number of tuples confirmed (extracted with
+    certainty) by then.
+    """
+
+    queries: int
+    tuples: int
+
+
+@dataclass
+class CrawlResult:
+    """Everything a finished (or interrupted) crawl produced.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the crawler that produced the result.
+    rows:
+        The extracted bag, tuple by tuple (with multiplicity).
+    cost:
+        Number of queries issued (the Problem 1 cost metric).
+    complete:
+        ``True`` for a finished crawl; ``False`` when a query budget
+        interrupted it (``allow_partial=True``).
+    progress:
+        Monotone samples of (queries issued, tuples confirmed); the raw
+        series behind the paper's progressiveness experiment.
+    phase_costs:
+        Per-phase query subtotals (e.g. slice-cover's preprocessing vs
+        traversal).
+    """
+
+    algorithm: str
+    space: DataSpace
+    rows: list[Row]
+    cost: int
+    complete: bool
+    progress: list[ProgressPoint]
+    phase_costs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tuples_extracted(self) -> int:
+        """Size of the extracted bag."""
+        return len(self.rows)
+
+    def as_dataset(self, name: str = "") -> Dataset:
+        """The extracted bag as a :class:`Dataset` (for verification)."""
+        return Dataset(self.space, self.rows, name=name, validate=False)
+
+    def progress_fractions(self) -> list[tuple[float, float]]:
+        """Progress normalised to (fraction of queries, fraction of tuples).
+
+        This is exactly the curve of the paper's Figure 13.  Empty
+        crawls (zero cost or zero tuples) normalise to 1.0 to keep the
+        curve well-defined.
+        """
+        total_queries = max(1, self.cost)
+        total_tuples = max(1, len(self.rows))
+        return [
+            (p.queries / total_queries, p.tuples / total_tuples)
+            for p in self.progress
+        ]
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else "partial"
+        return (
+            f"CrawlResult({self.algorithm}, {len(self.rows)} tuples, "
+            f"{self.cost} queries, {state})"
+        )
+
+
+class Crawler(abc.ABC):
+    """Base class of all crawling algorithms.
+
+    Parameters
+    ----------
+    source:
+        A :class:`TopKServer` (a fresh caching client is created) or a
+        :class:`CachingClient` (shared cache; cost accumulates there).
+    max_queries:
+        Optional hard sanity cap.  Exceeding it raises
+        :class:`AlgorithmInvariantError` -- tests set the cap from the
+        Theorem 1 bounds so a regression that breaks a guarantee fails
+        fast instead of looping.
+    """
+
+    #: Human-readable algorithm name; subclasses override.
+    name: str = "crawler"
+
+    def __init__(
+        self,
+        source: TopKServer | CachingClient,
+        *,
+        max_queries: int | None = None,
+    ):
+        if isinstance(source, CachingClient):
+            self._client = source
+        else:
+            self._client = CachingClient(source)
+        self._max_queries = max_queries
+        self._confirmed: list[Row] = []
+        self._progress: list[ProgressPoint] = []
+        self._queries_this_crawl = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Accessors for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def client(self) -> CachingClient:
+        """The (possibly shared) caching client."""
+        return self._client
+
+    @property
+    def space(self) -> DataSpace:
+        """The data space being crawled."""
+        return self._client.space
+
+    @property
+    def k(self) -> int:
+        """The server's retrieval limit."""
+        return self._client.k
+
+    # ------------------------------------------------------------------
+    # Template method
+    # ------------------------------------------------------------------
+    def crawl(self, *, allow_partial: bool = False) -> CrawlResult:
+        """Extract the hidden database.
+
+        Parameters
+        ----------
+        allow_partial:
+            When ``True``, a :class:`QueryBudgetExhausted` from the
+            server's limits produces a partial result
+            (``result.complete == False``) instead of propagating.
+
+        Raises
+        ------
+        InfeasibleCrawlError
+            If some point provably holds more than ``k`` duplicates.
+        QueryBudgetExhausted
+            If a limit fires and ``allow_partial`` is ``False``.
+        """
+        if self._started:
+            raise AlgorithmInvariantError(
+                "a Crawler instance is single-use; build a new one "
+                "(share the CachingClient to keep the response cache)"
+            )
+        self._started = True
+        start_cost = self._client.cost
+        self._snapshot()
+        complete = True
+        try:
+            self._execute()
+        except QueryBudgetExhausted:
+            if not allow_partial:
+                raise
+            complete = False
+        self._snapshot()
+        return CrawlResult(
+            algorithm=self.name,
+            space=self.space,
+            rows=list(self._confirmed),
+            cost=self._client.cost - start_cost,
+            complete=complete,
+            progress=list(self._progress),
+            phase_costs=dict(self._client.stats.phase_costs),
+        )
+
+    @abc.abstractmethod
+    def _execute(self) -> None:
+        """Run the algorithm; implemented by each concrete crawler."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _run_query(self, query: Query) -> QueryResponse:
+        """Issue a query through the cache, enforcing the sanity cap."""
+        before = self._client.cost
+        response = self._client.run(query)
+        issued = self._client.cost - before
+        if issued:
+            self._queries_this_crawl += issued
+            if (
+                self._max_queries is not None
+                and self._queries_this_crawl > self._max_queries
+            ):
+                raise AlgorithmInvariantError(
+                    f"{self.name} exceeded its max_queries cap of "
+                    f"{self._max_queries}"
+                )
+            self._snapshot()
+        return response
+
+    def _confirm(self, rows) -> None:
+        """Record tuples extracted with certainty (resolved coverage)."""
+        self._confirmed.extend(rows)
+        self._snapshot()
+
+    def _snapshot(self) -> None:
+        point = ProgressPoint(self._queries_this_crawl, len(self._confirmed))
+        if not self._progress or self._progress[-1] != point:
+            self._progress.append(point)

@@ -1,0 +1,74 @@
+"""``binary-shrink``: the straightforward numeric baseline (Section 2.1).
+
+Repeatedly halve the extent of an overflowing rectangle on some
+non-exhausted attribute until every piece resolves.  Correct, but its
+cost depends on the attribute domain sizes (each overflowing rectangle
+may be halved ``log(domain)`` times before the tuple counts drop), which
+is exactly the weakness rank-shrink removes.
+
+Because it cuts extents at their midpoint, the algorithm needs finite
+``[lo, hi]`` bounds on every attribute -- a real crawler would read them
+off the search form; experiment harnesses attach observed bounds via
+:meth:`repro.dataspace.dataset.Dataset.with_bounds_from_data`.
+"""
+
+from __future__ import annotations
+
+from repro.crawl.base import Crawler
+from repro.dataspace.space import SpaceKind
+from repro.exceptions import InfeasibleCrawlError, SchemaError, UnboundedDomainError
+from repro.query.query import Query
+
+__all__ = ["BinaryShrink"]
+
+
+class BinaryShrink(Crawler):
+    """The baseline numeric crawler the paper compares against."""
+
+    name = "binary-shrink"
+
+    def __init__(self, source, *, max_queries: int | None = None):
+        super().__init__(source, max_queries=max_queries)
+        if self.space.kind is not SpaceKind.NUMERIC:
+            raise SchemaError(
+                "binary-shrink handles purely numeric spaces; got "
+                f"{self.space.kind.value}"
+            )
+        for attr in self.space:
+            if not attr.is_bounded:
+                raise UnboundedDomainError(
+                    f"binary-shrink needs finite bounds on {attr.name!r}; "
+                    "rank-shrink has no such requirement"
+                )
+
+    def _execute(self) -> None:
+        root = Query.full(self.space)
+        for i, attr in enumerate(self.space):
+            root = root.with_range(i, attr.lo, attr.hi)
+        stack = [root]
+        while stack:
+            query = stack.pop()
+            response = self._run_query(query)
+            if response.resolved:
+                self._confirm(response.rows)
+                continue
+            dim = self._first_non_exhausted(query)
+            if dim is None:
+                raise InfeasibleCrawlError(
+                    f"point query {query} overflowed: more than k={self.k} "
+                    "duplicates at one point"
+                )
+            lo, hi = query.extent(dim)
+            assert lo is not None and hi is not None and lo < hi
+            # Split at x = ceil((lo + hi) / 2); the left part gets
+            # [lo, x-1], the right part [x, hi] (paper Section 2.1).
+            x = -((lo + hi) // -2)
+            q_left, q_right = query.split_2way(dim, x)
+            stack.append(q_right)
+            stack.append(q_left)
+
+    def _first_non_exhausted(self, query: Query) -> int | None:
+        for dim in range(self.space.dimensionality):
+            if not query.is_exhausted(dim):
+                return dim
+        return None

@@ -1,0 +1,128 @@
+"""Crawl checkpoints: persist the response cache across processes.
+
+The paper's cost model assumes crawls spread over days (per-IP query
+quotas).  Within one process, resuming is free: algorithms are
+deterministic and a shared :class:`~repro.server.client.CachingClient`
+replays the finished prefix from its cache.  This module extends that
+to process restarts -- the cache is serialised to a JSON file and loaded
+back, so a crawler killed after day N continues on day N+1 without
+re-issuing a single query.
+
+Format: one JSON object per cached entry, with the query encoded as a
+list of per-attribute predicate tokens (``null`` = wildcard /
+unbounded range end) and the response as rows + overflow flag.  The
+file embeds the data-space signature; loading against a different
+schema fails loudly instead of corrupting a crawl.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.query.predicates import EqualityPredicate, RangePredicate
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.response import QueryResponse
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def _space_signature(space: DataSpace) -> list[str]:
+    return [str(attr) for attr in space]
+
+
+def _encode_query(query: Query) -> list:
+    tokens: list = []
+    for pred in query.predicates:
+        if isinstance(pred, EqualityPredicate):
+            tokens.append(["eq", pred.value])
+        else:
+            assert isinstance(pred, RangePredicate)
+            tokens.append(["range", pred.lo, pred.hi])
+    return tokens
+
+
+def _decode_query(tokens: list, space: DataSpace) -> Query:
+    preds: list = []
+    for token in tokens:
+        kind = token[0]
+        if kind == "eq":
+            preds.append(EqualityPredicate(token[1]))
+        elif kind == "range":
+            preds.append(RangePredicate(token[1], token[2]))
+        else:
+            raise SchemaError(f"unknown predicate token {token!r}")
+    return Query(tuple(preds), space)
+
+
+def save_checkpoint(client: CachingClient, path: str | Path) -> Path:
+    """Write the client's cached responses (and cost) to ``path``."""
+    path = Path(path)
+    entries = []
+    for query in client.history:
+        response = client.peek(query)
+        assert response is not None
+        entries.append(
+            {
+                "query": _encode_query(query),
+                "rows": [list(row) for row in response.rows],
+                "overflow": response.overflow,
+            }
+        )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "space": _space_signature(client.space),
+        "k": client.k,
+        "entries": entries,
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_checkpoint(client: CachingClient, path: str | Path) -> int:
+    """Load cached responses from ``path`` into ``client``.
+
+    Returns the number of entries restored.  Restored entries cost
+    nothing; the client's cost counter keeps counting only queries that
+    actually reach the server.
+
+    Raises
+    ------
+    SchemaError
+        If the checkpoint was taken against a different data space or
+        retrieval limit (resuming would silently corrupt the crawl).
+    """
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+    if payload["space"] != _space_signature(client.space):
+        raise SchemaError(
+            "checkpoint was taken against a different data space: "
+            f"{payload['space']} vs {_space_signature(client.space)}"
+        )
+    if payload["k"] != client.k:
+        raise SchemaError(
+            f"checkpoint was taken at k={payload['k']}, client has "
+            f"k={client.k}; responses would be inconsistent"
+        )
+    restored = 0
+    for entry in payload["entries"]:
+        query = _decode_query(entry["query"], client.space)
+        response = QueryResponse(
+            tuple(tuple(int(v) for v in row) for row in entry["rows"]),
+            bool(entry["overflow"]),
+        )
+        if client.peek(query) is None:
+            client._store_local(query, response)
+            restored += 1
+    return restored

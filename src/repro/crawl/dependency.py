@@ -1,0 +1,119 @@
+"""Attribute-dependency pruning (paper Section 1.3, "Practical Remarks").
+
+Real hidden databases have attribute dependencies -- "BMW does not sell
+trucks in the US" -- so some points of the Cartesian-product data space
+can never hold a tuple.  The paper's heuristic: "the crawler issues a
+query demanded by our algorithm only if the query covers at least one
+valid point in D (according to the crawler's dependency knowledge).  The
+query cost can only go down, i.e., still guaranteed to be below our
+upper bounds."
+
+We model dependency knowledge as *forbidden value pairs* between two
+categorical attributes.  A query certainly covers no valid point when it
+pins both attributes of a forbidden pair to its two values; any query
+leaving a wildcard open is conservatively treated as potentially
+non-empty.  The check is sound (never skips a non-empty query), so
+crawler correctness is untouched.
+
+:class:`DependencyFilteringClient` applies the heuristic transparently:
+it sits where a :class:`~repro.server.client.CachingClient` would and
+locally answers provably-empty queries with an empty resolved response
+at zero cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import SchemaError
+from repro.query.predicates import EqualityPredicate
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.response import QueryResponse
+from repro.server.server import TopKServer
+
+__all__ = ["PairwiseDependencyOracle", "DependencyFilteringClient"]
+
+
+class PairwiseDependencyOracle:
+    """Knowledge base of forbidden (attribute, value) pairs.
+
+    Parameters
+    ----------
+    forbidden:
+        Tuples ``(attr_i, value_i, attr_j, value_j)`` declaring that no
+        tuple has ``A_i = value_i`` and ``A_j = value_j`` simultaneously.
+    """
+
+    def __init__(self, forbidden: Iterable[tuple[int, int, int, int]] = ()):
+        self._forbidden: set[tuple[int, int, int, int]] = set()
+        for attr_i, value_i, attr_j, value_j in forbidden:
+            self.forbid(attr_i, value_i, attr_j, value_j)
+
+    def forbid(self, attr_i: int, value_i: int, attr_j: int, value_j: int) -> None:
+        """Declare the combination ``A_i = value_i & A_j = value_j`` invalid."""
+        if attr_i == attr_j:
+            raise SchemaError("a dependency relates two distinct attributes")
+        if attr_i > attr_j:
+            attr_i, value_i, attr_j, value_j = attr_j, value_j, attr_i, value_i
+        self._forbidden.add((attr_i, value_i, attr_j, value_j))
+
+    def __len__(self) -> int:
+        return len(self._forbidden)
+
+    def certainly_empty(self, query: Query) -> bool:
+        """Sound emptiness test: only pinned forbidden pairs prune."""
+        pinned: dict[int, int] = {}
+        for i, pred in enumerate(query.predicates):
+            if isinstance(pred, EqualityPredicate) and pred.value is not None:
+                pinned[i] = pred.value
+        for attr_i, value_i, attr_j, value_j in self._forbidden:
+            if pinned.get(attr_i) == value_i and pinned.get(attr_j) == value_j:
+                return True
+        return False
+
+    @classmethod
+    def from_dataset_columns(
+        cls, dataset, attr_i: int, attr_j: int
+    ) -> "PairwiseDependencyOracle":
+        """Learn all value pairs *absent* between two categorical columns.
+
+        A convenience for experiments: builds the oracle a domain expert
+        would supply, by enumerating the combinations that never occur.
+        """
+        space = dataset.space
+        if not (space[attr_i].is_categorical and space[attr_j].is_categorical):
+            raise SchemaError("dependencies relate categorical attributes")
+        present = {
+            (int(a), int(b))
+            for a, b in zip(dataset.rows[:, attr_i], dataset.rows[:, attr_j])
+        }
+        oracle = cls()
+        size_i = space[attr_i].domain_size
+        size_j = space[attr_j].domain_size
+        assert size_i is not None and size_j is not None
+        for value_i in range(1, size_i + 1):
+            for value_j in range(1, size_j + 1):
+                if (value_i, value_j) not in present:
+                    oracle.forbid(attr_i, value_i, attr_j, value_j)
+        return oracle
+
+
+class DependencyFilteringClient(CachingClient):
+    """A caching client that never pays for provably-empty queries."""
+
+    def __init__(self, server: TopKServer, oracle: PairwiseDependencyOracle):
+        super().__init__(server)
+        self._oracle = oracle
+        self._pruned = 0
+
+    @property
+    def pruned(self) -> int:
+        """How many queries were answered locally as empty."""
+        return self._pruned
+
+    def run(self, query: Query) -> QueryResponse:
+        if self.peek(query) is None and self._oracle.certainly_empty(query):
+            self._store_local(query, QueryResponse((), False))
+            self._pruned += 1
+        return super().run(query)

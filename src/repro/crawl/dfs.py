@@ -1,0 +1,56 @@
+"""``DFS``: the categorical baseline (Section 3.1; outlined in [15]).
+
+The categorical data space is arranged as a trie -- the *data space
+tree* ``T``: a node at level ``l`` pins attributes ``A1 .. Al`` to
+constants and wildcards the rest; its children refine ``A(l+1)`` to each
+of its ``U(l+1)`` values.  DFS simply walks ``T`` depth-first, issuing
+every visited node's query, and prunes a subtree as soon as its query
+resolves (the response already contains every tuple below).
+
+No attractive worst-case bound holds; slice-cover (Section 3.2) fixes
+that by consulting precomputed *slice queries* before descending.
+"""
+
+from __future__ import annotations
+
+from repro.crawl.base import Crawler
+from repro.dataspace.space import SpaceKind
+from repro.exceptions import InfeasibleCrawlError, SchemaError
+from repro.query.query import Query
+
+__all__ = ["DepthFirstSearch"]
+
+
+class DepthFirstSearch(Crawler):
+    """Baseline crawler for purely categorical spaces."""
+
+    name = "DFS"
+
+    def __init__(self, source, *, max_queries: int | None = None):
+        super().__init__(source, max_queries=max_queries)
+        if self.space.kind is not SpaceKind.CATEGORICAL:
+            raise SchemaError(
+                "DFS handles purely categorical spaces; got "
+                f"{self.space.kind.value}"
+            )
+
+    def _execute(self) -> None:
+        d = self.space.dimensionality
+        # Stack of (node query, level); children are pushed in reverse
+        # domain order so values are explored in ascending order.
+        stack: list[tuple[Query, int]] = [(Query.full(self.space), 0)]
+        while stack:
+            query, level = stack.pop()
+            response = self._run_query(query)
+            if response.resolved:
+                self._confirm(response.rows)
+                continue
+            if level == d:
+                raise InfeasibleCrawlError(
+                    f"point query {query} overflowed: more than k={self.k} "
+                    "duplicates at one point"
+                )
+            attr = self.space[level]
+            assert attr.domain_size is not None
+            for value in range(attr.domain_size, 0, -1):
+                stack.append((query.with_value(level, value), level + 1))

@@ -1,0 +1,102 @@
+"""``hybrid``: the mixed-space algorithm (paper Section 5).
+
+The algorithm composes the two optimal building blocks:
+
+* over the categorical prefix ``A1 .. Acat`` it runs (lazy-)slice-cover's
+  extended DFS, with every numeric predicate left unconstrained --
+  "the effect is to disregard all the numeric attributes, and hence,
+  essentially emulates a categorical server";
+* whenever the traversal reaches a categorical point ``p_cat`` (a leaf of
+  the categorical data space tree whose slice overflowed), it invokes
+  rank-shrink on the numeric subspace ``D_NUM(p_cat)`` -- all queries of
+  that sub-crawl keep ``Ai = ci`` pinned on the categorical prefix,
+  emulating a numeric server.
+
+Cost (Lemma 9): ``(n/k) * sum_cat min(Ui, n/k) + sum_cat Ui +
+O((d - cat) * n / k)`` in general; ``U1 + O(d * n / k)`` when
+``cat = 1``.  Degenerate prefixes are handled naturally: with
+``cat = 0`` hybrid *is* rank-shrink, with ``cat = d`` it is
+(lazy-)slice-cover.
+"""
+
+from __future__ import annotations
+
+from repro.crawl.base import Crawler
+from repro.crawl.rank_shrink import solve_numeric
+from repro.crawl.slice_cover import (
+    categorical_point_handler,
+    extended_dfs,
+    preprocess_slice_table,
+)
+from repro.query.query import Query
+
+__all__ = ["Hybrid"]
+
+
+class Hybrid(Crawler):
+    """The general crawler: works on numeric, categorical and mixed spaces.
+
+    Parameters
+    ----------
+    lazy:
+        Use the lazy slice table (the paper's recommended variant) when
+        ``True`` (default); eager preprocessing when ``False``.
+    threshold_divisor:
+        Forwarded to the rank-shrink sub-crawls (ablation knob).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        source,
+        *,
+        lazy: bool = True,
+        max_queries: int | None = None,
+        threshold_divisor: int = 4,
+    ):
+        super().__init__(source, max_queries=max_queries)
+        self._lazy = lazy
+        self._threshold_divisor = threshold_divisor
+
+    def _numeric_dims(self) -> list[int]:
+        return list(range(self.space.cat, self.space.dimensionality))
+
+    def _numeric_leaf_handler(self, leaf_query: Query) -> None:
+        """Crawl ``D_NUM(p_cat)``: rank-shrink with the prefix pinned."""
+        solve_numeric(
+            self,
+            leaf_query,
+            self._numeric_dims(),
+            threshold_divisor=self._threshold_divisor,
+        )
+
+    def _execute(self) -> None:
+        cat = self.space.cat
+        root = Query.full(self.space)
+        if cat == 0:
+            # Purely numeric: hybrid degenerates to rank-shrink.
+            solve_numeric(
+                self,
+                root,
+                self._numeric_dims(),
+                threshold_divisor=self._threshold_divisor,
+            )
+            return
+        if self.space.num == 0:
+            leaf_handler = categorical_point_handler(self)
+        else:
+            leaf_handler = self._numeric_leaf_handler
+        if self._lazy:
+            response = self._run_query(root)
+            if response.resolved:
+                self._confirm(response.rows)
+                return
+            extended_dfs(self, root, 0, lazy=True, leaf_handler=leaf_handler)
+        else:
+            preprocess_slice_table(self)
+            self.client.begin_phase("traversal")
+            try:
+                extended_dfs(self, root, 0, lazy=False, leaf_handler=leaf_handler)
+            finally:
+                self.client.end_phase()

@@ -1,0 +1,296 @@
+"""Partitioned crawling: split the data space across crawl sessions.
+
+The paper's cost metric is motivated by per-IP query quotas ("most
+systems have a control on how many queries can be submitted by the same
+IP address within a period of time").  A deployment that owns several
+network identities therefore wants to *partition* the data space into
+disjoint regions, crawl each region through a separate session (its own
+connection, budget and rate limit), and merge the results.  This module
+provides the three pieces:
+
+* :func:`partition_space` -- a :class:`PartitionPlan`: pairwise
+  disjoint region queries covering the whole space, bundled into one
+  work list per session;
+* :class:`SubspaceView` -- a :class:`~repro.server.interface.QueryInterface`
+  that confines any crawler to one region by intersecting every query
+  it issues with the region (contradictory queries are answered empty
+  locally, at zero cost);
+* :func:`crawl_partitioned` -- run one crawler per session over its
+  bundle and merge everything into a single result.
+
+Correctness is compositional: regions are disjoint and covering, each
+region's crawl extracts exactly ``region ∩ D`` (the per-crawler
+guarantee), so the merged bag is exactly ``D``.  The merged *cost* is
+the sum of per-session costs -- typically a little above a single
+session's cost (each session re-pays shared-prefix queries), which is
+the price of parallelism and is measured in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.crawl.base import CrawlResult, Crawler
+from repro.crawl.hybrid import Hybrid
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError, UnboundedDomainError
+from repro.query.query import Query
+from repro.server.response import QueryResponse, Row
+
+__all__ = [
+    "PartitionPlan",
+    "partition_space",
+    "SubspaceView",
+    "PartitionedResult",
+    "crawl_partitioned",
+]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Disjoint region queries, bundled into per-session work lists.
+
+    ``bundles[i]`` is the tuple of region queries session ``i`` crawls.
+    Every region is a restriction of the full space on one attribute,
+    and across all bundles the regions are pairwise disjoint and cover
+    the space.
+    """
+
+    space: DataSpace
+    attribute: int
+    bundles: tuple[tuple[Query, ...], ...]
+
+    @property
+    def sessions(self) -> int:
+        """Number of work lists (sessions) in the plan."""
+        return len(self.bundles)
+
+    @property
+    def regions(self) -> tuple[Query, ...]:
+        """All region queries, flattened."""
+        return tuple(q for bundle in self.bundles for q in bundle)
+
+    def covers(self, point: Sequence[int]) -> int:
+        """How many regions contain ``point`` (1 iff the plan is valid)."""
+        return sum(1 for region in self.regions if region.matches(point))
+
+
+def partition_space(
+    space: DataSpace, sessions: int, *, attribute: int | None = None
+) -> PartitionPlan:
+    """Partition the space on one attribute into ``sessions`` bundles.
+
+    Parameters
+    ----------
+    space:
+        The data space to partition.
+    sessions:
+        Number of crawl sessions (work lists) to produce.
+    attribute:
+        The attribute to partition on.  Defaults to the categorical
+        attribute with the largest domain, or the first bounded numeric
+        attribute of a purely numeric space.
+
+    Notes
+    -----
+    * a categorical attribute yields one region per domain value
+      (``A_i = c``), dealt round-robin into the bundles -- ``sessions``
+      may not exceed the domain size;
+    * a numeric attribute yields one contiguous interval per session,
+      the two outermost extended to infinity so coverage never depends
+      on the advisory bounds.
+
+    Raises
+    ------
+    SchemaError
+        For invalid ``sessions`` or an attribute that cannot be
+        partitioned.
+    UnboundedDomainError
+        If a numeric partition attribute has no finite bounds to place
+        the interior split points.
+    """
+    if sessions < 1:
+        raise SchemaError(f"sessions must be positive, got {sessions}")
+    if attribute is None:
+        attribute = _default_partition_attribute(space)
+    attr = space[attribute]
+    root = Query.full(space)
+
+    if attr.is_categorical:
+        assert attr.domain_size is not None
+        if sessions > attr.domain_size:
+            raise SchemaError(
+                f"cannot split {attr.domain_size} values of {attr.name!r} "
+                f"across {sessions} sessions"
+            )
+        bundles: list[list[Query]] = [[] for _ in range(sessions)]
+        for value in range(1, attr.domain_size + 1):
+            bundles[(value - 1) % sessions].append(
+                root.with_value(attribute, value)
+            )
+        return PartitionPlan(space, attribute, tuple(tuple(b) for b in bundles))
+
+    if attr.lo is None or attr.hi is None:
+        raise UnboundedDomainError(
+            f"numeric attribute {attr.name!r} needs finite bounds to be "
+            "partitioned"
+        )
+    width = attr.hi - attr.lo + 1
+    if sessions > width:
+        raise SchemaError(
+            f"cannot split {width} values of {attr.name!r} across "
+            f"{sessions} sessions"
+        )
+    edges = [attr.lo + (width * i) // sessions for i in range(1, sessions)]
+    intervals: list[tuple[int | None, int | None]] = []
+    lower: int | None = None
+    for edge in edges:
+        intervals.append((lower, edge - 1))
+        lower = edge
+    intervals.append((lower, None))
+    regions = tuple(root.with_range(attribute, lo, hi) for lo, hi in intervals)
+    return PartitionPlan(space, attribute, tuple((r,) for r in regions))
+
+
+def _default_partition_attribute(space: DataSpace) -> int:
+    best: int | None = None
+    for i in range(space.cat):
+        size = space[i].domain_size
+        assert size is not None
+        if size > 1 and (
+            best is None or size > space[best].domain_size  # type: ignore[operator]
+        ):
+            best = i
+    if best is not None:
+        return best
+    for i in range(space.cat, space.dimensionality):
+        if space[i].is_bounded:
+            return i
+    raise SchemaError(
+        "no partitionable attribute: need a categorical domain larger "
+        "than 1 or a bounded numeric attribute"
+    )
+
+
+class SubspaceView:
+    """Confine a query source to one region of its data space.
+
+    Every query is intersected with the region before being forwarded;
+    a contradictory query (empty intersection) is answered locally with
+    an empty resolved response at zero cost.  A crawler pointed at the
+    view therefore extracts exactly ``region ∩ D`` while believing it
+    crawled the full space.
+    """
+
+    def __init__(self, source, region: Query):
+        if region.space != source.space:
+            raise SchemaError("region was built against a different space")
+        self._source = source
+        self._region = region
+
+    @property
+    def space(self) -> DataSpace:
+        """The (full) data space; the restriction is transparent."""
+        return self._source.space
+
+    @property
+    def k(self) -> int:
+        """The underlying retrieval limit."""
+        return self._source.k
+
+    @property
+    def region(self) -> Query:
+        """The confining region."""
+        return self._region
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer ``query ∧ region``, locally when contradictory."""
+        merged = query.intersect(self._region)
+        if merged is None:
+            return QueryResponse((), overflow=False)
+        return self._source.run(merged)
+
+    def __repr__(self) -> str:
+        return f"SubspaceView({self._region})"
+
+
+@dataclass
+class PartitionedResult:
+    """Merged outcome of a partitioned crawl.
+
+    ``results[i]`` lists session ``i``'s per-region crawl results in
+    work-list order; the flattened bag and summed cost describe the
+    whole operation.
+    """
+
+    plan: PartitionPlan
+    results: tuple[tuple[CrawlResult, ...], ...]
+    rows: list[Row]
+    cost: int
+    complete: bool
+
+    @property
+    def tuples_extracted(self) -> int:
+        """Size of the merged bag."""
+        return len(self.rows)
+
+    def session_costs(self) -> list[int]:
+        """Per-session query totals (each session = one identity/quota)."""
+        return [sum(r.cost for r in session) for session in self.results]
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else "partial"
+        return (
+            f"PartitionedResult({self.plan.sessions} sessions, "
+            f"{len(self.rows)} tuples, {self.cost} queries, {state})"
+        )
+
+
+def crawl_partitioned(
+    sources: Sequence,
+    plan: PartitionPlan,
+    *,
+    crawler_factory: Callable[..., Crawler] = Hybrid,
+    allow_partial: bool = False,
+) -> PartitionedResult:
+    """Crawl every region of ``plan``, one source per session.
+
+    Parameters
+    ----------
+    sources:
+        One query source per bundle (e.g. servers constructed with
+        separate :class:`~repro.server.limits.DailyRateLimit` objects,
+        modelling distinct IPs).  Must match ``plan.sessions``.
+    crawler_factory:
+        Crawler class (or factory) applied to each region's
+        :class:`SubspaceView`; defaults to :class:`Hybrid`.
+    allow_partial:
+        Forwarded to each region crawl; a budget-interrupted region
+        marks the merged result incomplete.
+    """
+    if len(sources) != plan.sessions:
+        raise SchemaError(
+            f"plan has {plan.sessions} sessions but {len(sources)} "
+            "sources were supplied"
+        )
+    all_rows: list[Row] = []
+    complete = True
+    session_results: list[tuple[CrawlResult, ...]] = []
+    for source, bundle in zip(sources, plan.bundles):
+        region_results = []
+        for region in bundle:
+            crawler = crawler_factory(SubspaceView(source, region))
+            result = crawler.crawl(allow_partial=allow_partial)
+            region_results.append(result)
+            all_rows.extend(result.rows)
+            complete = complete and result.complete
+        session_results.append(tuple(region_results))
+    cost = sum(r.cost for session in session_results for r in session)
+    return PartitionedResult(
+        plan=plan,
+        results=tuple(session_results),
+        rows=all_rows,
+        cost=cost,
+        complete=complete,
+    )

@@ -1,0 +1,71 @@
+"""Dataset generators: paper lookalikes, hard instances, worked examples.
+
+The raw crawls behind the paper's experiments (Yahoo! Autos, NSF awards,
+UCI Adult) are not distributed; the generators here rebuild datasets
+matching their schemas, cardinalities, domain sizes, skew and duplicate
+structure -- the features the query costs depend on.  See DESIGN.md
+Section 3 for the substitution rationale.
+"""
+
+from repro.datasets.adult import ADULT_N, adult, adult_numeric
+from repro.datasets.hard import (
+    HardCategoricalInstance,
+    HardNumericInstance,
+    theorem3_instance,
+    theorem4_instance,
+)
+from repro.datasets.io import load_csv, save_csv
+from repro.datasets.nsf import NSF_DOMAIN_SIZES, NSF_N, nsf
+from repro.datasets.paper_examples import (
+    FIGURE3_K,
+    FIGURE4_K,
+    FIGURE5_K,
+    figure3_dataset,
+    figure3_server,
+    figure4_dataset,
+    figure4_server,
+    figure5_dataset,
+    figure5_server,
+)
+from repro.datasets.synthetic import (
+    clipped_normal_column,
+    ensure_full_domain,
+    lognormal_column,
+    random_dataset,
+    zero_inflated_column,
+    zipf_column,
+)
+from repro.datasets.yahoo import YAHOO_DUPLICATES, YAHOO_N, yahoo_autos
+
+__all__ = [
+    "ADULT_N",
+    "adult",
+    "adult_numeric",
+    "HardCategoricalInstance",
+    "HardNumericInstance",
+    "theorem3_instance",
+    "theorem4_instance",
+    "load_csv",
+    "save_csv",
+    "NSF_DOMAIN_SIZES",
+    "NSF_N",
+    "nsf",
+    "FIGURE3_K",
+    "FIGURE4_K",
+    "FIGURE5_K",
+    "figure3_dataset",
+    "figure3_server",
+    "figure4_dataset",
+    "figure4_server",
+    "figure5_dataset",
+    "figure5_server",
+    "clipped_normal_column",
+    "ensure_full_domain",
+    "lognormal_column",
+    "random_dataset",
+    "zero_inflated_column",
+    "zipf_column",
+    "YAHOO_DUPLICATES",
+    "YAHOO_N",
+    "yahoo_autos",
+]

@@ -1,0 +1,135 @@
+"""The adversarial instances behind the paper's lower bounds (Section 4).
+
+* :func:`theorem3_instance` -- the hard *numeric* dataset of Figure 7:
+  ``m`` groups, each with ``k`` identical *diagonal* tuples at
+  ``(i, .., i)`` plus ``d`` *non-diagonal* tuples bumping one coordinate
+  to ``i + 1``.  Any correct algorithm needs at least ``d*m`` queries
+  (Theorem 3), because each non-diagonal point must be covered by its
+  own resolved query (Lemma 5).
+
+* :func:`theorem4_instance` -- the hard *categorical* dataset of
+  Figure 8: ``U`` groups of ``d`` tuples; group ``i``'s ``j``-th tuple
+  takes value ``(i+1) mod U`` on attribute ``Aj`` and ``i`` elsewhere
+  (shifted into our ``1 .. U`` domains).  With ``d = 2k`` and
+  ``d U^2 <= 2^(d/4)``, any correct algorithm needs ``Omega(d U^2)``
+  queries (Theorem 4).
+
+Both constructors return the dataset plus the metadata the verification
+harnesses need (the non-diagonal points, group structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+
+__all__ = ["HardNumericInstance", "HardCategoricalInstance", "theorem3_instance", "theorem4_instance"]
+
+
+@dataclass(frozen=True)
+class HardNumericInstance:
+    """The Theorem 3 instance and its adversarial structure."""
+
+    dataset: Dataset
+    k: int
+    d: int
+    m: int
+    #: The ``d*m`` points whose tuples force distinct resolved queries.
+    non_diagonal_points: tuple[tuple[int, ...], ...]
+
+    @property
+    def lower_bound(self) -> int:
+        """``d * m``: Theorem 3's query floor for any correct algorithm."""
+        return self.d * self.m
+
+
+@dataclass(frozen=True)
+class HardCategoricalInstance:
+    """The Theorem 4 instance and its parameters."""
+
+    dataset: Dataset
+    k: int
+    d: int
+    U: int
+
+    @property
+    def n(self) -> int:
+        """``d * U`` tuples."""
+        return self.dataset.n
+
+
+def theorem3_instance(k: int, d: int, m: int) -> HardNumericInstance:
+    """Build the hard numeric dataset of Figure 7.
+
+    Parameters must satisfy ``d <= k`` (the theorem's requirement) and
+    be positive.  The data space is ``[1, m+1]^d``; the dataset has
+    ``n = m * (k + d)`` tuples.
+    """
+    if d > k:
+        raise SchemaError(f"Theorem 3 requires d <= k, got d={d} > k={k}")
+    if min(k, d, m) < 1:
+        raise SchemaError("k, d, m must be positive")
+    rows = []
+    non_diagonal = []
+    for i in range(1, m + 1):
+        diagonal = [i] * d
+        rows.extend([diagonal] * k)
+        for j in range(d):
+            bumped = list(diagonal)
+            bumped[j] = i + 1
+            rows.append(bumped)
+            non_diagonal.append(tuple(bumped))
+    space = DataSpace.numeric(d, bounds=[(1, m + 1)] * d)
+    dataset = Dataset(
+        space, np.asarray(rows, dtype=np.int64), name=f"hard-numeric(k={k},d={d},m={m})"
+    )
+    return HardNumericInstance(
+        dataset=dataset,
+        k=k,
+        d=d,
+        m=m,
+        non_diagonal_points=tuple(non_diagonal),
+    )
+
+
+def theorem4_instance(k: int, U: int, *, enforce_conditions: bool = True) -> HardCategoricalInstance:
+    """Build the hard categorical dataset of Figure 8 with ``d = 2k``.
+
+    The paper's values live in ``{0, .., U-1}``; we shift them to our
+    ``1 .. U`` categorical domains, which is harmless because the value
+    ordering of a categorical attribute is irrelevant.
+
+    Parameters
+    ----------
+    enforce_conditions:
+        When ``True`` (default), reject parameters violating Theorem 4's
+        side conditions (``U >= 3``, ``k >= 3``, ``d U^2 <= 2^(d/4)``).
+        Benchmarks may disable this to sweep slightly outside the proven
+        regime.
+    """
+    d = 2 * k
+    if enforce_conditions:
+        if U < 3 or k < 3:
+            raise SchemaError(f"Theorem 4 requires U >= 3 and k >= 3, got U={U}, k={k}")
+        if d * U * U > 2 ** (d / 4):
+            raise SchemaError(
+                f"Theorem 4 requires d*U^2 <= 2^(d/4); got {d * U * U} > "
+                f"{2 ** (d / 4):.0f} (increase k or decrease U)"
+            )
+    rows = []
+    for group in range(U):  # the paper's group index i in [0, U-1]
+        bumped_value = (group + 1) % U
+        for j in range(d):
+            row = [group + 1] * d  # shift 0-based values into 1..U
+            row[j] = bumped_value + 1
+            rows.append(row)
+    space = DataSpace.categorical([U] * d)
+    dataset = Dataset(
+        space, np.asarray(rows, dtype=np.int64), name=f"hard-categorical(k={k},U={U})"
+    )
+    return HardCategoricalInstance(dataset=dataset, k=k, d=d, U=U)

@@ -1,0 +1,179 @@
+"""NSF-lookalike generator (the paper's nsf.gov/awardsearch crawl).
+
+The paper's NSF dataset: 47,816 tuples, 9 categorical attributes with
+domain sizes (Figure 9, left to right)
+
+    Amnt(5) Instru(8) Field(49) PI-state(58) NSF-org(58) Prog-mgr(654)
+    City(1093) PI-org(3110) PI-name(29042)
+
+Three structural features drive the categorical crawl costs (Figure 11)
+and are reproduced here:
+
+* **Marginal skew**: each attribute's mass concentrates on few values
+  (popular funding brackets, CS/Bio fields, California), so even
+  attributes whose *average* per-value count exceeds ``k`` have long
+  tails of slice queries that resolve -- the asymmetry lazy-slice-cover
+  exploits.
+* **Hierarchical concentration**: awards are generated *per
+  organisation*.  A large university holds thousands of awards sharing
+  state, city and organisation, and (because organisations specialise)
+  concentrating on few fields, NSF divisions and program managers.
+  Deep data-space-tree prefixes therefore still hold more than ``k``
+  tuples, which is exactly what makes plain DFS fan out into the huge
+  City/PI-org/PI-name domains while the slice table prunes them.
+* **Functional dependencies**: org -> city -> state, field -> NSF-org;
+  PIs belong to one organisation.
+
+Full-domain coverage ("distinct values == domain size", as the paper
+reports) is enforced whenever ``n`` permits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.datasets.synthetic import ensure_full_domain, zipf_column
+
+__all__ = ["NSF_N", "NSF_DOMAIN_SIZES", "nsf"]
+
+#: Cardinality of the paper's NSF dataset.
+NSF_N = 47816
+
+#: Figure 9 domain sizes, in attribute order.
+NSF_DOMAIN_SIZES = (5, 8, 49, 58, 58, 654, 1093, 3110, 29042)
+
+_NAMES = (
+    "Amnt",
+    "Instru",
+    "Field",
+    "PI-state",
+    "NSF-org",
+    "Prog-mgr",
+    "City",
+    "PI-org",
+    "PI-name",
+)
+
+#: Deterministic hash for functional dependencies between domains.
+_MULT = 2654435761
+
+
+def _derive(source: np.ndarray, domain_size: int, salt: int) -> np.ndarray:
+    """Map each source value to a fixed target value (pure function)."""
+    return (source * _MULT + salt) % domain_size + 1
+
+
+def _skewed_map(
+    source_domain: int, target_domain: int, *, salt: int, s: float
+) -> np.ndarray:
+    """A fixed source->target value map with a zipf-skewed image.
+
+    Unlike the uniform hash of :func:`_derive`, popular targets attract
+    many source values (big cities host many organisations, popular
+    fields many specialisations), so the *marginal* of the derived
+    column keeps a heavy head and -- crucially for slice-query pruning --
+    a thin tail of rare values.
+    """
+    rng = np.random.default_rng(salt)
+    ranks = np.arange(1, target_domain + 1, dtype=np.float64)
+    weights = ranks**-s
+    weights /= weights.sum()
+    permuted = rng.permutation(target_domain) + 1
+    draws = rng.choice(target_domain, size=source_domain, p=weights)
+    return permuted[draws].astype(np.int64)
+
+
+def _apply_map(mapping: np.ndarray, source: np.ndarray) -> np.ndarray:
+    """Apply a 1-based value map to a 1-based column."""
+    return mapping[source - 1]
+
+
+def _mix(
+    rng: np.random.Generator,
+    preferred: np.ndarray,
+    alternative: np.ndarray,
+    preference: float,
+) -> np.ndarray:
+    """Choose the preferred value with the given probability, else the
+    alternative -- a concentration knob for specialisation effects."""
+    take_preferred = rng.random(len(preferred)) < preference
+    return np.where(take_preferred, preferred, alternative).astype(np.int64)
+
+
+def nsf(n: int = NSF_N, *, seed: int = 23) -> Dataset:
+    """The categorical NSF lookalike (9 attributes, Figure 9 sizes)."""
+    rng = np.random.default_rng(seed)
+    sizes = dict(zip(_NAMES, NSF_DOMAIN_SIZES))
+
+    # --- the organisation hierarchy -----------------------------------
+    # Awards are drawn per organisation (zipf: a few huge universities,
+    # a long tail); the org determines city and state; PIs are org-local
+    # with a skewed number of awards each.
+    org = zipf_column(rng, n, sizes["PI-org"], s=0.62)
+    org_to_city = _skewed_map(sizes["PI-org"], sizes["City"], salt=211, s=1.0)
+    city = _apply_map(org_to_city, org)
+    city_to_state = _skewed_map(sizes["City"], sizes["PI-state"], salt=307, s=1.0)
+    state = _apply_map(city_to_state, city)
+    pi_local = zipf_column(rng, n, 24, s=1.05)  # per-org PI pool
+    pi_name = ((org * _MULT + pi_local * 7919) % sizes["PI-name"] + 1).astype(
+        np.int64
+    )
+
+    # --- the programmatic hierarchy -----------------------------------
+    # Organisations specialise: most of an org's awards fall in its
+    # preferred field (popular fields attract more organisations);
+    # fields determine the NSF division and concentrate on few managers.
+    field_global = zipf_column(rng, n, sizes["Field"], s=1.1)
+    org_to_field = _skewed_map(sizes["PI-org"], sizes["Field"], salt=401, s=1.2)
+    field = _mix(rng, _apply_map(org_to_field, org), field_global, 0.55)
+    field_to_division = _skewed_map(sizes["Field"], sizes["NSF-org"], salt=503, s=0.9)
+    nsf_org = _mix(
+        rng,
+        _apply_map(field_to_division, field),
+        zipf_column(rng, n, sizes["NSF-org"], s=1.0),
+        0.85,
+    )
+    mgr_in_field = zipf_column(rng, n, 40, s=0.5)  # managers per field
+    prog_mgr = (
+        (field * _MULT + mgr_in_field * 104729) % sizes["Prog-mgr"] + 1
+    ).astype(np.int64)
+
+    # --- the remaining marginals ---------------------------------------
+    # Funding brackets are spread (flat-ish zipf); the instrument is
+    # largely determined by the field (most awards of a field use its
+    # usual instrument), thinning the joint (Amnt, Instru, Field)
+    # distribution: few triples hold more than ~k tuples, so the tree's
+    # internal mass sits deep, where the domains are large.
+    amnt = zipf_column(rng, n, sizes["Amnt"], s=0.35)
+    instru = _mix(
+        rng,
+        _derive(field, sizes["Instru"], salt=601),
+        zipf_column(rng, n, sizes["Instru"], s=0.8),
+        0.75,
+    )
+
+    columns = {
+        "Amnt": amnt,
+        "Instru": instru,
+        "Field": field,
+        "PI-state": state,
+        "NSF-org": nsf_org,
+        "Prog-mgr": prog_mgr,
+        "City": city,
+        "PI-org": org,
+        "PI-name": pi_name,
+    }
+    # Full-domain coverage is a property of the paper's full dataset; a
+    # scaled-down instance cannot realise domains larger than itself
+    # (mirroring the paper's own sampled datasets in Figure 11c).
+    ordered = [
+        ensure_full_domain(rng, columns[name], sizes[name])
+        if n >= sizes[name]
+        else columns[name]
+        for name in _NAMES
+    ]
+    space = DataSpace.categorical(list(NSF_DOMAIN_SIZES), names=list(_NAMES))
+    matrix = np.column_stack(ordered).astype(np.int64)
+    return Dataset(space, matrix, name="NSF", validate=False)

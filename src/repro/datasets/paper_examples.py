@@ -1,0 +1,144 @@
+"""The paper's worked examples (Figures 3-6), down to the exact responses.
+
+The running examples of Sections 2 and 3 specify not just datasets but
+the precise tuples the server returns (which depend on the random tuple
+priorities).  We reconstruct both: datasets matching the figures and
+priority vectors that reproduce the narrated responses, so the unit
+tests can assert the algorithms perform the exact query sequences the
+paper walks through.
+
+* Figure 3 (1-d numeric, ``k = 4``): eight tuples; rank-shrink resolves
+  the dataset with queries ``q1 .. q6`` -- a 3-way split at 55 followed
+  by a 2-way split at 20.
+* Figure 4 (2-d numeric, ``k = 4``): ten tuples; a 3-way split on
+  ``A1 = 80`` whose middle band becomes a 1-d sub-problem costing
+  exactly 3 queries.  (The figure's geometry is approximate; we fix
+  concrete coordinates consistent with the narration -- see the module
+  test for the trace.)
+* Figure 5/6 (2-d categorical, ``k = 3``): ten tuples in a ``4 x 4``
+  space; the slice-query lookup table of Figure 6 and the extended-DFS
+  walk that issues no query beyond the slice table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.server.server import TopKServer
+
+__all__ = [
+    "figure3_dataset",
+    "figure3_server",
+    "figure4_dataset",
+    "figure4_server",
+    "figure5_dataset",
+    "figure5_server",
+    "FIGURE3_K",
+    "FIGURE4_K",
+    "FIGURE5_K",
+]
+
+FIGURE3_K = 4
+FIGURE4_K = 4
+FIGURE5_K = 3
+
+
+def figure3_dataset() -> Dataset:
+    """The 1-d dataset of Figure 3a: values 10..55 with a triple at 55."""
+    space = DataSpace.numeric(1)
+    values = [10, 20, 30, 35, 45, 55, 55, 55]  # t1 .. t8
+    rows = np.asarray([[v] for v in values], dtype=np.int64)
+    return Dataset(space, rows, name="paper-figure-3")
+
+
+def figure3_server(**kwargs) -> TopKServer:
+    """A server reproducing the Figure 3 narration.
+
+    Priorities make the first response ``R1 = {t4, t6, t7, t8}`` and the
+    response to ``(-inf, 54]`` equal ``R2 = {t1, t2, t4, t5}``.
+    """
+    #                 t1  t2  t3  t4  t5  t6  t7  t8
+    priorities = [6, 5, 1, 10, 4, 9, 8, 7]
+    return TopKServer(
+        figure3_dataset(), FIGURE3_K, priorities=priorities, **kwargs
+    )
+
+
+def figure4_dataset() -> Dataset:
+    """A 2-d dataset realising the Figure 4 narration (k = 4).
+
+    Five tuples sit on the line ``A1 = 80`` (so the middle band of the
+    first split overflows and becomes a 1-d sub-problem), and the left
+    part splits 2-way at ``A1 = 40``.
+    """
+    space = DataSpace.numeric(2)
+    rows = np.asarray(
+        [
+            [10, 60],  # t1
+            [20, 35],  # t2
+            [45, 70],  # t3
+            [40, 40],  # t4
+            [60, 20],  # t5
+            [80, 10],  # t6
+            [80, 20],  # t7
+            [80, 30],  # t8
+            [80, 40],  # t9
+            [80, 50],  # t10
+        ],
+        dtype=np.int64,
+    )
+    return Dataset(space, rows, name="paper-figure-4")
+
+
+def figure4_server(**kwargs) -> TopKServer:
+    """A server reproducing the Figure 4 narration.
+
+    * ``q1`` (everything) returns ``{t4, t7, t8, t9}`` -> 3-way split at
+      ``A1 = 80``;
+    * ``q2`` (``A1 <= 79``) returns ``{t2, t3, t4, t5}`` -> 2-way split
+      at ``A1 = 40``;
+    * the 1-d sub-problem on ``A1 = 80`` returns ``{t6, t7, t8, t9}``
+      and costs exactly 3 queries.
+    """
+    #                 t1  t2  t3  t4  t5  t6  t7  t8  t9  t10
+    priorities = [1, 6, 5, 10, 4, 3, 9, 8, 7, 2]
+    return TopKServer(
+        figure4_dataset(), FIGURE4_K, priorities=priorities, **kwargs
+    )
+
+
+def figure5_dataset() -> Dataset:
+    """The categorical dataset of Figure 5a: 10 tuples in a 4x4 space.
+
+    ``t9`` duplicates ``t8`` at point ``(3, 3)`` -- the figure writes
+    "t8 (t9)" -- exercising bag semantics.
+    """
+    space = DataSpace.categorical([4, 4])
+    rows = np.asarray(
+        [
+            [1, 1],  # t1
+            [1, 2],  # t2
+            [1, 3],  # t3
+            [1, 4],  # t4
+            [2, 4],  # t5
+            [3, 1],  # t6
+            [3, 2],  # t7
+            [3, 3],  # t8
+            [3, 3],  # t9 (duplicate of t8)
+            [4, 2],  # t10
+        ],
+        dtype=np.int64,
+    )
+    return Dataset(space, rows, name="paper-figure-5")
+
+
+def figure5_server(**kwargs) -> TopKServer:
+    """A server over the Figure 5 dataset with ``k = 3``.
+
+    The Figure 6 lookup table is priority-independent (which tuples a
+    resolved slice returns does not depend on priorities), so the
+    default seeded priorities suffice.
+    """
+    return TopKServer(figure5_dataset(), FIGURE5_K, **kwargs)

@@ -1,0 +1,157 @@
+"""Reusable synthetic-distribution helpers for dataset generators.
+
+The paper's experiments use crawls of real sites (Yahoo! Autos, NSF
+awards, UCI Adult).  Those raw crawls are not distributed, so the
+generators in this package rebuild datasets with the same schema,
+cardinality, domain sizes and the distributional features the crawl
+costs depend on: value skew (how many slice queries overflow), duplicate
+structure (feasibility thresholds), and distinct-value richness (how
+often rank-shrink needs 3-way splits).
+
+Everything is driven by an explicit :class:`numpy.random.Generator`, so
+datasets are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "zipf_column",
+    "clipped_normal_column",
+    "zero_inflated_column",
+    "lognormal_column",
+    "ensure_full_domain",
+    "random_dataset",
+]
+
+
+def zipf_column(
+    rng: np.random.Generator, n: int, domain_size: int, s: float = 1.0
+) -> np.ndarray:
+    """``n`` draws from a Zipf-like distribution over ``1 .. domain_size``.
+
+    Value ``v`` gets probability proportional to ``1 / rank(v)^s`` with a
+    random rank assignment, so the popular values are scattered through
+    the domain rather than always being the small integers.
+    """
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = 1.0 / ranks**s
+    weights /= weights.sum()
+    permuted = rng.permutation(domain_size) + 1
+    draws = rng.choice(domain_size, size=n, p=weights)
+    return permuted[draws].astype(np.int64)
+
+
+def clipped_normal_column(
+    rng: np.random.Generator, n: int, mean: float, std: float, lo: int, hi: int
+) -> np.ndarray:
+    """Rounded normal draws clipped into ``[lo, hi]``."""
+    values = np.rint(rng.normal(mean, std, size=n)).astype(np.int64)
+    return np.clip(values, lo, hi)
+
+
+def zero_inflated_column(
+    rng: np.random.Generator,
+    n: int,
+    zero_probability: float,
+    mean: float,
+    std: float,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Mostly-zero column with a clipped-normal body for the non-zeros.
+
+    Models columns like Adult's CAP-GAIN / CAP-LOSS, which are zero for
+    the vast majority of tuples -- the tie-heavy shape that triggers
+    rank-shrink's 3-way splits.
+    """
+    values = clipped_normal_column(rng, n, mean, std, lo, hi)
+    zero_mask = rng.random(n) < zero_probability
+    values[zero_mask] = 0
+    return values
+
+
+def lognormal_column(
+    rng: np.random.Generator, n: int, mean: float, sigma: float, lo: int, hi: int
+) -> np.ndarray:
+    """Rounded log-normal draws clipped into ``[lo, hi]``.
+
+    Produces a mostly-distinct heavy-tailed column like Adult's FNALWGT.
+    """
+    values = np.rint(rng.lognormal(mean, sigma, size=n)).astype(np.int64)
+    return np.clip(values, lo, hi)
+
+
+def ensure_full_domain(
+    rng: np.random.Generator, column: np.ndarray, domain_size: int
+) -> np.ndarray:
+    """Patch a categorical column so every domain value occurs at least once.
+
+    The paper states that in its datasets "the number of distinct values
+    on each attribute equals the attribute's domain size".  Skewed
+    sampling can miss rare values; this overwrites randomly chosen rows
+    with each missing value (at most ``domain_size`` rows are touched).
+    """
+    if len(column) < domain_size:
+        raise SchemaError(
+            f"cannot place {domain_size} distinct values in "
+            f"{len(column)} rows"
+        )
+    present = set(np.unique(column).tolist())
+    missing = [v for v in range(1, domain_size + 1) if v not in present]
+    if not missing:
+        return column
+    # Overwrite only rows whose current value occurs more than once, so a
+    # patch never knocks out the last occurrence of another value.
+    column = column.copy()
+    counts = np.bincount(column, minlength=domain_size + 1)
+    candidates = iter(rng.permutation(len(column)))
+    for value in missing:
+        for row in candidates:
+            old = column[row]
+            if counts[old] >= 2:
+                counts[old] -= 1
+                column[row] = value
+                counts[value] += 1
+                break
+        else:  # pragma: no cover - impossible when len(column) >= domain_size
+            raise SchemaError("ran out of patchable rows")
+    return column
+
+
+def random_dataset(
+    space: DataSpace,
+    n: int,
+    *,
+    seed: int = 0,
+    numeric_range: tuple[int, int] = (0, 20),
+    duplicate_factor: float = 0.0,
+    name: str = "",
+) -> Dataset:
+    """A small random dataset for tests and examples.
+
+    Categorical columns are uniform over their domains; numeric columns
+    are uniform over ``numeric_range``.  With ``duplicate_factor > 0``,
+    roughly that fraction of rows are copies of earlier rows, exercising
+    the bag semantics.
+    """
+    rng = np.random.default_rng(seed)
+    columns = []
+    for attr in space:
+        if attr.is_categorical:
+            assert attr.domain_size is not None
+            columns.append(rng.integers(1, attr.domain_size + 1, size=n))
+        else:
+            lo, hi = numeric_range
+            columns.append(rng.integers(lo, hi + 1, size=n))
+    matrix = np.column_stack(columns).astype(np.int64) if columns else np.empty((n, 0))
+    if duplicate_factor > 0.0 and n > 1:
+        dup_mask = rng.random(n) < duplicate_factor
+        sources = rng.integers(0, n, size=int(dup_mask.sum()))
+        matrix[np.flatnonzero(dup_mask)] = matrix[sources]
+    return Dataset(space, matrix, name=name, validate=False)

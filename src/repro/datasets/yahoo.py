@@ -1,0 +1,91 @@
+"""Yahoo!-Autos-lookalike generator (the paper's autos.yahoo.com crawl).
+
+The paper's Yahoo dataset: 69,768 tuples, 6 attributes (Figure 9)
+
+    Owner(2) Body-style(7) Make(85) | Mileage Year Price
+
+Key reproduced features:
+
+* mixed space with a 3-attribute categorical prefix whose small domains
+  mostly overflow, so ``hybrid`` spends its queries in the rank-shrink
+  sub-crawls over (Mileage, Year, Price);
+* correlated numerics -- price falls with age and mileage around a
+  make-dependent base price -- giving realistic clustering;
+* **a point with more than 64 identical tuples** (a dealer listing a
+  fleet of brand-new identical cars).  The paper: "there is no reported
+  value for Yahoo at k = 64 because it has more than 64 identical
+  tuples ... no algorithm can successfully extract the dataset in full
+  when k = 64."  We plant 100 copies, so ``min_feasible_k() == 100``:
+  crawls fail at k = 64 and succeed from k = 128 up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.datasets.synthetic import ensure_full_domain, zipf_column
+
+__all__ = ["YAHOO_N", "YAHOO_DUPLICATES", "yahoo_autos"]
+
+#: Cardinality of the paper's Yahoo! Autos dataset.
+YAHOO_N = 69768
+
+#: Copies of the identical fleet tuple (makes k = 64 infeasible).
+YAHOO_DUPLICATES = 100
+
+_CATEGORICAL = [("Owner", 2), ("Body-style", 7), ("Make", 85)]
+_NUMERIC = ["Mileage", "Year", "Price"]
+
+
+def yahoo_autos(
+    n: int = YAHOO_N, *, seed: int = 5, duplicates: int = YAHOO_DUPLICATES
+) -> Dataset:
+    """The mixed Yahoo! Autos lookalike.
+
+    ``duplicates`` identical tuples are planted at one point (0 disables
+    the plant and makes the dataset crawlable at any ``k >=`` the
+    residual maximum multiplicity).
+    """
+    rng = np.random.default_rng(seed)
+    body = n - duplicates
+
+    owner = zipf_column(rng, body, 2, s=1.2)
+    body_style = zipf_column(rng, body, 7, s=0.9)
+    make = zipf_column(rng, body, 85, s=1.1)
+
+    year = np.clip(
+        np.rint(2012 - rng.exponential(scale=4.5, size=body)), 1985, 2012
+    ).astype(np.int64)
+    age = 2012 - year
+    mileage = np.clip(
+        np.rint(age * rng.normal(11500, 3500, size=body) + rng.normal(0, 4000, size=body)),
+        0,
+        300000,
+    ).astype(np.int64)
+    # Make-dependent base price decaying ~12% per year of age.
+    base_price = 12000 + 900.0 * (make % 40)
+    price = np.clip(
+        np.rint(base_price * 0.88**age * rng.lognormal(0.0, 0.25, size=body)),
+        500,
+        95000,
+    ).astype(np.int64)
+
+    columns = [
+        ensure_full_domain(rng, owner, 2) if body >= 2 else owner,
+        ensure_full_domain(rng, body_style, 7) if body >= 7 else body_style,
+        ensure_full_domain(rng, make, 85) if body >= 85 else make,
+        mileage,
+        year,
+        price,
+    ]
+    matrix = np.column_stack(columns).astype(np.int64)
+
+    if duplicates:
+        # The fleet: one dealer, identical brand-new cars.
+        fleet_row = np.asarray([[1, 1, 3, 0, 2012, 28990]], dtype=np.int64)
+        matrix = np.vstack([matrix, np.repeat(fleet_row, duplicates, axis=0)])
+
+    space = DataSpace.mixed(_CATEGORICAL, _NUMERIC)
+    return Dataset(space, matrix, name="Yahoo", validate=False)

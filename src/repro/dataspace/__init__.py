@@ -1,0 +1,22 @@
+"""Data-space substrate: attributes, schemas and datasets.
+
+This package models Section 1.1 of the paper: a data space is the
+Cartesian product of per-attribute domains, numeric attributes are
+totally ordered integer domains, categorical attributes are unordered
+domains ``1 .. U``, and a hidden database is a *bag* of tuples (points
+of the space, possibly duplicated).
+"""
+
+from repro.dataspace.attribute import Attribute, AttributeKind, categorical, numeric
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace, SpaceKind
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "categorical",
+    "numeric",
+    "DataSpace",
+    "SpaceKind",
+    "Dataset",
+]

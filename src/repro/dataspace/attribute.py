@@ -1,0 +1,164 @@
+"""Attribute model: the columns of a hidden database's data space.
+
+The paper (Section 1.1) distinguishes two kinds of attribute:
+
+* **numeric** -- a totally ordered integer domain; the query interface
+  supports range predicates ``Ai in [x, y]``.  The domain is conceptually
+  the set of all integers, so bounds are optional metadata (generators
+  record the min/max they produced; ``binary-shrink`` needs them).
+* **categorical** -- an unordered domain of ``U`` distinct values, which
+  we represent as the integers ``1 .. U`` purely for convenience; the
+  interface supports equality predicates ``Ai = x`` and the wildcard
+  ``Ai = *``.
+
+An :class:`Attribute` is an immutable value object; a
+:class:`~repro.dataspace.space.DataSpace` is a tuple of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+__all__ = ["AttributeKind", "Attribute", "numeric", "categorical"]
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute's domain is ordered (numeric) or not."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeKind.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One dimension of the data space.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attribute name (for reports and error messages).
+    kind:
+        :attr:`AttributeKind.NUMERIC` or :attr:`AttributeKind.CATEGORICAL`.
+    domain_size:
+        For categorical attributes, the number ``U`` of distinct domain
+        values; values are the integers ``1 .. U``.  Must be ``None`` for
+        numeric attributes.
+    lo, hi:
+        Optional inclusive bounds for numeric attributes.  They are
+        metadata, not constraints on queries: the conceptual numeric
+        domain remains all integers, and ``rank-shrink`` never consults
+        bounds.  ``binary-shrink`` refuses to run without them.
+    """
+
+    name: str
+    kind: AttributeKind
+    domain_size: int | None = None
+    lo: int | None = None
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.CATEGORICAL:
+            if self.domain_size is None or self.domain_size < 1:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} needs a positive "
+                    f"domain_size, got {self.domain_size!r}"
+                )
+            if self.lo is not None or self.hi is not None:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} must not carry "
+                    "numeric bounds"
+                )
+        else:
+            if self.domain_size is not None:
+                raise SchemaError(
+                    f"numeric attribute {self.name!r} must not carry a "
+                    "domain_size (its domain is all integers)"
+                )
+            if self.lo is not None and self.hi is not None and self.lo > self.hi:
+                raise SchemaError(
+                    f"numeric attribute {self.name!r} has lo={self.lo} > "
+                    f"hi={self.hi}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        """``True`` iff the attribute has an ordered integer domain."""
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        """``True`` iff the attribute has an unordered finite domain."""
+        return self.kind is AttributeKind.CATEGORICAL
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether finite bounds are known for every domain value.
+
+        Categorical domains are always bounded (``1 .. U``); numeric ones
+        only when both ``lo`` and ``hi`` were recorded.
+        """
+        if self.is_categorical:
+            return True
+        return self.lo is not None and self.hi is not None
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is a legal domain value of this attribute.
+
+        Numeric attributes accept every integer regardless of the
+        advisory bounds; categorical ones accept exactly ``1 .. U``.
+        """
+        if self.is_categorical:
+            assert self.domain_size is not None
+            return 1 <= value <= self.domain_size
+        return True
+
+    def domain_values(self) -> range:
+        """The finite domain as a ``range`` (categorical or bounded numeric).
+
+        Raises
+        ------
+        SchemaError
+            If the attribute is numeric and unbounded.
+        """
+        if self.is_categorical:
+            assert self.domain_size is not None
+            return range(1, self.domain_size + 1)
+        if self.lo is None or self.hi is None:
+            raise SchemaError(
+                f"numeric attribute {self.name!r} has no finite bounds"
+            )
+        return range(self.lo, self.hi + 1)
+
+    def with_bounds(self, lo: int, hi: int) -> "Attribute":
+        """Return a copy of a numeric attribute with bounds attached."""
+        if self.is_categorical:
+            raise SchemaError(
+                f"cannot attach numeric bounds to categorical {self.name!r}"
+            )
+        return Attribute(self.name, self.kind, None, lo, hi)
+
+    def __str__(self) -> str:
+        if self.is_categorical:
+            return f"{self.name}:cat[{self.domain_size}]"
+        if self.is_bounded:
+            return f"{self.name}:num[{self.lo},{self.hi}]"
+        return f"{self.name}:num"
+
+
+def numeric(name: str, lo: int | None = None, hi: int | None = None) -> Attribute:
+    """Convenience constructor for a numeric attribute."""
+    return Attribute(name, AttributeKind.NUMERIC, None, lo, hi)
+
+
+def categorical(name: str, domain_size: int) -> Attribute:
+    """Convenience constructor for a categorical attribute with ``U`` values."""
+    return Attribute(name, AttributeKind.CATEGORICAL, domain_size)

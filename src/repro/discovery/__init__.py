@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: categorical domain discovery."""
+
+from repro.discovery.domains import DiscoveryReport, discover_domains
+
+__all__ = ["DiscoveryReport", "discover_domains"]

@@ -1,0 +1,133 @@
+"""Categorical domain discovery (extension; the paper defers to [15]).
+
+The crawling algorithms assume the categorical domains are known -- for
+many sites they are printed in the search form's pull-down menus, and
+for the rest the paper points at the dedicated domain-discovery work of
+Jin, Zhang and Das (SIGMOD 2011, reference [15]).  So that this library
+runs end-to-end even when domains are *not* supplied, this module ships
+a simple sampling-based harvester in the spirit of that line of work.
+
+The idea: tuples returned by any query reveal attribute values.  Start
+from the all-wildcard query, then repeatedly *drill into* known values
+(issuing slice-like probes) to surface tuples from other regions, until
+a full sweep discovers nothing new.  The result is a lower bound of each
+domain -- exact for every value that occurs in the data at least once,
+which is all a crawler can ever observe and all the crawl needs (a value
+occurring in no tuple contributes nothing to the crawl's result, and
+only wasted slice queries to its cost).
+
+This is a heuristic: it never proves completeness (the top-k interface
+has no negation), and :class:`DiscoveryReport.saturated` only says a
+whole sweep added nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted, SchemaError
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+
+__all__ = ["DiscoveryReport", "discover_domains"]
+
+
+@dataclass
+class DiscoveryReport:
+    """Outcome of a domain-discovery session."""
+
+    #: Discovered values per categorical attribute index.
+    values: dict[int, set[int]]
+    #: Queries spent on discovery.
+    cost: int
+    #: Whether the final sweep discovered nothing new (fixpoint reached).
+    saturated: bool
+    #: Per-attribute discovered counts, for quick reporting.
+    counts: dict[int, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.counts = {i: len(vals) for i, vals in self.values.items()}
+
+    def coverage(self, space: DataSpace) -> dict[int, float]:
+        """Discovered fraction of each true domain (needs the schema)."""
+        out = {}
+        for i, vals in self.values.items():
+            size = space[i].domain_size
+            assert size is not None
+            out[i] = len(vals) / size
+        return out
+
+
+def discover_domains(
+    source: TopKServer | CachingClient,
+    *,
+    max_queries: int = 1000,
+    max_sweeps: int = 10,
+) -> DiscoveryReport:
+    """Harvest categorical domain values by querying the interface.
+
+    Parameters
+    ----------
+    source:
+        The hidden database (or a shared caching client).
+    max_queries:
+        Probe budget; discovery stops cleanly when it is spent.
+    max_sweeps:
+        Maximum number of drill-down sweeps over the discovered values.
+
+    Raises
+    ------
+    SchemaError
+        If the space has no categorical attribute to discover.
+    """
+    client = source if isinstance(source, CachingClient) else CachingClient(source)
+    space = client.space
+    cat_indices = [i for i in range(space.cat)]
+    if not cat_indices:
+        raise SchemaError("the data space has no categorical attributes")
+
+    discovered: dict[int, set[int]] = {i: set() for i in cat_indices}
+    start_cost = client.cost
+    saturated = False
+
+    def harvest(rows) -> int:
+        added = 0
+        for row in rows:
+            for i in cat_indices:
+                if row[i] not in discovered[i]:
+                    discovered[i].add(row[i])
+                    added += 1
+        return added
+
+    def spend(query: Query):
+        if client.cost - start_cost >= max_queries:
+            raise QueryBudgetExhausted(
+                "domain-discovery probe budget spent",
+                issued=client.cost - start_cost,
+            )
+        return client.run(query)
+
+    root = Query.full(space)
+    try:
+        harvest(spend(root).rows)
+        for _ in range(max_sweeps):
+            added_this_sweep = 0
+            # Drill into every known value: tuples co-occurring with it
+            # reveal values of the other attributes.
+            for i in cat_indices:
+                for value in sorted(discovered[i]):
+                    probe = root.with_value(i, value)
+                    added_this_sweep += harvest(spend(probe).rows)
+            if added_this_sweep == 0:
+                saturated = True
+                break
+    except QueryBudgetExhausted:
+        saturated = False
+
+    return DiscoveryReport(
+        values=discovered,
+        cost=client.cost - start_cost,
+        saturated=saturated,
+    )

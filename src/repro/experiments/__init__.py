@@ -1,0 +1,52 @@
+"""Experiment harness: one definition per paper figure, plus reporting."""
+
+from repro.experiments.figures import (
+    DEFAULT_KS,
+    FIGURES,
+    ablation_ordering,
+    ablation_split_threshold,
+    figure_9,
+    figure_10a,
+    figure_10b,
+    figure_10c,
+    figure_11a,
+    figure_11b,
+    figure_11c,
+    figure_12,
+    figure_13,
+    theorem_3_check,
+    theorem_4_check,
+)
+from repro.experiments.reporting import format_figure, format_markdown
+from repro.experiments.runner import (
+    FigureResult,
+    Series,
+    SeriesPoint,
+    measure_crawl,
+    try_measure_crawl,
+)
+
+__all__ = [
+    "DEFAULT_KS",
+    "FIGURES",
+    "ablation_ordering",
+    "ablation_split_threshold",
+    "figure_9",
+    "figure_10a",
+    "figure_10b",
+    "figure_10c",
+    "figure_11a",
+    "figure_11b",
+    "figure_11c",
+    "figure_12",
+    "figure_13",
+    "theorem_3_check",
+    "theorem_4_check",
+    "format_figure",
+    "format_markdown",
+    "FigureResult",
+    "Series",
+    "SeriesPoint",
+    "measure_crawl",
+    "try_measure_crawl",
+]

@@ -1,0 +1,154 @@
+"""Extension experiments: beyond the paper's Section 6 figures.
+
+Three experiment definitions exercising the library's extension
+modules, in the same :class:`~repro.experiments.runner.FigureResult`
+format as the paper figures so the CLI, reporting and benchmark
+plumbing apply unchanged:
+
+=============  =======================================================
+ext-adversary  rank-shrink cost under adversarial response policies
+               (Theorem 1 is choice-independent; measure the spread)
+ext-sampling   sampling error vs crawled fraction per query budget
+               (the Section 1.4 positioning, quantified)
+ext-partition  total and max-per-session cost vs session count
+               (multi-identity crawling against per-IP quotas)
+=============  =======================================================
+"""
+
+from __future__ import annotations
+
+from repro.analytics.compare import compare_at_budgets
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.verify import assert_complete
+from repro.datasets.adult import adult_numeric
+from repro.datasets.yahoo import yahoo_autos
+from repro.experiments.runner import FigureResult, measure_crawl
+from repro.server.server import TopKServer
+from repro.theory.adversary import (
+    AdversarialTopKServer,
+    ModeClusterPolicy,
+    RankByAttributePolicy,
+)
+from repro.theory.bounds import rank_shrink_upper_bound
+
+__all__ = [
+    "extension_adversarial",
+    "extension_sampling",
+    "extension_partition",
+]
+
+
+def _scaled(dataset, scale: float, seed: int):
+    if scale >= 1.0:
+        return dataset
+    return dataset.sample_fraction(scale, seed=seed)
+
+
+def extension_adversarial(
+    *, scale: float = 1.0, k: int = 256, seed: int = 0
+) -> FigureResult:
+    """Rank-shrink under the server's freedom of response choice.
+
+    One bar per response policy; the Lemma 2 envelope is attached as a
+    note.  Every cost must sit under the same bound -- the proofs never
+    assume anything about which ``k``-subset comes back.
+    """
+    figure = FigureResult(
+        "ext-adversary",
+        f"Rank-shrink vs adversarial response policies (Adult-numeric, k={k})",
+        "response policy",
+        "number of queries",
+    )
+    dataset = _scaled(adult_numeric(), scale, seed)
+    d = dataset.space.dimensionality
+    bound = rank_shrink_upper_bound(dataset.n, k, d)
+    figure.note(f"n = {dataset.n}, scale = {scale:g}")
+    figure.note(f"Lemma 2 envelope: 20*d*n/k = {bound} queries")
+    series = figure.new_series("rank-shrink")
+    servers = [
+        ("neutral (priorities)", TopKServer(dataset, k, priority_seed=seed)),
+        (
+            "rank asc on A1",
+            AdversarialTopKServer(dataset, k, RankByAttributePolicy(0)),
+        ),
+        (
+            "rank desc on A1",
+            AdversarialTopKServer(
+                dataset, k, RankByAttributePolicy(0, descending=True)
+            ),
+        ),
+        (
+            "mode cluster on A1",
+            AdversarialTopKServer(dataset, k, ModeClusterPolicy(0)),
+        ),
+    ]
+    for label, server in servers:
+        result = RankShrink(server, max_queries=bound).crawl()
+        assert_complete(result, dataset)
+        series.add(label, result.cost)
+    return figure
+
+
+def extension_sampling(
+    *, scale: float = 1.0, k: int = 256, seed: int = 0
+) -> FigureResult:
+    """Sampling accuracy vs crawling coverage at equal query budgets."""
+    figure = FigureResult(
+        "ext-sampling",
+        f"Sampling vs crawling per query budget (Yahoo, k={k})",
+        "query budget",
+        "relative error / crawled fraction",
+    )
+    dataset = _scaled(
+        yahoo_autos(duplicates=0), scale, seed
+    ).with_bounds_from_data()
+    budgets = [25, 50, 100, 200, 400, 800]
+    report = compare_at_budgets(dataset, k, budgets, seed=seed)
+    figure.note(f"n = {dataset.n}, scale = {scale:g}")
+    figure.note(f"full hybrid crawl finishes in {report.crawl_full_cost} queries")
+    size_err = figure.new_series("sampling size rel. error")
+    sum_err = figure.new_series("sampling sum rel. error")
+    crawled = figure.new_series("crawled fraction")
+    for point in report.points:
+        size_err.add(point.budget, round(point.sample_size_error, 4))
+        sum_err.add(point.budget, round(point.sample_sum_error, 4))
+        crawled.add(
+            point.budget,
+            round(point.crawl_fraction, 4),
+            complete=point.crawl_complete,
+        )
+    return figure
+
+
+def extension_partition(
+    *, scale: float = 1.0, k: int = 256, seed: int = 0
+) -> FigureResult:
+    """Partitioned crawling: session count vs total and peak cost."""
+    figure = FigureResult(
+        "ext-partition",
+        f"Partitioned crawling on Yahoo (k={k})",
+        "sessions",
+        "number of queries",
+    )
+    dataset = _scaled(yahoo_autos(duplicates=0), scale, seed)
+    figure.note(f"n = {dataset.n}, scale = {scale:g}")
+    total_series = figure.new_series("total queries")
+    peak_series = figure.new_series("max per-session queries")
+    for sessions in (1, 2, 4, 8):
+        if sessions == 1:
+            result = measure_crawl(dataset, k, Hybrid, priority_seed=seed)
+            total, peak = result.cost, result.cost
+        else:
+            plan = partition_space(dataset.space, sessions)
+            sources = [
+                TopKServer(dataset, k, priority_seed=seed)
+                for _ in range(sessions)
+            ]
+            merged = crawl_partitioned(sources, plan)
+            assert merged.complete and merged.tuples_extracted == dataset.n
+            total, peak = merged.cost, max(merged.session_costs())
+        total_series.add(sessions, total)
+        peak_series.add(sessions, peak)
+    return figure

@@ -1,0 +1,80 @@
+"""Text rendering of reproduced figures.
+
+The paper's figures are line charts; in a terminal we print the same
+data as aligned tables -- one row per x-value, one column per series --
+plus the figure's notes.  :func:`format_figure` gives a plain-text
+table; :func:`format_markdown` emits the same content as a Markdown
+table for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import FigureResult
+
+__all__ = ["format_figure", "format_markdown", "figure_rows"]
+
+
+def figure_rows(figure: FigureResult) -> tuple[list[str], list[list[str]]]:
+    """Tabulate a figure: (header, rows) with string cells.
+
+    Series may have different x supports (e.g. an infeasible point was
+    skipped); missing cells render as ``-``.
+    """
+    xs: list = []
+    for series in figure.series:
+        for x in series.xs():
+            if x not in xs:
+                xs.append(x)
+    if all(isinstance(x, (int, float)) for x in xs):
+        xs.sort()
+    header = [figure.xlabel] + [series.name for series in figure.series]
+    lookup = [
+        {point.x: point.y for point in series.points} for series in figure.series
+    ]
+    rows = []
+    for x in xs:
+        row = [str(x)]
+        for table in lookup:
+            value = table.get(x)
+            row.append("-" if value is None else _format_value(value))
+        rows.append(row)
+    return header, rows
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return str(int(value))
+
+
+def format_figure(figure: FigureResult) -> str:
+    """Aligned plain-text table (for the CLI and examples)."""
+    header, rows = figure_rows(figure)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {figure.figure_id}: {figure.title} =="]
+    lines.append(
+        "  ".join(header[i].rjust(widths[i]) for i in range(len(header)))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    lines.append(f"(y-axis: {figure.ylabel})")
+    for note in figure.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_markdown(figure: FigureResult) -> str:
+    """Markdown table (for EXPERIMENTS.md)."""
+    header, rows = figure_rows(figure)
+    lines = [f"**{figure.figure_id}** — {figure.title} (y: {figure.ylabel})", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    for note in figure.notes:
+        lines.append(f"- note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Experiment plumbing: series, figure results, and crawl measurement.
+
+A figure of the paper is reproduced as a :class:`FigureResult`: named
+series of (x, y) points -- y is always a query count except for the
+progressiveness figure -- plus free-form notes (e.g. "Yahoo infeasible
+at k = 64").  :mod:`repro.experiments.figures` builds one per paper
+figure; :mod:`repro.experiments.reporting` renders them as text tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.crawl.base import Crawler, CrawlResult
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.exceptions import InfeasibleCrawlError
+from repro.server.server import TopKServer
+
+__all__ = [
+    "SeriesPoint",
+    "Series",
+    "FigureResult",
+    "measure_crawl",
+    "try_measure_crawl",
+]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement: x-coordinate, measured value, free extras."""
+
+    x: float | int | str
+    y: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A named curve of a figure."""
+
+    name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x, y, **extra) -> None:
+        """Append a point."""
+        self.points.append(SeriesPoint(x, y, dict(extra)))
+
+    def xs(self) -> list:
+        """The x-coordinates, in insertion order."""
+        return [p.x for p in self.points]
+
+    def ys(self) -> list[float]:
+        """The measured values, in insertion order."""
+        return [p.y for p in self.points]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: metadata plus its series."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, name: str) -> Series:
+        """Create, register and return a new series."""
+        series = Series(name)
+        self.series.append(series)
+        return series
+
+    def series_by_name(self, name: str) -> Series:
+        """Look a series up by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"no series named {name!r} in figure {self.figure_id}")
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (rendered under the table)."""
+        self.notes.append(text)
+
+
+def measure_crawl(
+    dataset: Dataset,
+    k: int,
+    crawler_factory: Callable[[TopKServer], Crawler],
+    *,
+    priority_seed: int = 0,
+    verify: bool = True,
+) -> CrawlResult:
+    """Run one crawl measurement on a fresh server.
+
+    A new :class:`TopKServer` (fresh priorities, fresh cache) is built
+    for every measurement so algorithms never share state.  With
+    ``verify=True`` (default) the extracted bag is checked against the
+    ground truth -- an experiment whose crawl is wrong must not produce
+    a data point.
+
+    Raises
+    ------
+    InfeasibleCrawlError
+        Propagated so callers can record "no reported value" points, as
+        the paper does for Yahoo at k = 64.
+    """
+    server = TopKServer(dataset, k, priority_seed=priority_seed)
+    crawler = crawler_factory(server)
+    result = crawler.crawl()
+    if verify:
+        assert_complete(result, dataset)
+    return result
+
+
+def try_measure_crawl(
+    dataset: Dataset,
+    k: int,
+    crawler_factory: Callable[[TopKServer], Crawler],
+    *,
+    priority_seed: int = 0,
+    verify: bool = True,
+) -> CrawlResult | None:
+    """Like :func:`measure_crawl`, but returns ``None`` when infeasible."""
+    try:
+        return measure_crawl(
+            dataset,
+            k,
+            crawler_factory,
+            priority_seed=priority_seed,
+            verify=verify,
+        )
+    except InfeasibleCrawlError:
+        return None

@@ -1,0 +1,14 @@
+"""Query model: predicates, queries, splits and slice queries."""
+
+from repro.query.predicates import EqualityPredicate, Predicate, RangePredicate
+from repro.query.query import Query, full_query, point_query, slice_query
+
+__all__ = [
+    "EqualityPredicate",
+    "Predicate",
+    "RangePredicate",
+    "Query",
+    "full_query",
+    "point_query",
+    "slice_query",
+]

@@ -1,0 +1,105 @@
+"""Per-attribute predicates of the hidden-database query interface.
+
+Section 1.1 of the paper fixes the interface: a query carries exactly one
+predicate per attribute --
+
+* on a numeric attribute, a range condition ``Ai in [x, y]``; we model
+  half-open infinities with ``None`` endpoints, so ``RangePredicate(None,
+  None)`` is the unconstrained predicate ``Ai in (-inf, +inf)``;
+* on a categorical attribute, an equality ``Ai = x`` where ``x`` is a
+  domain value or the wildcard ``*``; ``EqualityPredicate(None)`` is the
+  wildcard.
+
+Predicates are immutable, hashable value objects, which lets whole
+queries serve as cache keys in :class:`repro.server.client.CachingClient`
+(the paper's "lookup table" for slice queries falls out of that cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+__all__ = ["RangePredicate", "EqualityPredicate", "Predicate"]
+
+
+@dataclass(frozen=True, slots=True)
+class RangePredicate:
+    """``Ai in [lo, hi]`` on a numeric attribute; ``None`` = unbounded."""
+
+    lo: int | None = None
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise SchemaError(f"empty range [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_unconstrained(self) -> bool:
+        """Whether the predicate admits every integer."""
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the extent covers exactly one value (attribute exhausted).
+
+        The paper calls an attribute *exhausted on q* when q's extent on
+        it has shrunk to a single value (Section 2.1).
+        """
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def width(self) -> int | None:
+        """Number of admitted integers, or ``None`` when unbounded."""
+        if self.lo is None or self.hi is None:
+            return None
+        return self.hi - self.lo + 1
+
+    def matches(self, value: int) -> bool:
+        """Whether ``value`` satisfies the range condition."""
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def clamp(self, lo: int | None, hi: int | None) -> "RangePredicate":
+        """Intersect with another extent (used to seed bounded crawls)."""
+        new_lo = self.lo if lo is None else (lo if self.lo is None else max(lo, self.lo))
+        new_hi = self.hi if hi is None else (hi if self.hi is None else min(hi, self.hi))
+        return RangePredicate(new_lo, new_hi)
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True, slots=True)
+class EqualityPredicate:
+    """``Ai = value`` on a categorical attribute; ``None`` = wildcard ``*``."""
+
+    value: int | None = None
+
+    @property
+    def is_wildcard(self) -> bool:
+        """Whether the predicate is ``Ai = *`` (admits every domain value)."""
+        return self.value is None
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the attribute is pinned to a single value."""
+        return self.value is not None
+
+    def matches(self, value: int) -> bool:
+        """Whether ``value`` satisfies the equality condition."""
+        return self.value is None or value == self.value
+
+    def __str__(self) -> str:
+        return "*" if self.value is None else f"={self.value}"
+
+
+#: A query predicate: a range on numeric or an (in)equality on categorical.
+Predicate = RangePredicate | EqualityPredicate

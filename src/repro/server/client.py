@@ -1,0 +1,181 @@
+"""Client-side query layer: memoisation and cost accounting.
+
+Because the server answers a repeated query identically (Section 1.1),
+any sensible crawler caches responses locally -- re-consulting a cached
+answer costs nothing.  :class:`CachingClient` makes this explicit:
+
+* :meth:`CachingClient.run` sends a query to the server only on a cache
+  miss; the *cost* of a crawl is the number of misses.
+* :meth:`CachingClient.peek` consults the cache without ever issuing a
+  query -- this is exactly the "lookup table" of slice-cover (Section
+  3.2): preprocessing runs every slice query once, and extended-DFS later
+  answers tree queries locally from those responses.
+
+The client also powers resumable crawls: crawler algorithms are
+deterministic, so re-running one over a warmed cache replays the prefix
+of its query sequence for free and continues where the budget cut it
+off (see ``examples/budgeted_crawl.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import QueryBudgetExhausted
+from repro.query.query import Query
+from repro.server.limits import SimulatedClock
+from repro.server.response import QueryResponse
+from repro.server.server import TopKServer
+from repro.server.stats import QueryStats
+
+__all__ = ["CachingClient", "PatientClient"]
+
+
+class CachingClient:
+    """Memoising front-end to a :class:`TopKServer`.
+
+    Parameters
+    ----------
+    server:
+        The hidden-database server to crawl.
+    """
+
+    def __init__(self, server: TopKServer):
+        self._server = server
+        self._cache: dict[Query, QueryResponse] = {}
+        self._history: list[Query] = []
+        self._listeners: list[Callable[[Query, QueryResponse], None]] = []
+        self._stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # Interface facts a crawler may rely on
+    # ------------------------------------------------------------------
+    @property
+    def space(self):
+        """The data space of the underlying server."""
+        return self._server.space
+
+    @property
+    def k(self) -> int:
+        """The server's retrieval limit."""
+        return self._server.k
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResponse:
+        """Answer ``query``, issuing it to the server only once ever."""
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        response = self._server.run(query)
+        self._cache[query] = response
+        self._history.append(query)
+        self._stats.record(response)
+        for listener in self._listeners:
+            listener(query, response)
+        return response
+
+    def peek(self, query: Query) -> QueryResponse | None:
+        """The cached response for ``query``, or ``None`` -- never a query."""
+        return self._cache.get(query)
+
+    def _store_local(self, query: Query, response: QueryResponse) -> None:
+        """Insert a locally-derived response (zero cost) into the cache.
+
+        Used by subclasses that can answer some queries without the
+        server -- e.g. the Section 1.3 attribute-dependency heuristic,
+        which knows certain queries cover no valid point.
+        """
+        self._cache[query] = response
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> int:
+        """Number of distinct queries issued so far (the Problem 1 cost)."""
+        return self._stats.queries
+
+    @property
+    def history(self) -> tuple[Query, ...]:
+        """The issued queries, in order (cache hits excluded)."""
+        return tuple(self._history)
+
+    @property
+    def stats(self) -> QueryStats:
+        """Breakdown of issued queries (resolved/overflow, phases)."""
+        return self._stats
+
+    def begin_phase(self, name: str) -> None:
+        """Attribute subsequent misses to a named cost phase."""
+        self._stats.begin_phase(name)
+
+    def end_phase(self) -> None:
+        """Close the current cost phase."""
+        self._stats.end_phase()
+
+    def add_listener(self, listener: Callable[[Query, QueryResponse], None]) -> None:
+        """Register a callback invoked after every cache miss."""
+        self._listeners.append(listener)
+
+    def __repr__(self) -> str:
+        return f"CachingClient(cost={self.cost}, cached={len(self._cache)})"
+
+
+class PatientClient(CachingClient):
+    """A client that sleeps through quota refusals and continues.
+
+    Real hidden-database servers meter queries per identity per day;
+    the paper's answer is to minimise the query count, and the
+    deployment's answer to the remainder is patience: when a query is
+    refused, sleep to the next day and re-issue it.  Because crawlers
+    are deterministic and responses are cached, nothing is lost across
+    the gap -- the crawl simply continues where the quota cut it off.
+
+    Works over any refusal source that raises
+    :class:`QueryBudgetExhausted`: a server-side
+    :class:`~repro.server.limits.DailyRateLimit`, or an HTTP 429 from a
+    :class:`~repro.web.adapter.WebSession`.
+
+    Parameters
+    ----------
+    server:
+        The query source (server, adversary, web session).
+    clock:
+        The simulated clock shared with the server's daily limits.
+    max_days:
+        Refuse to sleep more than this many times (``None`` = no cap);
+        exceeding it re-raises the :class:`QueryBudgetExhausted`.
+    """
+
+    def __init__(
+        self,
+        server: TopKServer,
+        clock: SimulatedClock,
+        *,
+        max_days: int | None = None,
+    ):
+        super().__init__(server)
+        self._clock = clock
+        self._max_days = max_days
+        self._days_slept = 0
+
+    @property
+    def days_slept(self) -> int:
+        """How many day boundaries the client has waited across."""
+        return self._days_slept
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer ``query``, sleeping to the next day on refusals."""
+        while True:
+            try:
+                return super().run(query)
+            except QueryBudgetExhausted:
+                if (
+                    self._max_days is not None
+                    and self._days_slept >= self._max_days
+                ):
+                    raise
+                self._clock.sleep_until_next_day()
+                self._days_slept += 1

@@ -1,0 +1,48 @@
+"""The structural protocol every query source satisfies.
+
+Three things in this library answer queries: the in-memory
+:class:`~repro.server.server.TopKServer`, the adversarial servers of
+:mod:`repro.theory.adversary`, and the HTML-scraping
+:class:`~repro.web.adapter.WebSession`.  Crawlers do not care which one
+they talk to; :class:`QueryInterface` names the contract they rely on,
+so the dependency points at the *interface* of Section 1.1 rather than
+at any particular implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.dataspace.space import DataSpace
+from repro.query.query import Query
+from repro.server.response import QueryResponse
+
+__all__ = ["QueryInterface"]
+
+
+@runtime_checkable
+class QueryInterface(Protocol):
+    """Anything that answers hidden-database queries.
+
+    The contract mirrors the paper's Section 1.1 problem setup:
+
+    * :attr:`space` -- the public schema (the search form);
+    * :attr:`k` -- the retrieval limit, assumed known to the crawler;
+    * :meth:`run` -- answer one query: the full result if at most ``k``
+      tuples qualify, otherwise a fixed ``k``-subset plus the overflow
+      signal.  Answers to repeated queries must be identical.
+    """
+
+    @property
+    def space(self) -> DataSpace:
+        """The data space being queried."""
+        ...
+
+    @property
+    def k(self) -> int:
+        """The retrieval limit."""
+        ...
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer one query per the Section 1.1 contract."""
+        ...

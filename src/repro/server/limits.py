@@ -1,0 +1,130 @@
+"""Query limits: budgets and per-day quotas.
+
+The paper motivates the cost metric with the observation that "most
+systems have a control on how many queries can be submitted by the same
+IP address within a period of time (e.g., a day)".  This module models
+those controls so the examples can demonstrate budgeted, resumable
+crawls:
+
+* :class:`QueryBudget` -- a hard cap on total queries.
+* :class:`DailyRateLimit` -- at most ``per_day`` queries per simulated
+  day; combined with :class:`SimulatedClock`, a crawl can sleep to the
+  next day and resume (the deterministic algorithms plus the response
+  cache make resumption free).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import QueryBudgetExhausted
+
+__all__ = ["QueryLimit", "QueryBudget", "DailyRateLimit", "SimulatedClock"]
+
+
+class QueryLimit(abc.ABC):
+    """Admission control consulted by the server before each query."""
+
+    @abc.abstractmethod
+    def admit(self) -> None:
+        """Account for one query, raising :class:`QueryBudgetExhausted`
+        if it may not be issued."""
+
+
+class QueryBudget(QueryLimit):
+    """A hard cap on the total number of queries.
+
+    >>> budget = QueryBudget(2)
+    >>> budget.admit(); budget.admit()
+    >>> budget.remaining
+    0
+    """
+
+    def __init__(self, max_queries: int):
+        if max_queries < 0:
+            raise ValueError("max_queries must be non-negative")
+        self._max = max_queries
+        self._used = 0
+
+    @property
+    def remaining(self) -> int:
+        """How many more queries the budget admits."""
+        return self._max - self._used
+
+    @property
+    def used(self) -> int:
+        """How many queries the budget has admitted."""
+        return self._used
+
+    def admit(self) -> None:
+        if self._used >= self._max:
+            raise QueryBudgetExhausted(
+                f"query budget of {self._max} exhausted", issued=self._used
+            )
+        self._used += 1
+
+    def refill(self, extra: int) -> None:
+        """Grow the budget (e.g. the operator raised the quota)."""
+        if extra < 0:
+            raise ValueError("extra must be non-negative")
+        self._max += extra
+
+
+class SimulatedClock:
+    """A trivially simple discrete clock counting whole days."""
+
+    def __init__(self, day: int = 0):
+        self._day = day
+
+    @property
+    def day(self) -> int:
+        """The current simulated day index."""
+        return self._day
+
+    def sleep_until_next_day(self) -> int:
+        """Advance to the next day and return its index."""
+        self._day += 1
+        return self._day
+
+
+class DailyRateLimit(QueryLimit):
+    """At most ``per_day`` queries per simulated day.
+
+    The limit resets whenever the attached clock reports a new day,
+    modelling the per-IP daily quotas of real hidden-database servers.
+    """
+
+    def __init__(self, per_day: int, clock: SimulatedClock):
+        if per_day < 1:
+            raise ValueError("per_day must be positive")
+        self._per_day = per_day
+        self._clock = clock
+        self._counted_day = clock.day
+        self._used_today = 0
+
+    @property
+    def used_today(self) -> int:
+        """Queries spent against today's quota."""
+        self._roll_over()
+        return self._used_today
+
+    @property
+    def remaining_today(self) -> int:
+        """Queries left in today's quota."""
+        self._roll_over()
+        return self._per_day - self._used_today
+
+    def _roll_over(self) -> None:
+        if self._clock.day != self._counted_day:
+            self._counted_day = self._clock.day
+            self._used_today = 0
+
+    def admit(self) -> None:
+        self._roll_over()
+        if self._used_today >= self._per_day:
+            raise QueryBudgetExhausted(
+                f"daily quota of {self._per_day} queries exhausted on day "
+                f"{self._clock.day}",
+                issued=self._used_today,
+            )
+        self._used_today += 1

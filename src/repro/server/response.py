@@ -1,0 +1,47 @@
+"""Server responses: the visible half of the top-k interface.
+
+Per Section 1.1 of the paper, the server's answer to a query ``q`` is
+
+* the entire result ``q(D)`` when ``|q(D)| <= k`` (the query *resolves*);
+* otherwise exactly ``k`` tuples of ``q(D)`` plus an *overflow* signal.
+
+A response never reveals ``|q(D)|`` beyond that one bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueryResponse", "Row"]
+
+#: A tuple of the hidden database, as plain Python integers.
+Row = tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """What the crawler sees after issuing one query.
+
+    Attributes
+    ----------
+    rows:
+        The returned tuples, in the server's fixed priority order.  When
+        the query overflowed this has exactly ``k`` entries.
+    overflow:
+        ``True`` iff more qualifying tuples exist than were returned.
+    """
+
+    rows: tuple[Row, ...]
+    overflow: bool
+
+    @property
+    def resolved(self) -> bool:
+        """``True`` iff the response is the complete result of the query."""
+        return not self.overflow
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        flag = "overflow" if self.overflow else "resolved"
+        return f"QueryResponse({len(self.rows)} rows, {flag})"

@@ -1,0 +1,138 @@
+"""The simulated hidden-database server (paper Section 1.1 and 6).
+
+The authors evaluated their algorithms against a local re-implementation
+of the web interface: "we implemented a local server to run our
+algorithms.  Our implementation conforms strictly to the problem setup
+in Section 1.1 ... each tuple is assigned a random priority, so that if
+a query overflows, always the k tuples with the highest priorities are
+returned."  :class:`TopKServer` is that server.
+
+Determinism is the crucial property: issuing the same query twice yields
+the same response ("repeating the same query may not retrieve new
+tuples"), which is why naive re-querying cannot crawl a hidden database
+and why client-side memoisation is free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.query.query import Query
+from repro.server.engines import make_engine
+from repro.server.limits import QueryLimit
+from repro.server.response import QueryResponse
+from repro.server.stats import QueryStats
+
+__all__ = ["TopKServer"]
+
+
+class TopKServer:
+    """A hidden database behind a top-``k`` query interface.
+
+    Parameters
+    ----------
+    dataset:
+        The hidden content.  Crawler code must never touch it; it is
+        exposed (as :attr:`dataset`) for verification harnesses only.
+    k:
+        The retrieval limit: the maximum number of tuples returned per
+        query (e.g. 1000 for Yahoo! Autos at the time of the paper).
+    priority_seed:
+        Seed for the random tuple priorities used to pick which ``k``
+        tuples an overflowing query returns.
+    priorities:
+        Explicit priorities (higher wins), overriding the seeded ones.
+        The worked-example tests use this to reproduce the exact server
+        responses of the paper's Figures 3-6.
+    engine:
+        ``"vector"`` (numpy masks, default), ``"linear"`` (reference
+        scan) or ``"indexed"`` (per-column binary-search indexes).
+    limits:
+        Admission controls (budgets, daily quotas) consulted before each
+        query is answered.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int,
+        *,
+        priority_seed: int = 0,
+        priorities: Sequence[float] | None = None,
+        engine: str = "vector",
+        limits: Iterable[QueryLimit] = (),
+    ):
+        if k < 1:
+            raise SchemaError(f"k must be at least 1, got {k}")
+        self._dataset = dataset
+        self._k = k
+        if priorities is None:
+            rng = np.random.default_rng(priority_seed)
+            priority_array = rng.permutation(dataset.n).astype(np.float64)
+        else:
+            priority_array = np.asarray(priorities, dtype=np.float64)
+            if priority_array.shape != (dataset.n,):
+                raise SchemaError(
+                    f"expected {dataset.n} priorities, got "
+                    f"{priority_array.shape}"
+                )
+        # Stable sort by descending priority; ties broken by row index.
+        order = np.argsort(-priority_array, kind="stable")
+        self._engine = make_engine(engine, dataset.rows[order])
+        self._limits = tuple(limits)
+        self._stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # The public interface a crawler may rely on
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DataSpace:
+        """The data space; its schema is public (the search form)."""
+        return self._dataset.space
+
+    @property
+    def k(self) -> int:
+        """The retrieval limit, assumed known to the crawler."""
+        return self._k
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer one query, per the Section 1.1 contract.
+
+        Raises
+        ------
+        QueryBudgetExhausted
+            When an attached limit refuses the query.  The query is then
+            *not* answered and not counted.
+        """
+        if query.space != self._dataset.space:
+            raise SchemaError("query was built against a different data space")
+        for limit in self._limits:
+            limit.admit()
+        rows, overflow = self._engine.top(query, self._k)
+        response = QueryResponse(tuple(rows), overflow)
+        self._stats.record(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Operator-side introspection (not available to crawlers)
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        """The hidden content -- for verification harnesses only."""
+        return self._dataset
+
+    @property
+    def stats(self) -> QueryStats:
+        """Server-side workload counters (the provider's burden)."""
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKServer(n={self._dataset.n}, k={self._k}, "
+            f"kind={self._dataset.space.kind.value})"
+        )

@@ -1,0 +1,75 @@
+"""Query accounting: the cost metric of Problem 1.
+
+The cost of a crawl is the number of queries sent to the server (paper
+Section 1.1: "the cost of an algorithm is the number of queries
+issued").  :class:`QueryStats` tracks that number plus a breakdown that
+the experiments report (how many queries resolved vs overflowed, tuples
+shipped by the server, per-phase subtotals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.response import QueryResponse
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Mutable counters describing the queries seen so far."""
+
+    queries: int = 0
+    resolved: int = 0
+    overflowed: int = 0
+    tuples_returned: int = 0
+    phase_costs: dict[str, int] = field(default_factory=dict)
+    _phase: str | None = field(default=None, repr=False)
+
+    def record(self, response: QueryResponse) -> None:
+        """Account for one answered query."""
+        self.queries += 1
+        if response.overflow:
+            self.overflowed += 1
+        else:
+            self.resolved += 1
+        self.tuples_returned += len(response.rows)
+        if self._phase is not None:
+            self.phase_costs[self._phase] = self.phase_costs.get(self._phase, 0) + 1
+
+    def begin_phase(self, name: str) -> None:
+        """Attribute subsequent queries to a named phase.
+
+        Slice-cover, for instance, separates its ``slice-table``
+        preprocessing cost from the ``traversal`` cost (Lemma 4 bounds
+        the two terms separately).
+        """
+        self._phase = name
+        self.phase_costs.setdefault(name, 0)
+
+    def end_phase(self) -> None:
+        """Stop attributing queries to a phase."""
+        self._phase = None
+
+    def snapshot(self) -> "QueryStats":
+        """An independent copy of the current counters."""
+        copy = QueryStats(
+            queries=self.queries,
+            resolved=self.resolved,
+            overflowed=self.overflowed,
+            tuples_returned=self.tuples_returned,
+            phase_costs=dict(self.phase_costs),
+        )
+        return copy
+
+    def __str__(self) -> str:
+        phases = (
+            ", ".join(f"{k}={v}" for k, v in self.phase_costs.items())
+            if self.phase_costs
+            else "-"
+        )
+        return (
+            f"{self.queries} queries ({self.resolved} resolved, "
+            f"{self.overflowed} overflowed; phases: {phases})"
+        )

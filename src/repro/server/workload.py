@@ -1,0 +1,74 @@
+"""Server-burden analysis: what a crawl costs the *provider*.
+
+The paper closes its introduction with a claim about the other side of
+the interface: "for a data provider, permitting an engine to crawl its
+database is not expected to impose a heavy toll on its workload."  This
+module quantifies that toll from the server's own counters:
+
+* queries answered, split into resolved/overflowing;
+* tuples shipped, in total and relative to ``n`` (the *ship factor*:
+  how many times over the crawl made the server send its content);
+* tuples shipped per query (bounded by ``k``).
+
+An efficient crawler's ship factor stays a small constant: each tuple
+is sent once in its final resolved region plus a handful of times in
+overflowing ancestors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.server import TopKServer
+
+__all__ = ["WorkloadReport", "workload_report"]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Provider-side summary of a crawl's burden."""
+
+    queries: int
+    resolved: int
+    overflowed: int
+    tuples_shipped: int
+    dataset_size: int
+
+    @property
+    def ship_factor(self) -> float:
+        """Tuples shipped divided by ``n`` -- the redundancy of the crawl.
+
+        1.0 would be the unattainable ideal (every tuple sent exactly
+        once); well-behaved crawls land within a small constant.
+        """
+        if self.dataset_size == 0:
+            return 0.0
+        return self.tuples_shipped / self.dataset_size
+
+    @property
+    def tuples_per_query(self) -> float:
+        """Average payload per answered query (at most ``k``)."""
+        if self.queries == 0:
+            return 0.0
+        return self.tuples_shipped / self.queries
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.queries} queries ({self.resolved} resolved, "
+            f"{self.overflowed} overflowed), {self.tuples_shipped} tuples "
+            f"shipped = {self.ship_factor:.2f}x the database, "
+            f"{self.tuples_per_query:.1f} tuples/query"
+        )
+
+
+def workload_report(server: TopKServer) -> WorkloadReport:
+    """Snapshot the provider-side burden counters of a server."""
+    stats = server.stats
+    return WorkloadReport(
+        queries=stats.queries,
+        resolved=stats.resolved,
+        overflowed=stats.overflowed,
+        tuples_shipped=stats.tuples_returned,
+        dataset_size=server.dataset.n,
+    )

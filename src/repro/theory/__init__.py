@@ -1,0 +1,61 @@
+"""Theory layer: bounds, recursion trees, hardness checks, adversaries."""
+
+from repro.theory.adversary import (
+    AdversarialTopKServer,
+    DuplicateHidingServer,
+    ModeClusterPolicy,
+    PriorityOrderPolicy,
+    RankByAttributePolicy,
+    ResponsePolicy,
+)
+from repro.theory.bounds import (
+    hybrid_upper_bound,
+    rank_shrink_upper_bound,
+    slice_cover_upper_bound,
+    theorem3_lower_bound,
+    theorem3_parameters,
+    theorem4_lower_bound,
+    theorem4_parameters_valid,
+    theorem4_upper_bound,
+    trivial_lower_bound,
+    upper_bound_for_dataset,
+)
+from repro.theory.hardness import (
+    check_lemma5_cover,
+    check_lemma7_diverse_resolves,
+    check_lemma8_monotonic_width,
+    classify_categorical_query,
+    resolved_queries,
+)
+from repro.theory.recursion_tree import (
+    RecursionTreeAnalysis,
+    RecursionTreeTracer,
+    TreeNode,
+)
+
+__all__ = [
+    "AdversarialTopKServer",
+    "DuplicateHidingServer",
+    "ModeClusterPolicy",
+    "PriorityOrderPolicy",
+    "RankByAttributePolicy",
+    "ResponsePolicy",
+    "hybrid_upper_bound",
+    "rank_shrink_upper_bound",
+    "slice_cover_upper_bound",
+    "theorem3_lower_bound",
+    "theorem3_parameters",
+    "theorem4_lower_bound",
+    "theorem4_parameters_valid",
+    "theorem4_upper_bound",
+    "trivial_lower_bound",
+    "upper_bound_for_dataset",
+    "check_lemma5_cover",
+    "check_lemma7_diverse_resolves",
+    "check_lemma8_monotonic_width",
+    "classify_categorical_query",
+    "resolved_queries",
+    "RecursionTreeAnalysis",
+    "RecursionTreeTracer",
+    "TreeNode",
+]

@@ -1,0 +1,307 @@
+"""Adversarial servers: the interface's freedom, made executable.
+
+Section 1.1 of the paper leaves the server one degree of freedom: when
+a query overflows, *it* chooses which ``k`` qualifying tuples to return
+(footnote 2: "usually the k tuples that have the highest priorities ...
+according to a ranking function").  Two consequences of the theory are
+worth testing as code:
+
+1. **The Theorem 1 guarantees are choice-independent.**  Every upper
+   bound holds for *any* deterministic choice of the ``k``-subset --
+   the proofs never assume randomness.  :class:`AdversarialTopKServer`
+   lets a :class:`ResponsePolicy` make the choice (rank by an
+   attribute like a "cheapest first" site, or cluster the response
+   around one value to force rank-shrink's 3-way splits), and the test
+   suite re-checks every crawler's cost bound under each policy.
+
+2. **The ``> k`` duplicates impossibility is real.**  The paper argues
+   Problem 1 is unsolvable when a point holds more than ``k`` identical
+   tuples, because the server "can always choose to leave ``t_{k+1}``
+   out of its response".  :class:`DuplicateHidingServer` *is* that
+   server: it deterministically withholds one designated copy forever,
+   while staying fully within the interface contract.  No algorithm
+   can extract the hidden copy -- crawlers detect the situation and
+   raise :class:`~repro.exceptions.InfeasibleCrawlError` instead.
+
+Both servers satisfy the :class:`~repro.server.interface.QueryInterface`
+protocol, so every crawler runs against them unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import AlgorithmInvariantError, SchemaError
+from repro.query.query import Query
+from repro.server.engines import make_engine
+from repro.server.response import QueryResponse, Row
+
+__all__ = [
+    "ResponsePolicy",
+    "PriorityOrderPolicy",
+    "RankByAttributePolicy",
+    "ModeClusterPolicy",
+    "AdversarialTopKServer",
+    "DuplicateHidingServer",
+]
+
+
+class ResponsePolicy(abc.ABC):
+    """Chooses the ``k`` tuples an overflowing query returns.
+
+    A policy must be a *pure function* of the full result: the server
+    answers repeated queries identically (the Section 1.1 contract),
+    which holds exactly when the policy is deterministic.
+    """
+
+    #: Human-readable policy name, for reports.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+        """Pick ``k`` of the ``matching`` tuples (given in priority order)."""
+
+
+class PriorityOrderPolicy(ResponsePolicy):
+    """The reference behaviour: the first ``k`` tuples in priority order.
+
+    With this policy :class:`AdversarialTopKServer` answers exactly like
+    :class:`~repro.server.server.TopKServer`, which the tests use to
+    validate the adversarial evaluation path itself.
+    """
+
+    name = "priority-order"
+
+    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+        return list(matching[:k])
+
+
+class RankByAttributePolicy(ResponsePolicy):
+    """A ranking function: ``k`` smallest (or largest) on one attribute.
+
+    This models real sites that order results by price, year or
+    mileage.  For a crawler it is *adversarially skewed*: the sample an
+    overflowing query returns is a one-sided extreme of the true
+    result, so rank-shrink's pivot (the ``k/2``-th returned value) is a
+    low quantile of ``q(D)`` rather than its median.  The Theorem 1
+    bound survives -- its proof only counts tuples of the *returned*
+    bag on each side of the pivot.
+    """
+
+    def __init__(self, attribute: int, *, descending: bool = False):
+        self._attribute = attribute
+        self._descending = descending
+        order = "desc" if descending else "asc"
+        self.name = f"rank-by-A{attribute + 1}-{order}"
+
+    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+        j = self._attribute
+        # Stable sort: equal-key tuples keep priority order, so the
+        # choice is deterministic.
+        ranked = sorted(
+            matching, key=lambda row: -row[j] if self._descending else row[j]
+        )
+        return ranked[:k]
+
+
+class ModeClusterPolicy(ResponsePolicy):
+    """Concentrate the response on one attribute's most common value.
+
+    Returns every qualifying tuple carrying the modal value of the
+    chosen attribute first (ties broken toward the smaller value), then
+    fills up with the remaining tuples in priority order.  Against
+    rank-shrink this maximises ties at the pivot, pushing the algorithm
+    into Case 2 (3-way splits) as often as the data allows -- the very
+    case that contributes the ``d`` factor to the ``O(d n / k)`` bound.
+    """
+
+    def __init__(self, attribute: int):
+        self._attribute = attribute
+        self.name = f"mode-cluster-A{attribute + 1}"
+
+    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+        j = self._attribute
+        counts = Counter(row[j] for row in matching)
+        # Most common value; deterministic tie-break toward smaller value.
+        mode = min(counts, key=lambda v: (-counts[v], v))
+        clustered = [row for row in matching if row[j] == mode]
+        rest = [row for row in matching if row[j] != mode]
+        return (clustered + rest)[:k]
+
+
+class AdversarialTopKServer:
+    """A contract-conforming server with a pluggable ``k``-subset choice.
+
+    Parameters
+    ----------
+    dataset:
+        The hidden content.
+    k:
+        The retrieval limit.
+    policy:
+        The :class:`ResponsePolicy` choosing overflow responses.
+    engine:
+        Evaluation engine for the *full* result of each query (the
+        policy needs all of ``q(D)``, not just ``k`` tuples).
+
+    Notes
+    -----
+    The server keeps the policy honest: a selection that is not a
+    ``k``-sized sub-bag of the true result raises
+    :class:`AlgorithmInvariantError` -- an adversary may choose, but
+    never lie.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int,
+        policy: ResponsePolicy,
+        *,
+        engine: str = "vector",
+    ):
+        if k < 1:
+            raise SchemaError(f"k must be at least 1, got {k}")
+        self._dataset = dataset
+        self._k = k
+        self._policy = policy
+        self._engine = make_engine(engine, dataset.rows)
+
+    # ------------------------------------------------------------------
+    # The QueryInterface protocol
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DataSpace:
+        """The public schema."""
+        return self._dataset.space
+
+    @property
+    def k(self) -> int:
+        """The retrieval limit."""
+        return self._k
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer per Section 1.1, the policy choosing overflow subsets."""
+        if query.space != self._dataset.space:
+            raise SchemaError("query was built against a different data space")
+        matching, _ = self._engine.top(query, self._dataset.n)
+        if len(matching) <= self._k:
+            return QueryResponse(tuple(matching), overflow=False)
+        chosen = self._policy.select(matching, self._k, query)
+        self._check_honest(chosen, matching)
+        return QueryResponse(tuple(chosen), overflow=True)
+
+    def _check_honest(self, chosen: list[Row], matching: list[Row]) -> None:
+        if len(chosen) != self._k:
+            raise AlgorithmInvariantError(
+                f"policy {self._policy.name!r} returned {len(chosen)} "
+                f"tuples instead of k={self._k}"
+            )
+        if Counter(chosen) - Counter(matching):
+            raise AlgorithmInvariantError(
+                f"policy {self._policy.name!r} returned tuples outside "
+                "the query's true result"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdversarialTopKServer(n={self._dataset.n}, k={self._k}, "
+            f"policy={self._policy.name})"
+        )
+
+
+class DuplicateHidingServer:
+    """The impossibility adversary of Section 1.1.
+
+    Built over a dataset holding more than ``k`` copies of one point,
+    this server forever withholds one designated copy: every query the
+    point satisfies necessarily overflows (more than ``k`` tuples
+    qualify), so the interface never forces the copy out.  The served
+    answers are fully consistent with a database that simply has one
+    copy fewer -- which is exactly why no algorithm can tell the
+    difference, i.e. why Problem 1 requires multiplicity at most ``k``.
+
+    Parameters
+    ----------
+    dataset, k:
+        The content and the retrieval limit.
+    point:
+        The overloaded point; its multiplicity must exceed ``k``.
+    """
+
+    def __init__(self, dataset: Dataset, k: int, point: Sequence[int]):
+        if k < 1:
+            raise SchemaError(f"k must be at least 1, got {k}")
+        self._point = dataset.space.validate_point(point)
+        multiplicity = dataset.multiset()[self._point]
+        if multiplicity <= k:
+            raise SchemaError(
+                f"point {self._point} holds {multiplicity} <= k={k} tuples; "
+                "the hiding argument needs more than k duplicates"
+            )
+        self._dataset = dataset
+        self._k = k
+        self._engine = make_engine("vector", dataset.rows)
+        #: Copies of the hidden tuple revealed across all responses (max).
+        self._max_copies_revealed = 0
+
+    # ------------------------------------------------------------------
+    # The QueryInterface protocol
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DataSpace:
+        """The public schema."""
+        return self._dataset.space
+
+    @property
+    def k(self) -> int:
+        """The retrieval limit."""
+        return self._k
+
+    def run(self, query: Query) -> QueryResponse:
+        """Answer per Section 1.1, never surrendering the hidden copy."""
+        if query.space != self._dataset.space:
+            raise SchemaError("query was built against a different data space")
+        matching, _ = self._engine.top(query, self._dataset.n)
+        if not query.matches(self._point):
+            overflow = len(matching) > self._k
+            return QueryResponse(tuple(matching[: self._k]), overflow)
+        # The point qualifies, so |q(D)| > k: the query overflows and we
+        # may pick any k-sub-bag.  Drop one copy of the hidden tuple
+        # first, then return the top k of what remains.
+        assert len(matching) > self._k
+        withheld = list(matching)
+        withheld.remove(self._point)
+        response = withheld[: self._k]
+        self._max_copies_revealed = max(
+            self._max_copies_revealed,
+            sum(1 for row in response if row == self._point),
+        )
+        return QueryResponse(tuple(response), overflow=True)
+
+    # ------------------------------------------------------------------
+    # Verification-side introspection
+    # ------------------------------------------------------------------
+    @property
+    def hidden_point(self) -> Row:
+        """The point whose last copy is withheld."""
+        return self._point
+
+    @property
+    def max_copies_revealed(self) -> int:
+        """Most copies of the hidden point any single response exposed.
+
+        Provably at most ``multiplicity - 1``: the proof of the
+        impossibility argument, measured.
+        """
+        return self._max_copies_revealed
+
+    def __repr__(self) -> str:
+        return (
+            f"DuplicateHidingServer(n={self._dataset.n}, k={self._k}, "
+            f"point={self._point})"
+        )

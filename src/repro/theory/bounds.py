@@ -1,0 +1,154 @@
+"""Closed-form cost bounds from the paper's theorems.
+
+Upper bounds (Theorem 1, with the explicit constants from the proofs of
+Lemmas 1, 2, 4 and 9) and lower bounds (the trivial ``n/k``, Theorem 3's
+``d*m`` and Theorem 4's ``Omega(d U^2)``).  The test suite pins every
+crawler's measured cost inside these envelopes, so an implementation
+regression that voids a guarantee fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import SpaceKind
+
+__all__ = [
+    "trivial_lower_bound",
+    "rank_shrink_upper_bound",
+    "slice_cover_upper_bound",
+    "hybrid_upper_bound",
+    "upper_bound_for_dataset",
+    "theorem3_parameters",
+    "theorem3_lower_bound",
+    "theorem4_parameters_valid",
+    "theorem4_lower_bound",
+    "theorem4_upper_bound",
+]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(a // -b)
+
+
+def trivial_lower_bound(n: int, k: int) -> int:
+    """``ceil(n/k)``: every query returns at most ``k`` tuples."""
+    if n <= 0:
+        return 1
+    return _ceil_div(n, k)
+
+
+def rank_shrink_upper_bound(n: int, k: int, d: int) -> int:
+    """Lemma 2 with its explicit constant: at most ``20 d n / k`` queries.
+
+    The proof shows the recursion tree has fewer than ``12 n / k``
+    internal nodes and that the inductive constant ``alpha = 20``
+    suffices; we add 1 for the root query of a trivially-resolved crawl.
+    """
+    return 20 * d * _ceil_div(max(n, 1), k) + 1
+
+
+def slice_cover_upper_bound(n: int, k: int, domain_sizes: Sequence[int]) -> int:
+    """Lemma 4: ``U1`` if ``d = 1``; else ``sum Ui + (n/k) sum min(Ui, n/k)``.
+
+    One extra query is allowed for lazy-slice-cover's root query (eager
+    slice-cover never issues the root; see DESIGN.md).
+    """
+    if len(domain_sizes) == 1:
+        return domain_sizes[0] + 1
+    ratio = _ceil_div(max(n, 1), k)
+    slices = sum(domain_sizes)
+    traversal = ratio * sum(min(u, ratio) for u in domain_sizes)
+    return slices + traversal + 1
+
+
+def hybrid_upper_bound(
+    n: int, k: int, categorical_domain_sizes: Sequence[int], d: int
+) -> int:
+    """Lemma 9, with Lemma 2's constant for the numeric sub-crawls.
+
+    ``cat = 1``: ``U1 + O((d - 1) n / k)``.  ``cat > 1``: the Lemma 4
+    slice/traversal terms plus ``O((d - cat) n / k)``.
+    """
+    cat = len(categorical_domain_sizes)
+    if cat == 0:
+        return rank_shrink_upper_bound(n, k, d)
+    ratio = _ceil_div(max(n, 1), k)
+    numeric_term = 20 * (d - cat) * ratio if d > cat else 0
+    if cat == 1:
+        return categorical_domain_sizes[0] + numeric_term + 2
+    slices = sum(categorical_domain_sizes)
+    traversal = ratio * sum(min(u, ratio) for u in categorical_domain_sizes)
+    return slices + traversal + numeric_term + 2
+
+
+def upper_bound_for_dataset(dataset: Dataset, k: int) -> int:
+    """The Theorem 1 bound matching the dataset's space kind."""
+    space = dataset.space
+    if space.kind is SpaceKind.NUMERIC:
+        return rank_shrink_upper_bound(dataset.n, k, space.dimensionality)
+    if space.kind is SpaceKind.CATEGORICAL:
+        return slice_cover_upper_bound(
+            dataset.n, k, list(space.categorical_domain_sizes)
+        )
+    return hybrid_upper_bound(
+        dataset.n, k, list(space.categorical_domain_sizes), space.dimensionality
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: the numeric lower bound
+# ----------------------------------------------------------------------
+def theorem3_parameters(k: int, d: int, m: int) -> dict[str, int]:
+    """Derived quantities of the Theorem 3 instance (requires ``d <= k``)."""
+    if d > k:
+        raise ValueError(f"Theorem 3 requires d <= k, got d={d}, k={k}")
+    n = m * (k + d)
+    return {"n": n, "groups": m, "diagonal": k * m, "non_diagonal": d * m}
+
+
+def theorem3_lower_bound(d: int, m: int) -> int:
+    """Any correct algorithm performs at least ``d * m`` queries.
+
+    Lemma 5: each of the ``d*m`` non-diagonal points must be covered by
+    a distinct *resolved* query.
+    """
+    return d * m
+
+
+# ----------------------------------------------------------------------
+# Theorem 4: the categorical lower bound
+# ----------------------------------------------------------------------
+def theorem4_parameters_valid(k: int, U: int) -> bool:
+    """Whether ``(k, U)`` satisfies Theorem 4's side conditions.
+
+    Requires ``U >= 3``, ``k >= 3``, ``d = 2k`` and ``d U^2 <= 2^(d/4)``.
+    """
+    d = 2 * k
+    return U >= 3 and k >= 3 and d * U * U <= 2 ** (d / 4)
+
+
+def theorem4_lower_bound(d: int, U: int) -> int:
+    """A concrete floor below the ``Omega(d U^2)`` bound.
+
+    The proof's dichotomy: either at least ``(d/8) * C(U, 2)`` diverse
+    queries are issued, or at least ``2^(d/4) >= d U^2`` resolved
+    monotonic queries are; the minimum of the two is a valid concrete
+    lower bound for any correct algorithm.
+    """
+    diverse_branch = (d // 8) * math.comb(U, 2)
+    monotonic_branch = d * U * U
+    return max(1, min(diverse_branch, monotonic_branch))
+
+
+def theorem4_upper_bound(k: int, U: int) -> int:
+    """Slice-cover's Lemma 4 bound on the Theorem 4 instance.
+
+    With ``n = d U`` and ``d = 2k``: ``n/k = 2U``, so the bound is
+    ``d U + 2U * d U = d U (1 + 2U)`` -- within a constant factor of the
+    ``Omega(d U^2)`` lower bound, which is the optimality claim.
+    """
+    d = 2 * k
+    return slice_cover_upper_bound(d * U, k, [U] * d)

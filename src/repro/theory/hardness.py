@@ -1,0 +1,132 @@
+"""Checkers for the lower-bound proof machinery (Sections 4.1 and 4.2).
+
+The adversarial arguments of Theorems 3 and 4 make concrete claims about
+what any *correct* execution must look like on the hard instances.
+Because our crawlers are correct, those claims are testable invariants
+of real executions:
+
+* **Lemma 5** (numeric): on the Theorem 3 instance, every non-diagonal
+  point is covered by at least one resolved query, and no resolved
+  query covers two non-diagonal points -- hence cost >= ``d*m``.
+* **Lemma 7** (categorical): a *diverse* query (two non-wildcard
+  predicates with different constants) matches at most two tuples of the
+  Theorem 4 instance, so it always resolves.
+* **Lemma 8** (categorical): a resolved *monotonic* query (>= 2
+  non-wildcard predicates, all the same constant) has at least ``d/2``
+  non-wildcard predicates.
+
+These checkers double as validation of the hard-instance generators in
+:mod:`repro.datasets.hard`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.query.predicates import EqualityPredicate, RangePredicate
+from repro.query.query import Query
+from repro.server.response import QueryResponse
+
+__all__ = [
+    "resolved_queries",
+    "check_lemma5_cover",
+    "classify_categorical_query",
+    "check_lemma7_diverse_resolves",
+    "check_lemma8_monotonic_width",
+]
+
+CrawlLog = Iterable[tuple[Query, QueryResponse]]
+
+
+def resolved_queries(log: CrawlLog) -> list[Query]:
+    """The resolved queries of an execution log."""
+    return [query for query, response in log if response.resolved]
+
+
+def check_lemma5_cover(
+    log: CrawlLog, non_diagonal_points: Sequence[tuple[int, ...]]
+) -> int:
+    """Verify Lemma 5 on an execution over the Theorem 3 instance.
+
+    Returns the number of resolved queries (a witness that cost >= the
+    number of non-diagonal points).
+
+    Raises
+    ------
+    AssertionError
+        If some non-diagonal point is covered by no resolved query, or
+        one resolved query covers two of them (contradicting the proof).
+    """
+    resolved = resolved_queries(log)
+    for point in non_diagonal_points:
+        if not any(q.matches(point) for q in resolved):
+            raise AssertionError(
+                f"non-diagonal point {point} not covered by any resolved "
+                "query -- the crawl could not have been correct"
+            )
+    for query in resolved:
+        covered = [p for p in non_diagonal_points if query.matches(p)]
+        if len(covered) > 1:
+            raise AssertionError(
+                f"resolved query {query} covers {len(covered)} non-diagonal "
+                f"points ({covered[:2]}...), contradicting Lemma 5"
+            )
+    return len(resolved)
+
+
+def classify_categorical_query(query: Query) -> str:
+    """Theorem 4's taxonomy: ``diverse``, ``monotonic`` or ``other``.
+
+    * diverse -- at least two non-wildcard predicates carrying *different*
+      constants;
+    * monotonic -- at least two non-wildcard predicates, all carrying the
+      *same* constant;
+    * other -- at most one non-wildcard predicate.
+    """
+    constants: list[int] = []
+    for pred in query.predicates:
+        if isinstance(pred, EqualityPredicate):
+            if pred.value is not None:
+                constants.append(pred.value)
+        elif isinstance(pred, RangePredicate):  # pragma: no cover - defensive
+            raise ValueError("Theorem 4 queries are categorical")
+    if len(constants) < 2:
+        return "other"
+    if len(set(constants)) == 1:
+        return "monotonic"
+    return "diverse"
+
+
+def check_lemma7_diverse_resolves(log: CrawlLog) -> int:
+    """Every diverse query in the log must have resolved (Lemma 7)."""
+    checked = 0
+    for query, response in log:
+        if classify_categorical_query(query) == "diverse":
+            checked += 1
+            if response.overflow:
+                raise AssertionError(
+                    f"diverse query {query} overflowed, contradicting Lemma 7"
+                )
+    return checked
+
+
+def check_lemma8_monotonic_width(log: CrawlLog, d: int) -> int:
+    """Resolved monotonic queries pin at least ``d/2`` attributes (Lemma 8)."""
+    checked = 0
+    for query, response in log:
+        if response.overflow:
+            continue
+        if classify_categorical_query(query) != "monotonic":
+            continue
+        checked += 1
+        pinned = sum(
+            1
+            for pred in query.predicates
+            if isinstance(pred, EqualityPredicate) and pred.value is not None
+        )
+        if pinned < d / 2:
+            raise AssertionError(
+                f"resolved monotonic query {query} pins only {pinned} < d/2 "
+                f"= {d / 2} attributes, contradicting Lemma 8"
+            )
+    return checked

@@ -1,0 +1,169 @@
+"""Instrumented recursion tree for rank-shrink (the proof object of Lemma 1).
+
+The cost analysis of rank-shrink argues over a *recursion tree*: nodes
+are queries, a split's products are the splitting query's children, and
+the leaves partition the processed region.  Lemma 1 classifies the
+leaves of the 1-d tree:
+
+* **type 1** -- the middle band of a 3-way split (resolved immediately;
+  its point holds at least ``k/4`` identical tuples);
+* **type 2** -- any other leaf covering at least ``k/4`` tuples;
+* **type 3** -- a leaf covering fewer than ``k/4`` tuples.
+
+and counts: at most ``4n/k`` leaves of types 1+2, at most twice as many
+type-3 leaves as type-2+1 (each type-3 leaf is the sibling of a type-1
+or type-2 leaf), hence ``O(n/k)`` nodes in total.
+
+Passing a :class:`RecursionTreeTracer` to rank-shrink records the tree;
+:class:`RecursionTreeAnalysis` recomputes the leaf classes against the
+ground-truth dataset so tests can check the counting argument on real
+executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataspace.dataset import Dataset
+from repro.query.query import Query
+
+__all__ = ["TreeNode", "RecursionTreeTracer", "RecursionTreeAnalysis"]
+
+
+@dataclass
+class TreeNode:
+    """One query of the rank-shrink recursion."""
+
+    node_id: int
+    query: Query
+    parent_id: int | None
+    #: "root", or the node's role in its parent's split: "left" / "mid" / "right".
+    role: str
+    resolved: bool = False
+    #: "2way" / "3way" when the node split, else None (leaf).
+    split_kind: str | None = None
+    split_dim: int | None = None
+    split_value: int | None = None
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node never split (its query resolved)."""
+        return self.split_kind is None
+
+
+class RecursionTreeTracer:
+    """Collects the recursion tree while rank-shrink runs."""
+
+    def __init__(self):
+        self.nodes: list[TreeNode] = []
+
+    # -- hooks called by repro.crawl.rank_shrink.solve_numeric ---------
+    def enter(self, query: Query, parent: TreeNode | None, role: str) -> TreeNode:
+        node = TreeNode(
+            node_id=len(self.nodes),
+            query=query,
+            parent_id=None if parent is None else parent.node_id,
+            role=role,
+        )
+        self.nodes.append(node)
+        if parent is not None:
+            parent.children.append(node.node_id)
+        return node
+
+    def mark_resolved(self, node: TreeNode) -> None:
+        node.resolved = True
+
+    def mark_split(self, node: TreeNode, kind: str, dim: int, value: int) -> None:
+        node.split_kind = kind
+        node.split_dim = dim
+        node.split_value = value
+
+    # -- structure accessors -------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of nodes (= queries issued by rank-shrink)."""
+        return len(self.nodes)
+
+    def leaves(self) -> list[TreeNode]:
+        """All leaves, i.e. resolved queries."""
+        return [node for node in self.nodes if node.is_leaf]
+
+    def internal_nodes(self) -> list[TreeNode]:
+        """All splitting nodes."""
+        return [node for node in self.nodes if not node.is_leaf]
+
+    def siblings(self, node: TreeNode) -> list[TreeNode]:
+        """The other children of the node's parent."""
+        if node.parent_id is None:
+            return []
+        parent = self.nodes[node.parent_id]
+        return [
+            self.nodes[child_id]
+            for child_id in parent.children
+            if child_id != node.node_id
+        ]
+
+
+class RecursionTreeAnalysis:
+    """Lemma 1's leaf classification, recomputed against the ground truth."""
+
+    def __init__(self, tracer: RecursionTreeTracer, dataset: Dataset, k: int):
+        self._tracer = tracer
+        self._dataset = dataset
+        self._k = k
+
+    def tuples_covered(self, node: TreeNode) -> int:
+        """``|q(D)|`` for the node's query (operator-side knowledge)."""
+        return sum(1 for row in self._dataset.iter_rows() if node.query.matches(row))
+
+    def leaf_type(self, node: TreeNode) -> int:
+        """The Lemma 1 class (1, 2, or 3) of a leaf."""
+        if not node.is_leaf:
+            raise ValueError("leaf_type is defined for leaves only")
+        covered = self.tuples_covered(node)
+        threshold = self._k / 4
+        if node.role == "mid" and covered >= threshold:
+            return 1
+        if covered >= threshold:
+            return 2
+        return 3
+
+    def leaf_type_counts(self) -> dict[int, int]:
+        """How many leaves fall in each Lemma 1 class."""
+        counts = {1: 0, 2: 0, 3: 0}
+        for leaf in self._tracer.leaves():
+            counts[self.leaf_type(leaf)] += 1
+        return counts
+
+    def check_lemma1_counts(self) -> None:
+        """Assert the counting argument of Lemma 1 on this execution.
+
+        * types 1 and 2 together: at most ``4 n / k`` leaves;
+        * every type-3 leaf has a sibling of type 1 or 2 (hence at most
+          ``8 n / k`` of them);
+        * internal nodes are fewer than the leaves (each split adds at
+          least one node).
+        """
+        counts = self.leaf_type_counts()
+        n = self._dataset.n
+        heavy_cap = 4 * n / self._k
+        if counts[1] + counts[2] > heavy_cap:
+            raise AssertionError(
+                f"{counts[1] + counts[2]} type-1/2 leaves exceed 4n/k = "
+                f"{heavy_cap}"
+            )
+        for leaf in self._tracer.leaves():
+            if self.leaf_type(leaf) != 3:
+                continue
+            sibling_types = [
+                self.leaf_type(s)
+                for s in self._tracer.siblings(leaf)
+                if s.is_leaf
+            ]
+            if not any(t in (1, 2) for t in sibling_types):
+                raise AssertionError(
+                    f"type-3 leaf {leaf.node_id} has no type-1/2 leaf sibling"
+                )
+        if len(self._tracer.internal_nodes()) > max(1, len(self._tracer.leaves())):
+            raise AssertionError("more internal nodes than leaves")

@@ -1,0 +1,44 @@
+"""The simulated web layer: forms, result pages, site and session.
+
+The paper's problem is posed against a *web interface* (Figure 1): a
+search form, a dynamically generated result page, a per-query result
+cap.  The rest of this library works with the abstract query interface
+of Section 1.1; this package supplies the missing outer layer so the
+whole pipeline -- parse the form, learn the domains from the pull-down
+menus, crawl by scraping result pages -- runs end to end:
+
+* :class:`~repro.web.forms.SearchForm` -- the form a site serves, and
+  the crawler-side parser that reconstructs the schema from it;
+* :mod:`repro.web.urls` -- the query <-> query-string codec;
+* :mod:`repro.web.pages` -- result-page rendering and scraping;
+* :class:`~repro.web.site.HiddenWebSite` -- the website: ``GET /`` and
+  ``GET /search?...`` over a :class:`~repro.server.server.TopKServer`;
+* :class:`~repro.web.adapter.WebSession` -- the crawler-side session
+  satisfying the :class:`~repro.server.interface.QueryInterface`
+  protocol, so every crawler runs unchanged over HTML.
+"""
+
+from repro.web.adapter import WebSession
+from repro.web.forms import RangeField, SearchForm, SelectField
+from repro.web.pages import (
+    parse_result_page,
+    render_error_page,
+    render_result_page,
+)
+from repro.web.site import HiddenWebSite, WebPage
+from repro.web.urls import check_encodable, decode_query, encode_query
+
+__all__ = [
+    "WebSession",
+    "RangeField",
+    "SearchForm",
+    "SelectField",
+    "parse_result_page",
+    "render_error_page",
+    "render_result_page",
+    "HiddenWebSite",
+    "WebPage",
+    "check_encodable",
+    "decode_query",
+    "encode_query",
+]

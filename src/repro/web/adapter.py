@@ -1,0 +1,121 @@
+"""Crawler-side web session: HTML in, the abstract interface out.
+
+:class:`WebSession` closes the loop of the web substrate.  Pointed at a
+:class:`~repro.web.site.HiddenWebSite`, it
+
+1. fetches the search page and parses the form, reconstructing the
+   :class:`~repro.dataspace.space.DataSpace` (categorical domains come
+   straight off the pull-down menus -- the paper's Section 1.3
+   observation) and the retrieval limit ``k``;
+2. answers :meth:`run` calls by encoding the query as a form
+   submission, fetching the result page, and scraping it back into a
+   :class:`~repro.server.response.QueryResponse`.
+
+It therefore satisfies the exact protocol of
+:class:`~repro.server.server.TopKServer` (``space``, ``k``, ``run``),
+so every crawler in :mod:`repro.crawl` runs unchanged over HTML::
+
+    site = HiddenWebSite(TopKServer(dataset, k=100))
+    result = Hybrid(CachingClient(WebSession(site))).crawl()
+
+The adapter tests assert the query-cost *and* the extracted bag are
+identical to a direct crawl -- the web layer adds scraping, not
+information.
+"""
+
+from __future__ import annotations
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted, WebProtocolError
+from repro.query.query import Query
+from repro.server.response import QueryResponse
+from repro.web.forms import SearchForm
+from repro.web.pages import parse_result_page
+from repro.web.site import HiddenWebSite
+from repro.web.urls import encode_query
+
+__all__ = ["WebSession"]
+
+
+class WebSession:
+    """A crawling session against a form-based website.
+
+    Parameters
+    ----------
+    site:
+        The website to crawl.  The constructor immediately fetches and
+        parses the search page; a site without a readable form or a
+        stated result limit is unusable and raises
+        :class:`WebProtocolError` up front.
+    """
+
+    def __init__(self, site: HiddenWebSite):
+        self._site = site
+        page = site.get("/")
+        if not page.ok:
+            raise WebProtocolError(
+                f"search page request failed with status {page.status}",
+                status=page.status,
+            )
+        self._form = SearchForm.parse(page.body)
+        self._space = self._form.to_space()
+        self._requests = 0
+
+    # ------------------------------------------------------------------
+    # The TopKServer protocol
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DataSpace:
+        """The schema reconstructed from the search form."""
+        return self._space
+
+    @property
+    def k(self) -> int:
+        """The retrieval limit stated on the search page."""
+        return self._form.k
+
+    def run(self, query: Query) -> QueryResponse:
+        """Submit ``query`` through the form and scrape the result page.
+
+        Raises
+        ------
+        QueryBudgetExhausted
+            On a 429 response (the site's query limit refused us); the
+            request may be retried after the limit resets.
+        WebProtocolError
+            On any other non-200 response or an unparseable page.
+        """
+        url = "/search?" + encode_query(query)
+        page = self._site.get(url)
+        self._requests += 1
+        if page.status == 429:
+            raise QueryBudgetExhausted(
+                "site refused the query (HTTP 429)", issued=self._requests - 1
+            )
+        if not page.ok:
+            raise WebProtocolError(
+                f"search request failed with status {page.status}",
+                status=page.status,
+            )
+        response = parse_result_page(page.body)
+        for row in response.rows:
+            if len(row) != self._space.dimensionality:
+                raise WebProtocolError(
+                    f"result row has {len(row)} cells, form advertised "
+                    f"{self._space.dimensionality} attributes"
+                )
+        return response
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        """Search requests sent so far (excludes the form fetch)."""
+        return self._requests
+
+    @property
+    def form(self) -> SearchForm:
+        """The parsed search form (schema, domains, ``k``)."""
+        return self._form
+
+    def __repr__(self) -> str:
+        return f"WebSession(k={self.k}, requests={self._requests})"

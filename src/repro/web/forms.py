@@ -1,0 +1,261 @@
+"""The search form: how a hidden database advertises its interface.
+
+The paper's Figure 1 shows the crawler-visible half of a hidden
+database: an HTML form with one input per attribute -- a pull-down menu
+(with an *Any* option) for each categorical attribute, and a min/max
+input pair for each numeric one.  Section 1.3 notes that for many sites
+the categorical domains "can be seen from the pull-down menu of its
+query interface"; this module makes that observation executable:
+
+* :meth:`SearchForm.from_space` builds the form a site serves for a
+  given schema, and :meth:`SearchForm.render` emits its HTML;
+* :meth:`SearchForm.parse` recovers a form from HTML, and
+  :meth:`SearchForm.to_space` rebuilds the :class:`DataSpace` a crawler
+  needs -- categorical domains are read off the menus exactly as the
+  paper describes.
+
+Numeric attributes are conceptually unbounded (their domain is all
+integers), so by default the reconstructed schema carries no bounds --
+which is precisely why ``binary-shrink`` (whose cost depends on domain
+width) cannot even start from a parsed form, while ``rank-shrink``
+can.  Sites that *do* constrain their inputs can be modelled with
+``advertise_bounds=True``, which emits ``min=``/``max=`` attributes on
+the number inputs and lets the parser recover them.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from dataclasses import dataclass
+from html.parser import HTMLParser
+
+from repro.dataspace.attribute import Attribute, categorical, numeric
+from repro.dataspace.space import DataSpace
+from repro.exceptions import WebProtocolError
+from repro.web.urls import check_encodable
+
+__all__ = ["SelectField", "RangeField", "SearchForm"]
+
+#: The option label shown for the wildcard choice of a pull-down menu.
+_ANY_LABEL = "Any"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectField:
+    """A pull-down menu for one categorical attribute.
+
+    ``values`` lists the integer domain values in menu order; the menu
+    additionally offers the *Any* wildcard (an empty ``value``) first.
+    """
+
+    name: str
+    values: tuple[int, ...]
+
+    def render(self) -> str:
+        """The ``<select>`` element (with its label) as HTML."""
+        safe = html.escape(self.name, quote=True)
+        lines = [
+            f'<label for="{safe}">{html.escape(self.name)}</label>',
+            f'<select name="{safe}" id="{safe}">',
+            f'<option value="">{_ANY_LABEL}</option>',
+        ]
+        for value in self.values:
+            lines.append(f'<option value="{value}">{html.escape(self.name)} {value}</option>')
+        lines.append("</select>")
+        return "\n".join(lines)
+
+    def to_attribute(self) -> Attribute:
+        """The categorical attribute this menu advertises.
+
+        The menu enumerates the domain, so its size is simply the
+        option count; values are validated to be exactly ``1 .. U``
+        (the library's categorical encoding).
+        """
+        expected = tuple(range(1, len(self.values) + 1))
+        if self.values != expected:
+            raise WebProtocolError(
+                f"menu {self.name!r} lists values {self.values}, expected "
+                f"the contiguous encoding {expected}"
+            )
+        return categorical(self.name, len(self.values))
+
+
+@dataclass(frozen=True, slots=True)
+class RangeField:
+    """The min/max input pair for one numeric attribute.
+
+    ``lo``/``hi`` are the advertised input constraints when the site
+    publishes them (``advertise_bounds=True``); ``None`` otherwise.
+    """
+
+    name: str
+    lo: int | None = None
+    hi: int | None = None
+
+    def render(self) -> str:
+        """The two ``<input type="number">`` elements as HTML."""
+        safe = html.escape(self.name, quote=True)
+        bounds = ""
+        if self.lo is not None:
+            bounds += f' min="{self.lo}"'
+        if self.hi is not None:
+            bounds += f' max="{self.hi}"'
+        return "\n".join(
+            [
+                f'<label for="{safe}_min">{html.escape(self.name)}</label>',
+                f'<input type="number" name="{safe}_min" id="{safe}_min"{bounds} />',
+                f'<input type="number" name="{safe}_max" id="{safe}_max"{bounds} />',
+            ]
+        )
+
+    def to_attribute(self) -> Attribute:
+        """The numeric attribute this input pair advertises."""
+        return numeric(self.name, self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class SearchForm:
+    """A complete search form: ordered fields plus the result limit.
+
+    The form is the public contract of a hidden database: everything a
+    crawler is entitled to know (schema, categorical domains, the
+    retrieval limit ``k``) is printed on it, and nothing else is.
+    """
+
+    fields: tuple[SelectField | RangeField, ...]
+    k: int
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_space(
+        cls, space: DataSpace, k: int, *, advertise_bounds: bool = False
+    ) -> "SearchForm":
+        """The form a site serves for ``space`` with retrieval limit ``k``."""
+        check_encodable(space)
+        fields: list[SelectField | RangeField] = []
+        for attr in space:
+            if attr.is_categorical:
+                assert attr.domain_size is not None
+                fields.append(
+                    SelectField(attr.name, tuple(range(1, attr.domain_size + 1)))
+                )
+            elif advertise_bounds:
+                fields.append(RangeField(attr.name, attr.lo, attr.hi))
+            else:
+                fields.append(RangeField(attr.name))
+        return cls(tuple(fields), k)
+
+    def to_space(self) -> DataSpace:
+        """Rebuild the :class:`DataSpace` the form advertises."""
+        return DataSpace(field.to_attribute() for field in self.fields)
+
+    # ------------------------------------------------------------------
+    # HTML
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The search page's ``<form>`` element as HTML."""
+        parts = ['<form action="/search" method="get" id="search-form">']
+        for field in self.fields:
+            parts.append('<div class="field">')
+            parts.append(field.render())
+            parts.append("</div>")
+        parts.append('<button type="submit">Search</button>')
+        parts.append("</form>")
+        parts.append(
+            f'<p id="result-limit">Each search returns at most '
+            f"<strong>{self.k}</strong> results.</p>"
+        )
+        return "\n".join(parts)
+
+    @classmethod
+    def parse(cls, page_html: str) -> "SearchForm":
+        """Recover the form from a search page.
+
+        Raises
+        ------
+        WebProtocolError
+            If the page has no search form, a menu has no *Any* option,
+            or the result-limit notice is missing (a crawler cannot
+            operate without knowing ``k``).
+        """
+        parser = _FormParser()
+        parser.feed(page_html)
+        parser.close()
+        if not parser.saw_form:
+            raise WebProtocolError("page contains no search form")
+        match = re.search(
+            r"at most\s*(?:<strong>)?(\d+)(?:</strong>)?\s*results",
+            page_html,
+        )
+        if match is None:
+            raise WebProtocolError(
+                "page does not state the per-query result limit"
+            )
+        return cls(tuple(parser.fields), int(match.group(1)))
+
+
+class _FormParser(HTMLParser):
+    """Extracts select menus and min/max number-input pairs from HTML."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fields: list[SelectField | RangeField] = []
+        self.saw_form = False
+        self._select_name: str | None = None
+        self._select_values: list[int] = []
+        self._pending_ranges: dict[str, RangeField] = {}
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        attributes = dict(attrs)
+        if tag == "form":
+            self.saw_form = True
+        elif tag == "select":
+            self._select_name = attributes.get("name", "")
+            self._select_values = []
+        elif tag == "option" and self._select_name is not None:
+            raw = attributes.get("value", "")
+            if raw:
+                self._select_values.append(int(raw))
+        elif tag == "input" and attributes.get("type") == "number":
+            self._handle_number_input(attributes)
+
+    def _handle_number_input(self, attributes: dict) -> None:
+        name = attributes.get("name", "")
+        for suffix in ("_min", "_max"):
+            if not name.endswith(suffix):
+                continue
+            stem = name[: -len(suffix)]
+            lo = attributes.get("min")
+            hi = attributes.get("max")
+            field = RangeField(
+                stem,
+                None if lo is None else int(lo),
+                None if hi is None else int(hi),
+            )
+            if stem in self._pending_ranges:
+                if self._pending_ranges[stem] != field:
+                    raise WebProtocolError(
+                        f"inconsistent min/max inputs for {stem!r}"
+                    )
+                self.fields.append(self._pending_ranges.pop(stem))
+            else:
+                self._pending_ranges[stem] = field
+            return
+        raise WebProtocolError(
+            f"number input {name!r} is neither a _min nor a _max field"
+        )
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "select" and self._select_name is not None:
+            self.fields.append(
+                SelectField(self._select_name, tuple(self._select_values))
+            )
+            self._select_name = None
+        elif tag == "form" and self._pending_ranges:
+            missing = ", ".join(sorted(self._pending_ranges))
+            raise WebProtocolError(
+                f"unpaired min/max inputs for: {missing}"
+            )

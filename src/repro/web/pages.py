@@ -1,0 +1,144 @@
+"""Result pages: rendering and scraping the server's response.
+
+A hidden database answers a form submission with a dynamically
+generated result page (the paper's Figure 1).  The page carries exactly
+the information of a :class:`~repro.server.response.QueryResponse` and
+no more:
+
+* a table of the returned tuples (all of them when the query resolved,
+  exactly ``k`` when it overflowed), and
+* either a definite count ("*N records match your search*") or an
+  overflow banner ("*more records match*") -- the one-bit overflow
+  signal of Section 1.1.
+
+:func:`render_result_page` produces the HTML; :func:`parse_result_page`
+scrapes it back.  The pair is loss-less, so a crawler operating on HTML
+sees byte-for-byte the same responses as one holding a direct server
+handle -- which the adapter tests assert.
+"""
+
+from __future__ import annotations
+
+import html
+from html.parser import HTMLParser
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import WebProtocolError
+from repro.server.response import QueryResponse, Row
+
+__all__ = ["render_result_page", "parse_result_page", "render_error_page"]
+
+#: Marker id of the overflow banner; its presence is the overflow bit.
+_OVERFLOW_ID = "overflow-banner"
+
+
+def render_result_page(space: DataSpace, response: QueryResponse) -> str:
+    """The HTML page a site serves for one query's response."""
+    lines = [
+        "<!doctype html>",
+        "<html><head><title>Search results</title></head><body>",
+    ]
+    if response.overflow:
+        lines.append(
+            f'<div id="{_OVERFLOW_ID}">Showing the first '
+            f"{len(response.rows)} matching records; more records match "
+            "your search. Please refine your criteria.</div>"
+        )
+    else:
+        lines.append(
+            f'<p id="result-count">{len(response.rows)} records match '
+            "your search.</p>"
+        )
+    lines.append('<table id="results">')
+    header = "".join(f"<th>{html.escape(a.name)}</th>" for a in space)
+    lines.append(f"<thead><tr>{header}</tr></thead>")
+    lines.append("<tbody>")
+    for row in response.rows:
+        cells = "".join(f"<td>{value}</td>" for value in row)
+        lines.append(f"<tr>{cells}</tr>")
+    lines.append("</tbody>")
+    lines.append("</table>")
+    lines.append("</body></html>")
+    return "\n".join(lines)
+
+
+def render_error_page(status: int, message: str) -> str:
+    """The HTML page a site serves for a failed request."""
+    return (
+        "<!doctype html>\n"
+        f"<html><head><title>Error {status}</title></head><body>\n"
+        f'<h1 id="error">Error {status}</h1>\n'
+        f"<p>{html.escape(message)}</p>\n"
+        "</body></html>"
+    )
+
+
+def parse_result_page(page_html: str) -> QueryResponse:
+    """Scrape a result page back into a :class:`QueryResponse`.
+
+    Raises
+    ------
+    WebProtocolError
+        If the page has no results table or a cell is not an integer.
+    """
+    parser = _ResultParser()
+    parser.feed(page_html)
+    parser.close()
+    if not parser.saw_table:
+        raise WebProtocolError("page contains no results table")
+    widths = {len(row) for row in parser.rows}
+    if len(widths) > 1:
+        raise WebProtocolError(
+            f"results table rows have inconsistent widths: {sorted(widths)}"
+        )
+    return QueryResponse(tuple(parser.rows), parser.overflow)
+
+
+class _ResultParser(HTMLParser):
+    """Extracts the results table and the overflow banner from HTML."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rows: list[Row] = []
+        self.overflow = False
+        self.saw_table = False
+        self._in_body = False
+        self._cells: list[int] | None = None
+        self._collect_cell = False
+        self._cell_text: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        attributes = dict(attrs)
+        if tag == "div" and attributes.get("id") == _OVERFLOW_ID:
+            self.overflow = True
+        elif tag == "table" and attributes.get("id") == "results":
+            self.saw_table = True
+        elif tag == "tbody" and self.saw_table:
+            self._in_body = True
+        elif tag == "tr" and self._in_body:
+            self._cells = []
+        elif tag == "td" and self._cells is not None:
+            self._collect_cell = True
+            self._cell_text = []
+
+    def handle_data(self, data: str) -> None:
+        if self._collect_cell:
+            self._cell_text.append(data)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "td" and self._collect_cell:
+            raw = "".join(self._cell_text).strip()
+            try:
+                value = int(raw)
+            except ValueError:
+                raise WebProtocolError(
+                    f"non-integer table cell {raw!r}"
+                ) from None
+            assert self._cells is not None
+            self._cells.append(value)
+            self._collect_cell = False
+        elif tag == "tr" and self._cells is not None:
+            self.rows.append(tuple(self._cells))
+            self._cells = None
+        elif tag == "tbody":
+            self._in_body = False

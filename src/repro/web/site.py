@@ -1,0 +1,117 @@
+"""The simulated hidden-database website.
+
+:class:`HiddenWebSite` is the outermost substrate of the reproduction:
+it wraps a :class:`~repro.server.server.TopKServer` behind the two
+endpoints a form-based hidden database exposes --
+
+* ``GET /`` -- the search page, whose form advertises the schema, the
+  categorical domains (pull-down menus) and the retrieval limit ``k``;
+* ``GET /search?<query-string>`` -- the dynamically generated result
+  page for one query.
+
+Responses are plain HTML strings with an HTTP-like status code:
+
+====== =======================================================
+status meaning
+====== =======================================================
+200    a search or result page
+400    malformed query string (unknown parameter, bad value)
+404    unknown path
+429    a query limit refused the request (retry after reset)
+====== =======================================================
+
+The site never leaks anything a real site would not: the crawler-facing
+error page for a 400 carries the message, a 429 carries no detail, and
+the hidden dataset itself is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+from repro.exceptions import QueryBudgetExhausted, SchemaError, WebProtocolError
+from repro.server.server import TopKServer
+from repro.web.forms import SearchForm
+from repro.web.pages import render_error_page, render_result_page
+from repro.web.urls import decode_query
+
+__all__ = ["WebPage", "HiddenWebSite"]
+
+
+@dataclass(frozen=True, slots=True)
+class WebPage:
+    """One HTTP-like exchange: a status code and an HTML body."""
+
+    status: int
+    body: str
+
+    @property
+    def ok(self) -> bool:
+        """``True`` iff the request succeeded."""
+        return self.status == 200
+
+
+class HiddenWebSite:
+    """A form-based website fronting a hidden database.
+
+    Parameters
+    ----------
+    server:
+        The top-``k`` server holding the hidden content.
+    advertise_bounds:
+        When ``True``, numeric form inputs carry ``min``/``max``
+        attributes from the schema's bounds metadata (some real sites
+        constrain their inputs).  The parsed form then reconstructs a
+        bounded schema, enabling ``binary-shrink`` over the web layer.
+        Off by default: a numeric domain is conceptually unbounded and
+        most sites say nothing.
+    """
+
+    def __init__(self, server: TopKServer, *, advertise_bounds: bool = False):
+        self._server = server
+        self._form = SearchForm.from_space(
+            server.space, server.k, advertise_bounds=advertise_bounds
+        )
+        self._pages_served = 0
+        self._search_page = (
+            "<!doctype html>\n"
+            "<html><head><title>Hidden Database Search</title></head><body>\n"
+            "<h1>Hidden Database Search</h1>\n"
+            + self._form.render()
+            + "\n</body></html>"
+        )
+
+    # ------------------------------------------------------------------
+    # The one entry point a crawler has
+    # ------------------------------------------------------------------
+    def get(self, url: str) -> WebPage:
+        """Serve ``url`` (path plus optional query string)."""
+        parts = urlsplit(url)
+        self._pages_served += 1
+        if parts.path in ("", "/"):
+            return WebPage(200, self._search_page)
+        if parts.path != "/search":
+            return WebPage(404, render_error_page(404, "no such page"))
+        try:
+            query = decode_query(self._server.space, parts.query)
+        except (WebProtocolError, SchemaError) as exc:
+            return WebPage(400, render_error_page(400, str(exc)))
+        try:
+            response = self._server.run(query)
+        except QueryBudgetExhausted:
+            return WebPage(
+                429, render_error_page(429, "query limit reached; try later")
+            )
+        return WebPage(200, render_result_page(self._server.space, response))
+
+    # ------------------------------------------------------------------
+    # Operator-side introspection
+    # ------------------------------------------------------------------
+    @property
+    def pages_served(self) -> int:
+        """Total requests handled (the provider-side burden)."""
+        return self._pages_served
+
+    def __repr__(self) -> str:
+        return f"HiddenWebSite({self._server!r}, pages={self._pages_served})"

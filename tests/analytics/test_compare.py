@@ -1,0 +1,73 @@
+"""Comparison-harness tests: budget sweep semantics and the headline claim."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.compare import compare_at_budgets
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(2)
+    space = DataSpace.mixed(
+        [("c1", 3), ("c2", 4)], ["v"], numeric_bounds=[(0, 255)]
+    )
+    n = 400
+    rows = np.column_stack(
+        [
+            rng.integers(1, 4, n),
+            rng.integers(1, 5, n),
+            rng.integers(0, 256, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+class TestSweep:
+    def test_budgets_validated(self, dataset):
+        with pytest.raises(SchemaError):
+            compare_at_budgets(dataset, 16, [])
+        with pytest.raises(SchemaError):
+            compare_at_budgets(dataset, 16, [50, 20])
+
+    def test_report_shape(self, dataset):
+        report = compare_at_budgets(dataset, 16, [10, 40], seed=1)
+        assert len(report.points) == 2
+        assert report.n == dataset.n
+        assert report.crawl_full_cost > 0
+        assert len(report.rows()) == 2
+
+    def test_crawl_fraction_monotone_in_budget(self, dataset):
+        report = compare_at_budgets(dataset, 16, [5, 20, 80, 320], seed=1)
+        fractions = [p.crawl_fraction for p in report.points]
+        assert fractions == sorted(fractions)
+
+    def test_crawl_exact_once_budget_suffices(self, dataset):
+        report = compare_at_budgets(dataset, 16, [10], seed=1)
+        full = report.crawl_full_cost
+        report = compare_at_budgets(dataset, 16, [10, full], seed=1)
+        last = report.points[-1]
+        assert last.crawl_complete and last.crawl_fraction == pytest.approx(1.0)
+
+    def test_sampling_errors_are_finite(self, dataset):
+        report = compare_at_budgets(dataset, 16, [30, 120], seed=1)
+        for point in report.points:
+            assert point.sample_size_error >= 0.0
+            assert point.sample_sum_error >= 0.0
+            assert point.sample_walks > 0
+
+    def test_headline_claim(self, dataset):
+        """At the crawler's own finishing budget, crawling is exact while
+        sampling still carries error -- the paper's Section 1.4 contrast."""
+        probe = compare_at_budgets(dataset, 16, [10], seed=1)
+        full = probe.crawl_full_cost
+        report = compare_at_budgets(dataset, 16, [full], seed=1)
+        point = report.points[0]
+        assert point.crawl_complete
+        assert point.crawl_fraction == pytest.approx(1.0)
+        # Sampling with the same budget is approximate (almost surely
+        # nonzero error; the seed pins it).
+        assert point.sample_size_error > 0.0

@@ -1,0 +1,182 @@
+"""Drill-down sampler tests: probabilities, determinism, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analytics.random_walk import DrillDownSampler
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError, UnboundedDomainError
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from tests.conftest import small_instances
+
+
+def categorical_dataset(seed=0, n=120):
+    rng = np.random.default_rng(seed)
+    space = DataSpace.categorical([3, 4, 5])
+    rows = np.column_stack(
+        [rng.integers(1, 4, n), rng.integers(1, 5, n), rng.integers(1, 6, n)]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+def exact_walk_distribution(dataset, k):
+    """Brute-force the sampler's per-instance selection probabilities.
+
+    Mirrors the walk semantics on a categorical space: descend the
+    prefix hierarchy, splitting probability uniformly over each
+    domain, and at the first resolved query share the node's mass
+    uniformly over the returned bag.  Returns ``(per-instance
+    probability list, failure mass)``.
+    """
+    server = TopKServer(dataset, k)
+    space = dataset.space
+    instance_probs = []
+    failure_mass = 0.0
+
+    def descend(query, level, mass):
+        nonlocal failure_mass
+        response = server.run(query)
+        if not response.overflow:
+            if response.rows:
+                share = mass / len(response.rows)
+                instance_probs.extend([share] * len(response.rows))
+            else:
+                failure_mass += mass
+            return
+        assert level < space.dimensionality, "point query overflowed"
+        size = space[level].domain_size
+        for value in range(1, size + 1):
+            descend(query.with_value(level, value), level + 1, mass / size)
+
+    descend(Query.full(space), 0, 1.0)
+    return instance_probs, failure_mass
+
+
+class TestWalkSemantics:
+    def test_probability_mass_is_conserved(self):
+        dataset = categorical_dataset()
+        probs, failure = exact_walk_distribution(dataset, k=8)
+        assert sum(probs) + failure == pytest.approx(1.0)
+
+    def test_ht_expectation_is_exactly_n(self):
+        """E[1/p] over the walk distribution equals n -- unbiasedness."""
+        dataset = categorical_dataset()
+        probs, _ = exact_walk_distribution(dataset, k=8)
+        expectation = sum(p * (1.0 / p) for p in probs)
+        assert expectation == pytest.approx(dataset.n)
+
+    def test_sampled_probabilities_match_exact_distribution(self):
+        """The sampler reports exactly the analytic p(t) for its samples."""
+        dataset = categorical_dataset()
+        # Build the analytic probability of each *distinct row* by
+        # accumulating instance shares.
+        server = TopKServer(dataset, k=8)
+        sampler = DrillDownSampler(CachingClient(server), seed=5)
+        probs, _ = exact_walk_distribution(dataset, k=8)
+        distinct_probs = sorted(set(round(p, 12) for p in probs))
+        for _ in range(50):
+            outcome = sampler.walk()
+            if outcome.success:
+                assert round(outcome.probability, 12) in distinct_probs
+
+    def test_walks_are_seed_deterministic(self):
+        dataset = categorical_dataset()
+        a = DrillDownSampler(TopKServer(dataset, k=8), seed=9)
+        b = DrillDownSampler(TopKServer(dataset, k=8), seed=9)
+        for _ in range(20):
+            assert a.walk() == b.walk()
+
+    def test_small_k_resolves_deeper(self):
+        dataset = categorical_dataset()
+        sampler = DrillDownSampler(TopKServer(dataset, k=2), seed=1)
+        outcomes = sampler.walks(30)
+        assert any(o.depth > 1 for o in outcomes)
+
+
+class TestNumericWalks:
+    def test_bounded_numeric_space_works(self):
+        rng = np.random.default_rng(4)
+        space = DataSpace.numeric(1, bounds=[(0, 63)])
+        rows = rng.integers(0, 64, 80).reshape(-1, 1).astype(np.int64)
+        dataset = Dataset(space, rows)
+        sampler = DrillDownSampler(TopKServer(dataset, k=5), seed=2)
+        outcomes = sampler.walks(40)
+        assert any(o.success for o in outcomes)
+        for o in outcomes:
+            if o.success:
+                assert 0.0 < o.probability <= 1.0
+
+    def test_unbounded_numeric_rejected(self):
+        space = DataSpace.numeric(1)
+        dataset = Dataset(space, [(1,), (2,)])
+        with pytest.raises(UnboundedDomainError):
+            DrillDownSampler(TopKServer(dataset, k=1))
+
+    def test_mixed_space_walks(self):
+        rng = np.random.default_rng(6)
+        space = DataSpace.mixed(
+            [("c", 3)], ["v"], numeric_bounds=[(0, 127)]
+        )
+        rows = np.column_stack(
+            [rng.integers(1, 4, 100), rng.integers(0, 128, 100)]
+        ).astype(np.int64)
+        dataset = Dataset(space, rows)
+        sampler = DrillDownSampler(TopKServer(dataset, k=4), seed=0)
+        outcomes = sampler.walks(60)
+        assert sum(o.success for o in outcomes) > 0
+
+
+class TestEdgeCases:
+    def test_empty_database_all_walks_fail(self):
+        space = DataSpace.categorical([3])
+        dataset = Dataset(space, np.empty((0, 1), dtype=np.int64))
+        sampler = DrillDownSampler(TopKServer(dataset, k=2), seed=0)
+        outcomes = sampler.walks(10)
+        assert all(not o.success for o in outcomes)
+
+    def test_overloaded_point_fails_walk_without_crashing(self):
+        space = DataSpace.categorical([2])
+        dataset = Dataset(space, [(1,)] * 5 + [(2,)])
+        # k=3 < multiplicity 5: the point query overflows.
+        sampler = DrillDownSampler(TopKServer(dataset, k=3), seed=0)
+        outcomes = sampler.walks(20)
+        # Walks into value 2 succeed; walks into value 1 fail.
+        assert any(o.success for o in outcomes)
+        assert any(not o.success for o in outcomes)
+
+    def test_zero_walk_count_rejected(self):
+        space = DataSpace.categorical([2])
+        dataset = Dataset(space, [(1,)])
+        sampler = DrillDownSampler(TopKServer(dataset, k=2), seed=0)
+        with pytest.raises(SchemaError):
+            sampler.walks(0)
+
+    def test_resolved_root_needs_one_query(self):
+        space = DataSpace.categorical([4])
+        dataset = Dataset(space, [(1,), (2,)])
+        sampler = DrillDownSampler(TopKServer(dataset, k=10), seed=0)
+        outcome = sampler.walk()
+        assert outcome.success and outcome.depth == 1
+        assert outcome.probability == pytest.approx(0.5)
+
+    @given(instance=small_instances(max_dim=2, max_domain=4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_never_crash(self, instance):
+        dataset, k = instance
+        space = dataset.space
+        if any(a.is_numeric for a in space):
+            bounded = dataset.with_bounds_from_data()
+        else:
+            bounded = dataset
+        if bounded.n == 0 and any(
+            a.is_numeric and not a.is_bounded for a in bounded.space
+        ):
+            return  # empty numeric data cannot derive bounds
+        sampler = DrillDownSampler(TopKServer(bounded, k), seed=1)
+        for outcome in sampler.walks(10):
+            if outcome.success:
+                assert 0.0 < outcome.probability <= 1.0

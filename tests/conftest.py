@@ -1,0 +1,91 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def numeric_space_2d() -> DataSpace:
+    return DataSpace.numeric(2, bounds=[(0, 100), (0, 100)])
+
+
+@pytest.fixture
+def categorical_space_2d() -> DataSpace:
+    return DataSpace.categorical([4, 4])
+
+
+@pytest.fixture
+def mixed_space() -> DataSpace:
+    return DataSpace.mixed([("make", 3), ("body", 4)], ["price", "year"])
+
+
+def make_dataset(space: DataSpace, rows) -> Dataset:
+    """Dataset helper with validation on."""
+    return Dataset(space, np.asarray(rows, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies for small random crawl instances
+# ----------------------------------------------------------------------
+@st.composite
+def small_spaces(draw, max_dim: int = 3, max_domain: int = 5):
+    """A random small data space of any kind."""
+    d = draw(st.integers(1, max_dim))
+    cat = draw(st.integers(0, d))
+    attrs = []
+    sizes = [draw(st.integers(1, max_domain)) for _ in range(cat)]
+    space_cat = [(f"C{i}", sizes[i]) for i in range(cat)]
+    numeric_names = [f"N{i}" for i in range(d - cat)]
+    if cat == 0:
+        return DataSpace.numeric(d, names=numeric_names)
+    if cat == d:
+        return DataSpace.categorical(sizes, names=[n for n, _ in space_cat])
+    return DataSpace.mixed(space_cat, numeric_names)
+
+
+@st.composite
+def small_instances(
+    draw,
+    max_dim: int = 3,
+    max_domain: int = 5,
+    max_n: int = 40,
+    max_value: int = 12,
+    max_k: int = 8,
+):
+    """A random (dataset, k) pair guaranteed to be crawlable.
+
+    Tuples are drawn coordinate-wise; some rows are duplicated to
+    exercise bag semantics.  ``k`` is drawn at least as large as the
+    maximum point multiplicity so Problem 1 is solvable.
+    """
+    space = draw(small_spaces(max_dim=max_dim, max_domain=max_domain))
+    n = draw(st.integers(0, max_n))
+    rows = []
+    for _ in range(n):
+        row = []
+        for attr in space:
+            if attr.is_categorical:
+                row.append(draw(st.integers(1, attr.domain_size)))
+            else:
+                row.append(draw(st.integers(-max_value, max_value)))
+        rows.append(tuple(row))
+        # Occasionally duplicate the row just generated.
+        if rows and draw(st.booleans()):
+            rows.append(rows[-1])
+    matrix = (
+        np.asarray(rows, dtype=np.int64)
+        if rows
+        else np.empty((0, space.dimensionality), dtype=np.int64)
+    )
+    dataset = Dataset(space, matrix)
+    k = draw(st.integers(max(1, dataset.max_multiplicity()), max(max_k, dataset.max_multiplicity())))
+    return dataset, k

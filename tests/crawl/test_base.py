@@ -1,0 +1,97 @@
+"""Tests for the crawler base machinery: results, progress, budgets."""
+
+import pytest
+
+from repro.crawl.base import ProgressPoint
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import AlgorithmInvariantError, QueryBudgetExhausted
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+
+
+@pytest.fixture
+def dataset():
+    return random_dataset(DataSpace.numeric(2), 200, seed=2, numeric_range=(0, 60))
+
+
+class TestCrawlResult:
+    def test_metadata(self, dataset):
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        assert result.algorithm == "rank-shrink"
+        assert result.complete
+        assert result.tuples_extracted == dataset.n
+        assert "rank-shrink" in repr(result)
+
+    def test_as_dataset_round_trip(self, dataset):
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        assert result.as_dataset() == dataset
+
+    def test_cost_matches_client(self, dataset):
+        crawler = RankShrink(TopKServer(dataset, k=8))
+        result = crawler.crawl()
+        assert result.cost == crawler.client.cost == len(crawler.client.history)
+
+
+class TestProgressLog:
+    def test_progress_is_monotone(self, dataset):
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        queries = [p.queries for p in result.progress]
+        tuples = [p.tuples for p in result.progress]
+        assert queries == sorted(queries)
+        assert tuples == sorted(tuples)
+
+    def test_progress_endpoints(self, dataset):
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        assert result.progress[0] == ProgressPoint(0, 0)
+        assert result.progress[-1].queries == result.cost
+        assert result.progress[-1].tuples == result.tuples_extracted
+
+    def test_fractions_normalised(self, dataset):
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        fractions = result.progress_fractions()
+        assert fractions[-1] == (1.0, 1.0)
+        assert all(0.0 <= q <= 1.0 and 0.0 <= t <= 1.0 for q, t in fractions)
+
+
+class TestBudgets:
+    def test_budget_propagates_by_default(self, dataset):
+        server = TopKServer(dataset, k=8, limits=[QueryBudget(3)])
+        with pytest.raises(QueryBudgetExhausted):
+            RankShrink(server).crawl()
+
+    def test_allow_partial(self, dataset):
+        server = TopKServer(dataset, k=8, limits=[QueryBudget(3)])
+        result = RankShrink(server).crawl(allow_partial=True)
+        assert not result.complete
+        assert result.cost <= 3
+        assert result.tuples_extracted < dataset.n
+
+    def test_resume_with_shared_client(self, dataset):
+        """Budgeted crawls resume for free over the shared cache."""
+        budget = QueryBudget(5)
+        server = TopKServer(dataset, k=8, limits=[budget])
+        client = CachingClient(server)
+        partial = RankShrink(client).crawl(allow_partial=True)
+        assert not partial.complete
+        budget.refill(10_000)
+        finished = RankShrink(client).crawl()
+        assert finished.complete
+        assert finished.tuples_extracted == dataset.n
+        # The resumed run replayed the prefix from the cache: total server
+        # queries stayed within one budget-worth plus the remainder.
+        assert server.stats.queries == client.cost
+
+    def test_max_queries_cap_triggers(self, dataset):
+        crawler = RankShrink(TopKServer(dataset, k=8), max_queries=2)
+        with pytest.raises(AlgorithmInvariantError):
+            crawler.crawl()
+
+    def test_single_use_enforced(self, dataset):
+        crawler = Hybrid(TopKServer(dataset, k=8))
+        crawler.crawl()
+        with pytest.raises(AlgorithmInvariantError):
+            crawler.crawl()

@@ -1,0 +1,107 @@
+"""Tests for crawl checkpointing (cross-process resume)."""
+
+import pytest
+
+from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.verify import assert_complete
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+
+
+@pytest.fixture
+def dataset():
+    space = DataSpace.mixed([("c", 4)], ["x", "y"])
+    return random_dataset(space, 400, seed=8, numeric_range=(0, 80))
+
+
+class TestRoundTrip:
+    def test_interrupted_crawl_resumes_across_clients(self, dataset, tmp_path):
+        # "Process 1": crawl under a tight budget, checkpoint, die.
+        budget = QueryBudget(12)
+        server1 = TopKServer(dataset, k=16, priority_seed=4, limits=[budget])
+        client1 = CachingClient(server1)
+        partial = Hybrid(client1).crawl(allow_partial=True)
+        assert not partial.complete
+        checkpoint = save_checkpoint(client1, tmp_path / "crawl.json")
+
+        # "Process 2": fresh client over a fresh server; same seeds.
+        server2 = TopKServer(dataset, k=16, priority_seed=4)
+        client2 = CachingClient(server2)
+        restored = load_checkpoint(client2, checkpoint)
+        assert restored == partial.cost
+        finished = Hybrid(client2).crawl()
+        assert finished.complete
+        assert_complete(finished, dataset)
+        # The resumed process never repeated the checkpointed queries.
+        one_shot_cost = Hybrid(TopKServer(dataset, k=16, priority_seed=4)).crawl().cost
+        assert server2.stats.queries == one_shot_cost - restored
+
+    def test_restored_entries_cost_nothing(self, dataset, tmp_path):
+        server = TopKServer(dataset, k=16, priority_seed=4)
+        client = CachingClient(server)
+        Hybrid(client).crawl()
+        path = save_checkpoint(client, tmp_path / "c.json")
+
+        fresh = CachingClient(TopKServer(dataset, k=16, priority_seed=4))
+        load_checkpoint(fresh, path)
+        assert fresh.cost == 0
+
+    def test_idempotent_load(self, dataset, tmp_path):
+        server = TopKServer(dataset, k=16)
+        client = CachingClient(server)
+        Hybrid(client).crawl()
+        path = save_checkpoint(client, tmp_path / "c.json")
+        again = CachingClient(TopKServer(dataset, k=16))
+        assert load_checkpoint(again, path) > 0
+        assert load_checkpoint(again, path) == 0  # everything known already
+
+
+class TestSafety:
+    def test_rejects_wrong_space(self, dataset, tmp_path):
+        client = CachingClient(TopKServer(dataset, k=16))
+        Hybrid(client).crawl()
+        path = save_checkpoint(client, tmp_path / "c.json")
+        other_space = DataSpace.mixed([("c", 5)], ["x", "y"])
+        other = random_dataset(other_space, 10, seed=0)
+        with pytest.raises(SchemaError):
+            load_checkpoint(CachingClient(TopKServer(other, k=16)), path)
+
+    def test_rejects_wrong_k(self, dataset, tmp_path):
+        client = CachingClient(TopKServer(dataset, k=16))
+        Hybrid(client).crawl()
+        path = save_checkpoint(client, tmp_path / "c.json")
+        with pytest.raises(SchemaError):
+            load_checkpoint(CachingClient(TopKServer(dataset, k=32)), path)
+
+    def test_rejects_unknown_version(self, dataset, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(SchemaError):
+            load_checkpoint(CachingClient(TopKServer(dataset, k=16)), path)
+
+    def test_preserves_overflow_flags_and_duplicates(self, tmp_path):
+        space = DataSpace.categorical([3])
+        from tests.conftest import make_dataset
+
+        heavy = make_dataset(space, [[1]] * 5 + [[2], [2]])
+        client = CachingClient(TopKServer(heavy, k=3, priority_seed=1))
+        from repro.query.query import slice_query
+
+        for value in (1, 2, 3):
+            client.run(slice_query(space, 0, value))
+        path = save_checkpoint(client, tmp_path / "c.json")
+
+        fresh = CachingClient(TopKServer(heavy, k=3, priority_seed=1))
+        load_checkpoint(fresh, path)
+        restored = fresh.run(slice_query(space, 0, 1))
+        assert restored.overflow
+        duplicated = fresh.run(slice_query(space, 0, 2))
+        assert sorted(duplicated.rows) == [(2,), (2,)]
+        assert fresh.cost == 0

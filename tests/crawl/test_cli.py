@@ -1,0 +1,91 @@
+"""Tests for the python -m repro.crawl CLI."""
+
+import pytest
+
+from repro.crawl.__main__ import build_parser, main
+from repro.datasets.io import load_csv, save_csv
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def mixed_csv(tmp_path):
+    space = DataSpace.mixed([("c", 3)], ["x"])
+    dataset = random_dataset(space, 60, seed=1, numeric_range=(0, 30))
+    path = tmp_path / "data.csv"
+    save_csv(dataset, path)
+    return str(path), dataset
+
+
+class TestParser:
+    def test_requires_k(self, mixed_csv):
+        path, _ = mixed_csv
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([path])
+
+    def test_defaults(self, mixed_csv):
+        path, _ = mixed_csv
+        args = build_parser().parse_args([path, "--k", "8"])
+        assert args.algorithm == "hybrid"
+        assert args.seed == 0
+
+
+class TestMain:
+    def test_happy_path(self, mixed_csv, capsys):
+        path, dataset = mixed_csv
+        assert main([path, "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert f"n={dataset.n}" in out
+        assert "complete" in out
+
+    def test_output_round_trip(self, mixed_csv, tmp_path, capsys):
+        path, dataset = mixed_csv
+        out_path = tmp_path / "extracted.csv"
+        assert main([path, "--k", "8", "--output", str(out_path)]) == 0
+        extracted = load_csv(out_path)
+        assert extracted == dataset
+
+    def test_progress_flag(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "progress" in out
+        assert "100% -> 100.0%" in out
+
+    def test_binary_shrink_needs_bounds_flag(self, tmp_path, capsys):
+        space = DataSpace.numeric(1)
+        dataset = random_dataset(space, 20, seed=0, numeric_range=(0, 9))
+        path = tmp_path / "num.csv"
+        save_csv(dataset, path)
+        assert main([str(path), "--k", "4", "--algorithm", "binary-shrink"]) == 2
+        assert (
+            main(
+                [
+                    str(path),
+                    "--k",
+                    "4",
+                    "--algorithm",
+                    "binary-shrink",
+                    "--bounds-from-data",
+                ]
+            )
+            == 0
+        )
+
+    def test_infeasible_exit_code(self, tmp_path, capsys):
+        space = DataSpace.categorical([3])
+        dataset = make_dataset(space, [[1]] * 9 + [[2]])
+        path = tmp_path / "dup.csv"
+        save_csv(dataset, path)
+        assert main([str(path), "--k", "4"]) == 3
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent.csv", "--k", "4"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_wrong_algorithm_for_space(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--algorithm", "dfs"]) == 2
+        assert "error" in capsys.readouterr().err

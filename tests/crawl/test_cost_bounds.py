@@ -1,0 +1,78 @@
+"""Integration tests: Theorem 1 envelopes on the paper-lookalike data.
+
+Each optimal algorithm runs on a scaled-down version of the dataset the
+paper evaluates it on, with ``max_queries`` pinned to its Theorem 1
+bound -- the crawl itself aborts if the guarantee is violated -- and the
+cost is also sanity-checked against the trivial ``ceil(n/k)`` floor.
+"""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import assert_complete
+from repro.datasets.adult import adult, adult_numeric
+from repro.datasets.nsf import nsf
+from repro.datasets.yahoo import yahoo_autos
+from repro.server.server import TopKServer
+from repro.theory import bounds
+
+N_SMALL = 3000
+
+
+class TestRankShrinkOnAdultNumeric:
+    @pytest.mark.parametrize("k", [16, 64, 256])
+    def test_envelope(self, k):
+        dataset = adult_numeric(n=N_SMALL, seed=11)
+        upper = bounds.rank_shrink_upper_bound(dataset.n, k, 6)
+        crawler = RankShrink(TopKServer(dataset, k=k), max_queries=upper)
+        result = crawler.crawl()
+        assert_complete(result, dataset)
+        assert bounds.trivial_lower_bound(dataset.n, k) <= result.cost <= upper
+
+
+class TestSliceCoverOnNSF:
+    @pytest.mark.parametrize("cls", [SliceCover, LazySliceCover])
+    def test_envelope(self, cls):
+        dataset = nsf(n=N_SMALL, seed=23)
+        k = 64
+        sizes = list(dataset.space.categorical_domain_sizes)
+        upper = bounds.slice_cover_upper_bound(dataset.n, k, sizes)
+        crawler = cls(TopKServer(dataset, k=k), max_queries=upper)
+        result = crawler.crawl()
+        assert_complete(result, dataset)
+        assert result.cost <= upper
+
+
+class TestHybridOnMixed:
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (yahoo_autos, {"n": N_SMALL, "seed": 5, "duplicates": 0}),
+            (adult, {"n": N_SMALL, "seed": 11}),
+        ],
+    )
+    def test_envelope(self, factory, kwargs):
+        dataset = factory(**kwargs)
+        k = 64
+        space = dataset.space
+        upper = bounds.hybrid_upper_bound(
+            dataset.n, k, list(space.categorical_domain_sizes), space.dimensionality
+        )
+        crawler = Hybrid(TopKServer(dataset, k=k), max_queries=upper)
+        result = crawler.crawl()
+        assert_complete(result, dataset)
+        assert bounds.trivial_lower_bound(dataset.n, k) <= result.cost <= upper
+
+
+class TestInverseLinearityInK:
+    def test_rank_shrink_halves_with_k(self):
+        """Figure 10a's observation: cost ~halves each time k doubles."""
+        dataset = adult_numeric(n=6000, seed=11)
+        costs = {}
+        for k in (32, 64, 128):
+            result = RankShrink(TopKServer(dataset, k=k)).crawl()
+            costs[k] = result.cost
+        assert costs[32] > 1.5 * costs[64]
+        assert costs[64] > 1.5 * costs[128]

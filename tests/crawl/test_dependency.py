@@ -1,0 +1,101 @@
+"""Tests for the Section 1.3 attribute-dependency pruning heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.query.query import Query
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def space():
+    return DataSpace.categorical([3, 3])
+
+
+@pytest.fixture
+def dataset(space):
+    # Value pair (A1=1, A2=3) and (A1=3, A2=1) never occur.
+    rows = []
+    for a in range(1, 4):
+        for b in range(1, 4):
+            if (a, b) in ((1, 3), (3, 1)):
+                continue
+            rows.extend([[a, b]] * 4)
+    return make_dataset(space, rows)
+
+
+class TestOracle:
+    def test_forbid_and_check(self, space):
+        oracle = PairwiseDependencyOracle([(0, 1, 1, 3)])
+        q = Query.full(space).with_value(0, 1).with_value(1, 3)
+        assert oracle.certainly_empty(q)
+        # A wildcard keeps the query possibly non-empty: conservative.
+        assert not oracle.certainly_empty(Query.full(space).with_value(0, 1))
+
+    def test_symmetric_storage(self, space):
+        oracle = PairwiseDependencyOracle()
+        oracle.forbid(1, 3, 0, 1)  # reversed attribute order
+        q = Query.full(space).with_value(0, 1).with_value(1, 3)
+        assert oracle.certainly_empty(q)
+        assert len(oracle) == 1
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(SchemaError):
+            PairwiseDependencyOracle([(0, 1, 0, 2)])
+
+    def test_from_dataset_columns(self, dataset):
+        oracle = PairwiseDependencyOracle.from_dataset_columns(dataset, 0, 1)
+        assert len(oracle) == 2  # the two absent combinations
+        q = Query.full(dataset.space).with_value(0, 1).with_value(1, 3)
+        assert oracle.certainly_empty(q)
+
+    def test_from_dataset_rejects_numeric(self):
+        space = DataSpace.mixed([("c", 2)], ["x"])
+        ds = make_dataset(space, [[1, 5]])
+        with pytest.raises(SchemaError):
+            PairwiseDependencyOracle.from_dataset_columns(ds, 0, 1)
+
+
+class TestFilteringClient:
+    def test_correctness_preserved_and_cost_reduced(self, dataset):
+        oracle = PairwiseDependencyOracle.from_dataset_columns(dataset, 0, 1)
+        plain_server = TopKServer(dataset, k=4)
+        plain = DepthFirstSearch(plain_server).crawl()
+
+        server = TopKServer(dataset, k=4)
+        client = DependencyFilteringClient(server, oracle)
+        filtered = DepthFirstSearch(client).crawl()
+
+        assert_complete(filtered, dataset)
+        assert client.pruned == 2
+        assert filtered.cost == plain.cost - 2
+
+    def test_sound_on_empty_oracle(self, dataset):
+        client = DependencyFilteringClient(
+            TopKServer(dataset, k=4), PairwiseDependencyOracle()
+        )
+        result = DepthFirstSearch(client).crawl()
+        assert_complete(result, dataset)
+        assert client.pruned == 0
+
+    def test_hybrid_with_dependencies(self):
+        space = DataSpace.mixed([("make", 3), ("body", 3)], ["price"])
+        rng = np.random.default_rng(0)
+        rows = []
+        for _ in range(150):
+            make = rng.integers(1, 4)
+            body = rng.choice([b for b in range(1, 4) if (make, b) != (1, 2)])
+            rows.append([make, body, int(rng.integers(0, 50))])
+        dataset = Dataset(space, np.asarray(rows, dtype=np.int64))
+        oracle = PairwiseDependencyOracle([(0, 1, 1, 2)])
+        client = DependencyFilteringClient(TopKServer(dataset, k=4), oracle)
+        result = Hybrid(client).crawl()
+        assert_complete(result, dataset)

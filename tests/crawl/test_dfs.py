@@ -1,0 +1,70 @@
+"""Tests for the categorical DFS baseline (Figure 5 walkthrough)."""
+
+import pytest
+
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.verify import assert_complete
+from repro.datasets.paper_examples import figure5_dataset, figure5_server
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+class TestFigure5Example:
+    def test_visits_exactly_u1_to_u13(self):
+        """The paper: "DFS eventually visits all of u1, ..., u13"."""
+        crawler = DepthFirstSearch(figure5_server())
+        result = crawler.crawl()
+        assert result.cost == 13
+
+    def test_prunes_resolved_subtrees(self):
+        """query(u3) = (A1=2) resolves, so its children are never queried."""
+        crawler = DepthFirstSearch(figure5_server())
+        crawler.crawl()
+        for query in crawler.client.history:
+            # No query pins A1=2 together with a value of A2.
+            if query.predicates[0].value == 2:
+                assert query.predicates[1].value is None
+
+    def test_traversal_order_is_depth_first(self):
+        crawler = DepthFirstSearch(figure5_server())
+        crawler.crawl()
+        history = crawler.client.history
+        # Root first, then A1=1 and its four children before A1=2.
+        assert history[0].fixed_level() == 0
+        assert history[1].predicates[0].value == 1
+        for i in (2, 3, 4, 5):
+            assert history[i].predicates[0].value == 1
+            assert history[i].predicates[1].value == i - 1
+        assert history[6].predicates[0].value == 2
+
+    def test_completeness_including_duplicates(self):
+        result = DepthFirstSearch(figure5_server()).crawl()
+        assert_complete(result, figure5_dataset())
+        assert sorted(result.rows).count((3, 3)) == 2  # t8 and t9
+
+
+class TestGeneral:
+    def test_rejects_non_categorical(self):
+        dataset = make_dataset(DataSpace.numeric(1), [[1]])
+        with pytest.raises(SchemaError):
+            DepthFirstSearch(TopKServer(dataset, k=2))
+
+    def test_single_attribute(self):
+        dataset = make_dataset(DataSpace.categorical([5]), [[1], [1], [3]])
+        result = DepthFirstSearch(TopKServer(dataset, k=2)).crawl()
+        assert_complete(result, dataset)
+
+    def test_resolved_root_costs_one(self):
+        dataset = make_dataset(DataSpace.categorical([9, 9]), [[1, 1], [2, 2]])
+        result = DepthFirstSearch(TopKServer(dataset, k=5)).crawl()
+        assert result.cost == 1
+
+    def test_deep_space(self):
+        # The pattern has period 6, so each populated point holds 5 copies.
+        rows = [[1 + i % 2, 1 + i % 3, 1 + i % 2, 1 + i % 3] for i in range(30)]
+        dataset = make_dataset(DataSpace.categorical([2, 3, 2, 3]), rows)
+        assert dataset.max_multiplicity() == 5
+        result = DepthFirstSearch(TopKServer(dataset, k=5)).crawl()
+        assert_complete(result, dataset)

@@ -1,0 +1,160 @@
+"""Boundary-condition crawls: extreme k, degenerate spaces, tiny bags.
+
+Each test pins one boundary of the problem definition:
+
+* ``k = 1`` -- the stingiest legal interface;
+* ``n = 0`` and ``n <= k`` -- crawls that finish at the root;
+* multiplicity exactly ``k`` -- the feasibility boundary (solvable);
+* domain size 1 -- categorical attributes with nothing to choose;
+* one-dimensional spaces of either kind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.server.server import TopKServer
+
+ALL_KINDS = [RankShrink, LazySliceCover, SliceCover, DepthFirstSearch, Hybrid]
+
+
+def crawler_for(space, crawler_cls):
+    """Whether the algorithm applies to this space kind."""
+    if crawler_cls in (LazySliceCover, SliceCover, DepthFirstSearch):
+        return space.kind.value == "categorical"
+    if crawler_cls in (RankShrink, BinaryShrink):
+        return space.kind.value == "numeric"
+    return True
+
+
+class TestKEqualsOne:
+    def test_rank_shrink_k1_distinct_values(self):
+        space = DataSpace.numeric(1)
+        dataset = Dataset(space, [(v,) for v in range(9)])
+        result = RankShrink(TopKServer(dataset, k=1)).crawl()
+        assert_complete(result, dataset)
+
+    def test_hybrid_k1_mixed(self):
+        space = DataSpace.mixed([("c", 3)], ["v"])
+        dataset = Dataset(space, [(1, 5), (2, 5), (3, 7), (1, 9)])
+        result = Hybrid(TopKServer(dataset, k=1)).crawl()
+        assert_complete(result, dataset)
+
+    def test_lazy_slice_cover_k1(self):
+        space = DataSpace.categorical([3, 3])
+        dataset = Dataset(space, [(1, 1), (2, 3), (3, 2)])
+        result = LazySliceCover(TopKServer(dataset, k=1)).crawl()
+        assert_complete(result, dataset)
+
+
+class TestEmptyDatabase:
+    @pytest.mark.parametrize("crawler_cls", ALL_KINDS)
+    def test_empty_bag_everywhere(self, crawler_cls):
+        for space in (
+            DataSpace.numeric(2, bounds=[(0, 7), (0, 7)]),
+            DataSpace.categorical([3, 2]),
+            DataSpace.mixed([("c", 3)], ["v"], numeric_bounds=[(0, 7)]),
+        ):
+            if not crawler_for(space, crawler_cls):
+                continue
+            dataset = Dataset(
+                space, np.empty((0, space.dimensionality), dtype=np.int64)
+            )
+            result = crawler_cls(TopKServer(dataset, k=4)).crawl()
+            assert result.rows == []
+            assert result.complete
+            # The root query resolves immediately; eager slice-cover
+            # additionally pays its whole slice table upfront.
+            if crawler_cls is not SliceCover:
+                assert result.cost == 1
+
+
+class TestRootResolves:
+    @pytest.mark.parametrize("crawler_cls", [RankShrink, Hybrid, LazySliceCover])
+    def test_n_at_most_k_costs_one_query(self, crawler_cls):
+        if crawler_cls is LazySliceCover:
+            space = DataSpace.categorical([4, 4])
+        elif crawler_cls is RankShrink:
+            space = DataSpace.numeric(2)
+        else:
+            space = DataSpace.mixed([("c", 4)], ["v"])
+        rows = [
+            tuple(
+                1 + (i % 4) if a.is_categorical else i * 3
+                for a in space
+            )
+            for i in range(5)
+        ]
+        dataset = Dataset(space, rows)
+        result = crawler_cls(TopKServer(dataset, k=5)).crawl()
+        assert result.cost == 1
+        assert_complete(result, dataset)
+
+
+class TestFeasibilityBoundary:
+    def test_multiplicity_exactly_k_is_solvable(self):
+        """k identical tuples at one point: legal, and fully extracted."""
+        space = DataSpace.mixed([("c", 2)], ["v"])
+        dataset = Dataset(space, [(1, 7)] * 4 + [(2, 1), (2, 2)])
+        result = Hybrid(TopKServer(dataset, k=4)).crawl()
+        assert_complete(result, dataset)
+        assert sum(1 for r in result.rows if r == (1, 7)) == 4
+
+    def test_numeric_duplicates_exactly_k(self):
+        space = DataSpace.numeric(1)
+        dataset = Dataset(space, [(5,)] * 6 + [(9,), (1,)])
+        result = RankShrink(TopKServer(dataset, k=6)).crawl()
+        assert_complete(result, dataset)
+
+
+class TestDegenerateDomains:
+    def test_domain_size_one_categorical(self):
+        space = DataSpace.categorical([1, 1, 3])
+        dataset = Dataset(space, [(1, 1, c) for c in (1, 2, 3, 3)])
+        result = LazySliceCover(TopKServer(dataset, k=2)).crawl()
+        assert_complete(result, dataset)
+
+    def test_single_categorical_attribute(self):
+        # cat == 1: the paper's special case costing only U1.  Value 6
+        # holds 3 duplicates, so k must be at least 3.
+        space = DataSpace.categorical([6])
+        dataset = Dataset(space, [(v,) for v in (1, 1, 2, 5, 6, 6, 6)])
+        result = SliceCover(TopKServer(dataset, k=3)).crawl()
+        assert_complete(result, dataset)
+        assert result.cost <= 6 + 1
+
+    def test_single_numeric_attribute_wide_values(self):
+        space = DataSpace.numeric(1)
+        values = [(-(10**12),), (0,), (10**12,)]
+        dataset = Dataset(space, values * 2)
+        result = RankShrink(TopKServer(dataset, k=2)).crawl()
+        assert_complete(result, dataset)
+
+    def test_all_tuples_on_one_point_categorical(self):
+        space = DataSpace.categorical([2, 2])
+        dataset = Dataset(space, [(2, 2)] * 3)
+        result = LazySliceCover(TopKServer(dataset, k=3)).crawl()
+        assert_complete(result, dataset)
+
+
+class TestNegativeAndHugeValues:
+    def test_rank_shrink_negative_coordinates(self):
+        rng = np.random.default_rng(0)
+        space = DataSpace.numeric(2)
+        rows = rng.integers(-(10**9), 10**9, size=(60, 2)).astype(np.int64)
+        dataset = Dataset(space, rows)
+        result = RankShrink(TopKServer(dataset, k=4)).crawl()
+        assert_complete(result, dataset)
+
+    def test_hybrid_negative_numeric_suffix(self):
+        space = DataSpace.mixed([("c", 2)], ["v"])
+        dataset = Dataset(space, [(1, -5), (1, -5), (2, -9), (2, 3)])
+        result = Hybrid(TopKServer(dataset, k=2)).crawl()
+        assert_complete(result, dataset)

@@ -1,0 +1,106 @@
+"""Tests for the hybrid algorithm on mixed (and degenerate) spaces."""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover
+from repro.crawl.verify import assert_complete
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.query.predicates import EqualityPredicate
+from repro.server.server import TopKServer
+from repro.theory.bounds import hybrid_upper_bound
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def mixed_dataset(mixed_space):
+    return random_dataset(
+        mixed_space, 300, seed=9, numeric_range=(0, 40), duplicate_factor=0.15
+    )
+
+
+class TestMixedSpaces:
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_completeness(self, mixed_dataset, lazy):
+        for k in (4, 16, 64):
+            result = Hybrid(TopKServer(mixed_dataset, k=k), lazy=lazy).crawl()
+            assert_complete(result, mixed_dataset)
+
+    def test_numeric_subcrawls_pin_the_categorical_prefix(self, mixed_dataset):
+        crawler = Hybrid(TopKServer(mixed_dataset, k=8))
+        crawler.crawl()
+        for query in crawler.client.history:
+            # Any query with a numeric constraint must have every
+            # categorical attribute pinned (rank-shrink runs inside one
+            # categorical point's subspace).
+            numeric_constrained = any(
+                not p.is_unconstrained
+                for p in query.predicates[mixed_dataset.space.cat :]
+            )
+            if numeric_constrained:
+                for pred in query.predicates[: mixed_dataset.space.cat]:
+                    assert isinstance(pred, EqualityPredicate)
+                    assert pred.value is not None
+
+    def test_cost_within_lemma9_bound(self, mixed_dataset):
+        space = mixed_dataset.space
+        for k in (4, 16):
+            bound = hybrid_upper_bound(
+                mixed_dataset.n,
+                k,
+                list(space.categorical_domain_sizes),
+                space.dimensionality,
+            )
+            crawler = Hybrid(TopKServer(mixed_dataset, k=k), max_queries=bound)
+            result = crawler.crawl()
+            assert result.cost <= bound
+
+
+class TestDegenerateSpaces:
+    def test_pure_numeric_equals_rank_shrink(self):
+        space = DataSpace.numeric(2)
+        dataset = random_dataset(space, 150, seed=4, numeric_range=(0, 30))
+        hybrid = Hybrid(TopKServer(dataset, k=8)).crawl()
+        rank = RankShrink(TopKServer(dataset, k=8)).crawl()
+        assert hybrid.cost == rank.cost
+        assert_complete(hybrid, dataset)
+
+    def test_pure_categorical_equals_lazy_slice_cover(self):
+        space = DataSpace.categorical([3, 4, 5])
+        dataset = random_dataset(space, 200, seed=4)
+        hybrid = Hybrid(TopKServer(dataset, k=8)).crawl()
+        lazy = LazySliceCover(TopKServer(dataset, k=8)).crawl()
+        assert hybrid.cost == lazy.cost
+        assert_complete(hybrid, dataset)
+
+    def test_cat_equals_one(self):
+        """The cat = 1 special case of Theorem 1: U1 + O(d n/k)."""
+        space = DataSpace.mixed([("c", 5)], ["x", "y"])
+        dataset = random_dataset(space, 250, seed=6, numeric_range=(0, 60))
+        result = Hybrid(TopKServer(dataset, k=8)).crawl()
+        assert_complete(result, dataset)
+        bound = hybrid_upper_bound(dataset.n, 8, [5], 3)
+        assert result.cost <= bound
+
+
+class TestSmallCases:
+    def test_resolved_root_lazy(self, mixed_space):
+        dataset = random_dataset(mixed_space, 3, seed=1)
+        result = Hybrid(TopKServer(dataset, k=10), lazy=True).crawl()
+        assert result.cost == 1
+        assert_complete(result, dataset)
+
+    def test_eager_pays_slice_table_even_when_tiny(self, mixed_space):
+        dataset = random_dataset(mixed_space, 3, seed=1)
+        result = Hybrid(TopKServer(dataset, k=10), lazy=False).crawl()
+        assert result.cost == sum(mixed_space.categorical_domain_sizes)
+        assert_complete(result, dataset)
+
+    def test_empty_dataset(self, mixed_space):
+        from repro.dataspace.dataset import Dataset
+
+        dataset = Dataset(mixed_space, [])
+        result = Hybrid(TopKServer(dataset, k=4)).crawl()
+        assert result.rows == []

@@ -1,0 +1,117 @@
+"""Incremental re-crawl tests: diffs are exact bag deltas."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.incremental import SnapshotDiff, diff_snapshots, recrawl
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.server import TopKServer
+
+
+@pytest.fixture
+def space():
+    return DataSpace.mixed([("make", 3)], ["price"])
+
+
+def dataset_from(space, rows):
+    return Dataset(space, np.asarray(rows, dtype=np.int64))
+
+
+class TestDiffSnapshots:
+    def test_identical_bags_unchanged(self):
+        rows = [(1, 10), (2, 20), (2, 20)]
+        diff = diff_snapshots(rows, list(rows))
+        assert diff.unchanged
+        assert str(diff) == "SnapshotDiff(unchanged)"
+
+    def test_pure_additions(self):
+        diff = diff_snapshots([(1, 10)], [(1, 10), (2, 20)])
+        assert diff.tuples_added == 1 and diff.tuples_removed == 0
+        assert diff.added[(2, 20)] == 1
+
+    def test_pure_removals(self):
+        diff = diff_snapshots([(1, 10), (2, 20)], [(2, 20)])
+        assert diff.removed[(1, 10)] == 1
+
+    def test_multiplicity_changes(self):
+        diff = diff_snapshots([(1, 10)] * 2, [(1, 10)] * 5)
+        assert diff.added[(1, 10)] == 3 and not diff.removed
+
+    def test_value_change_is_remove_plus_add(self):
+        diff = diff_snapshots([(1, 10)], [(1, 12)])
+        assert diff.removed[(1, 10)] == 1
+        assert diff.added[(1, 12)] == 1
+
+    def test_order_is_irrelevant(self):
+        a = [(1, 10), (2, 20), (3, 30)]
+        b = list(reversed(a))
+        assert diff_snapshots(a, b).unchanged
+
+
+class TestRecrawl:
+    def test_detects_inserts_and_deletes(self, space):
+        before = dataset_from(space, [(1, 10), (1, 10), (2, 20), (3, 30)])
+        after = dataset_from(space, [(1, 10), (2, 20), (2, 25), (3, 30), (3, 30)])
+        first = Hybrid(TopKServer(before, k=2)).crawl()
+        new_result, diff = recrawl(TopKServer(after, k=2), first)
+        assert new_result.complete
+        assert diff.removed == {(1, 10): 1}
+        assert diff.added == {(2, 25): 1, (3, 30): 1}
+
+    def test_no_change_reports_unchanged(self, space):
+        data = dataset_from(space, [(1, 10), (2, 20)])
+        first = Hybrid(TopKServer(data, k=2)).crawl()
+        _, diff = recrawl(TopKServer(data, k=2), first)
+        assert diff.unchanged
+
+    def test_rejects_partial_previous(self, space):
+        from repro.server.limits import QueryBudget
+
+        data = dataset_from(space, [(m, v) for m in (1, 2, 3) for v in range(5)])
+        limited = TopKServer(data, k=2, limits=[QueryBudget(2)])
+        partial = Hybrid(limited).crawl(allow_partial=True)
+        assert not partial.complete
+        with pytest.raises(SchemaError):
+            recrawl(TopKServer(data, k=2), partial)
+
+    def test_rejects_schema_change(self, space):
+        data = dataset_from(space, [(1, 10)])
+        first = Hybrid(TopKServer(data, k=2)).crawl()
+        other_space = DataSpace.mixed([("make", 4)], ["price"])
+        other = Dataset(other_space, np.asarray([(1, 10)], dtype=np.int64))
+        with pytest.raises(SchemaError):
+            recrawl(TopKServer(other, k=2), first)
+
+    def test_diff_composes_over_generations(self, space):
+        gen0 = dataset_from(space, [(1, 10)])
+        gen1 = dataset_from(space, [(1, 10), (2, 20)])
+        gen2 = dataset_from(space, [(2, 20), (2, 20)])
+        snap0 = Hybrid(TopKServer(gen0, k=2)).crawl()
+        snap1, diff01 = recrawl(TopKServer(gen1, k=2), snap0)
+        snap2, diff12 = recrawl(TopKServer(gen2, k=2), snap1)
+        # Composition: applying both diffs to gen0 yields gen2.
+        from collections import Counter
+
+        bag = Counter(snap0.rows)
+        bag = bag + diff01.added - diff01.removed
+        bag = bag + diff12.added - diff12.removed
+        assert bag == Counter(snap2.rows)
+
+    def test_works_over_web_session(self, space):
+        """Maintenance loop end to end through the HTML interface."""
+        from repro.server.client import CachingClient
+        from repro.web.adapter import WebSession
+        from repro.web.site import HiddenWebSite
+
+        before = dataset_from(space, [(1, 10), (2, 20)])
+        after = dataset_from(space, [(1, 10), (3, 30)])
+        first = Hybrid(
+            CachingClient(WebSession(HiddenWebSite(TopKServer(before, k=2))))
+        ).crawl()
+        session = WebSession(HiddenWebSite(TopKServer(after, k=2)))
+        _, diff = recrawl(session, first)
+        assert diff.added == {(3, 30): 1}
+        assert diff.removed == {(2, 20): 1}

@@ -1,0 +1,110 @@
+"""Infeasibility detection: more than k duplicates at one point.
+
+Problem 1 has no solution when a point holds more than ``k`` tuples
+(Section 1.1); every crawler must detect this and raise, reproducing the
+paper's Yahoo-at-k=64 phenomenon rather than looping or silently losing
+tuples.
+"""
+
+import pytest
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.dataspace.space import DataSpace
+from repro.exceptions import InfeasibleCrawlError
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+def numeric_dataset_with_heavy_point(copies):
+    space = DataSpace.numeric(2, bounds=[(0, 10), (0, 10)])
+    rows = [[3, 4]] * copies + [[0, 0], [10, 10]]
+    return make_dataset(space, rows)
+
+
+def categorical_dataset_with_heavy_point(copies):
+    space = DataSpace.categorical([4, 4])
+    rows = [[2, 3]] * copies + [[1, 1], [4, 4]]
+    return make_dataset(space, rows)
+
+
+def mixed_dataset_with_heavy_point(copies):
+    space = DataSpace.mixed([("c", 3)], ["x"])
+    rows = [[2, 7]] * copies + [[1, 0], [3, 9]]
+    return make_dataset(space, rows)
+
+
+K = 3
+COPIES = K + 2
+
+
+class TestDetection:
+    def test_rank_shrink(self):
+        dataset = numeric_dataset_with_heavy_point(COPIES)
+        with pytest.raises(InfeasibleCrawlError):
+            RankShrink(TopKServer(dataset, k=K)).crawl()
+
+    def test_binary_shrink(self):
+        dataset = numeric_dataset_with_heavy_point(COPIES)
+        with pytest.raises(InfeasibleCrawlError):
+            BinaryShrink(TopKServer(dataset, k=K)).crawl()
+
+    def test_dfs(self):
+        dataset = categorical_dataset_with_heavy_point(COPIES)
+        with pytest.raises(InfeasibleCrawlError):
+            DepthFirstSearch(TopKServer(dataset, k=K)).crawl()
+
+    @pytest.mark.parametrize("cls", [SliceCover, LazySliceCover])
+    def test_slice_cover(self, cls):
+        dataset = categorical_dataset_with_heavy_point(COPIES)
+        with pytest.raises(InfeasibleCrawlError):
+            cls(TopKServer(dataset, k=K)).crawl()
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_hybrid(self, lazy):
+        dataset = mixed_dataset_with_heavy_point(COPIES)
+        with pytest.raises(InfeasibleCrawlError):
+            Hybrid(TopKServer(dataset, k=K), lazy=lazy).crawl()
+
+
+class TestThreshold:
+    """Exactly k duplicates is feasible; k + 1 is not."""
+
+    @pytest.mark.parametrize("copies,ok", [(K, True), (K + 1, False)])
+    def test_numeric_boundary(self, copies, ok):
+        dataset = numeric_dataset_with_heavy_point(copies)
+        crawler = RankShrink(TopKServer(dataset, k=K))
+        if ok:
+            result = crawler.crawl()
+            assert result.tuples_extracted == dataset.n
+        else:
+            with pytest.raises(InfeasibleCrawlError):
+                crawler.crawl()
+
+    @pytest.mark.parametrize("copies,ok", [(K, True), (K + 1, False)])
+    def test_categorical_boundary(self, copies, ok):
+        dataset = categorical_dataset_with_heavy_point(copies)
+        crawler = LazySliceCover(TopKServer(dataset, k=K))
+        if ok:
+            result = crawler.crawl()
+            assert result.tuples_extracted == dataset.n
+        else:
+            with pytest.raises(InfeasibleCrawlError):
+                crawler.crawl()
+
+
+class TestYahooPhenomenon:
+    """The paper's Figure 12 note, on a scaled-down Yahoo lookalike."""
+
+    def test_infeasible_below_plant_feasible_above(self):
+        from repro.datasets.yahoo import yahoo_autos
+
+        dataset = yahoo_autos(n=3000, seed=5, duplicates=40)
+        assert dataset.min_feasible_k() == 40
+        with pytest.raises(InfeasibleCrawlError):
+            Hybrid(TopKServer(dataset, k=32)).crawl()
+        result = Hybrid(TopKServer(dataset, k=64)).crawl()
+        assert result.tuples_extracted == dataset.n

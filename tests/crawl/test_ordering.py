@@ -1,0 +1,68 @@
+"""Tests for attribute-ordering strategies."""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.ordering import (
+    order_by_distinct_count,
+    order_by_domain_size,
+    reorder_dataset,
+)
+from repro.crawl.verify import assert_complete
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def dataset():
+    space = DataSpace.mixed([("big", 9), ("small", 2)], ["x"])
+    return random_dataset(space, 120, seed=3, numeric_range=(0, 30))
+
+
+class TestReorder:
+    def test_columns_move_with_attributes(self, dataset):
+        permuted = reorder_dataset(dataset, [1, 0, 2])
+        assert permuted.space.names == ("small", "big", "x")
+        assert permuted.rows[:, 0].tolist() == dataset.rows[:, 1].tolist()
+
+    def test_rejects_non_permutation(self, dataset):
+        with pytest.raises(SchemaError):
+            reorder_dataset(dataset, [0, 0, 2])
+
+    def test_rejects_cat_after_num(self, dataset):
+        with pytest.raises(SchemaError):
+            reorder_dataset(dataset, [0, 2, 1])
+
+    def test_bag_is_preserved(self, dataset):
+        permuted = reorder_dataset(dataset, [1, 0, 2])
+        back = reorder_dataset(permuted, [1, 0, 2])
+        assert back == dataset
+
+
+class TestStrategies:
+    def test_order_by_domain_size(self, dataset):
+        asc = order_by_domain_size(dataset, ascending=True)
+        assert asc.space.names[0] == "small"
+        desc = order_by_domain_size(dataset, ascending=False)
+        assert desc.space.names[0] == "big"
+        # Numeric block stays behind the categorical block.
+        assert asc.space.names[-1] == "x"
+
+    def test_order_by_distinct_count(self):
+        space = DataSpace.categorical([5, 5], names=["many", "few"])
+        rows = [[1 + i % 5, 1 + i % 2] for i in range(20)]
+        ds = make_dataset(space, rows)
+        asc = order_by_distinct_count(ds, ascending=True)
+        assert asc.space.names == ("few", "many")
+
+    def test_ordering_does_not_change_the_crawled_bag(self, dataset):
+        for variant in (
+            order_by_domain_size(dataset, ascending=True),
+            order_by_domain_size(dataset, ascending=False),
+        ):
+            result = Hybrid(TopKServer(variant, k=8)).crawl()
+            assert_complete(result, variant)
+            assert result.tuples_extracted == dataset.n

@@ -1,0 +1,66 @@
+"""Progressiveness tests (the property behind Figure 13).
+
+"It should gradually churn out new tuples as it runs, instead of
+outputting most tuples only at the end."  We check the structural
+properties on mid-sized crawls: tuples appear throughout the run, and a
+crawl interrupted at x% of its budget still holds a usable fraction of
+the bag.
+"""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.datasets.yahoo import yahoo_autos
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+
+
+@pytest.fixture(scope="module")
+def crawl_result():
+    dataset = yahoo_autos(n=6000, seed=5, duplicates=0)
+    return Hybrid(TopKServer(dataset, k=64)).crawl(), dataset
+
+
+class TestProgressCurve:
+    def test_tuples_arrive_before_the_end(self, crawl_result):
+        result, dataset = crawl_result
+        curve = result.progress_fractions()
+        halfway = max(t for q, t in curve if q <= 0.5)
+        assert halfway > 0.1  # not everything arrives at the end
+
+    def test_no_giant_stalls(self, crawl_result):
+        """Between 20% and 90% of queries, output keeps moving."""
+        result, _ = crawl_result
+        curve = result.progress_fractions()
+        for lo, hi in [(0.2, 0.5), (0.5, 0.7), (0.7, 0.9)]:
+            at_lo = max(t for q, t in curve if q <= lo)
+            at_hi = max(t for q, t in curve if q <= hi)
+            assert at_hi > at_lo
+
+    def test_partial_crawl_yields_proportional_output(self):
+        dataset = yahoo_autos(n=6000, seed=5, duplicates=0)
+        full = Hybrid(TopKServer(dataset, k=64)).crawl()
+        budget = max(5, full.cost // 2)
+        server = TopKServer(dataset, k=64, limits=[QueryBudget(budget)])
+        partial = Hybrid(server).crawl(allow_partial=True)
+        assert not partial.complete
+        # At half the queries we expect a non-trivial chunk of the bag.
+        assert partial.tuples_extracted > 0.15 * dataset.n
+
+
+class TestAnytimeResume:
+    def test_interrupt_then_finish_matches_one_shot(self):
+        dataset = yahoo_autos(n=3000, seed=7, duplicates=0)
+        budget = QueryBudget(20)
+        server = TopKServer(dataset, k=64, limits=[budget])
+        client = CachingClient(server)
+        partial = Hybrid(client).crawl(allow_partial=True)
+        assert not partial.complete
+        budget.refill(10**6)
+        finished = Hybrid(client).crawl()
+        assert finished.complete
+        one_shot = Hybrid(TopKServer(dataset, k=64)).crawl()
+        assert sorted(finished.rows) == sorted(one_shot.rows)
+        # Resume did not repeat any server work.
+        assert server.stats.queries == one_shot.cost

@@ -1,0 +1,121 @@
+"""Property-based tests: every algorithm extracts the exact bag.
+
+The central correctness statement of Problem 1, checked with hypothesis
+over random small instances of every space kind: the crawler's output
+equals the hidden bag -- duplicates included -- and its cost stays
+within the Theorem 1 envelope for the algorithms that have one.
+"""
+
+from hypothesis import given, settings
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import verify_complete
+from repro.dataspace.space import SpaceKind
+from repro.server.server import TopKServer
+from repro.theory.bounds import upper_bound_for_dataset
+from tests.conftest import small_instances
+
+_SETTINGS = dict(max_examples=80, deadline=None)
+
+
+def crawl_and_verify(dataset, k, crawler_cls, **kwargs):
+    server = TopKServer(dataset, k)
+    result = crawler_cls(server, **kwargs).crawl()
+    report = verify_complete(result, dataset)
+    assert report.complete, report.summary()
+    return result
+
+
+class TestHybridEverywhere:
+    """Hybrid accepts all space kinds -- the universal property test."""
+
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_lazy_hybrid_exact(self, instance):
+        dataset, k = instance
+        result = crawl_and_verify(dataset, k, Hybrid)
+        assert result.complete
+
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_eager_hybrid_exact(self, instance):
+        dataset, k = instance
+        crawl_and_verify(dataset, k, Hybrid, lazy=False)
+
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_hybrid_within_theorem1_bound(self, instance):
+        dataset, k = instance
+        bound = upper_bound_for_dataset(dataset, k)
+        server = TopKServer(dataset, k)
+        result = Hybrid(server, max_queries=bound).crawl()
+        assert result.cost <= bound
+
+
+class TestNumericAlgorithms:
+    @given(instance=small_instances(max_dim=3))
+    @settings(**_SETTINGS)
+    def test_rank_shrink_exact(self, instance):
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.NUMERIC:
+            return
+        crawl_and_verify(dataset, k, RankShrink)
+
+    @given(instance=small_instances(max_dim=2))
+    @settings(**_SETTINGS)
+    def test_binary_shrink_exact(self, instance):
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.NUMERIC or dataset.n == 0:
+            return
+        bounded = dataset.with_bounds_from_data()
+        crawl_and_verify(bounded, k, BinaryShrink)
+
+    @given(instance=small_instances(max_dim=3))
+    @settings(**_SETTINGS)
+    def test_rank_shrink_nonstandard_divisor(self, instance):
+        """Correctness holds for any threshold divisor >= 2."""
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.NUMERIC:
+            return
+        for divisor in (2, 3, 8):
+            crawl_and_verify(
+                dataset, k, RankShrink, threshold_divisor=divisor
+            )
+
+
+class TestCategoricalAlgorithms:
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_all_three_agree(self, instance):
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.CATEGORICAL:
+            return
+        for cls in (DepthFirstSearch, SliceCover, LazySliceCover):
+            crawl_and_verify(dataset, k, cls)
+
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_lazy_cheaper_or_equal_to_eager_plus_root(self, instance):
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.CATEGORICAL:
+            return
+        eager = crawl_and_verify(dataset, k, SliceCover)
+        lazy = crawl_and_verify(dataset, k, LazySliceCover)
+        assert lazy.cost <= eager.cost + 1
+
+
+class TestDeterminism:
+    @given(instance=small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_crawl_is_reproducible(self, instance):
+        dataset, k = instance
+        a = Hybrid(TopKServer(dataset, k, priority_seed=7))
+        b = Hybrid(TopKServer(dataset, k, priority_seed=7))
+        ra, rb = a.crawl(), b.crawl()
+        assert ra.cost == rb.cost
+        assert a.client.history == b.client.history
+        assert sorted(ra.rows) == sorted(rb.rows)

@@ -1,0 +1,146 @@
+"""Tests for rank-shrink, including the paper's exact worked examples."""
+
+import pytest
+
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.verify import assert_complete
+from repro.datasets.paper_examples import (
+    FIGURE3_K,
+    FIGURE4_K,
+    figure3_dataset,
+    figure3_server,
+    figure4_dataset,
+    figure4_server,
+)
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.query.query import Query
+from repro.server.server import TopKServer
+from repro.theory.bounds import rank_shrink_upper_bound
+from tests.conftest import make_dataset
+
+
+class TestFigure3Example:
+    """Section 2.2's 1-d walkthrough, reproduced query by query."""
+
+    def test_exact_cost(self):
+        crawler = RankShrink(figure3_server())
+        result = crawler.crawl()
+        assert result.cost == 6  # q1 .. q6 of Figure 3b
+
+    def test_exact_query_set(self):
+        space = figure3_dataset().space
+        crawler = RankShrink(figure3_server())
+        crawler.crawl()
+        full = Query.full(space)
+        expected = {
+            full,  # q1
+            full.with_range(0, None, 54),  # q2
+            full.with_range(0, 55, 55),  # q3
+            full.with_range(0, 56, None),  # q4
+            full.with_range(0, None, 19),  # q5
+            full.with_range(0, 20, 54),  # q6
+        }
+        assert set(crawler.client.history) == expected
+
+    def test_first_split_is_3way_at_55(self):
+        crawler = RankShrink(figure3_server())
+        crawler.crawl()
+        history = crawler.client.history
+        assert history[0] == Query.full(figure3_dataset().space)
+        # The second processed query is the middle band [55, 55].
+        assert history[1].extent(0) == (55, 55)
+
+    def test_completeness(self):
+        result = RankShrink(figure3_server()).crawl()
+        assert_complete(result, figure3_dataset())
+        # The triple at 55 is extracted with multiplicity.
+        assert sorted(result.rows).count((55,)) == 3
+
+
+class TestFigure4Example:
+    """Section 2.3's 2-d walkthrough."""
+
+    def test_exact_cost(self):
+        result = RankShrink(figure4_server()).crawl()
+        # q1 .. q6 of the 2-d recursion plus the two extra queries of the
+        # 1-d sub-problem on the line A1 = 80 (its root q3 is shared).
+        assert result.cost == 8
+
+    def test_subproblem_costs_three_queries(self):
+        crawler = RankShrink(figure4_server())
+        crawler.crawl()
+        on_line = [
+            q for q in crawler.client.history if q.extent(0) == (80, 80)
+        ]
+        assert len(on_line) == 3  # the paper: "requires 3 queries"
+
+    def test_first_split_on_a1_at_80(self):
+        crawler = RankShrink(figure4_server())
+        crawler.crawl()
+        mid = crawler.client.history[1]
+        assert mid.extent(0) == (80, 80)
+        assert mid.extent(1) == (None, None)
+
+    def test_completeness(self):
+        result = RankShrink(figure4_server()).crawl()
+        assert_complete(result, figure4_dataset())
+
+
+class TestGeneral:
+    def test_rejects_non_numeric_space(self):
+        dataset = make_dataset(DataSpace.categorical([3]), [[1]])
+        with pytest.raises(SchemaError):
+            RankShrink(TopKServer(dataset, k=2))
+
+    def test_rejects_bad_divisor(self):
+        dataset = make_dataset(DataSpace.numeric(1), [[1]])
+        crawler = RankShrink(TopKServer(dataset, k=2), threshold_divisor=1)
+        with pytest.raises(SchemaError):
+            crawler.crawl()
+
+    def test_empty_dataset_costs_one_query(self):
+        dataset = Dataset(DataSpace.numeric(2), [])
+        result = RankShrink(TopKServer(dataset, k=4)).crawl()
+        assert result.cost == 1
+        assert result.rows == []
+
+    def test_tiny_k_still_correct(self):
+        """k < 4 forces every split to be 3-way; must stay correct."""
+        dataset = make_dataset(DataSpace.numeric(1), [[v] for v in range(10)])
+        for k in (1, 2, 3):
+            server = TopKServer(dataset, k=k)
+            result = RankShrink(server).crawl()
+            assert_complete(result, dataset)
+
+    def test_negative_coordinates(self):
+        dataset = make_dataset(
+            DataSpace.numeric(2), [[-5, -7], [-5, 3], [0, 0], [8, -2], [-5, -7]]
+        )
+        result = RankShrink(TopKServer(dataset, k=2)).crawl()
+        assert_complete(result, dataset)
+
+    def test_heavy_duplicates_at_many_points(self):
+        rows = [[v // 7] for v in range(70)]  # 7 copies of each of 0..9
+        dataset = make_dataset(DataSpace.numeric(1), rows)
+        result = RankShrink(TopKServer(dataset, k=8)).crawl()
+        assert_complete(result, dataset)
+
+    def test_cost_within_theorem1_bound(self):
+        rows = [[i * 3 % 101, i * 7 % 97] for i in range(400)]
+        dataset = make_dataset(DataSpace.numeric(2), rows)
+        for k in (4, 16, 64):
+            bound = rank_shrink_upper_bound(dataset.n, k, 2)
+            crawler = RankShrink(TopKServer(dataset, k=k), max_queries=bound)
+            result = crawler.crawl()  # max_queries enforces the bound
+            assert result.cost <= bound
+            assert_complete(result, dataset)
+
+    def test_single_use(self):
+        from repro.exceptions import AlgorithmInvariantError
+
+        crawler = RankShrink(figure3_server())
+        crawler.crawl()
+        with pytest.raises(AlgorithmInvariantError):
+            crawler.crawl()

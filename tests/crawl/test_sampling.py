@@ -1,0 +1,63 @@
+"""Tests for the random-probing baseline."""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.sampling import RandomProber
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.server import TopKServer
+
+
+@pytest.fixture
+def dataset():
+    space = DataSpace.mixed([("c", 6)], ["x", "y"])
+    return random_dataset(space, 800, seed=3, numeric_range=(0, 500))
+
+
+class TestRandomProber:
+    def test_respects_probe_budget(self, dataset):
+        prober = RandomProber(TopKServer(dataset, k=16), probes=50, seed=1)
+        result = prober.crawl()
+        assert result.cost <= 50
+
+    def test_coverage_is_monotone_and_sound(self, dataset):
+        prober = RandomProber(TopKServer(dataset, k=16), probes=80, seed=1)
+        prober.crawl()
+        curve = prober.coverage_curve
+        seen = [c for _, c in curve]
+        assert seen == sorted(seen)
+        truth = set(dataset.iter_rows())
+        assert prober.distinct_seen() <= len(truth)
+
+    def test_rows_are_real_tuples(self, dataset):
+        prober = RandomProber(TopKServer(dataset, k=16), probes=40, seed=2)
+        result = prober.crawl()
+        truth = set(dataset.iter_rows())
+        assert all(row in truth for row in result.rows)
+
+    def test_cannot_finish_what_crawlers_finish(self, dataset):
+        """The headline contrast: same budget, sampling stays partial."""
+        full = Hybrid(TopKServer(dataset, k=16)).crawl()
+        prober = RandomProber(
+            TopKServer(dataset, k=16), probes=full.cost, seed=3
+        )
+        prober.crawl()
+        distinct_truth = len(set(dataset.iter_rows()))
+        assert full.tuples_extracted == dataset.n
+        assert prober.distinct_seen() < distinct_truth
+
+    def test_diminishing_returns(self, dataset):
+        """Per-probe yield decays: the second half adds fewer tuples."""
+        prober = RandomProber(TopKServer(dataset, k=16), probes=200, seed=4)
+        prober.crawl()
+        curve = prober.coverage_curve
+        half = len(curve) // 2
+        first_half_gain = curve[half][1] - curve[0][1]
+        second_half_gain = curve[-1][1] - curve[half][1]
+        assert second_half_gain < first_half_gain
+
+    def test_validates_probes(self, dataset):
+        with pytest.raises(SchemaError):
+            RandomProber(TopKServer(dataset, k=16), probes=0)

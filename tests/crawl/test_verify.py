@@ -1,0 +1,67 @@
+"""Tests for crawl verification (bag comparison)."""
+
+import pytest
+
+from repro.crawl.base import CrawlResult
+from repro.crawl.verify import assert_complete, verify_complete
+from repro.dataspace.space import DataSpace
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def space():
+    return DataSpace.categorical([3, 3])
+
+
+@pytest.fixture
+def dataset(space):
+    return make_dataset(space, [[1, 1], [2, 2], [2, 2], [3, 1]])
+
+
+def result_with(space, rows):
+    return CrawlResult(
+        algorithm="test",
+        space=space,
+        rows=list(rows),
+        cost=1,
+        complete=True,
+        progress=[],
+    )
+
+
+class TestVerifyComplete:
+    def test_exact_bag_passes(self, space, dataset):
+        result = result_with(space, [(2, 2), (1, 1), (3, 1), (2, 2)])
+        report = verify_complete(result, dataset)
+        assert report.complete
+        assert "complete" in report.summary()
+
+    def test_missing_tuple_detected(self, space, dataset):
+        result = result_with(space, [(1, 1), (2, 2), (3, 1)])
+        report = verify_complete(result, dataset)
+        assert not report.complete
+        assert report.missing[(2, 2)] == 1
+        assert not report.spurious
+
+    def test_wrong_multiplicity_detected(self, space, dataset):
+        rows = [(1, 1), (2, 2), (2, 2), (2, 2), (3, 1)]
+        report = verify_complete(result_with(space, rows), dataset)
+        assert not report.complete
+        assert report.spurious[(2, 2)] == 1
+
+    def test_spurious_tuple_detected(self, space, dataset):
+        rows = [(1, 1), (2, 2), (2, 2), (3, 1), (3, 3)]
+        report = verify_complete(result_with(space, rows), dataset)
+        assert not report.complete
+        assert report.spurious[(3, 3)] == 1
+
+    def test_assert_complete_raises_with_diagnostics(self, space, dataset):
+        result = result_with(space, [(1, 1)])
+        with pytest.raises(AssertionError) as info:
+            assert_complete(result, dataset)
+        assert "missing" in str(info.value)
+
+    def test_assert_complete_passes(self, space, dataset):
+        assert_complete(
+            result_with(space, [(1, 1), (2, 2), (2, 2), (3, 1)]), dataset
+        )

@@ -1,0 +1,122 @@
+"""Tests for the paper-lookalike dataset generators (Figure 9 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adult import ADULT_N, adult, adult_numeric
+from repro.datasets.nsf import NSF_DOMAIN_SIZES, NSF_N, nsf
+from repro.datasets.yahoo import YAHOO_DUPLICATES, YAHOO_N, yahoo_autos
+from repro.dataspace.space import SpaceKind
+
+
+class TestAdult:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return adult(n=4000, seed=11)
+
+    def test_schema_matches_figure9(self, small):
+        space = small.space
+        assert space.kind is SpaceKind.MIXED
+        assert space.dimensionality == 14
+        assert space.cat == 8
+        assert space.categorical_domain_sizes == (2, 5, 6, 6, 7, 8, 14, 41)
+        assert space.names[8:] == (
+            "Edu-num", "Age", "Wrk-hr", "Cap-loss", "Cap-gain", "Fnalwgt",
+        )
+
+    def test_default_cardinality_constant(self):
+        assert ADULT_N == 45222
+
+    def test_numeric_marginals(self, small):
+        age = small.rows[:, small.space.index_of("Age")]
+        assert age.min() >= 17 and age.max() <= 90
+        cap_gain = small.rows[:, small.space.index_of("Cap-gain")]
+        assert float((cap_gain == 0).mean()) > 0.85
+        wrk = small.rows[:, small.space.index_of("Wrk-hr")]
+        assert float((wrk == 40).mean()) > 0.3
+
+    def test_fnalwgt_is_distinct_rich(self, small):
+        """The Figure 10b premise: FNALWGT has the most distinct values."""
+        counts = dict(zip(small.space.names, small.distinct_counts()))
+        assert counts["Fnalwgt"] == max(counts.values())
+
+    def test_adult_numeric_projection(self):
+        mixed = adult(n=2000, seed=11)
+        numeric = adult_numeric(n=2000, seed=11)
+        assert numeric.space.kind is SpaceKind.NUMERIC
+        assert numeric.space.dimensionality == 6
+        # Same seed -> identical numeric columns in both datasets.
+        assert np.array_equal(numeric.rows, mixed.rows[:, 8:])
+
+    def test_deterministic(self):
+        assert adult(n=500, seed=3) == adult(n=500, seed=3)
+
+
+class TestNSF:
+    @pytest.fixture(scope="class")
+    def full(self):
+        # Full domain coverage needs n >= max domain size (29042).
+        return nsf()
+
+    def test_schema_matches_figure9(self, full):
+        assert full.space.kind is SpaceKind.CATEGORICAL
+        assert full.space.categorical_domain_sizes == NSF_DOMAIN_SIZES
+        assert full.n == NSF_N
+
+    def test_every_attribute_realises_its_domain(self, full):
+        """Paper: distinct values == domain size for every attribute."""
+        assert full.distinct_counts() == NSF_DOMAIN_SIZES
+
+    def test_pi_name_determines_org_mostly(self, full):
+        """The planted functional dependency (with ~5% noise)."""
+        pi = full.rows[:, full.space.index_of("PI-name")]
+        org = full.rows[:, full.space.index_of("PI-org")]
+        majority_matches = 0
+        total = 0
+        for name in np.unique(pi)[:300]:
+            orgs = org[pi == name]
+            if len(orgs) < 2:
+                continue
+            counts = np.bincount(orgs)
+            majority_matches += counts.max()
+            total += len(orgs)
+        assert total > 0
+        assert majority_matches / total > 0.8
+
+
+class TestYahoo:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return yahoo_autos(n=5000, seed=5, duplicates=70)
+
+    def test_schema_matches_figure9(self, small):
+        assert small.space.kind is SpaceKind.MIXED
+        assert small.space.cat == 3
+        assert small.space.categorical_domain_sizes == (2, 7, 85)
+        assert small.space.names == (
+            "Owner", "Body-style", "Make", "Mileage", "Year", "Price",
+        )
+
+    def test_duplicate_plant_controls_feasibility(self, small):
+        assert small.min_feasible_k() == 70
+
+    def test_default_constants(self):
+        assert YAHOO_N == 69768
+        assert YAHOO_DUPLICATES == 100  # > 64: the paper's k=64 infeasibility
+
+    def test_no_plant_when_disabled(self):
+        ds = yahoo_autos(n=3000, seed=5, duplicates=0)
+        assert ds.min_feasible_k() < 64
+
+    def test_price_correlates_with_year(self, small):
+        year = small.rows[:, small.space.index_of("Year")]
+        price = small.rows[:, small.space.index_of("Price")]
+        newer = price[year >= 2008].mean()
+        older = price[year <= 1998].mean()
+        assert newer > older
+
+    def test_numeric_ranges(self, small):
+        mileage = small.rows[:, small.space.index_of("Mileage")]
+        assert mileage.min() >= 0
+        year = small.rows[:, small.space.index_of("Year")]
+        assert year.min() >= 1985 and year.max() <= 2012

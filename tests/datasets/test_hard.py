@@ -1,0 +1,81 @@
+"""Tests for the Theorem 3 / Theorem 4 hard-instance constructors."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.hard import theorem3_instance, theorem4_instance
+from repro.exceptions import SchemaError
+
+
+class TestTheorem3Instance:
+    def test_structure(self):
+        k, d, m = 5, 3, 4
+        inst = theorem3_instance(k, d, m)
+        assert inst.dataset.n == m * (k + d)
+        assert inst.lower_bound == d * m
+        assert len(inst.non_diagonal_points) == d * m
+
+    def test_group_contents(self):
+        inst = theorem3_instance(3, 2, 2)
+        bag = inst.dataset.multiset()
+        # Group 1: k=3 diagonal copies of (1,1), bumps (2,1) and (1,2).
+        assert bag[(1, 1)] == 3
+        assert bag[(2, 1)] == 1
+        assert bag[(1, 2)] == 1
+        # Group 2 likewise at (2,2).
+        assert bag[(2, 2)] == 3
+        assert bag[(3, 2)] == 1
+        assert bag[(2, 3)] == 1
+
+    def test_feasible_exactly_at_k(self):
+        inst = theorem3_instance(4, 2, 3)
+        assert inst.dataset.max_multiplicity() == 4
+
+    def test_bounds_recorded_in_space(self):
+        inst = theorem3_instance(4, 2, 3)
+        assert inst.dataset.space[0].lo == 1
+        assert inst.dataset.space[0].hi == 4  # m + 1
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            theorem3_instance(2, 3, 1)  # d > k
+        with pytest.raises(SchemaError):
+            theorem3_instance(2, 1, 0)  # m < 1
+
+
+class TestTheorem4Instance:
+    def test_structure(self):
+        inst = theorem4_instance(20, 3)
+        assert inst.d == 40
+        assert inst.dataset.n == 40 * 3
+        assert inst.dataset.space.categorical_domain_sizes == (3,) * 40
+
+    def test_group_contents(self):
+        inst = theorem4_instance(3, 3, enforce_conditions=False)
+        rows = inst.dataset.rows
+        d, U = inst.d, inst.U
+        # Group i occupies rows i*d .. (i+1)*d - 1; its j-th row bumps
+        # attribute j to (i+1) mod U (all values shifted +1).
+        for group in range(U):
+            block = rows[group * d : (group + 1) * d]
+            base = group + 1
+            bump = (group + 1) % U + 1
+            for j in range(d):
+                row = block[j]
+                assert row[j] == bump
+                mask = np.ones(d, dtype=bool)
+                mask[j] = False
+                assert (row[mask] == base).all()
+
+    def test_every_tuple_unique(self):
+        inst = theorem4_instance(20, 3)
+        assert inst.dataset.max_multiplicity() == 1
+
+    def test_conditions_enforced(self):
+        with pytest.raises(SchemaError):
+            theorem4_instance(3, 3)  # dU^2 = 54 > 2^(6/4)
+        with pytest.raises(SchemaError):
+            theorem4_instance(20, 2)  # U < 3
+        # Escape hatch for benchmarks:
+        inst = theorem4_instance(3, 3, enforce_conditions=False)
+        assert inst.dataset.n == 18

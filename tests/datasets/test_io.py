@@ -1,0 +1,70 @@
+"""Tests for dataset CSV round-tripping."""
+
+import pytest
+
+from repro.datasets.io import load_csv, save_csv
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+
+
+class TestRoundTrip:
+    def test_mixed_dataset(self, tmp_path):
+        space = DataSpace.mixed([("make", 5)], ["price", "year"])
+        ds = random_dataset(space, 60, seed=2, numeric_range=(-100, 100))
+        path = save_csv(ds, tmp_path / "cars.csv")
+        loaded = load_csv(path)
+        assert loaded == ds
+        assert loaded.space == ds.space
+        assert loaded.name == "cars"
+
+    def test_bounded_numeric_attributes(self, tmp_path):
+        space = DataSpace.numeric(2, bounds=[(0, 9), (-5, 5)])
+        ds = random_dataset(space, 10, seed=1, numeric_range=(0, 5))
+        loaded = load_csv(save_csv(ds, tmp_path / "n.csv"))
+        assert loaded.space[0].lo == 0 and loaded.space[0].hi == 9
+        assert loaded.space[1].lo == -5
+
+    def test_empty_dataset(self, tmp_path):
+        space = DataSpace.categorical([3])
+        loaded = load_csv(save_csv(Dataset(space, []), tmp_path / "e.csv"))
+        assert loaded.n == 0
+        assert loaded.space == space
+
+    def test_custom_name(self, tmp_path):
+        ds = random_dataset(DataSpace.categorical([2]), 5, seed=0)
+        loaded = load_csv(save_csv(ds, tmp_path / "x.csv"), name="mine")
+        assert loaded.name == "mine"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justaname\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("a:widget:3\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_bad_bounds_arity(self, tmp_path):
+        path = tmp_path / "bad3.csv"
+        path.write_text("a:num:3\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_categorical_without_size(self, tmp_path):
+        path = tmp_path / "bad4.csv"
+        path.write_text("a:cat\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)

@@ -1,0 +1,85 @@
+"""Tests pinning the worked-example datasets to the paper's figures."""
+
+from repro.datasets.paper_examples import (
+    FIGURE3_K,
+    FIGURE4_K,
+    FIGURE5_K,
+    figure3_dataset,
+    figure3_server,
+    figure4_dataset,
+    figure4_server,
+    figure5_dataset,
+    figure5_server,
+)
+from repro.query.query import Query
+
+
+class TestFigure3:
+    def test_dataset_shape(self):
+        ds = figure3_dataset()
+        assert ds.n == 8
+        assert ds.dimensionality == 1
+        assert ds.multiset()[(55,)] == 3  # t6, t7, t8
+
+    def test_server_first_response(self):
+        """R1 = {t4, t6, t7, t8} with an overflow signal."""
+        server = figure3_server()
+        assert server.k == FIGURE3_K == 4
+        resp = server.run(Query.full(server.space))
+        assert resp.overflow
+        assert sorted(resp.rows) == [(35,), (55,), (55,), (55,)]
+
+    def test_server_second_response(self):
+        """R2 = {t1, t2, t4, t5} for the query (-inf, 54]."""
+        server = figure3_server()
+        resp = server.run(Query.full(server.space).with_range(0, None, 54))
+        assert resp.overflow
+        assert sorted(resp.rows) == [(10,), (20,), (35,), (45,)]
+
+
+class TestFigure4:
+    def test_dataset_shape(self):
+        ds = figure4_dataset()
+        assert ds.n == 10
+        assert ds.dimensionality == 2
+        # Five tuples on the line A1 = 80.
+        assert int((ds.rows[:, 0] == 80).sum()) == 5
+
+    def test_first_response(self):
+        """R1 = {t4, t7, t8, t9}."""
+        server = figure4_server()
+        assert server.k == FIGURE4_K == 4
+        resp = server.run(Query.full(server.space))
+        assert sorted(resp.rows) == [(40, 40), (80, 20), (80, 30), (80, 40)]
+
+    def test_left_response(self):
+        """R2 = {t2, t3, t4, t5} for A1 <= 79."""
+        server = figure4_server()
+        resp = server.run(Query.full(server.space).with_range(0, None, 79))
+        assert resp.overflow
+        assert sorted(resp.rows) == [(20, 35), (40, 40), (45, 70), (60, 20)]
+
+    def test_line_response(self):
+        """The 1-d sub-problem's root returns {t6, t7, t8, t9}."""
+        server = figure4_server()
+        resp = server.run(Query.full(server.space).with_range(0, 80, 80))
+        assert resp.overflow
+        assert sorted(resp.rows) == [(80, 10), (80, 20), (80, 30), (80, 40)]
+
+
+class TestFigure5:
+    def test_dataset_shape(self):
+        ds = figure5_dataset()
+        assert ds.n == 10
+        assert ds.space.categorical_domain_sizes == (4, 4)
+        assert ds.multiset()[(3, 3)] == 2  # t8 and t9
+
+    def test_server_k(self):
+        assert figure5_server().k == FIGURE5_K == 3
+
+    def test_dfs_pruning_example(self):
+        """query(u3) = (A1 = 2) resolves, returning only t5."""
+        server = figure5_server()
+        resp = server.run(Query.full(server.space).with_value(0, 2))
+        assert resp.resolved
+        assert resp.rows == ((2, 4),)

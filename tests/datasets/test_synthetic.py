@@ -1,0 +1,92 @@
+"""Tests for the synthetic distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    clipped_normal_column,
+    ensure_full_domain,
+    lognormal_column,
+    random_dataset,
+    zero_inflated_column,
+    zipf_column,
+)
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestZipf:
+    def test_range_and_skew(self, rng):
+        col = zipf_column(rng, 5000, 20, s=1.2)
+        assert col.min() >= 1 and col.max() <= 20
+        counts = np.bincount(col, minlength=21)[1:]
+        # Skewed: the most popular value dwarfs the median popularity.
+        assert counts.max() > 4 * np.median(counts)
+
+    def test_s_zero_is_uniformish(self, rng):
+        col = zipf_column(rng, 20000, 10, s=0.0)
+        counts = np.bincount(col, minlength=11)[1:]
+        assert counts.min() > 0.7 * counts.max()
+
+
+class TestNumericColumns:
+    def test_clipped_normal(self, rng):
+        col = clipped_normal_column(rng, 2000, mean=40, std=10, lo=17, hi=90)
+        assert col.min() >= 17 and col.max() <= 90
+        assert 35 < col.mean() < 45
+
+    def test_zero_inflated(self, rng):
+        col = zero_inflated_column(
+            rng, 2000, zero_probability=0.9, mean=100, std=10, lo=50, hi=150
+        )
+        zero_fraction = float((col == 0).mean())
+        assert 0.85 < zero_fraction < 0.95
+        nonzero = col[col != 0]
+        assert nonzero.min() >= 50
+
+    def test_lognormal(self, rng):
+        col = lognormal_column(rng, 2000, mean=10, sigma=0.5, lo=1000, hi=10**6)
+        assert col.min() >= 1000 and col.max() <= 10**6
+        # Heavy right tail: mean exceeds median.
+        assert col.mean() > np.median(col)
+
+
+class TestEnsureFullDomain:
+    def test_patches_missing_values(self, rng):
+        col = np.ones(50, dtype=np.int64)  # only value 1 present
+        patched = ensure_full_domain(rng, col, 10)
+        assert set(np.unique(patched)) == set(range(1, 11))
+
+    def test_noop_when_complete(self, rng):
+        col = np.arange(1, 11, dtype=np.int64)
+        patched = ensure_full_domain(rng, col, 10)
+        assert np.array_equal(patched, col)
+
+    def test_rejects_impossible(self, rng):
+        with pytest.raises(SchemaError):
+            ensure_full_domain(rng, np.ones(3, dtype=np.int64), 10)
+
+
+class TestRandomDataset:
+    def test_shapes_and_domains(self):
+        space = DataSpace.mixed([("c", 4)], ["x"])
+        ds = random_dataset(space, 100, seed=1, numeric_range=(-5, 5))
+        assert ds.n == 100
+        assert ds.rows[:, 0].min() >= 1 and ds.rows[:, 0].max() <= 4
+        assert ds.rows[:, 1].min() >= -5 and ds.rows[:, 1].max() <= 5
+
+    def test_duplicate_factor(self):
+        space = DataSpace.numeric(2)
+        ds = random_dataset(
+            space, 300, seed=1, numeric_range=(0, 1000), duplicate_factor=0.5
+        )
+        assert ds.max_multiplicity() >= 2
+
+    def test_deterministic(self):
+        space = DataSpace.categorical([5])
+        assert random_dataset(space, 50, seed=9) == random_dataset(space, 50, seed=9)

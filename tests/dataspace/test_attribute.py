@@ -1,0 +1,96 @@
+"""Unit tests for the attribute model."""
+
+import pytest
+
+from repro.dataspace.attribute import Attribute, AttributeKind, categorical, numeric
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_numeric_defaults(self):
+        attr = numeric("price")
+        assert attr.is_numeric
+        assert not attr.is_categorical
+        assert attr.domain_size is None
+        assert not attr.is_bounded
+
+    def test_numeric_with_bounds(self):
+        attr = numeric("price", 0, 100)
+        assert attr.is_bounded
+        assert (attr.lo, attr.hi) == (0, 100)
+
+    def test_categorical(self):
+        attr = categorical("make", 85)
+        assert attr.is_categorical
+        assert attr.domain_size == 85
+        assert attr.is_bounded
+
+    def test_categorical_requires_domain_size(self):
+        with pytest.raises(SchemaError):
+            Attribute("make", AttributeKind.CATEGORICAL)
+
+    def test_categorical_rejects_nonpositive_domain(self):
+        with pytest.raises(SchemaError):
+            categorical("make", 0)
+
+    def test_categorical_rejects_bounds(self):
+        with pytest.raises(SchemaError):
+            Attribute("make", AttributeKind.CATEGORICAL, 3, lo=1, hi=3)
+
+    def test_numeric_rejects_domain_size(self):
+        with pytest.raises(SchemaError):
+            Attribute("price", AttributeKind.NUMERIC, 10)
+
+    def test_numeric_rejects_inverted_bounds(self):
+        with pytest.raises(SchemaError):
+            numeric("price", 10, 5)
+
+
+class TestContains:
+    def test_numeric_contains_everything(self):
+        attr = numeric("price", 0, 10)
+        # Bounds are advisory; numeric domains are all integers.
+        assert attr.contains(-1000)
+        assert attr.contains(10**9)
+
+    def test_categorical_contains_domain_only(self):
+        attr = categorical("make", 3)
+        assert attr.contains(1)
+        assert attr.contains(3)
+        assert not attr.contains(0)
+        assert not attr.contains(4)
+
+
+class TestDomainValues:
+    def test_categorical_domain_values(self):
+        assert list(categorical("x", 3).domain_values()) == [1, 2, 3]
+
+    def test_bounded_numeric_domain_values(self):
+        assert list(numeric("x", 5, 7).domain_values()) == [5, 6, 7]
+
+    def test_unbounded_numeric_raises(self):
+        with pytest.raises(SchemaError):
+            numeric("x").domain_values()
+
+
+class TestWithBounds:
+    def test_attaches_bounds(self):
+        attr = numeric("x").with_bounds(1, 9)
+        assert attr.is_bounded
+        assert (attr.lo, attr.hi) == (1, 9)
+
+    def test_rejected_for_categorical(self):
+        with pytest.raises(SchemaError):
+            categorical("x", 3).with_bounds(1, 3)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert numeric("x", 0, 5) == numeric("x", 0, 5)
+        assert numeric("x") != numeric("y")
+        assert hash(categorical("x", 3)) == hash(categorical("x", 3))
+
+    def test_str_forms(self):
+        assert str(categorical("make", 7)) == "make:cat[7]"
+        assert str(numeric("p", 0, 9)) == "p:num[0,9]"
+        assert str(numeric("p")) == "p:num"

@@ -1,0 +1,136 @@
+"""Unit tests for the Dataset container: bag semantics and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def small(categorical_space_2d):
+    return make_dataset(categorical_space_2d, [[1, 1], [1, 2], [1, 2], [4, 4]])
+
+
+class TestConstruction:
+    def test_basic_properties(self, small):
+        assert small.n == 4
+        assert small.dimensionality == 2
+        assert len(small) == 4
+        assert small.row(0) == (1, 1)
+
+    def test_empty_dataset(self, categorical_space_2d):
+        ds = Dataset(categorical_space_2d, [])
+        assert ds.n == 0
+        assert ds.max_multiplicity() == 0
+        assert ds.distinct_counts() == (0, 0)
+
+    def test_rows_are_read_only(self, small):
+        with pytest.raises(ValueError):
+            small.rows[0, 0] = 9
+
+    def test_validates_categorical_domain(self, categorical_space_2d):
+        with pytest.raises(SchemaError):
+            make_dataset(categorical_space_2d, [[0, 1]])
+        with pytest.raises(SchemaError):
+            make_dataset(categorical_space_2d, [[1, 5]])
+
+    def test_rejects_wrong_shape(self, categorical_space_2d):
+        with pytest.raises(SchemaError):
+            make_dataset(categorical_space_2d, [[1, 1, 1]])
+
+
+class TestBagSemantics:
+    def test_multiset_counts_duplicates(self, small):
+        bag = small.multiset()
+        assert bag[(1, 2)] == 2
+        assert bag[(1, 1)] == 1
+        assert sum(bag.values()) == 4
+
+    def test_max_multiplicity(self, small):
+        assert small.max_multiplicity() == 2
+        assert small.min_feasible_k() == 2
+
+    def test_bag_equality_ignores_order(self, categorical_space_2d):
+        a = make_dataset(categorical_space_2d, [[1, 1], [2, 2], [2, 2]])
+        b = make_dataset(categorical_space_2d, [[2, 2], [1, 1], [2, 2]])
+        assert a == b
+
+    def test_bag_inequality_on_multiplicity(self, categorical_space_2d):
+        a = make_dataset(categorical_space_2d, [[1, 1], [2, 2]])
+        b = make_dataset(categorical_space_2d, [[1, 1], [2, 2], [2, 2]])
+        assert a != b
+
+    def test_concat(self, categorical_space_2d):
+        a = make_dataset(categorical_space_2d, [[1, 1]])
+        b = make_dataset(categorical_space_2d, [[2, 2]])
+        both = a.concat(b)
+        assert both.n == 2
+        with pytest.raises(SchemaError):
+            a.concat(make_dataset(DataSpace.categorical([4]), [[1]]))
+
+
+class TestStatistics:
+    def test_distinct_counts(self, small):
+        assert small.distinct_counts() == (2, 3)
+
+    def test_top_distinct_projection_selects_and_preserves_order(self):
+        space = DataSpace.numeric(3, names=["a", "b", "c"])
+        ds = make_dataset(space, [[1, 1, 1], [1, 2, 2], [1, 3, 2]])
+        # distinct counts: a=1, b=3, c=2 -> top-2 = {b, c} in original order
+        sub = ds.top_distinct_projection(2)
+        assert sub.space.names == ("b", "c")
+
+    def test_top_distinct_projection_validates(self, small):
+        with pytest.raises(SchemaError):
+            small.top_distinct_projection(0)
+        with pytest.raises(SchemaError):
+            small.top_distinct_projection(3)
+
+
+class TestTransforms:
+    def test_project(self, small):
+        sub = small.project([1])
+        assert sub.dimensionality == 1
+        assert sub.n == small.n
+        assert sub.row(1) == (2,)
+
+    def test_sample_fraction_bounds(self, small):
+        assert small.sample_fraction(1.0) is small
+        empty = small.sample_fraction(0.0, seed=1)
+        assert empty.n == 0
+        with pytest.raises(SchemaError):
+            small.sample_fraction(1.5)
+
+    @given(fraction=st.floats(0.1, 0.9), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_sample_fraction_is_subbag(self, fraction, seed):
+        space = DataSpace.categorical([3])
+        ds = Dataset(space, [[v % 3 + 1] for v in range(60)])
+        sample = ds.sample_fraction(fraction, seed=seed)
+        assert sample.n <= ds.n
+        assert not sample.multiset() - ds.multiset()
+
+    def test_sample_fraction_deterministic(self, small):
+        a = small.sample_fraction(0.5, seed=3)
+        b = small.sample_fraction(0.5, seed=3)
+        assert a == b
+
+    def test_with_bounds_from_data(self):
+        space = DataSpace.mixed([("m", 2)], ["p"])
+        ds = make_dataset(space, [[1, 10], [2, -5], [1, 3]])
+        bounded = ds.with_bounds_from_data()
+        assert bounded.space[1].lo == -5
+        assert bounded.space[1].hi == 10
+        # Categorical attribute untouched.
+        assert bounded.space[0].domain_size == 2
+
+    def test_iter_rows_returns_python_tuples(self, small):
+        rows = list(small.iter_rows())
+        assert rows[0] == (1, 1)
+        assert all(isinstance(v, int) for row in rows for v in row)
+        assert not isinstance(rows[0][0], np.integer)

@@ -1,0 +1,106 @@
+"""Unit tests for DataSpace: kinds, validation, projection."""
+
+import pytest
+
+from repro.dataspace.attribute import categorical, numeric
+from repro.dataspace.space import DataSpace, SpaceKind
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_numeric_factory(self):
+        space = DataSpace.numeric(3)
+        assert space.kind is SpaceKind.NUMERIC
+        assert space.dimensionality == 3
+        assert space.cat == 0
+        assert space.num == 3
+        assert space.names == ("A1", "A2", "A3")
+
+    def test_numeric_with_bounds_and_names(self):
+        space = DataSpace.numeric(2, bounds=[(0, 9), (1, 5)], names=["x", "y"])
+        assert space[0].lo == 0 and space[1].hi == 5
+        assert space.names == ("x", "y")
+
+    def test_categorical_factory(self):
+        space = DataSpace.categorical([2, 5, 7])
+        assert space.kind is SpaceKind.CATEGORICAL
+        assert space.cat == 3
+        assert space.categorical_domain_sizes == (2, 5, 7)
+
+    def test_mixed_factory(self):
+        space = DataSpace.mixed([("m", 3)], ["p", "q"])
+        assert space.kind is SpaceKind.MIXED
+        assert space.cat == 1
+        assert space.num == 2
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SchemaError):
+            DataSpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DataSpace([numeric("x"), numeric("x")])
+
+    def test_categorical_must_precede_numeric(self):
+        with pytest.raises(SchemaError):
+            DataSpace([numeric("p"), categorical("m", 3)])
+
+    def test_numeric_factory_validates(self):
+        with pytest.raises(SchemaError):
+            DataSpace.numeric(0)
+        with pytest.raises(SchemaError):
+            DataSpace.numeric(2, names=["only-one"])
+        with pytest.raises(SchemaError):
+            DataSpace.categorical([2, 3], names=["a"])
+
+
+class TestIntrospection:
+    def test_iteration_and_indexing(self):
+        space = DataSpace.categorical([2, 3])
+        assert len(space) == 2
+        assert [a.domain_size for a in space] == [2, 3]
+        assert space[1].domain_size == 3
+
+    def test_index_of(self):
+        space = DataSpace.mixed([("m", 3)], ["p"])
+        assert space.index_of("m") == 0
+        assert space.index_of("p") == 1
+        with pytest.raises(SchemaError):
+            space.index_of("nope")
+
+    def test_equality_and_hash(self):
+        a = DataSpace.categorical([2, 3])
+        b = DataSpace.categorical([2, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != DataSpace.categorical([3, 2])
+
+
+class TestValidatePoint:
+    def test_accepts_valid_point(self, mixed_space):
+        assert mixed_space.validate_point([1, 4, -10, 2020]) == (1, 4, -10, 2020)
+
+    def test_rejects_wrong_arity(self, mixed_space):
+        with pytest.raises(SchemaError):
+            mixed_space.validate_point([1, 2])
+
+    def test_rejects_out_of_domain(self, mixed_space):
+        with pytest.raises(SchemaError):
+            mixed_space.validate_point([0, 1, 5, 5])  # make=0 invalid
+
+
+class TestProjection:
+    def test_keeps_relative_order(self):
+        space = DataSpace.mixed([("a", 2), ("b", 3)], ["x", "y"])
+        sub = space.project([0, 2])
+        assert sub.names == ("a", "x")
+        assert sub.kind is SpaceKind.MIXED
+
+    def test_rejects_unordered_indices(self):
+        space = DataSpace.numeric(3)
+        with pytest.raises(SchemaError):
+            space.project([2, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            DataSpace.numeric(2).project([])

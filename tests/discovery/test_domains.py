@@ -1,0 +1,60 @@
+"""Tests for the domain-discovery extension."""
+
+import pytest
+
+from repro.datasets.synthetic import random_dataset
+from repro.discovery.domains import discover_domains
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+class TestDiscovery:
+    def test_discovers_all_present_values(self):
+        space = DataSpace.categorical([4, 6])
+        dataset = random_dataset(space, 200, seed=3)
+        report = discover_domains(TopKServer(dataset, k=16))
+        for i in range(2):
+            present = set(int(v) for v in dataset.rows[:, i])
+            assert report.values[i] == present
+        assert report.saturated
+
+    def test_absent_values_cannot_be_discovered(self):
+        space = DataSpace.categorical([5])
+        dataset = make_dataset(space, [[1], [3]])  # 2, 4, 5 unused
+        report = discover_domains(TopKServer(dataset, k=10))
+        assert report.values[0] == {1, 3}
+        coverage = report.coverage(space)
+        assert coverage[0] == pytest.approx(2 / 5)
+
+    def test_mixed_space_discovers_categorical_prefix(self):
+        space = DataSpace.mixed([("c", 3)], ["x"])
+        dataset = random_dataset(space, 100, seed=1, numeric_range=(0, 9))
+        report = discover_domains(TopKServer(dataset, k=8))
+        assert set(report.values) == {0}
+        assert report.counts[0] >= 1
+
+    def test_budget_stops_cleanly(self):
+        space = DataSpace.categorical([30, 30])
+        dataset = random_dataset(space, 500, seed=2)
+        report = discover_domains(TopKServer(dataset, k=4), max_queries=5)
+        assert report.cost <= 5
+        assert not report.saturated
+
+    def test_numeric_space_rejected(self):
+        dataset = random_dataset(DataSpace.numeric(2), 10, seed=0)
+        with pytest.raises(SchemaError):
+            discover_domains(TopKServer(dataset, k=4))
+
+    def test_shared_client_costs_attributed(self):
+        space = DataSpace.categorical([3])
+        dataset = random_dataset(space, 40, seed=4)
+        client = CachingClient(TopKServer(dataset, k=8))
+        report = discover_domains(client)
+        assert report.cost == client.cost
+        # Re-discovery over the warmed cache costs nothing new.
+        again = discover_domains(client)
+        assert again.cost == 0
+        assert again.values == report.values

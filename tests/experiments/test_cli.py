@@ -1,0 +1,46 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["10a"])
+        assert args.figures == ["10a"]
+        assert args.scale == 1.0
+        assert not args.markdown
+
+    def test_multiple_figures_and_options(self):
+        args = build_parser().parse_args(
+            ["10a", "thm3", "--scale", "0.2", "--seed", "7", "--markdown"]
+        )
+        assert args.figures == ["10a", "thm3"]
+        assert args.scale == 0.2
+        assert args.seed == 7
+        assert args.markdown
+
+
+class TestMain:
+    def test_unknown_figure_exits_2(self, capsys):
+        assert main(["nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+
+    def test_runs_theorem_check(self, capsys):
+        # thm3 is fast and takes no scale parameter.
+        assert main(["thm3"]) == 0
+        out = capsys.readouterr().out
+        assert "thm3" in out
+        assert "lower bound d*m" in out
+
+    def test_markdown_mode(self, capsys):
+        assert main(["thm3", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| m (groups) |" in out
+
+    def test_scaled_figure(self, capsys):
+        assert main(["13", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out

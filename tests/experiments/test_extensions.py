@@ -1,0 +1,90 @@
+"""Shape tests for the extension experiments at tiny scale."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    extension_adversarial,
+    extension_partition,
+    extension_sampling,
+)
+from repro.experiments.figures import FIGURES
+from repro.experiments.reporting import format_figure
+
+SCALE = 0.05
+
+
+class TestAdversarial:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return extension_adversarial(scale=SCALE, k=64, seed=1)
+
+    def test_four_policies_measured(self, figure):
+        series = figure.series_by_name("rank-shrink")
+        assert len(series.points) == 4
+
+    def test_all_costs_under_envelope(self, figure):
+        # The envelope is stated in a note: "... = <bound> queries".
+        bound = int(figure.notes[1].rsplit("=", 1)[1].split()[0])
+        assert all(y <= bound for y in figure.series_by_name("rank-shrink").ys())
+
+    def test_renders(self, figure):
+        text = format_figure(figure)
+        assert "mode cluster" in text
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return extension_sampling(scale=SCALE, k=64, seed=1)
+
+    def test_three_series(self, figure):
+        names = {s.name for s in figure.series}
+        assert names == {
+            "sampling size rel. error",
+            "sampling sum rel. error",
+            "crawled fraction",
+        }
+
+    def test_crawled_fraction_monotone_and_capped(self, figure):
+        fractions = figure.series_by_name("crawled fraction").ys()
+        assert fractions == sorted(fractions)
+        assert fractions[-1] <= 1.0
+
+    def test_errors_nonnegative(self, figure):
+        for name in ("sampling size rel. error", "sampling sum rel. error"):
+            assert all(y >= 0 for y in figure.series_by_name(name).ys())
+
+
+class TestPartition:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return extension_partition(scale=SCALE, k=64, seed=1)
+
+    def test_session_sweep(self, figure):
+        totals = figure.series_by_name("total queries")
+        peaks = figure.series_by_name("max per-session queries")
+        assert totals.xs() == [1, 2, 4, 8]
+        assert peaks.xs() == [1, 2, 4, 8]
+
+    def test_peak_no_worse_than_total(self, figure):
+        totals = figure.series_by_name("total queries").ys()
+        peaks = figure.series_by_name("max per-session queries").ys()
+        assert all(p <= t for p, t in zip(peaks, totals))
+
+    def test_peak_decreases_with_parallelism(self, figure):
+        peaks = figure.series_by_name("max per-session queries").ys()
+        assert peaks[-1] <= peaks[0]
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for key in ("ext-adversary", "ext-sampling", "ext-partition"):
+            assert key in FIGURES
+
+    def test_cli_accepts_extension_id(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["ext-adversary", "--scale", "0.03"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ext-adversary" in out

@@ -1,0 +1,111 @@
+"""Smoke + shape tests for the figure experiments at tiny scale.
+
+Full-scale runs live in benchmarks/ and EXPERIMENTS.md; here each
+experiment runs on a small Bernoulli sample so the suite stays fast,
+and we assert the qualitative *shapes* the paper reports.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+SCALE = 0.03  # ~1.4k tuples of Adult/NSF; enough for shape checks
+KS = (16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def fig10a():
+    return figures.figure_10a(scale=SCALE, ks=KS)
+
+
+@pytest.fixture(scope="module")
+def fig11a():
+    return figures.figure_11a(scale=SCALE, ks=KS)
+
+
+class TestFigure10:
+    def test_rank_beats_binary_everywhere(self, fig10a):
+        binary = fig10a.series_by_name("binary-shrink").ys()
+        rank = fig10a.series_by_name("rank-shrink").ys()
+        assert all(r <= b for r, b in zip(rank, binary))
+
+    def test_cost_decreases_in_k(self, fig10a):
+        rank = fig10a.series_by_name("rank-shrink").ys()
+        assert rank == sorted(rank, reverse=True)
+
+    def test_10b_runs_and_is_flat_ish(self):
+        fig = figures.figure_10b(scale=SCALE, k=64, dims=(3, 4))
+        rank = fig.series_by_name("rank-shrink").ys()
+        assert len(rank) == 2
+        assert all(y >= 1 for y in rank)
+
+    def test_10c_cost_grows_with_n(self):
+        fig = figures.figure_10c(scale=SCALE, k=64, fractions=(0.3, 1.0))
+        rank = fig.series_by_name("rank-shrink").ys()
+        assert rank[0] <= rank[1]
+
+
+class TestFigure11:
+    def test_lazy_wins_slice_cover_loses(self, fig11a):
+        dfs = fig11a.series_by_name("DFS").ys()
+        eager = fig11a.series_by_name("slice-cover").ys()
+        lazy = fig11a.series_by_name("lazy-slice-cover").ys()
+        for d, e, l in zip(dfs, eager, lazy):
+            assert l <= d
+            assert l <= e
+        # Eager pays the full slice table regardless of k: ~flat series.
+        assert max(eager) - min(eager) < 0.1 * max(eager)
+
+    def test_11b_runs(self):
+        fig = figures.figure_11b(scale=SCALE, k=64, dims=(5, 6))
+        assert len(fig.series) == 3
+
+    def test_11c_lazy_grows_with_n(self):
+        fig = figures.figure_11c(scale=SCALE, k=64, fractions=(0.3, 1.0))
+        lazy = fig.series_by_name("lazy-slice-cover").ys()
+        assert lazy[0] <= lazy[1]
+
+
+class TestFigure12And13:
+    def test_12_hybrid_decreasing_in_k(self):
+        fig = figures.figure_12(scale=SCALE, ks=KS)
+        for name in ("Yahoo", "Adult"):
+            series = [s for s in fig.series if s.name.startswith(name)]
+            assert len(series) == 1
+            ys = series[0].ys()
+            assert ys == sorted(ys, reverse=True)
+
+    def test_13_progressiveness_monotone_to_one(self):
+        fig = figures.figure_13(scale=SCALE, k=64, grid=(0.0, 0.5, 1.0))
+        for series in fig.series:
+            ys = series.ys()
+            assert ys == sorted(ys)
+            assert ys[-1] >= 0.99
+
+
+class TestTheoremChecks:
+    def test_thm3_envelope(self):
+        fig = figures.theorem_3_check(k=8, d=3, ms=(4, 8))
+        measured = fig.series_by_name("rank-shrink").ys()
+        lower = fig.series_by_name("lower bound d*m").ys()
+        upper = fig.series_by_name("Theorem 1 upper bound").ys()
+        for m_cost, lo, hi in zip(measured, lower, upper):
+            assert lo <= m_cost <= hi
+
+    def test_thm4_envelope(self):
+        fig = figures.theorem_4_check(k=20, us=(3,))
+        eager = fig.series_by_name("slice-cover").ys()
+        lower = fig.series_by_name("lower bound").ys()
+        upper = fig.series_by_name("Lemma 4 upper bound").ys()
+        assert lower[0] <= eager[0] <= upper[0]
+
+
+class TestAblations:
+    def test_ordering_runs_and_is_complete(self):
+        fig = figures.ablation_ordering(scale=SCALE, k=64)
+        series = fig.series_by_name("lazy-slice-cover")
+        assert len(series.points) == 3
+
+    def test_split_threshold_runs(self):
+        fig = figures.ablation_split_threshold(scale=SCALE, k=64, divisors=(2, 4))
+        assert len(fig.series_by_name("rank-shrink").points) == 2

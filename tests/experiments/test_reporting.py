@@ -1,0 +1,70 @@
+"""Tests for figure rendering (text and Markdown tables)."""
+
+from repro.experiments.reporting import figure_rows, format_figure, format_markdown
+from repro.experiments.runner import FigureResult
+
+
+def sample_figure():
+    figure = FigureResult("figX", "A test figure", "k", "queries")
+    a = figure.new_series("alpha")
+    a.add(64, 100)
+    a.add(128, 50)
+    b = figure.new_series("beta")
+    b.add(128, 70)  # beta has no point at 64
+    b.add(64, 120)
+    figure.note("hello note")
+    return figure
+
+
+class TestFigureRows:
+    def test_header_and_alignment(self):
+        header, rows = figure_rows(sample_figure())
+        assert header == ["k", "alpha", "beta"]
+        assert rows == [["64", "100", "120"], ["128", "50", "70"]]
+
+    def test_missing_cells_render_dash(self):
+        figure = FigureResult("f", "t", "x", "y")
+        figure.new_series("a").add(1, 10)
+        figure.new_series("b").add(2, 20)
+        _, rows = figure_rows(figure)
+        assert rows == [["1", "10", "-"], ["2", "-", "20"]]
+
+    def test_numeric_xs_sorted(self):
+        figure = FigureResult("f", "t", "x", "y")
+        s = figure.new_series("a")
+        s.add(128, 1)
+        s.add(64, 2)
+        _, rows = figure_rows(figure)
+        assert [r[0] for r in rows] == ["64", "128"]
+
+    def test_string_xs_keep_insertion_order(self):
+        figure = FigureResult("f", "t", "x", "y")
+        s = figure.new_series("a")
+        s.add("paper", 1)
+        s.add("asc", 2)
+        _, rows = figure_rows(figure)
+        assert [r[0] for r in rows] == ["paper", "asc"]
+
+    def test_float_formatting(self):
+        figure = FigureResult("f", "t", "x", "y")
+        s = figure.new_series("a")
+        s.add(0.5, 0.12345)
+        s.add(1.0, 3.0)
+        _, rows = figure_rows(figure)
+        assert rows[0][1] == "0.1235"
+        assert rows[1][1] == "3"
+
+
+class TestFormatters:
+    def test_text_format(self):
+        text = format_figure(sample_figure())
+        assert "figX" in text
+        assert "alpha" in text and "beta" in text
+        assert "note: hello note" in text
+        assert "(y-axis: queries)" in text
+
+    def test_markdown_format(self):
+        md = format_markdown(sample_figure())
+        assert md.splitlines()[2].startswith("| k | alpha | beta |")
+        assert "| 64 | 100 | 120 |" in md
+        assert "- note: hello note" in md

@@ -1,0 +1,69 @@
+"""Tests for the experiment plumbing (series, figures, measurement)."""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.experiments.runner import (
+    FigureResult,
+    Series,
+    measure_crawl,
+    try_measure_crawl,
+)
+from tests.conftest import make_dataset
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        series = Series("algo")
+        series.add(64, 100, note="x")
+        series.add(128, 50)
+        assert series.xs() == [64, 128]
+        assert series.ys() == [100, 50]
+        assert series.points[0].extra == {"note": "x"}
+
+
+class TestFigureResult:
+    def test_series_registry(self):
+        figure = FigureResult("f", "t", "x", "y")
+        s = figure.new_series("a")
+        s.add(1, 2)
+        assert figure.series_by_name("a") is s
+        with pytest.raises(KeyError):
+            figure.series_by_name("b")
+
+    def test_notes(self):
+        figure = FigureResult("f", "t", "x", "y")
+        figure.note("hello")
+        assert figure.notes == ["hello"]
+
+
+class TestMeasureCrawl:
+    @pytest.fixture
+    def dataset(self):
+        space = DataSpace.mixed([("c", 3)], ["x"])
+        return random_dataset(space, 80, seed=1, numeric_range=(0, 20))
+
+    def test_measures_and_verifies(self, dataset):
+        result = measure_crawl(dataset, 8, Hybrid)
+        assert result.complete
+        assert result.tuples_extracted == dataset.n
+
+    def test_verify_flag(self, dataset):
+        result = measure_crawl(dataset, 8, Hybrid, verify=False)
+        assert result.complete  # still a full crawl, just unchecked
+
+    def test_priority_seed_changes_responses_not_result(self, dataset):
+        a = measure_crawl(dataset, 8, Hybrid, priority_seed=1)
+        b = measure_crawl(dataset, 8, Hybrid, priority_seed=2)
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_try_measure_returns_none_on_infeasible(self):
+        space = DataSpace.categorical([3])
+        heavy = make_dataset(space, [[1]] * 10 + [[2]])
+        assert try_measure_crawl(heavy, 4, Hybrid) is None
+
+    def test_try_measure_passes_through(self, dataset):
+        result = try_measure_crawl(dataset, 8, Hybrid)
+        assert result is not None and result.complete

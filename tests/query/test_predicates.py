@@ -1,0 +1,76 @@
+"""Unit tests for range and equality predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError
+from repro.query.predicates import EqualityPredicate, RangePredicate
+
+
+class TestRangePredicate:
+    def test_unconstrained(self):
+        pred = RangePredicate()
+        assert pred.is_unconstrained
+        assert not pred.is_point
+        assert pred.width is None
+        assert pred.matches(-(10**12)) and pred.matches(10**12)
+
+    def test_point(self):
+        pred = RangePredicate(5, 5)
+        assert pred.is_point
+        assert pred.width == 1
+        assert pred.matches(5)
+        assert not pred.matches(4)
+
+    def test_half_open(self):
+        left = RangePredicate(None, 9)
+        right = RangePredicate(10, None)
+        assert left.matches(9) and not left.matches(10)
+        assert right.matches(10) and not right.matches(9)
+        assert left.width is None
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SchemaError):
+            RangePredicate(3, 2)
+
+    def test_clamp(self):
+        pred = RangePredicate(None, None).clamp(0, 10)
+        assert (pred.lo, pred.hi) == (0, 10)
+        tighter = RangePredicate(2, 20).clamp(0, 10)
+        assert (tighter.lo, tighter.hi) == (2, 10)
+        keep = RangePredicate(2, 8).clamp(None, None)
+        assert (keep.lo, keep.hi) == (2, 8)
+
+    @given(lo=st.integers(-50, 50), width=st.integers(0, 20), v=st.integers(-100, 100))
+    def test_matches_consistent_with_interval(self, lo, width, v):
+        pred = RangePredicate(lo, lo + width)
+        assert pred.matches(v) == (lo <= v <= lo + width)
+
+    def test_str(self):
+        assert str(RangePredicate(None, 5)) == "[-inf, 5]"
+        assert str(RangePredicate(1, None)) == "[1, +inf]"
+
+
+class TestEqualityPredicate:
+    def test_wildcard(self):
+        pred = EqualityPredicate(None)
+        assert pred.is_wildcard
+        assert not pred.is_point
+        assert pred.matches(1) and pred.matches(99)
+
+    def test_constant(self):
+        pred = EqualityPredicate(3)
+        assert pred.is_point
+        assert pred.matches(3)
+        assert not pred.matches(2)
+
+    def test_str(self):
+        assert str(EqualityPredicate(None)) == "*"
+        assert str(EqualityPredicate(7)) == "=7"
+
+    def test_hashable_value_objects(self):
+        assert EqualityPredicate(3) == EqualityPredicate(3)
+        assert len({EqualityPredicate(3), EqualityPredicate(3)}) == 1
+        assert RangePredicate(1, 2) == RangePredicate(1, 2)
+        assert len({RangePredicate(1, 2), RangePredicate(1, 2)}) == 1

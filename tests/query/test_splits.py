@@ -1,0 +1,105 @@
+"""Tests for the 2-way and 3-way splits (paper Section 2.1, Figure 2).
+
+The key invariant: a split's products partition the parent's extent, so
+every integer value lands in exactly one product.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import SchemaError
+from repro.query.query import Query
+
+
+@pytest.fixture
+def space():
+    return DataSpace.numeric(2)
+
+
+def q_with_extent(space, lo, hi):
+    return Query.full(space).with_range(0, lo, hi)
+
+
+class TestSplit2Way:
+    def test_extents(self, space):
+        left, right = q_with_extent(space, 0, 10).split_2way(0, 4)
+        assert left.extent(0) == (0, 3)
+        assert right.extent(0) == (4, 10)
+
+    def test_preserves_other_attributes(self, space):
+        base = q_with_extent(space, 0, 10).with_range(1, -5, 5)
+        left, right = base.split_2way(0, 4)
+        assert left.extent(1) == (-5, 5)
+        assert right.extent(1) == (-5, 5)
+
+    def test_unbounded_parent(self, space):
+        left, right = Query.full(space).split_2way(0, 7)
+        assert left.extent(0) == (None, 6)
+        assert right.extent(0) == (7, None)
+
+    def test_rejects_split_at_lower_end(self, space):
+        with pytest.raises(SchemaError):
+            q_with_extent(space, 3, 9).split_2way(0, 3)
+
+    def test_rejects_split_outside(self, space):
+        with pytest.raises(SchemaError):
+            q_with_extent(space, 3, 9).split_2way(0, 10)
+
+    @given(
+        lo=st.integers(-20, 20),
+        width=st.integers(1, 30),
+        data=st.data(),
+    )
+    def test_partition_property(self, lo, width, data):
+        space = DataSpace.numeric(1)
+        hi = lo + width
+        x = data.draw(st.integers(lo + 1, hi))
+        left, right = Query.full(space).with_range(0, lo, hi).split_2way(0, x)
+        for v in range(lo, hi + 1):
+            assert left.matches((v,)) + right.matches((v,)) == 1
+
+
+class TestSplit3Way:
+    def test_interior(self, space):
+        left, mid, right = q_with_extent(space, 0, 10).split_3way(0, 4)
+        assert left.extent(0) == (0, 3)
+        assert mid.extent(0) == (4, 4)
+        assert right.extent(0) == (5, 10)
+        assert mid.is_exhausted(0)
+
+    def test_discards_left_at_lower_end(self, space):
+        left, mid, right = q_with_extent(space, 3, 9).split_3way(0, 3)
+        assert left is None
+        assert mid.extent(0) == (3, 3)
+        assert right.extent(0) == (4, 9)
+
+    def test_discards_right_at_upper_end(self, space):
+        left, mid, right = q_with_extent(space, 3, 9).split_3way(0, 9)
+        assert right is None
+        assert left.extent(0) == (3, 8)
+
+    def test_unbounded_keeps_both(self, space):
+        left, mid, right = Query.full(space).split_3way(0, 0)
+        assert left is not None and right is not None
+        assert left.extent(0) == (None, -1)
+        assert right.extent(0) == (1, None)
+
+    def test_rejects_outside(self, space):
+        with pytest.raises(SchemaError):
+            q_with_extent(space, 3, 9).split_3way(0, 2)
+
+    @given(
+        lo=st.integers(-20, 20),
+        width=st.integers(0, 30),
+        data=st.data(),
+    )
+    def test_partition_property(self, lo, width, data):
+        space = DataSpace.numeric(1)
+        hi = lo + width
+        x = data.draw(st.integers(lo, hi))
+        parts = Query.full(space).with_range(0, lo, hi).split_3way(0, x)
+        for v in range(lo, hi + 1):
+            hits = sum(1 for p in parts if p is not None and p.matches((v,)))
+            assert hits == 1

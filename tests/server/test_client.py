@@ -1,0 +1,84 @@
+"""Tests for CachingClient: memoisation is the cost model."""
+
+import pytest
+
+from repro.dataspace.space import DataSpace
+from repro.query.query import Query, slice_query
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+@pytest.fixture
+def server():
+    space = DataSpace.categorical([3, 3])
+    dataset = make_dataset(space, [[i % 3 + 1, (i // 3) % 3 + 1] for i in range(12)])
+    return TopKServer(dataset, k=4)
+
+
+class TestCaching:
+    def test_miss_then_hit(self, server):
+        client = CachingClient(server)
+        q = Query.full(server.space)
+        first = client.run(q)
+        assert client.cost == 1
+        second = client.run(q)
+        assert second == first
+        assert client.cost == 1  # cache hit: free
+        assert server.stats.queries == 1  # server saw it once
+
+    def test_structurally_equal_queries_share_entries(self, server):
+        client = CachingClient(server)
+        a = Query.full(server.space).with_value(0, 2)
+        b = slice_query(server.space, 0, 2)
+        client.run(a)
+        assert client.peek(b) is not None
+        client.run(b)
+        assert client.cost == 1
+
+    def test_peek_never_queries(self, server):
+        client = CachingClient(server)
+        q = Query.full(server.space)
+        assert client.peek(q) is None
+        assert client.cost == 0
+        assert server.stats.queries == 0
+
+    def test_history_records_misses_in_order(self, server):
+        client = CachingClient(server)
+        q1 = Query.full(server.space)
+        q2 = q1.with_value(0, 1)
+        client.run(q1)
+        client.run(q2)
+        client.run(q1)
+        assert client.history == (q1, q2)
+
+    def test_listener_fires_on_miss_only(self, server):
+        client = CachingClient(server)
+        seen = []
+        client.add_listener(lambda q, r: seen.append(q))
+        q = Query.full(server.space)
+        client.run(q)
+        client.run(q)
+        assert len(seen) == 1
+
+    def test_store_local_is_free(self, server):
+        from repro.server.response import QueryResponse
+
+        client = CachingClient(server)
+        q = Query.full(server.space).with_value(0, 3)
+        client._store_local(q, QueryResponse((), False))
+        assert client.run(q).rows == ()
+        assert client.cost == 0
+
+    def test_phases(self, server):
+        client = CachingClient(server)
+        client.begin_phase("warmup")
+        client.run(Query.full(server.space))
+        client.end_phase()
+        client.run(Query.full(server.space).with_value(0, 1))
+        assert client.stats.phase_costs == {"warmup": 1}
+
+    def test_exposes_interface_facts(self, server):
+        client = CachingClient(server)
+        assert client.k == server.k
+        assert client.space == server.space

@@ -1,0 +1,136 @@
+"""Engine tests: correctness of both engines and their equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dataspace.dataset import Dataset
+from repro.query.query import Query
+from repro.server.engines import (
+    IndexedEngine,
+    LinearScanEngine,
+    VectorEngine,
+    make_engine,
+)
+from tests.conftest import small_instances
+
+
+@pytest.fixture
+def matrix():
+    # Already in "priority order": earlier rows are returned first.
+    return np.asarray(
+        [[1, 10], [2, 20], [1, 30], [2, 40], [1, 50]], dtype=np.int64
+    )
+
+
+@pytest.fixture
+def space():
+    from repro.dataspace.space import DataSpace
+
+    return DataSpace.mixed([("c", 2)], ["v"])
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [LinearScanEngine, VectorEngine, IndexedEngine]
+)
+class TestEngines:
+    def test_full_query_overflow(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        rows, overflow = engine.top(Query.full(space), 3)
+        assert overflow
+        assert rows == [(1, 10), (2, 20), (1, 30)]
+
+    def test_full_query_resolved(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        rows, overflow = engine.top(Query.full(space), 5)
+        assert not overflow
+        assert len(rows) == 5
+
+    def test_equality_filter(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        q = Query.full(space).with_value(0, 1)
+        rows, overflow = engine.top(q, 10)
+        assert not overflow
+        assert rows == [(1, 10), (1, 30), (1, 50)]
+
+    def test_range_filter(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        q = Query.full(space).with_range(1, 20, 40)
+        rows, overflow = engine.top(q, 10)
+        assert rows == [(2, 20), (1, 30), (2, 40)]
+        assert not overflow
+
+    def test_half_open_ranges(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        low = Query.full(space).with_range(1, None, 20)
+        rows, _ = engine.top(low, 10)
+        assert rows == [(1, 10), (2, 20)]
+        high = Query.full(space).with_range(1, 40, None)
+        rows, _ = engine.top(high, 10)
+        assert rows == [(2, 40), (1, 50)]
+
+    def test_point_range(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        q = Query.full(space).with_range(1, 30, 30)
+        rows, overflow = engine.top(q, 1)
+        assert rows == [(1, 30)]
+        assert not overflow
+
+    def test_empty_result(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        q = Query.full(space).with_range(1, 1000, None)
+        rows, overflow = engine.top(q, 3)
+        assert rows == []
+        assert not overflow
+
+    def test_overflow_returns_exactly_k(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        q = Query.full(space).with_value(0, 1)
+        rows, overflow = engine.top(q, 2)
+        assert overflow
+        assert rows == [(1, 10), (1, 30)]
+
+    def test_empty_matrix(self, engine_cls, space):
+        engine = engine_cls(np.empty((0, 2), dtype=np.int64))
+        rows, overflow = engine.top(Query.full(space), 3)
+        assert rows == [] and not overflow
+
+
+class TestFactory:
+    def test_make_engine(self, matrix):
+        assert isinstance(make_engine("linear", matrix), LinearScanEngine)
+        assert isinstance(make_engine("vector", matrix), VectorEngine)
+        assert isinstance(make_engine("indexed", matrix), IndexedEngine)
+        with pytest.raises(ValueError):
+            make_engine("gpu", matrix)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            VectorEngine(np.zeros(3, dtype=np.int64))
+
+
+class TestEquivalence:
+    """Property: the reference, vector and indexed engines agree."""
+
+    @given(instance=small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_engines_agree_on_structured_queries(self, instance):
+        dataset, k = instance
+        linear = LinearScanEngine(dataset.rows)
+        vector = VectorEngine(dataset.rows)
+        indexed = IndexedEngine(dataset.rows)
+        queries = [Query.full(dataset.space)]
+        # Probe a few single-attribute refinements of each kind.
+        for i, attr in enumerate(dataset.space):
+            if attr.is_categorical:
+                for v in range(1, attr.domain_size + 1):
+                    queries.append(queries[0].with_value(i, v))
+            else:
+                queries.append(queries[0].with_range(i, 0, 5))
+                queries.append(queries[0].with_range(i, None, -1))
+                queries.append(queries[0].with_range(i, 2, None))
+                queries.append(queries[0].with_range(i, 3, 3))
+        for q in queries:
+            expected = linear.top(q, k)
+            assert vector.top(q, k) == expected
+            assert indexed.top(q, k) == expected

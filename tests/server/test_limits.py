@@ -1,0 +1,72 @@
+"""Tests for query budgets, simulated clock, and daily rate limits."""
+
+import pytest
+
+from repro.exceptions import QueryBudgetExhausted
+from repro.server.limits import DailyRateLimit, QueryBudget, SimulatedClock
+
+
+class TestQueryBudget:
+    def test_admits_up_to_max(self):
+        budget = QueryBudget(3)
+        for _ in range(3):
+            budget.admit()
+        assert budget.remaining == 0
+        assert budget.used == 3
+
+    def test_exhaustion(self):
+        budget = QueryBudget(1)
+        budget.admit()
+        with pytest.raises(QueryBudgetExhausted) as info:
+            budget.admit()
+        assert info.value.issued == 1
+
+    def test_zero_budget(self):
+        with pytest.raises(QueryBudgetExhausted):
+            QueryBudget(0).admit()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueryBudget(-1)
+
+    def test_refill(self):
+        budget = QueryBudget(1)
+        budget.admit()
+        budget.refill(2)
+        budget.admit()
+        assert budget.remaining == 1
+        with pytest.raises(ValueError):
+            budget.refill(-1)
+
+
+class TestSimulatedClock:
+    def test_advances(self):
+        clock = SimulatedClock()
+        assert clock.day == 0
+        assert clock.sleep_until_next_day() == 1
+        assert clock.day == 1
+
+
+class TestDailyRateLimit:
+    def test_daily_quota(self):
+        clock = SimulatedClock()
+        limit = DailyRateLimit(2, clock)
+        limit.admit()
+        limit.admit()
+        assert limit.remaining_today == 0
+        with pytest.raises(QueryBudgetExhausted):
+            limit.admit()
+
+    def test_resets_on_new_day(self):
+        clock = SimulatedClock()
+        limit = DailyRateLimit(1, clock)
+        limit.admit()
+        with pytest.raises(QueryBudgetExhausted):
+            limit.admit()
+        clock.sleep_until_next_day()
+        limit.admit()  # fresh quota
+        assert limit.used_today == 1
+
+    def test_validates_per_day(self):
+        with pytest.raises(ValueError):
+            DailyRateLimit(0, SimulatedClock())

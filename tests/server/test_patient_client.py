@@ -1,0 +1,81 @@
+"""PatientClient tests: sleeping through quotas, end-to-end crawls."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted
+from repro.server.client import PatientClient
+from repro.server.limits import DailyRateLimit, QueryBudget, SimulatedClock
+from repro.server.server import TopKServer
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(5)
+    space = DataSpace.mixed([("c", 4)], ["v"])
+    rows = np.column_stack(
+        [rng.integers(1, 5, 200), rng.integers(0, 500, 200)]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+class TestSleeping:
+    def test_crawl_completes_across_days(self, dataset):
+        clock = SimulatedClock()
+        per_day = 10
+        server = TopKServer(
+            dataset, k=8, limits=[DailyRateLimit(per_day, clock)]
+        )
+        client = PatientClient(server, clock)
+        result = Hybrid(client).crawl()
+        assert_complete(result, dataset)
+        # cost queries at per_day a day need ceil(cost/per_day) days,
+        # i.e. that many minus one sleeps.
+        assert client.days_slept == -(-result.cost // per_day) - 1
+
+    def test_no_sleep_when_quota_suffices(self, dataset):
+        clock = SimulatedClock()
+        server = TopKServer(
+            dataset, k=8, limits=[DailyRateLimit(10_000, clock)]
+        )
+        client = PatientClient(server, clock)
+        Hybrid(client).crawl()
+        assert client.days_slept == 0
+
+    def test_max_days_cap_reraises(self, dataset):
+        clock = SimulatedClock()
+        server = TopKServer(dataset, k=8, limits=[DailyRateLimit(5, clock)])
+        client = PatientClient(server, clock, max_days=1)
+        with pytest.raises(QueryBudgetExhausted):
+            Hybrid(client).crawl()
+        assert client.days_slept == 1
+
+    def test_hard_budget_is_not_slept_through(self, dataset):
+        # A QueryBudget never resets; patience must not loop forever.
+        clock = SimulatedClock()
+        server = TopKServer(dataset, k=8, limits=[QueryBudget(5)])
+        client = PatientClient(server, clock, max_days=3)
+        with pytest.raises(QueryBudgetExhausted):
+            Hybrid(client).crawl()
+        assert client.days_slept == 3  # capped, then re-raised
+
+
+class TestOverWeb:
+    def test_patience_spans_http_429(self, dataset):
+        from repro.web.adapter import WebSession
+        from repro.web.site import HiddenWebSite
+
+        clock = SimulatedClock()
+        server = TopKServer(
+            dataset, k=8, limits=[DailyRateLimit(10, clock)]
+        )
+        session = WebSession(HiddenWebSite(server))
+        client = PatientClient(session, clock)
+        result = Hybrid(client).crawl()
+        assert result.complete
+        assert sorted(result.rows) == sorted(dataset.iter_rows())
+        assert client.days_slept > 0

@@ -1,0 +1,62 @@
+"""Tests for query statistics accounting."""
+
+from repro.server.response import QueryResponse
+from repro.server.stats import QueryStats
+
+
+def resolved(n=2):
+    return QueryResponse(tuple((i,) for i in range(n)), False)
+
+
+def overflowed(k=3):
+    return QueryResponse(tuple((i,) for i in range(k)), True)
+
+
+class TestQueryStats:
+    def test_record(self):
+        stats = QueryStats()
+        stats.record(resolved(2))
+        stats.record(overflowed(3))
+        assert stats.queries == 2
+        assert stats.resolved == 1
+        assert stats.overflowed == 1
+        assert stats.tuples_returned == 5
+
+    def test_phases(self):
+        stats = QueryStats()
+        stats.begin_phase("prep")
+        stats.record(resolved())
+        stats.record(resolved())
+        stats.end_phase()
+        stats.record(resolved())
+        assert stats.phase_costs == {"prep": 2}
+
+    def test_phase_registered_even_if_empty(self):
+        stats = QueryStats()
+        stats.begin_phase("idle")
+        stats.end_phase()
+        assert stats.phase_costs == {"idle": 0}
+
+    def test_snapshot_is_independent(self):
+        stats = QueryStats()
+        stats.record(resolved())
+        snap = stats.snapshot()
+        stats.record(resolved())
+        assert snap.queries == 1
+        assert stats.queries == 2
+
+    def test_str(self):
+        stats = QueryStats()
+        stats.record(resolved())
+        text = str(stats)
+        assert "1 queries" in text
+        assert "1 resolved" in text
+
+
+class TestQueryResponse:
+    def test_len_and_str(self):
+        resp = overflowed(3)
+        assert len(resp) == 3
+        assert "overflow" in str(resp)
+        assert not resp.resolved
+        assert "resolved" in str(resolved())

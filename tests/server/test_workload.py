@@ -1,0 +1,57 @@
+"""Tests for the provider-side workload report."""
+
+import pytest
+
+from repro.crawl.hybrid import Hybrid
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.server.server import TopKServer
+from repro.server.workload import workload_report
+
+
+@pytest.fixture
+def dataset():
+    space = DataSpace.mixed([("c", 4)], ["x"])
+    return random_dataset(space, 500, seed=6, numeric_range=(0, 99))
+
+
+class TestWorkloadReport:
+    def test_counters_match_server_stats(self, dataset):
+        server = TopKServer(dataset, k=16)
+        Hybrid(server).crawl()
+        report = workload_report(server)
+        assert report.queries == server.stats.queries
+        assert report.resolved + report.overflowed == report.queries
+        assert report.tuples_shipped == server.stats.tuples_returned
+
+    def test_ship_factor_small_constant(self, dataset):
+        """The paper's provider-burden claim: a few x the database."""
+        server = TopKServer(dataset, k=16)
+        Hybrid(server).crawl()
+        report = workload_report(server)
+        # Every tuple must be shipped at least once...
+        assert report.ship_factor >= 1.0
+        # ... and an efficient crawl stays within a small constant.
+        assert report.ship_factor < 6.0
+
+    def test_tuples_per_query_bounded_by_k(self, dataset):
+        server = TopKServer(dataset, k=16)
+        Hybrid(server).crawl()
+        report = workload_report(server)
+        assert 0 < report.tuples_per_query <= 16
+
+    def test_empty_server(self):
+        space = DataSpace.categorical([3])
+        server = TopKServer(Dataset(space, []), k=4)
+        report = workload_report(server)
+        assert report.queries == 0
+        assert report.ship_factor == 0.0
+        assert report.tuples_per_query == 0.0
+
+    def test_summary_text(self, dataset):
+        server = TopKServer(dataset, k=16)
+        Hybrid(server).crawl()
+        text = workload_report(server).summary()
+        assert "tuples/query" in text
+        assert "x the database" in text

@@ -1,0 +1,87 @@
+"""The public API surface: imports, exceptions, version."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_is_runnable_shape(self):
+        """The README/docstring example's names all exist."""
+        from repro import Hybrid, TopKServer, assert_complete  # noqa: F401
+        from repro.datasets import yahoo_autos  # noqa: F401
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import (
+            AlgorithmInvariantError,
+            InfeasibleCrawlError,
+            QueryBudgetExhausted,
+            ReproError,
+            SchemaError,
+            UnboundedDomainError,
+        )
+
+        for exc in (
+            SchemaError,
+            UnboundedDomainError,
+            InfeasibleCrawlError,
+            QueryBudgetExhausted,
+            AlgorithmInvariantError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_schema_error_is_value_error(self):
+        from repro import SchemaError
+
+        assert issubclass(SchemaError, ValueError)
+
+    def test_unbounded_is_schema_error(self):
+        from repro import SchemaError, UnboundedDomainError
+
+        assert issubclass(UnboundedDomainError, SchemaError)
+
+    def test_infeasible_carries_point(self):
+        from repro import InfeasibleCrawlError
+
+        exc = InfeasibleCrawlError("boom", point=(1, 2))
+        assert exc.point == (1, 2)
+        assert InfeasibleCrawlError("x").point is None
+
+    def test_budget_carries_issued(self):
+        from repro import QueryBudgetExhausted
+
+        assert QueryBudgetExhausted("x", issued=7).issued == 7
+
+    def test_one_catch_all(self):
+        from repro import InfeasibleCrawlError, ReproError
+
+        with pytest.raises(ReproError):
+            raise InfeasibleCrawlError("caught by the base class")
+
+
+class TestAlgorithmNames:
+    def test_names_are_the_papers(self):
+        from repro import (
+            BinaryShrink,
+            DepthFirstSearch,
+            Hybrid,
+            LazySliceCover,
+            RankShrink,
+            SliceCover,
+        )
+
+        assert BinaryShrink.name == "binary-shrink"
+        assert RankShrink.name == "rank-shrink"
+        assert DepthFirstSearch.name == "DFS"
+        assert SliceCover.name == "slice-cover"
+        assert LazySliceCover.name == "lazy-slice-cover"
+        assert Hybrid.name == "hybrid"

@@ -1,0 +1,245 @@
+"""Adversary tests: choice-independence of the bounds, impossibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace, SpaceKind
+from repro.exceptions import (
+    AlgorithmInvariantError,
+    InfeasibleCrawlError,
+    SchemaError,
+)
+from repro.query.query import Query, point_query
+from repro.server.server import TopKServer
+from repro.theory.adversary import (
+    AdversarialTopKServer,
+    DuplicateHidingServer,
+    ModeClusterPolicy,
+    PriorityOrderPolicy,
+    RankByAttributePolicy,
+    ResponsePolicy,
+)
+from repro.theory.bounds import upper_bound_for_dataset
+from tests.conftest import small_instances
+
+
+def _numeric_dataset(seed=3, n=200):
+    rng = np.random.default_rng(seed)
+    space = DataSpace.numeric(2)
+    rows = np.column_stack(
+        [rng.integers(0, 40, n), rng.integers(0, 1000, n)]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+class TestPolicies:
+    def test_priority_order_matches_reference_server(self):
+        dataset = _numeric_dataset()
+        reference = TopKServer(dataset, k=8, priorities=range(dataset.n, 0, -1))
+        # Reference with explicit priorities = original row order, which
+        # is also what the adversarial evaluation sees.
+        adversarial = AdversarialTopKServer(dataset, 8, PriorityOrderPolicy())
+        for q in [
+            Query.full(dataset.space),
+            Query.full(dataset.space).with_range(0, 5, 20),
+            Query.full(dataset.space).with_range(1, 100, 300),
+        ]:
+            assert adversarial.run(q) == reference.run(q)
+
+    def test_rank_by_attribute_returns_extremes(self):
+        dataset = _numeric_dataset()
+        server = AdversarialTopKServer(dataset, 8, RankByAttributePolicy(1))
+        response = server.run(Query.full(dataset.space))
+        assert response.overflow
+        returned = sorted(row[1] for row in response.rows)
+        all_values = sorted(row[1] for row in dataset.iter_rows())
+        assert returned == all_values[:8]
+
+    def test_rank_descending(self):
+        dataset = _numeric_dataset()
+        server = AdversarialTopKServer(
+            dataset, 8, RankByAttributePolicy(1, descending=True)
+        )
+        response = server.run(Query.full(dataset.space))
+        returned = sorted(row[1] for row in response.rows)
+        all_values = sorted(row[1] for row in dataset.iter_rows())
+        assert returned == all_values[-8:]
+
+    def test_mode_cluster_concentrates_on_mode(self):
+        space = DataSpace.numeric(1)
+        rows = [(5,)] * 6 + [(v,) for v in range(10, 20)]
+        dataset = Dataset(space, rows)
+        server = AdversarialTopKServer(dataset, 8, ModeClusterPolicy(0))
+        response = server.run(Query.full(space))
+        assert sum(1 for row in response.rows if row[0] == 5) == 6
+
+    def test_responses_deterministic(self):
+        dataset = _numeric_dataset()
+        for policy in (
+            PriorityOrderPolicy(),
+            RankByAttributePolicy(0),
+            ModeClusterPolicy(0),
+        ):
+            server = AdversarialTopKServer(dataset, 8, policy)
+            q = Query.full(dataset.space)
+            assert server.run(q) == server.run(q)
+
+    def test_resolved_queries_bypass_policy(self):
+        dataset = _numeric_dataset()
+
+        class ExplodingPolicy(ResponsePolicy):
+            name = "exploding"
+
+            def select(self, matching, k, query):  # pragma: no cover
+                raise RuntimeError("must not be called for resolved queries")
+
+        server = AdversarialTopKServer(dataset, 10**6, ExplodingPolicy())
+        response = server.run(Query.full(dataset.space))
+        assert response.resolved and len(response.rows) == dataset.n
+
+
+class TestHonesty:
+    """The server rejects policies that lie."""
+
+    def test_wrong_cardinality_rejected(self):
+        class ShortPolicy(ResponsePolicy):
+            name = "short"
+
+            def select(self, matching, k, query):
+                return list(matching[: k - 1])
+
+        dataset = _numeric_dataset()
+        server = AdversarialTopKServer(dataset, 8, ShortPolicy())
+        with pytest.raises(AlgorithmInvariantError):
+            server.run(Query.full(dataset.space))
+
+    def test_fabricated_tuples_rejected(self):
+        class LiarPolicy(ResponsePolicy):
+            name = "liar"
+
+            def select(self, matching, k, query):
+                return [(-999, -999)] * k
+
+        dataset = _numeric_dataset()
+        server = AdversarialTopKServer(dataset, 8, LiarPolicy())
+        with pytest.raises(AlgorithmInvariantError):
+            server.run(Query.full(dataset.space))
+
+    def test_inflated_multiplicity_rejected(self):
+        class DuplicatorPolicy(ResponsePolicy):
+            name = "duplicator"
+
+            def select(self, matching, k, query):
+                return [matching[0]] * k
+
+        space = DataSpace.numeric(1)
+        dataset = Dataset(space, [(v,) for v in range(20)])
+        server = AdversarialTopKServer(dataset, 8, DuplicatorPolicy())
+        with pytest.raises(AlgorithmInvariantError):
+            server.run(Query.full(space))
+
+    def test_wrong_space_rejected(self):
+        dataset = _numeric_dataset()
+        server = AdversarialTopKServer(dataset, 8, PriorityOrderPolicy())
+        other = DataSpace.numeric(2, names=["x", "y"])
+        with pytest.raises(SchemaError):
+            server.run(Query.full(other))
+
+
+class TestBoundsSurviveAdversaries:
+    """Theorem 1 holds for any k-subset choice the server makes."""
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: RankByAttributePolicy(0),
+            lambda: RankByAttributePolicy(1, descending=True),
+            lambda: ModeClusterPolicy(0),
+        ],
+    )
+    def test_rank_shrink_bound_under_adversary(self, policy_factory):
+        dataset = _numeric_dataset(seed=11, n=400)
+        k = 16
+        bound = upper_bound_for_dataset(dataset, k)
+        server = AdversarialTopKServer(dataset, k, policy_factory())
+        result = RankShrink(server, max_queries=bound).crawl()
+        assert_complete(result, dataset)
+        assert result.cost <= bound
+
+    @given(instance=small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances_under_skewed_ranking(self, instance):
+        dataset, k = instance
+        policy = RankByAttributePolicy(dataset.space.dimensionality - 1)
+        server = AdversarialTopKServer(dataset, k, policy)
+        bound = upper_bound_for_dataset(dataset, k)
+        if dataset.space.kind is SpaceKind.NUMERIC:
+            crawler = RankShrink(server, max_queries=bound)
+        elif dataset.space.kind is SpaceKind.CATEGORICAL:
+            crawler = LazySliceCover(server, max_queries=bound)
+        else:
+            crawler = Hybrid(server, max_queries=bound)
+        result = crawler.crawl()
+        assert_complete(result, dataset)
+
+
+class TestDuplicateHiding:
+    @pytest.fixture
+    def overloaded(self):
+        space = DataSpace.mixed([("c", 3)], ["v"])
+        rows = [(1, 7)] * 5 + [(2, 1), (2, 2), (3, 9)]
+        return Dataset(space, rows)
+
+    def test_requires_overloaded_point(self, overloaded):
+        with pytest.raises(SchemaError):
+            DuplicateHidingServer(overloaded, k=5, point=(1, 7))
+        DuplicateHidingServer(overloaded, k=4, point=(1, 7))
+
+    def test_point_query_never_reveals_all_copies(self, overloaded):
+        server = DuplicateHidingServer(overloaded, k=4, point=(1, 7))
+        q = point_query(overloaded.space, (1, 7))
+        response = server.run(q)
+        assert response.overflow
+        assert sum(1 for row in response.rows if row == (1, 7)) == 4
+        # Identical on repeat -- the copy is withheld forever.
+        assert server.run(q) == response
+
+    def test_covering_queries_also_withhold(self, overloaded):
+        server = DuplicateHidingServer(overloaded, k=4, point=(1, 7))
+        for q in [
+            Query.full(overloaded.space),
+            Query.full(overloaded.space).with_value(0, 1),
+            Query.full(overloaded.space).with_range(1, 0, 100),
+        ]:
+            response = server.run(q)
+            assert response.overflow
+            copies = sum(1 for row in response.rows if row == (1, 7))
+            assert copies <= 4
+        assert server.max_copies_revealed <= 4
+
+    def test_non_covering_queries_behave_normally(self, overloaded):
+        server = DuplicateHidingServer(overloaded, k=4, point=(1, 7))
+        q = Query.full(overloaded.space).with_value(0, 2)
+        response = server.run(q)
+        assert response.resolved
+        assert sorted(response.rows) == [(2, 1), (2, 2)]
+
+    def test_crawlers_detect_infeasibility(self, overloaded):
+        server = DuplicateHidingServer(overloaded, k=4, point=(1, 7))
+        with pytest.raises(InfeasibleCrawlError):
+            Hybrid(server).crawl()
+
+    def test_categorical_crawler_detects_infeasibility(self):
+        space = DataSpace.categorical([3, 3])
+        rows = [(1, 1)] * 4 + [(2, 2), (3, 3)]
+        dataset = Dataset(space, rows)
+        server = DuplicateHidingServer(dataset, k=3, point=(1, 1))
+        with pytest.raises(InfeasibleCrawlError):
+            DepthFirstSearch(server).crawl()

@@ -1,0 +1,98 @@
+"""Tests for the Theorem 1 / 3 / 4 bound formulas."""
+
+import pytest
+
+from repro.dataspace.space import DataSpace
+from repro.datasets.synthetic import random_dataset
+from repro.theory import bounds
+
+
+class TestTrivialLowerBound:
+    def test_ceiling(self):
+        assert bounds.trivial_lower_bound(10, 3) == 4
+        assert bounds.trivial_lower_bound(9, 3) == 3
+
+    def test_empty(self):
+        assert bounds.trivial_lower_bound(0, 5) == 1
+
+
+class TestRankShrinkBound:
+    def test_formula(self):
+        # 20 * d * ceil(n/k) + 1
+        assert bounds.rank_shrink_upper_bound(100, 10, 2) == 20 * 2 * 10 + 1
+
+    def test_monotone_in_n_and_d(self):
+        assert bounds.rank_shrink_upper_bound(200, 10, 2) > bounds.rank_shrink_upper_bound(100, 10, 2)
+        assert bounds.rank_shrink_upper_bound(100, 10, 3) > bounds.rank_shrink_upper_bound(100, 10, 2)
+
+    def test_inverse_in_k(self):
+        assert bounds.rank_shrink_upper_bound(1000, 100, 2) < bounds.rank_shrink_upper_bound(1000, 10, 2)
+
+
+class TestSliceCoverBound:
+    def test_one_dimensional_is_u1(self):
+        assert bounds.slice_cover_upper_bound(50, 5, [7]) == 8  # U1 + lazy root
+
+    def test_general_formula(self):
+        # sum U + ceil(n/k) * sum min(U, ceil(n/k)) + 1
+        n, k = 100, 10  # ratio = 10
+        value = bounds.slice_cover_upper_bound(n, k, [3, 20])
+        assert value == (3 + 20) + 10 * (3 + 10) + 1
+
+    def test_min_caps_large_domains(self):
+        small_ratio = bounds.slice_cover_upper_bound(20, 10, [1000, 1000])
+        # ratio = 2, so each domain contributes 2*2, not 2*1000
+        assert small_ratio == 2000 + 2 * 4 + 1
+
+
+class TestHybridBound:
+    def test_cat_zero_delegates(self):
+        assert bounds.hybrid_upper_bound(100, 10, [], 3) == bounds.rank_shrink_upper_bound(100, 10, 3)
+
+    def test_cat_one_special_case(self):
+        value = bounds.hybrid_upper_bound(100, 10, [7], 3)
+        assert value == 7 + 20 * 2 * 10 + 2
+
+    def test_cat_many(self):
+        value = bounds.hybrid_upper_bound(100, 10, [3, 4], 4)
+        assert value == (3 + 4) + 10 * (3 + 4) + 20 * 2 * 10 + 2
+
+
+class TestUpperBoundDispatch:
+    def test_by_kind(self):
+        numeric = random_dataset(DataSpace.numeric(2), 50, seed=0)
+        categorical = random_dataset(DataSpace.categorical([3, 3]), 50, seed=0)
+        mixed = random_dataset(DataSpace.mixed([("c", 3)], ["x"]), 50, seed=0)
+        assert bounds.upper_bound_for_dataset(numeric, 5) == bounds.rank_shrink_upper_bound(50, 5, 2)
+        assert bounds.upper_bound_for_dataset(categorical, 5) == bounds.slice_cover_upper_bound(50, 5, [3, 3])
+        assert bounds.upper_bound_for_dataset(mixed, 5) == bounds.hybrid_upper_bound(50, 5, [3], 2)
+
+
+class TestTheorem3:
+    def test_parameters(self):
+        params = bounds.theorem3_parameters(k=8, d=4, m=10)
+        assert params["n"] == 10 * 12
+        assert params["non_diagonal"] == 40
+
+    def test_rejects_d_above_k(self):
+        with pytest.raises(ValueError):
+            bounds.theorem3_parameters(k=2, d=3, m=1)
+
+    def test_lower_bound(self):
+        assert bounds.theorem3_lower_bound(4, 10) == 40
+
+
+class TestTheorem4:
+    def test_parameter_conditions(self):
+        assert bounds.theorem4_parameters_valid(20, 3)
+        assert not bounds.theorem4_parameters_valid(2, 3)  # k < 3
+        assert not bounds.theorem4_parameters_valid(3, 50)  # dU^2 too big
+
+    def test_lower_bound_positive(self):
+        assert bounds.theorem4_lower_bound(40, 3) == (40 // 8) * 3
+
+    def test_upper_bound_scales_quadratically(self):
+        u3 = bounds.theorem4_upper_bound(16, 3)
+        u6 = bounds.theorem4_upper_bound(16, 6)
+        # d U (1 + 2U) + 1: quadrupling U should ~quadruple the quadratic term
+        assert u6 > 3 * u3

@@ -1,0 +1,123 @@
+"""Tests for the lower-bound proof machinery on real executions."""
+
+import pytest
+
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.verify import assert_complete
+from repro.datasets.hard import theorem3_instance, theorem4_instance
+from repro.query.query import Query, slice_query
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from repro.theory import bounds
+from repro.theory.hardness import (
+    check_lemma5_cover,
+    check_lemma7_diverse_resolves,
+    check_lemma8_monotonic_width,
+    classify_categorical_query,
+    resolved_queries,
+)
+
+
+def crawl_log(client: CachingClient):
+    return [(q, client.peek(q)) for q in client.history]
+
+
+class TestTheorem3Execution:
+    def test_rank_shrink_respects_the_envelope(self):
+        k, d, m = 8, 4, 6
+        instance = theorem3_instance(k, d, m)
+        crawler = RankShrink(TopKServer(instance.dataset, k=k))
+        result = crawler.crawl()
+        assert_complete(result, instance.dataset)
+        assert result.cost >= instance.lower_bound  # Theorem 3
+        assert result.cost <= bounds.rank_shrink_upper_bound(
+            instance.dataset.n, k, d
+        )
+
+    def test_lemma5_cover_on_execution(self):
+        k, d, m = 8, 3, 5
+        instance = theorem3_instance(k, d, m)
+        crawler = RankShrink(TopKServer(instance.dataset, k=k))
+        crawler.crawl()
+        resolved_count = check_lemma5_cover(
+            crawl_log(crawler.client), instance.non_diagonal_points
+        )
+        assert resolved_count >= instance.lower_bound
+
+    def test_lemma5_detects_violations(self):
+        instance = theorem3_instance(4, 2, 2)
+        space = instance.dataset.space
+        from repro.server.response import QueryResponse
+
+        # A fake log with one giant resolved query covering everything.
+        fake = [(Query.full(space), QueryResponse((), False))]
+        with pytest.raises(AssertionError):
+            check_lemma5_cover(fake, instance.non_diagonal_points)
+
+    def test_lemma5_detects_uncovered_points(self):
+        instance = theorem3_instance(4, 2, 2)
+        with pytest.raises(AssertionError):
+            check_lemma5_cover([], instance.non_diagonal_points)
+
+
+class TestQueryTaxonomy:
+    def test_classification(self):
+        instance = theorem4_instance(3, 3, enforce_conditions=False)
+        space = instance.dataset.space
+        full = Query.full(space)
+        assert classify_categorical_query(full) == "other"
+        assert classify_categorical_query(slice_query(space, 0, 1)) == "other"
+        diverse = full.with_value(0, 1).with_value(1, 2)
+        assert classify_categorical_query(diverse) == "diverse"
+        monotonic = full.with_value(0, 2).with_value(3, 2)
+        assert classify_categorical_query(monotonic) == "monotonic"
+
+    def test_rejects_numeric_queries(self):
+        from repro.dataspace.space import DataSpace
+
+        with pytest.raises(ValueError):
+            classify_categorical_query(Query.full(DataSpace.numeric(1)))
+
+
+class TestTheorem4Execution:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        k, U = 4, 3
+        instance = theorem4_instance(k, U, enforce_conditions=False)
+        crawler = LazySliceCover(TopKServer(instance.dataset, k=k))
+        result = crawler.crawl()
+        return instance, crawler, result
+
+    def test_crawl_is_exact(self, executed):
+        instance, _, result = executed
+        assert_complete(result, instance.dataset)
+
+    def test_lemma7_on_execution(self, executed):
+        instance, crawler, _ = executed
+        check_lemma7_diverse_resolves(crawl_log(crawler.client))
+
+    def test_lemma8_on_execution(self, executed):
+        instance, crawler, _ = executed
+        check_lemma8_monotonic_width(crawl_log(crawler.client), instance.d)
+
+    def test_cost_at_least_concrete_lower_bound(self):
+        k, U = 16, 3  # valid Theorem 4 parameters (d=32, dU^2=288 <= 256? )
+        # 2^(d/4) = 2^8 = 256 < 288, so widen k to stay in the regime.
+        k = 20  # d = 40, dU^2 = 360 <= 2^10 = 1024
+        instance = theorem4_instance(k, U)
+        for cls in (SliceCover, LazySliceCover):
+            crawler = cls(TopKServer(instance.dataset, k=k))
+            result = crawler.crawl()
+            assert_complete(result, instance.dataset)
+            assert result.cost >= bounds.theorem4_lower_bound(instance.d, U)
+            assert result.cost <= bounds.theorem4_upper_bound(k, U)
+
+    def test_resolved_queries_helper(self, executed):
+        _, crawler, _ = executed
+        log = crawl_log(crawler.client)
+        resolved = resolved_queries(log)
+        assert all(crawler.client.peek(q).resolved for q in resolved)
+        assert len(resolved) + sum(
+            1 for _, r in log if r.overflow
+        ) == len(log)

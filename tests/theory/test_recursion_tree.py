@@ -1,0 +1,89 @@
+"""Tests for the instrumented rank-shrink recursion tree (Lemma 1)."""
+
+import pytest
+
+from repro.crawl.rank_shrink import RankShrink
+from repro.datasets.paper_examples import figure3_dataset, figure3_server
+from repro.dataspace.space import DataSpace
+from repro.server.server import TopKServer
+from repro.theory.recursion_tree import RecursionTreeAnalysis, RecursionTreeTracer
+from tests.conftest import make_dataset
+
+
+def traced_crawl(server, dataset):
+    tracer = RecursionTreeTracer()
+    crawler = RankShrink(server, tracer=tracer)
+    crawler.crawl()
+    return tracer, RecursionTreeAnalysis(tracer, dataset, server.k)
+
+
+class TestFigure3Tree:
+    """The recursion tree of Figure 3b, node for node."""
+
+    def test_structure(self):
+        dataset = figure3_dataset()
+        tracer, _ = traced_crawl(figure3_server(), dataset)
+        assert tracer.size == 6
+        root = tracer.nodes[0]
+        assert root.role == "root"
+        assert root.split_kind == "3way"
+        assert root.split_value == 55
+        assert len(root.children) == 3
+        assert len(tracer.leaves()) == 4
+        assert len(tracer.internal_nodes()) == 2
+
+    def test_leaf_types_match_the_paper(self):
+        """Paper: "q3 is of type 1, q5 and q6 are of type 2, q4 of type 3"."""
+        dataset = figure3_dataset()
+        tracer, analysis = traced_crawl(figure3_server(), dataset)
+        assert analysis.leaf_type_counts() == {1: 1, 2: 2, 3: 1}
+
+    def test_lemma1_counting_argument(self):
+        dataset = figure3_dataset()
+        _, analysis = traced_crawl(figure3_server(), dataset)
+        analysis.check_lemma1_counts()
+
+
+class TestOnRandom1d:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_lemma1_holds(self, seed, k):
+        from repro.datasets.synthetic import random_dataset
+
+        dataset = random_dataset(
+            DataSpace.numeric(1), 300, seed=seed, numeric_range=(0, 80),
+            duplicate_factor=0.2,
+        )
+        if dataset.max_multiplicity() > k:
+            pytest.skip("instance infeasible at this k")
+        tracer, analysis = traced_crawl(TopKServer(dataset, k=k), dataset)
+        analysis.check_lemma1_counts()
+        # Lemma 1's conclusion: O(n/k) queries; the proof constant is 12
+        # internal + 12 leaves; we check the generous 24 n/k + 1.
+        assert tracer.size <= 24 * max(1, dataset.n // k + 1) + 1
+
+    def test_tuples_covered(self):
+        dataset = make_dataset(DataSpace.numeric(1), [[1], [1], [5]])
+        tracer, analysis = traced_crawl(TopKServer(dataset, k=4), dataset)
+        (root,) = tracer.nodes
+        assert analysis.tuples_covered(root) == 3
+
+    def test_leaf_type_rejects_internal(self):
+        dataset = figure3_dataset()
+        tracer, analysis = traced_crawl(figure3_server(), dataset)
+        root = tracer.nodes[0]
+        with pytest.raises(ValueError):
+            analysis.leaf_type(root)
+
+
+class TestTracerStructure:
+    def test_parents_and_siblings(self):
+        dataset = figure3_dataset()
+        tracer, _ = traced_crawl(figure3_server(), dataset)
+        root = tracer.nodes[0]
+        children = [tracer.nodes[i] for i in root.children]
+        for child in children:
+            assert child.parent_id == root.node_id
+            siblings = tracer.siblings(child)
+            assert len(siblings) == 2
+        assert tracer.siblings(root) == []

@@ -1,0 +1,147 @@
+"""End-to-end adapter tests: crawling over HTML equals direct crawling."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover
+from repro.crawl.verify import assert_complete
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted, WebProtocolError
+from repro.query.query import Query
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+from repro.web.adapter import WebSession
+from repro.web.site import HiddenWebSite
+
+
+def _mixed_dataset(seed: int = 7, n: int = 300) -> Dataset:
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 5), ("body", 3)],
+        ["price", "year"],
+        numeric_bounds=[(0, 500), (1990, 2012)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 6, n),
+            rng.integers(1, 4, n),
+            rng.integers(0, 501, n),
+            rng.integers(1990, 2013, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+@pytest.fixture
+def dataset():
+    return _mixed_dataset()
+
+
+@pytest.fixture
+def session(dataset):
+    return WebSession(HiddenWebSite(TopKServer(dataset, k=16)))
+
+
+class TestSchemaRecovery:
+    def test_space_shape_recovered(self, session, dataset):
+        assert session.space.names == dataset.space.names
+        assert session.space.cat == dataset.space.cat
+        assert (
+            session.space.categorical_domain_sizes
+            == dataset.space.categorical_domain_sizes
+        )
+
+    def test_k_recovered(self, session):
+        assert session.k == 16
+
+    def test_numeric_bounds_not_leaked(self, session):
+        # The site did not advertise bounds; the crawler must not know them.
+        assert not session.space[2].is_bounded
+
+    def test_unusable_site_rejected(self, dataset):
+        class BrokenSite:
+            def get(self, url):
+                from repro.web.site import WebPage
+
+                return WebPage(500, "oops")
+
+        with pytest.raises(WebProtocolError):
+            WebSession(BrokenSite())
+
+
+class TestQueryForwarding:
+    def test_responses_match_direct_server(self, dataset, session):
+        direct = TopKServer(dataset, k=16)
+        queries = [
+            Query.full(session.space),
+            Query.full(session.space).with_value(0, 2),
+            Query.full(session.space).with_range(2, 100, 200),
+        ]
+        for q in queries:
+            via_web = session.run(q)
+            # Rebuild against the server's own space (names match).
+            direct_q = Query(q.predicates, direct.space)
+            assert via_web == direct.run(direct_q)
+
+    def test_budget_exhaustion_propagates(self, dataset):
+        server = TopKServer(dataset, k=16, limits=[QueryBudget(1)])
+        session = WebSession(HiddenWebSite(server))
+        session.run(Query.full(session.space))
+        with pytest.raises(QueryBudgetExhausted):
+            session.run(Query.full(session.space).with_value(0, 1))
+
+    def test_request_counter(self, session):
+        assert session.requests == 0
+        session.run(Query.full(session.space))
+        assert session.requests == 1
+
+
+class TestEndToEndCrawls:
+    """Every crawler over HTML produces the direct crawl's exact outcome."""
+
+    @pytest.mark.parametrize(
+        "crawler_cls", [RankShrink, LazySliceCover, DepthFirstSearch, Hybrid]
+    )
+    def test_cost_and_bag_parity(self, dataset, crawler_cls):
+        if crawler_cls in (LazySliceCover, DepthFirstSearch):
+            # Categorical-only algorithms: project the categorical prefix.
+            space = dataset.space.project([0, 1])
+            data = Dataset(space, dataset.rows[:, :2])
+        elif crawler_cls is RankShrink:
+            # Numeric-only algorithm: project the numeric suffix.
+            space = dataset.space.project([2, 3])
+            data = Dataset(space, dataset.rows[:, 2:])
+        else:
+            data = dataset
+        # The categorical projection concentrates 300 tuples on 15
+        # points; k must exceed the worst multiplicity for Problem 1 to
+        # be solvable at all.
+        k = max(16, data.max_multiplicity() + 1)
+        direct_result = crawler_cls(TopKServer(data, k=k)).crawl()
+        session = WebSession(HiddenWebSite(TopKServer(data, k=k)))
+        web_result = crawler_cls(CachingClient(session)).crawl()
+        assert web_result.cost == direct_result.cost
+        assert sorted(web_result.rows) == sorted(direct_result.rows)
+        assert_complete(web_result, data)
+
+    def test_binary_shrink_needs_advertised_bounds(self, dataset):
+        from repro.exceptions import UnboundedDomainError
+
+        numeric_space = dataset.space.project([2, 3])
+        data = Dataset(numeric_space, dataset.rows[:, 2:])
+        # Without advertised bounds the parsed schema is unbounded.
+        session = WebSession(HiddenWebSite(TopKServer(data, k=16)))
+        with pytest.raises(UnboundedDomainError):
+            BinaryShrink(CachingClient(session)).crawl()
+        # With bounds advertised the baseline can run.
+        session = WebSession(
+            HiddenWebSite(TopKServer(data, k=16), advertise_bounds=True)
+        )
+        result = BinaryShrink(CachingClient(session)).crawl()
+        assert_complete(result, data)

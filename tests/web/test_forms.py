@@ -1,0 +1,116 @@
+"""Search-form tests: render/parse round trips and schema recovery."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import WebProtocolError
+from repro.web.forms import RangeField, SearchForm, SelectField
+from tests.conftest import small_spaces
+
+
+@pytest.fixture
+def mixed_space():
+    return DataSpace.mixed(
+        [("make", 4), ("body", 2)],
+        ["price", "year"],
+        numeric_bounds=[(0, 99999), (1990, 2012)],
+    )
+
+
+class TestFields:
+    def test_select_field_advertises_domain(self):
+        field = SelectField("make", (1, 2, 3))
+        attr = field.to_attribute()
+        assert attr.is_categorical and attr.domain_size == 3
+
+    def test_select_field_rejects_gappy_values(self):
+        with pytest.raises(WebProtocolError):
+            SelectField("make", (1, 3)).to_attribute()
+
+    def test_range_field_unbounded_by_default(self):
+        attr = RangeField("price").to_attribute()
+        assert attr.is_numeric and not attr.is_bounded
+
+    def test_range_field_with_bounds(self):
+        attr = RangeField("price", 0, 10).to_attribute()
+        assert (attr.lo, attr.hi) == (0, 10)
+
+    def test_select_render_offers_any_first(self):
+        html = SelectField("make", (1, 2)).render()
+        assert html.index(">Any<") < html.index('value="1"')
+
+
+class TestSearchForm:
+    def test_from_space_field_order_matches_schema(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 100)
+        names = [f.name for f in form.fields]
+        assert names == ["make", "body", "price", "year"]
+
+    def test_bounds_hidden_by_default(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 100)
+        space = form.to_space()
+        assert not space[2].is_bounded
+
+    def test_bounds_advertised_on_request(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 100, advertise_bounds=True)
+        space = form.to_space()
+        assert (space[2].lo, space[2].hi) == (0, 99999)
+        assert (space[3].lo, space[3].hi) == (1990, 2012)
+
+    def test_render_parse_round_trip(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 256)
+        parsed = SearchForm.parse(form.render())
+        assert parsed == form
+
+    def test_round_trip_with_bounds(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 64, advertise_bounds=True)
+        assert SearchForm.parse(form.render()) == form
+
+    def test_parsed_space_matches_original_shape(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 100)
+        space = form.to_space()
+        assert space.names == mixed_space.names
+        assert space.cat == mixed_space.cat
+        assert space.categorical_domain_sizes == (4, 2)
+
+    def test_k_recovered_from_notice(self, mixed_space):
+        form = SearchForm.from_space(mixed_space, 1024)
+        assert SearchForm.parse(form.render()).k == 1024
+
+    @given(space=small_spaces(max_dim=4, max_domain=6))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_over_random_spaces(self, space):
+        form = SearchForm.from_space(space, 10)
+        parsed = SearchForm.parse(form.render())
+        assert parsed == form
+        recovered = parsed.to_space()
+        assert recovered.names == space.names
+        assert recovered.cat == space.cat
+
+
+class TestParseErrors:
+    def test_missing_form(self):
+        with pytest.raises(WebProtocolError):
+            SearchForm.parse("<html><body>nothing here</body></html>")
+
+    def test_missing_result_limit(self):
+        html = '<form id="search-form"></form>'
+        with pytest.raises(WebProtocolError):
+            SearchForm.parse(html)
+
+    def test_unpaired_numeric_input(self):
+        html = (
+            '<form><input type="number" name="price_min" /></form>'
+            "<p>at most 10 results</p>"
+        )
+        with pytest.raises(WebProtocolError):
+            SearchForm.parse(html)
+
+    def test_stray_number_input_name(self):
+        html = (
+            '<form><input type="number" name="price" /></form>'
+            "<p>at most 10 results</p>"
+        )
+        with pytest.raises(WebProtocolError):
+            SearchForm.parse(html)

@@ -1,0 +1,99 @@
+"""Result-page tests: the render/scrape pair is loss-less."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import WebProtocolError
+from repro.server.response import QueryResponse
+from repro.web.pages import (
+    parse_result_page,
+    render_error_page,
+    render_result_page,
+)
+
+
+@pytest.fixture
+def space():
+    return DataSpace.mixed([("make", 3)], ["price"])
+
+
+class TestRoundTrip:
+    def test_resolved_page(self, space):
+        response = QueryResponse(((1, 100), (2, -5)), overflow=False)
+        page = render_result_page(space, response)
+        assert parse_result_page(page) == response
+
+    def test_overflow_page(self, space):
+        response = QueryResponse(((1, 100), (3, 0)), overflow=True)
+        page = render_result_page(space, response)
+        assert parse_result_page(page) == response
+
+    def test_empty_result(self, space):
+        response = QueryResponse((), overflow=False)
+        page = render_result_page(space, response)
+        parsed = parse_result_page(page)
+        assert parsed.rows == () and not parsed.overflow
+
+    def test_negative_values_survive(self, space):
+        response = QueryResponse(((2, -12345),), overflow=False)
+        assert parse_result_page(render_result_page(space, response)) == response
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(1, 3), st.integers(-10**6, 10**6)),
+            max_size=25,
+        ),
+        overflow=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_responses_round_trip(self, rows, overflow):
+        space = DataSpace.mixed([("make", 3)], ["price"])
+        response = QueryResponse(tuple(rows), overflow)
+        assert parse_result_page(render_result_page(space, response)) == response
+
+
+class TestPageContent:
+    def test_overflow_banner_names_the_count(self, space):
+        response = QueryResponse(((1, 1), (2, 2)), overflow=True)
+        page = render_result_page(space, response)
+        assert "first 2 matching records" in page
+
+    def test_resolved_page_states_exact_count(self, space):
+        response = QueryResponse(((1, 1),), overflow=False)
+        page = render_result_page(space, response)
+        assert "1 records match" in page
+
+    def test_header_lists_attribute_names(self, space):
+        page = render_result_page(space, QueryResponse((), False))
+        assert "<th>make</th>" in page and "<th>price</th>" in page
+
+    def test_error_page_escapes_message(self):
+        page = render_error_page(400, "bad <script> value")
+        assert "<script>" not in page
+        assert "Error 400" in page
+
+
+class TestParseErrors:
+    def test_missing_table(self):
+        with pytest.raises(WebProtocolError):
+            parse_result_page("<html><body>down for maintenance</body></html>")
+
+    def test_non_integer_cell(self):
+        page = (
+            '<table id="results"><tbody>'
+            "<tr><td>oops</td></tr>"
+            "</tbody></table>"
+        )
+        with pytest.raises(WebProtocolError):
+            parse_result_page(page)
+
+    def test_ragged_rows_rejected(self):
+        page = (
+            '<table id="results"><tbody>'
+            "<tr><td>1</td></tr><tr><td>1</td><td>2</td></tr>"
+            "</tbody></table>"
+        )
+        with pytest.raises(WebProtocolError):
+            parse_result_page(page)

@@ -1,0 +1,115 @@
+"""Website tests: routing, status codes, limits, information hiding."""
+
+import numpy as np
+import pytest
+
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+from repro.web.forms import SearchForm
+from repro.web.pages import parse_result_page
+from repro.web.site import HiddenWebSite
+
+
+@pytest.fixture
+def space():
+    return DataSpace.mixed([("make", 3)], ["price"])
+
+
+@pytest.fixture
+def dataset(space):
+    rows = np.asarray(
+        [[1, 10], [1, 20], [2, 30], [3, 40], [3, 40]], dtype=np.int64
+    )
+    return Dataset(space, rows)
+
+
+@pytest.fixture
+def site(dataset):
+    return HiddenWebSite(TopKServer(dataset, k=2))
+
+
+class TestRouting:
+    def test_root_serves_search_form(self, site):
+        page = site.get("/")
+        assert page.ok
+        form = SearchForm.parse(page.body)
+        assert form.k == 2
+        assert [f.name for f in form.fields] == ["make", "price"]
+
+    def test_empty_path_serves_search_form(self, site):
+        assert site.get("").ok
+
+    def test_unknown_path_is_404(self, site):
+        page = site.get("/admin")
+        assert page.status == 404 and not page.ok
+
+    def test_search_returns_results(self, site):
+        page = site.get("/search?make=2")
+        assert page.ok
+        response = parse_result_page(page.body)
+        assert response.rows == ((2, 30),) and not response.overflow
+
+    def test_search_overflow(self, site):
+        page = site.get("/search?")
+        response = parse_result_page(page.body)
+        assert response.overflow and len(response.rows) == 2
+
+
+class TestErrors:
+    def test_unknown_parameter_is_400(self, site):
+        assert site.get("/search?colour=1").status == 400
+
+    def test_out_of_domain_value_is_400(self, site):
+        assert site.get("/search?make=17").status == 400
+
+    def test_inverted_range_is_400(self, site):
+        assert site.get("/search?price_min=9&price_max=1").status == 400
+
+    def test_error_page_mentions_problem(self, site):
+        page = site.get("/search?colour=1")
+        assert "colour" in page.body
+
+    def test_budget_exhaustion_is_429(self, dataset):
+        server = TopKServer(dataset, k=2, limits=[QueryBudget(1)])
+        site = HiddenWebSite(server)
+        assert site.get("/search?make=1").ok
+        assert site.get("/search?make=2").status == 429
+
+
+class TestInformationHiding:
+    def test_result_page_shows_only_k_rows_on_overflow(self, site):
+        page = site.get("/search?")
+        response = parse_result_page(page.body)
+        assert len(response.rows) == 2  # k, not n
+
+    def test_repeat_query_returns_same_page(self, site):
+        first = site.get("/search?")
+        second = site.get("/search?")
+        assert first.body == second.body
+
+    def test_pages_served_counts_everything(self, site):
+        before = site.pages_served
+        site.get("/")
+        site.get("/search?make=1")
+        site.get("/nope")
+        assert site.pages_served == before + 3
+
+
+class TestBoundsAdvertisement:
+    def test_bounds_off_by_default(self, dataset):
+        site = HiddenWebSite(TopKServer(dataset, k=2))
+        form = SearchForm.parse(site.get("/").body)
+        assert not form.to_space()[1].is_bounded
+
+    def test_bounds_advertised_when_enabled(self, space):
+        bounded = DataSpace.mixed(
+            [("make", 3)], ["price"], numeric_bounds=[(10, 40)]
+        )
+        rows = np.asarray([[1, 10], [2, 40]], dtype=np.int64)
+        server = TopKServer(Dataset(bounded, rows), k=2)
+        site = HiddenWebSite(server, advertise_bounds=True)
+        form = SearchForm.parse(site.get("/").body)
+        attr = form.to_space()[1]
+        assert (attr.lo, attr.hi) == (10, 40)

@@ -1,0 +1,134 @@
+"""URL codec tests: loss-less round trips and strict error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataspace.space import DataSpace
+from repro.exceptions import WebProtocolError
+from repro.query.query import Query
+from repro.web.urls import check_encodable, decode_query, encode_query
+from tests.conftest import small_spaces
+
+
+@pytest.fixture
+def mixed_space():
+    return DataSpace.mixed([("make", 5), ("body", 3)], ["price", "year"])
+
+
+class TestEncode:
+    def test_full_query_encodes_empty(self, mixed_space):
+        assert encode_query(Query.full(mixed_space)) == ""
+
+    def test_categorical_value(self, mixed_space):
+        q = Query.full(mixed_space).with_value(0, 3)
+        assert encode_query(q) == "make=3"
+
+    def test_numeric_bounds(self, mixed_space):
+        q = Query.full(mixed_space).with_range(2, 100, 200)
+        assert encode_query(q) == "price_min=100&price_max=200"
+
+    def test_half_open_range_encodes_one_param(self, mixed_space):
+        q = Query.full(mixed_space).with_range(3, None, 1999)
+        assert encode_query(q) == "year_max=1999"
+        q = Query.full(mixed_space).with_range(3, 2000, None)
+        assert encode_query(q) == "year_min=2000"
+
+    def test_combined_predicates(self, mixed_space):
+        q = (
+            Query.full(mixed_space)
+            .with_value(1, 2)
+            .with_range(2, -5, 5)
+        )
+        assert encode_query(q) == "body=2&price_min=-5&price_max=5"
+
+    def test_names_are_percent_encoded(self):
+        space = DataSpace.categorical([3], names=["body style"])
+        q = Query.full(space).with_value(0, 1)
+        assert encode_query(q) == "body+style=1"
+
+
+class TestDecode:
+    def test_empty_string_is_full_query(self, mixed_space):
+        assert decode_query(mixed_space, "") == Query.full(mixed_space)
+
+    def test_blank_value_is_wildcard(self, mixed_space):
+        # An untouched menu may still submit "make=".
+        assert decode_query(mixed_space, "make=") == Query.full(mixed_space)
+
+    def test_unknown_parameter_rejected(self, mixed_space):
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "colour=1")
+
+    def test_min_suffix_on_categorical_rejected(self, mixed_space):
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "make_min=1")
+
+    def test_non_integer_value_rejected(self, mixed_space):
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "make=abc")
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "price_min=1.5")
+
+    def test_repeated_parameter_rejected(self, mixed_space):
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "make=1&make=2")
+
+    def test_inverted_range_rejected(self, mixed_space):
+        with pytest.raises(WebProtocolError):
+            decode_query(mixed_space, "price_min=10&price_max=5")
+
+    def test_out_of_domain_value_rejected(self, mixed_space):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            decode_query(mixed_space, "make=99")
+
+    def test_error_carries_status_400(self, mixed_space):
+        with pytest.raises(WebProtocolError) as excinfo:
+            decode_query(mixed_space, "colour=1")
+        assert excinfo.value.status == 400
+
+
+class TestCollisions:
+    def test_shadowed_name_rejected(self):
+        from repro.dataspace.attribute import categorical, numeric
+
+        space = DataSpace([categorical("price_min", 2), numeric("price")])
+        with pytest.raises(WebProtocolError):
+            check_encodable(space)
+
+    def test_clean_space_accepted(self, mixed_space):
+        check_encodable(mixed_space)
+
+
+class TestRoundTrip:
+    @given(space=small_spaces(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_random_queries_round_trip(self, space, data):
+        """decode(encode(q)) == q for arbitrary structured queries."""
+        query = Query.full(space)
+        for i, attr in enumerate(space):
+            if attr.is_categorical:
+                value = data.draw(
+                    st.one_of(
+                        st.none(), st.integers(1, attr.domain_size)
+                    ),
+                    label=f"value[{i}]",
+                )
+                if value is not None:
+                    query = query.with_value(i, value)
+            else:
+                lo = data.draw(
+                    st.one_of(st.none(), st.integers(-50, 50)),
+                    label=f"lo[{i}]",
+                )
+                hi = data.draw(
+                    st.one_of(st.none(), st.integers(-50, 50)),
+                    label=f"hi[{i}]",
+                )
+                if lo is not None and hi is not None and lo > hi:
+                    lo, hi = hi, lo
+                if lo is not None or hi is not None:
+                    query = query.with_range(i, lo, hi)
+        assert decode_query(space, encode_query(query)) == query
