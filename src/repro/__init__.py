@@ -39,11 +39,13 @@ from repro.crawl import (
     PairwiseDependencyOracle,
     PartitionedResult,
     PartitionPlan,
+    ProgressAggregator,
     RankShrink,
     SliceCover,
     SubspaceView,
     assert_complete,
     crawl_partitioned,
+    crawl_partitioned_parallel,
     partition_space,
     verify_complete,
 )
@@ -61,6 +63,7 @@ from repro.server import (
     CachingClient,
     PatientClient,
     DailyRateLimit,
+    LatencySource,
     QueryBudget,
     QueryResponse,
     SimulatedClock,
@@ -82,11 +85,13 @@ __all__ = [
     "PairwiseDependencyOracle",
     "PartitionedResult",
     "PartitionPlan",
+    "ProgressAggregator",
     "RankShrink",
     "SliceCover",
     "SubspaceView",
     "assert_complete",
     "crawl_partitioned",
+    "crawl_partitioned_parallel",
     "partition_space",
     "verify_complete",
     # data model
@@ -103,6 +108,7 @@ __all__ = [
     "CachingClient",
     "PatientClient",
     "DailyRateLimit",
+    "LatencySource",
     "QueryBudget",
     "QueryResponse",
     "SimulatedClock",

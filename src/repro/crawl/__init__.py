@@ -13,7 +13,14 @@ Quick map (paper section -> class):
 callers who just want the database crawled.
 """
 
-from repro.crawl.base import Crawler, CrawlResult, ProgressPoint
+from repro.crawl.base import (
+    Crawler,
+    CrawlResult,
+    ProgressAggregator,
+    ProgressPoint,
+    concat_progress,
+    merge_progress,
+)
 from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
 from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
@@ -25,6 +32,7 @@ from repro.crawl.ordering import (
     order_by_domain_size,
     reorder_dataset,
 )
+from repro.crawl.parallel import crawl_partitioned_parallel, default_workers
 from repro.crawl.partition import (
     PartitionedResult,
     PartitionPlan,
@@ -40,7 +48,10 @@ from repro.crawl.verify import VerificationReport, assert_complete, verify_compl
 __all__ = [
     "Crawler",
     "CrawlResult",
+    "ProgressAggregator",
     "ProgressPoint",
+    "concat_progress",
+    "merge_progress",
     "BinaryShrink",
     "RankShrink",
     "solve_numeric",
@@ -60,6 +71,8 @@ __all__ = [
     "PartitionPlan",
     "SubspaceView",
     "crawl_partitioned",
+    "crawl_partitioned_parallel",
+    "default_workers",
     "partition_space",
     "SnapshotDiff",
     "diff_snapshots",

@@ -8,6 +8,13 @@ out::
     python -m repro.crawl data.csv --k 256
     python -m repro.crawl data.csv --k 64 --algorithm lazy-slice-cover \
         --output extracted.csv --progress
+    python -m repro.crawl data.csv --k 256 --workers 4
+
+``--workers N`` partitions the data space into ``N`` disjoint regions
+and crawls them concurrently, one session (with its own server
+connection) per worker thread -- the merged bag and total cost are
+deterministic and match a sequential partitioned crawl exactly (see
+:mod:`repro.crawl.parallel`).
 
 This is a simulation utility: the CSV plays the role of the hidden
 content, and the reported cost is what a crawl of a real server with
@@ -22,6 +29,8 @@ import sys
 from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.hybrid import Hybrid
+from repro.crawl.parallel import crawl_partitioned_parallel
+from repro.crawl.partition import partition_space
 from repro.crawl.rank_shrink import RankShrink
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
 from repro.crawl.verify import verify_complete
@@ -64,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queries", type=int, default=None, help="sanity cap on cost"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="partition the space into this many disjoint regions and "
+        "crawl them concurrently, one session per worker thread "
+        "(default: 1, a single unpartitioned crawl)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print the progressiveness curve (deciles)",
@@ -73,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        print(f"error: --workers must be positive, got {args.workers}",
+              file=sys.stderr)
+        return 2
     try:
         dataset = load_csv(args.csv)
     except (OSError, ReproError) as exc:
@@ -85,10 +106,35 @@ def main(argv: list[str] | None = None) -> int:
         f"kind={dataset.space.kind.value}, "
         f"min feasible k={dataset.min_feasible_k()}"
     )
-    server = TopKServer(dataset, args.k, priority_seed=args.seed)
+    algorithm = ALGORITHMS[args.algorithm]
     try:
-        crawler = ALGORITHMS[args.algorithm](server, max_queries=args.max_queries)
-        result = crawler.crawl()
+        if args.workers == 1:
+            server = TopKServer(dataset, args.k, priority_seed=args.seed)
+            crawler = algorithm(server, max_queries=args.max_queries)
+            result = crawler.crawl()
+        else:
+            plan = partition_space(dataset.space, args.workers)
+            sources = [
+                TopKServer(dataset, args.k, priority_seed=args.seed)
+                for _ in range(plan.sessions)
+            ]
+            merged = crawl_partitioned_parallel(
+                sources,
+                plan,
+                max_workers=args.workers,
+                crawler_factory=lambda view: algorithm(
+                    view, max_queries=args.max_queries
+                ),
+            )
+            print(
+                f"plan: {len(plan.regions)} regions on "
+                f"{dataset.space[plan.attribute].name!r}, "
+                f"{plan.sessions} concurrent sessions "
+                f"(per-session cost: {merged.session_costs()})"
+            )
+            result = merged.as_crawl_result(
+                f"{args.algorithm} x{plan.sessions} sessions"
+            )
     except InfeasibleCrawlError as exc:
         print(f"infeasible at k={args.k}: {exc}", file=sys.stderr)
         return 3

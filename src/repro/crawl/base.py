@@ -17,7 +17,9 @@ contract against the ground truth in every test.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
@@ -27,7 +29,14 @@ from repro.server.client import CachingClient
 from repro.server.response import QueryResponse, Row
 from repro.server.server import TopKServer
 
-__all__ = ["ProgressPoint", "CrawlResult", "Crawler"]
+__all__ = [
+    "ProgressPoint",
+    "CrawlResult",
+    "Crawler",
+    "ProgressAggregator",
+    "concat_progress",
+    "merge_progress",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +114,136 @@ class CrawlResult:
         )
 
 
+def concat_progress(
+    curves: Sequence[Sequence[ProgressPoint]],
+) -> list[ProgressPoint]:
+    """Concatenate progress curves of crawls run back to back.
+
+    Each crawl's curve starts at ``(0, 0)``; the concatenation offsets
+    every curve by the cumulative (queries, tuples) of the crawls before
+    it, yielding one monotone curve for the whole sequence (e.g. the
+    regions of one partition session, crawled in work-list order).
+    """
+    merged: list[ProgressPoint] = []
+    base_q = base_t = 0
+    for curve in curves:
+        last_q = last_t = 0
+        for p in curve:
+            point = ProgressPoint(base_q + p.queries, base_t + p.tuples)
+            if not merged or merged[-1] != point:
+                merged.append(point)
+            last_q, last_t = p.queries, p.tuples
+        base_q += last_q
+        base_t += last_t
+    return merged
+
+
+def merge_progress(
+    curves: Sequence[Sequence[ProgressPoint]],
+) -> list[ProgressPoint]:
+    """Merge progress curves of crawls that run *concurrently*.
+
+    Sessions advance independently, so there is no single true global
+    interleaving; this merge defines the canonical, deterministic one:
+    repeatedly advance the session whose next sample has the smallest
+    per-session query count (ties broken by session index), emitting the
+    sum of the latest per-session samples.  Two properties matter:
+
+    * the result depends only on the per-session curves, never on
+      wall-clock scheduling -- reruns merge identically;
+    * on the shared quota timeline (sessions spending their per-identity
+      budgets in lockstep, e.g. against one
+      :class:`~repro.server.limits.SimulatedClock`), the merged curve is
+      exactly the fleet's aggregate progress over time.
+
+    The final sample is always the grand total (sum of all sessions'
+    last samples).
+    """
+    latest = [(0, 0)] * len(curves)
+    cursor = [0] * len(curves)
+    merged: list[ProgressPoint] = []
+
+    def emit() -> None:
+        point = ProgressPoint(
+            sum(q for q, _ in latest), sum(t for _, t in latest)
+        )
+        if not merged or merged[-1] != point:
+            merged.append(point)
+
+    emit()
+    while True:
+        best: int | None = None
+        for i, curve in enumerate(curves):
+            if cursor[i] >= len(curve):
+                continue
+            if best is None or curve[cursor[i]].queries < (
+                curves[best][cursor[best]].queries
+            ):
+                best = i
+        if best is None:
+            break
+        p = curves[best][cursor[best]]
+        cursor[best] += 1
+        latest[best] = (p.queries, p.tuples)
+        emit()
+    return merged
+
+
+class ProgressAggregator:
+    """Thread-safe live view over the progress of concurrent sessions.
+
+    Concurrent crawl sessions (see :mod:`repro.crawl.parallel`) each
+    report absolute per-session :class:`ProgressPoint` samples through
+    :meth:`report`; the aggregator maintains the fleet-wide totals so a
+    monitor thread can watch a long crawl converge.  The *live* history
+    reflects actual scheduling and is therefore not deterministic across
+    runs -- the deterministic merged curve of a finished crawl is
+    computed separately by :func:`merge_progress`.
+    """
+
+    def __init__(self, sessions: int):
+        if sessions < 1:
+            raise ValueError("sessions must be positive")
+        self._lock = threading.Lock()
+        self._latest: list[ProgressPoint] = [
+            ProgressPoint(0, 0) for _ in range(sessions)
+        ]
+        self._history: list[ProgressPoint] = [ProgressPoint(0, 0)]
+
+    @property
+    def sessions(self) -> int:
+        """Number of sessions being aggregated."""
+        return len(self._latest)
+
+    def report(self, session: int, point: ProgressPoint) -> None:
+        """Record ``session``'s latest absolute (queries, tuples) sample."""
+        with self._lock:
+            self._latest[session] = point
+            total = ProgressPoint(
+                sum(p.queries for p in self._latest),
+                sum(p.tuples for p in self._latest),
+            )
+            if self._history[-1] != total:
+                self._history.append(total)
+
+    def totals(self) -> ProgressPoint:
+        """The current fleet-wide (queries, tuples) total."""
+        with self._lock:
+            return self._history[-1]
+
+    def history(self) -> list[ProgressPoint]:
+        """A copy of the observed fleet-wide samples, in arrival order."""
+        with self._lock:
+            return list(self._history)
+
+    def __repr__(self) -> str:
+        total = self.totals()
+        return (
+            f"ProgressAggregator({self.sessions} sessions, "
+            f"{total.queries} queries, {total.tuples} tuples)"
+        )
+
+
 class Crawler(abc.ABC):
     """Base class of all crawling algorithms.
 
@@ -136,6 +275,7 @@ class Crawler(abc.ABC):
         self._max_queries = max_queries
         self._confirmed: list[Row] = []
         self._progress: list[ProgressPoint] = []
+        self._progress_listeners: list[Callable[[ProgressPoint], None]] = []
         self._queries_this_crawl = 0
         self._started = False
 
@@ -233,7 +373,21 @@ class Crawler(abc.ABC):
         self._confirmed.extend(rows)
         self._snapshot()
 
+    def add_progress_listener(
+        self, listener: Callable[[ProgressPoint], None]
+    ) -> None:
+        """Invoke ``listener`` with every new progress sample.
+
+        Works with any concrete crawler regardless of its constructor
+        signature, which is how the parallel executor threads a
+        :class:`ProgressAggregator` through arbitrary
+        ``crawler_factory`` callables.
+        """
+        self._progress_listeners.append(listener)
+
     def _snapshot(self) -> None:
         point = ProgressPoint(self._queries_this_crawl, len(self._confirmed))
         if not self._progress or self._progress[-1] != point:
             self._progress.append(point)
+            for listener in self._progress_listeners:
+                listener(point)

@@ -16,7 +16,19 @@ provides the three pieces:
   it issues with the region (contradictory queries are answered empty
   locally, at zero cost);
 * :func:`crawl_partitioned` -- run one crawler per session over its
-  bundle and merge everything into a single result.
+  bundle (sessions executed one after another in this process) and
+  merge everything into a single result.
+
+For true wall-clock concurrency, :mod:`repro.crawl.parallel` executes
+the same plan with one worker thread per session
+(:func:`~repro.crawl.parallel.crawl_partitioned_parallel`, also exposed
+as ``python -m repro.crawl ... --workers N``).  Both executors honour
+the same **determinism contract**: the merged rows are ordered by
+(session index, region index, extraction order), per-region results and
+the summed cost are identical between the two, and the merged progress
+curve is the canonical :func:`~repro.crawl.base.merge_progress`
+interleaving of the per-session curves -- never a function of thread
+scheduling.
 
 Correctness is compositional: regions are disjoint and covering, each
 region's crawl extracts exactly ``region ∩ D`` (the per-crawler
@@ -28,10 +40,16 @@ the price of parallelism and is measured in the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.crawl.base import CrawlResult, Crawler
+from repro.crawl.base import (
+    CrawlResult,
+    Crawler,
+    ProgressPoint,
+    concat_progress,
+    merge_progress,
+)
 from repro.crawl.hybrid import Hybrid
 from repro.dataspace.space import DataSpace
 from repro.exceptions import SchemaError, UnboundedDomainError
@@ -221,7 +239,10 @@ class PartitionedResult:
 
     ``results[i]`` lists session ``i``'s per-region crawl results in
     work-list order; the flattened bag and summed cost describe the
-    whole operation.
+    whole operation.  ``progress`` is the deterministic
+    :func:`~repro.crawl.base.merge_progress` interleaving of the
+    per-session curves (identical whether the sessions ran sequentially
+    or on a thread pool).
     """
 
     plan: PartitionPlan
@@ -229,6 +250,7 @@ class PartitionedResult:
     rows: list[Row]
     cost: int
     complete: bool
+    progress: list[ProgressPoint] = field(default_factory=list)
 
     @property
     def tuples_extracted(self) -> int:
@@ -238,6 +260,32 @@ class PartitionedResult:
     def session_costs(self) -> list[int]:
         """Per-session query totals (each session = one identity/quota)."""
         return [sum(r.cost for r in session) for session in self.results]
+
+    def session_progress(self, session: int) -> list[ProgressPoint]:
+        """Session ``session``'s progress curve across its whole bundle."""
+        return concat_progress([r.progress for r in self.results[session]])
+
+    def as_crawl_result(self, algorithm: str = "partitioned") -> CrawlResult:
+        """The merged operation flattened into one :class:`CrawlResult`.
+
+        Lets partition-agnostic tooling (verification, progress
+        reporting, CSV export, the CLI) consume a partitioned crawl
+        through the single-crawl interface.
+        """
+        phase_costs: dict[str, int] = {}
+        for session in self.results:
+            for result in session:
+                for phase, cost in result.phase_costs.items():
+                    phase_costs[phase] = phase_costs.get(phase, 0) + cost
+        return CrawlResult(
+            algorithm=algorithm,
+            space=self.plan.space,
+            rows=list(self.rows),
+            cost=self.cost,
+            complete=self.complete,
+            progress=list(self.progress),
+            phase_costs=phase_costs,
+        )
 
     def __repr__(self) -> str:
         state = "complete" if self.complete else "partial"
@@ -269,28 +317,87 @@ def crawl_partitioned(
         Forwarded to each region crawl; a budget-interrupted region
         marks the merged result incomplete.
     """
+    _check_sources(sources, plan)
+    session_results = tuple(
+        _crawl_session(
+            source,
+            bundle,
+            crawler_factory=crawler_factory,
+            allow_partial=allow_partial,
+        )
+        for source, bundle in zip(sources, plan.bundles)
+    )
+    return _merge_session_results(plan, session_results)
+
+
+# ----------------------------------------------------------------------
+# Shared machinery between the sequential and parallel executors
+# ----------------------------------------------------------------------
+def _check_sources(sources: Sequence, plan: PartitionPlan) -> None:
     if len(sources) != plan.sessions:
         raise SchemaError(
             f"plan has {plan.sessions} sessions but {len(sources)} "
             "sources were supplied"
         )
-    all_rows: list[Row] = []
-    complete = True
-    session_results: list[tuple[CrawlResult, ...]] = []
-    for source, bundle in zip(sources, plan.bundles):
-        region_results = []
-        for region in bundle:
-            crawler = crawler_factory(SubspaceView(source, region))
-            result = crawler.crawl(allow_partial=allow_partial)
-            region_results.append(result)
-            all_rows.extend(result.rows)
-            complete = complete and result.complete
-        session_results.append(tuple(region_results))
+
+
+def _crawl_session(
+    source,
+    bundle: Sequence[Query],
+    *,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+    reporter: Callable[[ProgressPoint], None] | None = None,
+) -> tuple[CrawlResult, ...]:
+    """Crawl one session's regions in work-list order.
+
+    ``reporter``, when given, receives session-cumulative progress
+    samples (absolute queries/tuples across the whole bundle) -- the
+    hook the parallel executor uses to feed a
+    :class:`~repro.crawl.base.ProgressAggregator`.
+    """
+    results: list[CrawlResult] = []
+    base_queries = base_tuples = 0
+    for region in bundle:
+        crawler = crawler_factory(SubspaceView(source, region))
+        if reporter is not None:
+            crawler.add_progress_listener(
+                lambda p, bq=base_queries, bt=base_tuples: reporter(
+                    ProgressPoint(bq + p.queries, bt + p.tuples)
+                )
+            )
+        result = crawler.crawl(allow_partial=allow_partial)
+        results.append(result)
+        base_queries += result.cost
+        base_tuples += len(result.rows)
+    return tuple(results)
+
+
+def _merge_session_results(
+    plan: PartitionPlan,
+    session_results: Sequence[tuple[CrawlResult, ...]],
+) -> PartitionedResult:
+    """Deterministic merge: rows by (session, region) index, costs summed,
+    progress curves interleaved canonically."""
+    all_rows: list[Row] = [
+        row
+        for session in session_results
+        for result in session
+        for row in result.rows
+    ]
     cost = sum(r.cost for session in session_results for r in session)
+    complete = all(r.complete for session in session_results for r in session)
+    progress = merge_progress(
+        [
+            concat_progress([r.progress for r in session])
+            for session in session_results
+        ]
+    )
     return PartitionedResult(
         plan=plan,
         results=tuple(session_results),
         rows=all_rows,
         cost=cost,
         complete=complete,
+        progress=progress,
     )

@@ -14,6 +14,7 @@ from repro.server.engines import (
     VectorEngine,
 )
 from repro.server.interface import QueryInterface
+from repro.server.latency import LatencySource
 from repro.server.limits import DailyRateLimit, QueryBudget, QueryLimit, SimulatedClock
 from repro.server.response import QueryResponse, Row
 from repro.server.server import TopKServer
@@ -27,6 +28,7 @@ __all__ = [
     "LinearScanEngine",
     "QueryEngine",
     "QueryInterface",
+    "LatencySource",
     "VectorEngine",
     "DailyRateLimit",
     "QueryBudget",

@@ -15,10 +15,19 @@ The client also powers resumable crawls: crawler algorithms are
 deterministic, so re-running one over a warmed cache replays the prefix
 of its query sequence for free and continues where the budget cut it
 off (see ``examples/budgeted_crawl.py``).
+
+The client is safe to share between threads: :meth:`CachingClient.run`
+holds an internal lock across the miss path, so a query is issued to
+the server *exactly once* no matter how many threads race on it --
+concurrent duplicates are answered from the cache at zero cost, and
+the cost accounting stays exact.  (Queries through one client are
+therefore serialised; concurrent crawl *sessions* each use their own
+client, as in :mod:`repro.crawl.parallel`.)
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 
 from repro.exceptions import QueryBudgetExhausted
@@ -46,6 +55,9 @@ class CachingClient:
         self._history: list[Query] = []
         self._listeners: list[Callable[[Query, QueryResponse], None]] = []
         self._stats = QueryStats()
+        # Held across the miss path so a query reaches the server at
+        # most once even when threads race on the same cold query.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Interface facts a crawler may rely on
@@ -68,12 +80,16 @@ class CachingClient:
         cached = self._cache.get(query)
         if cached is not None:
             return cached
-        response = self._server.run(query)
-        self._cache[query] = response
-        self._history.append(query)
-        self._stats.record(response)
-        for listener in self._listeners:
-            listener(query, response)
+        with self._lock:
+            cached = self._cache.get(query)
+            if cached is not None:
+                return cached
+            response = self._server.run(query)
+            self._cache[query] = response
+            self._history.append(query)
+            self._stats.record(response)
+            for listener in self._listeners:
+                listener(query, response)
         return response
 
     def peek(self, query: Query) -> QueryResponse | None:

@@ -19,12 +19,16 @@ Three interchangeable implementations are provided:
   full scan otherwise.
 
 A property-based test (``tests/server/test_engines.py``) checks all
-engines agree on arbitrary datasets and queries.
+engines agree on arbitrary datasets and queries -- including under
+concurrent ``top()`` calls: engines hold no per-query mutable state,
+and the lazily built index structures are guarded by a lock so racing
+builders produce one consistent index.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 
 import numpy as np
 
@@ -99,13 +103,17 @@ class VectorEngine(QueryEngine):
     def __init__(self, matrix: np.ndarray):
         super().__init__(matrix)
         self._value_index: dict[tuple[int, int], np.ndarray] = {}
+        self._index_lock = threading.Lock()
 
     def _index_for(self, attribute: int, value: int) -> np.ndarray:
         key = (attribute, value)
         rows = self._value_index.get(key)
         if rows is None:
-            rows = np.flatnonzero(self._matrix[:, attribute] == value)
-            self._value_index[key] = rows
+            with self._index_lock:
+                rows = self._value_index.get(key)
+                if rows is None:
+                    rows = np.flatnonzero(self._matrix[:, attribute] == value)
+                    self._value_index[key] = rows
         return rows
 
     def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
@@ -204,14 +212,18 @@ class IndexedEngine(QueryEngine):
         super().__init__(matrix)
         #: attribute index -> (column values ascending, row ids in that order)
         self._columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._index_lock = threading.Lock()
 
     def _column_index(self, attribute: int) -> tuple[np.ndarray, np.ndarray]:
         index = self._columns.get(attribute)
         if index is None:
-            column = self._matrix[:, attribute]
-            order = np.argsort(column, kind="stable")
-            index = (column[order], order)
-            self._columns[attribute] = index
+            with self._index_lock:
+                index = self._columns.get(attribute)
+                if index is None:
+                    column = self._matrix[:, attribute]
+                    order = np.argsort(column, kind="stable")
+                    index = (column[order], order)
+                    self._columns[attribute] = index
         return index
 
     def _candidates(self, attribute: int, pred) -> np.ndarray | None:

@@ -11,11 +11,17 @@ crawls:
   day; combined with :class:`SimulatedClock`, a crawl can sleep to the
   next day and resume (the deterministic algorithms plus the response
   cache make resumption free).
+
+All limits (and the clock) are thread-safe: admission is atomic, so
+concurrent crawl sessions sharing one limit can never over-admit --
+exactly ``per_day`` (or ``max_queries``) admissions succeed no matter
+how many threads race on :meth:`QueryLimit.admit`.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 
 from repro.exceptions import QueryBudgetExhausted
 
@@ -45,29 +51,34 @@ class QueryBudget(QueryLimit):
             raise ValueError("max_queries must be non-negative")
         self._max = max_queries
         self._used = 0
+        self._lock = threading.Lock()
 
     @property
     def remaining(self) -> int:
         """How many more queries the budget admits."""
-        return self._max - self._used
+        with self._lock:
+            return self._max - self._used
 
     @property
     def used(self) -> int:
         """How many queries the budget has admitted."""
-        return self._used
+        with self._lock:
+            return self._used
 
     def admit(self) -> None:
-        if self._used >= self._max:
-            raise QueryBudgetExhausted(
-                f"query budget of {self._max} exhausted", issued=self._used
-            )
-        self._used += 1
+        with self._lock:
+            if self._used >= self._max:
+                raise QueryBudgetExhausted(
+                    f"query budget of {self._max} exhausted", issued=self._used
+                )
+            self._used += 1
 
     def refill(self, extra: int) -> None:
         """Grow the budget (e.g. the operator raised the quota)."""
         if extra < 0:
             raise ValueError("extra must be non-negative")
-        self._max += extra
+        with self._lock:
+            self._max += extra
 
 
 class SimulatedClock:
@@ -75,6 +86,7 @@ class SimulatedClock:
 
     def __init__(self, day: int = 0):
         self._day = day
+        self._lock = threading.Lock()
 
     @property
     def day(self) -> int:
@@ -82,9 +94,10 @@ class SimulatedClock:
         return self._day
 
     def sleep_until_next_day(self) -> int:
-        """Advance to the next day and return its index."""
-        self._day += 1
-        return self._day
+        """Advance to the next day and return its index (atomically)."""
+        with self._lock:
+            self._day += 1
+            return self._day
 
 
 class DailyRateLimit(QueryLimit):
@@ -101,30 +114,35 @@ class DailyRateLimit(QueryLimit):
         self._clock = clock
         self._counted_day = clock.day
         self._used_today = 0
+        self._lock = threading.Lock()
 
     @property
     def used_today(self) -> int:
         """Queries spent against today's quota."""
-        self._roll_over()
-        return self._used_today
+        with self._lock:
+            self._roll_over()
+            return self._used_today
 
     @property
     def remaining_today(self) -> int:
         """Queries left in today's quota."""
-        self._roll_over()
-        return self._per_day - self._used_today
+        with self._lock:
+            self._roll_over()
+            return self._per_day - self._used_today
 
     def _roll_over(self) -> None:
+        # Caller holds self._lock.
         if self._clock.day != self._counted_day:
             self._counted_day = self._clock.day
             self._used_today = 0
 
     def admit(self) -> None:
-        self._roll_over()
-        if self._used_today >= self._per_day:
-            raise QueryBudgetExhausted(
-                f"daily quota of {self._per_day} queries exhausted on day "
-                f"{self._clock.day}",
-                issued=self._used_today,
-            )
-        self._used_today += 1
+        with self._lock:
+            self._roll_over()
+            if self._used_today >= self._per_day:
+                raise QueryBudgetExhausted(
+                    f"daily quota of {self._per_day} queries exhausted on day "
+                    f"{self._clock.day}",
+                    issued=self._used_today,
+                )
+            self._used_today += 1

@@ -11,6 +11,13 @@ Determinism is the crucial property: issuing the same query twice yields
 the same response ("repeating the same query may not retrieve new
 tuples"), which is why naive re-querying cannot crawl a hidden database
 and why client-side memoisation is free.
+
+The server is safe for concurrent callers (one server shared by several
+crawl sessions, as :mod:`repro.crawl.parallel` allows): the tuple matrix
+is immutable, the engines' lazy indexes are built under a lock, limit
+admission is atomic, and :class:`~repro.server.stats.QueryStats`
+recording is atomic -- so concurrent ``run()`` calls return exactly what
+sequential calls would, and the workload counters stay exact.
 """
 
 from __future__ import annotations

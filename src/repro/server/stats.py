@@ -5,10 +5,15 @@ Section 1.1: "the cost of an algorithm is the number of queries
 issued").  :class:`QueryStats` tracks that number plus a breakdown that
 the experiments report (how many queries resolved vs overflowed, tuples
 shipped by the server, per-phase subtotals).
+
+Recording is atomic (an internal lock guards every mutation), so a
+server or client shared between concurrent crawl sessions keeps exact
+totals -- ``queries == resolved + overflowed`` holds at every instant.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.server.response import QueryResponse
@@ -26,17 +31,23 @@ class QueryStats:
     tuples_returned: int = 0
     phase_costs: dict[str, int] = field(default_factory=dict)
     _phase: str | None = field(default=None, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, response: QueryResponse) -> None:
-        """Account for one answered query."""
-        self.queries += 1
-        if response.overflow:
-            self.overflowed += 1
-        else:
-            self.resolved += 1
-        self.tuples_returned += len(response.rows)
-        if self._phase is not None:
-            self.phase_costs[self._phase] = self.phase_costs.get(self._phase, 0) + 1
+        """Account for one answered query (atomically)."""
+        with self._lock:
+            self.queries += 1
+            if response.overflow:
+                self.overflowed += 1
+            else:
+                self.resolved += 1
+            self.tuples_returned += len(response.rows)
+            if self._phase is not None:
+                self.phase_costs[self._phase] = (
+                    self.phase_costs.get(self._phase, 0) + 1
+                )
 
     def begin_phase(self, name: str) -> None:
         """Attribute subsequent queries to a named phase.
@@ -45,22 +56,25 @@ class QueryStats:
         preprocessing cost from the ``traversal`` cost (Lemma 4 bounds
         the two terms separately).
         """
-        self._phase = name
-        self.phase_costs.setdefault(name, 0)
+        with self._lock:
+            self._phase = name
+            self.phase_costs.setdefault(name, 0)
 
     def end_phase(self) -> None:
         """Stop attributing queries to a phase."""
-        self._phase = None
+        with self._lock:
+            self._phase = None
 
     def snapshot(self) -> "QueryStats":
-        """An independent copy of the current counters."""
-        copy = QueryStats(
-            queries=self.queries,
-            resolved=self.resolved,
-            overflowed=self.overflowed,
-            tuples_returned=self.tuples_returned,
-            phase_costs=dict(self.phase_costs),
-        )
+        """An independent, consistent copy of the current counters."""
+        with self._lock:
+            copy = QueryStats(
+                queries=self.queries,
+                resolved=self.resolved,
+                overflowed=self.overflowed,
+                tuples_returned=self.tuples_returned,
+                phase_costs=dict(self.phase_costs),
+            )
         return copy
 
     def __str__(self) -> str:

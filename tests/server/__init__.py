@@ -1,0 +1,1 @@
+"""Test package (regular package so test-module names never collide)."""

@@ -1,5 +1,7 @@
 """Engine tests: correctness of both engines and their equivalence."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -134,3 +136,35 @@ class TestEquivalence:
             expected = linear.top(q, k)
             assert vector.top(q, k) == expected
             assert indexed.top(q, k) == expected
+
+    @given(instance=small_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_engines_agree_under_concurrent_top(self, instance):
+        """Racing top() calls (lazy indexes built mid-race) stay exact.
+
+        Fresh vector/indexed engines are hammered by several threads at
+        once, so the lazily built per-value and per-column indexes are
+        constructed *during* the race; every response must still equal
+        the single-threaded linear-scan reference.
+        """
+        dataset, k = instance
+        queries = [Query.full(dataset.space)]
+        for i, attr in enumerate(dataset.space):
+            if attr.is_categorical:
+                for v in range(1, attr.domain_size + 1):
+                    queries.append(queries[0].with_value(i, v))
+            else:
+                queries.append(queries[0].with_range(i, 0, 5))
+                queries.append(queries[0].with_range(i, None, -1))
+                queries.append(queries[0].with_range(i, 2, None))
+        linear = LinearScanEngine(dataset.rows)
+        expected = [linear.top(q, k) for q in queries]
+        for engine in (VectorEngine(dataset.rows), IndexedEngine(dataset.rows)):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(engine.top, q, k)
+                    for _ in range(4)
+                    for q in queries
+                ]
+                answers = [f.result() for f in futures]
+            assert answers == expected * 4
