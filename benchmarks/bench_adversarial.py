@@ -21,7 +21,6 @@ from repro.server.server import TopKServer
 from repro.theory.adversary import (
     AdversarialTopKServer,
     ModeClusterPolicy,
-    PriorityOrderPolicy,
     RankByAttributePolicy,
 )
 from repro.theory.bounds import rank_shrink_upper_bound

@@ -1,0 +1,198 @@
+"""Executor backends compared: CPU-bound speedups, identical results.
+
+The thread backend owns latency-bound crawls (threads overlap simulated
+round trips) but the GIL caps it at one core on CPU-bound simulated
+workloads -- exactly the regime of the pure-Python
+:class:`~repro.server.engines.LinearScanEngine`.  The process backend
+exists for that regime: region crawls run in worker processes against
+pickled source copies, so the wall clock drops towards
+``sequential / cores``.
+
+This benchmark crawls one CPU-bound plan on every backend, asserts the
+results are byte-identical across all of them, and writes the measured
+speedups to ``BENCH_executors.json`` (path overridable via
+``REPRO_BENCH_OUT``) so CI can track the perf trajectory per PR.  The
+``>= 1.5x process-over-thread`` assertion only fires on multi-core
+hosts -- on a single core the process backend cannot beat anything,
+and the JSON records that honestly (``cpu_count`` rides along).
+
+A second measurement times static vs work-stealing dispatch on a
+skewed plan against latency-simulating servers; the stolen regions'
+schedule changes, the result does not.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.crawl.executors import make_executor
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.server.latency import LatencySource
+from repro.server.server import TopKServer
+
+K = 16
+SESSIONS = 4
+
+
+def cpu_bound_dataset(n: int, seed: int = 11) -> Dataset:
+    """A mixed-space dataset crawled through the pure-Python engine."""
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 8), ("body", 4)],
+        ["price"],
+        numeric_bounds=[(0, 1999)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 9, n),
+            rng.integers(1, 5, n),
+            rng.integers(0, 2000, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+def skewed_dataset(n: int, seed: int = 12) -> Dataset:
+    """Most tuples pile onto one partition value: a worst-case plan."""
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 8), ("body", 4)],
+        ["price"],
+        numeric_bounds=[(0, 1999)],
+    )
+    make = np.where(rng.random(n) < 0.75, 1, rng.integers(1, 9, n))
+    rows = np.column_stack(
+        [
+            make,
+            rng.integers(1, 5, n),
+            rng.integers(0, 2000, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def write_report(report: dict) -> str:
+    path = os.environ.get("REPRO_BENCH_OUT", "BENCH_executors.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return path
+
+
+def test_backend_speedups_cpu_bound(benchmark):
+    """Thread vs process vs async on a GIL-hostile workload."""
+    # Sized so the crawl is seconds of pure-Python engine work even in
+    # quick mode: the process pool's startup must be noise next to it.
+    n = max(6000, int(20000 * bench_scale()))
+    dataset = cpu_bound_dataset(n)
+    plan = partition_space(dataset.space, SESSIONS)
+
+    def sources():
+        return [
+            TopKServer(dataset, K, engine="linear")
+            for _ in range(SESSIONS)
+        ]
+
+    sequential, seq_seconds = timed(
+        lambda: crawl_partitioned(sources(), plan)
+    )
+    seconds = {"sequential": seq_seconds}
+    results = {}
+
+    def run_all():
+        for name in ("thread", "process", "async"):
+            executor = make_executor(name, max_workers=SESSIONS)
+            results[name], seconds[name] = timed(
+                lambda executor=executor: executor.run(
+                    sources(), plan, rebalance=True
+                )
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for name, result in results.items():
+        assert result.rows == sequential.rows, name
+        assert result.cost == sequential.cost, name
+        assert result.progress == sequential.progress, name
+
+    speedups = {
+        name: round(seq_seconds / max(s, 1e-9), 2)
+        for name, s in seconds.items()
+        if name != "sequential"
+    }
+    process_over_thread = round(
+        seconds["thread"] / max(seconds["process"], 1e-9), 2
+    )
+    report = {
+        "workload": "cpu-bound (linear engine)",
+        "cpu_count": os.cpu_count(),
+        "scale": bench_scale(),
+        "n": dataset.n,
+        "sessions": SESSIONS,
+        "total_queries": sequential.cost,
+        "seconds": {name: round(s, 3) for name, s in seconds.items()},
+        "speedup_vs_sequential": speedups,
+        "process_over_thread": process_over_thread,
+    }
+    path = write_report(report)
+    benchmark.extra_info.update(report)
+    benchmark.extra_info["report_path"] = path
+
+    if (os.cpu_count() or 1) >= 2:
+        assert process_over_thread >= 1.5, (
+            f"expected the process backend >= 1.5x over threads on a "
+            f"CPU-bound workload with {os.cpu_count()} cores, got "
+            f"{process_over_thread}x "
+            f"({seconds['thread']:.2f}s thread, "
+            f"{seconds['process']:.2f}s process)"
+        )
+
+
+def test_rebalancing_on_a_skewed_plan(benchmark):
+    """Work stealing vs static dispatch when one session dominates."""
+    n = max(2000, int(12000 * bench_scale()))
+    dataset = skewed_dataset(n)
+    plan = partition_space(dataset.space, SESSIONS)
+    rtt = 0.002
+
+    def sources():
+        return [
+            LatencySource(TopKServer(dataset, 256), rtt)
+            for _ in range(SESSIONS)
+        ]
+
+    executor = make_executor("thread", max_workers=SESSIONS)
+    static, static_seconds = timed(lambda: executor.run(sources(), plan))
+
+    def rebalanced():
+        return make_executor("thread", max_workers=SESSIONS).run(
+            sources(), plan, rebalance=True
+        )
+
+    stolen = benchmark.pedantic(rebalanced, rounds=1, iterations=1)
+    stolen_seconds = benchmark.stats.stats.mean
+
+    assert stolen.rows == static.rows
+    assert stolen.cost == static.cost
+    assert stolen.progress == static.progress
+
+    session_costs = static.session_costs()
+    benchmark.extra_info["session_queries"] = session_costs
+    benchmark.extra_info["skew"] = round(
+        max(session_costs) / max(1, min(session_costs)), 2
+    )
+    benchmark.extra_info["static_seconds"] = round(static_seconds, 3)
+    benchmark.extra_info["rebalanced_seconds"] = round(stolen_seconds, 3)
+    benchmark.extra_info["rebalance_speedup"] = round(
+        static_seconds / max(stolen_seconds, 1e-9), 2
+    )

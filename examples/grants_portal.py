@@ -46,7 +46,6 @@ def main() -> None:
     server = TopKServer(dataset, k=K, priority_seed=3)
     report = discover_domains(server, max_queries=400)
     print(f"  probes spent: {report.cost}, saturated: {report.saturated}")
-    coverage = report.coverage(dataset.space)
     for i, attr in enumerate(dataset.space):
         present = len({int(v) for v in dataset.rows[:, i]})
         print(

@@ -30,7 +30,9 @@ Quickstart::
 
 from repro.crawl import (
     BinaryShrink,
+    CostEstimator,
     Crawler,
+    CrawlExecutor,
     CrawlResult,
     DependencyFilteringClient,
     DepthFirstSearch,
@@ -41,11 +43,14 @@ from repro.crawl import (
     PartitionPlan,
     ProgressAggregator,
     RankShrink,
+    SessionState,
     SliceCover,
     SubspaceView,
+    WorkStealingScheduler,
     assert_complete,
     crawl_partitioned,
     crawl_partitioned_parallel,
+    make_executor,
     partition_space,
     verify_complete,
 )
@@ -60,10 +65,12 @@ from repro.exceptions import (
 )
 from repro.query import Query, full_query, point_query, slice_query
 from repro.server import (
+    AsyncLatencySource,
+    AwaitableClient,
     CachingClient,
-    PatientClient,
     DailyRateLimit,
     LatencySource,
+    PatientClient,
     QueryBudget,
     QueryResponse,
     SimulatedClock,
@@ -78,6 +85,8 @@ __all__ = [
     "BinaryShrink",
     "Crawler",
     "CrawlResult",
+    "CostEstimator",
+    "CrawlExecutor",
     "DependencyFilteringClient",
     "DepthFirstSearch",
     "Hybrid",
@@ -87,11 +96,14 @@ __all__ = [
     "PartitionPlan",
     "ProgressAggregator",
     "RankShrink",
+    "SessionState",
     "SliceCover",
     "SubspaceView",
+    "WorkStealingScheduler",
     "assert_complete",
     "crawl_partitioned",
     "crawl_partitioned_parallel",
+    "make_executor",
     "partition_space",
     "verify_complete",
     # data model
@@ -105,6 +117,8 @@ __all__ = [
     "point_query",
     "slice_query",
     # server
+    "AsyncLatencySource",
+    "AwaitableClient",
     "CachingClient",
     "PatientClient",
     "DailyRateLimit",

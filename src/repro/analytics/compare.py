@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analytics.estimators import estimate_size, estimate_sum
 from repro.crawl.hybrid import Hybrid
 from repro.dataspace.dataset import Dataset
 from repro.exceptions import SchemaError

@@ -18,6 +18,7 @@ from repro.crawl.base import (
     CrawlResult,
     ProgressAggregator,
     ProgressPoint,
+    SessionState,
     concat_progress,
     merge_progress,
 )
@@ -25,6 +26,15 @@ from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
 from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
 from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.executors import (
+    EXECUTORS,
+    AsyncExecutor,
+    CrawlExecutor,
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.incremental import SnapshotDiff, diff_snapshots, recrawl
 from repro.crawl.ordering import (
@@ -41,6 +51,11 @@ from repro.crawl.partition import (
     partition_space,
 )
 from repro.crawl.rank_shrink import RankShrink, solve_numeric
+from repro.crawl.rebalance import (
+    CostEstimator,
+    RegionTask,
+    WorkStealingScheduler,
+)
 from repro.crawl.sampling import RandomProber
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
 from repro.crawl.verify import VerificationReport, assert_complete, verify_complete
@@ -50,8 +65,19 @@ __all__ = [
     "CrawlResult",
     "ProgressAggregator",
     "ProgressPoint",
+    "SessionState",
     "concat_progress",
     "merge_progress",
+    "CrawlExecutor",
+    "SequentialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "AsyncExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "CostEstimator",
+    "RegionTask",
+    "WorkStealingScheduler",
     "BinaryShrink",
     "RankShrink",
     "solve_numeric",

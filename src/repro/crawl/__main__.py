@@ -9,12 +9,18 @@ out::
     python -m repro.crawl data.csv --k 64 --algorithm lazy-slice-cover \
         --output extracted.csv --progress
     python -m repro.crawl data.csv --k 256 --workers 4
+    python -m repro.crawl data.csv --k 256 --workers 4 \
+        --executor process --rebalance
 
 ``--workers N`` partitions the data space into ``N`` disjoint regions
 and crawls them concurrently, one session (with its own server
-connection) per worker thread -- the merged bag and total cost are
+connection) per worker -- the merged bag and total cost are
 deterministic and match a sequential partitioned crawl exactly (see
-:mod:`repro.crawl.parallel`).
+:mod:`repro.crawl.executors`).  ``--executor`` picks the backend
+(``thread`` overlaps simulated round trips, ``process`` escapes the
+GIL on CPU-bound engines, ``async`` coordinates awaitable sources) and
+``--rebalance`` turns on work stealing, which moves regions off the
+slowest session without changing the result.
 
 This is a simulation utility: the CSV plays the role of the hidden
 content, and the reported cost is what a crawl of a real server with
@@ -24,10 +30,12 @@ the same data would pay.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.executors import EXECUTORS
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.parallel import crawl_partitioned_parallel
 from repro.crawl.partition import partition_space
@@ -77,8 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="partition the space into this many disjoint regions and "
-        "crawl them concurrently, one session per worker thread "
+        "crawl them concurrently, one session per worker "
         "(default: 1, a single unpartitioned crawl)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="concurrency backend for --workers > 1: thread overlaps "
+        "round trips, process escapes the GIL on CPU-bound engines, "
+        "async coordinates awaitable sources (default: thread)",
+    )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="steal regions from the slowest session instead of "
+        "following the static partition (results are unchanged)",
     )
     parser.add_argument(
         "--progress",
@@ -91,9 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.workers < 1:
-        print(f"error: --workers must be positive, got {args.workers}",
-              file=sys.stderr)
+        print(
+            f"error: --workers must be positive, got {args.workers}",
+            file=sys.stderr,
+        )
         return 2
+    if args.workers == 1 and (args.executor != "thread" or args.rebalance):
+        print(
+            "note: --executor/--rebalance only take effect with "
+            "--workers > 1; running a single unpartitioned crawl",
+            file=sys.stderr,
+        )
     try:
         dataset = load_csv(args.csv)
     except (OSError, ReproError) as exc:
@@ -122,14 +152,19 @@ def main(argv: list[str] | None = None) -> int:
                 sources,
                 plan,
                 max_workers=args.workers,
-                crawler_factory=lambda view: algorithm(
-                    view, max_queries=args.max_queries
+                # functools.partial (not a lambda) so the factory is
+                # picklable for the process backend.
+                crawler_factory=functools.partial(
+                    algorithm, max_queries=args.max_queries
                 ),
+                executor=args.executor,
+                rebalance=args.rebalance,
             )
+            mode = args.executor + (" + rebalance" if args.rebalance else "")
             print(
                 f"plan: {len(plan.regions)} regions on "
                 f"{dataset.space[plan.attribute].name!r}, "
-                f"{plan.sessions} concurrent sessions "
+                f"{plan.sessions} concurrent sessions via {mode} "
                 f"(per-session cost: {merged.session_costs()})"
             )
             result = merged.as_crawl_result(

@@ -17,6 +17,7 @@ contract against the ground truth in every test.
 from __future__ import annotations
 
 import abc
+import enum
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -34,6 +35,7 @@ __all__ = [
     "CrawlResult",
     "Crawler",
     "ProgressAggregator",
+    "SessionState",
     "concat_progress",
     "merge_progress",
 ]
@@ -189,16 +191,41 @@ def merge_progress(
     return merged
 
 
+class SessionState(enum.Enum):
+    """Lifecycle of one crawl session inside a :class:`ProgressAggregator`.
+
+    A session is ``RUNNING`` until its executor marks it terminal:
+    ``DONE`` when its last region finished, ``FAILED`` when a region
+    crawl raised, ``CANCELLED`` when the executor abandoned it before
+    it ran.  Surfacing the terminal states matters for live monitors
+    and for rebalancing: a dead or cancelled worker must not look
+    in-flight forever.
+    """
+
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """``True`` for every state except ``RUNNING``."""
+        return self is not SessionState.RUNNING
+
+
 class ProgressAggregator:
     """Thread-safe live view over the progress of concurrent sessions.
 
-    Concurrent crawl sessions (see :mod:`repro.crawl.parallel`) each
+    Concurrent crawl sessions (see :mod:`repro.crawl.executors`) each
     report absolute per-session :class:`ProgressPoint` samples through
     :meth:`report`; the aggregator maintains the fleet-wide totals so a
-    monitor thread can watch a long crawl converge.  The *live* history
-    reflects actual scheduling and is therefore not deterministic across
-    runs -- the deterministic merged curve of a finished crawl is
-    computed separately by :func:`merge_progress`.
+    monitor thread can watch a long crawl converge.  Executors mark
+    sessions terminal (:meth:`mark_done`, :meth:`mark_failed`,
+    :meth:`mark_cancelled`) as workers finish or die, so
+    :meth:`snapshot` distinguishes a stalled session from a dead one.
+    The *live* history reflects actual scheduling and is therefore not
+    deterministic across runs -- the deterministic merged curve of a
+    finished crawl is computed separately by :func:`merge_progress`.
     """
 
     def __init__(self, sessions: int):
@@ -207,6 +234,9 @@ class ProgressAggregator:
         self._lock = threading.Lock()
         self._latest: list[ProgressPoint] = [
             ProgressPoint(0, 0) for _ in range(sessions)
+        ]
+        self._states: list[SessionState] = [
+            SessionState.RUNNING for _ in range(sessions)
         ]
         self._history: list[ProgressPoint] = [ProgressPoint(0, 0)]
 
@@ -226,6 +256,65 @@ class ProgressAggregator:
             if self._history[-1] != total:
                 self._history.append(total)
 
+    # ------------------------------------------------------------------
+    # Terminal states
+    # ------------------------------------------------------------------
+    def _mark(self, session: int, state: SessionState) -> None:
+        with self._lock:
+            current = self._states[session]
+            if current is state:
+                return
+            if current.terminal:
+                raise ValueError(
+                    f"session {session} is already {current.value}; "
+                    f"cannot mark it {state.value}"
+                )
+            self._states[session] = state
+
+    def mark_done(self, session: int) -> None:
+        """Record that ``session`` finished its whole bundle."""
+        self._mark(session, SessionState.DONE)
+
+    def mark_failed(self, session: int) -> None:
+        """Record that a region crawl of ``session`` raised."""
+        self._mark(session, SessionState.FAILED)
+
+    def mark_cancelled(self, session: int) -> None:
+        """Record that ``session`` was abandoned before completion."""
+        self._mark(session, SessionState.CANCELLED)
+
+    def state(self, session: int) -> SessionState:
+        """The lifecycle state of one session."""
+        with self._lock:
+            return self._states[session]
+
+    def states(self) -> tuple[SessionState, ...]:
+        """Every session's lifecycle state, by session index."""
+        with self._lock:
+            return tuple(self._states)
+
+    def active(self) -> int:
+        """How many sessions are still running."""
+        with self._lock:
+            return sum(
+                1 for state in self._states if not state.terminal
+            )
+
+    def all_terminal(self) -> bool:
+        """``True`` once no session is still running."""
+        return self.active() == 0
+
+    def snapshot(self) -> list[tuple[ProgressPoint, SessionState]]:
+        """A consistent per-session view: (latest sample, state).
+
+        Unlike :meth:`history`, a snapshot shows *which* sessions are
+        still moving -- a monitor can tell a slow session (running,
+        counters advancing) from a ghost (failed or cancelled, counters
+        frozen) and stop waiting on the latter.
+        """
+        with self._lock:
+            return list(zip(self._latest, self._states))
+
     def totals(self) -> ProgressPoint:
         """The current fleet-wide (queries, tuples) total."""
         with self._lock:
@@ -237,10 +326,15 @@ class ProgressAggregator:
             return list(self._history)
 
     def __repr__(self) -> str:
-        total = self.totals()
+        with self._lock:
+            total = self._history[-1]
+            running = sum(
+                1 for state in self._states if not state.terminal
+            )
         return (
             f"ProgressAggregator({self.sessions} sessions, "
-            f"{total.queries} queries, {total.tuples} tuples)"
+            f"{running} running, {total.queries} queries, "
+            f"{total.tuples} tuples)"
         )
 
 

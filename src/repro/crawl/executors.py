@@ -1,0 +1,906 @@
+"""Pluggable crawl executors: sequential, thread, process and async.
+
+A partitioned crawl is a grid of region crawls -- ``plan.bundles[s][i]``
+-- each of which is a pure function of (session source, region): a
+fresh crawler with a fresh response cache is built per region (see
+:func:`~repro.crawl.partition._crawl_region`), and the sources are
+deterministic.  Every executor in this module exploits that purity: it
+may run the grid in any order, on any substrate, and the merged
+:class:`~repro.crawl.partition.PartitionedResult` -- rows ordered by
+plan position, costs summed, progress canonically interleaved -- is
+byte-identical to the sequential executor's.
+
+Backends
+--------
+:class:`SequentialExecutor`
+    One region after another, in plan order, in the calling thread.
+    The reference the others are tested against.
+:class:`ThreadExecutor`
+    One worker thread per session (PR 1's behaviour).  Wins on
+    latency-bound sessions: threads overlap the per-query round trips.
+:class:`ProcessExecutor`
+    A :class:`concurrent.futures.ProcessPoolExecutor`; sources and the
+    crawler factory are pickled once into each worker (the serving
+    stack's lock-dropping ``__getstate__`` paths make servers, clients
+    and limits picklable).  Wins on CPU-bound simulated workloads,
+    where the GIL caps the thread backend at a single core.  Each
+    worker crawls against its own *copy* of the sources, so
+    server-side mutable accounting (limits, server stats) is
+    per-worker; the returned per-region costs remain exact.
+:class:`AsyncExecutor`
+    An asyncio event loop coordinating the sessions.  Sources exposing
+    an awaitable ``arun(query)`` coroutine (e.g.
+    :class:`~repro.server.latency.AsyncLatencySource`, or a web adapter
+    wrapped in :class:`~repro.server.client.AwaitableClient`) have
+    their I/O waits multiplexed on the loop; the synchronous crawler
+    code runs on worker threads and blocks only itself.
+
+Adaptive rebalancing
+--------------------
+``rebalance=True`` replaces static session dispatch with the
+:class:`~repro.crawl.rebalance.WorkStealingScheduler`: an idle worker
+steals the tail region of the session with the largest estimated
+remaining cost (estimates start from a prior and are updated with the
+exact observed cost of every finished region).  A stolen region is
+still crawled against *its own session's* source -- its identity keeps
+paying the queries -- and its result is filed under its original plan
+position, so rebalancing changes wall-clock behaviour only, never the
+result.  The one caveat: a source-side *limit* (budget, daily quota)
+fires by cumulative query order, which stealing reorders -- parity with
+the sequential executor is guaranteed for crawls that complete within
+their limits.
+
+Failure semantics (all backends): every region is drained before a
+failure propagates, and the exception of the lowest (session, region)
+plan position is raised -- except the sequential executor, which stops
+at the first failure exactly as it always did.  With
+``allow_partial=True`` a budget-interrupted region yields a partial
+result instead and the merge is marked incomplete.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import functools
+import os
+import pickle
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, Sequence
+
+from repro.crawl.base import (
+    Crawler,
+    CrawlResult,
+    ProgressAggregator,
+    ProgressPoint,
+)
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.partition import (
+    PartitionedResult,
+    PartitionPlan,
+    _check_sources,
+    _crawl_region,
+    _merge_session_results,
+)
+from repro.crawl.rebalance import (
+    CostEstimator,
+    RegionTask,
+    WorkStealingScheduler,
+)
+
+__all__ = [
+    "CrawlExecutor",
+    "SequentialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "AsyncExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "default_workers",
+]
+
+
+def default_workers(sessions: int) -> int:
+    """A sensible worker count: one per session, capped at 4x the CPUs.
+
+    Sessions are typically latency-bound, not CPU-bound, so
+    oversubscribing the cores is fine; the cap only guards against
+    absurd plans.
+    """
+    return max(1, min(sessions, 4 * (os.cpu_count() or 1)))
+
+
+class _AggregatorFeed:
+    """Per-session progress and terminal-state bookkeeping.
+
+    Translates region-level progress samples into the session-level
+    absolute (queries, tuples) points a
+    :class:`~repro.crawl.base.ProgressAggregator` expects, tolerating
+    regions of one session running concurrently (after a steal).  Also
+    marks sessions ``done`` when their last region lands and ``failed``
+    when a region crawl raises, so aggregator snapshots never show a
+    dead worker as in-flight.
+    """
+
+    def __init__(
+        self, aggregator: ProgressAggregator | None, plan: PartitionPlan
+    ):
+        self._aggregator = aggregator
+        self._lock = threading.Lock()
+        self._done = [[0, 0] for _ in plan.bundles]
+        self._live: list[dict[int, ProgressPoint]] = [
+            {} for _ in plan.bundles
+        ]
+        self._outstanding = [len(bundle) for bundle in plan.bundles]
+        if aggregator is not None:
+            for session, bundle in enumerate(plan.bundles):
+                if not bundle:
+                    aggregator.mark_done(session)
+
+    def listener(
+        self, task: RegionTask
+    ) -> Callable[[ProgressPoint], None] | None:
+        """The progress listener to attach to ``task``'s crawler."""
+        if self._aggregator is None:
+            return None
+
+        def report(point: ProgressPoint) -> None:
+            # The aggregator call stays under the feed lock: computing
+            # the total and publishing it must be atomic, or a stale
+            # total from a preempted worker could overwrite a newer one
+            # (regions of one session run concurrently after a steal).
+            with self._lock:
+                self._live[task.session][task.index] = point
+                self._aggregator.report(
+                    task.session, self._session_total(task.session)
+                )
+
+        return report
+
+    def _session_total(self, session: int) -> ProgressPoint:
+        # Caller holds self._lock.
+        queries, tuples = self._done[session]
+        for point in self._live[session].values():
+            queries += point.queries
+            tuples += point.tuples
+        return ProgressPoint(queries, tuples)
+
+    def finished(self, task: RegionTask, result: CrawlResult) -> None:
+        """Fold a finished region into its session's running totals."""
+        if self._aggregator is None:
+            return
+        with self._lock:
+            self._live[task.session].pop(task.index, None)
+            self._done[task.session][0] += result.cost
+            self._done[task.session][1] += len(result.rows)
+            self._outstanding[task.session] -= 1
+            # Atomic with the total's computation; see listener().
+            self._aggregator.report(
+                task.session, self._session_total(task.session)
+            )
+            if self._outstanding[task.session] == 0:
+                self._aggregator.mark_done(task.session)
+
+    def failed(self, task: RegionTask) -> None:
+        """Mark the session of a raising region as failed."""
+        if self._aggregator is None:
+            return
+        self._aggregator.mark_failed(task.session)
+
+    def cancelled(self, session: int) -> None:
+        """Mark a session the executor abandoned before running it.
+
+        A no-op for sessions already terminal (e.g. an empty bundle
+        marked done at construction).
+        """
+        if self._aggregator is None:
+            return
+        if not self._aggregator.state(session).terminal:
+            self._aggregator.mark_cancelled(session)
+
+
+#: One recorded failure: the region's plan position and its exception.
+_Failure = tuple[tuple[int, int], Exception]
+
+
+def _run_region(
+    sources: Sequence,
+    task: RegionTask,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+    scheduler: WorkStealingScheduler | None = None,
+) -> bool:
+    """Crawl one region, file the outcome, and report success."""
+    try:
+        result = _crawl_region(
+            sources[task.session],
+            task.region,
+            crawler_factory=crawler_factory,
+            allow_partial=allow_partial,
+            listener=feed.listener(task),
+        )
+    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        if scheduler is not None:
+            scheduler.fail(task)
+        with failures_lock:
+            failures.append((task.key, exc))
+        feed.failed(task)
+        return False
+    if scheduler is not None:
+        scheduler.complete(task, result.cost)
+    grid[task.session][task.index] = result
+    feed.finished(task, result)
+    return True
+
+
+def _session_loop(
+    session: int,
+    sources: Sequence,
+    plan: PartitionPlan,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+) -> None:
+    """Static dispatch: crawl one session's regions in plan order."""
+    for index, region in enumerate(plan.bundles[session]):
+        task = RegionTask(session, index, region)
+        if not _run_region(
+            sources,
+            task,
+            grid,
+            failures,
+            failures_lock,
+            feed,
+            crawler_factory,
+            allow_partial,
+        ):
+            return
+
+
+def _steal_loop(
+    scheduler: WorkStealingScheduler,
+    home_session: int,
+    sources: Sequence,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+) -> None:
+    """Work-stealing dispatch: drain the scheduler until it runs dry."""
+    while True:
+        task = scheduler.acquire(home_session)
+        if task is None:
+            return
+        _run_region(
+            sources,
+            task,
+            grid,
+            failures,
+            failures_lock,
+            feed,
+            crawler_factory,
+            allow_partial,
+            scheduler=scheduler,
+        )
+
+
+class CrawlExecutor(abc.ABC):
+    """Runs a partition plan's region grid and merges deterministically.
+
+    Subclasses implement :meth:`_execute`, which must fill ``grid`` (or
+    record failures) however it likes; :meth:`run` owns validation, the
+    deterministic merge, and the drain-then-raise failure contract.
+    """
+
+    #: Registry name of the backend; subclasses override.
+    name: str = "executor"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self._max_workers = max_workers
+
+    def _workers(self, upper: int) -> int:
+        """The effective worker count, capped at ``upper`` tasks."""
+        workers = self._max_workers
+        if workers is None:
+            workers = default_workers(upper)
+        return max(1, min(workers, upper))
+
+    def run(
+        self,
+        sources: Sequence,
+        plan: PartitionPlan,
+        *,
+        crawler_factory: Callable[..., Crawler] = Hybrid,
+        allow_partial: bool = False,
+        aggregator: ProgressAggregator | None = None,
+        rebalance: bool = False,
+        estimator: CostEstimator | None = None,
+    ) -> PartitionedResult:
+        """Crawl every region of ``plan`` and merge deterministically.
+
+        Parameters
+        ----------
+        sources:
+            One query source per bundle, exactly as for
+            :func:`~repro.crawl.partition.crawl_partitioned`.
+        plan:
+            The partition plan; the unit of scheduling is one region.
+        crawler_factory:
+            Crawler class (or factory) applied to each region's
+            :class:`~repro.crawl.partition.SubspaceView`.  The process
+            backend additionally requires it to be picklable (a class
+            or a :func:`functools.partial` over one -- not a lambda).
+        allow_partial:
+            Forwarded to each region crawl; a budget-interrupted region
+            marks the merged result incomplete.
+        aggregator:
+            Optional live progress sink; sessions are marked ``done``
+            and ``failed`` as they terminate.
+        rebalance:
+            Enable work stealing: idle workers take regions from the
+            session with the largest estimated remaining cost.
+        estimator:
+            Optional :class:`~repro.crawl.rebalance.CostEstimator`
+            seeding the stealing decisions (e.g. built with
+            ``CostEstimator.from_stats`` from a previous crawl).
+            Ignored unless ``rebalance`` is set.
+
+        Raises
+        ------
+        SchemaError
+            If ``sources`` does not match ``plan.sessions``.
+        QueryBudgetExhausted
+            When a limit fires and ``allow_partial`` is ``False`` (the
+            exception of the lowest failing plan position, after every
+            worker drained).
+        """
+        _check_sources(sources, plan)
+        if aggregator is not None and aggregator.sessions != plan.sessions:
+            raise ValueError(
+                f"aggregator tracks {aggregator.sessions} sessions but "
+                f"the plan has {plan.sessions}"
+            )
+        feed = _AggregatorFeed(aggregator, plan)
+        grid: list[list[CrawlResult | None]] = [
+            [None] * len(bundle) for bundle in plan.bundles
+        ]
+        failures: list[_Failure] = []
+        self._execute(
+            sources,
+            plan,
+            grid,
+            failures,
+            feed,
+            crawler_factory,
+            allow_partial,
+            rebalance,
+            estimator,
+        )
+        if failures:
+            failures.sort(key=lambda failure: failure[0])
+            raise failures[0][1]
+        return _merge_session_results(
+            plan, tuple(tuple(session) for session in grid)
+        )
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        sources: Sequence,
+        plan: PartitionPlan,
+        grid,
+        failures: list[_Failure],
+        feed: _AggregatorFeed,
+        crawler_factory: Callable[..., Crawler],
+        allow_partial: bool,
+        rebalance: bool,
+        estimator: CostEstimator | None,
+    ) -> None:
+        """Fill ``grid`` with per-region results; record failures."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self._max_workers})"
+
+
+class SequentialExecutor(CrawlExecutor):
+    """The reference backend: plan order, in the calling thread.
+
+    ``rebalance`` is accepted and ignored -- with a single worker there
+    is nothing to steal, and the scheduler would hand out exactly the
+    plan order anyway.  Stops at the first failure, like the original
+    sequential :func:`~repro.crawl.partition.crawl_partitioned`.
+    """
+
+    name = "sequential"
+
+    def _execute(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+    ):
+        failures_lock = threading.Lock()
+        for session in range(plan.sessions):
+            _session_loop(
+                session,
+                sources,
+                plan,
+                grid,
+                failures,
+                failures_lock,
+                feed,
+                crawler_factory,
+                allow_partial,
+            )
+            if failures:
+                # Stopping at the first failure abandons the remaining
+                # sessions; mark them cancelled so aggregator snapshots
+                # never show a never-started session as running.
+                for later in range(session + 1, plan.sessions):
+                    feed.cancelled(later)
+                return
+
+
+class ThreadExecutor(CrawlExecutor):
+    """One worker thread per session; work stealing when rebalancing.
+
+    Without ``rebalance`` this is exactly PR 1's executor: one task per
+    session, each draining its bundle in plan order, on a pool of
+    ``max_workers`` threads.  With ``rebalance`` the pool runs
+    region-level workers over a
+    :class:`~repro.crawl.rebalance.WorkStealingScheduler`; worker ``j``
+    calls session ``j % sessions`` home.
+    """
+
+    name = "thread"
+
+    def _execute(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+    ):
+        failures_lock = threading.Lock()
+        if not rebalance:
+            workers = self._workers(plan.sessions)
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="crawl-session"
+            ) as pool:
+                tasks = [
+                    pool.submit(
+                        _session_loop,
+                        session,
+                        sources,
+                        plan,
+                        grid,
+                        failures,
+                        failures_lock,
+                        feed,
+                        crawler_factory,
+                        allow_partial,
+                    )
+                    for session in range(plan.sessions)
+                ]
+                for task in tasks:
+                    task.result()
+            return
+        scheduler = WorkStealingScheduler(plan.bundles, estimator)
+        workers = self._workers(max(1, scheduler.total_tasks))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="crawl-steal"
+        ) as pool:
+            tasks = [
+                pool.submit(
+                    _steal_loop,
+                    scheduler,
+                    worker % plan.sessions,
+                    sources,
+                    grid,
+                    failures,
+                    failures_lock,
+                    feed,
+                    crawler_factory,
+                    allow_partial,
+                )
+                for worker in range(workers)
+            ]
+            for task in tasks:
+                task.result()
+
+
+# ----------------------------------------------------------------------
+# Process backend: per-worker source copies, region tasks over pickle
+# ----------------------------------------------------------------------
+_WORKER_SOURCES: tuple | None = None
+_WORKER_FACTORY: Callable[..., Crawler] | None = None
+
+
+def _process_init(payload: bytes) -> None:
+    """Pool initializer: unpickle the sources once per worker process."""
+    global _WORKER_SOURCES, _WORKER_FACTORY
+    _WORKER_SOURCES, _WORKER_FACTORY = pickle.loads(payload)
+
+
+def _process_region(session: int, region, allow_partial: bool) -> CrawlResult:
+    """Crawl one region in a pool worker, against the worker's copy."""
+    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
+    return _crawl_region(
+        _WORKER_SOURCES[session],
+        region,
+        crawler_factory=_WORKER_FACTORY,
+        allow_partial=allow_partial,
+    )
+
+
+def _process_session(
+    session: int, bundle, allow_partial: bool
+) -> tuple[CrawlResult, ...]:
+    """Crawl a whole bundle in a pool worker, in plan order."""
+    return tuple(
+        _process_region(session, region, allow_partial) for region in bundle
+    )
+
+
+class ProcessExecutor(CrawlExecutor):
+    """Region crawls on a process pool, for CPU-bound simulated engines.
+
+    Sources and the crawler factory are pickled once and shipped to
+    each worker via the pool initializer (so per-task overhead is a few
+    integers, not a dataset).  Requires the serving stack's picklable
+    paths: servers, clients, limits and engines all drop their locks on
+    pickle and rebuild them on load.  Cache listeners do not survive
+    the trip, and each worker mutates its own *copy* of the sources --
+    use this backend for limit-free simulation workloads, which is
+    exactly where the GIL makes the thread backend useless.
+
+    Without ``rebalance``, one pool task per session preserves the
+    thread backend's dispatch shape.  With ``rebalance``, the parent
+    dispatches region tasks one at a time, always picking from the
+    session with the largest estimated remaining cost, so the pool
+    adaptively drains the slowest session first.
+
+    Progress reporting is completion-grained: the aggregator sees a
+    session advance when a region (or, without rebalancing, a bundle)
+    finishes, not per query.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, *, mp_context=None):
+        super().__init__(max_workers)
+        self._mp_context = mp_context
+
+    def _workers(self, upper: int) -> int:
+        """Default to the core count, not the thread executor's 4x cap.
+
+        Oversubscription pays off for latency-bound threads; worker
+        *processes* exist for CPU-bound work, where anything beyond the
+        cores adds only spawn time and a per-worker copy of the
+        sources.
+        """
+        workers = self._max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, upper))
+
+    def _payload(self, sources, crawler_factory) -> bytes:
+        try:
+            return pickle.dumps((tuple(sources), crawler_factory))
+        except Exception as exc:
+            raise TypeError(
+                "the process executor needs picklable sources and a "
+                "picklable crawler_factory (a class or functools.partial, "
+                f"not a lambda): {exc}"
+            ) from exc
+
+    def _execute(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+    ):
+        payload = self._payload(sources, crawler_factory)
+        total = sum(len(bundle) for bundle in plan.bundles)
+        workers = self._workers(max(1, total if rebalance else plan.sessions))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._mp_context,
+            initializer=_process_init,
+            initargs=(payload,),
+        ) as pool:
+            if rebalance:
+                self._drain_rebalanced(
+                    pool,
+                    workers,
+                    plan,
+                    grid,
+                    failures,
+                    feed,
+                    allow_partial,
+                    estimator,
+                )
+            else:
+                self._drain_static(
+                    pool, plan, grid, failures, feed, allow_partial
+                )
+
+    def _drain_static(self, pool, plan, grid, failures, feed, allow_partial):
+        tasks: dict[Future, int] = {
+            pool.submit(
+                _process_session, session, plan.bundles[session], allow_partial
+            ): session
+            for session in range(plan.sessions)
+        }
+        for future, session in tasks.items():
+            bundle = plan.bundles[session]
+            try:
+                session_results = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                failures.append(((session, 0), exc))
+                # An empty bundle has no region to attribute a pool
+                # failure to (its session is already marked done).
+                if bundle:
+                    feed.failed(RegionTask(session, 0, bundle[0]))
+                continue
+            for index, result in enumerate(session_results):
+                task = RegionTask(session, index, bundle[index])
+                grid[session][index] = result
+                feed.finished(task, result)
+
+    def _drain_rebalanced(
+        self,
+        pool,
+        workers,
+        plan,
+        grid,
+        failures,
+        feed,
+        allow_partial,
+        estimator,
+    ):
+        scheduler = WorkStealingScheduler(plan.bundles, estimator)
+        in_flight: dict[Future, RegionTask] = {}
+
+        def submit_next() -> bool:
+            task = scheduler.acquire()
+            if task is None:
+                return False
+            future = pool.submit(
+                _process_region, task.session, task.region, allow_partial
+            )
+            in_flight[future] = task
+            return True
+
+        for _ in range(workers):
+            if not submit_next():
+                break
+        while in_flight:
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                task = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                    scheduler.fail(task)
+                    failures.append((task.key, exc))
+                    feed.failed(task)
+                else:
+                    scheduler.complete(task, result.cost)
+                    grid[task.session][task.index] = result
+                    feed.finished(task, result)
+                submit_next()
+
+
+# ----------------------------------------------------------------------
+# Async backend: event-loop coordination, awaitable sources bridged
+# ----------------------------------------------------------------------
+class _LoopBridge:
+    """Sync facade over an awaitable source, for crawler worker threads.
+
+    ``run`` schedules the source's ``arun`` coroutine on the executor's
+    event loop and blocks *the calling worker thread* (never the loop)
+    until the response arrives -- so many sessions' waits multiplex on
+    one loop while the unchanged synchronous crawlers drive them.
+    """
+
+    def __init__(self, source, loop: asyncio.AbstractEventLoop):
+        self._source = source
+        self._loop = loop
+
+    @property
+    def space(self):
+        """The underlying data space; the bridge is transparent."""
+        return self._source.space
+
+    @property
+    def k(self) -> int:
+        """The underlying retrieval limit."""
+        return self._source.k
+
+    def run(self, query):
+        """Await ``arun(query)`` on the loop from a worker thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._source.arun(query), self._loop
+        )
+        return future.result()
+
+    def __repr__(self) -> str:
+        return f"_LoopBridge({self._source!r})"
+
+
+def _bridge_source(source, loop: asyncio.AbstractEventLoop):
+    """Wrap awaitable sources (those with an ``arun`` coroutine)."""
+    arun = getattr(source, "arun", None)
+    if arun is None or not asyncio.iscoroutinefunction(arun):
+        return source
+    return _LoopBridge(source, loop)
+
+
+class AsyncExecutor(CrawlExecutor):
+    """Asyncio-coordinated sessions over (optionally) awaitable sources.
+
+    Each session's crawl runs on a worker thread (the crawlers are
+    synchronous), but a source exposing an ``arun(query)`` coroutine --
+    :class:`~repro.server.latency.AsyncLatencySource`, an
+    :class:`~repro.server.client.AwaitableClient` over a web adapter --
+    is awaited on the executor's event loop, so simulated round trips
+    and future async I/O multiplex there instead of pinning threads in
+    ``time.sleep``.  Purely synchronous sources work unchanged.
+
+    Must be called from a thread with no running event loop (it owns
+    one for the duration of the crawl).
+    """
+
+    name = "async"
+
+    def _execute(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+    ):
+        asyncio.run(
+            self._amain(
+                sources,
+                plan,
+                grid,
+                failures,
+                feed,
+                crawler_factory,
+                allow_partial,
+                rebalance,
+                estimator,
+            )
+        )
+
+    async def _amain(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+    ):
+        loop = asyncio.get_running_loop()
+        bridged = [_bridge_source(source, loop) for source in sources]
+        failures_lock = threading.Lock()
+        # Session loops run on a dedicated pool, NEVER asyncio's shared
+        # default executor: an awaitable source's ``arun`` may itself
+        # need a default-executor thread (AwaitableClient does), and
+        # session loops blocking in _LoopBridge.run while occupying
+        # every default-pool slot would deadlock the crawl.
+        if rebalance:
+            scheduler = WorkStealingScheduler(plan.bundles, estimator)
+            workers = self._workers(max(1, scheduler.total_tasks))
+            jobs = [
+                (
+                    _steal_loop,
+                    scheduler,
+                    worker % plan.sessions,
+                    bridged,
+                    grid,
+                    failures,
+                    failures_lock,
+                    feed,
+                    crawler_factory,
+                    allow_partial,
+                )
+                for worker in range(workers)
+            ]
+        else:
+            workers = self._workers(plan.sessions)
+            jobs = [
+                (
+                    _session_loop,
+                    session,
+                    bridged,
+                    plan,
+                    grid,
+                    failures,
+                    failures_lock,
+                    feed,
+                    crawler_factory,
+                    allow_partial,
+                )
+                for session in range(plan.sessions)
+            ]
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="crawl-async"
+        ) as pool:
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(pool, functools.partial(*job))
+                    for job in jobs
+                )
+            )
+
+
+#: Backend registry, keyed by the CLI's ``--executor`` names.
+EXECUTORS: dict[str, type[CrawlExecutor]] = {
+    "sequential": SequentialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+    "async": AsyncExecutor,
+}
+
+
+def make_executor(
+    name: str, *, max_workers: int | None = None
+) -> CrawlExecutor:
+    """Build a backend by registry name (see :data:`EXECUTORS`)."""
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXECUTORS))
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of: {known}"
+        ) from None
+    return cls(max_workers=max_workers)

@@ -1,75 +1,40 @@
-"""Concurrent partitioned crawling: one worker thread per session.
+"""Concurrent partitioned crawling over the pluggable executor layer.
 
-:func:`~repro.crawl.partition.crawl_partitioned` executes a
-:class:`~repro.crawl.partition.PartitionPlan` session by session, so a
-deployment that owns four identities pays the coordination cost of
-partitioning without its wall-clock payoff.  This module runs the same
-plan on a :class:`concurrent.futures.ThreadPoolExecutor`, one session
-per worker, and merges the per-region results deterministically.  The
-serving stack is thread-safe end to end (atomic limits, exactly-once
-:class:`~repro.server.client.CachingClient` misses, locked lazy engine
-indexes, atomic :class:`~repro.server.stats.QueryStats`), so sessions
-may even share a server or a limit object.
+PR 1 introduced :func:`crawl_partitioned_parallel` as a thread-pool
+executor with a deterministic merge; the dispatch loop now lives in
+:mod:`repro.crawl.executors` behind the :class:`CrawlExecutor`
+interface, and this module is the stable front door: the same function,
+plus an ``executor`` selector (``"thread"`` by default, ``"process"``
+for CPU-bound simulated engines, ``"async"`` for awaitable sources)
+and a ``rebalance`` switch enabling work stealing
+(:mod:`repro.crawl.rebalance`).
 
-Why threads pay off: a real crawl is latency-bound -- every query is a
-network round trip to the hidden database, and the per-identity daily
-quotas the paper motivates its cost metric with (Section 1.1) bind per
-session.  Worker threads overlap those waits, so the wall clock drops
-from the *sum* of the session times to roughly their *maximum*
-(``benchmarks/bench_parallel_partitioned.py`` measures the effect
-against a simulated-latency server).
-
-**Determinism contract.**  Each session crawls its own regions against
-its own source with a deterministic algorithm, so no matter how the
-scheduler interleaves the workers:
-
-* ``result.rows`` is ordered by (session index, region index,
-  extraction order) -- byte-identical to the sequential executor's;
-* ``result.cost`` is the sum of per-session costs -- identical to the
-  sequential executor's (provided sessions do not share a cache);
-* ``result.progress`` is the canonical
-  :func:`~repro.crawl.base.merge_progress` interleaving of the
-  per-session curves, a pure function of those curves.
-
-Only the *live* feed of an attached
-:class:`~repro.crawl.base.ProgressAggregator` reflects actual thread
-scheduling; everything in the returned
-:class:`~repro.crawl.partition.PartitionedResult` is reproducible.
-
-Failure semantics mirror the sequential executor: with
-``allow_partial=True`` a budget-interrupted region yields a partial
-result and the merge is marked incomplete; with ``allow_partial=False``
-the exception of the lowest-indexed failing session is re-raised once
-every worker has finished (threads cannot be interrupted mid-region, so
-the executor drains before propagating).
+Whatever the backend and stealing schedule, the **determinism
+contract** of PR 1 holds unchanged: ``result.rows`` is ordered by
+(session index, region index, extraction order), ``result.cost`` is the
+sum of per-session costs, and ``result.progress`` is the canonical
+:func:`~repro.crawl.base.merge_progress` interleaving of the
+per-session curves -- byte-identical to the sequential executor on the
+same plan.  Only the live feed of an attached
+:class:`~repro.crawl.base.ProgressAggregator` reflects actual
+scheduling.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.crawl.base import Crawler, ProgressAggregator, ProgressPoint
-from repro.crawl.hybrid import Hybrid
-from repro.crawl.partition import (
-    PartitionedResult,
-    PartitionPlan,
-    _check_sources,
-    _crawl_session,
-    _merge_session_results,
+from repro.crawl.base import Crawler, ProgressAggregator
+from repro.crawl.executors import (
+    CrawlExecutor,
+    default_workers,
+    make_executor,
 )
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.partition import PartitionedResult, PartitionPlan
+from repro.crawl.rebalance import CostEstimator
 
 __all__ = ["crawl_partitioned_parallel", "default_workers"]
-
-
-def default_workers(sessions: int) -> int:
-    """A sensible worker count: one per session, capped at 4x the CPUs.
-
-    Sessions are latency-bound, not CPU-bound, so oversubscribing the
-    cores is fine; the cap only guards against absurd plans.
-    """
-    return max(1, min(sessions, 4 * (os.cpu_count() or 1)))
 
 
 def crawl_partitioned_parallel(
@@ -80,6 +45,9 @@ def crawl_partitioned_parallel(
     crawler_factory: Callable[..., Crawler] = Hybrid,
     allow_partial: bool = False,
     aggregator: ProgressAggregator | None = None,
+    executor: str | CrawlExecutor = "thread",
+    rebalance: bool = False,
+    estimator: CostEstimator | None = None,
 ) -> PartitionedResult:
     """Crawl every region of ``plan``, sessions running concurrently.
 
@@ -87,33 +55,34 @@ def crawl_partitioned_parallel(
     ----------
     sources:
         One query source per bundle, exactly as for
-        :func:`~repro.crawl.partition.crawl_partitioned`.  Distinct
-        sources keep per-session cost attribution identical to the
-        sequential executor; sharing one (thread-safe) server across
-        sessions is allowed and still yields the exact bag.
+        :func:`~repro.crawl.partition.crawl_partitioned`.
     plan:
-        The partition plan; one worker crawls one bundle.
+        The partition plan.
     max_workers:
-        Size of the thread pool; defaults to
-        :func:`default_workers`.  ``1`` degenerates to sequential
-        execution (useful to isolate concurrency when debugging).
+        Worker count for the chosen backend; defaults to
+        :func:`~repro.crawl.executors.default_workers`.  ``1``
+        degenerates to sequential execution.
     crawler_factory:
         Crawler class (or factory) applied to each region's
         :class:`~repro.crawl.partition.SubspaceView`; defaults to
-        :class:`~repro.crawl.hybrid.Hybrid`.
+        :class:`~repro.crawl.hybrid.Hybrid`.  Must be picklable for the
+        process backend.
     allow_partial:
         Forwarded to each region crawl; a budget-interrupted region
         marks the merged result incomplete.
     aggregator:
-        Optional live progress sink; each session reports its
-        cumulative (queries, tuples) samples under the aggregator's
-        lock, indexed by session.
-
-    Returns
-    -------
-    PartitionedResult
-        Deterministically merged: rows ordered by (session, region),
-        costs summed, progress merged on the canonical query timeline.
+        Optional live progress sink; sessions are marked done/failed as
+        they terminate.
+    executor:
+        Backend name (``"sequential"``, ``"thread"``, ``"process"``,
+        ``"async"``) or a ready :class:`CrawlExecutor` instance.  An
+        instance carries its own worker count, so combining one with
+        ``max_workers`` is rejected rather than silently ignored.
+    rebalance:
+        Enable adaptive work stealing (see
+        :mod:`repro.crawl.rebalance`).
+    estimator:
+        Optional cost estimator seeding the stealing decisions.
 
     Raises
     ------
@@ -121,55 +90,22 @@ def crawl_partitioned_parallel(
         If ``sources`` does not match ``plan.sessions``.
     QueryBudgetExhausted
         When a limit fires and ``allow_partial`` is ``False`` (the
-        lowest-indexed failing session's exception, after all workers
+        lowest failing plan position's exception, after all workers
         drained).
     """
-    _check_sources(sources, plan)
-    if aggregator is not None and aggregator.sessions != plan.sessions:
+    if isinstance(executor, str):
+        executor = make_executor(executor, max_workers=max_workers)
+    elif max_workers is not None:
         raise ValueError(
-            f"aggregator tracks {aggregator.sessions} sessions but the "
-            f"plan has {plan.sessions}"
+            "pass max_workers with an executor *name*; a CrawlExecutor "
+            "instance already carries its own worker count"
         )
-    if max_workers is None:
-        max_workers = default_workers(plan.sessions)
-    if max_workers < 1:
-        raise ValueError(f"max_workers must be positive, got {max_workers}")
-
-    def reporter_for(session: int):
-        if aggregator is None:
-            return None
-
-        def report(point: ProgressPoint, session: int = session) -> None:
-            aggregator.report(session, point)
-
-        return report
-
-    def run_session(session: int):
-        return _crawl_session(
-            sources[session],
-            plan.bundles[session],
-            crawler_factory=crawler_factory,
-            allow_partial=allow_partial,
-            reporter=reporter_for(session),
-        )
-
-    with ThreadPoolExecutor(
-        max_workers=max_workers, thread_name_prefix="crawl-session"
-    ) as pool:
-        futures = [
-            pool.submit(run_session, i) for i in range(plan.sessions)
-        ]
-        # Drain every worker before propagating failures so the pool
-        # never leaks running sessions; then fail deterministically on
-        # the lowest session index.
-        outcomes = []
-        for future in futures:
-            try:
-                outcomes.append((future.result(), None))
-            except Exception as exc:  # noqa: BLE001 - re-raised below
-                outcomes.append((None, exc))
-    for _, exc in outcomes:
-        if exc is not None:
-            raise exc
-    session_results = tuple(result for result, _ in outcomes)
-    return _merge_session_results(plan, session_results)
+    return executor.run(
+        sources,
+        plan,
+        crawler_factory=crawler_factory,
+        allow_partial=allow_partial,
+        aggregator=aggregator,
+        rebalance=rebalance,
+        estimator=estimator,
+    )

@@ -317,21 +317,18 @@ def crawl_partitioned(
         Forwarded to each region crawl; a budget-interrupted region
         marks the merged result incomplete.
     """
-    _check_sources(sources, plan)
-    session_results = tuple(
-        _crawl_session(
-            source,
-            bundle,
-            crawler_factory=crawler_factory,
-            allow_partial=allow_partial,
-        )
-        for source, bundle in zip(sources, plan.bundles)
+    from repro.crawl.executors import SequentialExecutor
+
+    return SequentialExecutor().run(
+        sources,
+        plan,
+        crawler_factory=crawler_factory,
+        allow_partial=allow_partial,
     )
-    return _merge_session_results(plan, session_results)
 
 
 # ----------------------------------------------------------------------
-# Shared machinery between the sequential and parallel executors
+# Shared machinery between the executors (see repro.crawl.executors)
 # ----------------------------------------------------------------------
 def _check_sources(sources: Sequence, plan: PartitionPlan) -> None:
     if len(sources) != plan.sessions:
@@ -341,36 +338,27 @@ def _check_sources(sources: Sequence, plan: PartitionPlan) -> None:
         )
 
 
-def _crawl_session(
+def _crawl_region(
     source,
-    bundle: Sequence[Query],
+    region: Query,
     *,
     crawler_factory: Callable[..., Crawler],
     allow_partial: bool,
-    reporter: Callable[[ProgressPoint], None] | None = None,
-) -> tuple[CrawlResult, ...]:
-    """Crawl one session's regions in work-list order.
+    listener: Callable[[ProgressPoint], None] | None = None,
+) -> CrawlResult:
+    """Crawl one region of one session: the executors' unit of work.
 
-    ``reporter``, when given, receives session-cumulative progress
-    samples (absolute queries/tuples across the whole bundle) -- the
-    hook the parallel executor uses to feed a
-    :class:`~repro.crawl.base.ProgressAggregator`.
+    A fresh crawler (and therefore a fresh response cache) is built per
+    region, so the region's :class:`~repro.crawl.base.CrawlResult` is a
+    pure function of (source, region) -- independent of which worker
+    crawls it, and of when.  That independence is what lets the
+    work-stealing executors move regions between workers while keeping
+    the merged result byte-identical to the sequential executor's.
     """
-    results: list[CrawlResult] = []
-    base_queries = base_tuples = 0
-    for region in bundle:
-        crawler = crawler_factory(SubspaceView(source, region))
-        if reporter is not None:
-            crawler.add_progress_listener(
-                lambda p, bq=base_queries, bt=base_tuples: reporter(
-                    ProgressPoint(bq + p.queries, bt + p.tuples)
-                )
-            )
-        result = crawler.crawl(allow_partial=allow_partial)
-        results.append(result)
-        base_queries += result.cost
-        base_tuples += len(result.rows)
-    return tuple(results)
+    crawler = crawler_factory(SubspaceView(source, region))
+    if listener is not None:
+        crawler.add_progress_listener(listener)
+    return crawler.crawl(allow_partial=allow_partial)
 
 
 def _merge_session_results(

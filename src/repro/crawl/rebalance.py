@@ -1,0 +1,333 @@
+"""Adaptive rebalancing: work stealing over a partition plan's regions.
+
+A static :class:`~repro.crawl.partition.PartitionPlan` fixes which
+session crawls which regions before anything about the data is known,
+so the slowest session dominates the wall clock.  This module provides
+the scheduling layer that fixes that without touching the result:
+
+* :class:`CostEstimator` -- per-region query-cost estimates, updated
+  from the observed cost of every finished region (each region's cost
+  is the exact :class:`~repro.server.stats.QueryStats`-backed query
+  count of its crawl) and seedable with priors from a previous crawl's
+  stats;
+* :class:`WorkStealingScheduler` -- a thread-safe work queue per
+  session; an idle worker first drains its own session's queue in plan
+  order, then *steals* the tail region of the session with the largest
+  estimated remaining cost.
+
+Stealing never changes what is crawled, only *when* and *by which
+worker*: a stolen region is still crawled against its own session's
+source (its identity keeps paying the queries), and the executors file
+every region's result under its original plan position, so the merged
+:class:`~repro.crawl.partition.PartitionedResult` stays byte-identical
+to the sequential executor's.  The scheduler's accounting is exact:
+every region is handed out at most once, and the observed total cost
+equals the sum of the per-region costs no matter how acquisitions and
+completions interleave (a hypothesis property test drives arbitrary
+schedules through it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.exceptions import AlgorithmInvariantError
+from repro.query.query import Query
+from repro.server.stats import QueryStats
+
+__all__ = ["RegionTask", "CostEstimator", "WorkStealingScheduler"]
+
+#: A region's identity inside a plan: (session index, index in bundle).
+RegionKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RegionTask:
+    """One schedulable unit of work: a region at its plan position."""
+
+    session: int
+    index: int
+    region: Query
+
+    @property
+    def key(self) -> RegionKey:
+        """The region's (session, index) position in the plan."""
+        return (self.session, self.index)
+
+
+class CostEstimator:
+    """Per-region query-cost estimates for scheduling decisions.
+
+    The estimate for a region is, in order of preference: its *observed*
+    cost (once its crawl finished), a caller-supplied prior, the running
+    mean of all observed costs so far, and finally a flat default prior.
+    All methods are thread-safe.
+
+    Parameters
+    ----------
+    prior:
+        The flat default estimate used before anything is observed.
+    priors:
+        Optional per-region priors keyed by (session, index) -- e.g. the
+        measured costs of a previous crawl of the same plan.
+    """
+
+    def __init__(
+        self,
+        *,
+        prior: float = 1.0,
+        priors: Mapping[RegionKey, float] | None = None,
+    ):
+        if prior <= 0:
+            raise ValueError(f"prior must be positive, got {prior}")
+        self._prior = float(prior)
+        self._priors = dict(priors or {})
+        self._observed: dict[RegionKey, int] = {}
+        # Running sum of observed costs, so the fallback mean is O(1);
+        # plans can have tens of thousands of regions (one per value of
+        # a large categorical domain) and estimates sit on hot paths.
+        self._observed_sum = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_stats(cls, stats: QueryStats, regions: int) -> "CostEstimator":
+        """Seed the default prior from a previous crawl's query stats.
+
+        ``stats.queries / regions`` -- the mean observed per-region cost
+        of an earlier run over a comparable plan -- becomes the flat
+        prior, so the first stealing decisions of a re-crawl start from
+        measured reality instead of a guess.
+        """
+        mean = stats.queries / max(1, regions)
+        return cls(prior=max(1.0, mean))
+
+    def record(self, key: RegionKey, cost: int) -> None:
+        """Record the exact observed cost of a finished region."""
+        with self._lock:
+            previous = self._observed.get(key)
+            if previous is not None:
+                self._observed_sum -= previous
+            self._observed[key] = int(cost)
+            self._observed_sum += int(cost)
+
+    def estimate(self, key: RegionKey) -> float:
+        """The current cost estimate for the region at ``key``."""
+        with self._lock:
+            if key in self._observed:
+                return float(self._observed[key])
+            if key in self._priors:
+                return float(self._priors[key])
+            if self._observed:
+                return self._observed_sum / len(self._observed)
+            return self._prior
+
+    def observed(self) -> dict[RegionKey, int]:
+        """A copy of the observed per-region costs."""
+        with self._lock:
+            return dict(self._observed)
+
+    def total_observed(self) -> int:
+        """Sum of all observed region costs."""
+        with self._lock:
+            return self._observed_sum
+
+    def __repr__(self) -> str:
+        with self._lock:
+            observed = len(self._observed)
+        return f"CostEstimator({observed} regions observed)"
+
+
+class WorkStealingScheduler:
+    """Thread-safe region scheduler with estimate-guided stealing.
+
+    One FIFO queue per session holds the session's regions in plan
+    order.  :meth:`acquire` serves a worker from its home session's
+    queue first; when that queue is empty the worker steals the *tail*
+    region of the victim with the largest estimated remaining queued
+    cost -- splitting remaining work off the (estimated) slowest
+    session, with ties broken by the lowest session index.
+
+    Accounting invariants, enforced and exposed for tests:
+
+    * a region is handed out at most once (acquire pops it);
+    * :meth:`complete` and :meth:`fail` accept only regions currently
+      in flight, so double completion is impossible;
+    * when everything has drained, :meth:`total_observed_cost` equals
+      the exact sum of the per-region costs reported to
+      :meth:`complete`.
+    """
+
+    #: Exact per-queue estimate refreshes are skipped above this many
+    #: queued regions: a plan can hold tens of thousands of regions
+    #: (one per value of a large categorical domain), and an O(queued)
+    #: walk per completion would dominate the crawl.  Beyond the limit
+    #: the cached enqueue-time estimates stand in, which for a flat
+    #: prior makes the victim simply the session with the most queued
+    #: regions -- still the right coarse signal.
+    _REFRESH_LIMIT = 512
+
+    def __init__(self, bundles, estimator: CostEstimator | None = None):
+        self.estimator = (
+            estimator if estimator is not None else CostEstimator()
+        )
+        self._queues: list[deque[RegionTask]] = [
+            deque(
+                RegionTask(session, index, region)
+                for index, region in enumerate(bundle)
+            )
+            for session, bundle in enumerate(bundles)
+        ]
+        self._total = sum(len(q) for q in self._queues)
+        self._in_flight: dict[RegionKey, int | None] = {}
+        self._completed: dict[RegionKey, int] = {}
+        self._failed: set[RegionKey] = set()
+        self._steals: list[tuple[RegionKey, int | None]] = []
+        self._lock = threading.Lock()
+        # Per-session sums of the queued tasks' cached estimates, kept
+        # incrementally so picking a victim is O(sessions) per acquire.
+        self._cached_estimate: dict[RegionKey, float] = {}
+        self._queued_cost: list[float] = []
+        for queue in self._queues:
+            total = 0.0
+            for task in queue:
+                value = self.estimator.estimate(task.key)
+                self._cached_estimate[task.key] = value
+                total += value
+            self._queued_cost.append(total)
+
+    @property
+    def sessions(self) -> int:
+        """Number of per-session queues."""
+        return len(self._queues)
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of regions the scheduler was built with."""
+        return self._total
+
+    def acquire(self, worker_session: int | None = None) -> RegionTask | None:
+        """Hand out the next region for a worker, or ``None`` when dry.
+
+        ``worker_session`` is the worker's home session: its own queue
+        is drained first (in plan order); afterwards the worker steals.
+        ``None`` means the caller has no home queue (e.g. the process
+        backend's parent-side dispatcher) and always picks by estimate.
+        """
+        with self._lock:
+            if worker_session is not None and (
+                0 <= worker_session < len(self._queues)
+            ):
+                own = self._queues[worker_session]
+                if own:
+                    task = own.popleft()
+                    self._dequeued(task)
+                    self._in_flight[task.key] = worker_session
+                    return task
+            victim = self._pick_victim()
+            if victim is None:
+                return None
+            task = self._queues[victim].pop()
+            self._dequeued(task)
+            self._in_flight[task.key] = worker_session
+            if worker_session is None or victim != worker_session:
+                self._steals.append((task.key, worker_session))
+            return task
+
+    def _dequeued(self, task: RegionTask) -> None:
+        # Caller holds self._lock.
+        value = self._cached_estimate.pop(task.key, 0.0)
+        session_cost = self._queued_cost[task.session] - value
+        self._queued_cost[task.session] = max(0.0, session_cost)
+
+    def _pick_victim(self) -> int | None:
+        # Caller holds self._lock.
+        best: int | None = None
+        best_cost = -1.0
+        for session, queue in enumerate(self._queues):
+            if queue and self._queued_cost[session] > best_cost:
+                best, best_cost = session, self._queued_cost[session]
+        return best
+
+    def _refresh_estimates(self) -> None:
+        # Caller holds self._lock.  Exact refresh of the cached sums;
+        # skipped on huge queues (see _REFRESH_LIMIT).
+        if len(self._cached_estimate) > self._REFRESH_LIMIT:
+            return
+        for session, queue in enumerate(self._queues):
+            total = 0.0
+            for task in queue:
+                value = self.estimator.estimate(task.key)
+                self._cached_estimate[task.key] = value
+                total += value
+            self._queued_cost[session] = total
+
+    def complete(self, task: RegionTask, cost: int) -> None:
+        """Mark an in-flight region finished with its exact query cost."""
+        with self._lock:
+            self._check_in_flight(task)
+            del self._in_flight[task.key]
+            self._completed[task.key] = int(cost)
+        self.estimator.record(task.key, int(cost))
+        with self._lock:
+            self._refresh_estimates()
+
+    def fail(self, task: RegionTask) -> None:
+        """Mark an in-flight region as failed (its worker died on it)."""
+        with self._lock:
+            self._check_in_flight(task)
+            del self._in_flight[task.key]
+            self._failed.add(task.key)
+
+    def _check_in_flight(self, task: RegionTask) -> None:
+        # Caller holds self._lock.
+        if task.key not in self._in_flight:
+            raise AlgorithmInvariantError(
+                f"region {task.key} is not in flight; a scheduler task "
+                "may only be completed or failed once, by its acquirer"
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def remaining(self) -> int:
+        """Regions not yet completed or failed (queued + in flight)."""
+        with self._lock:
+            queued = sum(len(q) for q in self._queues)
+            return queued + len(self._in_flight)
+
+    def done(self) -> bool:
+        """``True`` once every region has completed or failed."""
+        return self.remaining() == 0
+
+    def completed_costs(self) -> dict[RegionKey, int]:
+        """Exact observed cost per completed region."""
+        with self._lock:
+            return dict(self._completed)
+
+    def failed_keys(self) -> set[RegionKey]:
+        """Plan positions of regions whose crawl raised."""
+        with self._lock:
+            return set(self._failed)
+
+    def total_observed_cost(self) -> int:
+        """Sum of the completed regions' costs -- exact, by construction."""
+        with self._lock:
+            return sum(self._completed.values())
+
+    def steals(self) -> list[tuple[RegionKey, int | None]]:
+        """Every steal that happened: (region key, thief's session)."""
+        with self._lock:
+            return list(self._steals)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            queued = sum(len(q) for q in self._queues)
+            return (
+                f"WorkStealingScheduler({self._total} regions: "
+                f"{queued} queued, {len(self._in_flight)} in flight, "
+                f"{len(self._completed)} done, {len(self._failed)} failed, "
+                f"{len(self._steals)} steals)"
+            )

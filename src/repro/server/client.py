@@ -22,25 +22,40 @@ the server *exactly once* no matter how many threads race on it --
 concurrent duplicates are answered from the cache at zero cost, and
 the cost accounting stays exact.  (Queries through one client are
 therefore serialised; concurrent crawl *sessions* each use their own
-client, as in :mod:`repro.crawl.parallel`.)
+client, as in :mod:`repro.crawl.executors`.)
+
+Two executor-facing paths complete the picture:
+
+* **picklable** -- a client (cache, history, stats and all) can be
+  pickled and shipped to a process-pool worker; the lock is rebuilt on
+  load and listeners, which may close over arbitrary state, are
+  dropped (:class:`~repro.crawl.executors.ProcessExecutor` documents
+  the copy semantics);
+* **awaitable** -- :class:`AwaitableClient` exposes any synchronous
+  source (server, client, :class:`~repro.web.adapter.WebSession`)
+  through an ``arun`` coroutine, which is the protocol the
+  :class:`~repro.crawl.executors.AsyncExecutor` multiplexes on its
+  event loop.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from collections.abc import Callable
 
 from repro.exceptions import QueryBudgetExhausted
 from repro.query.query import Query
 from repro.server.limits import SimulatedClock
+from repro.server.pickling import LocklessPickle
 from repro.server.response import QueryResponse
 from repro.server.server import TopKServer
 from repro.server.stats import QueryStats
 
-__all__ = ["CachingClient", "PatientClient"]
+__all__ = ["CachingClient", "PatientClient", "AwaitableClient"]
 
 
-class CachingClient:
+class CachingClient(LocklessPickle):
     """Memoising front-end to a :class:`TopKServer`.
 
     Parameters
@@ -58,6 +73,16 @@ class CachingClient:
         # Held across the miss path so a query reaches the server at
         # most once even when threads race on the same cold query.
         self._lock = threading.RLock()
+
+    def _pickle_lock(self):
+        # The miss path is re-entrant for listeners that issue queries.
+        return threading.RLock()
+
+    def _pickle_trim(self, state: dict) -> dict:
+        # Listeners are arbitrary closures; they do not survive the
+        # trip (the cache and accounting do).
+        state["_listeners"] = []
+        return state
 
     # ------------------------------------------------------------------
     # Interface facts a crawler may rely on
@@ -195,3 +220,45 @@ class PatientClient(CachingClient):
                     raise
                 self._clock.sleep_until_next_day()
                 self._days_slept += 1
+
+
+class AwaitableClient:
+    """Awaitable facade over any synchronous query source.
+
+    ``await client.arun(query)`` runs the blocking ``source.run`` on a
+    worker thread via :func:`asyncio.to_thread`, so coroutine code --
+    and in particular the :class:`~repro.crawl.executors.AsyncExecutor`
+    -- can drive a :class:`TopKServer`, a :class:`CachingClient` or a
+    :class:`~repro.web.adapter.WebSession` without blocking the event
+    loop.  The synchronous ``run`` is forwarded too, so the same
+    wrapped source works on every executor backend.
+
+    Parameters
+    ----------
+    source:
+        Any query source exposing ``space``, ``k`` and ``run``.
+    """
+
+    def __init__(self, source):
+        self._source = source
+
+    @property
+    def space(self):
+        """The underlying data space; the wrapper is transparent."""
+        return self._source.space
+
+    @property
+    def k(self) -> int:
+        """The underlying retrieval limit."""
+        return self._source.k
+
+    async def arun(self, query: Query) -> QueryResponse:
+        """Answer ``query`` off the event loop, on a worker thread."""
+        return await asyncio.to_thread(self._source.run, query)
+
+    def run(self, query: Query) -> QueryResponse:
+        """The plain synchronous path, unchanged."""
+        return self._source.run(query)
+
+    def __repr__(self) -> str:
+        return f"AwaitableClient({self._source!r})"

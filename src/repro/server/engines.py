@@ -23,6 +23,11 @@ engines agree on arbitrary datasets and queries -- including under
 concurrent ``top()`` calls: engines hold no per-query mutable state,
 and the lazily built index structures are guarded by a lock so racing
 builders produce one consistent index.
+
+Engines are picklable (the index lock is dropped and rebuilt; indexes
+already built travel with the engine), so a whole server can be
+shipped to a process-pool worker for CPU-bound crawls
+(:class:`~repro.crawl.executors.ProcessExecutor`).
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import numpy as np
 
 from repro.query.predicates import EqualityPredicate, RangePredicate
 from repro.query.query import Query
+from repro.server.pickling import LocklessPickle
 from repro.server.response import Row
 
 __all__ = [
@@ -81,7 +87,7 @@ class LinearScanEngine(QueryEngine):
         return rows, False
 
 
-class VectorEngine(QueryEngine):
+class VectorEngine(LocklessPickle, QueryEngine):
     """Vectorised engine: numpy boolean masks over the tuple matrix.
 
     Unconstrained predicates (wildcards, infinite ranges) contribute no
@@ -99,6 +105,8 @@ class VectorEngine(QueryEngine):
     #: Use the value-index path only when the candidate set is this much
     #: smaller than the full matrix (otherwise masks are cheaper).
     _INDEX_SELECTIVITY = 4
+
+    _pickle_lock_attr = "_index_lock"
 
     def __init__(self, matrix: np.ndarray):
         super().__init__(matrix)
@@ -189,7 +197,7 @@ class VectorEngine(QueryEngine):
         return (column >= pred.lo) & (column <= pred.hi)
 
 
-class IndexedEngine(QueryEngine):
+class IndexedEngine(LocklessPickle, QueryEngine):
     """Binary-search engine over lazily built per-column sorted indexes.
 
     For each attribute the first query constrains, the engine sorts the
@@ -207,6 +215,8 @@ class IndexedEngine(QueryEngine):
     candidate count ``m``, independent of ``n``.  A query with no
     constrained attribute falls back to "first ``k`` rows".
     """
+
+    _pickle_lock_attr = "_index_lock"
 
     def __init__(self, matrix: np.ndarray):
         super().__init__(matrix)

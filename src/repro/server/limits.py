@@ -16,6 +16,12 @@ All limits (and the clock) are thread-safe: admission is atomic, so
 concurrent crawl sessions sharing one limit can never over-admit --
 exactly ``per_day`` (or ``max_queries``) admissions succeed no matter
 how many threads race on :meth:`QueryLimit.admit`.
+
+Limits and the clock are also picklable (the lock is dropped and
+rebuilt), so a limited server can be shipped to a process-pool worker.
+Note the semantics: each worker process admits against its own *copy*
+of the limit -- cross-process admission is not shared, which is why
+the process executor targets limit-free simulation workloads.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import abc
 import threading
 
 from repro.exceptions import QueryBudgetExhausted
+from repro.server.pickling import LocklessPickle
 
 __all__ = ["QueryLimit", "QueryBudget", "DailyRateLimit", "SimulatedClock"]
 
@@ -37,7 +44,7 @@ class QueryLimit(abc.ABC):
         if it may not be issued."""
 
 
-class QueryBudget(QueryLimit):
+class QueryBudget(LocklessPickle, QueryLimit):
     """A hard cap on the total number of queries.
 
     >>> budget = QueryBudget(2)
@@ -81,7 +88,7 @@ class QueryBudget(QueryLimit):
             self._max += extra
 
 
-class SimulatedClock:
+class SimulatedClock(LocklessPickle):
     """A trivially simple discrete clock counting whole days."""
 
     def __init__(self, day: int = 0):
@@ -100,7 +107,7 @@ class SimulatedClock:
             return self._day
 
 
-class DailyRateLimit(QueryLimit):
+class DailyRateLimit(LocklessPickle, QueryLimit):
     """At most ``per_day`` queries per simulated day.
 
     The limit resets whenever the attached clock reports a new day,

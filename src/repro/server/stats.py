@@ -9,6 +9,9 @@ shipped by the server, per-phase subtotals).
 Recording is atomic (an internal lock guards every mutation), so a
 server or client shared between concurrent crawl sessions keeps exact
 totals -- ``queries == resolved + overflowed`` holds at every instant.
+The lock is dropped on pickling and rebuilt on load, so stats ride
+along when a server is shipped to a process-pool worker (see
+:class:`~repro.crawl.executors.ProcessExecutor`).
 """
 
 from __future__ import annotations
@@ -16,13 +19,14 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.server.pickling import LocklessPickle
 from repro.server.response import QueryResponse
 
 __all__ = ["QueryStats"]
 
 
 @dataclass
-class QueryStats:
+class QueryStats(LocklessPickle):
     """Mutable counters describing the queries seen so far."""
 
     queries: int = 0

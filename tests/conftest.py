@@ -41,7 +41,6 @@ def small_spaces(draw, max_dim: int = 3, max_domain: int = 5):
     """A random small data space of any kind."""
     d = draw(st.integers(1, max_dim))
     cat = draw(st.integers(0, d))
-    attrs = []
     sizes = [draw(st.integers(1, max_domain)) for _ in range(cat)]
     space_cat = [(f"C{i}", sizes[i]) for i in range(cat)]
     numeric_names = [f"N{i}" for i in range(d - cat)]

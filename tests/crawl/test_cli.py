@@ -29,6 +29,18 @@ class TestParser:
         args = build_parser().parse_args([path, "--k", "8"])
         assert args.algorithm == "hybrid"
         assert args.seed == 0
+        assert args.executor == "thread"
+        assert args.rebalance is False
+
+    def test_executor_choices(self, mixed_csv):
+        path, _ = mixed_csv
+        args = build_parser().parse_args(
+            [path, "--k", "8", "--executor", "process", "--rebalance"]
+        )
+        assert args.executor == "process"
+        assert args.rebalance is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([path, "--k", "8", "--executor", "x"])
 
 
 class TestMain:
@@ -89,3 +101,47 @@ class TestMain:
         path, _ = mixed_csv
         assert main([path, "--k", "8", "--algorithm", "dfs"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestExecutors:
+    """The --executor / --rebalance surface of the partitioned path."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--executor", "thread"],
+            ["--executor", "thread", "--rebalance"],
+            ["--executor", "process"],
+            ["--executor", "process", "--rebalance"],
+            ["--executor", "async"],
+            ["--executor", "sequential"],
+        ],
+    )
+    def test_partitioned_backends_verify_complete(
+        self, mixed_csv, capsys, flags
+    ):
+        path, dataset = mixed_csv
+        assert main([path, "--k", "8", "--workers", "2", *flags]) == 0
+        out = capsys.readouterr().out
+        assert "2 concurrent sessions" in out
+        assert "complete" in out
+        assert flags[1] in out  # the backend name is reported
+
+    def test_rebalance_reported(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--executor",
+                    "thread",
+                    "--rebalance",
+                ]
+            )
+            == 0
+        )
+        assert "thread + rebalance" in capsys.readouterr().out

@@ -1,0 +1,347 @@
+"""Executor-parity suite: every backend, byte-identical results.
+
+The executor abstraction promises that the
+:class:`~repro.crawl.partition.PartitionedResult` is a pure function of
+(sources, plan, crawler factory) -- never of the backend, the worker
+count, or the stealing schedule.  These tests pin that contract:
+sequential, thread, process and async backends, with and without
+rebalancing, against the sequential reference, field by field.
+"""
+
+import asyncio
+import functools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.crawl.base import ProgressAggregator, SessionState
+from repro.crawl.executors import (
+    EXECUTORS,
+    AsyncExecutor,
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadExecutor,
+    default_workers,
+    make_executor,
+)
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.crawl.rebalance import CostEstimator
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted, SchemaError
+from repro.server.client import AwaitableClient, CachingClient
+from repro.server.latency import AsyncLatencySource, LatencySource
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+from repro.server.stats import QueryStats
+from repro.web.adapter import WebSession
+from repro.web.site import HiddenWebSite
+
+SESSIONS = 3
+
+#: Every backend x rebalance combination the parity contract covers.
+MATRIX = [
+    (name, rebalance)
+    for name in ("sequential", "thread", "process", "async")
+    for rebalance in (False, True)
+]
+
+
+def mixed_dataset(seed=3, n=300):
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 6), ("body", 3)],
+        ["price"],
+        numeric_bounds=[(0, 499)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 7, n),
+            rng.integers(1, 4, n),
+            rng.integers(0, 500, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return mixed_dataset()
+
+
+@pytest.fixture(scope="module")
+def plan(dataset):
+    return partition_space(dataset.space, SESSIONS)
+
+
+def make_sources(dataset):
+    return [TopKServer(dataset, k=32) for _ in range(SESSIONS)]
+
+
+@pytest.fixture(scope="module")
+def reference(dataset, plan):
+    return crawl_partitioned(make_sources(dataset), plan)
+
+
+def assert_identical(result, reference):
+    """The full determinism contract, field by field."""
+    assert result.rows == reference.rows  # byte-identical order
+    assert result.cost == reference.cost
+    assert result.complete == reference.complete
+    assert result.session_costs() == reference.session_costs()
+    assert result.progress == reference.progress
+    for i in range(result.plan.sessions):
+        assert len(result.results[i]) == len(reference.results[i])
+        for a, b in zip(result.results[i], reference.results[i]):
+            assert a.rows == b.rows
+            assert a.cost == b.cost
+            assert a.progress == b.progress
+
+
+class TestParity:
+    @pytest.mark.parametrize("name,rebalance", MATRIX)
+    def test_backend_matches_sequential(
+        self, name, rebalance, dataset, plan, reference
+    ):
+        executor = make_executor(name, max_workers=SESSIONS)
+        result = executor.run(
+            make_sources(dataset), plan, rebalance=rebalance
+        )
+        assert_identical(result, reference)
+        assert result.complete
+        assert sorted(result.rows) == sorted(dataset.iter_rows())
+
+    def test_fewer_workers_than_sessions(self, dataset, plan, reference):
+        for name in ("thread", "async"):
+            executor = make_executor(name, max_workers=2)
+            result = executor.run(
+                make_sources(dataset), plan, rebalance=True
+            )
+            assert_identical(result, reference)
+
+    def test_rebalance_with_seeded_estimator(self, dataset, plan, reference):
+        """Priors from a previous crawl steer, never change, results."""
+        stats = QueryStats()
+        stats.queries = reference.cost
+        estimator = CostEstimator.from_stats(stats, len(plan.regions))
+        result = ThreadExecutor(max_workers=SESSIONS).run(
+            make_sources(dataset), plan, rebalance=True, estimator=estimator
+        )
+        assert_identical(result, reference)
+        # Every region's exact cost was recorded on the way through.
+        assert estimator.total_observed() == reference.cost
+
+    def test_latency_wrapped_sources(self, dataset, plan):
+        """The same parity through latency wrappers, sync and async."""
+        def wrapped(cls):
+            return [
+                cls(TopKServer(dataset, k=32), 0.0005)
+                for _ in range(SESSIONS)
+            ]
+
+        reference = crawl_partitioned(wrapped(LatencySource), plan)
+        result = AsyncExecutor(max_workers=SESSIONS).run(
+            wrapped(AsyncLatencySource), plan, rebalance=True
+        )
+        assert_identical(result, reference)
+
+
+class TestProcessBackend:
+    def test_pickles_sources_once_and_matches(self, dataset, plan, reference):
+        result = ProcessExecutor(max_workers=2).run(
+            make_sources(dataset),
+            plan,
+            crawler_factory=functools.partial(Hybrid),
+        )
+        assert_identical(result, reference)
+
+    def test_unpicklable_factory_is_a_clear_error(self, dataset, plan):
+        executor = ProcessExecutor(max_workers=2)
+        with pytest.raises(TypeError, match="picklable"):
+            executor.run(
+                make_sources(dataset),
+                plan,
+                crawler_factory=lambda view: Hybrid(view),
+            )
+
+    def test_client_pickle_drops_listeners_keeps_cache(self, dataset):
+        client = CachingClient(TopKServer(dataset, k=32))
+        client.add_listener(lambda query, response: None)
+        from repro.query.query import Query
+
+        query = Query.full(dataset.space)
+        first = client.run(query)
+        clone = pickle.loads(pickle.dumps(client))
+        assert clone.cost == client.cost
+        assert clone.peek(query) == first  # cache travelled
+        assert clone.run(query) == first  # and still answers for free
+        assert clone.cost == client.cost
+
+
+class TestAsyncBackend:
+    def test_web_adapter_through_awaitable_client(self, dataset):
+        """Asyncio sessions against repro.web, via the awaitable shim."""
+
+        def web_sources():
+            return [
+                AwaitableClient(
+                    WebSession(HiddenWebSite(TopKServer(dataset, k=32)))
+                )
+                for _ in range(2)
+            ]
+
+        # The web layer reconstructs the space from the search form, so
+        # the plan must be built against the reconstructed schema.
+        plan = partition_space(web_sources()[0].space, 2)
+        reference = crawl_partitioned(web_sources(), plan)
+        result = AsyncExecutor(max_workers=2).run(web_sources(), plan)
+        assert_identical(result, reference)
+        assert sorted(result.rows) == sorted(dataset.iter_rows())
+
+    def test_many_sessions_do_not_starve_the_default_pool(self, dataset):
+        """Regression: session loops must not share asyncio's default
+        executor with AwaitableClient.arun -- with at least as many
+        blocked session workers as default-pool threads (cpu_count + 4)
+        the crawl used to deadlock on single-core hosts."""
+        plan = partition_space(dataset.space, 6)  # every value of make
+
+        def sources():
+            return [
+                AwaitableClient(TopKServer(dataset, k=32))
+                for _ in range(plan.sessions)
+            ]
+
+        reference = crawl_partitioned(sources(), plan)
+        result = AsyncExecutor(max_workers=plan.sessions).run(
+            sources(), plan, rebalance=True
+        )
+        assert_identical(result, reference)
+
+    def test_awaitable_client_arun_off_loop(self, dataset):
+        from repro.query.query import Query
+
+        client = AwaitableClient(TopKServer(dataset, k=32))
+        query = Query.full(dataset.space)
+        response = asyncio.run(client.arun(query))
+        assert response == client.run(query)
+
+
+class TestValidation:
+    def test_unknown_backend_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("fiber")
+
+    def test_registry_names(self):
+        assert set(EXECUTORS) == {"sequential", "thread", "process", "async"}
+
+    def test_nonpositive_workers(self):
+        for name in ("thread", "process", "async"):
+            with pytest.raises(ValueError):
+                make_executor(name, max_workers=0)
+
+    def test_source_count_must_match_plan(self, dataset, plan):
+        with pytest.raises(SchemaError):
+            SequentialExecutor().run([TopKServer(dataset, k=32)], plan)
+
+    def test_mismatched_aggregator(self, dataset, plan):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=2).run(
+                make_sources(dataset),
+                plan,
+                aggregator=ProgressAggregator(SESSIONS + 2),
+            )
+
+    def test_default_workers_bounds(self):
+        assert default_workers(1) == 1
+        assert 1 <= default_workers(10_000) <= 10_000
+
+    def test_instance_executor_rejects_max_workers(self, dataset, plan):
+        from repro.crawl.parallel import crawl_partitioned_parallel
+
+        with pytest.raises(ValueError, match="max_workers"):
+            crawl_partitioned_parallel(
+                make_sources(dataset),
+                plan,
+                max_workers=2,
+                executor=ThreadExecutor(),
+            )
+        # An instance without max_workers is fine.
+        result = crawl_partitioned_parallel(
+            make_sources(dataset), plan, executor=ThreadExecutor(2)
+        )
+        assert result.complete
+
+
+class TestTerminalStates:
+    @pytest.mark.parametrize("rebalance", [False, True])
+    def test_all_sessions_marked_done(self, dataset, plan, rebalance):
+        aggregator = ProgressAggregator(SESSIONS)
+        merged = ThreadExecutor(max_workers=SESSIONS).run(
+            make_sources(dataset),
+            plan,
+            aggregator=aggregator,
+            rebalance=rebalance,
+        )
+        assert aggregator.states() == (SessionState.DONE,) * SESSIONS
+        assert aggregator.all_terminal()
+        totals = aggregator.totals()
+        assert totals.queries == merged.cost
+        assert totals.tuples == merged.tuples_extracted
+
+    def test_failed_session_is_not_left_in_flight(self, dataset, plan):
+        """The satellite fix: a dead worker's session reads failed, not
+        running, so monitors and rebalancing stop waiting on ghosts."""
+        sources = [
+            TopKServer(dataset, k=32, limits=[QueryBudget(1)]),
+            TopKServer(dataset, k=32),
+            TopKServer(dataset, k=32),
+        ]
+        aggregator = ProgressAggregator(SESSIONS)
+        with pytest.raises(QueryBudgetExhausted):
+            ThreadExecutor(max_workers=SESSIONS).run(
+                sources, plan, aggregator=aggregator
+            )
+        assert aggregator.state(0) is SessionState.FAILED
+        assert aggregator.state(1) is SessionState.DONE
+        assert aggregator.state(2) is SessionState.DONE
+        assert aggregator.all_terminal()
+        # Snapshot pairs every session with its terminal state.
+        for point, state in aggregator.snapshot():
+            assert state.terminal
+
+    def test_sequential_marks_abandoned_sessions_cancelled(
+        self, dataset, plan
+    ):
+        """Stopping at the first failure must not leave never-started
+        sessions reading as running forever."""
+        sources = [
+            TopKServer(dataset, k=32, limits=[QueryBudget(1)]),
+            TopKServer(dataset, k=32),
+            TopKServer(dataset, k=32),
+        ]
+        aggregator = ProgressAggregator(SESSIONS)
+        with pytest.raises(QueryBudgetExhausted):
+            SequentialExecutor().run(sources, plan, aggregator=aggregator)
+        assert aggregator.states() == (
+            SessionState.FAILED,
+            SessionState.CANCELLED,
+            SessionState.CANCELLED,
+        )
+        assert aggregator.all_terminal()
+
+    def test_states_api(self):
+        aggregator = ProgressAggregator(2)
+        assert aggregator.active() == 2
+        assert not aggregator.all_terminal()
+        aggregator.mark_done(0)
+        aggregator.mark_done(0)  # idempotent
+        with pytest.raises(ValueError):
+            aggregator.mark_failed(0)  # terminal states don't flip
+        aggregator.mark_cancelled(1)
+        assert aggregator.states() == (
+            SessionState.DONE,
+            SessionState.CANCELLED,
+        )
+        assert aggregator.all_terminal()

@@ -11,7 +11,6 @@ from repro.dataspace.space import DataSpace
 from repro.query.predicates import EqualityPredicate
 from repro.server.server import TopKServer
 from repro.theory.bounds import hybrid_upper_bound
-from tests.conftest import make_dataset
 
 
 @pytest.fixture

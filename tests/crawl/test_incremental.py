@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.crawl.hybrid import Hybrid
-from repro.crawl.incremental import SnapshotDiff, diff_snapshots, recrawl
+from repro.crawl.incremental import diff_snapshots, recrawl
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
 from repro.exceptions import SchemaError

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.crawl.partition import (
-    PartitionPlan,
     SubspaceView,
     crawl_partitioned,
     partition_space,

@@ -5,8 +5,6 @@ import pytest
 from repro.crawl.rank_shrink import RankShrink
 from repro.crawl.verify import assert_complete
 from repro.datasets.paper_examples import (
-    FIGURE3_K,
-    FIGURE4_K,
     figure3_dataset,
     figure3_server,
     figure4_dataset,

@@ -1,0 +1,181 @@
+"""Scheduler and estimator tests, including the accounting property.
+
+The work-stealing scheduler may hand regions to workers in any order,
+but its books must stay exact: every region is handed out exactly once,
+completions are accepted exactly once, and the observed total cost is
+the precise sum of the per-region costs regardless of the schedule.  A
+hypothesis property test drives arbitrary acquire/complete/fail
+interleavings through the scheduler to pin that down.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawl.rebalance import (
+    CostEstimator,
+    RegionTask,
+    WorkStealingScheduler,
+)
+from repro.exceptions import AlgorithmInvariantError
+from repro.server.stats import QueryStats
+
+# The scheduler only reads plan.bundles, and only iterates the regions;
+# opaque string tokens stand in for region queries here.
+
+
+def bundles_of(sizes):
+    return tuple(
+        tuple(f"region-{s}-{i}" for i in range(size))
+        for s, size in enumerate(sizes)
+    )
+
+
+class TestCostEstimator:
+    def test_estimate_prefers_observed_then_prior_then_mean(self):
+        estimator = CostEstimator(prior=7.0, priors={(0, 1): 3.0})
+        assert estimator.estimate((0, 0)) == 7.0  # flat prior
+        assert estimator.estimate((0, 1)) == 3.0  # supplied prior
+        estimator.record((1, 0), 10)
+        estimator.record((1, 1), 20)
+        assert estimator.estimate((1, 0)) == 10.0  # observed wins
+        assert estimator.estimate((0, 0)) == 15.0  # running mean
+        assert estimator.estimate((0, 1)) == 3.0  # prior still wins
+        assert estimator.total_observed() == 30
+        assert estimator.observed() == {(1, 0): 10, (1, 1): 20}
+
+    def test_from_stats_prior_is_mean_per_region(self):
+        stats = QueryStats()
+        stats.queries = 120
+        estimator = CostEstimator.from_stats(stats, 6)
+        assert estimator.estimate((0, 0)) == 20.0
+
+    def test_rejects_nonpositive_prior(self):
+        with pytest.raises(ValueError):
+            CostEstimator(prior=0)
+
+
+class TestScheduler:
+    def test_own_queue_drains_in_plan_order(self):
+        scheduler = WorkStealingScheduler(bundles_of([3]))
+        order = [scheduler.acquire(0).index for _ in range(3)]
+        assert order == [0, 1, 2]
+        assert scheduler.acquire(0) is None
+        assert scheduler.steals() == []
+
+    def test_steals_tail_of_costliest_victim(self):
+        # Session 1's queue is estimated far more expensive, so an idle
+        # session-0 worker must steal from it -- and from the tail.
+        priors = {(1, 0): 100.0, (1, 1): 100.0, (0, 0): 1.0}
+        scheduler = WorkStealingScheduler(
+            bundles_of([1, 2]), CostEstimator(priors=priors)
+        )
+        first = scheduler.acquire(0)
+        assert first.key == (0, 0)  # own queue first
+        stolen = scheduler.acquire(0)
+        assert stolen.session == 1
+        assert stolen.index == 1  # the tail region
+        assert scheduler.steals() == [((1, 1), 0)]
+
+    def test_adaptive_victim_choice_follows_observed_costs(self):
+        # Prior says both sessions look equal; observing a huge cost on
+        # a session-1 region drags the running mean up, so the thief
+        # targets the session with more remaining estimated work.
+        scheduler = WorkStealingScheduler(bundles_of([2, 2, 0]))
+        own = scheduler.acquire(1)
+        scheduler.complete(own, 1000)  # every estimate is now ~1000
+        # A session-2 worker (empty queue) must steal.  Per-region
+        # estimates are equal, so the victim is the session with more
+        # queued regions: session 0 (2 queued) over session 1 (1).
+        stolen = scheduler.acquire(2)
+        assert stolen.session == 0
+
+    def test_completion_accounting_is_guarded(self):
+        scheduler = WorkStealingScheduler(bundles_of([1]))
+        task = scheduler.acquire(0)
+        scheduler.complete(task, 5)
+        with pytest.raises(AlgorithmInvariantError):
+            scheduler.complete(task, 5)  # double completion
+        phantom = RegionTask(0, 9, "phantom")
+        with pytest.raises(AlgorithmInvariantError):
+            scheduler.fail(phantom)  # never handed out
+
+    def test_fail_path_accounts_separately(self):
+        scheduler = WorkStealingScheduler(bundles_of([2]))
+        first = scheduler.acquire(0)
+        second = scheduler.acquire(0)
+        scheduler.fail(first)
+        scheduler.complete(second, 4)
+        assert scheduler.done()
+        assert scheduler.failed_keys() == {first.key}
+        assert scheduler.completed_costs() == {second.key: 4}
+        assert scheduler.total_observed_cost() == 4
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_any_schedule_keeps_cost_accounting_exact(data):
+    """Property: arbitrary interleavings, exact books.
+
+    Hypothesis picks the bundle shape, the true cost of every region,
+    and then drives an arbitrary schedule: at each step either some
+    worker acquires (from a home session hypothesis chooses, valid or
+    not) or an in-flight region completes/fails.  Whatever happens:
+
+    * each region is handed out exactly once;
+    * the scheduler drains fully, and afterwards ``acquire`` is dry;
+    * the observed total equals the sum of the true costs of exactly
+      the completed regions.
+    """
+    sessions = data.draw(st.integers(1, 4), label="sessions")
+    sizes = data.draw(
+        st.lists(st.integers(0, 4), min_size=sessions, max_size=sessions),
+        label="bundle sizes",
+    )
+    bundles = bundles_of(sizes)
+    total = sum(sizes)
+    costs = {
+        (s, i): data.draw(st.integers(0, 50), label=f"cost[{s},{i}]")
+        for s, bundle in enumerate(bundles)
+        for i in range(len(bundle))
+    }
+    scheduler = WorkStealingScheduler(bundles)
+    assert scheduler.total_tasks == total
+
+    in_flight: list[RegionTask] = []
+    handed_out: list[tuple[int, int]] = []
+    completed: set[tuple[int, int]] = set()
+    failed: set[tuple[int, int]] = set()
+    while not scheduler.done() or in_flight:
+        acquire_possible = scheduler.remaining() > len(in_flight)
+        if in_flight and (
+            not acquire_possible or data.draw(st.booleans(), label="finish?")
+        ):
+            victim = in_flight.pop(
+                data.draw(st.integers(0, len(in_flight) - 1), label="which")
+            )
+            if data.draw(st.booleans(), label="fail?"):
+                scheduler.fail(victim)
+                failed.add(victim.key)
+            else:
+                scheduler.complete(victim, costs[victim.key])
+                completed.add(victim.key)
+        else:
+            home = data.draw(st.integers(-1, sessions), label="home session")
+            task = scheduler.acquire(None if home < 0 else home)
+            assert task is not None
+            in_flight.append(task)
+            handed_out.append(task.key)
+
+    # Exactly-once hand-out, full drain, exact totals.
+    assert sorted(handed_out) == sorted(costs)
+    assert scheduler.acquire(0) is None
+    assert scheduler.acquire(None) is None
+    assert completed | failed == set(costs)
+    assert scheduler.total_observed_cost() == sum(
+        costs[key] for key in completed
+    )
+    assert scheduler.completed_costs() == {
+        key: costs[key] for key in completed
+    }
+    assert scheduler.failed_keys() == failed

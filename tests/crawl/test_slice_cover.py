@@ -7,7 +7,7 @@ from repro.crawl.verify import assert_complete
 from repro.datasets.paper_examples import figure5_dataset, figure5_server
 from repro.dataspace.space import DataSpace
 from repro.exceptions import SchemaError
-from repro.query.query import Query, slice_query
+from repro.query.query import slice_query
 from repro.server.client import CachingClient
 from repro.server.server import TopKServer
 from repro.theory.bounds import slice_cover_upper_bound

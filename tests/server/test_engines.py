@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.dataspace.dataset import Dataset
 from repro.query.query import Query
 from repro.server.engines import (
     IndexedEngine,

@@ -6,7 +6,6 @@ invariant no unit test can see.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.crawl.hybrid import Hybrid
