@@ -43,15 +43,21 @@ from repro.crawl import (
     PartitionPlan,
     ProgressAggregator,
     RankShrink,
+    RegionShardPlan,
     SessionState,
     SliceCover,
     SubspaceView,
+    SubtreeScheduler,
+    SubtreeShard,
     WorkStealingScheduler,
     assert_complete,
     crawl_partitioned,
     crawl_partitioned_parallel,
+    crawl_shard,
     make_executor,
+    merge_region_shards,
     partition_space,
+    presplit_region,
     verify_complete,
 )
 from repro.dataspace import Attribute, DataSpace, Dataset, SpaceKind
@@ -96,15 +102,21 @@ __all__ = [
     "PartitionPlan",
     "ProgressAggregator",
     "RankShrink",
+    "RegionShardPlan",
     "SessionState",
     "SliceCover",
     "SubspaceView",
+    "SubtreeScheduler",
+    "SubtreeShard",
     "WorkStealingScheduler",
     "assert_complete",
     "crawl_partitioned",
     "crawl_partitioned_parallel",
+    "crawl_shard",
     "make_executor",
+    "merge_region_shards",
     "partition_space",
+    "presplit_region",
     "verify_complete",
     # data model
     "Attribute",

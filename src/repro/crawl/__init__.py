@@ -22,9 +22,16 @@ from repro.crawl.base import (
     concat_progress,
     merge_progress,
 )
-from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.binary_shrink import (
+    BinaryShrink,
+    explore_binary,
+    solve_binary,
+)
 from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
-from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
+from repro.crawl.dependency import (
+    DependencyFilteringClient,
+    PairwiseDependencyOracle,
+)
 from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.executors import (
     EXECUTORS,
@@ -44,21 +51,39 @@ from repro.crawl.ordering import (
 )
 from repro.crawl.parallel import crawl_partitioned_parallel, default_workers
 from repro.crawl.partition import (
+    DEFAULT_MAX_REGIONS,
     PartitionedResult,
     PartitionPlan,
     SubspaceView,
     crawl_partitioned,
     partition_space,
 )
-from repro.crawl.rank_shrink import RankShrink, solve_numeric
+from repro.crawl.rank_shrink import RankShrink, explore_numeric, solve_numeric
 from repro.crawl.rebalance import (
     CostEstimator,
+    RegionCompletion,
     RegionTask,
+    ShardTask,
+    SubtreeScheduler,
     WorkStealingScheduler,
 )
 from repro.crawl.sampling import RandomProber
+from repro.crawl.sharding import (
+    DEFAULT_MAX_SHARDS,
+    RegionShardPlan,
+    SubtreeCrawler,
+    SubtreeShard,
+    TrunkSegment,
+    crawl_shard,
+    merge_region_shards,
+    presplit_region,
+)
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
-from repro.crawl.verify import VerificationReport, assert_complete, verify_complete
+from repro.crawl.verify import (
+    VerificationReport,
+    assert_complete,
+    verify_complete,
+)
 
 __all__ = [
     "Crawler",
@@ -77,10 +102,24 @@ __all__ = [
     "make_executor",
     "CostEstimator",
     "RegionTask",
+    "ShardTask",
+    "RegionCompletion",
     "WorkStealingScheduler",
+    "SubtreeScheduler",
+    "DEFAULT_MAX_SHARDS",
+    "SubtreeShard",
+    "TrunkSegment",
+    "RegionShardPlan",
+    "SubtreeCrawler",
+    "presplit_region",
+    "crawl_shard",
+    "merge_region_shards",
     "BinaryShrink",
+    "solve_binary",
+    "explore_binary",
     "RankShrink",
     "solve_numeric",
+    "explore_numeric",
     "DepthFirstSearch",
     "SliceCover",
     "LazySliceCover",
@@ -93,6 +132,7 @@ __all__ = [
     "order_by_distinct_count",
     "order_by_domain_size",
     "reorder_dataset",
+    "DEFAULT_MAX_REGIONS",
     "PartitionedResult",
     "PartitionPlan",
     "SubspaceView",

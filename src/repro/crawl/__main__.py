@@ -11,6 +11,8 @@ out::
     python -m repro.crawl data.csv --k 256 --workers 4
     python -m repro.crawl data.csv --k 256 --workers 4 \
         --executor process --rebalance
+    python -m repro.crawl data.csv --k 256 --workers 4 \
+        --rebalance --shard-subtrees 8
 
 ``--workers N`` partitions the data space into ``N`` disjoint regions
 and crawls them concurrently, one session (with its own server
@@ -20,7 +22,13 @@ deterministic and match a sequential partitioned crawl exactly (see
 (``thread`` overlaps simulated round trips, ``process`` escapes the
 GIL on CPU-bound engines, ``async`` coordinates awaitable sources) and
 ``--rebalance`` turns on work stealing, which moves regions off the
-slowest session without changing the result.
+slowest session without changing the result.  ``--shard-subtrees``
+additionally splits each region's crawl frontier into subtree shards
+(:mod:`repro.crawl.sharding`) so idle workers can steal *subqueries of
+a live region* -- the lever that helps when one heavy region dominates
+the plan.  ``--max-regions`` caps how many regions the default
+partition planner may produce (see
+:func:`~repro.crawl.partition.partition_space`).
 
 This is a simulation utility: the CSV plays the role of the hidden
 content, and the reported cost is what a crawl of a real server with
@@ -38,8 +46,9 @@ from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.executors import EXECUTORS
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.parallel import crawl_partitioned_parallel
-from repro.crawl.partition import partition_space
+from repro.crawl.partition import DEFAULT_MAX_REGIONS, partition_space
 from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.sharding import DEFAULT_MAX_SHARDS
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
 from repro.crawl.verify import verify_complete
 from repro.datasets.io import load_csv, save_csv
@@ -103,6 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
         "following the static partition (results are unchanged)",
     )
     parser.add_argument(
+        "--shard-subtrees",
+        type=int,
+        nargs="?",
+        const=DEFAULT_MAX_SHARDS,
+        default=None,
+        metavar="N",
+        help="split each region's crawl frontier into subtree shards "
+        "that idle workers can steal, targeting N per region "
+        f"(default N: {DEFAULT_MAX_SHARDS}; a frontier naturally "
+        "wider than N is kept whole; results are unchanged); most "
+        "effective together with --rebalance on skewed data",
+    )
+    parser.add_argument(
+        "--max-regions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of regions the default partition planner "
+        f"may produce (default: {DEFAULT_MAX_REGIONS}); steers the "
+        "planner off huge categorical domains",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print the progressiveness curve (deciles)",
@@ -118,10 +149,22 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.workers == 1 and (args.executor != "thread" or args.rebalance):
+    if args.shard_subtrees is not None and args.shard_subtrees < 1:
         print(
-            "note: --executor/--rebalance only take effect with "
-            "--workers > 1; running a single unpartitioned crawl",
+            "error: --shard-subtrees must be positive, got "
+            f"{args.shard_subtrees}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers == 1 and (
+        args.executor != "thread"
+        or args.rebalance
+        or args.shard_subtrees is not None
+    ):
+        print(
+            "note: --executor/--rebalance/--shard-subtrees only take "
+            "effect with --workers > 1; running a single unpartitioned "
+            "crawl",
             file=sys.stderr,
         )
     try:
@@ -143,7 +186,9 @@ def main(argv: list[str] | None = None) -> int:
             crawler = algorithm(server, max_queries=args.max_queries)
             result = crawler.crawl()
         else:
-            plan = partition_space(dataset.space, args.workers)
+            plan = partition_space(
+                dataset.space, args.workers, max_regions=args.max_regions
+            )
             sources = [
                 TopKServer(dataset, args.k, priority_seed=args.seed)
                 for _ in range(plan.sessions)
@@ -159,8 +204,11 @@ def main(argv: list[str] | None = None) -> int:
                 ),
                 executor=args.executor,
                 rebalance=args.rebalance,
+                shard_subtrees=args.shard_subtrees,
             )
             mode = args.executor + (" + rebalance" if args.rebalance else "")
+            if args.shard_subtrees is not None:
+                mode += f" + {args.shard_subtrees}-way subtree shards"
             print(
                 f"plan: {len(plan.regions)} regions on "
                 f"{dataset.space[plan.attribute].name!r}, "

@@ -16,10 +16,73 @@ from __future__ import annotations
 
 from repro.crawl.base import Crawler
 from repro.dataspace.space import SpaceKind
-from repro.exceptions import InfeasibleCrawlError, SchemaError, UnboundedDomainError
+from repro.exceptions import (
+    InfeasibleCrawlError,
+    SchemaError,
+    UnboundedDomainError,
+)
 from repro.query.query import Query
 
-__all__ = ["BinaryShrink"]
+__all__ = ["BinaryShrink", "solve_binary", "explore_binary"]
+
+
+def solve_binary(crawler: Crawler, root_query: Query) -> None:
+    """Extract every tuple matching ``root_query`` via binary-shrink.
+
+    ``root_query`` must carry finite extents on every non-exhausted
+    numeric attribute (the midpoint split needs both ends).
+    """
+    leftover = _drain_binary(crawler, root_query, min_pending=None)
+    assert not leftover  # min_pending=None drains the whole subtree
+
+
+def explore_binary(
+    crawler: Crawler, root_query: Query, *, min_pending: int
+) -> list[Query]:
+    """Run binary-shrink until ``min_pending`` subtrees are pending.
+
+    The binary-shrink sibling of
+    :func:`repro.crawl.rank_shrink.explore_numeric`: the returned
+    pairwise-disjoint rectangles, crawled to completion in list order,
+    replay exactly the remainder of the sequential crawl.  Empty when
+    the subtree drains before the frontier reaches ``min_pending``.
+    """
+    if min_pending < 1:
+        raise SchemaError(f"min_pending must be positive, got {min_pending}")
+    return _drain_binary(crawler, root_query, min_pending=min_pending)
+
+
+def _drain_binary(
+    crawler: Crawler, root_query: Query, *, min_pending: int | None
+) -> list[Query]:
+    """The binary-shrink work loop, optionally stopping at a frontier."""
+    d = root_query.space.dimensionality
+    stack = [root_query]
+    while stack:
+        if min_pending is not None and len(stack) >= min_pending:
+            return list(reversed(stack))
+        query = stack.pop()
+        response = crawler._run_query(query)
+        if response.resolved:
+            crawler._confirm(response.rows)
+            continue
+        dim = next(
+            (i for i in range(d) if not query.is_exhausted(i)), None
+        )
+        if dim is None:
+            raise InfeasibleCrawlError(
+                f"point query {query} overflowed: more than k={crawler.k} "
+                "duplicates at one point"
+            )
+        lo, hi = query.extent(dim)
+        assert lo is not None and hi is not None and lo < hi
+        # Split at x = ceil((lo + hi) / 2); the left part gets
+        # [lo, x-1], the right part [x, hi] (paper Section 2.1).
+        x = -((lo + hi) // -2)
+        q_left, q_right = query.split_2way(dim, x)
+        stack.append(q_right)
+        stack.append(q_left)
+    return []
 
 
 class BinaryShrink(Crawler):
@@ -41,34 +104,16 @@ class BinaryShrink(Crawler):
                     "rank-shrink has no such requirement"
                 )
 
-    def _execute(self) -> None:
+    def frontier_entry(self) -> Query:
+        """The bounded root rectangle the crawl starts from.
+
+        Exposed for the splittable front (:mod:`repro.crawl.sharding`),
+        which seeds its exploration with exactly this query.
+        """
         root = Query.full(self.space)
         for i, attr in enumerate(self.space):
             root = root.with_range(i, attr.lo, attr.hi)
-        stack = [root]
-        while stack:
-            query = stack.pop()
-            response = self._run_query(query)
-            if response.resolved:
-                self._confirm(response.rows)
-                continue
-            dim = self._first_non_exhausted(query)
-            if dim is None:
-                raise InfeasibleCrawlError(
-                    f"point query {query} overflowed: more than k={self.k} "
-                    "duplicates at one point"
-                )
-            lo, hi = query.extent(dim)
-            assert lo is not None and hi is not None and lo < hi
-            # Split at x = ceil((lo + hi) / 2); the left part gets
-            # [lo, x-1], the right part [x, hi] (paper Section 2.1).
-            x = -((lo + hi) // -2)
-            q_left, q_right = query.split_2way(dim, x)
-            stack.append(q_right)
-            stack.append(q_left)
+        return root
 
-    def _first_non_exhausted(self, query: Query) -> int | None:
-        for dim in range(self.space.dimensionality):
-            if not query.is_exhausted(dim):
-                return dim
-        return None
+    def _execute(self) -> None:
+        solve_binary(self, self.frontier_entry())

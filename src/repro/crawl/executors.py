@@ -50,6 +50,21 @@ fires by cumulative query order, which stealing reorders -- parity with
 the sequential executor is guaranteed for crawls that complete within
 their limits.
 
+Subtree sharding
+----------------
+``shard_subtrees=N`` drops the unit of scheduling below the region:
+each region is *presplit* (:func:`~repro.crawl.sharding.presplit_region`)
+into a trunk plus up to ``N`` independently crawlable subtree shards,
+and with ``rebalance=True`` the
+:class:`~repro.crawl.rebalance.SubtreeScheduler` lets idle workers
+steal whole regions first and then *subqueries of the costliest live
+region* -- the only lever that helps when a single heavy region
+dominates the plan.  Whichever worker completes a region's last shard
+splices the results back in canonical order
+(:func:`~repro.crawl.sharding.merge_region_shards`), so the merged
+result remains byte-identical to the unsharded sequential executor's
+on every backend.
+
 Failure semantics (all backends): every region is drained before a
 failure propagates, and the exception of the lowest (session, region)
 plan position is raised -- except the sequential executor, which stops
@@ -91,8 +106,16 @@ from repro.crawl.partition import (
 )
 from repro.crawl.rebalance import (
     CostEstimator,
+    RegionCompletion,
     RegionTask,
+    ShardTask,
+    SubtreeScheduler,
     WorkStealingScheduler,
+)
+from repro.crawl.sharding import (
+    crawl_shard,
+    merge_region_shards,
+    presplit_region,
 )
 
 __all__ = [
@@ -135,7 +158,9 @@ class _AggregatorFeed:
         self._aggregator = aggregator
         self._lock = threading.Lock()
         self._done = [[0, 0] for _ in plan.bundles]
-        self._live: list[dict[int, ProgressPoint]] = [
+        # Live points keyed by the unit's live_key -- a region and the
+        # subtree shards split off it report independently.
+        self._live: list[dict[tuple, ProgressPoint]] = [
             {} for _ in plan.bundles
         ]
         self._outstanding = [len(bundle) for bundle in plan.bundles]
@@ -145,7 +170,7 @@ class _AggregatorFeed:
                     aggregator.mark_done(session)
 
     def listener(
-        self, task: RegionTask
+        self, task: RegionTask | ShardTask
     ) -> Callable[[ProgressPoint], None] | None:
         """The progress listener to attach to ``task``'s crawler."""
         if self._aggregator is None:
@@ -157,7 +182,7 @@ class _AggregatorFeed:
             # total from a preempted worker could overwrite a newer one
             # (regions of one session run concurrently after a steal).
             with self._lock:
-                self._live[task.session][task.index] = point
+                self._live[task.session][task.live_key] = point
                 self._aggregator.report(
                     task.session, self._session_total(task.session)
                 )
@@ -174,22 +199,34 @@ class _AggregatorFeed:
 
     def finished(self, task: RegionTask, result: CrawlResult) -> None:
         """Fold a finished region into its session's running totals."""
+        self.region_finished(task.session, task.index, result)
+
+    def region_finished(
+        self, session: int, index: int, result: CrawlResult
+    ) -> None:
+        """Fold a region's merged result, clearing its live units.
+
+        With subtree sharding, a region's trunk and each of its shards
+        report live points under separate keys; once the region merges,
+        every key of that region (``live_key[1] == index``) is replaced
+        by the exact merged totals.
+        """
         if self._aggregator is None:
             return
         with self._lock:
-            self._live[task.session].pop(task.index, None)
-            self._done[task.session][0] += result.cost
-            self._done[task.session][1] += len(result.rows)
-            self._outstanding[task.session] -= 1
+            live = self._live[session]
+            for key in [k for k in live if k[1] == index]:
+                del live[key]
+            self._done[session][0] += result.cost
+            self._done[session][1] += len(result.rows)
+            self._outstanding[session] -= 1
             # Atomic with the total's computation; see listener().
-            self._aggregator.report(
-                task.session, self._session_total(task.session)
-            )
-            if self._outstanding[task.session] == 0:
-                self._aggregator.mark_done(task.session)
+            self._aggregator.report(session, self._session_total(session))
+            if self._outstanding[session] == 0:
+                self._aggregator.mark_done(session)
 
-    def failed(self, task: RegionTask) -> None:
-        """Mark the session of a raising region as failed."""
+    def failed(self, task: RegionTask | ShardTask) -> None:
+        """Mark the session of a raising region (or shard) as failed."""
         if self._aggregator is None:
             return
         self._aggregator.mark_failed(task.session)
@@ -254,20 +291,40 @@ def _session_loop(
     feed: _AggregatorFeed,
     crawler_factory: Callable[..., Crawler],
     allow_partial: bool,
+    max_shards: int | None = None,
 ) -> None:
-    """Static dispatch: crawl one session's regions in plan order."""
+    """Static dispatch: crawl one session's regions in plan order.
+
+    With ``max_shards`` set, each region goes through the sharded unit
+    of work (presplit, shards in canonical order, merge) instead of a
+    single whole-region crawl -- same result, same failure semantics.
+    """
     for index, region in enumerate(plan.bundles[session]):
         task = RegionTask(session, index, region)
-        if not _run_region(
-            sources,
-            task,
-            grid,
-            failures,
-            failures_lock,
-            feed,
-            crawler_factory,
-            allow_partial,
-        ):
+        if max_shards is not None:
+            ok = _run_sharded_region(
+                sources,
+                task,
+                grid,
+                failures,
+                failures_lock,
+                feed,
+                crawler_factory,
+                allow_partial,
+                max_shards,
+            )
+        else:
+            ok = _run_region(
+                sources,
+                task,
+                grid,
+                failures,
+                failures_lock,
+                feed,
+                crawler_factory,
+                allow_partial,
+            )
+        if not ok:
             return
 
 
@@ -300,12 +357,184 @@ def _steal_loop(
         )
 
 
+# ----------------------------------------------------------------------
+# Subtree sharding: region units become (presplit -> shards -> merge)
+# ----------------------------------------------------------------------
+def _run_sharded_region(
+    sources: Sequence,
+    task: RegionTask,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+    max_shards: int,
+) -> bool:
+    """Presplit one region, crawl its shards in canonical order, merge.
+
+    The single-worker counterpart of the two-level steal loop: same
+    decomposition, same merge, no concurrency -- which is exactly what
+    makes the sharded sequential executor the parity reference for the
+    sharded parallel backends.
+    """
+    try:
+        plan = presplit_region(
+            sources[task.session],
+            task.region,
+            crawler_factory=crawler_factory,
+            allow_partial=allow_partial,
+            max_shards=max_shards,
+            listener=feed.listener(task),
+        )
+        results = []
+        for shard in plan.shards:
+            shard_task = ShardTask(
+                task.session, task.index, task.region, shard
+            )
+            results.append(
+                crawl_shard(
+                    sources[task.session],
+                    task.region,
+                    shard,
+                    allow_partial=allow_partial,
+                    listener=feed.listener(shard_task),
+                )
+            )
+        result = merge_region_shards(plan, results)
+    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        with failures_lock:
+            failures.append((task.key, exc))
+        feed.failed(task)
+        return False
+    grid[task.session][task.index] = result
+    feed.region_finished(task.session, task.index, result)
+    return True
+
+
+def _finish_completion(
+    scheduler: SubtreeScheduler,
+    completion: RegionCompletion,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+) -> None:
+    """Merge a drained region's shards and file the result."""
+    task = completion.task
+    try:
+        result = merge_region_shards(completion.plan, completion.results)
+    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        scheduler.fail_region(task.key)
+        with failures_lock:
+            failures.append((task.key, exc))
+        feed.failed(task)
+        return
+    scheduler.complete_region(task.key, result.cost)
+    grid[task.session][task.index] = result
+    feed.region_finished(task.session, task.index, result)
+
+
+def _sharded_steal_loop(
+    scheduler: SubtreeScheduler,
+    home_session: int,
+    sources: Sequence,
+    grid,
+    failures: list[_Failure],
+    failures_lock: threading.Lock,
+    feed: _AggregatorFeed,
+    crawler_factory: Callable[..., Crawler],
+    allow_partial: bool,
+    max_shards: int,
+) -> None:
+    """Two-level stealing dispatch: regions first, then subtree shards.
+
+    Acquiring a region means presplitting it and publishing its shard
+    plan; acquiring a shard means crawling one subtree.  Whichever
+    worker lands a region's last shard performs the deterministic merge
+    and files the result at the region's plan position.
+    """
+    while True:
+        task = scheduler.acquire(home_session)
+        if task is None:
+            return
+        if isinstance(task, ShardTask):
+            try:
+                result = crawl_shard(
+                    sources[task.session],
+                    task.region,
+                    task.shard,
+                    allow_partial=allow_partial,
+                    listener=feed.listener(task),
+                )
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                with failures_lock:
+                    failures.append((task.key, exc))
+                feed.failed(task)
+                continue
+            completion = scheduler.complete_shard(task, result)
+        else:
+            try:
+                plan = presplit_region(
+                    sources[task.session],
+                    task.region,
+                    crawler_factory=crawler_factory,
+                    allow_partial=allow_partial,
+                    max_shards=max_shards,
+                    listener=feed.listener(task),
+                )
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                with failures_lock:
+                    failures.append((task.key, exc))
+                feed.failed(task)
+                continue
+            completion = scheduler.publish(task, plan)
+        if completion is not None:
+            _finish_completion(
+                scheduler, completion, grid, failures, failures_lock, feed
+            )
+
+
+def _steal_setup(plan: PartitionPlan, estimator, shard_subtrees):
+    """(scheduler, worker loop, trailing args, pool upper bound).
+
+    The one place that decides between one-level and two-level stealing
+    for the thread-style backends (thread, async); keeping it here
+    means the backends cannot drift apart in how they wire the loops.
+    """
+    if shard_subtrees is not None:
+        scheduler = SubtreeScheduler(plan.bundles, estimator)
+        # Subtree shards expose more parallelism than whole regions
+        # alone, so cap the pool by the larger of the two.
+        upper = max(1, scheduler.total_tasks, shard_subtrees)
+        return scheduler, _sharded_steal_loop, (shard_subtrees,), upper
+    scheduler = WorkStealingScheduler(plan.bundles, estimator)
+    return scheduler, _steal_loop, (), max(1, scheduler.total_tasks)
+
+
 class CrawlExecutor(abc.ABC):
     """Runs a partition plan's region grid and merges deterministically.
 
     Subclasses implement :meth:`_execute`, which must fill ``grid`` (or
     record failures) however it likes; :meth:`run` owns validation, the
     deterministic merge, and the drain-then-raise failure contract.
+
+    Examples
+    --------
+    Pick a backend by registry name and crawl a plan; whatever backend
+    runs, the merged result is byte-identical::
+
+        from repro import TopKServer, make_executor, partition_space
+
+        plan = partition_space(dataset.space, 4)
+        sources = [TopKServer(dataset, k=64) for _ in range(4)]
+        executor = make_executor("process", max_workers=4)
+        merged = executor.run(
+            sources, plan, rebalance=True, shard_subtrees=8
+        )
+        assert merged.complete
     """
 
     #: Registry name of the backend; subclasses override.
@@ -335,6 +564,7 @@ class CrawlExecutor(abc.ABC):
         aggregator: ProgressAggregator | None = None,
         rebalance: bool = False,
         estimator: CostEstimator | None = None,
+        shard_subtrees: int | None = None,
     ) -> PartitionedResult:
         """Crawl every region of ``plan`` and merge deterministically.
 
@@ -344,7 +574,8 @@ class CrawlExecutor(abc.ABC):
             One query source per bundle, exactly as for
             :func:`~repro.crawl.partition.crawl_partitioned`.
         plan:
-            The partition plan; the unit of scheduling is one region.
+            The partition plan; the unit of scheduling is one region
+            (or, with ``shard_subtrees``, one subtree shard of one).
         crawler_factory:
             Crawler class (or factory) applied to each region's
             :class:`~repro.crawl.partition.SubspaceView`.  The process
@@ -364,6 +595,14 @@ class CrawlExecutor(abc.ABC):
             seeding the stealing decisions (e.g. built with
             ``CostEstimator.from_stats`` from a previous crawl).
             Ignored unless ``rebalance`` is set.
+        shard_subtrees:
+            Split every region's crawl into up to this many subtree
+            shards (:mod:`repro.crawl.sharding`).  Combined with
+            ``rebalance``, idle workers then steal *subqueries of a
+            live region* -- the only way to parallelise a plan whose
+            cost is concentrated in one heavy region.  The merged
+            result stays byte-identical to the unsharded sequential
+            executor's.  ``None`` (default) disables sharding.
 
         Raises
         ------
@@ -380,6 +619,10 @@ class CrawlExecutor(abc.ABC):
                 f"aggregator tracks {aggregator.sessions} sessions but "
                 f"the plan has {plan.sessions}"
             )
+        if shard_subtrees is not None and shard_subtrees < 1:
+            raise ValueError(
+                f"shard_subtrees must be positive, got {shard_subtrees}"
+            )
         feed = _AggregatorFeed(aggregator, plan)
         grid: list[list[CrawlResult | None]] = [
             [None] * len(bundle) for bundle in plan.bundles
@@ -395,6 +638,7 @@ class CrawlExecutor(abc.ABC):
             allow_partial,
             rebalance,
             estimator,
+            shard_subtrees,
         )
         if failures:
             failures.sort(key=lambda failure: failure[0])
@@ -415,6 +659,7 @@ class CrawlExecutor(abc.ABC):
         allow_partial: bool,
         rebalance: bool,
         estimator: CostEstimator | None,
+        shard_subtrees: int | None,
     ) -> None:
         """Fill ``grid`` with per-region results; record failures."""
 
@@ -444,6 +689,7 @@ class SequentialExecutor(CrawlExecutor):
         allow_partial,
         rebalance,
         estimator,
+        shard_subtrees,
     ):
         failures_lock = threading.Lock()
         for session in range(plan.sessions):
@@ -457,6 +703,7 @@ class SequentialExecutor(CrawlExecutor):
                 feed,
                 crawler_factory,
                 allow_partial,
+                max_shards=shard_subtrees,
             )
             if failures:
                 # Stopping at the first failure abandons the remaining
@@ -491,6 +738,7 @@ class ThreadExecutor(CrawlExecutor):
         allow_partial,
         rebalance,
         estimator,
+        shard_subtrees,
     ):
         failures_lock = threading.Lock()
         if not rebalance:
@@ -510,20 +758,23 @@ class ThreadExecutor(CrawlExecutor):
                         feed,
                         crawler_factory,
                         allow_partial,
+                        max_shards=shard_subtrees,
                     )
                     for session in range(plan.sessions)
                 ]
                 for task in tasks:
                     task.result()
             return
-        scheduler = WorkStealingScheduler(plan.bundles, estimator)
-        workers = self._workers(max(1, scheduler.total_tasks))
+        scheduler, loop, extra, upper = _steal_setup(
+            plan, estimator, shard_subtrees
+        )
+        workers = self._workers(upper)
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="crawl-steal"
         ) as pool:
             tasks = [
                 pool.submit(
-                    _steal_loop,
+                    loop,
                     scheduler,
                     worker % plan.sessions,
                     sources,
@@ -533,6 +784,7 @@ class ThreadExecutor(CrawlExecutor):
                     feed,
                     crawler_factory,
                     allow_partial,
+                    *extra,
                 )
                 for worker in range(workers)
             ]
@@ -571,6 +823,63 @@ def _process_session(
     return tuple(
         _process_region(session, region, allow_partial) for region in bundle
     )
+
+
+def _process_presplit(
+    session: int, region, allow_partial: bool, max_shards: int
+):
+    """Presplit one region in a pool worker; the plan pickles back."""
+    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
+    return presplit_region(
+        _WORKER_SOURCES[session],
+        region,
+        crawler_factory=_WORKER_FACTORY,
+        allow_partial=allow_partial,
+        max_shards=max_shards,
+    )
+
+
+def _process_shard(
+    session: int, region, shard, allow_partial: bool
+) -> CrawlResult:
+    """Crawl one subtree shard in a pool worker.
+
+    The shard may run in a different worker than its region's presplit
+    did; both crawl deterministic *copies* of the session source, so
+    the responses -- and therefore the results -- are identical (the
+    per-worker copy semantics the process backend documents).
+    """
+    assert _WORKER_SOURCES is not None
+    return crawl_shard(
+        _WORKER_SOURCES[session], region, shard, allow_partial=allow_partial
+    )
+
+
+def _process_session_sharded(
+    session: int, bundle, allow_partial: bool, max_shards: int
+) -> tuple[CrawlResult, ...]:
+    """Crawl a bundle in a pool worker, sharding each region locally."""
+    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
+    out = []
+    for region in bundle:
+        plan = presplit_region(
+            _WORKER_SOURCES[session],
+            region,
+            crawler_factory=_WORKER_FACTORY,
+            allow_partial=allow_partial,
+            max_shards=max_shards,
+        )
+        results = [
+            crawl_shard(
+                _WORKER_SOURCES[session],
+                region,
+                shard,
+                allow_partial=allow_partial,
+            )
+            for shard in plan.shards
+        ]
+        out.append(merge_region_shards(plan, results))
+    return tuple(out)
 
 
 class ProcessExecutor(CrawlExecutor):
@@ -636,17 +945,36 @@ class ProcessExecutor(CrawlExecutor):
         allow_partial,
         rebalance,
         estimator,
+        shard_subtrees,
     ):
         payload = self._payload(sources, crawler_factory)
         total = sum(len(bundle) for bundle in plan.bundles)
-        workers = self._workers(max(1, total if rebalance else plan.sessions))
+        if rebalance:
+            upper = max(1, total)
+            if shard_subtrees is not None:
+                upper = max(upper, shard_subtrees)
+        else:
+            upper = plan.sessions
+        workers = self._workers(max(1, upper))
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._mp_context,
             initializer=_process_init,
             initargs=(payload,),
         ) as pool:
-            if rebalance:
+            if rebalance and shard_subtrees is not None:
+                self._drain_rebalanced_sharded(
+                    pool,
+                    workers,
+                    plan,
+                    grid,
+                    failures,
+                    feed,
+                    allow_partial,
+                    estimator,
+                    shard_subtrees,
+                )
+            elif rebalance:
                 self._drain_rebalanced(
                     pool,
                     workers,
@@ -659,16 +987,39 @@ class ProcessExecutor(CrawlExecutor):
                 )
             else:
                 self._drain_static(
-                    pool, plan, grid, failures, feed, allow_partial
+                    pool,
+                    plan,
+                    grid,
+                    failures,
+                    feed,
+                    allow_partial,
+                    shard_subtrees,
                 )
 
-    def _drain_static(self, pool, plan, grid, failures, feed, allow_partial):
-        tasks: dict[Future, int] = {
-            pool.submit(
-                _process_session, session, plan.bundles[session], allow_partial
-            ): session
-            for session in range(plan.sessions)
-        }
+    def _drain_static(
+        self, pool, plan, grid, failures, feed, allow_partial, shard_subtrees
+    ):
+        if shard_subtrees is not None:
+            tasks: dict[Future, int] = {
+                pool.submit(
+                    _process_session_sharded,
+                    session,
+                    plan.bundles[session],
+                    allow_partial,
+                    shard_subtrees,
+                ): session
+                for session in range(plan.sessions)
+            }
+        else:
+            tasks = {
+                pool.submit(
+                    _process_session,
+                    session,
+                    plan.bundles[session],
+                    allow_partial,
+                ): session
+                for session in range(plan.sessions)
+            }
         for future, session in tasks.items():
             bundle = plan.bundles[session]
             try:
@@ -727,6 +1078,83 @@ class ProcessExecutor(CrawlExecutor):
                     grid[task.session][task.index] = result
                     feed.finished(task, result)
                 submit_next()
+
+    def _drain_rebalanced_sharded(
+        self,
+        pool,
+        workers,
+        plan,
+        grid,
+        failures,
+        feed,
+        allow_partial,
+        estimator,
+        max_shards,
+    ):
+        """Parent-side two-level dispatch over the process pool.
+
+        The parent polls the :class:`SubtreeScheduler` non-blockingly
+        (it is the only dispatcher, so nothing can publish behind its
+        back while it holds no futures), ships presplits and shard
+        crawls to pool workers, and performs the deterministic merges
+        itself as regions drain.
+        """
+        scheduler = SubtreeScheduler(plan.bundles, estimator)
+        failures_lock = threading.Lock()
+        in_flight: dict[Future, RegionTask | ShardTask] = {}
+
+        def submit_next() -> bool:
+            task = scheduler.acquire(block=False)
+            if task is None:
+                return False
+            if isinstance(task, ShardTask):
+                future = pool.submit(
+                    _process_shard,
+                    task.session,
+                    task.region,
+                    task.shard,
+                    allow_partial,
+                )
+            else:
+                future = pool.submit(
+                    _process_presplit,
+                    task.session,
+                    task.region,
+                    allow_partial,
+                    max_shards,
+                )
+            in_flight[future] = task
+            return True
+
+        for _ in range(workers):
+            if not submit_next():
+                break
+        while in_flight:
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                task = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                    scheduler.fail(task)
+                    failures.append((task.key, exc))
+                    feed.failed(task)
+                else:
+                    if isinstance(task, ShardTask):
+                        completion = scheduler.complete_shard(task, payload)
+                    else:
+                        completion = scheduler.publish(task, payload)
+                    if completion is not None:
+                        _finish_completion(
+                            scheduler,
+                            completion,
+                            grid,
+                            failures,
+                            failures_lock,
+                            feed,
+                        )
+                while len(in_flight) < workers and submit_next():
+                    pass
 
 
 # ----------------------------------------------------------------------
@@ -802,6 +1230,7 @@ class AsyncExecutor(CrawlExecutor):
         allow_partial,
         rebalance,
         estimator,
+        shard_subtrees,
     ):
         asyncio.run(
             self._amain(
@@ -814,6 +1243,7 @@ class AsyncExecutor(CrawlExecutor):
                 allow_partial,
                 rebalance,
                 estimator,
+                shard_subtrees,
             )
         )
 
@@ -828,6 +1258,7 @@ class AsyncExecutor(CrawlExecutor):
         allow_partial,
         rebalance,
         estimator,
+        shard_subtrees,
     ):
         loop = asyncio.get_running_loop()
         bridged = [_bridge_source(source, loop) for source in sources]
@@ -838,11 +1269,13 @@ class AsyncExecutor(CrawlExecutor):
         # session loops blocking in _LoopBridge.run while occupying
         # every default-pool slot would deadlock the crawl.
         if rebalance:
-            scheduler = WorkStealingScheduler(plan.bundles, estimator)
-            workers = self._workers(max(1, scheduler.total_tasks))
+            scheduler, steal, extra, upper = _steal_setup(
+                plan, estimator, shard_subtrees
+            )
+            workers = self._workers(upper)
             jobs = [
                 (
-                    _steal_loop,
+                    steal,
                     scheduler,
                     worker % plan.sessions,
                     bridged,
@@ -852,6 +1285,7 @@ class AsyncExecutor(CrawlExecutor):
                     feed,
                     crawler_factory,
                     allow_partial,
+                    *extra,
                 )
                 for worker in range(workers)
             ]
@@ -869,6 +1303,7 @@ class AsyncExecutor(CrawlExecutor):
                     feed,
                     crawler_factory,
                     allow_partial,
+                    shard_subtrees,
                 )
                 for session in range(plan.sessions)
             ]

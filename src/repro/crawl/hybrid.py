@@ -47,6 +47,13 @@ class Hybrid(Crawler):
 
     name = "hybrid"
 
+    #: Interception point of the splittable front
+    #: (:mod:`repro.crawl.sharding`): when set on an *instance*, each
+    #: numeric leaf subspace is handed to this callable as
+    #: ``(leaf_query, numeric_dims)`` instead of being rank-shrunk
+    #: inline, letting a shard planner defer the sub-crawl to workers.
+    defer_numeric_leaf = None
+
     def __init__(
         self,
         source,
@@ -64,6 +71,9 @@ class Hybrid(Crawler):
 
     def _numeric_leaf_handler(self, leaf_query: Query) -> None:
         """Crawl ``D_NUM(p_cat)``: rank-shrink with the prefix pinned."""
+        if self.defer_numeric_leaf is not None:
+            self.defer_numeric_leaf(leaf_query, self._numeric_dims())
+            return
         solve_numeric(
             self,
             leaf_query,
@@ -75,13 +85,10 @@ class Hybrid(Crawler):
         cat = self.space.cat
         root = Query.full(self.space)
         if cat == 0:
-            # Purely numeric: hybrid degenerates to rank-shrink.
-            solve_numeric(
-                self,
-                root,
-                self._numeric_dims(),
-                threshold_divisor=self._threshold_divisor,
-            )
+            # Purely numeric: hybrid degenerates to rank-shrink (and
+            # the leaf handler keeps the splittable front's deferral
+            # hook working for this degenerate case too).
+            self._numeric_leaf_handler(root)
             return
         if self.space.num == 0:
             leaf_handler = categorical_point_handler(self)
@@ -97,6 +104,8 @@ class Hybrid(Crawler):
             preprocess_slice_table(self)
             self.client.begin_phase("traversal")
             try:
-                extended_dfs(self, root, 0, lazy=False, leaf_handler=leaf_handler)
+                extended_dfs(
+                    self, root, 0, lazy=False, leaf_handler=leaf_handler
+                )
             finally:
                 self.client.end_phase()

@@ -48,6 +48,7 @@ def crawl_partitioned_parallel(
     executor: str | CrawlExecutor = "thread",
     rebalance: bool = False,
     estimator: CostEstimator | None = None,
+    shard_subtrees: int | None = None,
 ) -> PartitionedResult:
     """Crawl every region of ``plan``, sessions running concurrently.
 
@@ -83,6 +84,13 @@ def crawl_partitioned_parallel(
         :mod:`repro.crawl.rebalance`).
     estimator:
         Optional cost estimator seeding the stealing decisions.
+    shard_subtrees:
+        Split every region's crawl into up to this many subtree shards
+        (:mod:`repro.crawl.sharding`), letting idle workers steal
+        subqueries of a live region; with a skewed plan this is what
+        keeps every worker busy while one heavy region dominates.
+        ``None`` disables sharding; the merged result is identical
+        either way.
 
     Raises
     ------
@@ -92,6 +100,19 @@ def crawl_partitioned_parallel(
         When a limit fires and ``allow_partial`` is ``False`` (the
         lowest failing plan position's exception, after all workers
         drained).
+
+    Examples
+    --------
+    Three identities crawl a plan concurrently, stealing subtrees of
+    whatever region turns out heaviest::
+
+        plan = partition_space(dataset.space, 3)
+        sources = [TopKServer(dataset, k=32) for _ in range(3)]
+        merged = crawl_partitioned_parallel(
+            sources, plan, executor="thread",
+            rebalance=True, shard_subtrees=8,
+        )
+        assert sorted(merged.rows) == sorted(dataset.iter_rows())
     """
     if isinstance(executor, str):
         executor = make_executor(executor, max_workers=max_workers)
@@ -108,4 +129,5 @@ def crawl_partitioned_parallel(
         aggregator=aggregator,
         rebalance=rebalance,
         estimator=estimator,
+        shard_subtrees=shard_subtrees,
     )

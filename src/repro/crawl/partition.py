@@ -57,12 +57,20 @@ from repro.query.query import Query
 from repro.server.response import QueryResponse, Row
 
 __all__ = [
+    "DEFAULT_MAX_REGIONS",
     "PartitionPlan",
     "partition_space",
     "SubspaceView",
     "PartitionedResult",
     "crawl_partitioned",
 ]
+
+#: Default ceiling on the number of regions a plan may hold.  Large
+#: enough that work stealing always has plenty to move around, small
+#: enough that an NSF-like schema (a categorical attribute with tens of
+#: thousands of values) no longer explodes into one single-point region
+#: per value.
+DEFAULT_MAX_REGIONS = 512
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,18 @@ class PartitionPlan:
     Every region is a restriction of the full space on one attribute,
     and across all bundles the regions are pairwise disjoint and cover
     the space.
+
+    Examples
+    --------
+    >>> from repro import DataSpace, partition_space
+    >>> space = DataSpace.mixed([("make", 5)], ["price"])
+    >>> plan = partition_space(space, 2)
+    >>> plan.sessions, len(plan.regions)
+    (2, 5)
+    >>> [len(bundle) for bundle in plan.bundles]
+    [3, 2]
+    >>> plan.covers((3, 17_000))  # every point is in exactly one region
+    1
     """
 
     space: DataSpace
@@ -95,7 +115,11 @@ class PartitionPlan:
 
 
 def partition_space(
-    space: DataSpace, sessions: int, *, attribute: int | None = None
+    space: DataSpace,
+    sessions: int,
+    *,
+    attribute: int | None = None,
+    max_regions: int | None = None,
 ) -> PartitionPlan:
     """Partition the space on one attribute into ``sessions`` bundles.
 
@@ -106,12 +130,35 @@ def partition_space(
     sessions:
         Number of crawl sessions (work lists) to produce.
     attribute:
-        The attribute to partition on.  Defaults to the categorical
-        attribute with the largest domain, or the first bounded numeric
-        attribute of a purely numeric space.
+        The attribute to partition on.  When omitted, the planner is
+        *cost-aware* (see Notes); an explicit attribute is always
+        honoured, even when it busts ``max_regions``.
+    max_regions:
+        Ceiling on the region count the default attribute choice may
+        produce (``None`` means :data:`DEFAULT_MAX_REGIONS`).  A
+        categorical attribute necessarily yields one equality region
+        per domain value -- the top-k interface has no way to query a
+        *set* of categorical values -- so the cap steers the planner
+        away from huge domains rather than merging their values.
 
     Notes
     -----
+    The default attribute is chosen by estimated scheduling cost, in
+    this order:
+
+    1. the categorical attribute with the **largest domain that still
+       fits** (``sessions <= domain <= max_regions``) -- many small
+       disjoint regions balance best and give work stealing the most
+       to move around;
+    2. otherwise the first bounded numeric attribute wide enough for
+       ``sessions`` intervals -- a numeric split always yields exactly
+       ``sessions`` regions, so it can never explode;
+    3. otherwise the categorical attribute with the **smallest** domain
+       still holding ``sessions`` values -- region count above the cap,
+       but the least oversized choice available.
+
+    Region shapes:
+
     * a categorical attribute yields one region per domain value
       (``A_i = c``), dealt round-robin into the bundles -- ``sessions``
       may not exceed the domain size;
@@ -122,16 +169,22 @@ def partition_space(
     Raises
     ------
     SchemaError
-        For invalid ``sessions`` or an attribute that cannot be
-        partitioned.
+        For invalid ``sessions``/``max_regions`` or an attribute that
+        cannot be partitioned.
     UnboundedDomainError
         If a numeric partition attribute has no finite bounds to place
         the interior split points.
     """
     if sessions < 1:
         raise SchemaError(f"sessions must be positive, got {sessions}")
+    if max_regions is None:
+        max_regions = DEFAULT_MAX_REGIONS
+    if max_regions < sessions:
+        raise SchemaError(
+            f"max_regions={max_regions} cannot hold {sessions} sessions"
+        )
     if attribute is None:
-        attribute = _default_partition_attribute(space)
+        attribute = _default_partition_attribute(space, sessions, max_regions)
     attr = space[attribute]
     root = Query.full(space)
 
@@ -147,7 +200,9 @@ def partition_space(
             bundles[(value - 1) % sessions].append(
                 root.with_value(attribute, value)
             )
-        return PartitionPlan(space, attribute, tuple(tuple(b) for b in bundles))
+        return PartitionPlan(
+            space, attribute, tuple(tuple(b) for b in bundles)
+        )
 
     if attr.lo is None or attr.hi is None:
         raise UnboundedDomainError(
@@ -171,23 +226,39 @@ def partition_space(
     return PartitionPlan(space, attribute, tuple((r,) for r in regions))
 
 
-def _default_partition_attribute(space: DataSpace) -> int:
-    best: int | None = None
+def _default_partition_attribute(
+    space: DataSpace, sessions: int, max_regions: int
+) -> int:
+    """Cost-aware default choice; heuristic documented on
+    :func:`partition_space`."""
+    fitting: int | None = None
+    fitting_size = 0
+    oversized: int | None = None
+    oversized_size = 0
     for i in range(space.cat):
         size = space[i].domain_size
         assert size is not None
-        if size > 1 and (
-            best is None or size > space[best].domain_size  # type: ignore[operator]
-        ):
-            best = i
-    if best is not None:
-        return best
+        if size <= 1 or size < sessions:
+            continue
+        if size <= max_regions:
+            if size > fitting_size:
+                fitting, fitting_size = i, size
+        elif oversized is None or size < oversized_size:
+            oversized, oversized_size = i, size
+    if fitting is not None:
+        return fitting
     for i in range(space.cat, space.dimensionality):
-        if space[i].is_bounded:
+        attr = space[i]
+        if not attr.is_bounded:
+            continue
+        if attr.hi - attr.lo + 1 >= sessions:
             return i
+    if oversized is not None:
+        return oversized
     raise SchemaError(
         "no partitionable attribute: need a categorical domain larger "
-        "than 1 or a bounded numeric attribute"
+        "than 1 or a bounded numeric attribute wide enough for "
+        f"{sessions} sessions"
     )
 
 
@@ -316,6 +387,27 @@ def crawl_partitioned(
     allow_partial:
         Forwarded to each region crawl; a budget-interrupted region
         marks the merged result incomplete.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import (
+    ...     DataSpace, Dataset, TopKServer,
+    ...     crawl_partitioned, partition_space,
+    ... )
+    >>> space = DataSpace.mixed([("make", 4)], ["price"])
+    >>> rng = np.random.default_rng(0)
+    >>> rows = np.column_stack(
+    ...     [rng.integers(1, 5, 100), rng.integers(0, 1000, 100)]
+    ... )
+    >>> dataset = Dataset(space, rows.astype(np.int64))
+    >>> plan = partition_space(space, 2)
+    >>> sources = [TopKServer(dataset, k=16) for _ in range(2)]
+    >>> merged = crawl_partitioned(sources, plan)
+    >>> merged.complete
+    True
+    >>> sorted(merged.rows) == sorted(dataset.iter_rows())
+    True
     """
     from repro.crawl.executors import SequentialExecutor
 

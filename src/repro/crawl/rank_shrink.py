@@ -21,6 +21,13 @@ The module-level :func:`solve_numeric` runs the recursion over an
 arbitrary root rectangle and an arbitrary ordered set of splittable
 attributes; the ``hybrid`` algorithm (Section 5) reuses it on numeric
 subspaces whose categorical prefix has been pinned.
+
+:func:`explore_numeric` is the *splittable front* over the same
+recursion (see :mod:`repro.crawl.sharding`): it runs rank-shrink until
+at least ``min_pending`` subtrees are pending and returns them, in the
+exact order the sequential recursion would process them, so each can be
+crawled independently (by any worker) and the results re-merged into a
+byte-identical sequential result.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.dataspace.space import SpaceKind
 from repro.exceptions import InfeasibleCrawlError, SchemaError
 from repro.query.query import Query
 
-__all__ = ["RankShrink", "solve_numeric"]
+__all__ = ["RankShrink", "solve_numeric", "explore_numeric"]
 
 
 def solve_numeric(
@@ -63,16 +70,88 @@ def solve_numeric(
         Optional :class:`repro.theory.recursion_tree.RecursionTreeTracer`
         receiving the recursion-tree structure for analysis.
     """
+    leftover = _drain_numeric(
+        crawler,
+        root_query,
+        dims,
+        threshold_divisor=threshold_divisor,
+        tracer=tracer,
+        min_pending=None,
+    )
+    assert not leftover  # min_pending=None drains the whole subtree
+
+
+def explore_numeric(
+    crawler: Crawler,
+    root_query: Query,
+    dims: list[int],
+    *,
+    threshold_divisor: int = 4,
+    min_pending: int,
+) -> list[Query]:
+    """Run rank-shrink until ``min_pending`` subtrees are pending.
+
+    The returned queries are the pending subtree roots **in the exact
+    order the sequential recursion would process them** -- crawling each
+    returned subtree to completion, one after another in list order,
+    issues exactly the queries (and confirms exactly the rows, in the
+    same order) that continuing :func:`solve_numeric` would have.  That
+    equivalence is what the subtree-sharding executors build on (see
+    :mod:`repro.crawl.sharding`); the queries are pairwise disjoint
+    rectangles, so the sub-crawls share no state and may run anywhere.
+
+    Returns an empty list when the subtree drains (resolves completely)
+    before the frontier ever reaches ``min_pending`` -- the exploration
+    then *was* the whole crawl.
+    """
+    if min_pending < 1:
+        raise SchemaError(f"min_pending must be positive, got {min_pending}")
+    return _drain_numeric(
+        crawler,
+        root_query,
+        dims,
+        threshold_divisor=threshold_divisor,
+        tracer=None,
+        min_pending=min_pending,
+    )
+
+
+def _drain_numeric(
+    crawler: Crawler,
+    root_query: Query,
+    dims: list[int],
+    *,
+    threshold_divisor: int,
+    tracer,
+    min_pending: int | None,
+) -> list[Query]:
+    """The rank-shrink work loop, optionally stopping at a frontier.
+
+    With ``min_pending=None`` the stack is drained completely (this is
+    :func:`solve_numeric`).  Otherwise the loop stops as soon as at
+    least ``min_pending`` entries are pending and returns them in pop
+    (execution) order.
+    """
     if threshold_divisor < 2:
-        raise SchemaError("threshold_divisor below 2 cannot guarantee progress")
+        raise SchemaError(
+            "threshold_divisor below 2 cannot guarantee progress"
+        )
     k = crawler.k
     median_index = (k + 1) // 2 - 1  # 0-based rank of the ceil(k/2)-th tuple
     # Stack entries: (query, index into dims to resume scanning at, parent
     # tracer node, role of this query relative to its parent's split).
-    stack: list[tuple[Query, int, object, str]] = [(root_query, 0, None, "root")]
+    stack: list[tuple[Query, int, object, str]] = [
+        (root_query, 0, None, "root")
+    ]
     while stack:
+        if min_pending is not None and len(stack) >= min_pending:
+            # The frontier is big enough: hand the pending subtrees
+            # back in the order the sequential loop would pop them.
+            return [entry[0] for entry in reversed(stack)]
         query, pos, parent, role = stack.pop()
-        node = tracer.enter(query, parent, role) if tracer is not None else None
+        node = (
+            tracer.enter(query, parent, role) if tracer is not None else None
+        )
         response = crawler._run_query(query)
         if response.resolved:
             crawler._confirm(response.rows)
@@ -118,6 +197,7 @@ def solve_numeric(
             # move it on to the next dimension -- the (d-1)-dimensional
             # sub-problem of the paper.
             stack.append((q_mid, pos, node, "mid"))
+    return []
 
 
 class RankShrink(Crawler):
@@ -147,12 +227,20 @@ class RankShrink(Crawler):
         self._threshold_divisor = threshold_divisor
         self._tracer = tracer
 
+    def frontier_entry(self) -> tuple[Query, tuple[int, ...]]:
+        """The (root rectangle, split order) the crawl starts from.
+
+        Exposed for the splittable front (:mod:`repro.crawl.sharding`),
+        which seeds its exploration with exactly this entry.
+        """
+        return Query.full(self.space), tuple(range(self.space.dimensionality))
+
     def _execute(self) -> None:
-        dims = list(range(self.space.dimensionality))
+        root, dims = self.frontier_entry()
         solve_numeric(
             self,
-            Query.full(self.space),
-            dims,
+            root,
+            list(dims),
             threshold_divisor=self._threshold_divisor,
             tracer=self._tracer,
         )

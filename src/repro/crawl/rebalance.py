@@ -25,6 +25,16 @@ every region is handed out at most once, and the observed total cost
 equals the sum of the per-region costs no matter how acquisitions and
 completions interleave (a hypothesis property test drives arbitrary
 schedules through it).
+
+:class:`SubtreeScheduler` adds the second level introduced with
+subtree sharding (:mod:`repro.crawl.sharding`): when no whole region is
+left to take, an idle worker steals a *subquery* of a live region --
+the next pending subtree shard of the region with the largest estimated
+remaining cost.  Shard results carry their exact per-shard cost back to
+the :class:`CostEstimator` (:meth:`CostEstimator.record_shard`), so the
+"costliest live region" signal sharpens as the region progresses.  The
+same invariants hold one level down: each shard is handed out at most
+once, filed at its canonical position, and merged deterministically.
 """
 
 from __future__ import annotations
@@ -38,7 +48,14 @@ from repro.exceptions import AlgorithmInvariantError
 from repro.query.query import Query
 from repro.server.stats import QueryStats
 
-__all__ = ["RegionTask", "CostEstimator", "WorkStealingScheduler"]
+__all__ = [
+    "RegionTask",
+    "ShardTask",
+    "RegionCompletion",
+    "CostEstimator",
+    "WorkStealingScheduler",
+    "SubtreeScheduler",
+]
 
 #: A region's identity inside a plan: (session index, index in bundle).
 RegionKey = tuple[int, int]
@@ -56,6 +73,39 @@ class RegionTask:
     def key(self) -> RegionKey:
         """The region's (session, index) position in the plan."""
         return (self.session, self.index)
+
+    @property
+    def live_key(self) -> tuple:
+        """Uniquely identifies this unit in live-progress bookkeeping."""
+        return ("region", self.index)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One schedulable subtree shard of a live region.
+
+    Produced by :class:`SubtreeScheduler` after a region's
+    :class:`~repro.crawl.sharding.RegionShardPlan` is published; the
+    shard is crawled against *its own session's* source (the session's
+    identity keeps paying the queries) and its result is filed at the
+    shard's canonical position, so stealing subtrees changes wall-clock
+    behaviour only, never the merged result.
+    """
+
+    session: int
+    index: int
+    region: Query
+    shard: object  # a repro.crawl.sharding.SubtreeShard
+
+    @property
+    def key(self) -> RegionKey:
+        """The owning region's (session, index) plan position."""
+        return (self.session, self.index)
+
+    @property
+    def live_key(self) -> tuple:
+        """Uniquely identifies this unit in live-progress bookkeeping."""
+        return ("shard", self.index, self.shard.order)
 
 
 class CostEstimator:
@@ -90,6 +140,9 @@ class CostEstimator:
         # plans can have tens of thousands of regions (one per value of
         # a large categorical domain) and estimates sit on hot paths.
         self._observed_sum = 0
+        # Exact per-shard feedback for *live* regions: (cost sum, shard
+        # count) per region, fed by the subtree-sharding executors.
+        self._shard_observed: dict[RegionKey, tuple[int, int]] = {}
         self._lock = threading.Lock()
 
     @classmethod
@@ -105,13 +158,20 @@ class CostEstimator:
         return cls(prior=max(1.0, mean))
 
     def record(self, key: RegionKey, cost: int) -> None:
-        """Record the exact observed cost of a finished region."""
+        """Record the exact observed cost of a finished region.
+
+        Supersedes any partial per-shard view of the region
+        (:meth:`record_shard`): the shard tally is dropped, so an
+        estimator reused across crawls never feeds a stale shard mean
+        into the next crawl's steal decisions.
+        """
         with self._lock:
             previous = self._observed.get(key)
             if previous is not None:
                 self._observed_sum -= previous
             self._observed[key] = int(cost)
             self._observed_sum += int(cost)
+            self._shard_observed.pop(key, None)
 
     def estimate(self, key: RegionKey) -> float:
         """The current cost estimate for the region at ``key``."""
@@ -123,6 +183,33 @@ class CostEstimator:
             if self._observed:
                 return self._observed_sum / len(self._observed)
             return self._prior
+
+    def record_shard(self, key: RegionKey, cost: int) -> None:
+        """Fold one subtree shard's exact cost into a live region.
+
+        Called by the subtree-sharding executors as each shard of the
+        region at ``key`` finishes, so stealing decisions about the
+        *rest* of that region's shards rest on measured shard costs
+        (see :meth:`shard_mean`) instead of a whole-region prior.  Once
+        the region completes, :meth:`record` supersedes this partial
+        view with the exact merged total.
+        """
+        with self._lock:
+            total, count = self._shard_observed.get(key, (0, 0))
+            self._shard_observed[key] = (total + int(cost), count + 1)
+
+    def shard_mean(self, key: RegionKey) -> float | None:
+        """Mean observed shard cost of a live region, if any finished."""
+        with self._lock:
+            total, count = self._shard_observed.get(key, (0, 0))
+            if count == 0:
+                return None
+            return total / count
+
+    def shard_observed(self, key: RegionKey) -> tuple[int, int]:
+        """(cost sum, shard count) recorded so far for a live region."""
+        with self._lock:
+            return self._shard_observed.get(key, (0, 0))
 
     def observed(self) -> dict[RegionKey, int]:
         """A copy of the observed per-region costs."""
@@ -158,6 +245,17 @@ class WorkStealingScheduler:
     * when everything has drained, :meth:`total_observed_cost` equals
       the exact sum of the per-region costs reported to
       :meth:`complete`.
+
+    Examples
+    --------
+    The worker protocol is acquire -> crawl -> complete (executors run
+    one such loop per worker)::
+
+        scheduler = WorkStealingScheduler(plan.bundles)
+        while (task := scheduler.acquire(home_session)) is not None:
+            result = crawl_the_region(task)     # any worker, any time
+            scheduler.complete(task, result.cost)
+        assert scheduler.done()
     """
 
     #: Exact per-queue estimate refreshes are skipped above this many
@@ -217,24 +315,30 @@ class WorkStealingScheduler:
         backend's parent-side dispatcher) and always picks by estimate.
         """
         with self._lock:
-            if worker_session is not None and (
-                0 <= worker_session < len(self._queues)
-            ):
-                own = self._queues[worker_session]
-                if own:
-                    task = own.popleft()
-                    self._dequeued(task)
-                    self._in_flight[task.key] = worker_session
-                    return task
-            victim = self._pick_victim()
-            if victim is None:
-                return None
-            task = self._queues[victim].pop()
-            self._dequeued(task)
-            self._in_flight[task.key] = worker_session
-            if worker_session is None or victim != worker_session:
-                self._steals.append((task.key, worker_session))
-            return task
+            return self._acquire_region_locked(worker_session)
+
+    def _acquire_region_locked(
+        self, worker_session: int | None
+    ) -> RegionTask | None:
+        # Caller holds self._lock.
+        if worker_session is not None and (
+            0 <= worker_session < len(self._queues)
+        ):
+            own = self._queues[worker_session]
+            if own:
+                task = own.popleft()
+                self._dequeued(task)
+                self._in_flight[task.key] = worker_session
+                return task
+        victim = self._pick_victim()
+        if victim is None:
+            return None
+        task = self._queues[victim].pop()
+        self._dequeued(task)
+        self._in_flight[task.key] = worker_session
+        if worker_session is None or victim != worker_session:
+            self._steals.append((task.key, worker_session))
+        return task
 
     def _dequeued(self, task: RegionTask) -> None:
         # Caller holds self._lock.
@@ -328,6 +432,276 @@ class WorkStealingScheduler:
             return (
                 f"WorkStealingScheduler({self._total} regions: "
                 f"{queued} queued, {len(self._in_flight)} in flight, "
+                f"{len(self._completed)} done, {len(self._failed)} failed, "
+                f"{len(self._steals)} steals)"
+            )
+
+
+class _LiveRegion:
+    """A region whose shard plan is published but not yet merged."""
+
+    __slots__ = ("task", "plan", "pending", "in_flight", "results", "failed")
+
+    def __init__(self, task: RegionTask, plan, pending):
+        self.task = task
+        self.plan = plan
+        self.pending = pending
+        self.in_flight = 0
+        self.results: dict[int, object] = {}
+        self.failed = False
+
+
+@dataclass(frozen=True)
+class RegionCompletion:
+    """Everything needed to merge a finished region's shard results.
+
+    Returned by :meth:`SubtreeScheduler.publish` (zero-shard plans) and
+    :meth:`SubtreeScheduler.complete_shard` (when the last shard of a
+    region lands).  Exactly one worker receives it; that worker calls
+    :func:`~repro.crawl.sharding.merge_region_shards` and then reports
+    the merged cost via :meth:`SubtreeScheduler.complete_region`.
+    """
+
+    task: RegionTask
+    plan: object  # a repro.crawl.sharding.RegionShardPlan
+    results: tuple  # shard CrawlResults in canonical shard order
+
+
+class SubtreeScheduler(WorkStealingScheduler):
+    """Two-level work stealing: whole regions first, then subtrees.
+
+    The region layer behaves exactly like
+    :class:`WorkStealingScheduler`: a worker drains its home session's
+    queue in plan order, then steals the tail region of the costliest
+    session.  Acquiring a region means *presplitting* it
+    (:func:`~repro.crawl.sharding.presplit_region`); the resulting plan
+    is handed back via :meth:`publish`, which turns the region *live*
+    and exposes its subtree shards.  Only when no whole region is left
+    to take does a worker fall through to the subtree layer and steal
+    the next shard of the **costliest live region** -- the region with
+    the largest estimated remaining shard cost, measured from the exact
+    costs of its already-finished shards
+    (:meth:`CostEstimator.record_shard`) and falling back to the
+    region-level estimate divided by its shard count.
+
+    :meth:`acquire` blocks while work may still appear (a presplit in
+    flight can publish new shards); it returns ``None`` only when every
+    region has been merged or failed.  Pass ``block=False`` for a
+    non-blocking poll (the process backend's parent-side dispatcher).
+    """
+
+    def __init__(self, bundles, estimator: CostEstimator | None = None):
+        super().__init__(bundles, estimator)
+        self._cond = threading.Condition(self._lock)
+        self._live: dict[RegionKey, _LiveRegion] = {}
+        self._merging: set[RegionKey] = set()
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self, worker_session: int | None = None, *, block: bool = True
+    ) -> RegionTask | ShardTask | None:
+        """The next region or shard for a worker; ``None`` when done.
+
+        Preference order: the worker's own region queue, then a stolen
+        whole region, then a shard of the costliest live region.  With
+        ``block=True`` (workers) the call waits whenever the queues are
+        momentarily empty but presplits in flight may still publish
+        shards; with ``block=False`` (a dispatcher polling from its own
+        thread) it returns ``None`` immediately in that situation.
+        """
+        with self._cond:
+            while True:
+                task = self._acquire_region_locked(worker_session)
+                if task is not None:
+                    return task
+                shard = self._acquire_shard_locked(worker_session)
+                if shard is not None:
+                    return shard
+                if self._drained_locked() or not block:
+                    return None
+                self._cond.wait()
+
+    def _acquire_shard_locked(
+        self, worker_session: int | None
+    ) -> ShardTask | None:
+        # Caller holds self._lock.  Victim: largest estimated remaining
+        # shard cost; ties broken by the lowest region key.
+        best_key: RegionKey | None = None
+        best_score = -1.0
+        for key, live in self._live.items():
+            if live.failed or not live.pending:
+                continue
+            mean = self.estimator.shard_mean(key)
+            if mean is None:
+                mean = self.estimator.estimate(key) / max(
+                    1, len(live.plan.shards)
+                )
+            score = mean * len(live.pending)
+            if (
+                best_key is None
+                or score > best_score
+                or (score == best_score and key < best_key)
+            ):
+                best_key, best_score = key, score
+        if best_key is None:
+            return None
+        live = self._live[best_key]
+        task = live.pending.popleft()
+        live.in_flight += 1
+        if worker_session is None or best_key[0] != worker_session:
+            self._steals.append((best_key, worker_session))
+        return task
+
+    def _drained_locked(self) -> bool:
+        # Caller holds self._lock.
+        if any(self._queues):
+            return False
+        return not (self._in_flight or self._live or self._merging)
+
+    # ------------------------------------------------------------------
+    # Region lifecycle
+    # ------------------------------------------------------------------
+    def publish(self, task: RegionTask, plan) -> RegionCompletion | None:
+        """File a presplit region's shard plan and expose its shards.
+
+        Returns a :class:`RegionCompletion` immediately when the plan
+        carries no shards (the trunk was the whole crawl) -- the caller
+        then merges and reports via :meth:`complete_region` as usual.
+        """
+        with self._cond:
+            if task.key not in self._in_flight:
+                raise AlgorithmInvariantError(
+                    f"region {task.key} is not in flight; only its "
+                    "acquirer may publish a shard plan"
+                )
+            del self._in_flight[task.key]
+            if plan.shards:
+                pending = deque(
+                    ShardTask(task.session, task.index, task.region, shard)
+                    for shard in plan.shards
+                )
+                self._live[task.key] = _LiveRegion(task, plan, pending)
+                self._cond.notify_all()
+                return None
+            self._merging.add(task.key)
+            self._cond.notify_all()
+            return RegionCompletion(task=task, plan=plan, results=())
+
+    def complete_shard(
+        self, task: ShardTask, result
+    ) -> RegionCompletion | None:
+        """File one shard's result; exact cost feeds the estimator.
+
+        Returns the region's :class:`RegionCompletion` when this was
+        its last outstanding shard (and the region did not fail).
+        """
+        self.estimator.record_shard(task.key, result.cost)
+        with self._cond:
+            live = self._live.get(task.key)
+            if live is None or task.shard.order in live.results:
+                raise AlgorithmInvariantError(
+                    f"shard {task.shard.order} of region {task.key} is "
+                    "not in flight; a shard may only be completed once"
+                )
+            live.in_flight -= 1
+            live.results[task.shard.order] = result
+            if live.failed:
+                if live.in_flight == 0 and not live.pending:
+                    del self._live[task.key]
+                self._cond.notify_all()
+                return None
+            if live.pending or live.in_flight > 0:
+                self._cond.notify_all()
+                return None
+            del self._live[task.key]
+            self._merging.add(task.key)
+            self._cond.notify_all()
+            return RegionCompletion(
+                task=live.task,
+                plan=live.plan,
+                results=tuple(
+                    live.results[order]
+                    for order in range(len(live.plan.shards))
+                ),
+            )
+
+    def complete_region(self, key: RegionKey, cost: int) -> None:
+        """Record a merged region's exact total cost (after the merge)."""
+        with self._cond:
+            self._merging.discard(key)
+            self._completed[key] = int(cost)
+            self._cond.notify_all()
+        self.estimator.record(key, int(cost))
+        with self._lock:
+            self._refresh_estimates()
+
+    def complete(self, task: RegionTask, cost: int) -> None:
+        """Region-level completion (inherited path), plus a wake-up."""
+        super().complete(task, cost)
+        with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def fail(self, task) -> None:
+        """Mark a region (presplit) or shard task as failed.
+
+        A shard failure fails its whole region: the region's queued
+        shards are dropped, in-flight siblings are drained silently,
+        and the region is never merged.
+        """
+        if isinstance(task, ShardTask):
+            with self._cond:
+                live = self._live.get(task.key)
+                if live is None:
+                    raise AlgorithmInvariantError(
+                        f"shard {task.shard.order} of region {task.key} "
+                        "is not in flight"
+                    )
+                live.in_flight -= 1
+                live.pending.clear()
+                if not live.failed:
+                    live.failed = True
+                    self._failed.add(task.key)
+                if live.in_flight == 0:
+                    del self._live[task.key]
+                self._cond.notify_all()
+            return
+        super().fail(task)
+        with self._cond:
+            self._cond.notify_all()
+
+    def fail_region(self, key: RegionKey) -> None:
+        """Mark a region failed after its merge step raised."""
+        with self._cond:
+            self._merging.discard(key)
+            self._failed.add(key)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def remaining(self) -> int:
+        """Regions not yet merged or failed (any lifecycle stage)."""
+        with self._lock:
+            queued = sum(len(q) for q in self._queues)
+            return (
+                queued
+                + len(self._in_flight)
+                + len(self._live)
+                + len(self._merging)
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            queued = sum(len(q) for q in self._queues)
+            return (
+                f"SubtreeScheduler({self._total} regions: {queued} queued, "
+                f"{len(self._in_flight)} presplitting, "
+                f"{len(self._live)} live, {len(self._merging)} merging, "
                 f"{len(self._completed)} done, {len(self._failed)} failed, "
                 f"{len(self._steals)} steals)"
             )

@@ -69,6 +69,12 @@ class QueryStats(LocklessPickle):
         with self._lock:
             self._phase = None
 
+    @property
+    def current_phase(self) -> str | None:
+        """The phase queries are currently attributed to, if any."""
+        with self._lock:
+            return self._phase
+
     def snapshot(self) -> "QueryStats":
         """An independent, consistent copy of the current counters."""
         with self._lock:

@@ -42,6 +42,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([path, "--k", "8", "--executor", "x"])
 
+    def test_shard_subtrees_flag_shapes(self, mixed_csv):
+        from repro.crawl.sharding import DEFAULT_MAX_SHARDS
+
+        path, _ = mixed_csv
+        args = build_parser().parse_args([path, "--k", "8"])
+        assert args.shard_subtrees is None
+        assert args.max_regions is None
+        args = build_parser().parse_args(
+            [path, "--k", "8", "--shard-subtrees"]
+        )
+        assert args.shard_subtrees == DEFAULT_MAX_SHARDS
+        args = build_parser().parse_args(
+            [path, "--k", "8", "--shard-subtrees", "12", "--max-regions", "64"]
+        )
+        assert args.shard_subtrees == 12
+        assert args.max_regions == 64
+
 
 class TestMain:
     def test_happy_path(self, mixed_csv, capsys):
@@ -70,7 +87,10 @@ class TestMain:
         dataset = random_dataset(space, 20, seed=0, numeric_range=(0, 9))
         path = tmp_path / "num.csv"
         save_csv(dataset, path)
-        assert main([str(path), "--k", "4", "--algorithm", "binary-shrink"]) == 2
+        assert (
+            main([str(path), "--k", "4", "--algorithm", "binary-shrink"])
+            == 2
+        )
         assert (
             main(
                 [
@@ -145,3 +165,68 @@ class TestExecutors:
             == 0
         )
         assert "thread + rebalance" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--shard-subtrees"],
+            ["--rebalance", "--shard-subtrees", "4"],
+            ["--executor", "process", "--shard-subtrees", "4"],
+            ["--executor", "sequential", "--shard-subtrees", "4"],
+        ],
+    )
+    def test_shard_subtrees_verifies_complete(self, mixed_csv, capsys, flags):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--workers", "2", *flags]) == 0
+        out = capsys.readouterr().out
+        assert "subtree shards" in out
+        assert "complete" in out
+
+    def test_shard_subtrees_must_be_positive(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main([path, "--k", "8", "--workers", "2", "--shard-subtrees", "0"])
+            == 2
+        )
+        assert "--shard-subtrees" in capsys.readouterr().err
+
+    def test_max_regions_caps_the_plan(self, tmp_path, capsys):
+        from repro.dataspace.space import DataSpace
+
+        space = DataSpace.mixed([("c", 9)], ["x"])
+        dataset = random_dataset(space, 80, seed=2, numeric_range=(0, 40))
+        path = tmp_path / "wide.csv"
+        save_csv(dataset, path)
+        assert (
+            main(
+                [
+                    str(path),
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--max-regions",
+                    "9",
+                ]
+            )
+            == 0
+        )
+        assert "9 regions" in capsys.readouterr().out
+        # A cap below the categorical domain steers the planner to the
+        # bounded numeric attribute: exactly one interval per session.
+        assert (
+            main(
+                [
+                    str(path),
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--max-regions",
+                    "4",
+                    "--bounds-from-data",
+                ]
+            )
+            == 0
+        )
+        assert "2 regions" in capsys.readouterr().out

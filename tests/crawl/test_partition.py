@@ -58,6 +58,45 @@ class TestPartitionPlan:
         plan = partition_space(space, 4)
         assert plan.attribute == 0
 
+    def test_default_skips_huge_domains_for_bounded_numeric(self):
+        # The NSF-like shape: one enormous categorical domain.  The
+        # cost-aware planner prefers a bounded numeric attribute over
+        # exploding into one region per categorical value.
+        space = DataSpace.mixed(
+            [("pi_name", 30_000), ("state", 50)],
+            ["amount"],
+            numeric_bounds=[(0, 10**6)],
+        )
+        plan = partition_space(space, 4)
+        assert plan.attribute == 1  # 50 fits the cap, 30000 does not
+        assert len(plan.regions) == 50
+        capped = partition_space(space, 4, max_regions=10)
+        assert capped.attribute == 2  # numeric: exactly 4 regions
+        assert len(capped.regions) == 4
+
+    def test_default_falls_back_to_smallest_oversized_domain(self):
+        space = DataSpace.categorical([30_000, 600])
+        plan = partition_space(space, 4, max_regions=512)
+        assert plan.attribute == 1  # least oversized choice available
+        assert len(plan.regions) == 600
+
+    def test_explicit_attribute_bypasses_the_cap(self):
+        space = DataSpace.categorical([700, 3])
+        plan = partition_space(space, 2, attribute=0, max_regions=16)
+        assert len(plan.regions) == 700
+
+    def test_max_regions_below_sessions_rejected(self):
+        space = DataSpace.categorical([8])
+        with pytest.raises(SchemaError):
+            partition_space(space, 4, max_regions=3)
+
+    def test_default_requires_domain_to_hold_sessions(self):
+        # Only a 3-value domain: 4 sessions cannot be packed, and with
+        # no numeric alternative the planner says so.
+        space = DataSpace.categorical([3])
+        with pytest.raises(SchemaError):
+            partition_space(space, 4)
+
     def test_numeric_intervals_cover_everything(self):
         space = DataSpace.numeric(1, bounds=[(0, 99)])
         plan = partition_space(space, 4)

@@ -19,6 +19,46 @@ class TestExports:
         from repro.datasets import yahoo_autos  # noqa: F401
 
 
+class TestDocstrings:
+    """Every exported crawl-API name carries a usage-level docstring."""
+
+    def test_crawl_exports_are_documented(self):
+        import repro.crawl as crawl
+
+        undocumented = []
+        for name in crawl.__all__:
+            obj = getattr(crawl, name)
+            doc = getattr(obj, "__doc__", None)
+            if callable(obj) or isinstance(obj, type):
+                if not doc or not doc.strip():
+                    undocumented.append(name)
+        assert not undocumented, (
+            "exported names without docstrings: " f"{undocumented}"
+        )
+
+    def test_named_apis_carry_usage_examples(self):
+        """The five load-bearing entry points show example usage."""
+        from repro.crawl import (
+            CrawlExecutor,
+            PartitionPlan,
+            WorkStealingScheduler,
+            crawl_partitioned,
+            crawl_partitioned_parallel,
+        )
+
+        for obj in (
+            crawl_partitioned,
+            crawl_partitioned_parallel,
+            PartitionPlan,
+            CrawlExecutor,
+            WorkStealingScheduler,
+        ):
+            doc = obj.__doc__ or ""
+            assert (
+                ">>>" in doc or "::" in doc or "Examples" in doc
+            ), f"{obj.__name__} lacks a usage example in its docstring"
+
+
 class TestExceptionHierarchy:
     def test_all_errors_derive_from_repro_error(self):
         from repro import (

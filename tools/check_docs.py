@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Docs smoke check: the README's code cannot drift from the code.
+
+Three passes, any failure is fatal:
+
+1. ``doctest`` over the markdown docs -- every ``>>>`` example in
+   ``README.md`` and ``docs/architecture.md`` runs and must produce
+   its printed output.
+2. Every fenced ```` ```bash ```` block in ``README.md`` is executed
+   line by line in a scratch directory (with ``src/`` on
+   ``PYTHONPATH``), exactly as a reader would paste it.  Blocks fenced
+   ```` ```sh ```` are install/test instructions and are *not* run
+   here (CI runs the test suite in its own job).
+3. Every fenced ```` ```python ```` block in ``README.md`` is executed
+   as a script in the same scratch directory.
+
+Run locally::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCTEST_DOCS = ["README.md", "docs/architecture.md"]
+EXEC_DOCS = ["README.md"]
+FENCE = re.compile(r"^```(\w+)\s*$")
+
+
+def extract_blocks(path: Path) -> list[tuple[str, str]]:
+    """(language, body) for every fenced code block in a markdown file."""
+    blocks: list[tuple[str, str]] = []
+    language: str | None = None
+    body: list[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if language is None:
+            match = FENCE.match(line)
+            if match:
+                language = match.group(1)
+                body = []
+        elif line.strip() == "```":
+            blocks.append((language, "\n".join(body)))
+            language = None
+        else:
+            body.append(line)
+    return blocks
+
+
+def run_doctests() -> int:
+    failures = 0
+    for name in DOCTEST_DOCS:
+        path = REPO / name
+        result = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        print(
+            f"doctest {name}: {result.attempted} examples, "
+            f"{result.failed} failures"
+        )
+        failures += result.failed
+    return failures
+
+
+def run_snippets() -> int:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        for name in EXEC_DOCS:
+            for language, body in extract_blocks(REPO / name):
+                if language == "bash":
+                    commands = [
+                        line
+                        for line in body.splitlines()
+                        if line.strip() and not line.strip().startswith("#")
+                    ]
+                elif language == "python":
+                    commands = None  # whole block, below
+                else:
+                    continue
+                if language == "python":
+                    print(f"[{name}] python block ({len(body)} chars)")
+                    proc = subprocess.run(
+                        [sys.executable, "-"],
+                        input=body,
+                        text=True,
+                        cwd=scratch,
+                        env=env,
+                    )
+                    if proc.returncode != 0:
+                        print(f"FAILED python block in {name}")
+                        failures += 1
+                    continue
+                for command in commands:
+                    print(f"[{name}] $ {command}")
+                    proc = subprocess.run(
+                        command, shell=True, cwd=scratch, env=env
+                    )
+                    if proc.returncode != 0:
+                        print(f"FAILED ({proc.returncode}): {command}")
+                        failures += 1
+    return failures
+
+
+def main() -> int:
+    failures = run_doctests()
+    failures += run_snippets()
+    if failures:
+        print(f"docs check: {failures} failure(s)")
+        return 1
+    print("docs check: all snippets green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
