@@ -12,7 +12,10 @@ measured series land in ``extra_info`` for DESIGN.md's discussion.
 """
 
 from benchmarks.conftest import record_figure, run_once
-from repro.experiments.figures import ablation_ordering, ablation_split_threshold
+from repro.experiments.figures import (
+    ablation_ordering,
+    ablation_split_threshold,
+)
 
 
 def test_ordering_ablation(benchmark, scale):
@@ -28,7 +31,11 @@ def test_ordering_ablation(benchmark, scale):
 
 def test_split_threshold_ablation(benchmark, scale):
     figure = run_once(
-        benchmark, ablation_split_threshold, scale=scale, k=256, divisors=(2, 3, 4, 8, 16)
+        benchmark,
+        ablation_split_threshold,
+        scale=scale,
+        k=256,
+        divisors=(2, 3, 4, 8, 16),
     )
     record_figure(benchmark, figure)
     costs = figure.series_by_name("rank-shrink").ys()

@@ -41,6 +41,9 @@ def test_sampling_vs_crawling(benchmark, dataset):
     )
     fractions = [p.crawl_fraction for p in report.points]
     assert fractions == sorted(fractions), "crawl coverage must be monotone"
-    assert report.points[-1].crawl_complete or budgets[-1] < report.crawl_full_cost
+    assert (
+        report.points[-1].crawl_complete
+        or budgets[-1] < report.crawl_full_cost
+    )
     benchmark.extra_info["full_crawl_cost"] = report.crawl_full_cost
     benchmark.extra_info["rows"] = report.rows()

@@ -103,9 +103,7 @@ def test_backend_speedups_cpu_bound(benchmark):
             for _ in range(SESSIONS)
         ]
 
-    sequential, seq_seconds = timed(
-        lambda: crawl_partitioned(sources(), plan)
-    )
+    sequential, seq_seconds = timed(lambda: crawl_partitioned(sources(), plan))
     seconds = {"sequential": seq_seconds}
     results = {}
 

@@ -32,7 +32,9 @@ def test_fig10a_cost_vs_k(benchmark, scale):
 
 
 def test_fig10b_cost_vs_d(benchmark, scale):
-    figure = run_once(benchmark, figure_10b, scale=scale, k=256, dims=(3, 4, 5, 6))
+    figure = run_once(
+        benchmark, figure_10b, scale=scale, k=256, dims=(3, 4, 5, 6)
+    )
     record_figure(benchmark, figure)
     rank = figure.series_by_name("rank-shrink").ys()
     binary = figure.series_by_name("binary-shrink").ys()
@@ -49,7 +51,11 @@ def test_fig10b_cost_vs_d(benchmark, scale):
 
 def test_fig10c_cost_vs_n(benchmark, scale):
     figure = run_once(
-        benchmark, figure_10c, scale=scale, k=256, fractions=(0.2, 0.4, 0.6, 0.8, 1.0)
+        benchmark,
+        figure_10c,
+        scale=scale,
+        k=256,
+        fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
     )
     record_figure(benchmark, figure)
     rank = figure.series_by_name("rank-shrink").ys()

@@ -38,7 +38,9 @@ def test_fig11a_cost_vs_k(benchmark, scale):
 
 
 def test_fig11b_cost_vs_d(benchmark, scale):
-    figure = run_once(benchmark, figure_11b, scale=scale, k=256, dims=(5, 6, 7, 8, 9))
+    figure = run_once(
+        benchmark, figure_11b, scale=scale, k=256, dims=(5, 6, 7, 8, 9)
+    )
     record_figure(benchmark, figure)
     lazy = figure.series_by_name("lazy-slice-cover").ys()
     eager = figure.series_by_name("slice-cover").ys()
@@ -47,7 +49,11 @@ def test_fig11b_cost_vs_d(benchmark, scale):
 
 def test_fig11c_cost_vs_n(benchmark, scale):
     figure = run_once(
-        benchmark, figure_11c, scale=scale, k=256, fractions=(0.2, 0.4, 0.6, 0.8, 1.0)
+        benchmark,
+        figure_11c,
+        scale=scale,
+        k=256,
+        fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
     )
     record_figure(benchmark, figure)
     lazy = figure.series_by_name("lazy-slice-cover").ys()

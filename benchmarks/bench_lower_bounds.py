@@ -12,7 +12,9 @@ from repro.experiments.figures import theorem_3_check, theorem_4_check
 
 
 def test_theorem3_envelope(benchmark):
-    figure = run_once(benchmark, theorem_3_check, k=32, d=4, ms=(8, 16, 32, 64))
+    figure = run_once(
+        benchmark, theorem_3_check, k=32, d=4, ms=(8, 16, 32, 64)
+    )
     record_figure(benchmark, figure)
     measured = figure.series_by_name("rank-shrink").ys()
     lower = figure.series_by_name("lower bound d*m").ys()
@@ -27,9 +29,7 @@ def test_theorem3_dimension_sweep(benchmark):
     """The d*m floor grows with d (at fixed m, k)."""
 
     def sweep():
-        return [
-            theorem_3_check(k=32, d=d, ms=(16,)) for d in (2, 4, 8)
-        ]
+        return [theorem_3_check(k=32, d=d, ms=(16,)) for d in (2, 4, 8)]
 
     figures = run_once(benchmark, sweep)
     floors = [f.series_by_name("lower bound d*m").ys()[0] for f in figures]

@@ -90,9 +90,7 @@ def test_indexed_engine_selective_queries(benchmark, nsf_small):
     space = nsf_small.space
     server = TopKServer(nsf_small, k=256, engine="indexed")
     pi_name = space.dimensionality - 1  # the huge-domain attribute
-    queries = [
-        Query.full(space).with_value(pi_name, v) for v in range(1, 401)
-    ]
+    queries = [Query.full(space).with_value(pi_name, v) for v in range(1, 401)]
     benchmark(run_queries, server, queries)
     benchmark.extra_info["queries"] = len(queries)
 
@@ -102,8 +100,6 @@ def test_vector_engine_selective_queries(benchmark, nsf_small):
     space = nsf_small.space
     server = TopKServer(nsf_small, k=256, engine="vector")
     pi_name = space.dimensionality - 1
-    queries = [
-        Query.full(space).with_value(pi_name, v) for v in range(1, 401)
-    ]
+    queries = [Query.full(space).with_value(pi_name, v) for v in range(1, 401)]
     benchmark(run_queries, server, queries)
     benchmark.extra_info["queries"] = len(queries)

@@ -46,4 +46,6 @@ def run_once(benchmark, fn, *args, **kwargs):
     The experiments are deterministic and expensive; statistical
     repetition belongs to the engine micro-benchmarks, not here.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -52,9 +52,7 @@ def main() -> None:
     price = dataset.space.index_of("price")
 
     budgets = [25, 50, 100, 200, 400, 800]
-    report = compare_at_budgets(
-        dataset, k, budgets, attribute=price, seed=4
-    )
+    report = compare_at_budgets(dataset, k, budgets, attribute=price, seed=4)
 
     print(f"marketplace: n={report.n}, k={k}")
     print(f"full hybrid crawl finishes in {report.crawl_full_cost} queries")
@@ -74,9 +72,7 @@ def main() -> None:
     print()
     print("after a complete crawl, any aggregate is exact; e.g. the mean")
     truth = float(dataset.rows[:, price].mean())
-    estimate = estimate_mean(
-        TopKServer(dataset, k), price, walks=600, seed=4
-    )
+    estimate = estimate_mean(TopKServer(dataset, k), price, walks=600, seed=4)
     print(f"  true mean price:      {truth:12.2f}  (crawl: exact, free)")
     print(
         f"  sampling estimate:    {estimate.estimate:12.2f}"

@@ -19,7 +19,13 @@ Run::
     python examples/auto_marketplace.py
 """
 
-from repro import Hybrid, InfeasibleCrawlError, Query, TopKServer, assert_complete
+from repro import (
+    Hybrid,
+    InfeasibleCrawlError,
+    Query,
+    TopKServer,
+    assert_complete,
+)
 from repro.datasets import yahoo_autos
 
 N = 12000  # scaled-down marketplace (the paper's Yahoo has 69,768)

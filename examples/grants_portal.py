@@ -18,7 +18,13 @@ Run::
     python examples/grants_portal.py
 """
 
-from repro import DepthFirstSearch, LazySliceCover, SliceCover, TopKServer, assert_complete
+from repro import (
+    DepthFirstSearch,
+    LazySliceCover,
+    SliceCover,
+    TopKServer,
+    assert_complete,
+)
 from repro.datasets import nsf
 from repro.discovery import discover_domains
 

@@ -97,9 +97,7 @@ def main() -> None:
     # Baseline: one identity, one daily quota.
     # ------------------------------------------------------------------
     clock = SimulatedClock()
-    server = TopKServer(
-        dataset, k, limits=[DailyRateLimit(per_day, clock)]
-    )
+    server = TopKServer(dataset, k, limits=[DailyRateLimit(per_day, clock)])
     # Deterministic algorithm + shared response cache: each retry
     # replays the finished prefix for free and continues.
     from repro.server.client import CachingClient

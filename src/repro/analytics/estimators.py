@@ -153,6 +153,4 @@ def estimate_mean(
         )
     estimate = total.estimate / size.estimate
     stderr = total.stderr / size.estimate
-    return EstimateReport(
-        estimate, stderr, total.walks, total.successes, cost
-    )
+    return EstimateReport(estimate, stderr, total.walks, total.successes, cost)

@@ -28,6 +28,14 @@ from repro.crawl.binary_shrink import (
     solve_binary,
 )
 from repro.crawl.checkpoint import load_checkpoint, save_checkpoint
+from repro.crawl.coordinator import (
+    LimitCoordinator,
+    SharedBudget,
+    SharedClock,
+    SharedDailyLimit,
+    SharedLimitClient,
+    SharedStats,
+)
 from repro.crawl.dependency import (
     DependencyFilteringClient,
     PairwiseDependencyOracle,
@@ -100,6 +108,12 @@ __all__ = [
     "AsyncExecutor",
     "EXECUTORS",
     "make_executor",
+    "LimitCoordinator",
+    "SharedLimitClient",
+    "SharedBudget",
+    "SharedDailyLimit",
+    "SharedClock",
+    "SharedStats",
     "CostEstimator",
     "RegionTask",
     "ShardTask",

@@ -13,6 +13,9 @@ out::
         --executor process --rebalance
     python -m repro.crawl data.csv --k 256 --workers 4 \
         --rebalance --shard-subtrees 8
+    python -m repro.crawl data.csv --k 256 --workers 4 \
+        --executor process --shared-limits --budget 5000
+    python -m repro.crawl data.csv --k 256 --workers 4 --progress-live
 
 ``--workers N`` partitions the data space into ``N`` disjoint regions
 and crawls them concurrently, one session (with its own server
@@ -30,6 +33,16 @@ the plan.  ``--max-regions`` caps how many regions the default
 partition planner may produce (see
 :func:`~repro.crawl.partition.partition_space`).
 
+``--budget N`` puts one server-side :class:`QueryBudget` of ``N``
+queries in front of *all* sessions together -- the paper's global
+interface limit.  ``--shared-limits`` keeps that budget (and any other
+server-side limits/stats) exactly-once on the process backend by
+routing admissions through the shared-state control plane
+(:mod:`repro.crawl.coordinator`); in-process backends already share the
+budget object and are unaffected.  ``--progress-live`` prints a
+line-per-session progress view (to stderr) while the crawl runs, with
+failed sessions marked distinctly.
+
 This is a simulation utility: the CSV plays the role of the hidden
 content, and the reported cost is what a crawl of a real server with
 the same data would pay.
@@ -40,7 +53,9 @@ from __future__ import annotations
 import argparse
 import functools
 import sys
+import threading
 
+from repro.crawl.base import ProgressAggregator, SessionState
 from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.executors import EXECUTORS
@@ -52,7 +67,12 @@ from repro.crawl.sharding import DEFAULT_MAX_SHARDS
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
 from repro.crawl.verify import verify_complete
 from repro.datasets.io import load_csv, save_csv
-from repro.exceptions import InfeasibleCrawlError, ReproError
+from repro.exceptions import (
+    InfeasibleCrawlError,
+    QueryBudgetExhausted,
+    ReproError,
+)
+from repro.server.limits import QueryBudget
 from repro.server.server import TopKServer
 
 ALGORITHMS = {
@@ -134,11 +154,72 @@ def build_parser() -> argparse.ArgumentParser:
         "planner off huge categorical domains",
     )
     parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="put one server-side query budget of N queries in front "
+        "of all sessions together (the paper's interface limit); the "
+        "crawl fails cleanly when it runs out",
+    )
+    parser.add_argument(
+        "--shared-limits",
+        action="store_true",
+        help="keep server-side limits/stats exactly-once on the "
+        "process backend via the shared-state control plane "
+        "(in-process backends already share them; no-op there)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print the progressiveness curve (deciles)",
     )
+    parser.add_argument(
+        "--progress-live",
+        action="store_true",
+        help="print a live line-per-session progress view to stderr "
+        "while a multi-worker crawl runs (failed sessions are marked "
+        "FAILED)",
+    )
     return parser
+
+
+def render_live_progress(aggregator: ProgressAggregator) -> str:
+    """One line per session: state (FAILED in caps), queries, tuples.
+
+    The ``--progress-live`` view over an aggregator snapshot.  Failed
+    and cancelled sessions render their state in upper case so a dead
+    session is visually distinct from slow ``running`` / finished
+    ``done`` ones.
+    """
+    lines = []
+    for session, (point, state) in enumerate(aggregator.snapshot()):
+        label = state.value
+        if state in (SessionState.FAILED, SessionState.CANCELLED):
+            label = label.upper()
+        lines.append(
+            f"session {session}: {label:<9} "
+            f"queries={point.queries} tuples={point.tuples}"
+        )
+    return "\n".join(lines)
+
+
+def _watch_progress(
+    aggregator: ProgressAggregator,
+    stop: threading.Event,
+    stream,
+    interval: float,
+) -> None:
+    """Print the live view whenever it changes; once more on stop."""
+    last = None
+    while True:
+        finished = stop.wait(interval)
+        text = render_live_progress(aggregator)
+        if text != last:
+            print(text, file=stream, flush=True)
+            last = text
+        if finished:
+            return
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,15 +237,23 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.budget is not None and args.budget < 1:
+        print(
+            f"error: --budget must be positive, got {args.budget}",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers == 1 and (
         args.executor != "thread"
         or args.rebalance
         or args.shard_subtrees is not None
+        or args.shared_limits
+        or args.progress_live
     ):
         print(
-            "note: --executor/--rebalance/--shard-subtrees only take "
-            "effect with --workers > 1; running a single unpartitioned "
-            "crawl",
+            "note: --executor/--rebalance/--shard-subtrees/"
+            "--shared-limits/--progress-live only take effect with "
+            "--workers > 1; running a single unpartitioned crawl",
             file=sys.stderr,
         )
     try:
@@ -180,9 +269,25 @@ def main(argv: list[str] | None = None) -> int:
         f"min feasible k={dataset.min_feasible_k()}"
     )
     algorithm = ALGORITHMS[args.algorithm]
+    if (
+        args.budget is not None
+        and args.workers > 1
+        and args.executor == "process"
+        and not args.shared_limits
+    ):
+        print(
+            "note: --budget with --executor process admits per worker-"
+            "process copy; add --shared-limits to enforce it exactly "
+            "once across the pool",
+            file=sys.stderr,
+        )
+    budget = QueryBudget(args.budget) if args.budget is not None else None
+    limits = [budget] if budget is not None else []
     try:
         if args.workers == 1:
-            server = TopKServer(dataset, args.k, priority_seed=args.seed)
+            server = TopKServer(
+                dataset, args.k, priority_seed=args.seed, limits=limits
+            )
             crawler = algorithm(server, max_queries=args.max_queries)
             result = crawler.crawl()
         else:
@@ -190,25 +295,47 @@ def main(argv: list[str] | None = None) -> int:
                 dataset.space, args.workers, max_regions=args.max_regions
             )
             sources = [
-                TopKServer(dataset, args.k, priority_seed=args.seed)
+                TopKServer(
+                    dataset, args.k, priority_seed=args.seed, limits=limits
+                )
                 for _ in range(plan.sessions)
             ]
-            merged = crawl_partitioned_parallel(
-                sources,
-                plan,
-                max_workers=args.workers,
-                # functools.partial (not a lambda) so the factory is
-                # picklable for the process backend.
-                crawler_factory=functools.partial(
-                    algorithm, max_queries=args.max_queries
-                ),
-                executor=args.executor,
-                rebalance=args.rebalance,
-                shard_subtrees=args.shard_subtrees,
-            )
+            aggregator = None
+            monitor = stop = None
+            if args.progress_live:
+                aggregator = ProgressAggregator(plan.sessions)
+                stop = threading.Event()
+                monitor = threading.Thread(
+                    target=_watch_progress,
+                    args=(aggregator, stop, sys.stderr, 0.2),
+                    daemon=True,
+                )
+                monitor.start()
+            try:
+                merged = crawl_partitioned_parallel(
+                    sources,
+                    plan,
+                    max_workers=args.workers,
+                    # functools.partial (not a lambda) so the factory is
+                    # picklable for the process backend.
+                    crawler_factory=functools.partial(
+                        algorithm, max_queries=args.max_queries
+                    ),
+                    executor=args.executor,
+                    rebalance=args.rebalance,
+                    shard_subtrees=args.shard_subtrees,
+                    shared_limits=args.shared_limits,
+                    aggregator=aggregator,
+                )
+            finally:
+                if monitor is not None:
+                    stop.set()
+                    monitor.join()
             mode = args.executor + (" + rebalance" if args.rebalance else "")
             if args.shard_subtrees is not None:
                 mode += f" + {args.shard_subtrees}-way subtree shards"
+            if args.shared_limits:
+                mode += " + shared limits"
             print(
                 f"plan: {len(plan.regions)} regions on "
                 f"{dataset.space[plan.attribute].name!r}, "
@@ -221,6 +348,19 @@ def main(argv: list[str] | None = None) -> int:
     except InfeasibleCrawlError as exc:
         print(f"infeasible at k={args.k}: {exc}", file=sys.stderr)
         return 3
+    except QueryBudgetExhausted as exc:
+        # Without shared limits the parent's budget object is untouched
+        # by pool workers (each admitted against its own copy); fall
+        # back to the exception's own count so the message never reads
+        # "0 queries charged" on the process backend.
+        used = exc.issued
+        if budget is not None and budget.used:
+            used = budget.used
+        print(
+            f"budget exhausted: {exc} ({used} queries charged)",
+            file=sys.stderr,
+        )
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

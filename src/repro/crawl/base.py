@@ -296,9 +296,7 @@ class ProgressAggregator:
     def active(self) -> int:
         """How many sessions are still running."""
         with self._lock:
-            return sum(
-                1 for state in self._states if not state.terminal
-            )
+            return sum(1 for state in self._states if not state.terminal)
 
     def all_terminal(self) -> bool:
         """``True`` once no session is still running."""
@@ -328,9 +326,7 @@ class ProgressAggregator:
     def __repr__(self) -> str:
         with self._lock:
             total = self._history[-1]
-            running = sum(
-                1 for state in self._states if not state.terminal
-            )
+            running = sum(1 for state in self._states if not state.terminal)
         return (
             f"ProgressAggregator({self.sessions} sessions, "
             f"{running} running, {total.queries} queries, "

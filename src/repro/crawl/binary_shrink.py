@@ -66,9 +66,7 @@ def _drain_binary(
         if response.resolved:
             crawler._confirm(response.rows)
             continue
-        dim = next(
-            (i for i in range(d) if not query.is_exhausted(i)), None
-        )
+        dim = next((i for i in range(d) if not query.is_exhausted(i)), None)
         if dim is None:
             raise InfeasibleCrawlError(
                 f"point query {query} overflowed: more than k={crawler.k} "

@@ -1,0 +1,580 @@
+"""Cross-process shared-limit control plane for the process backend.
+
+The paper charges every issued query against the server's interface
+limits, but a plain pickled source copy (the process executor's default)
+gives each pool worker its *own* ``QueryBudget``/``DailyRateLimit`` --
+exact accounting, the repo's core determinism contract, silently breaks
+across processes.  This module closes that gap:
+
+* :class:`LimitCoordinator` starts a lightweight coordinator process (a
+  :class:`multiprocessing.managers.BaseManager`) whose
+  :class:`_ControlPlane` owns the **authoritative**
+  :class:`~repro.server.limits.QueryBudget`,
+  :class:`~repro.server.limits.DailyRateLimit`,
+  :class:`~repro.server.limits.SimulatedClock` and
+  :class:`~repro.server.stats.QueryStats` objects;
+* workers receive thin :class:`SharedLimitClient` / :class:`SharedStats`
+  / :class:`SharedClock` proxies -- the shared-state counterparts of the
+  ``LocklessPickle`` per-copy paths -- that admit, tick and account
+  through the plane with **exactly-once** semantics (the authoritative
+  object's own lock serialises admissions, no matter how many processes
+  race);
+* the coordinator can also host a
+  :class:`~repro.crawl.rebalance.WorkStealingScheduler` or
+  :class:`~repro.crawl.rebalance.SubtreeScheduler`
+  (:meth:`LimitCoordinator.make_scheduler`), which is what lets idle
+  pool workers steal regions and subtree shards *across process
+  boundaries* with exact observed-cost feedback.
+
+Ownership and write-back
+------------------------
+:meth:`LimitCoordinator.share_sources` walks a source stack (servers,
+caching clients, latency wrappers), moves each limit / clock / stats
+object's state into the plane once (object identity is preserved: two
+servers sharing one budget share one authoritative copy) and returns
+rewired shallow clones that are safe to pickle into pool workers.  The
+caller's original objects are never mutated during the crawl; after it,
+:meth:`LimitCoordinator.writeback` copies the authoritative counters
+back into them, so ``budget.used`` and ``server.stats.queries`` read
+exactly what was charged -- even when the crawl died on exhaustion.
+
+Client-side caches are deliberately *not* shared: a
+:class:`~repro.server.client.CachingClient` stays a per-worker copy
+(distinct regions issue distinct queries, so per-worker caches change
+nothing about the total charged cost), while the server-side admission
+and accounting behind it become globally exact.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from multiprocessing.managers import BaseManager
+
+from repro.crawl.rebalance import CostEstimator
+from repro.exceptions import QueryBudgetExhausted
+from repro.server.limits import (
+    DailyRateLimit,
+    QueryBudget,
+    QueryLimit,
+    SimulatedClock,
+)
+from repro.server.response import QueryResponse
+from repro.server.server import TopKServer
+from repro.server.stats import QueryStats
+
+__all__ = [
+    "LimitCoordinator",
+    "SharedLimitClient",
+    "SharedBudget",
+    "SharedDailyLimit",
+    "SharedClock",
+    "SharedStats",
+]
+
+
+class _ControlPlane:
+    """The coordinator-process side: owns the authoritative objects.
+
+    Lives inside the manager process; every public method is called
+    through a proxy, each client connection served by its own manager
+    thread.  Registration happens from the parent before the pool
+    starts; after that the handle table is read-only, and all mutation
+    goes through the owned objects' internal locks -- which is exactly
+    the exactly-once admission contract: ``admit`` on one authoritative
+    limit is atomic no matter how many worker processes race.
+
+    Admission refusals are returned as values, not raised: a remote
+    exception would be re-pickled by the manager machinery, while the
+    value path lets :class:`SharedLimitClient` raise a faithful
+    :class:`~repro.exceptions.QueryBudgetExhausted` (message and
+    ``issued`` intact) in the worker.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._objects: dict[int, object] = {}
+        self._next_handle = 0
+        self._events: list[tuple] = []
+
+    def _add(self, obj) -> int:
+        with self._lock:
+            handle = self._next_handle
+            self._next_handle += 1
+            self._objects[handle] = obj
+            return handle
+
+    def _get(self, handle: int):
+        with self._lock:
+            return self._objects[handle]
+
+    # ------------------------------------------------------------------
+    # Registration (parent only, before workers exist)
+    # ------------------------------------------------------------------
+    def add_budget(self, state: dict) -> int:
+        """Own a budget seeded from a ``QueryBudget.state()`` snapshot."""
+        budget = QueryBudget(int(state["max_queries"]))
+        budget.restore_state(state)
+        return self._add(budget)
+
+    def add_clock(self, state: dict) -> int:
+        """Own a clock seeded from a ``SimulatedClock.state()`` snapshot."""
+        clock = SimulatedClock(int(state["day"]))
+        return self._add(clock)
+
+    def add_daily(self, state: dict, clock_handle: int) -> int:
+        """Own a daily limit ticking against an already-owned clock.
+
+        The limit and its clock live in the same (coordinator) process
+        and reference each other directly -- no nested proxies.
+        """
+        limit = DailyRateLimit(int(state["per_day"]), self._get(clock_handle))
+        limit.restore_state(state)
+        return self._add(limit)
+
+    def add_stats(self, state: dict) -> int:
+        """Own a stats sink seeded from a ``QueryStats.state()`` snapshot."""
+        stats = QueryStats()
+        stats.restore_state(state)
+        return self._add(stats)
+
+    # ------------------------------------------------------------------
+    # Admission and accounting (called from every worker)
+    # ------------------------------------------------------------------
+    def admit(self, handle: int) -> tuple[bool, str, int]:
+        """Admit one query against an owned limit, exactly once.
+
+        Returns ``(True, "", 0)`` on success and
+        ``(False, message, issued)`` on refusal.
+        """
+        try:
+            self._get(handle).admit()
+        except QueryBudgetExhausted as exc:
+            return (False, str(exc), exc.issued)
+        return (True, "", 0)
+
+    def object_state(self, handle: int) -> dict:
+        """The ``state()`` snapshot of any owned object."""
+        return self._get(handle).state()
+
+    def clock_day(self, handle: int) -> int:
+        """Current day of an owned clock."""
+        return self._get(handle).day
+
+    def clock_sleep(self, handle: int) -> int:
+        """Advance an owned clock to the next day; returns its index."""
+        return self._get(handle).sleep_until_next_day()
+
+    def daily_used_today(self, handle: int) -> int:
+        """``used_today`` of an owned daily limit (rolls over first)."""
+        return self._get(handle).used_today
+
+    def daily_remaining_today(self, handle: int) -> int:
+        """``remaining_today`` of an owned daily limit."""
+        return self._get(handle).remaining_today
+
+    def stats_record(self, handle: int, overflow: bool, tuples: int) -> None:
+        """Account one answered query into an owned stats object."""
+        self._get(handle).record_counts(overflow, tuples)
+
+    def stats_begin_phase(self, handle: int, name: str) -> None:
+        """Begin a named cost phase on an owned stats object."""
+        self._get(handle).begin_phase(name)
+
+    def stats_end_phase(self, handle: int) -> None:
+        """End the current cost phase on an owned stats object."""
+        self._get(handle).end_phase()
+
+    # ------------------------------------------------------------------
+    # Progress event relay (workers push, the parent drains)
+    # ------------------------------------------------------------------
+    def push_event(self, event: tuple) -> None:
+        """Queue one progress event for the parent to collect."""
+        with self._lock:
+            self._events.append(event)
+
+    def pop_events(self) -> list[tuple]:
+        """Drain the queued progress events (each returned once)."""
+        with self._lock:
+            events = self._events
+            self._events = []
+            return events
+
+
+def _make_worksteal_scheduler(bundles, estimator_state):
+    # Manager-side factory: rebuild the caller's estimator knowledge
+    # from its export_state() snapshot (the object itself holds a lock
+    # and cannot travel).
+    from repro.crawl.rebalance import WorkStealingScheduler
+
+    estimator = CostEstimator(**estimator_state) if estimator_state else None
+    return WorkStealingScheduler(bundles, estimator)
+
+
+def _make_subtree_scheduler(bundles, estimator_state):
+    from repro.crawl.rebalance import SubtreeScheduler
+
+    estimator = CostEstimator(**estimator_state) if estimator_state else None
+    return SubtreeScheduler(bundles, estimator)
+
+
+class _CoordinatorManager(BaseManager):
+    """The manager hosting one control plane and optional schedulers."""
+
+
+_CoordinatorManager.register("ControlPlane", _ControlPlane)
+_CoordinatorManager.register(
+    "WorkStealingScheduler", _make_worksteal_scheduler
+)
+_CoordinatorManager.register("SubtreeScheduler", _make_subtree_scheduler)
+
+
+# ----------------------------------------------------------------------
+# Worker-side stubs
+# ----------------------------------------------------------------------
+class SharedLimitClient(QueryLimit):
+    """A :class:`QueryLimit` admitting through the control plane.
+
+    The worker-side counterpart of one coordinator-owned limit: thin
+    (a proxy plus a handle), picklable into pool workers, and exact --
+    an ``admit()`` either charges the single authoritative counter or
+    raises :class:`~repro.exceptions.QueryBudgetExhausted` with the
+    authoritative message and ``issued`` count.
+    """
+
+    def __init__(self, plane, handle: int):
+        self._plane = plane
+        self._handle = handle
+
+    def admit(self) -> None:
+        ok, message, issued = self._plane.admit(self._handle)
+        if not ok:
+            raise QueryBudgetExhausted(message, issued=issued)
+
+    def state(self) -> dict:
+        """The authoritative counters, straight from the coordinator."""
+        return self._plane.object_state(self._handle)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(handle={self._handle})"
+
+
+class SharedBudget(SharedLimitClient):
+    """Shared-state counterpart of :class:`QueryBudget`."""
+
+    @property
+    def remaining(self) -> int:
+        """Queries the authoritative budget still admits."""
+        state = self.state()
+        return int(state["max_queries"]) - int(state["used"])
+
+    @property
+    def used(self) -> int:
+        """Queries the authoritative budget has admitted."""
+        return int(self.state()["used"])
+
+
+class SharedDailyLimit(SharedLimitClient):
+    """Shared-state counterpart of :class:`DailyRateLimit`."""
+
+    @property
+    def used_today(self) -> int:
+        """Queries spent against the authoritative quota today."""
+        return self._plane.daily_used_today(self._handle)
+
+    @property
+    def remaining_today(self) -> int:
+        """Queries left in the authoritative quota today."""
+        return self._plane.daily_remaining_today(self._handle)
+
+
+class SharedClock:
+    """Shared-state counterpart of :class:`SimulatedClock`.
+
+    Any worker's :meth:`sleep_until_next_day` advances the one
+    authoritative day counter, so daily quotas roll over for the whole
+    fleet at once -- exactly the per-IP timeline the paper's cost model
+    assumes.
+    """
+
+    def __init__(self, plane, handle: int):
+        self._plane = plane
+        self._handle = handle
+
+    @property
+    def day(self) -> int:
+        """The authoritative simulated day index."""
+        return self._plane.clock_day(self._handle)
+
+    def sleep_until_next_day(self) -> int:
+        """Advance the authoritative clock; returns the new day."""
+        return self._plane.clock_sleep(self._handle)
+
+    def state(self) -> dict:
+        """The authoritative clock state."""
+        return self._plane.object_state(self._handle)
+
+    def __repr__(self) -> str:
+        return f"SharedClock(handle={self._handle})"
+
+
+class SharedStats:
+    """Shared-state counterpart of :class:`QueryStats`.
+
+    Implements the recording surface a server needs (``record``,
+    phases) by shipping the bare counts to the coordinator, and the
+    reading surface monitors use (``queries`` etc.) by snapshotting the
+    authoritative counters.  Reads are round trips; prefer
+    :meth:`snapshot` over repeated property access in hot loops.
+    """
+
+    def __init__(self, plane, handle: int):
+        self._plane = plane
+        self._handle = handle
+
+    def record(self, response: QueryResponse) -> None:
+        """Account one answered query into the authoritative counters."""
+        self._plane.stats_record(
+            self._handle, response.overflow, len(response.rows)
+        )
+
+    def begin_phase(self, name: str) -> None:
+        """Attribute subsequent queries to a named phase."""
+        self._plane.stats_begin_phase(self._handle, name)
+
+    def end_phase(self) -> None:
+        """Stop attributing queries to a phase."""
+        self._plane.stats_end_phase(self._handle)
+
+    def snapshot(self) -> QueryStats:
+        """An independent local :class:`QueryStats` copy of the counters."""
+        stats = QueryStats()
+        stats.restore_state(self._plane.object_state(self._handle))
+        return stats
+
+    def state(self) -> dict:
+        """The authoritative counters as a plain dict."""
+        return self._plane.object_state(self._handle)
+
+    @property
+    def queries(self) -> int:
+        """Total queries recorded, fleet-wide."""
+        return int(self.state()["queries"])
+
+    @property
+    def resolved(self) -> int:
+        """Queries that resolved (no overflow), fleet-wide."""
+        return int(self.state()["resolved"])
+
+    @property
+    def overflowed(self) -> int:
+        """Queries that overflowed, fleet-wide."""
+        return int(self.state()["overflowed"])
+
+    @property
+    def tuples_returned(self) -> int:
+        """Tuples shipped by the server, fleet-wide."""
+        return int(self.state()["tuples_returned"])
+
+    @property
+    def phase_costs(self) -> dict[str, int]:
+        """Per-phase query subtotals, fleet-wide."""
+        return dict(self.state()["phase_costs"])
+
+    def __str__(self) -> str:
+        return str(self.snapshot())
+
+    def __repr__(self) -> str:
+        return f"SharedStats(handle={self._handle})"
+
+
+class LimitCoordinator:
+    """Lifecycle owner of the control plane, and the rewiring front.
+
+    Use as a context manager around a process-pool crawl::
+
+        with LimitCoordinator() as coordinator:
+            shared = coordinator.share_sources(sources)
+            ...  # pickle `shared` into pool workers, crawl
+            coordinator.writeback()
+
+    ``share_sources`` moves each limit / clock / stats object into the
+    coordinator exactly once (object identity preserved, so a budget
+    shared by several servers stays one budget) and returns rewired
+    source clones; ``writeback`` copies the authoritative counters back
+    into the caller's original objects.  The process executor drives
+    all of this automatically under ``shared_limits=True``.
+    """
+
+    def __init__(self, *, mp_context=None):
+        self._manager = _CoordinatorManager(ctx=mp_context)
+        self._plane = None
+        self._shared: dict[int, object] = {}
+        self._writeback: list[tuple[object, int]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LimitCoordinator":
+        """Start the coordinator process (idempotent)."""
+        if self._plane is None:
+            self._manager.start()
+            self._plane = self._manager.ControlPlane()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the coordinator process.
+
+        Shared stubs handed out by this coordinator stop working; call
+        :meth:`writeback` first if the final counters matter.
+        """
+        if self._plane is not None:
+            self._plane = None
+            self._manager.shutdown()
+
+    def __enter__(self) -> "LimitCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def plane(self):
+        """The control-plane proxy (picklable into pool workers)."""
+        if self._plane is None:
+            raise RuntimeError("LimitCoordinator is not started")
+        return self._plane
+
+    # ------------------------------------------------------------------
+    # Sharing
+    # ------------------------------------------------------------------
+    def share(self, obj):
+        """The shared-state stub for one limit / clock / stats object.
+
+        Idempotent per object identity: sharing the same object twice
+        returns the same stub, so state that several sources reference
+        (one budget across a fleet of identities) stays authoritative
+        in one place.  Raises :class:`TypeError` for limit types the
+        control plane cannot host.
+        """
+        if isinstance(obj, (SharedLimitClient, SharedClock, SharedStats)):
+            return obj
+        stub = self._shared.get(id(obj))
+        if stub is not None:
+            return stub
+        if isinstance(obj, QueryBudget):
+            handle = self.plane.add_budget(obj.state())
+            stub = SharedBudget(self.plane, handle)
+        elif isinstance(obj, DailyRateLimit):
+            clock = self.share(obj.clock)
+            handle = self.plane.add_daily(obj.state(), clock._handle)
+            stub = SharedDailyLimit(self.plane, handle)
+        elif isinstance(obj, SimulatedClock):
+            handle = self.plane.add_clock(obj.state())
+            stub = SharedClock(self.plane, handle)
+        elif isinstance(obj, QueryStats):
+            handle = self.plane.add_stats(obj.state())
+            stub = SharedStats(self.plane, handle)
+        else:
+            raise TypeError(
+                "the shared-limit control plane can host QueryBudget, "
+                "DailyRateLimit, SimulatedClock and QueryStats objects; "
+                f"got {type(obj).__name__} (exact cross-process "
+                "accounting cannot be guaranteed for it)"
+            )
+        self._shared[id(obj)] = stub
+        self._writeback.append((obj, handle))
+        return stub
+
+    def share_sources(self, sources) -> list:
+        """Rewired clones of ``sources`` admitting through the plane.
+
+        Walks each source stack -- :class:`TopKServer` directly, or
+        wrappers (caching clients, latency simulators, patient clients,
+        web sessions) through their wrapped source -- and replaces
+        every server-side limit and stats object with its shared stub.
+        The originals are untouched; the clones are what the process
+        executor pickles into its pool.
+
+        Raises :class:`TypeError` for a source whose stack exposes no
+        rewireable server at all: silently shipping per-worker limit
+        copies under ``shared_limits=True`` would break the
+        exactly-once contract without anyone noticing.
+        """
+        rewired = []
+        for source in sources:
+            clone = self._rewire(source)
+            if clone is source:
+                raise TypeError(
+                    "shared_limits could not rewire a source of type "
+                    f"{type(source).__name__}: expected a TopKServer or "
+                    "a wrapper chain (attributes _server/_source/_site) "
+                    "ending in one; without rewiring, each pool worker "
+                    "would admit against its own limit copy"
+                )
+            rewired.append(clone)
+        return rewired
+
+    def _rewire(self, obj):
+        if isinstance(obj, TopKServer):
+            return obj.with_accounting(
+                limits=[self.share(limit) for limit in obj._limits],
+                stats=self.share(obj.stats),
+            )
+        clone = obj
+        for attr in ("_server", "_source", "_site"):
+            inner = getattr(obj, attr, None)
+            if inner is None:
+                continue
+            rewired = self._rewire(inner)
+            if rewired is not inner:
+                if clone is obj:
+                    clone = copy.copy(obj)
+                setattr(clone, attr, rewired)
+        # A PatientClient sleeps its own clock reference; share it so
+        # the whole fleet observes the same day boundaries.
+        inner_clock = getattr(obj, "_clock", None)
+        if isinstance(inner_clock, SimulatedClock):
+            if clone is obj:
+                clone = copy.copy(obj)
+            clone._clock = self.share(inner_clock)
+        return clone
+
+    def writeback(self) -> None:
+        """Copy the authoritative counters back into the originals.
+
+        After this, the caller's own ``QueryBudget.used``,
+        ``DailyRateLimit.used_today``, ``SimulatedClock.day`` and
+        ``server.stats`` read exactly what the whole pool charged --
+        including a crawl that died on exhaustion.  Call before
+        :meth:`shutdown`.
+        """
+        for original, handle in self._writeback:
+            original.restore_state(self.plane.object_state(handle))
+
+    # ------------------------------------------------------------------
+    # Cross-process scheduling
+    # ------------------------------------------------------------------
+    def make_scheduler(
+        self,
+        bundles,
+        estimator: CostEstimator | None = None,
+        *,
+        subtree: bool = False,
+    ):
+        """A coordinator-hosted scheduler proxy for worker-pull loops.
+
+        The scheduler object lives in the coordinator process; the
+        returned proxy (picklable into pool workers) serialises
+        ``acquire`` / ``complete`` / ``publish`` calls through it, so
+        idle workers steal regions -- and, with ``subtree=True``,
+        subtree shards of live regions -- across process boundaries
+        with exact observed-cost accounting.  ``estimator`` knowledge
+        travels via :meth:`CostEstimator.export_state`; fold the
+        results back with the scheduler's ``completed_costs()``.
+        """
+        state = estimator.export_state() if estimator is not None else None
+        bundles = [list(bundle) for bundle in bundles]
+        if subtree:
+            return self._manager.SubtreeScheduler(bundles, state)
+        return self._manager.WorkStealingScheduler(bundles, state)

@@ -50,7 +50,9 @@ class PairwiseDependencyOracle:
         for attr_i, value_i, attr_j, value_j in forbidden:
             self.forbid(attr_i, value_i, attr_j, value_j)
 
-    def forbid(self, attr_i: int, value_i: int, attr_j: int, value_j: int) -> None:
+    def forbid(
+        self, attr_i: int, value_i: int, attr_j: int, value_j: int
+    ) -> None:
         """Declare the combination ``A_i = value_i & A_j = value_j`` invalid."""
         if attr_i == attr_j:
             raise SchemaError("a dependency relates two distinct attributes")

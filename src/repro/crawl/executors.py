@@ -23,10 +23,13 @@ Backends
     crawler factory are pickled once into each worker (the serving
     stack's lock-dropping ``__getstate__`` paths make servers, clients
     and limits picklable).  Wins on CPU-bound simulated workloads,
-    where the GIL caps the thread backend at a single core.  Each
-    worker crawls against its own *copy* of the sources, so
-    server-side mutable accounting (limits, server stats) is
-    per-worker; the returned per-region costs remain exact.
+    where the GIL caps the thread backend at a single core.  By
+    default each worker crawls against its own *copy* of the sources,
+    so server-side mutable accounting (limits, server stats) is
+    per-worker; with ``shared_limits=True`` the limits, clocks and
+    stats move into a shared-state control plane
+    (:mod:`repro.crawl.coordinator`) and admission is exactly-once
+    across the whole pool -- real budgets on the multi-core backend.
 :class:`AsyncExecutor`
     An asyncio event loop coordinating the sessions.  Sources exposing
     an awaitable ``arun(query)`` coroutine (e.g.
@@ -211,14 +214,27 @@ class _AggregatorFeed:
         every key of that region (``live_key[1] == index``) is replaced
         by the exact merged totals.
         """
+        self.region_counts(session, index, result.cost, len(result.rows))
+
+    def region_counts(
+        self, session: int, index: int, cost: int, tuples: int
+    ) -> None:
+        """Fold a finished region given its bare (cost, tuples) counts.
+
+        The wire form of :meth:`region_finished`: the shared-limit
+        process mode relays region completions from pool workers as
+        compact events, not result objects (those return with the
+        worker's final batch), so the live aggregator view advances as
+        regions land rather than when the pool drains.
+        """
         if self._aggregator is None:
             return
         with self._lock:
             live = self._live[session]
             for key in [k for k in live if k[1] == index]:
                 del live[key]
-            self._done[session][0] += result.cost
-            self._done[session][1] += len(result.rows)
+            self._done[session][0] += cost
+            self._done[session][1] += tuples
             self._outstanding[session] -= 1
             # Atomic with the total's computation; see listener().
             self._aggregator.report(session, self._session_total(session))
@@ -227,9 +243,13 @@ class _AggregatorFeed:
 
     def failed(self, task: RegionTask | ShardTask) -> None:
         """Mark the session of a raising region (or shard) as failed."""
+        self.failed_session(task.session)
+
+    def failed_session(self, session: int) -> None:
+        """Mark ``session`` failed (the session-index wire form)."""
         if self._aggregator is None:
             return
-        self._aggregator.mark_failed(task.session)
+        self._aggregator.mark_failed(session)
 
     def cancelled(self, session: int) -> None:
         """Mark a session the executor abandoned before running it.
@@ -565,6 +585,7 @@ class CrawlExecutor(abc.ABC):
         rebalance: bool = False,
         estimator: CostEstimator | None = None,
         shard_subtrees: int | None = None,
+        shared_limits: bool = False,
     ) -> PartitionedResult:
         """Crawl every region of ``plan`` and merge deterministically.
 
@@ -603,6 +624,14 @@ class CrawlExecutor(abc.ABC):
             cost is concentrated in one heavy region.  The merged
             result stays byte-identical to the unsharded sequential
             executor's.  ``None`` (default) disables sharding.
+        shared_limits:
+            Route server-side limits, clocks and stats through the
+            shared-state control plane
+            (:mod:`repro.crawl.coordinator`) so admission stays
+            exactly-once across a process pool.  Only the process
+            backend changes behaviour: the in-process backends already
+            share those objects by reference, so the flag is an exact
+            no-op there (accepted for CLI uniformity).
 
         Raises
         ------
@@ -639,6 +668,7 @@ class CrawlExecutor(abc.ABC):
             rebalance,
             estimator,
             shard_subtrees,
+            shared_limits,
         )
         if failures:
             failures.sort(key=lambda failure: failure[0])
@@ -660,6 +690,7 @@ class CrawlExecutor(abc.ABC):
         rebalance: bool,
         estimator: CostEstimator | None,
         shard_subtrees: int | None,
+        shared_limits: bool,
     ) -> None:
         """Fill ``grid`` with per-region results; record failures."""
 
@@ -690,6 +721,7 @@ class SequentialExecutor(CrawlExecutor):
         rebalance,
         estimator,
         shard_subtrees,
+        shared_limits,
     ):
         failures_lock = threading.Lock()
         for session in range(plan.sessions):
@@ -739,6 +771,7 @@ class ThreadExecutor(CrawlExecutor):
         rebalance,
         estimator,
         shard_subtrees,
+        shared_limits,
     ):
         failures_lock = threading.Lock()
         if not rebalance:
@@ -882,6 +915,122 @@ def _process_session_sharded(
     return tuple(out)
 
 
+#: Worker-batch wire form: completed (key, result) pairs + failures.
+_WorkerBatch = tuple[list[tuple[tuple[int, int], CrawlResult]], list[_Failure]]
+
+
+def _process_shared_steal_loop(
+    scheduler, plane, home_session: int, allow_partial: bool
+) -> _WorkerBatch:
+    """Cross-process work stealing: one pool worker's pull loop.
+
+    The scheduler lives in the coordinator process; ``acquire`` /
+    ``complete`` go through its proxy, so this worker steals regions
+    from *other workers' sessions* the moment its own run dry -- the
+    same two-phase protocol as the thread backend's ``_steal_loop``,
+    across process boundaries.  Completed results are batched into the
+    return value (they would be dead weight in the coordinator);
+    completions and failures are additionally pushed to the control
+    plane as compact progress events for the parent's live aggregator
+    feed.
+    """
+    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
+    results: list[tuple[tuple[int, int], CrawlResult]] = []
+    failures: list[_Failure] = []
+    while True:
+        task = scheduler.acquire(home_session)
+        if task is None:
+            return results, failures
+        try:
+            result = _crawl_region(
+                _WORKER_SOURCES[task.session],
+                task.region,
+                crawler_factory=_WORKER_FACTORY,
+                allow_partial=allow_partial,
+            )
+        except Exception as exc:  # noqa: BLE001 - re-raised by run()
+            scheduler.fail(task)
+            failures.append((task.key, exc))
+            plane.push_event(("failed", task.session))
+            continue
+        scheduler.complete(task, result.cost)
+        results.append((task.key, result))
+        plane.push_event(
+            ("region", task.session, task.index, result.cost, len(result.rows))
+        )
+
+
+def _process_shared_sharded_loop(
+    scheduler,
+    plane,
+    home_session: int,
+    allow_partial: bool,
+    max_shards: int,
+) -> _WorkerBatch:
+    """Cross-process two-level stealing: regions first, then subtrees.
+
+    The process-pool twin of ``_sharded_steal_loop`` over a
+    coordinator-hosted :class:`SubtreeScheduler`: acquiring a region
+    presplits it and publishes the shard plan through the proxy (so
+    *other worker processes* immediately see its subtrees), acquiring a
+    shard crawls one subtree, and whichever worker lands a region's
+    last shard performs the deterministic merge locally and reports the
+    exact merged cost back.  ``acquire`` blocks in the coordinator
+    while presplits in flight may still publish shards.
+    """
+    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
+    results: list[tuple[tuple[int, int], CrawlResult]] = []
+    failures: list[_Failure] = []
+    while True:
+        task = scheduler.acquire(home_session)
+        if task is None:
+            return results, failures
+        if isinstance(task, ShardTask):
+            try:
+                shard_result = crawl_shard(
+                    _WORKER_SOURCES[task.session],
+                    task.region,
+                    task.shard,
+                    allow_partial=allow_partial,
+                )
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                failures.append((task.key, exc))
+                plane.push_event(("failed", task.session))
+                continue
+            completion = scheduler.complete_shard(task, shard_result)
+        else:
+            try:
+                shard_plan = presplit_region(
+                    _WORKER_SOURCES[task.session],
+                    task.region,
+                    crawler_factory=_WORKER_FACTORY,
+                    allow_partial=allow_partial,
+                    max_shards=max_shards,
+                )
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                failures.append((task.key, exc))
+                plane.push_event(("failed", task.session))
+                continue
+            completion = scheduler.publish(task, shard_plan)
+        if completion is None:
+            continue
+        done = completion.task
+        try:
+            merged = merge_region_shards(completion.plan, completion.results)
+        except Exception as exc:  # noqa: BLE001 - re-raised by run()
+            scheduler.fail_region(done.key)
+            failures.append((done.key, exc))
+            plane.push_event(("failed", done.session))
+            continue
+        scheduler.complete_region(done.key, merged.cost)
+        results.append((done.key, merged))
+        plane.push_event(
+            ("region", done.session, done.index, merged.cost, len(merged.rows))
+        )
+
+
 class ProcessExecutor(CrawlExecutor):
     """Region crawls on a process pool, for CPU-bound simulated engines.
 
@@ -891,14 +1040,23 @@ class ProcessExecutor(CrawlExecutor):
     paths: servers, clients, limits and engines all drop their locks on
     pickle and rebuild them on load.  Cache listeners do not survive
     the trip, and each worker mutates its own *copy* of the sources --
-    use this backend for limit-free simulation workloads, which is
-    exactly where the GIL makes the thread backend useless.
+    which is fine for limit-free simulation workloads, and wrong for
+    limit-bearing ones (each copy admits independently).  For those,
+    ``shared_limits=True`` moves the authoritative limits, clocks and
+    server stats into a coordinator process
+    (:mod:`repro.crawl.coordinator`): every worker admits through a
+    thin proxy, admission is exactly-once fleet-wide, and the caller's
+    original limit objects read the exact charged totals after the
+    crawl (also after an exhaustion failure).
 
     Without ``rebalance``, one pool task per session preserves the
     thread backend's dispatch shape.  With ``rebalance``, the parent
     dispatches region tasks one at a time, always picking from the
     session with the largest estimated remaining cost, so the pool
-    adaptively drains the slowest session first.
+    adaptively drains the slowest session first -- except under
+    ``shared_limits``, where the scheduler itself is hosted in the
+    coordinator and every worker runs its own cross-process steal loop
+    (two-level when ``shard_subtrees`` is set).
 
     Progress reporting is completion-grained: the aggregator sees a
     session advance when a region (or, without rebalancing, a bundle)
@@ -946,16 +1104,26 @@ class ProcessExecutor(CrawlExecutor):
         rebalance,
         estimator,
         shard_subtrees,
+        shared_limits,
     ):
+        if shared_limits:
+            self._execute_shared(
+                sources,
+                plan,
+                grid,
+                failures,
+                feed,
+                crawler_factory,
+                allow_partial,
+                rebalance,
+                estimator,
+                shard_subtrees,
+            )
+            return
         payload = self._payload(sources, crawler_factory)
-        total = sum(len(bundle) for bundle in plan.bundles)
-        if rebalance:
-            upper = max(1, total)
-            if shard_subtrees is not None:
-                upper = max(upper, shard_subtrees)
-        else:
-            upper = plan.sessions
-        workers = self._workers(max(1, upper))
+        workers = self._workers(
+            self._pool_upper(plan, rebalance, shard_subtrees)
+        )
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._mp_context,
@@ -995,6 +1163,162 @@ class ProcessExecutor(CrawlExecutor):
                     allow_partial,
                     shard_subtrees,
                 )
+
+    @staticmethod
+    def _pool_upper(plan, rebalance, shard_subtrees) -> int:
+        """How many pool workers the plan can possibly keep busy."""
+        if rebalance:
+            upper = sum(len(bundle) for bundle in plan.bundles)
+            if shard_subtrees is not None:
+                upper = max(upper, shard_subtrees)
+            return max(1, upper)
+        return max(1, plan.sessions)
+
+    def _execute_shared(
+        self,
+        sources,
+        plan,
+        grid,
+        failures,
+        feed,
+        crawler_factory,
+        allow_partial,
+        rebalance,
+        estimator,
+        shard_subtrees,
+    ):
+        """The shared-limit mode: one authoritative copy of every limit.
+
+        A :class:`~repro.crawl.coordinator.LimitCoordinator` owns the
+        sources' limits, clocks and stats for the duration of the
+        crawl; the pool receives rewired source clones whose admissions
+        all charge the coordinator.  With ``rebalance`` the scheduler
+        is hosted there too and workers run pull loops against it --
+        cross-process stealing.  Whatever happens, the authoritative
+        counters are written back into the caller's original objects,
+        so ``budget.used`` is exact even after an exhaustion failure.
+        """
+        from repro.crawl.coordinator import LimitCoordinator
+
+        with LimitCoordinator(mp_context=self._mp_context) as coordinator:
+            try:
+                shared_sources = coordinator.share_sources(sources)
+                payload = self._payload(shared_sources, crawler_factory)
+                workers = self._workers(
+                    self._pool_upper(plan, rebalance, shard_subtrees)
+                )
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=self._mp_context,
+                    initializer=_process_init,
+                    initargs=(payload,),
+                ) as pool:
+                    if rebalance:
+                        self._drain_shared_rebalanced(
+                            pool,
+                            workers,
+                            plan,
+                            grid,
+                            failures,
+                            feed,
+                            allow_partial,
+                            estimator,
+                            shard_subtrees,
+                            coordinator,
+                        )
+                    else:
+                        self._drain_static(
+                            pool,
+                            plan,
+                            grid,
+                            failures,
+                            feed,
+                            allow_partial,
+                            shard_subtrees,
+                        )
+            finally:
+                coordinator.writeback()
+
+    def _drain_shared_rebalanced(
+        self,
+        pool,
+        workers,
+        plan,
+        grid,
+        failures,
+        feed,
+        allow_partial,
+        estimator,
+        shard_subtrees,
+        coordinator,
+    ):
+        """Worker-pull dispatch over a coordinator-hosted scheduler.
+
+        Unlike the per-worker-copy rebalanced modes (where the parent
+        is the only dispatcher), every pool worker runs its own steal
+        loop against the shared scheduler, so stealing decisions and
+        exact observed-cost feedback cross process boundaries without a
+        parent round trip per task.  The parent meanwhile relays the
+        workers' progress events into the aggregator feed and collects
+        each worker's result batch as its loop drains.
+        """
+        scheduler = coordinator.make_scheduler(
+            plan.bundles, estimator, subtree=shard_subtrees is not None
+        )
+        if shard_subtrees is not None:
+            loop, extra = _process_shared_sharded_loop, (shard_subtrees,)
+        else:
+            loop, extra = _process_shared_steal_loop, ()
+        pending = {
+            pool.submit(
+                loop,
+                scheduler,
+                coordinator.plane,
+                worker % plan.sessions,
+                allow_partial,
+                *extra,
+            )
+            for worker in range(workers)
+        }
+        aborted = False
+        while pending:
+            done, pending = wait(
+                pending, timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            self._relay_events(coordinator, feed)
+            for future in done:
+                try:
+                    batch, worker_failures = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                    # A worker loop died outside its per-task handling
+                    # (e.g. the process was killed).  Its in-flight
+                    # task would block the drain forever; abort so the
+                    # surviving workers run dry, and rank this failure
+                    # after every real region failure.
+                    scheduler.abort()
+                    aborted = True
+                    failures.append(((plan.sessions, 0), exc))
+                    continue
+                for key, result in batch:
+                    grid[key[0]][key[1]] = result
+                failures.extend(worker_failures)
+        self._relay_events(coordinator, feed)
+        if aborted:
+            for session in range(plan.sessions):
+                feed.cancelled(session)
+        if estimator is not None:
+            for key, cost in scheduler.completed_costs().items():
+                estimator.record(key, cost)
+
+    @staticmethod
+    def _relay_events(coordinator, feed):
+        """Translate worker progress events into aggregator updates."""
+        for event in coordinator.plane.pop_events():
+            if event[0] == "region":
+                _, session, index, cost, tuples = event
+                feed.region_counts(session, index, cost, tuples)
+            elif event[0] == "failed":
+                feed.failed_session(event[1])
 
     def _drain_static(
         self, pool, plan, grid, failures, feed, allow_partial, shard_subtrees
@@ -1231,6 +1555,7 @@ class AsyncExecutor(CrawlExecutor):
         rebalance,
         estimator,
         shard_subtrees,
+        shared_limits,
     ):
         asyncio.run(
             self._amain(

@@ -53,11 +53,15 @@ def _blockwise_order(dataset: Dataset, key, ascending: bool) -> Dataset:
     def sort_block(indices: list[int]) -> list[int]:
         return sorted(indices, key=lambda j: (sign * key(j), j))
 
-    permutation = sort_block(list(range(cat))) + sort_block(list(range(cat, d)))
+    permutation = sort_block(list(range(cat))) + sort_block(
+        list(range(cat, d))
+    )
     return reorder_dataset(dataset, permutation)
 
 
-def order_by_domain_size(dataset: Dataset, *, ascending: bool = True) -> Dataset:
+def order_by_domain_size(
+    dataset: Dataset, *, ascending: bool = True
+) -> Dataset:
     """Order categorical attributes by domain size ``U``.
 
     Numeric attributes (no finite ``U``) are ordered by their distinct
@@ -72,7 +76,9 @@ def order_by_domain_size(dataset: Dataset, *, ascending: bool = True) -> Dataset
     return _blockwise_order(dataset, key, ascending)
 
 
-def order_by_distinct_count(dataset: Dataset, *, ascending: bool = True) -> Dataset:
+def order_by_distinct_count(
+    dataset: Dataset, *, ascending: bool = True
+) -> Dataset:
     """Order attributes by the number of distinct values present."""
     counts = dataset.distinct_counts()
     return _blockwise_order(dataset, lambda j: counts[j], ascending)

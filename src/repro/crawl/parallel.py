@@ -49,6 +49,7 @@ def crawl_partitioned_parallel(
     rebalance: bool = False,
     estimator: CostEstimator | None = None,
     shard_subtrees: int | None = None,
+    shared_limits: bool = False,
 ) -> PartitionedResult:
     """Crawl every region of ``plan``, sessions running concurrently.
 
@@ -91,6 +92,15 @@ def crawl_partitioned_parallel(
         keeps every worker busy while one heavy region dominates.
         ``None`` disables sharding; the merged result is identical
         either way.
+    shared_limits:
+        Keep server-side limits, clocks and stats *globally exact* on
+        the process backend by routing them through the shared-state
+        control plane (:mod:`repro.crawl.coordinator`): one
+        authoritative ``QueryBudget``/``DailyRateLimit`` admits for the
+        whole pool, and the caller's original limit objects read the
+        exact fleet-wide counts after the crawl.  A no-op on the
+        in-process backends, which already share those objects by
+        reference.
 
     Raises
     ------
@@ -130,4 +140,5 @@ def crawl_partitioned_parallel(
         rebalance=rebalance,
         estimator=estimator,
         shard_subtrees=shard_subtrees,
+        shared_limits=shared_limits,
     )

@@ -216,6 +216,23 @@ class CostEstimator:
         with self._lock:
             return dict(self._observed)
 
+    def export_state(self) -> dict:
+        """Constructor kwargs reproducing this estimator's knowledge.
+
+        Used by the cross-process mode: a scheduler hosted in the
+        coordinator process cannot receive the caller's estimator
+        object (it holds a lock), so it is rebuilt there from this
+        snapshot -- the flat prior plus every per-region prior and
+        observed cost, the latter folded into ``priors`` so the remote
+        twin starts from measured reality.
+        """
+        with self._lock:
+            priors = dict(self._priors)
+            priors.update(
+                (key, float(cost)) for key, cost in self._observed.items()
+            )
+            return {"prior": self._prior, "priors": priors}
+
     def total_observed(self) -> int:
         """Sum of all observed region costs."""
         with self._lock:
@@ -282,6 +299,7 @@ class WorkStealingScheduler:
         self._in_flight: dict[RegionKey, int | None] = {}
         self._completed: dict[RegionKey, int] = {}
         self._failed: set[RegionKey] = set()
+        self._aborted = False
         self._steals: list[tuple[RegionKey, int | None]] = []
         self._lock = threading.Lock()
         # Per-session sums of the queued tasks' cached estimates, kept
@@ -369,9 +387,15 @@ class WorkStealingScheduler:
             self._queued_cost[session] = total
 
     def complete(self, task: RegionTask, cost: int) -> None:
-        """Mark an in-flight region finished with its exact query cost."""
+        """Mark an in-flight region finished with its exact query cost.
+
+        After :meth:`abort` the call degrades to a no-op for tasks the
+        abort already wrote off -- a surviving worker reporting a
+        result it was mid-crawl on must drain quietly, not crash.
+        """
         with self._lock:
-            self._check_in_flight(task)
+            if not self._check_in_flight(task):
+                return
             del self._in_flight[task.key]
             self._completed[task.key] = int(cost)
         self.estimator.record(task.key, int(cost))
@@ -381,17 +405,49 @@ class WorkStealingScheduler:
     def fail(self, task: RegionTask) -> None:
         """Mark an in-flight region as failed (its worker died on it)."""
         with self._lock:
-            self._check_in_flight(task)
+            if not self._check_in_flight(task):
+                return
             del self._in_flight[task.key]
             self._failed.add(task.key)
 
-    def _check_in_flight(self, task: RegionTask) -> None:
+    def _check_in_flight(self, task: RegionTask) -> bool:
+        # Caller holds self._lock.  Returns False when the task should
+        # be silently dropped (an abort wrote it off while its worker
+        # was still crawling); raises on a genuine protocol violation.
+        if task.key in self._in_flight:
+            return True
+        if self._aborted:
+            return False
+        raise AlgorithmInvariantError(
+            f"region {task.key} is not in flight; a scheduler task "
+            "may only be completed or failed once, by its acquirer"
+        )
+
+    def abort(self) -> None:
+        """Discard all unfinished work so every worker drains out.
+
+        The escape hatch for irrecoverable worker loss (a pool process
+        dying without reporting back, which would otherwise leave its
+        in-flight task blocking the drain forever): queued and
+        in-flight regions are marked failed, and subsequent
+        :meth:`acquire` calls return ``None``.  Completed regions keep
+        their exact recorded costs, and surviving workers that report
+        an aborted task afterwards are drained silently instead of
+        tripping the exactly-once check.
+        """
+        with self._lock:
+            self._abort_locked()
+
+    def _abort_locked(self) -> None:
         # Caller holds self._lock.
-        if task.key not in self._in_flight:
-            raise AlgorithmInvariantError(
-                f"region {task.key} is not in flight; a scheduler task "
-                "may only be completed or failed once, by its acquirer"
-            )
+        self._aborted = True
+        for queue in self._queues:
+            while queue:
+                self._failed.add(queue.pop().key)
+        self._failed.update(self._in_flight)
+        self._in_flight.clear()
+        self._cached_estimate.clear()
+        self._queued_cost = [0.0] * len(self._queues)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -572,6 +628,8 @@ class SubtreeScheduler(WorkStealingScheduler):
         """
         with self._cond:
             if task.key not in self._in_flight:
+                if self._aborted:
+                    return None  # written off mid-presplit; drain out
                 raise AlgorithmInvariantError(
                     f"region {task.key} is not in flight; only its "
                     "acquirer may publish a shard plan"
@@ -601,6 +659,8 @@ class SubtreeScheduler(WorkStealingScheduler):
         with self._cond:
             live = self._live.get(task.key)
             if live is None or task.shard.order in live.results:
+                if self._aborted and live is None:
+                    return None  # region written off; drain out
                 raise AlgorithmInvariantError(
                     f"shard {task.shard.order} of region {task.key} is "
                     "not in flight; a shard may only be completed once"
@@ -657,6 +717,8 @@ class SubtreeScheduler(WorkStealingScheduler):
             with self._cond:
                 live = self._live.get(task.key)
                 if live is None:
+                    if self._aborted:
+                        return  # region written off; drain out
                     raise AlgorithmInvariantError(
                         f"shard {task.shard.order} of region {task.key} "
                         "is not in flight"
@@ -679,6 +741,22 @@ class SubtreeScheduler(WorkStealingScheduler):
         with self._cond:
             self._merging.discard(key)
             self._failed.add(key)
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Discard all unfinished work and wake every blocked worker.
+
+        Extends :meth:`WorkStealingScheduler.abort` one level down:
+        live regions (published shard plans) and pending merges are
+        failed too, and waiters blocked in :meth:`acquire` are notified
+        so they observe the drained state and return ``None``.
+        """
+        with self._cond:
+            self._abort_locked()
+            self._failed.update(self._live)
+            self._live.clear()
+            self._failed.update(self._merging)
+            self._merging.clear()
             self._cond.notify_all()
 
     # ------------------------------------------------------------------

@@ -61,7 +61,9 @@ class RandomProber(Crawler):
         #: Distinct tuples observed, with the cost at first sighting.
         self.coverage_curve: list[tuple[int, int]] = []
 
-    def _random_probe(self, observed_span: dict[int, tuple[int, int]]) -> Query:
+    def _random_probe(
+        self, observed_span: dict[int, tuple[int, int]]
+    ) -> Query:
         space = self.space
         query = Query.full(space)
         dim = int(self._rng.integers(0, space.dimensionality))

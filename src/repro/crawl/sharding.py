@@ -247,9 +247,7 @@ class _RegionPlanner:
 
     def __init__(self, crawler: Crawler, max_shards: int):
         if max_shards < 1:
-            raise SchemaError(
-                f"max_shards must be positive, got {max_shards}"
-            )
+            raise SchemaError(f"max_shards must be positive, got {max_shards}")
         self._crawler = crawler
         self._max_shards = max_shards
         self._events: list[TrunkSegment | _TaskNode] = []

@@ -133,7 +133,11 @@ def extended_dfs(
             crawler._confirm(child_response.rows)
         else:
             extended_dfs(
-                crawler, child_query, level + 1, lazy=lazy, leaf_handler=leaf_handler
+                crawler,
+                child_query,
+                level + 1,
+                lazy=lazy,
+                leaf_handler=leaf_handler,
             )
 
 

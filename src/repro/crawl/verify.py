@@ -43,7 +43,9 @@ class VerificationReport:
         )
 
 
-def verify_complete(result: CrawlResult, dataset: Dataset) -> VerificationReport:
+def verify_complete(
+    result: CrawlResult, dataset: Dataset
+) -> VerificationReport:
     """Compare a crawl result with the hidden dataset, bag-to-bag."""
     truth = dataset.multiset()
     got: Counter[Row] = Counter(result.rows)

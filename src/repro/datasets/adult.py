@@ -62,7 +62,9 @@ def _numeric_columns(rng: np.random.Generator, n: int) -> list[np.ndarray]:
     cap_gain = zero_inflated_column(
         rng, n, zero_probability=0.916, mean=8000, std=12000, lo=114, hi=99999
     )
-    fnalwgt = lognormal_column(rng, n, mean=12.05, sigma=0.55, lo=12285, hi=1484705)
+    fnalwgt = lognormal_column(
+        rng, n, mean=12.05, sigma=0.55, lo=12285, hi=1484705
+    )
     return [edu_num, age, wrk_hr, cap_loss, cap_gain, fnalwgt]
 
 

@@ -28,7 +28,12 @@ from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
 from repro.exceptions import SchemaError
 
-__all__ = ["HardNumericInstance", "HardCategoricalInstance", "theorem3_instance", "theorem4_instance"]
+__all__ = [
+    "HardNumericInstance",
+    "HardCategoricalInstance",
+    "theorem3_instance",
+    "theorem4_instance",
+]
 
 
 @dataclass(frozen=True)
@@ -86,7 +91,9 @@ def theorem3_instance(k: int, d: int, m: int) -> HardNumericInstance:
             non_diagonal.append(tuple(bumped))
     space = DataSpace.numeric(d, bounds=[(1, m + 1)] * d)
     dataset = Dataset(
-        space, np.asarray(rows, dtype=np.int64), name=f"hard-numeric(k={k},d={d},m={m})"
+        space,
+        np.asarray(rows, dtype=np.int64),
+        name=f"hard-numeric(k={k},d={d},m={m})",
     )
     return HardNumericInstance(
         dataset=dataset,
@@ -97,7 +104,9 @@ def theorem3_instance(k: int, d: int, m: int) -> HardNumericInstance:
     )
 
 
-def theorem4_instance(k: int, U: int, *, enforce_conditions: bool = True) -> HardCategoricalInstance:
+def theorem4_instance(
+    k: int, U: int, *, enforce_conditions: bool = True
+) -> HardCategoricalInstance:
     """Build the hard categorical dataset of Figure 8 with ``d = 2k``.
 
     The paper's values live in ``{0, .., U-1}``; we shift them to our
@@ -115,7 +124,9 @@ def theorem4_instance(k: int, U: int, *, enforce_conditions: bool = True) -> Har
     d = 2 * k
     if enforce_conditions:
         if U < 3 or k < 3:
-            raise SchemaError(f"Theorem 4 requires U >= 3 and k >= 3, got U={U}, k={k}")
+            raise SchemaError(
+                f"Theorem 4 requires U >= 3 and k >= 3, got U={U}, k={k}"
+            )
         if d * U * U > 2 ** (d / 4):
             raise SchemaError(
                 f"Theorem 4 requires d*U^2 <= 2^(d/4); got {d * U * U} > "
@@ -130,6 +141,8 @@ def theorem4_instance(k: int, U: int, *, enforce_conditions: bool = True) -> Har
             rows.append(row)
     space = DataSpace.categorical([U] * d)
     dataset = Dataset(
-        space, np.asarray(rows, dtype=np.int64), name=f"hard-categorical(k={k},U={U})"
+        space,
+        np.asarray(rows, dtype=np.int64),
+        name=f"hard-categorical(k={k},U={U})",
     )
     return HardCategoricalInstance(dataset=dataset, k=k, d=d, U=U)

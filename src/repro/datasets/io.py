@@ -40,7 +40,9 @@ def _decode_attribute(token: str) -> Attribute:
     name, kind = parts[0], parts[1]
     if kind == "cat":
         if len(parts) != 3:
-            raise SchemaError(f"categorical token needs a domain size: {token!r}")
+            raise SchemaError(
+                f"categorical token needs a domain size: {token!r}"
+            )
         return categorical(name, int(parts[2]))
     if kind == "num":
         if len(parts) == 2:

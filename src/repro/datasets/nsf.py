@@ -114,7 +114,9 @@ def nsf(n: int = NSF_N, *, seed: int = 23) -> Dataset:
     org = zipf_column(rng, n, sizes["PI-org"], s=0.62)
     org_to_city = _skewed_map(sizes["PI-org"], sizes["City"], salt=211, s=1.0)
     city = _apply_map(org_to_city, org)
-    city_to_state = _skewed_map(sizes["City"], sizes["PI-state"], salt=307, s=1.0)
+    city_to_state = _skewed_map(
+        sizes["City"], sizes["PI-state"], salt=307, s=1.0
+    )
     state = _apply_map(city_to_state, city)
     pi_local = zipf_column(rng, n, 24, s=1.05)  # per-org PI pool
     pi_name = ((org * _MULT + pi_local * 7919) % sizes["PI-name"] + 1).astype(
@@ -126,9 +128,13 @@ def nsf(n: int = NSF_N, *, seed: int = 23) -> Dataset:
     # preferred field (popular fields attract more organisations);
     # fields determine the NSF division and concentrate on few managers.
     field_global = zipf_column(rng, n, sizes["Field"], s=1.1)
-    org_to_field = _skewed_map(sizes["PI-org"], sizes["Field"], salt=401, s=1.2)
+    org_to_field = _skewed_map(
+        sizes["PI-org"], sizes["Field"], salt=401, s=1.2
+    )
     field = _mix(rng, _apply_map(org_to_field, org), field_global, 0.55)
-    field_to_division = _skewed_map(sizes["Field"], sizes["NSF-org"], salt=503, s=0.9)
+    field_to_division = _skewed_map(
+        sizes["Field"], sizes["NSF-org"], salt=503, s=0.9
+    )
     nsf_org = _mix(
         rng,
         _apply_map(field_to_division, field),

@@ -77,7 +77,12 @@ def zero_inflated_column(
 
 
 def lognormal_column(
-    rng: np.random.Generator, n: int, mean: float, sigma: float, lo: int, hi: int
+    rng: np.random.Generator,
+    n: int,
+    mean: float,
+    sigma: float,
+    lo: int,
+    hi: int,
 ) -> np.ndarray:
     """Rounded log-normal draws clipped into ``[lo, hi]``.
 
@@ -149,7 +154,11 @@ def random_dataset(
         else:
             lo, hi = numeric_range
             columns.append(rng.integers(lo, hi + 1, size=n))
-    matrix = np.column_stack(columns).astype(np.int64) if columns else np.empty((n, 0))
+    matrix = (
+        np.column_stack(columns).astype(np.int64)
+        if columns
+        else np.empty((n, 0))
+    )
     if duplicate_factor > 0.0 and n > 1:
         dup_mask = rng.random(n) < duplicate_factor
         sources = rng.integers(0, n, size=int(dup_mask.sum()))

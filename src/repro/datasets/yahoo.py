@@ -60,7 +60,10 @@ def yahoo_autos(
     ).astype(np.int64)
     age = 2012 - year
     mileage = np.clip(
-        np.rint(age * rng.normal(11500, 3500, size=body) + rng.normal(0, 4000, size=body)),
+        np.rint(
+            age * rng.normal(11500, 3500, size=body)
+            + rng.normal(0, 4000, size=body)
+        ),
         0,
         300000,
     ).astype(np.int64)

@@ -7,7 +7,12 @@ domains ``1 .. U``, and a hidden database is a *bag* of tuples (points
 of the space, possibly duplicated).
 """
 
-from repro.dataspace.attribute import Attribute, AttributeKind, categorical, numeric
+from repro.dataspace.attribute import (
+    Attribute,
+    AttributeKind,
+    categorical,
+    numeric,
+)
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace, SpaceKind
 

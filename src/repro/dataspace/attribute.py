@@ -80,7 +80,11 @@ class Attribute:
                     f"numeric attribute {self.name!r} must not carry a "
                     "domain_size (its domain is all integers)"
                 )
-            if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            if (
+                self.lo is not None
+                and self.hi is not None
+                and self.lo > self.hi
+            ):
                 raise SchemaError(
                     f"numeric attribute {self.name!r} has lo={self.lo} > "
                     f"hi={self.hi}"
@@ -154,7 +158,9 @@ class Attribute:
         return f"{self.name}:num"
 
 
-def numeric(name: str, lo: int | None = None, hi: int | None = None) -> Attribute:
+def numeric(
+    name: str, lo: int | None = None, hi: int | None = None
+) -> Attribute:
     """Convenience constructor for a numeric attribute."""
     return Attribute(name, AttributeKind.NUMERIC, None, lo, hi)
 

@@ -191,7 +191,9 @@ class Dataset:
         rng = np.random.default_rng(seed)
         keep = rng.random(self.n) < fraction
         label = f"{self._name}@{fraction:.0%}" if self._name else ""
-        return Dataset(self._space, self._rows[keep], name=label, validate=False)
+        return Dataset(
+            self._space, self._rows[keep], name=label, validate=False
+        )
 
     def with_bounds_from_data(self) -> "Dataset":
         """Attach observed min/max bounds to every numeric attribute.
@@ -204,10 +206,14 @@ class Dataset:
         for j, attr in enumerate(self._space):
             if attr.is_numeric and self.n:
                 column = self._rows[:, j]
-                attrs.append(attr.with_bounds(int(column.min()), int(column.max())))
+                attrs.append(
+                    attr.with_bounds(int(column.min()), int(column.max()))
+                )
             else:
                 attrs.append(attr)
-        return Dataset(DataSpace(attrs), self._rows, name=self._name, validate=False)
+        return Dataset(
+            DataSpace(attrs), self._rows, name=self._name, validate=False
+        )
 
     def concat(self, other: "Dataset") -> "Dataset":
         """Bag union of two datasets over the same space."""

@@ -12,7 +12,9 @@ from __future__ import annotations
 import enum
 from collections.abc import Iterable, Iterator, Sequence
 
-from repro.dataspace.attribute import Attribute, categorical as _cat, numeric as _num
+from repro.dataspace.attribute import Attribute
+from repro.dataspace.attribute import categorical as _cat
+from repro.dataspace.attribute import numeric as _num
 from repro.exceptions import SchemaError
 
 __all__ = ["SpaceKind", "DataSpace"]
@@ -106,7 +108,9 @@ class DataSpace:
         """A mixed space: ``categorical_attrs`` first, then numeric ones."""
         attrs = [_cat(name, size) for name, size in categorical_attrs]
         for i, name in enumerate(numeric_names):
-            lo, hi = (None, None) if numeric_bounds is None else numeric_bounds[i]
+            lo, hi = (
+                (None, None) if numeric_bounds is None else numeric_bounds[i]
+            )
             attrs.append(_num(name, lo, hi))
         return cls(attrs)
 

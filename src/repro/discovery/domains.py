@@ -82,7 +82,9 @@ def discover_domains(
     SchemaError
         If the space has no categorical attribute to discover.
     """
-    client = source if isinstance(source, CachingClient) else CachingClient(source)
+    client = (
+        source if isinstance(source, CachingClient) else CachingClient(source)
+    )
     space = client.space
     cat_indices = [i for i in range(space.cat)]
     if not cat_indices:

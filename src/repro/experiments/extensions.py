@@ -107,7 +107,9 @@ def extension_sampling(
     budgets = [25, 50, 100, 200, 400, 800]
     report = compare_at_budgets(dataset, k, budgets, seed=seed)
     figure.note(f"n = {dataset.n}, scale = {scale:g}")
-    figure.note(f"full hybrid crawl finishes in {report.crawl_full_cost} queries")
+    figure.note(
+        f"full hybrid crawl finishes in {report.crawl_full_cost} queries"
+    )
     size_err = figure.new_series("sampling size rel. error")
     sum_err = figure.new_series("sampling sum rel. error")
     crawled = figure.new_series("crawled fraction")

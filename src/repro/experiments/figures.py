@@ -40,7 +40,11 @@ from repro.datasets.hard import theorem3_instance, theorem4_instance
 from repro.datasets.nsf import nsf
 from repro.datasets.yahoo import yahoo_autos
 from repro.dataspace.dataset import Dataset
-from repro.experiments.runner import FigureResult, measure_crawl, try_measure_crawl
+from repro.experiments.runner import (
+    FigureResult,
+    measure_crawl,
+    try_measure_crawl,
+)
 from repro.theory import bounds
 
 __all__ = [
@@ -131,7 +135,11 @@ def figure_10a(
 
 
 def figure_10b(
-    *, scale: float = 1.0, k: int = 256, dims: Sequence[int] = (3, 4, 5, 6), seed: int = 0
+    *,
+    scale: float = 1.0,
+    k: int = 256,
+    dims: Sequence[int] = (3, 4, 5, 6),
+    seed: int = 0,
 ) -> FigureResult:
     """Figure 10b: query cost vs dimensionality (k = 256).
 
@@ -174,7 +182,9 @@ def figure_10c(
     for name, algo in _NUMERIC_ALGOS:
         series = figure.new_series(name)
         for fraction in fractions:
-            dataset = base.sample_fraction(fraction, seed=seed + 1).with_bounds_from_data()
+            dataset = base.sample_fraction(
+                fraction, seed=seed + 1
+            ).with_bounds_from_data()
             result = measure_crawl(dataset, k, algo, priority_seed=seed)
             series.add(fraction, result.cost, n=dataset.n)
     return figure
@@ -204,7 +214,11 @@ def figure_11a(
 
 
 def figure_11b(
-    *, scale: float = 1.0, k: int = 256, dims: Sequence[int] = (5, 6, 7, 8, 9), seed: int = 0
+    *,
+    scale: float = 1.0,
+    k: int = 256,
+    dims: Sequence[int] = (5, 6, 7, 8, 9),
+    seed: int = 0,
 ) -> FigureResult:
     """Figure 11b: query cost vs dimensionality (NSF, k = 256)."""
     figure = FigureResult(
@@ -290,7 +304,19 @@ def figure_13(
     *,
     scale: float = 1.0,
     k: int = 256,
-    grid: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    grid: Sequence[float] = (
+        0.0,
+        0.1,
+        0.2,
+        0.3,
+        0.4,
+        0.5,
+        0.6,
+        0.7,
+        0.8,
+        0.9,
+        1.0,
+    ),
     seed: int = 0,
 ) -> FigureResult:
     """Figure 13: output progressiveness of hybrid (k = 256).
@@ -330,7 +356,11 @@ def figure_13(
 # Theorem checks: measured cost inside the proven envelopes
 # ----------------------------------------------------------------------
 def theorem_3_check(
-    *, k: int = 32, d: int = 4, ms: Sequence[int] = (8, 16, 32, 64), seed: int = 0
+    *,
+    k: int = 32,
+    d: int = 4,
+    ms: Sequence[int] = (8, 16, 32, 64),
+    seed: int = 0,
 ) -> FigureResult:
     """Rank-shrink on the Theorem 3 hard instance vs the d*m lower bound."""
     figure = FigureResult(
@@ -344,7 +374,9 @@ def theorem_3_check(
     upper = figure.new_series("Theorem 1 upper bound")
     for m in ms:
         instance = theorem3_instance(k, d, m)
-        result = measure_crawl(instance.dataset, k, RankShrink, priority_seed=seed)
+        result = measure_crawl(
+            instance.dataset, k, RankShrink, priority_seed=seed
+        )
         measured.add(m, result.cost)
         lower.add(m, bounds.theorem3_lower_bound(d, m))
         upper.add(m, bounds.rank_shrink_upper_bound(instance.dataset.n, k, d))
@@ -368,7 +400,9 @@ def theorem_4_check(
     upper = figure.new_series("Lemma 4 upper bound")
     for U in us:
         instance = theorem4_instance(k, U)
-        result = measure_crawl(instance.dataset, k, SliceCover, priority_seed=seed)
+        result = measure_crawl(
+            instance.dataset, k, SliceCover, priority_seed=seed
+        )
         eager.add(U, result.cost)
         lazy_result = measure_crawl(
             instance.dataset, k, LazySliceCover, priority_seed=seed
@@ -382,7 +416,9 @@ def theorem_4_check(
 # ----------------------------------------------------------------------
 # Ablations (not in the paper; design-choice probes flagged in DESIGN.md)
 # ----------------------------------------------------------------------
-def ablation_ordering(*, scale: float = 1.0, k: int = 256, seed: int = 0) -> FigureResult:
+def ablation_ordering(
+    *, scale: float = 1.0, k: int = 256, seed: int = 0
+) -> FigureResult:
     """Attribute-ordering ablation for lazy-slice-cover on NSF.
 
     The paper fixes the Figure 9 order (small domains first) for all

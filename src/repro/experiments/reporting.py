@@ -29,7 +29,8 @@ def figure_rows(figure: FigureResult) -> tuple[list[str], list[list[str]]]:
         xs.sort()
     header = [figure.xlabel] + [series.name for series in figure.series]
     lookup = [
-        {point.x: point.y for point in series.points} for series in figure.series
+        {point.x: point.y for point in series.points}
+        for series in figure.series
     ]
     rows = []
     for x in xs:
@@ -51,7 +52,9 @@ def format_figure(figure: FigureResult) -> str:
     """Aligned plain-text table (for the CLI and examples)."""
     header, rows = figure_rows(figure)
     widths = [
-        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        if rows
+        else len(header[i])
         for i in range(len(header))
     ]
     lines = [f"== {figure.figure_id}: {figure.title} =="]
@@ -60,7 +63,9 @@ def format_figure(figure: FigureResult) -> str:
     )
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(row)))
+        )
     lines.append(f"(y-axis: {figure.ylabel})")
     for note in figure.notes:
         lines.append(f"note: {note}")
@@ -70,7 +75,10 @@ def format_figure(figure: FigureResult) -> str:
 def format_markdown(figure: FigureResult) -> str:
     """Markdown table (for EXPERIMENTS.md)."""
     header, rows = figure_rows(figure)
-    lines = [f"**{figure.figure_id}** — {figure.title} (y: {figure.ylabel})", ""]
+    lines = [
+        f"**{figure.figure_id}** — {figure.title} (y: {figure.ylabel})",
+        "",
+    ]
     lines.append("| " + " | ".join(header) + " |")
     lines.append("|" + "|".join("---" for _ in header) + "|")
     for row in rows:

@@ -67,8 +67,16 @@ class RangePredicate:
 
     def clamp(self, lo: int | None, hi: int | None) -> "RangePredicate":
         """Intersect with another extent (used to seed bounded crawls)."""
-        new_lo = self.lo if lo is None else (lo if self.lo is None else max(lo, self.lo))
-        new_hi = self.hi if hi is None else (hi if self.hi is None else min(hi, self.hi))
+        new_lo = (
+            self.lo
+            if lo is None
+            else (lo if self.lo is None else max(lo, self.lo))
+        )
+        new_hi = (
+            self.hi
+            if hi is None
+            else (hi if self.hi is None else min(hi, self.hi))
+        )
         return RangePredicate(new_lo, new_hi)
 
     def __str__(self) -> str:

@@ -90,7 +90,9 @@ class Query:
         preds[index] = EqualityPredicate(value)
         return Query(tuple(preds), self.space)
 
-    def with_range(self, index: int, lo: int | None, hi: int | None) -> "Query":
+    def with_range(
+        self, index: int, lo: int | None, hi: int | None
+    ) -> "Query":
         """Refine a numeric attribute's extent to ``[lo, hi]``."""
         attr = self.space[index]
         if not attr.is_numeric:
@@ -191,12 +193,20 @@ class Query:
                 lo = (
                     mine.lo
                     if theirs.lo is None
-                    else (theirs.lo if mine.lo is None else max(mine.lo, theirs.lo))
+                    else (
+                        theirs.lo
+                        if mine.lo is None
+                        else max(mine.lo, theirs.lo)
+                    )
                 )
                 hi = (
                     mine.hi
                     if theirs.hi is None
-                    else (theirs.hi if mine.hi is None else min(mine.hi, theirs.hi))
+                    else (
+                        theirs.hi
+                        if mine.hi is None
+                        else min(mine.hi, theirs.hi)
+                    )
                 )
                 if lo is not None and hi is not None and lo > hi:
                     return None
@@ -236,11 +246,19 @@ class Query:
         """
         lo, hi = self.extent(index)
         if (lo is not None and x < lo) or (hi is not None and x > hi):
-            raise SchemaError(f"3-way split at {x} outside extent [{lo}, {hi}]")
-        left = None if lo is not None and x == lo else self.with_range(index, lo, x - 1)
+            raise SchemaError(
+                f"3-way split at {x} outside extent [{lo}, {hi}]"
+            )
+        left = (
+            None
+            if lo is not None and x == lo
+            else self.with_range(index, lo, x - 1)
+        )
         mid = self.with_range(index, x, x)
         right = (
-            None if hi is not None and x == hi else self.with_range(index, x + 1, hi)
+            None
+            if hi is not None and x == hi
+            else self.with_range(index, x + 1, hi)
         )
         return left, mid, right
 

@@ -15,7 +15,12 @@ from repro.server.engines import (
 )
 from repro.server.interface import QueryInterface
 from repro.server.latency import AsyncLatencySource, LatencySource
-from repro.server.limits import DailyRateLimit, QueryBudget, QueryLimit, SimulatedClock
+from repro.server.limits import (
+    DailyRateLimit,
+    QueryBudget,
+    QueryLimit,
+    SimulatedClock,
+)
 from repro.server.response import QueryResponse, Row
 from repro.server.server import TopKServer
 from repro.server.stats import QueryStats

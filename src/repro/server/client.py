@@ -156,7 +156,9 @@ class CachingClient(LocklessPickle):
         """Close the current cost phase."""
         self._stats.end_phase()
 
-    def add_listener(self, listener: Callable[[Query, QueryResponse], None]) -> None:
+    def add_listener(
+        self, listener: Callable[[Query, QueryResponse], None]
+    ) -> None:
         """Register a callback invoked after every cache miss."""
         self._listeners.append(listener)
 

@@ -19,9 +19,19 @@ how many threads race on :meth:`QueryLimit.admit`.
 
 Limits and the clock are also picklable (the lock is dropped and
 rebuilt), so a limited server can be shipped to a process-pool worker.
-Note the semantics: each worker process admits against its own *copy*
-of the limit -- cross-process admission is not shared, which is why
-the process executor targets limit-free simulation workloads.
+Note the semantics of a plain pickled copy: each worker process admits
+against its own *copy* of the limit -- cross-process admission is not
+shared.  When admission must be globally exact across a process pool,
+:mod:`repro.crawl.coordinator` moves the authoritative limit into a
+coordinator process and hands the workers
+:class:`~repro.crawl.coordinator.SharedLimitClient` proxies instead
+(the process executor's ``shared_limits=True`` mode does exactly
+that).
+
+Every limit (and the clock) exposes ``state()`` / ``restore_state()``
+-- a plain-dict snapshot of its counters -- which is how the
+coordinator seeds its authoritative copy from a local object and
+writes the final counts back after a crawl.
 """
 
 from __future__ import annotations
@@ -87,6 +97,17 @@ class QueryBudget(LocklessPickle, QueryLimit):
         with self._lock:
             self._max += extra
 
+    def state(self) -> dict:
+        """A plain-dict snapshot of the budget's counters."""
+        with self._lock:
+            return {"max_queries": self._max, "used": self._used}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the counters from a :meth:`state` snapshot."""
+        with self._lock:
+            self._max = int(state["max_queries"])
+            self._used = int(state["used"])
+
 
 class SimulatedClock(LocklessPickle):
     """A trivially simple discrete clock counting whole days."""
@@ -106,6 +127,16 @@ class SimulatedClock(LocklessPickle):
             self._day += 1
             return self._day
 
+    def state(self) -> dict:
+        """A plain-dict snapshot of the clock."""
+        with self._lock:
+            return {"day": self._day}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the clock from a :meth:`state` snapshot."""
+        with self._lock:
+            self._day = int(state["day"])
+
 
 class DailyRateLimit(LocklessPickle, QueryLimit):
     """At most ``per_day`` queries per simulated day.
@@ -122,6 +153,11 @@ class DailyRateLimit(LocklessPickle, QueryLimit):
         self._counted_day = clock.day
         self._used_today = 0
         self._lock = threading.Lock()
+
+    @property
+    def clock(self) -> SimulatedClock:
+        """The clock whose day boundaries reset the quota."""
+        return self._clock
 
     @property
     def used_today(self) -> int:
@@ -153,3 +189,19 @@ class DailyRateLimit(LocklessPickle, QueryLimit):
                     issued=self._used_today,
                 )
             self._used_today += 1
+
+    def state(self) -> dict:
+        """A plain-dict snapshot of today's quota counters."""
+        with self._lock:
+            return {
+                "per_day": self._per_day,
+                "counted_day": self._counted_day,
+                "used_today": self._used_today,
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the counters from a :meth:`state` snapshot."""
+        with self._lock:
+            self._per_day = int(state["per_day"])
+            self._counted_day = int(state["counted_day"])
+            self._used_today = int(state["used_today"])

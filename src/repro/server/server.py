@@ -22,6 +22,7 @@ sequential calls would, and the workload counters stay exact.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -124,6 +125,29 @@ class TopKServer:
         response = QueryResponse(tuple(rows), overflow)
         self._stats.record(response)
         return response
+
+    def with_accounting(
+        self,
+        *,
+        limits: Iterable[QueryLimit] | None = None,
+        stats: QueryStats | None = None,
+    ) -> "TopKServer":
+        """A shallow clone with the admission/accounting state swapped.
+
+        The clone shares the (immutable) dataset and engine with the
+        original but admits against ``limits`` and records into
+        ``stats`` instead; ``None`` keeps the original's object.  This
+        is the rewiring seam of the shared-state control plane
+        (:mod:`repro.crawl.coordinator`): before a server ships to a
+        process pool, its limits and stats are replaced by shared
+        proxies so every worker charges the one authoritative copy.
+        """
+        clone = copy.copy(self)
+        if limits is not None:
+            clone._limits = tuple(limits)
+        if stats is not None:
+            clone._stats = stats
+        return clone
 
     # ------------------------------------------------------------------
     # Operator-side introspection (not available to crawlers)

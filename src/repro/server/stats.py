@@ -41,13 +41,22 @@ class QueryStats(LocklessPickle):
 
     def record(self, response: QueryResponse) -> None:
         """Account for one answered query (atomically)."""
+        self.record_counts(response.overflow, len(response.rows))
+
+    def record_counts(self, overflow: bool, tuples: int) -> None:
+        """Account for one answered query given its bare counts.
+
+        The wire-level twin of :meth:`record`: the shared-state control
+        plane ships ``(overflow, len(rows))`` across the process
+        boundary instead of the full response.
+        """
         with self._lock:
             self.queries += 1
-            if response.overflow:
+            if overflow:
                 self.overflowed += 1
             else:
                 self.resolved += 1
-            self.tuples_returned += len(response.rows)
+            self.tuples_returned += tuples
             if self._phase is not None:
                 self.phase_costs[self._phase] = (
                     self.phase_costs.get(self._phase, 0) + 1
@@ -86,6 +95,31 @@ class QueryStats(LocklessPickle):
                 phase_costs=dict(self.phase_costs),
             )
         return copy
+
+    def state(self) -> dict:
+        """A plain-dict snapshot of the counters (coordinator wire form).
+
+        The shared-state control plane (:mod:`repro.crawl.coordinator`)
+        seeds its authoritative copy from this and writes the final
+        counts back through :meth:`restore_state` after the crawl.
+        """
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "resolved": self.resolved,
+                "overflowed": self.overflowed,
+                "tuples_returned": self.tuples_returned,
+                "phase_costs": dict(self.phase_costs),
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the counters from a :meth:`state` snapshot."""
+        with self._lock:
+            self.queries = int(state["queries"])
+            self.resolved = int(state["resolved"])
+            self.overflowed = int(state["overflowed"])
+            self.tuples_returned = int(state["tuples_returned"])
+            self.phase_costs = dict(state["phase_costs"])
 
     def __str__(self) -> str:
         phases = (

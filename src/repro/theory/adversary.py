@@ -62,7 +62,9 @@ class ResponsePolicy(abc.ABC):
     name: str = "policy"
 
     @abc.abstractmethod
-    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+    def select(
+        self, matching: Sequence[Row], k: int, query: Query
+    ) -> list[Row]:
         """Pick ``k`` of the ``matching`` tuples (given in priority order)."""
 
 
@@ -76,7 +78,9 @@ class PriorityOrderPolicy(ResponsePolicy):
 
     name = "priority-order"
 
-    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+    def select(
+        self, matching: Sequence[Row], k: int, query: Query
+    ) -> list[Row]:
         return list(matching[:k])
 
 
@@ -98,7 +102,9 @@ class RankByAttributePolicy(ResponsePolicy):
         order = "desc" if descending else "asc"
         self.name = f"rank-by-A{attribute + 1}-{order}"
 
-    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+    def select(
+        self, matching: Sequence[Row], k: int, query: Query
+    ) -> list[Row]:
         j = self._attribute
         # Stable sort: equal-key tuples keep priority order, so the
         # choice is deterministic.
@@ -123,7 +129,9 @@ class ModeClusterPolicy(ResponsePolicy):
         self._attribute = attribute
         self.name = f"mode-cluster-A{attribute + 1}"
 
-    def select(self, matching: Sequence[Row], k: int, query: Query) -> list[Row]:
+    def select(
+        self, matching: Sequence[Row], k: int, query: Query
+    ) -> list[Row]:
         j = self._attribute
         counts = Counter(row[j] for row in matching)
         # Most common value; deterministic tie-break toward smaller value.

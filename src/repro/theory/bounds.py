@@ -50,7 +50,9 @@ def rank_shrink_upper_bound(n: int, k: int, d: int) -> int:
     return 20 * d * _ceil_div(max(n, 1), k) + 1
 
 
-def slice_cover_upper_bound(n: int, k: int, domain_sizes: Sequence[int]) -> int:
+def slice_cover_upper_bound(
+    n: int, k: int, domain_sizes: Sequence[int]
+) -> int:
     """Lemma 4: ``U1`` if ``d = 1``; else ``sum Ui + (n/k) sum min(Ui, n/k)``.
 
     One extra query is allowed for lazy-slice-cover's root query (eager
@@ -94,7 +96,10 @@ def upper_bound_for_dataset(dataset: Dataset, k: int) -> int:
             dataset.n, k, list(space.categorical_domain_sizes)
         )
     return hybrid_upper_bound(
-        dataset.n, k, list(space.categorical_domain_sizes), space.dimensionality
+        dataset.n,
+        k,
+        list(space.categorical_domain_sizes),
+        space.dimensionality,
     )
 
 

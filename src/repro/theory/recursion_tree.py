@@ -59,7 +59,9 @@ class RecursionTreeTracer:
         self.nodes: list[TreeNode] = []
 
     # -- hooks called by repro.crawl.rank_shrink.solve_numeric ---------
-    def enter(self, query: Query, parent: TreeNode | None, role: str) -> TreeNode:
+    def enter(
+        self, query: Query, parent: TreeNode | None, role: str
+    ) -> TreeNode:
         node = TreeNode(
             node_id=len(self.nodes),
             query=query,
@@ -74,7 +76,9 @@ class RecursionTreeTracer:
     def mark_resolved(self, node: TreeNode) -> None:
         node.resolved = True
 
-    def mark_split(self, node: TreeNode, kind: str, dim: int, value: int) -> None:
+    def mark_split(
+        self, node: TreeNode, kind: str, dim: int, value: int
+    ) -> None:
         node.split_kind = kind
         node.split_dim = dim
         node.split_value = value
@@ -115,7 +119,9 @@ class RecursionTreeAnalysis:
 
     def tuples_covered(self, node: TreeNode) -> int:
         """``|q(D)|`` for the node's query (operator-side knowledge)."""
-        return sum(1 for row in self._dataset.iter_rows() if node.query.matches(row))
+        return sum(
+            1 for row in self._dataset.iter_rows() if node.query.matches(row)
+        )
 
     def leaf_type(self, node: TreeNode) -> int:
         """The Lemma 1 class (1, 2, or 3) of a leaf."""
@@ -165,5 +171,6 @@ class RecursionTreeAnalysis:
                 raise AssertionError(
                     f"type-3 leaf {leaf.node_id} has no type-1/2 leaf sibling"
                 )
-        if len(self._tracer.internal_nodes()) > max(1, len(self._tracer.leaves())):
+        internal = len(self._tracer.internal_nodes())
+        if internal > max(1, len(self._tracer.leaves())):
             raise AssertionError("more internal nodes than leaves")

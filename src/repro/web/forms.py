@@ -61,7 +61,10 @@ class SelectField:
             f'<option value="">{_ANY_LABEL}</option>',
         ]
         for value in self.values:
-            lines.append(f'<option value="{value}">{html.escape(self.name)} {value}</option>')
+            lines.append(
+                f'<option value="{value}">'
+                f"{html.escape(self.name)} {value}</option>"
+            )
         lines.append("</select>")
         return "\n".join(lines)
 
@@ -140,7 +143,9 @@ class SearchForm:
             if attr.is_categorical:
                 assert attr.domain_size is not None
                 fields.append(
-                    SelectField(attr.name, tuple(range(1, attr.domain_size + 1)))
+                    SelectField(
+                        attr.name, tuple(range(1, attr.domain_size + 1))
+                    )
                 )
             elif advertise_bounds:
                 fields.append(RangeField(attr.name, attr.lo, attr.hi))
@@ -256,6 +261,4 @@ class _FormParser(HTMLParser):
             self._select_name = None
         elif tag == "form" and self._pending_ranges:
             missing = ", ".join(sorted(self._pending_ranges))
-            raise WebProtocolError(
-                f"unpaired min/max inputs for: {missing}"
-            )
+            raise WebProtocolError(f"unpaired min/max inputs for: {missing}")

@@ -30,7 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from urllib.parse import urlsplit
 
-from repro.exceptions import QueryBudgetExhausted, SchemaError, WebProtocolError
+from repro.exceptions import (
+    QueryBudgetExhausted,
+    SchemaError,
+    WebProtocolError,
+)
 from repro.server.server import TopKServer
 from repro.web.forms import SearchForm
 from repro.web.pages import render_error_page, render_result_page

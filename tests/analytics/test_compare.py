@@ -50,7 +50,8 @@ class TestSweep:
         full = report.crawl_full_cost
         report = compare_at_budgets(dataset, 16, [10, full], seed=1)
         last = report.points[-1]
-        assert last.crawl_complete and last.crawl_fraction == pytest.approx(1.0)
+        assert last.crawl_complete
+        assert last.crawl_fraction == pytest.approx(1.0)
 
     def test_sampling_errors_are_finite(self, dataset):
         report = compare_at_budgets(dataset, 16, [30, 120], seed=1)

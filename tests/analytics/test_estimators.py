@@ -77,16 +77,12 @@ class TestAccuracy:
 
     def test_size_estimate_close(self):
         dataset = make_dataset()
-        report = estimate_size(
-            TopKServer(dataset, k=20), walks=2000, seed=3
-        )
+        report = estimate_size(TopKServer(dataset, k=20), walks=2000, seed=3)
         assert report.relative_error(dataset.n) < 0.10
 
     def test_sum_estimate_close(self):
         dataset = make_dataset()
-        report = estimate_sum(
-            TopKServer(dataset, k=20), 2, walks=2000, seed=3
-        )
+        report = estimate_sum(TopKServer(dataset, k=20), 2, walks=2000, seed=3)
         truth = float(dataset.rows[:, 2].sum())
         assert report.relative_error(truth) < 0.15
 
@@ -144,7 +140,5 @@ class TestMeanEstimator:
         # 5 copies per point; k must be at least the multiplicity.
         rows = [(c, 42) for c in (1, 2, 3) for _ in range(5)]
         dataset = Dataset(space, rows).with_bounds_from_data()
-        report = estimate_mean(
-            TopKServer(dataset, k=6), 1, walks=200, seed=0
-        )
+        report = estimate_mean(TopKServer(dataset, k=6), 1, walks=200, seed=0)
         assert report.estimate == pytest.approx(42.0)

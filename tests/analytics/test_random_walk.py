@@ -118,9 +118,7 @@ class TestNumericWalks:
 
     def test_mixed_space_walks(self):
         rng = np.random.default_rng(6)
-        space = DataSpace.mixed(
-            [("c", 3)], ["v"], numeric_bounds=[(0, 127)]
-        )
+        space = DataSpace.mixed([("c", 3)], ["v"], numeric_bounds=[(0, 127)])
         rows = np.column_stack(
             [rng.integers(1, 4, 100), rng.integers(0, 128, 100)]
         ).astype(np.int64)

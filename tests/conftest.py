@@ -86,5 +86,10 @@ def small_instances(
         else np.empty((0, space.dimensionality), dtype=np.int64)
     )
     dataset = Dataset(space, matrix)
-    k = draw(st.integers(max(1, dataset.max_multiplicity()), max(max_k, dataset.max_multiplicity())))
+    k = draw(
+        st.integers(
+            max(1, dataset.max_multiplicity()),
+            max(max_k, dataset.max_multiplicity()),
+        )
+    )
     return dataset, k

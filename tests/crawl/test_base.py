@@ -15,7 +15,9 @@ from repro.server.server import TopKServer
 
 @pytest.fixture
 def dataset():
-    return random_dataset(DataSpace.numeric(2), 200, seed=2, numeric_range=(0, 60))
+    return random_dataset(
+        DataSpace.numeric(2), 200, seed=2, numeric_range=(0, 60)
+    )
 
 
 class TestCrawlResult:
@@ -33,7 +35,9 @@ class TestCrawlResult:
     def test_cost_matches_client(self, dataset):
         crawler = RankShrink(TopKServer(dataset, k=8))
         result = crawler.crawl()
-        assert result.cost == crawler.client.cost == len(crawler.client.history)
+        assert (
+            result.cost == crawler.client.cost == len(crawler.client.history)
+        )
 
 
 class TestProgressLog:

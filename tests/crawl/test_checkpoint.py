@@ -38,7 +38,9 @@ class TestRoundTrip:
         assert finished.complete
         assert_complete(finished, dataset)
         # The resumed process never repeated the checkpointed queries.
-        one_shot_cost = Hybrid(TopKServer(dataset, k=16, priority_seed=4)).crawl().cost
+        one_shot_cost = (
+            Hybrid(TopKServer(dataset, k=16, priority_seed=4)).crawl().cost
+        )
         assert server2.stats.queries == one_shot_cost - restored
 
     def test_restored_entries_cost_nothing(self, dataset, tmp_path):

@@ -230,3 +230,125 @@ class TestExecutors:
             == 0
         )
         assert "2 regions" in capsys.readouterr().out
+
+
+class TestSharedLimitsAndLiveProgress:
+    """The --budget / --shared-limits / --progress-live surface."""
+
+    def test_flag_defaults(self, mixed_csv):
+        path, _ = mixed_csv
+        args = build_parser().parse_args([path, "--k", "8"])
+        assert args.budget is None
+        assert args.shared_limits is False
+        assert args.progress_live is False
+
+    def test_budget_must_be_positive(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_generous_budget_completes(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--budget", "100000"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_exhausted_budget_exits_4_with_exact_charge(
+        self, mixed_csv, capsys
+    ):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--budget", "3"]) == 4
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert "(3 queries charged)" in err
+
+    def test_process_shared_limits_budgeted_crawl(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--executor",
+                    "process",
+                    "--shared-limits",
+                    "--rebalance",
+                    "--budget",
+                    "100000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shared limits" in out
+        assert "complete" in out
+
+    def test_process_shared_limits_exhaustion_exits_4(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--executor",
+                    "process",
+                    "--shared-limits",
+                    "--budget",
+                    "5",
+                ]
+            )
+            == 4
+        )
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert "(5 queries charged)" in err
+
+    def test_progress_live_prints_session_lines(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main([path, "--k", "8", "--workers", "2", "--progress-live"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "session 0:" in err
+        assert "session 1:" in err
+        assert "done" in err
+
+    def test_single_worker_notes_inert_flags(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert main([path, "--k", "8", "--shared-limits"]) == 0
+        assert "--workers > 1" in capsys.readouterr().err
+
+
+class TestLiveProgressRendering:
+    """render_live_progress marks dead sessions distinctly."""
+
+    def test_failed_session_is_upper_case(self):
+        from repro.crawl.__main__ import render_live_progress
+        from repro.crawl.base import ProgressAggregator, ProgressPoint
+
+        aggregator = ProgressAggregator(3)
+        aggregator.report(0, ProgressPoint(10, 20))
+        aggregator.mark_done(0)
+        aggregator.mark_failed(1)
+        text = render_live_progress(aggregator)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "session 0: done" in lines[0]
+        assert "queries=10 tuples=20" in lines[0]
+        assert "FAILED" in lines[1]
+        assert "failed" not in lines[1]
+        assert "running" in lines[2]
+
+    def test_cancelled_session_is_upper_case(self):
+        from repro.crawl.__main__ import render_live_progress
+        from repro.crawl.base import ProgressAggregator
+
+        aggregator = ProgressAggregator(1)
+        aggregator.mark_cancelled(0)
+        assert "CANCELLED" in render_live_progress(aggregator)

@@ -58,7 +58,10 @@ class TestHybridOnMixed:
         k = 64
         space = dataset.space
         upper = bounds.hybrid_upper_bound(
-            dataset.n, k, list(space.categorical_domain_sizes), space.dimensionality
+            dataset.n,
+            k,
+            list(space.categorical_domain_sizes),
+            space.dimensionality,
         )
         crawler = Hybrid(TopKServer(dataset, k=k), max_queries=upper)
         result = crawler.crawl()

@@ -3,7 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.crawl.dependency import DependencyFilteringClient, PairwiseDependencyOracle
+from repro.crawl.dependency import (
+    DependencyFilteringClient,
+    PairwiseDependencyOracle,
+)
 from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.verify import assert_complete

@@ -63,7 +63,9 @@ class TestGeneral:
 
     def test_deep_space(self):
         # The pattern has period 6, so each populated point holds 5 copies.
-        rows = [[1 + i % 2, 1 + i % 3, 1 + i % 2, 1 + i % 3] for i in range(30)]
+        rows = [
+            [1 + i % 2, 1 + i % 3, 1 + i % 2, 1 + i % 3] for i in range(30)
+        ]
         dataset = make_dataset(DataSpace.categorical([2, 3, 2, 3]), rows)
         assert dataset.max_multiplicity() == 5
         result = DepthFirstSearch(TopKServer(dataset, k=5)).crawl()

@@ -106,9 +106,7 @@ class TestParity:
         self, name, rebalance, dataset, plan, reference
     ):
         executor = make_executor(name, max_workers=SESSIONS)
-        result = executor.run(
-            make_sources(dataset), plan, rebalance=rebalance
-        )
+        result = executor.run(make_sources(dataset), plan, rebalance=rebalance)
         assert_identical(result, reference)
         assert result.complete
         assert sorted(result.rows) == sorted(dataset.iter_rows())
@@ -116,9 +114,7 @@ class TestParity:
     def test_fewer_workers_than_sessions(self, dataset, plan, reference):
         for name in ("thread", "async"):
             executor = make_executor(name, max_workers=2)
-            result = executor.run(
-                make_sources(dataset), plan, rebalance=True
-            )
+            result = executor.run(make_sources(dataset), plan, rebalance=True)
             assert_identical(result, reference)
 
     def test_rebalance_with_seeded_estimator(self, dataset, plan, reference):

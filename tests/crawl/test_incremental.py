@@ -54,7 +54,9 @@ class TestDiffSnapshots:
 class TestRecrawl:
     def test_detects_inserts_and_deletes(self, space):
         before = dataset_from(space, [(1, 10), (1, 10), (2, 20), (3, 30)])
-        after = dataset_from(space, [(1, 10), (2, 20), (2, 25), (3, 30), (3, 30)])
+        after = dataset_from(
+            space, [(1, 10), (2, 20), (2, 25), (3, 30), (3, 30)]
+        )
         first = Hybrid(TopKServer(before, k=2)).crawl()
         new_result, diff = recrawl(TopKServer(after, k=2), first)
         assert new_result.complete
@@ -70,7 +72,9 @@ class TestRecrawl:
     def test_rejects_partial_previous(self, space):
         from repro.server.limits import QueryBudget
 
-        data = dataset_from(space, [(m, v) for m in (1, 2, 3) for v in range(5)])
+        data = dataset_from(
+            space, [(m, v) for m in (1, 2, 3) for v in range(5)]
+        )
         limited = TopKServer(data, k=2, limits=[QueryBudget(2)])
         partial = Hybrid(limited).crawl(allow_partial=True)
         assert not partial.complete

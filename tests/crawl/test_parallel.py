@@ -11,7 +11,11 @@ runs; nothing in the result may.
 import numpy as np
 import pytest
 
-from repro.crawl.base import ProgressAggregator, concat_progress, merge_progress
+from repro.crawl.base import (
+    ProgressAggregator,
+    concat_progress,
+    merge_progress,
+)
 from repro.crawl.base import ProgressPoint as P
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.parallel import crawl_partitioned_parallel, default_workers

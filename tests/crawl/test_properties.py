@@ -82,9 +82,7 @@ class TestNumericAlgorithms:
         if dataset.space.kind is not SpaceKind.NUMERIC:
             return
         for divisor in (2, 3, 8):
-            crawl_and_verify(
-                dataset, k, RankShrink, threshold_divisor=divisor
-            )
+            crawl_and_verify(dataset, k, RankShrink, threshold_divisor=divisor)
 
 
 class TestCategoricalAlgorithms:

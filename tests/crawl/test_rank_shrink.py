@@ -114,7 +114,8 @@ class TestGeneral:
 
     def test_negative_coordinates(self):
         dataset = make_dataset(
-            DataSpace.numeric(2), [[-5, -7], [-5, 3], [0, 0], [8, -2], [-5, -7]]
+            DataSpace.numeric(2),
+            [[-5, -7], [-5, 3], [0, 0], [8, -2], [-5, -7]],
         )
         result = RankShrink(TopKServer(dataset, k=2)).crawl()
         assert_complete(result, dataset)

@@ -94,9 +94,7 @@ def deep_mixed_dataset(seed=5, n=300):
 def numeric_dataset(seed=8, n=300):
     rng = np.random.default_rng(seed)
     space = DataSpace.numeric(2, bounds=[(0, 999), (0, 99)])
-    rows = np.column_stack(
-        [rng.integers(0, 1000, n), rng.integers(0, 100, n)]
-    )
+    rows = np.column_stack([rng.integers(0, 1000, n), rng.integers(0, 100, n)])
     return Dataset(space, rows.astype(np.int64))
 
 
@@ -115,9 +113,7 @@ def sharded_region_result(dataset, k, region, factory, max_shards=6):
     plan = presplit_region(
         server, region, crawler_factory=factory, max_shards=max_shards
     )
-    results = [
-        crawl_shard(server, region, shard) for shard in plan.shards
-    ]
+    results = [crawl_shard(server, region, shard) for shard in plan.shards]
     return plan, merge_region_shards(plan, results)
 
 
@@ -558,9 +554,7 @@ class TestCostEstimatorShards:
         assert estimator.shard_mean((0, 0)) is None
         assert estimator.shard_observed((0, 0)) == (0, 0)
 
-    @given(
-        costs=st.lists(st.integers(0, 1000), min_size=1, max_size=30)
-    )
+    @given(costs=st.lists(st.integers(0, 1000), min_size=1, max_size=30))
     @settings(max_examples=50, deadline=None)
     def test_shard_accounting_is_exact_under_any_schedule(self, costs):
         estimator = CostEstimator()
@@ -595,9 +589,7 @@ class TestSchedulerInterleavingProperty:
                 if nxt is not None:
                     acquired.append(nxt)
                     continue
-            which = data.draw(
-                st.integers(0, len(acquired) - 1), label="which"
-            )
+            which = data.draw(st.integers(0, len(acquired) - 1), label="which")
             acquired.rotate(-which)
             shard_task = acquired.popleft()
             cost = data.draw(st.integers(0, 50), label="cost")

@@ -1,0 +1,517 @@
+"""Shared-limit control plane: exact accounting across processes.
+
+The process backend's ``shared_limits=True`` mode must keep every
+interface limit *globally* exact -- one authoritative
+``QueryBudget``/``DailyRateLimit``/``SimulatedClock``/``QueryStats``
+admits and accounts for the whole pool -- while the merged result stays
+byte-identical to the sequential executor on limit-bearing plans.
+These tests pin:
+
+* the coordinator primitives (exactly-once admission, identity-memoised
+  sharing, write-back, source rewiring);
+* byte-parity of the process backend under ``shared_limits`` across
+  static / rebalanced / subtree-sharded dispatch, with the charged cost
+  equal to the sequential count exactly;
+* limit-exhaustion behaviour: a budget that runs out mid-crawl raises
+  (or, with ``allow_partial``, truncates) identically across
+  sequential, thread and shared-limit process execution, never
+  over-admitting by even one query;
+* a hypothesis property: no interleaving of racing admitters can
+  double-admit -- exactly ``min(budget, attempts)`` admissions succeed.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawl.base import ProgressAggregator, SessionState
+from repro.crawl.coordinator import (
+    LimitCoordinator,
+    SharedBudget,
+    SharedClock,
+    SharedDailyLimit,
+    SharedStats,
+)
+from repro.crawl.executors import ProcessExecutor, make_executor
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.crawl.rebalance import CostEstimator
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.exceptions import QueryBudgetExhausted
+from repro.server.client import CachingClient, PatientClient
+from repro.server.latency import LatencySource
+from repro.server.limits import DailyRateLimit, QueryBudget, SimulatedClock
+from repro.server.response import QueryResponse
+from repro.server.server import TopKServer
+from repro.server.stats import QueryStats
+
+SESSIONS = 3
+
+#: Shared-limit dispatch shapes the parity contract covers.
+SHARED_MATRIX = [
+    pytest.param({}, id="static"),
+    pytest.param({"rebalance": True}, id="rebalance"),
+    pytest.param(
+        {"rebalance": True, "shard_subtrees": 4}, id="rebalance-sharded"
+    ),
+]
+
+
+def limited_dataset(seed=3, n=300):
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 6), ("body", 3)],
+        ["price"],
+        numeric_bounds=[(0, 499)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 7, n),
+            rng.integers(1, 4, n),
+            rng.integers(0, 500, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return limited_dataset()
+
+
+@pytest.fixture(scope="module")
+def plan(dataset):
+    return partition_space(dataset.space, SESSIONS)
+
+
+def budgeted_sources(dataset, budget):
+    """One server per session, all admitting against one budget."""
+    return [
+        TopKServer(dataset, k=32, limits=[budget]) for _ in range(SESSIONS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(dataset, plan):
+    """Sequential crawl of the limit-bearing plan + its exact charge."""
+    budget = QueryBudget(100_000)
+    result = crawl_partitioned(budgeted_sources(dataset, budget), plan)
+    return result, budget.used
+
+
+@pytest.fixture(scope="module")
+def coordinator():
+    with LimitCoordinator() as running:
+        yield running
+
+
+def assert_identical(result, reference):
+    assert result.rows == reference.rows
+    assert result.cost == reference.cost
+    assert result.complete == reference.complete
+    assert result.session_costs() == reference.session_costs()
+    assert result.progress == reference.progress
+
+
+class TestCoordinatorPrimitives:
+    def test_share_is_identity_memoised(self, coordinator):
+        budget = QueryBudget(5)
+        stub = coordinator.share(budget)
+        assert isinstance(stub, SharedBudget)
+        assert coordinator.share(budget) is stub
+        # A different object of the same shape gets its own handle.
+        assert coordinator.share(QueryBudget(5)) is not stub
+
+    def test_budget_admits_exactly_once_and_writes_back(self, coordinator):
+        budget = QueryBudget(4)
+        stub = coordinator.share(budget)
+        for _ in range(4):
+            stub.admit()
+        with pytest.raises(QueryBudgetExhausted) as excinfo:
+            stub.admit()
+        assert excinfo.value.issued == 4
+        assert stub.used == 4
+        assert stub.remaining == 0
+        # The caller's object is untouched until write-back...
+        assert budget.used == 0
+        coordinator.writeback()
+        # ...then reads the authoritative counters exactly.
+        assert budget.used == 4
+        assert budget.remaining == 0
+
+    def test_stub_pickles_and_still_charges_the_one_budget(self, coordinator):
+        budget = QueryBudget(2)
+        stub = coordinator.share(budget)
+        clone = pickle.loads(pickle.dumps(stub))
+        stub.admit()
+        clone.admit()
+        with pytest.raises(QueryBudgetExhausted):
+            clone.admit()
+        assert stub.used == 2
+
+    def test_daily_limit_rolls_over_through_the_shared_clock(
+        self, coordinator
+    ):
+        clock = SimulatedClock()
+        daily = DailyRateLimit(3, clock)
+        shared_daily = coordinator.share(daily)
+        shared_clock = coordinator.share(clock)
+        assert isinstance(shared_daily, SharedDailyLimit)
+        assert isinstance(shared_clock, SharedClock)
+        for _ in range(3):
+            shared_daily.admit()
+        with pytest.raises(QueryBudgetExhausted):
+            shared_daily.admit()
+        assert shared_daily.used_today == 3
+        assert shared_clock.sleep_until_next_day() == 1
+        assert shared_daily.remaining_today == 3
+        shared_daily.admit()
+        coordinator.writeback()
+        assert clock.day == 1
+        assert daily.used_today == 1
+
+    def test_daily_limit_shares_its_clock_automatically(self, coordinator):
+        """Sharing a daily limit shares its clock under the same handle."""
+        clock = SimulatedClock()
+        daily = DailyRateLimit(2, clock)
+        shared_daily = coordinator.share(daily)
+        shared_clock = coordinator.share(clock)
+        shared_daily.admit()
+        shared_daily.admit()
+        shared_clock.sleep_until_next_day()
+        shared_daily.admit()  # would raise if the clocks were distinct
+        assert shared_daily.used_today == 1
+
+    def test_shared_stats_record_and_snapshot(self, coordinator):
+        stats = QueryStats()
+        shared = coordinator.share(stats)
+        assert isinstance(shared, SharedStats)
+        shared.begin_phase("traversal")
+        shared.record(QueryResponse((), True))
+        shared.record(QueryResponse(((1, 2),), False))
+        shared.end_phase()
+        assert shared.queries == 2
+        assert shared.overflowed == 1
+        assert shared.resolved == 1
+        assert shared.tuples_returned == 1
+        assert shared.phase_costs == {"traversal": 2}
+        snapshot = shared.snapshot()
+        assert isinstance(snapshot, QueryStats)
+        assert snapshot.queries == 2
+        assert "2 queries" in str(shared)
+        coordinator.writeback()
+        assert stats.queries == 2
+        assert stats.phase_costs == {"traversal": 2}
+
+    def test_unknown_limit_type_is_a_clear_error(self, coordinator):
+        class OddLimit:
+            def admit(self):
+                pass
+
+        with pytest.raises(TypeError, match="control plane"):
+            coordinator.share(OddLimit())
+
+    def test_rewire_walks_wrappers_and_preserves_originals(
+        self, coordinator, dataset
+    ):
+        budget = QueryBudget(50)
+        server = TopKServer(dataset, k=32, limits=[budget])
+        source = LatencySource(CachingClient(server), 0.0)
+        (rewired,) = coordinator.share_sources([source])
+        # New wrapper objects down the rewired chain, same originals.
+        assert rewired is not source
+        assert rewired._source is not source._source
+        inner = rewired._source._server
+        assert isinstance(inner._limits[0], SharedBudget)
+        assert isinstance(inner.stats, SharedStats)
+        assert source._source._server is server
+        assert server._limits[0] is budget
+        # Queries through the rewired stack charge the shared budget.
+        from repro.query.query import Query
+
+        rewired.run(Query.full(dataset.space))
+        assert inner._limits[0].used == 1
+        assert budget.used == 0  # original untouched until writeback
+
+    def test_rewire_shares_a_patient_clients_clock(self, coordinator, dataset):
+        clock = SimulatedClock()
+        server = TopKServer(
+            dataset, k=32, limits=[DailyRateLimit(1000, clock)]
+        )
+        patient = PatientClient(server, clock)
+        (rewired,) = coordinator.share_sources([patient])
+        assert isinstance(rewired._clock, SharedClock)
+        assert patient._clock is clock
+
+    def test_plane_property_requires_start(self):
+        idle = LimitCoordinator()
+        with pytest.raises(RuntimeError, match="not started"):
+            idle.plane
+
+
+class TestProcessSharedParity:
+    """Acceptance: byte-identical to sequential on a limit-bearing plan,
+    and the total charged cost equals the sequential count exactly."""
+
+    @pytest.mark.parametrize("kwargs", SHARED_MATRIX)
+    def test_limit_bearing_plan_matches_sequential(
+        self, kwargs, dataset, plan, reference
+    ):
+        expected, expected_charge = reference
+        budget = QueryBudget(100_000)
+        result = ProcessExecutor(max_workers=2).run(
+            budgeted_sources(dataset, budget),
+            plan,
+            shared_limits=True,
+            **kwargs,
+        )
+        assert_identical(result, expected)
+        assert budget.used == expected_charge
+
+    def test_server_stats_are_exact_per_source(self, dataset, plan):
+        seq_sources = budgeted_sources(dataset, QueryBudget(100_000))
+        crawl_partitioned(seq_sources, plan)
+        shared_budget = QueryBudget(100_000)
+        shared_sources = budgeted_sources(dataset, shared_budget)
+        ProcessExecutor(max_workers=2).run(
+            shared_sources, plan, shared_limits=True, rebalance=True
+        )
+        for sequential, shared in zip(seq_sources, shared_sources):
+            assert shared.stats.queries == sequential.stats.queries
+            assert shared.stats.resolved == sequential.stats.resolved
+            assert (
+                shared.stats.tuples_returned
+                == sequential.stats.tuples_returned
+            )
+
+    def test_estimator_receives_exact_observed_costs(
+        self, dataset, plan, reference
+    ):
+        expected, _ = reference
+        estimator = CostEstimator()
+        result = ProcessExecutor(max_workers=2).run(
+            budgeted_sources(dataset, QueryBudget(100_000)),
+            plan,
+            shared_limits=True,
+            rebalance=True,
+            estimator=estimator,
+        )
+        assert_identical(result, expected)
+        # Every region's exact cost crossed the process boundary back.
+        assert estimator.total_observed() == expected.cost
+        assert len(estimator.observed()) == len(plan.regions)
+
+    @pytest.mark.parametrize("kwargs", SHARED_MATRIX)
+    def test_sessions_reach_terminal_states(self, kwargs, dataset, plan):
+        aggregator = ProgressAggregator(SESSIONS)
+        merged = ProcessExecutor(max_workers=2).run(
+            budgeted_sources(dataset, QueryBudget(100_000)),
+            plan,
+            shared_limits=True,
+            aggregator=aggregator,
+            **kwargs,
+        )
+        assert aggregator.states() == (SessionState.DONE,) * SESSIONS
+        totals = aggregator.totals()
+        assert totals.queries == merged.cost
+        assert totals.tuples == merged.tuples_extracted
+
+
+class TestLimitExhaustion:
+    """Satellite: a budget that runs out mid-crawl behaves identically
+    across sequential, thread and shared-limit process execution."""
+
+    CAP = 12
+
+    BACKENDS = [
+        pytest.param("sequential", {}, id="sequential"),
+        pytest.param("thread", {}, id="thread"),
+        pytest.param("thread", {"rebalance": True}, id="thread-rebalance"),
+        pytest.param("async", {}, id="async"),
+        pytest.param(
+            "process",
+            {"shared_limits": True, "rebalance": True},
+            id="process-shared",
+        ),
+        pytest.param(
+            "process",
+            {"shared_limits": True, "rebalance": True, "shard_subtrees": 4},
+            id="process-shared-sharded",
+        ),
+    ]
+
+    @pytest.mark.parametrize("name,kwargs", BACKENDS)
+    def test_exhaustion_raises_and_never_over_admits(
+        self, name, kwargs, dataset, plan
+    ):
+        budget = QueryBudget(self.CAP)
+        executor = make_executor(name, max_workers=SESSIONS)
+        with pytest.raises(QueryBudgetExhausted) as excinfo:
+            executor.run(budgeted_sources(dataset, budget), plan, **kwargs)
+        assert excinfo.value.issued == self.CAP
+        assert budget.used == self.CAP
+        assert budget.remaining == 0
+
+    @pytest.mark.parametrize("name,kwargs", BACKENDS)
+    def test_allow_partial_truncates_at_the_exact_cap(
+        self, name, kwargs, dataset, plan
+    ):
+        budget = QueryBudget(self.CAP)
+        executor = make_executor(name, max_workers=SESSIONS)
+        result = executor.run(
+            budgeted_sources(dataset, budget),
+            plan,
+            allow_partial=True,
+            **kwargs,
+        )
+        assert not result.complete
+        assert budget.used == self.CAP
+        assert budget.remaining == 0
+
+    def test_without_sharing_each_worker_over_admits(self, dataset, plan):
+        """The bug the control plane fixes, pinned as a contrast: plain
+        per-worker budget copies admit independently, so the pool as a
+        whole issues more queries than the budget allows."""
+        budget = QueryBudget(self.CAP)
+        result = ProcessExecutor(max_workers=2).run(
+            budgeted_sources(dataset, budget),
+            plan,
+            allow_partial=True,
+            rebalance=True,
+        )
+        # Each worker's copy stopped at CAP, but the fleet's total
+        # spend exceeded it -- and the caller's budget saw nothing.
+        assert budget.used == 0
+        assert result.cost > 0
+
+
+class TestNoDoubleAdmission:
+    """Hypothesis: racing admitters can never over-admit a shared budget."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        budget_cap=st.integers(min_value=0, max_value=40),
+        admitters=st.integers(min_value=1, max_value=4),
+        attempts=st.integers(min_value=0, max_value=20),
+    )
+    def test_exactly_min_budget_attempts_admissions_succeed(
+        self, coordinator, budget_cap, admitters, attempts
+    ):
+        budget = QueryBudget(budget_cap)
+        stub = coordinator.share(budget)
+        # Each admitter works through its own deserialised stub, the
+        # worker-process shape, all charging one authoritative counter.
+        stubs = [pickle.loads(pickle.dumps(stub)) for _ in range(admitters)]
+        admitted = []
+
+        def admitter(client):
+            count = 0
+            for _ in range(attempts):
+                try:
+                    client.admit()
+                except QueryBudgetExhausted:
+                    continue
+                count += 1
+            admitted.append(count)
+
+        threads = [
+            threading.Thread(target=admitter, args=(client,))
+            for client in stubs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total_attempts = admitters * attempts
+        assert sum(admitted) == min(budget_cap, total_attempts)
+        assert stub.used == min(budget_cap, total_attempts)
+
+    def test_cross_process_admissions_are_exactly_once(self, coordinator):
+        """The same property with real worker processes racing."""
+        from concurrent.futures import ProcessPoolExecutor as Pool
+
+        budget = QueryBudget(10)
+        stub = coordinator.share(budget)
+        with Pool(max_workers=3) as pool:
+            admitted = sum(pool.map(_admit_up_to, [stub] * 3, [6] * 3))
+        assert admitted == 10
+        assert stub.used == 10
+
+
+def _admit_up_to(stub, attempts):
+    count = 0
+    for _ in range(attempts):
+        try:
+            stub.admit()
+        except QueryBudgetExhausted:
+            continue
+        count += 1
+    return count
+
+
+class TestAbortDrain:
+    """abort() lets surviving workers drain, never crash."""
+
+    def test_complete_after_abort_is_silently_dropped(self, plan):
+        from repro.crawl.rebalance import WorkStealingScheduler
+
+        scheduler = WorkStealingScheduler(plan.bundles)
+        task = scheduler.acquire(0)
+        scheduler.abort()
+        # The abort wrote the in-flight task off; its worker reporting
+        # back afterwards must not trip the exactly-once check.
+        scheduler.complete(task, 5)
+        scheduler.fail(task)
+        assert scheduler.acquire(0) is None
+        assert task.key in scheduler.failed_keys()
+        assert scheduler.completed_costs() == {}
+
+    def test_publish_and_shard_completion_after_abort(self, plan):
+        from repro.crawl.rebalance import SubtreeScheduler
+
+        scheduler = SubtreeScheduler(plan.bundles)
+        task = scheduler.acquire(0)
+        scheduler.abort()
+        assert scheduler.publish(task, _FakePlan()) is None
+        assert scheduler.acquire(0, block=False) is None
+
+    def test_double_complete_still_raises_without_abort(self, plan):
+        from repro.crawl.rebalance import WorkStealingScheduler
+        from repro.exceptions import AlgorithmInvariantError
+
+        scheduler = WorkStealingScheduler(plan.bundles)
+        task = scheduler.acquire(0)
+        scheduler.complete(task, 5)
+        with pytest.raises(AlgorithmInvariantError):
+            scheduler.complete(task, 5)
+
+
+class _FakePlan:
+    shards = (object(),)
+
+
+class TestRewireValidation:
+    def test_unrewireable_source_is_a_clear_error(self, coordinator):
+        class OpaqueSource:
+            def run(self, query):
+                raise NotImplementedError
+
+        with pytest.raises(TypeError, match="could not rewire"):
+            coordinator.share_sources([OpaqueSource()])
+
+    def test_web_session_stack_is_rewired(self, coordinator, dataset):
+        from repro.web.adapter import WebSession
+        from repro.web.site import HiddenWebSite
+
+        budget = QueryBudget(1000)
+        session = WebSession(
+            HiddenWebSite(TopKServer(dataset, k=32, limits=[budget]))
+        )
+        (rewired,) = coordinator.share_sources([session])
+        assert rewired is not session
+        inner = rewired._site._server
+        assert isinstance(inner._limits[0], SharedBudget)

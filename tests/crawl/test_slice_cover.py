@@ -21,7 +21,12 @@ class TestFigure6LookupTable:
         server = figure5_server()
         client = CachingClient(server)
         space = server.space
-        expected_overflow = {(0, 1): True, (0, 2): False, (0, 3): True, (0, 4): False}
+        expected_overflow = {
+            (0, 1): True,
+            (0, 2): False,
+            (0, 3): True,
+            (0, 4): False,
+        }
         for (attr, value), overflow in expected_overflow.items():
             resp = client.run(slice_query(space, attr, value))
             assert resp.overflow == overflow
@@ -59,13 +64,17 @@ class TestSingleAttribute:
     """The d = 1 case: cost is exactly U1 for the eager algorithm."""
 
     def test_eager_costs_u1(self):
-        dataset = make_dataset(DataSpace.categorical([6]), [[1], [1], [4], [6]])
+        dataset = make_dataset(
+            DataSpace.categorical([6]), [[1], [1], [4], [6]]
+        )
         result = SliceCover(TopKServer(dataset, k=2)).crawl()
         assert result.cost == 6
         assert_complete(result, dataset)
 
     def test_lazy_costs_u1_plus_root(self):
-        dataset = make_dataset(DataSpace.categorical([6]), [[1], [1], [4], [6]])
+        dataset = make_dataset(
+            DataSpace.categorical([6]), [[1], [1], [4], [6]]
+        )
         result = LazySliceCover(TopKServer(dataset, k=2)).crawl()
         assert result.cost == 7
         assert_complete(result, dataset)

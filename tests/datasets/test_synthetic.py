@@ -50,7 +50,9 @@ class TestNumericColumns:
         assert nonzero.min() >= 50
 
     def test_lognormal(self, rng):
-        col = lognormal_column(rng, 2000, mean=10, sigma=0.5, lo=1000, hi=10**6)
+        col = lognormal_column(
+            rng, 2000, mean=10, sigma=0.5, lo=1000, hi=10**6
+        )
         assert col.min() >= 1000 and col.max() <= 10**6
         # Heavy right tail: mean exceeds median.
         assert col.mean() > np.median(col)
@@ -89,4 +91,6 @@ class TestRandomDataset:
 
     def test_deterministic(self):
         space = DataSpace.categorical([5])
-        assert random_dataset(space, 50, seed=9) == random_dataset(space, 50, seed=9)
+        assert random_dataset(space, 50, seed=9) == random_dataset(
+            space, 50, seed=9
+        )

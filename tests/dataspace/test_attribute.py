@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dataspace.attribute import Attribute, AttributeKind, categorical, numeric
+from repro.dataspace.attribute import (
+    Attribute,
+    AttributeKind,
+    categorical,
+    numeric,
+)
 from repro.exceptions import SchemaError
 
 

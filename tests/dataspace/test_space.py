@@ -78,7 +78,12 @@ class TestIntrospection:
 
 class TestValidatePoint:
     def test_accepts_valid_point(self, mixed_space):
-        assert mixed_space.validate_point([1, 4, -10, 2020]) == (1, 4, -10, 2020)
+        assert mixed_space.validate_point([1, 4, -10, 2020]) == (
+            1,
+            4,
+            -10,
+            2020,
+        )
 
     def test_rejects_wrong_arity(self, mixed_space):
         with pytest.raises(SchemaError):

@@ -107,5 +107,7 @@ class TestAblations:
         assert len(series.points) == 3
 
     def test_split_threshold_runs(self):
-        fig = figures.ablation_split_threshold(scale=SCALE, k=64, divisors=(2, 4))
+        fig = figures.ablation_split_threshold(
+            scale=SCALE, k=64, divisors=(2, 4)
+        )
         assert len(fig.series_by_name("rank-shrink").points) == 2

@@ -1,6 +1,10 @@
 """Tests for figure rendering (text and Markdown tables)."""
 
-from repro.experiments.reporting import figure_rows, format_figure, format_markdown
+from repro.experiments.reporting import (
+    figure_rows,
+    format_figure,
+    format_markdown,
+)
 from repro.experiments.runner import FigureResult
 
 

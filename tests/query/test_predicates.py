@@ -42,7 +42,11 @@ class TestRangePredicate:
         keep = RangePredicate(2, 8).clamp(None, None)
         assert (keep.lo, keep.hi) == (2, 8)
 
-    @given(lo=st.integers(-50, 50), width=st.integers(0, 20), v=st.integers(-100, 100))
+    @given(
+        lo=st.integers(-50, 50),
+        width=st.integers(0, 20),
+        v=st.integers(-100, 100),
+    )
     def test_matches_consistent_with_interval(self, lo, width, v):
         pred = RangePredicate(lo, lo + width)
         assert pred.matches(v) == (lo <= v <= lo + width)

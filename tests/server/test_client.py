@@ -12,7 +12,9 @@ from tests.conftest import make_dataset
 @pytest.fixture
 def server():
     space = DataSpace.categorical([3, 3])
-    dataset = make_dataset(space, [[i % 3 + 1, (i // 3) % 3 + 1] for i in range(12)])
+    dataset = make_dataset(
+        space, [[i % 3 + 1, (i // 3) % 3 + 1] for i in range(12)]
+    )
     return TopKServer(dataset, k=4)
 
 

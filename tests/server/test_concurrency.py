@@ -75,7 +75,8 @@ def hammer(worker, threads=THREADS):
         return worker(i)
 
     with ThreadPoolExecutor(max_workers=threads) as pool:
-        return [f.result() for f in [pool.submit(run, i) for i in range(threads)]]
+        tasks = [pool.submit(run, i) for i in range(threads)]
+        return [task.result() for task in tasks]
 
 
 class TestCachingClientExactlyOnce:
@@ -108,9 +109,7 @@ class TestCachingClientExactlyOnce:
     def test_responses_match_single_threaded_reference(self):
         dataset = stress_dataset()
         queries = query_pool(dataset.space)
-        reference = {
-            q: TopKServer(dataset, k=16).run(q) for q in queries
-        }
+        reference = {q: TopKServer(dataset, k=16).run(q) for q in queries}
         client = CachingClient(TopKServer(dataset, k=16))
 
         def worker(i):
@@ -135,9 +134,7 @@ class TestCachingClientExactlyOnce:
         for stats in (client.stats, server.stats):
             assert stats.queries == len(queries)
             assert stats.resolved + stats.overflowed == stats.queries
-        expected_tuples = sum(
-            len(client.peek(q).rows) for q in queries
-        )
+        expected_tuples = sum(len(client.peek(q).rows) for q in queries)
         assert client.stats.tuples_returned == expected_tuples
         assert server.stats.tuples_returned == expected_tuples
 

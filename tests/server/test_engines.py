@@ -158,7 +158,10 @@ class TestEquivalence:
                 queries.append(queries[0].with_range(i, 2, None))
         linear = LinearScanEngine(dataset.rows)
         expected = [linear.top(q, k) for q in queries]
-        for engine in (VectorEngine(dataset.rows), IndexedEngine(dataset.rows)):
+        for engine in (
+            VectorEngine(dataset.rows),
+            IndexedEngine(dataset.rows),
+        ):
             with ThreadPoolExecutor(max_workers=4) as pool:
                 futures = [
                     pool.submit(engine.top, q, k)

@@ -70,9 +70,7 @@ class TestOverWeb:
         from repro.web.site import HiddenWebSite
 
         clock = SimulatedClock()
-        server = TopKServer(
-            dataset, k=8, limits=[DailyRateLimit(10, clock)]
-        )
+        server = TopKServer(dataset, k=8, limits=[DailyRateLimit(10, clock)])
         session = WebSession(HiddenWebSite(server))
         client = PatientClient(session, clock)
         result = Hybrid(client).crawl()

@@ -99,9 +99,7 @@ class TestAdversaryOverWeb:
             [rng.integers(1, 4, 200), rng.integers(0, 900, 200)]
         ).astype(np.int64)
         dataset = Dataset(space, rows)
-        backend = AdversarialTopKServer(
-            dataset, 8, RankByAttributePolicy(1)
-        )
+        backend = AdversarialTopKServer(dataset, 8, RankByAttributePolicy(1))
         session = WebSession(HiddenWebSite(backend))
         result = Hybrid(CachingClient(session)).crawl()
         assert_complete(result, dataset)

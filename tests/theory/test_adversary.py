@@ -42,7 +42,9 @@ def _numeric_dataset(seed=3, n=200):
 class TestPolicies:
     def test_priority_order_matches_reference_server(self):
         dataset = _numeric_dataset()
-        reference = TopKServer(dataset, k=8, priorities=range(dataset.n, 0, -1))
+        reference = TopKServer(
+            dataset, k=8, priorities=range(dataset.n, 0, -1)
+        )
         # Reference with explicit priorities = original row order, which
         # is also what the adversarial evaluation sees.
         adversarial = AdversarialTopKServer(dataset, 8, PriorityOrderPolicy())

@@ -22,16 +22,23 @@ class TestRankShrinkBound:
         assert bounds.rank_shrink_upper_bound(100, 10, 2) == 20 * 2 * 10 + 1
 
     def test_monotone_in_n_and_d(self):
-        assert bounds.rank_shrink_upper_bound(200, 10, 2) > bounds.rank_shrink_upper_bound(100, 10, 2)
-        assert bounds.rank_shrink_upper_bound(100, 10, 3) > bounds.rank_shrink_upper_bound(100, 10, 2)
+        assert bounds.rank_shrink_upper_bound(
+            200, 10, 2
+        ) > bounds.rank_shrink_upper_bound(100, 10, 2)
+        assert bounds.rank_shrink_upper_bound(
+            100, 10, 3
+        ) > bounds.rank_shrink_upper_bound(100, 10, 2)
 
     def test_inverse_in_k(self):
-        assert bounds.rank_shrink_upper_bound(1000, 100, 2) < bounds.rank_shrink_upper_bound(1000, 10, 2)
+        assert bounds.rank_shrink_upper_bound(
+            1000, 100, 2
+        ) < bounds.rank_shrink_upper_bound(1000, 10, 2)
 
 
 class TestSliceCoverBound:
     def test_one_dimensional_is_u1(self):
-        assert bounds.slice_cover_upper_bound(50, 5, [7]) == 8  # U1 + lazy root
+        # U1 + lazy root
+        assert bounds.slice_cover_upper_bound(50, 5, [7]) == 8
 
     def test_general_formula(self):
         # sum U + ceil(n/k) * sum min(U, ceil(n/k)) + 1
@@ -47,7 +54,9 @@ class TestSliceCoverBound:
 
 class TestHybridBound:
     def test_cat_zero_delegates(self):
-        assert bounds.hybrid_upper_bound(100, 10, [], 3) == bounds.rank_shrink_upper_bound(100, 10, 3)
+        assert bounds.hybrid_upper_bound(
+            100, 10, [], 3
+        ) == bounds.rank_shrink_upper_bound(100, 10, 3)
 
     def test_cat_one_special_case(self):
         value = bounds.hybrid_upper_bound(100, 10, [7], 3)
@@ -63,9 +72,15 @@ class TestUpperBoundDispatch:
         numeric = random_dataset(DataSpace.numeric(2), 50, seed=0)
         categorical = random_dataset(DataSpace.categorical([3, 3]), 50, seed=0)
         mixed = random_dataset(DataSpace.mixed([("c", 3)], ["x"]), 50, seed=0)
-        assert bounds.upper_bound_for_dataset(numeric, 5) == bounds.rank_shrink_upper_bound(50, 5, 2)
-        assert bounds.upper_bound_for_dataset(categorical, 5) == bounds.slice_cover_upper_bound(50, 5, [3, 3])
-        assert bounds.upper_bound_for_dataset(mixed, 5) == bounds.hybrid_upper_bound(50, 5, [3], 2)
+        assert bounds.upper_bound_for_dataset(
+            numeric, 5
+        ) == bounds.rank_shrink_upper_bound(50, 5, 2)
+        assert bounds.upper_bound_for_dataset(
+            categorical, 5
+        ) == bounds.slice_cover_upper_bound(50, 5, [3, 3])
+        assert bounds.upper_bound_for_dataset(
+            mixed, 5
+        ) == bounds.hybrid_upper_bound(50, 5, [3], 2)
 
 
 class TestTheorem3:

@@ -118,6 +118,5 @@ class TestTheorem4Execution:
         log = crawl_log(crawler.client)
         resolved = resolved_queries(log)
         assert all(crawler.client.peek(q).resolved for q in resolved)
-        assert len(resolved) + sum(
-            1 for _, r in log if r.overflow
-        ) == len(log)
+        overflowed = sum(1 for _, r in log if r.overflow)
+        assert len(resolved) + overflowed == len(log)

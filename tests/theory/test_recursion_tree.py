@@ -6,7 +6,10 @@ from repro.crawl.rank_shrink import RankShrink
 from repro.datasets.paper_examples import figure3_dataset, figure3_server
 from repro.dataspace.space import DataSpace
 from repro.server.server import TopKServer
-from repro.theory.recursion_tree import RecursionTreeAnalysis, RecursionTreeTracer
+from repro.theory.recursion_tree import (
+    RecursionTreeAnalysis,
+    RecursionTreeTracer,
+)
 from tests.conftest import make_dataset
 
 

@@ -38,7 +38,8 @@ class TestRoundTrip:
 
     def test_negative_values_survive(self, space):
         response = QueryResponse(((2, -12345),), overflow=False)
-        assert parse_result_page(render_result_page(space, response)) == response
+        page = render_result_page(space, response)
+        assert parse_result_page(page) == response
 
     @given(
         rows=st.lists(
@@ -51,7 +52,8 @@ class TestRoundTrip:
     def test_random_responses_round_trip(self, rows, overflow):
         space = DataSpace.mixed([("make", 3)], ["price"])
         response = QueryResponse(tuple(rows), overflow)
-        assert parse_result_page(render_result_page(space, response)) == response
+        page = render_result_page(space, response)
+        assert parse_result_page(page) == response
 
 
 class TestPageContent:

@@ -35,11 +35,7 @@ class TestEncode:
         assert encode_query(q) == "year_min=2000"
 
     def test_combined_predicates(self, mixed_space):
-        q = (
-            Query.full(mixed_space)
-            .with_value(1, 2)
-            .with_range(2, -5, 5)
-        )
+        q = Query.full(mixed_space).with_value(1, 2).with_range(2, -5, 5)
         assert encode_query(q) == "body=2&price_min=-5&price_max=5"
 
     def test_names_are_percent_encoded(self):

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a run against a committed baseline.
+
+The benchmark suite writes machine-readable reports
+(``BENCH_executors.json``, ``BENCH_subtree_sharding.json``); CI used to
+upload them as artifacts nobody compared.  This tool closes the loop:
+it compares the *speedup ratios* of a fresh run against the committed
+baseline under ``benchmarks/baselines/`` and fails when a ratio
+regressed by more than the tolerance (default 25%).
+
+Ratios, not seconds: absolute wall-clock times differ wildly between a
+laptop and a CI runner, but "the process backend is X times faster than
+threads" and "subtree sharding is X times faster than whole-region
+stealing" are properties of the code.  Metrics that only mean anything
+on several cores (everything measured against the GIL) are skipped
+unless *both* the baseline and the current run saw >= 2 CPUs, so a
+single-core baseline never produces a vacuous pass-or-fail against a
+multi-core runner -- the skip is printed, never silent.
+
+Usage::
+
+    python tools/compare_bench.py \
+        --baseline benchmarks/baselines/BENCH_executors.json \
+        --current BENCH_executors.json
+
+    # refresh a committed baseline from the current run
+    python tools/compare_bench.py --baseline ... --current ... --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+#: Higher-is-better ratio metrics, by dotted path into the report dict,
+#: with the conditions under which a comparison is meaningful.
+METRICS: dict[str, dict] = {
+    "process_over_thread": {"min_cpus": 2},
+    "speedup_vs_sequential.thread": {"min_cpus": 2},
+    "speedup_vs_sequential.process": {"min_cpus": 2},
+    "speedup_vs_sequential.async": {"min_cpus": 2},
+    "sharding_over_region_stealing": {},
+}
+
+
+def lookup(report: dict, dotted: str):
+    """Resolve a dotted path in a nested dict; ``None`` when absent."""
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(regressions, notes) from comparing every applicable metric."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    baseline_cpus = int(baseline.get("cpu_count") or 1)
+    current_cpus = int(current.get("cpu_count") or 1)
+    if baseline.get("scale") != current.get("scale"):
+        notes.append(
+            f"note: scale differs (baseline {baseline.get('scale')}, "
+            f"current {current.get('scale')}); ratios are still compared"
+        )
+    for metric, requirements in METRICS.items():
+        expected = lookup(baseline, metric)
+        measured = lookup(current, metric)
+        if expected is None or measured is None:
+            continue  # metric not in this report pair
+        min_cpus = requirements.get("min_cpus", 1)
+        if min(baseline_cpus, current_cpus) < min_cpus:
+            notes.append(
+                f"skip {metric}: needs >= {min_cpus} CPUs on both sides "
+                f"(baseline {baseline_cpus}, current {current_cpus})"
+            )
+            continue
+        floor = expected * (1 - tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        notes.append(
+            f"{verdict} {metric}: baseline {expected:.2f}x, "
+            f"current {measured:.2f}x (floor {floor:.2f}x)"
+        )
+        if measured < floor:
+            regressions.append(metric)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/compare_bench.py",
+        description="Fail when a benchmark speedup regressed vs baseline.",
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly measured JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current report instead "
+        "of comparing",
+    )
+    args = parser.parse_args(argv)
+    current_path = Path(args.current)
+    baseline_path = Path(args.baseline)
+    if not current_path.exists():
+        print(f"error: current report {current_path} missing")
+        return 2
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(current_path, baseline_path)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} missing (--update to seed)")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    regressions, notes = compare(baseline, current, args.tolerance)
+    print(f"compare {current_path} vs {baseline_path}:")
+    for note in notes:
+        print(f"  {note}")
+    if regressions:
+        print(
+            f"benchmark regression(s) beyond {args.tolerance:.0%}: "
+            + ", ".join(regressions)
+        )
+        return 1
+    print("benchmark gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
