@@ -28,11 +28,12 @@ import time
 import numpy as np
 
 from benchmarks.conftest import bench_scale
-from repro.crawl.executors import make_executor
+from repro.crawl.executors import ProcessExecutor, make_executor
 from repro.crawl.partition import crawl_partitioned, partition_space
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
 from repro.server.latency import LatencySource
+from repro.server.limits import QueryBudget
 from repro.server.server import TopKServer
 
 K = 16
@@ -89,6 +90,37 @@ def write_report(report: dict) -> str:
     return path
 
 
+def measure_coordinator_round_trips() -> int:
+    """Control-plane chatter of a fixed shared-limit crawl.
+
+    Deliberately scale-independent and statically dispatched: the same
+    small limit-bearing plan leases, flushes and records identically on
+    every run, so the recorded count is a property of the admission
+    protocol, not of the benchmark host -- which is what lets
+    ``tools/compare_bench.py`` gate regressions on it (a jump here
+    means per-query chatter crept back into the control plane).
+    """
+    rng = np.random.default_rng(29)
+    space = DataSpace.mixed(
+        [("make", 6), ("body", 3)],
+        ["price"],
+        numeric_bounds=[(0, 999)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 7, 800),
+            rng.integers(1, 4, 800),
+            rng.integers(0, 1000, 800),
+        ]
+    ).astype(np.int64)
+    dataset = Dataset(space, rows)
+    plan = partition_space(space, 3)
+    budget = QueryBudget(10_000_000)
+    sources = [TopKServer(dataset, 24, limits=[budget]) for _ in range(3)]
+    ProcessExecutor(max_workers=2).run(sources, plan, shared_limits=True)
+    return sources[0].stats.round_trips
+
+
 def test_backend_speedups_cpu_bound(benchmark):
     """Thread vs process vs async on a GIL-hostile workload."""
     # Sized so the crawl is seconds of pure-Python engine work even in
@@ -141,6 +173,9 @@ def test_backend_speedups_cpu_bound(benchmark):
         "seconds": {name: round(s, 3) for name, s in seconds.items()},
         "speedup_vs_sequential": speedups,
         "process_over_thread": process_over_thread,
+        # Shared-limit control-plane chatter on a fixed reference
+        # crawl (lease-batched admission; lower is better, gated).
+        "coordinator_round_trips": measure_coordinator_round_trips(),
     }
     path = write_report(report)
     benchmark.extra_info.update(report)

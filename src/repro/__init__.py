@@ -45,6 +45,7 @@ from repro.crawl import (
     RankShrink,
     RegionShardPlan,
     SessionState,
+    ShardPolicy,
     SliceCover,
     SubspaceView,
     SubtreeScheduler,
@@ -76,6 +77,7 @@ from repro.server import (
     CachingClient,
     DailyRateLimit,
     LatencySource,
+    LimitLease,
     PatientClient,
     QueryBudget,
     QueryResponse,
@@ -105,6 +107,7 @@ __all__ = [
     "RegionShardPlan",
     "SessionState",
     "SliceCover",
+    "ShardPolicy",
     "SubspaceView",
     "SubtreeScheduler",
     "SubtreeShard",
@@ -135,6 +138,7 @@ __all__ = [
     "PatientClient",
     "DailyRateLimit",
     "LatencySource",
+    "LimitLease",
     "QueryBudget",
     "QueryResponse",
     "SimulatedClock",

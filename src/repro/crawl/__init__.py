@@ -75,6 +75,18 @@ from repro.crawl.rebalance import (
     SubtreeScheduler,
     WorkStealingScheduler,
 )
+from repro.crawl.runtime import (
+    AggregatorFeed,
+    BatchSink,
+    GridSink,
+    LocalUnitRunner,
+    ResultSink,
+    ShardPolicy,
+    UnitRunner,
+    drive_futures,
+    drive_session,
+    drive_stealing,
+)
 from repro.crawl.sampling import RandomProber
 from repro.crawl.sharding import (
     DEFAULT_MAX_SHARDS,
@@ -120,6 +132,16 @@ __all__ = [
     "RegionCompletion",
     "WorkStealingScheduler",
     "SubtreeScheduler",
+    "AggregatorFeed",
+    "UnitRunner",
+    "LocalUnitRunner",
+    "ResultSink",
+    "GridSink",
+    "BatchSink",
+    "ShardPolicy",
+    "drive_session",
+    "drive_stealing",
+    "drive_futures",
     "DEFAULT_MAX_SHARDS",
     "SubtreeShard",
     "TrunkSegment",

@@ -85,6 +85,13 @@ ALGORITHMS = {
 }
 
 
+def _shard_subtrees_value(value: str):
+    """Parse ``--shard-subtrees``: a positive int target or ``auto``."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.crawl",
@@ -133,16 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--shard-subtrees",
-        type=int,
+        type=_shard_subtrees_value,
         nargs="?",
         const=DEFAULT_MAX_SHARDS,
         default=None,
-        metavar="N",
+        metavar="N|auto",
         help="split each region's crawl frontier into subtree shards "
         "that idle workers can steal, targeting N per region "
         f"(default N: {DEFAULT_MAX_SHARDS}; a frontier naturally "
-        "wider than N is kept whole; results are unchanged); most "
-        "effective together with --rebalance on skewed data",
+        "wider than N is kept whole; results are unchanged), or "
+        "'auto' to presplit only regions whose estimated cost "
+        "exceeds the fleet's fair share; most effective together "
+        "with --rebalance on skewed data",
     )
     parser.add_argument(
         "--max-regions",
@@ -230,7 +239,11 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.shard_subtrees is not None and args.shard_subtrees < 1:
+    if (
+        args.shard_subtrees is not None
+        and args.shard_subtrees != "auto"
+        and args.shard_subtrees < 1
+    ):
         print(
             "error: --shard-subtrees must be positive, got "
             f"{args.shard_subtrees}",
@@ -332,7 +345,9 @@ def main(argv: list[str] | None = None) -> int:
                     stop.set()
                     monitor.join()
             mode = args.executor + (" + rebalance" if args.rebalance else "")
-            if args.shard_subtrees is not None:
+            if args.shard_subtrees == "auto":
+                mode += " + adaptive subtree shards"
+            elif args.shard_subtrees is not None:
                 mode += f" + {args.shard_subtrees}-way subtree shards"
             if args.shared_limits:
                 mode += " + shared limits"

@@ -43,6 +43,44 @@ Client-side caches are deliberately *not* shared: a
 (distinct regions issue distinct queries, so per-worker caches change
 nothing about the total charged cost), while the server-side admission
 and accounting behind it become globally exact.
+
+Lease-batched admission
+-----------------------
+Exactly-once admission used to cost one coordinator round trip per
+query -- interface-layer chatter, the very cost the hidden-web
+literature says dominates real deployments.  The plane now amortises
+it two ways, without giving up a single unit of exactness:
+
+* **Budget leases.**  :meth:`SharedLimitClient.lease` admits query
+  budget in chunks (:class:`~repro.server.limits.LimitLease`, sized by
+  the executor from the :class:`~repro.crawl.rebalance.CostEstimator`'s
+  per-region estimates): ``admit()`` consumes the local lease at zero
+  round trips and only returns to the coordinator when the chunk runs
+  dry.  Unused units flow back on region completion (the runtime's
+  region-boundary flush) and on exhaustion, so a completing crawl
+  charges exactly the queries it issued; a *refused* budget is
+  terminally exhausted and reads fully charged -- byte-for-byte the
+  observable state per-query admission leaves behind.  The one
+  semantic a chunk buys away: units leased to one worker are invisible
+  to the others until its next flush, so a crawl whose demand lands
+  within ``fleet x chunk`` of the budget can be refused where strictly
+  per-query admission would have squeaked through (admission is
+  *conservative*, never over).  The executor therefore clamps the
+  auto-sized chunk against the budgets' remaining headroom
+  (:meth:`LimitCoordinator.clamp_lease_chunk`): tight budgets degrade
+  to exact per-query admission, and batching only engages when the
+  budget dwarfs what the fleet could strand.
+* **Buffered stats.**  :class:`SharedStats` accumulates recordings
+  locally (phases attributed per worker) and ships the aggregate as
+  one :meth:`~repro.server.stats.QueryStats.merge_counts` delta per
+  region instead of one call per query.
+
+The chatter itself is measured: the plane counts every worker-originated
+round trip (admission, leases, releases, clock ticks, stats deltas,
+progress events -- not the parent's own polling or write-back reads)
+and write-back lands the fleet-wide total in each caller-side
+:attr:`~repro.server.stats.QueryStats.round_trips`, which is what the
+benchmarks gate on.
 """
 
 from __future__ import annotations
@@ -55,6 +93,7 @@ from repro.crawl.rebalance import CostEstimator
 from repro.exceptions import QueryBudgetExhausted
 from repro.server.limits import (
     DailyRateLimit,
+    LimitLease,
     QueryBudget,
     QueryLimit,
     SimulatedClock,
@@ -64,13 +103,51 @@ from repro.server.server import TopKServer
 from repro.server.stats import QueryStats
 
 __all__ = [
+    "DEFAULT_LEASE_CHUNK",
+    "MAX_LEASE_CHUNK",
     "LimitCoordinator",
     "SharedLimitClient",
     "SharedBudget",
     "SharedDailyLimit",
     "SharedClock",
     "SharedStats",
+    "lease_chunk_for_plan",
 ]
+
+#: Lease chunk used when the estimator knows nothing about the plan.
+DEFAULT_LEASE_CHUNK = 32
+
+#: Ceiling on the lease chunk, however expensive regions look: a huge
+#: chunk parked in one worker starves the rest of a tight budget for
+#: longer than the round trips it saves are worth.
+MAX_LEASE_CHUNK = 256
+
+
+def lease_chunk_for_plan(plan, estimator: CostEstimator | None) -> int:
+    """Size the admission lease chunk from per-region cost estimates.
+
+    The ideal chunk covers about one region's queries: the worker then
+    pays ~one lease round trip per region instead of one per query,
+    and whatever the region leaves unused is returned at its boundary.
+    An estimator that actually knows something (observed costs or
+    priors) supplies the mean per-region estimate, clamped to
+    ``[1, MAX_LEASE_CHUNK]``; a blank estimator falls back to
+    :data:`DEFAULT_LEASE_CHUNK`.
+    """
+    keys = [
+        (session, index)
+        for session, bundle in enumerate(plan.bundles)
+        for index in range(len(bundle))
+    ]
+    if estimator is None or not keys:
+        return DEFAULT_LEASE_CHUNK
+    state = estimator.export_state()
+    if not state["priors"] and state["prior"] == 1.0:
+        # A flat default estimator: every estimate is the meaningless
+        # 1.0 prior, and a 1-query chunk would disable batching.
+        return DEFAULT_LEASE_CHUNK
+    mean = sum(estimator.estimate(key) for key in keys) / len(keys)
+    return max(1, min(MAX_LEASE_CHUNK, round(mean)))
 
 
 class _ControlPlane:
@@ -96,6 +173,7 @@ class _ControlPlane:
         self._objects: dict[int, object] = {}
         self._next_handle = 0
         self._events: list[tuple] = []
+        self._round_trips = 0
 
     def _add(self, obj) -> int:
         with self._lock:
@@ -107,6 +185,20 @@ class _ControlPlane:
     def _get(self, handle: int):
         with self._lock:
             return self._objects[handle]
+
+    def _count(self) -> None:
+        # One worker-originated round trip.  Registration, the parent's
+        # event polling and state reads (write-back, telemetry) are not
+        # counted: the metric is the admission/accounting chatter that
+        # lease batching exists to shrink, so it must not move with how
+        # often a monitor polls.
+        with self._lock:
+            self._round_trips += 1
+
+    def round_trips(self) -> int:
+        """Worker-originated round trips served so far (see _count)."""
+        with self._lock:
+            return self._round_trips
 
     # ------------------------------------------------------------------
     # Registration (parent only, before workers exist)
@@ -141,49 +233,78 @@ class _ControlPlane:
     # ------------------------------------------------------------------
     # Admission and accounting (called from every worker)
     # ------------------------------------------------------------------
-    def admit(self, handle: int) -> tuple[bool, str, int]:
-        """Admit one query against an owned limit, exactly once.
+    def lease(self, handle: int, n: int) -> tuple[int, str, int]:
+        """Admit up to ``n`` queries against an owned limit, atomically.
 
-        Returns ``(True, "", 0)`` on success and
-        ``(False, message, issued)`` on refusal.
+        Returns ``(granted, "", 0)`` on success -- ``granted`` units
+        are charged and held by the caller until consumed or released
+        -- and ``(0, message, issued)`` on refusal, so
+        :class:`SharedLimitClient` can raise a faithful
+        :class:`~repro.exceptions.QueryBudgetExhausted` in the worker.
+        ``n == 1`` is exactly the old per-query ``admit`` round trip.
         """
+        self._count()
         try:
-            self._get(handle).admit()
+            lease = self._get(handle).lease(n)
         except QueryBudgetExhausted as exc:
-            return (False, str(exc), exc.issued)
-        return (True, "", 0)
+            return (0, str(exc), exc.issued)
+        return (lease.granted, "", 0)
+
+    def release(self, handle: int, unused: int) -> None:
+        """Return a lease's unused units to an owned limit."""
+        self._count()
+        if unused <= 0:
+            return
+        self._get(handle).release(LimitLease(unused))
 
     def object_state(self, handle: int) -> dict:
-        """The ``state()`` snapshot of any owned object."""
-        return self._get(handle).state()
+        """The ``state()`` snapshot of any owned object.
+
+        Stats snapshots additionally carry the plane's fleet-wide
+        round-trip counter (accumulated on top of whatever the caller's
+        stats already recorded), which is how ``round_trips`` reaches
+        the caller's own objects at write-back.
+        """
+        obj = self._get(handle)
+        state = obj.state()
+        if isinstance(obj, QueryStats):
+            state["round_trips"] = (
+                int(state.get("round_trips", 0)) + self.round_trips()
+            )
+        return state
 
     def clock_day(self, handle: int) -> int:
-        """Current day of an owned clock."""
+        """Current day of an owned clock (a read; not counted)."""
         return self._get(handle).day
 
     def clock_sleep(self, handle: int) -> int:
         """Advance an owned clock to the next day; returns its index."""
+        self._count()
         return self._get(handle).sleep_until_next_day()
 
     def daily_used_today(self, handle: int) -> int:
-        """``used_today`` of an owned daily limit (rolls over first)."""
+        """``used_today`` of an owned daily limit (a read; not counted,
+        like every other telemetry read -- see :meth:`_count`)."""
         return self._get(handle).used_today
 
     def daily_remaining_today(self, handle: int) -> int:
-        """``remaining_today`` of an owned daily limit."""
+        """``remaining_today`` of an owned daily limit (uncounted)."""
         return self._get(handle).remaining_today
 
     def stats_record(self, handle: int, overflow: bool, tuples: int) -> None:
         """Account one answered query into an owned stats object."""
+        self._count()
         self._get(handle).record_counts(overflow, tuples)
 
-    def stats_begin_phase(self, handle: int, name: str) -> None:
-        """Begin a named cost phase on an owned stats object."""
-        self._get(handle).begin_phase(name)
+    def stats_merge(self, handle: int, delta: dict) -> None:
+        """Fold a worker's buffered stats delta into an owned object.
 
-    def stats_end_phase(self, handle: int) -> None:
-        """End the current cost phase on an owned stats object."""
-        self._get(handle).end_phase()
+        One round trip lands many recordings (see
+        :meth:`SharedStats.flush`); the owned object's lock keeps the
+        merge atomic against racing workers.
+        """
+        self._count()
+        self._get(handle).merge_counts(delta)
 
     # ------------------------------------------------------------------
     # Progress event relay (workers push, the parent drains)
@@ -191,6 +312,7 @@ class _ControlPlane:
     def push_event(self, event: tuple) -> None:
         """Queue one progress event for the parent to collect."""
         with self._lock:
+            self._round_trips += 1
             self._events.append(event)
 
     def pop_events(self) -> list[tuple]:
@@ -240,23 +362,89 @@ class SharedLimitClient(QueryLimit):
     an ``admit()`` either charges the single authoritative counter or
     raises :class:`~repro.exceptions.QueryBudgetExhausted` with the
     authoritative message and ``issued`` count.
+
+    With ``lease_chunk > 1`` the client admits in batches: one
+    :meth:`lease` round trip charges a chunk up front, subsequent
+    ``admit()`` calls consume it locally at zero round trips, and
+    :meth:`flush` returns whatever a finished region left unused (the
+    runtime calls it at every region boundary).  ``lease_chunk == 1``
+    (the default) is exactly the classic per-query protocol.  A stub
+    is a per-worker object; pickling it hands the clone a fresh empty
+    lease -- held units never travel, so they can never double-spend.
     """
 
-    def __init__(self, plane, handle: int):
+    def __init__(self, plane, handle: int, *, lease_chunk: int = 1):
         self._plane = plane
         self._handle = handle
+        self.lease_chunk = lease_chunk
+        self._lease: LimitLease | None = None
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The held lease and the lock stay home: the original keeps
+        # (and eventually flushes) its unused units, while the clone
+        # starts empty -- exactly-once accounting either way.
+        state = self.__dict__.copy()
+        state["_lease"] = None
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def admit(self) -> None:
-        ok, message, issued = self._plane.admit(self._handle)
-        if not ok:
+        with self._lock:
+            if self._lease is not None and self._lease.take():
+                return
+            self.lease(max(1, int(self.lease_chunk)))
+            self._lease.take()
+
+    def lease(self, n: int) -> LimitLease:
+        """Fetch a fresh chunk of ``n`` admissions from the plane.
+
+        One coordinator round trip charges up to ``n`` units against
+        the authoritative limit and installs them as the client's local
+        lease; raises a faithful
+        :class:`~repro.exceptions.QueryBudgetExhausted` (authoritative
+        message and ``issued`` count) when nothing remains.  Called
+        automatically by :meth:`admit` whenever the local lease runs
+        dry.  A still-undrained prior lease is released first, so
+        explicit re-leasing can never strand charged units.  Caller
+        holds ``self._lock`` or owns the stub outright.
+        """
+        prior, self._lease = self._lease, None
+        if prior is not None and prior.unused > 0:
+            self._plane.release(self._handle, prior.unused)
+        granted, message, issued = self._plane.lease(self._handle, n)
+        if granted == 0:
+            self._lease = None
             raise QueryBudgetExhausted(message, issued=issued)
+        self._lease = LimitLease(granted)
+        return self._lease
+
+    def flush(self) -> None:
+        """Return the local lease's unused units to the coordinator.
+
+        The runtime's region-boundary hook: admission headroom a
+        finished (or failed) region leased but did not spend flows back
+        so other workers -- and the final write-back -- see the exact
+        charge.  A no-op when nothing is held.
+        """
+        with self._lock:
+            lease, self._lease = self._lease, None
+        if lease is not None and lease.unused > 0:
+            self._plane.release(self._handle, lease.unused)
 
     def state(self) -> dict:
         """The authoritative counters, straight from the coordinator."""
         return self._plane.object_state(self._handle)
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(handle={self._handle})"
+        return (
+            f"{type(self).__name__}(handle={self._handle}, "
+            f"lease_chunk={self.lease_chunk})"
+        )
 
 
 class SharedBudget(SharedLimitClient):
@@ -322,38 +510,86 @@ class SharedStats:
     """Shared-state counterpart of :class:`QueryStats`.
 
     Implements the recording surface a server needs (``record``,
-    phases) by shipping the bare counts to the coordinator, and the
-    reading surface monitors use (``queries`` etc.) by snapshotting the
-    authoritative counters.  Reads are round trips; prefer
+    phases) and the reading surface monitors use (``queries`` etc.)
+    against one authoritative coordinator-owned object.  Recordings are
+    *buffered*: they accumulate in a local :class:`QueryStats` (phases
+    attributed per worker, which is the only coherent reading when
+    several workers crawl at once) and ship as a single
+    :meth:`~repro.server.stats.QueryStats.merge_counts` delta per
+    :meth:`flush` -- the runtime flushes at every region boundary, so
+    the authoritative counters are exact whenever anyone can observe
+    them.  Reads flush first, then snapshot the coordinator; prefer
     :meth:`snapshot` over repeated property access in hot loops.
     """
 
     def __init__(self, plane, handle: int):
         self._plane = plane
         self._handle = handle
+        self._local = QueryStats()
+        # Guards the buffer swap in flush() against concurrent
+        # recorders/readers (monitor threads read the flushing
+        # properties), mirroring SharedLimitClient's lease lock.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The buffer and lock stay home: the original flushes its own
+        # backlog, the clone starts clean -- recordings land exactly
+        # once.
+        state = self.__dict__.copy()
+        state["_local"] = QueryStats()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def record(self, response: QueryResponse) -> None:
-        """Account one answered query into the authoritative counters."""
-        self._plane.stats_record(
-            self._handle, response.overflow, len(response.rows)
-        )
+        """Buffer one answered query; lands at the next flush."""
+        with self._lock:
+            self._local.record(response)
 
     def begin_phase(self, name: str) -> None:
-        """Attribute subsequent queries to a named phase."""
-        self._plane.stats_begin_phase(self._handle, name)
+        """Attribute this worker's subsequent queries to a phase."""
+        with self._lock:
+            self._local.begin_phase(name)
 
     def end_phase(self) -> None:
-        """Stop attributing queries to a phase."""
-        self._plane.stats_end_phase(self._handle)
+        """Stop attributing this worker's queries to a phase."""
+        with self._lock:
+            self._local.end_phase()
+
+    def flush(self) -> None:
+        """Ship the buffered recordings as one coordinator round trip.
+
+        The runtime's region-boundary hook (shared with
+        :meth:`SharedLimitClient.flush`); a no-op on an empty buffer.
+        The current phase attribution survives the flush.
+        """
+        with self._lock:
+            local = self._local
+            delta = local.state()
+            if delta["queries"] == 0 and not delta["phase_costs"]:
+                return
+            fresh = QueryStats()
+            phase = local.current_phase
+            if phase is not None:
+                fresh.begin_phase(phase)
+                # begin_phase seeded the key locally; the delta's own
+                # seed already creates it on the authoritative side.
+                fresh.phase_costs.clear()
+            self._local = fresh
+        self._plane.stats_merge(self._handle, delta)
 
     def snapshot(self) -> QueryStats:
         """An independent local :class:`QueryStats` copy of the counters."""
         stats = QueryStats()
-        stats.restore_state(self._plane.object_state(self._handle))
+        stats.restore_state(self.state())
         return stats
 
     def state(self) -> dict:
-        """The authoritative counters as a plain dict."""
+        """The authoritative counters as a plain dict (flushes first)."""
+        self.flush()
         return self._plane.object_state(self._handle)
 
     @property
@@ -380,6 +616,11 @@ class SharedStats:
     def phase_costs(self) -> dict[str, int]:
         """Per-phase query subtotals, fleet-wide."""
         return dict(self.state()["phase_costs"])
+
+    @property
+    def round_trips(self) -> int:
+        """Coordinator round trips served so far, fleet-wide."""
+        return int(self.state()["round_trips"])
 
     def __str__(self) -> str:
         return str(self.snapshot())
@@ -540,15 +781,81 @@ class LimitCoordinator:
             clone._clock = self.share(inner_clock)
         return clone
 
+    def shared_stubs(self) -> list:
+        """Every flushable stub this coordinator has handed out.
+
+        The :class:`SharedLimitClient` and :class:`SharedStats`
+        instances created by :meth:`share` (in creation order,
+        deduplicated by construction -- sharing is identity-memoised).
+        The process executor pickles this list *together with* the
+        rewired sources, so each pool worker's unpickled stub objects
+        are exactly the ones its source clones reference (pickle
+        memoisation preserves the shared identity) and can be
+        ``flush()``-ed at every region boundary.
+        """
+        return [
+            stub
+            for stub in self._shared.values()
+            if isinstance(stub, (SharedLimitClient, SharedStats))
+        ]
+
+    def clamp_lease_chunk(self, chunk: int, fleet: int) -> int:
+        """Cap an estimator-sized chunk against the budgets' headroom.
+
+        A fleet of ``fleet`` workers can strand at most
+        ``fleet x chunk`` leased-but-unissued units between region
+        boundaries; near a budget's edge that stranding could refuse a
+        crawl per-query admission would have satisfied.  Clamping the
+        chunk to ``remaining // (4 x fleet)`` keeps the whole fleet's
+        possible stranding under a quarter of the remaining budget --
+        and collapses to exact per-query admission (chunk 1) on tight
+        budgets, where sequential-equivalent exhaustion behaviour
+        matters most.  Explicit ``lease_chunk`` overrides are the
+        caller's business and are deliberately not clamped.
+        """
+        if fleet < 1:
+            raise ValueError(f"fleet must be positive, got {fleet}")
+        for stub in self._shared.values():
+            if isinstance(stub, SharedBudget):
+                cap = max(1, stub.remaining // (4 * fleet))
+                chunk = min(chunk, cap)
+        return max(1, chunk)
+
+    def set_lease_chunk(self, chunk: int) -> None:
+        """Set the admission lease chunk on every budget stub.
+
+        Applied to :class:`SharedBudget` stubs only: a budget chunk is
+        a pure round-trip amortisation, while clock-coupled limits (a
+        :class:`~repro.server.limits.DailyRateLimit` rolling over under
+        the lessee's feet) stay at exact per-query admission.  Call
+        after :meth:`share_sources` and before pickling the rewired
+        clones -- the chunk travels with them into the pool.
+        """
+        if chunk < 1:
+            raise ValueError(f"lease chunk must be positive, got {chunk}")
+        for stub in self._shared.values():
+            if isinstance(stub, SharedBudget):
+                stub.lease_chunk = chunk
+
+    def round_trips(self) -> int:
+        """Worker-originated round trips the plane has served so far."""
+        return self.plane.round_trips()
+
     def writeback(self) -> None:
         """Copy the authoritative counters back into the originals.
 
         After this, the caller's own ``QueryBudget.used``,
         ``DailyRateLimit.used_today``, ``SimulatedClock.day`` and
         ``server.stats`` read exactly what the whole pool charged --
-        including a crawl that died on exhaustion.  Call before
-        :meth:`shutdown`.
+        including a crawl that died on exhaustion.  Parent-held stubs
+        are flushed first (leases returned, buffered stats landed), so
+        nothing the caller could have recorded locally is lost.  Call
+        before :meth:`shutdown`.
         """
+        for stub in self._shared.values():
+            flush = getattr(stub, "flush", None)
+            if flush is not None:
+                flush()
         for original, handle in self._writeback:
             original.restore_state(self.plane.object_state(handle))
 

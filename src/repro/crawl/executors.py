@@ -1,4 +1,4 @@
-"""Pluggable crawl executors: sequential, thread, process and async.
+"""Pluggable crawl transports: sequential, thread, process and async.
 
 A partitioned crawl is a grid of region crawls -- ``plan.bundles[s][i]``
 -- each of which is a pure function of (session source, region): a
@@ -10,14 +10,20 @@ may run the grid in any order, on any substrate, and the merged
 plan position, costs summed, progress canonically interleaved -- is
 byte-identical to the sequential executor's.
 
-Backends
---------
+The dispatch logic itself lives in :mod:`repro.crawl.runtime`: one
+transport-agnostic drive loop (static sessions, work stealing, or
+futures dispatch) over :class:`~repro.crawl.runtime.UnitRunner` /
+:class:`~repro.crawl.runtime.ResultSink` protocols.  This module only
+supplies the transports -- how workers are spawned, how a unit's code
+reaches them, and whether sources are shared or copied:
+
 :class:`SequentialExecutor`
     One region after another, in plan order, in the calling thread.
     The reference the others are tested against.
 :class:`ThreadExecutor`
-    One worker thread per session (PR 1's behaviour).  Wins on
-    latency-bound sessions: threads overlap the per-query round trips.
+    A thread pool in the parent process; sources are shared by
+    reference.  Wins on latency-bound sessions: threads overlap the
+    per-query round trips.
 :class:`ProcessExecutor`
     A :class:`concurrent.futures.ProcessPoolExecutor`; sources and the
     crawler factory are pickled once into each worker (the serving
@@ -28,8 +34,9 @@ Backends
     so server-side mutable accounting (limits, server stats) is
     per-worker; with ``shared_limits=True`` the limits, clocks and
     stats move into a shared-state control plane
-    (:mod:`repro.crawl.coordinator`) and admission is exactly-once
-    across the whole pool -- real budgets on the multi-core backend.
+    (:mod:`repro.crawl.coordinator`) with lease-batched exactly-once
+    admission across the whole pool -- real budgets on the multi-core
+    backend, at a fraction of the per-query coordinator chatter.
 :class:`AsyncExecutor`
     An asyncio event loop coordinating the sessions.  Sources exposing
     an awaitable ``arun(query)`` coroutine (e.g.
@@ -56,17 +63,21 @@ their limits.
 Subtree sharding
 ----------------
 ``shard_subtrees=N`` drops the unit of scheduling below the region:
-each region is *presplit* (:func:`~repro.crawl.sharding.presplit_region`)
-into a trunk plus up to ``N`` independently crawlable subtree shards,
-and with ``rebalance=True`` the
+regions are *presplit* (:func:`~repro.crawl.sharding.presplit_region`)
+into a trunk plus independently crawlable subtree shards, and with
+``rebalance=True`` the
 :class:`~repro.crawl.rebalance.SubtreeScheduler` lets idle workers
 steal whole regions first and then *subqueries of the costliest live
 region* -- the only lever that helps when a single heavy region
-dominates the plan.  Whichever worker completes a region's last shard
-splices the results back in canonical order
+dominates the plan.  ``shard_subtrees="auto"`` switches from the fixed
+per-region target to the estimator-driven
+:meth:`~repro.crawl.runtime.ShardPolicy.adaptive` planner, which
+presplits only regions whose estimated cost exceeds the fleet's fair
+share.  Whichever worker completes a region's last shard splices the
+results back in canonical order
 (:func:`~repro.crawl.sharding.merge_region_shards`), so the merged
 result remains byte-identical to the unsharded sequential executor's
-on every backend.
+on every backend, under every policy.
 
 Failure semantics (all backends): every region is drained before a
 failure propagates, and the exception of the lowest (session, region)
@@ -83,42 +94,33 @@ import asyncio
 import functools
 import os
 import pickle
-import threading
 from concurrent.futures import (
     FIRST_COMPLETED,
-    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from typing import Callable, Sequence
 
-from repro.crawl.base import (
-    Crawler,
-    CrawlResult,
-    ProgressAggregator,
-    ProgressPoint,
-)
+from repro.crawl.base import Crawler, ProgressAggregator
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.partition import (
     PartitionedResult,
     PartitionPlan,
     _check_sources,
-    _crawl_region,
     _merge_session_results,
 )
-from repro.crawl.rebalance import (
-    CostEstimator,
-    RegionCompletion,
-    RegionTask,
-    ShardTask,
-    SubtreeScheduler,
-    WorkStealingScheduler,
-)
-from repro.crawl.sharding import (
-    crawl_shard,
-    merge_region_shards,
-    presplit_region,
+from repro.crawl.rebalance import CostEstimator, RegionTask, ShardTask
+from repro.crawl.runtime import (
+    AggregatorFeed,
+    BatchSink,
+    GridSink,
+    LocalUnitRunner,
+    ShardPolicy,
+    drive_futures,
+    drive_session,
+    drive_stealing,
+    steal_setup,
 )
 
 __all__ = [
@@ -143,403 +145,14 @@ def default_workers(sessions: int) -> int:
     return max(1, min(sessions, 4 * (os.cpu_count() or 1)))
 
 
-class _AggregatorFeed:
-    """Per-session progress and terminal-state bookkeeping.
-
-    Translates region-level progress samples into the session-level
-    absolute (queries, tuples) points a
-    :class:`~repro.crawl.base.ProgressAggregator` expects, tolerating
-    regions of one session running concurrently (after a steal).  Also
-    marks sessions ``done`` when their last region lands and ``failed``
-    when a region crawl raises, so aggregator snapshots never show a
-    dead worker as in-flight.
-    """
-
-    def __init__(
-        self, aggregator: ProgressAggregator | None, plan: PartitionPlan
-    ):
-        self._aggregator = aggregator
-        self._lock = threading.Lock()
-        self._done = [[0, 0] for _ in plan.bundles]
-        # Live points keyed by the unit's live_key -- a region and the
-        # subtree shards split off it report independently.
-        self._live: list[dict[tuple, ProgressPoint]] = [
-            {} for _ in plan.bundles
-        ]
-        self._outstanding = [len(bundle) for bundle in plan.bundles]
-        if aggregator is not None:
-            for session, bundle in enumerate(plan.bundles):
-                if not bundle:
-                    aggregator.mark_done(session)
-
-    def listener(
-        self, task: RegionTask | ShardTask
-    ) -> Callable[[ProgressPoint], None] | None:
-        """The progress listener to attach to ``task``'s crawler."""
-        if self._aggregator is None:
-            return None
-
-        def report(point: ProgressPoint) -> None:
-            # The aggregator call stays under the feed lock: computing
-            # the total and publishing it must be atomic, or a stale
-            # total from a preempted worker could overwrite a newer one
-            # (regions of one session run concurrently after a steal).
-            with self._lock:
-                self._live[task.session][task.live_key] = point
-                self._aggregator.report(
-                    task.session, self._session_total(task.session)
-                )
-
-        return report
-
-    def _session_total(self, session: int) -> ProgressPoint:
-        # Caller holds self._lock.
-        queries, tuples = self._done[session]
-        for point in self._live[session].values():
-            queries += point.queries
-            tuples += point.tuples
-        return ProgressPoint(queries, tuples)
-
-    def finished(self, task: RegionTask, result: CrawlResult) -> None:
-        """Fold a finished region into its session's running totals."""
-        self.region_finished(task.session, task.index, result)
-
-    def region_finished(
-        self, session: int, index: int, result: CrawlResult
-    ) -> None:
-        """Fold a region's merged result, clearing its live units.
-
-        With subtree sharding, a region's trunk and each of its shards
-        report live points under separate keys; once the region merges,
-        every key of that region (``live_key[1] == index``) is replaced
-        by the exact merged totals.
-        """
-        self.region_counts(session, index, result.cost, len(result.rows))
-
-    def region_counts(
-        self, session: int, index: int, cost: int, tuples: int
-    ) -> None:
-        """Fold a finished region given its bare (cost, tuples) counts.
-
-        The wire form of :meth:`region_finished`: the shared-limit
-        process mode relays region completions from pool workers as
-        compact events, not result objects (those return with the
-        worker's final batch), so the live aggregator view advances as
-        regions land rather than when the pool drains.
-        """
-        if self._aggregator is None:
-            return
-        with self._lock:
-            live = self._live[session]
-            for key in [k for k in live if k[1] == index]:
-                del live[key]
-            self._done[session][0] += cost
-            self._done[session][1] += tuples
-            self._outstanding[session] -= 1
-            # Atomic with the total's computation; see listener().
-            self._aggregator.report(session, self._session_total(session))
-            if self._outstanding[session] == 0:
-                self._aggregator.mark_done(session)
-
-    def failed(self, task: RegionTask | ShardTask) -> None:
-        """Mark the session of a raising region (or shard) as failed."""
-        self.failed_session(task.session)
-
-    def failed_session(self, session: int) -> None:
-        """Mark ``session`` failed (the session-index wire form)."""
-        if self._aggregator is None:
-            return
-        self._aggregator.mark_failed(session)
-
-    def cancelled(self, session: int) -> None:
-        """Mark a session the executor abandoned before running it.
-
-        A no-op for sessions already terminal (e.g. an empty bundle
-        marked done at construction).
-        """
-        if self._aggregator is None:
-            return
-        if not self._aggregator.state(session).terminal:
-            self._aggregator.mark_cancelled(session)
-
-
-#: One recorded failure: the region's plan position and its exception.
-_Failure = tuple[tuple[int, int], Exception]
-
-
-def _run_region(
-    sources: Sequence,
-    task: RegionTask,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-    crawler_factory: Callable[..., Crawler],
-    allow_partial: bool,
-    scheduler: WorkStealingScheduler | None = None,
-) -> bool:
-    """Crawl one region, file the outcome, and report success."""
-    try:
-        result = _crawl_region(
-            sources[task.session],
-            task.region,
-            crawler_factory=crawler_factory,
-            allow_partial=allow_partial,
-            listener=feed.listener(task),
-        )
-    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
-        if scheduler is not None:
-            scheduler.fail(task)
-        with failures_lock:
-            failures.append((task.key, exc))
-        feed.failed(task)
-        return False
-    if scheduler is not None:
-        scheduler.complete(task, result.cost)
-    grid[task.session][task.index] = result
-    feed.finished(task, result)
-    return True
-
-
-def _session_loop(
-    session: int,
-    sources: Sequence,
-    plan: PartitionPlan,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-    crawler_factory: Callable[..., Crawler],
-    allow_partial: bool,
-    max_shards: int | None = None,
-) -> None:
-    """Static dispatch: crawl one session's regions in plan order.
-
-    With ``max_shards`` set, each region goes through the sharded unit
-    of work (presplit, shards in canonical order, merge) instead of a
-    single whole-region crawl -- same result, same failure semantics.
-    """
-    for index, region in enumerate(plan.bundles[session]):
-        task = RegionTask(session, index, region)
-        if max_shards is not None:
-            ok = _run_sharded_region(
-                sources,
-                task,
-                grid,
-                failures,
-                failures_lock,
-                feed,
-                crawler_factory,
-                allow_partial,
-                max_shards,
-            )
-        else:
-            ok = _run_region(
-                sources,
-                task,
-                grid,
-                failures,
-                failures_lock,
-                feed,
-                crawler_factory,
-                allow_partial,
-            )
-        if not ok:
-            return
-
-
-def _steal_loop(
-    scheduler: WorkStealingScheduler,
-    home_session: int,
-    sources: Sequence,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-    crawler_factory: Callable[..., Crawler],
-    allow_partial: bool,
-) -> None:
-    """Work-stealing dispatch: drain the scheduler until it runs dry."""
-    while True:
-        task = scheduler.acquire(home_session)
-        if task is None:
-            return
-        _run_region(
-            sources,
-            task,
-            grid,
-            failures,
-            failures_lock,
-            feed,
-            crawler_factory,
-            allow_partial,
-            scheduler=scheduler,
-        )
-
-
-# ----------------------------------------------------------------------
-# Subtree sharding: region units become (presplit -> shards -> merge)
-# ----------------------------------------------------------------------
-def _run_sharded_region(
-    sources: Sequence,
-    task: RegionTask,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-    crawler_factory: Callable[..., Crawler],
-    allow_partial: bool,
-    max_shards: int,
-) -> bool:
-    """Presplit one region, crawl its shards in canonical order, merge.
-
-    The single-worker counterpart of the two-level steal loop: same
-    decomposition, same merge, no concurrency -- which is exactly what
-    makes the sharded sequential executor the parity reference for the
-    sharded parallel backends.
-    """
-    try:
-        plan = presplit_region(
-            sources[task.session],
-            task.region,
-            crawler_factory=crawler_factory,
-            allow_partial=allow_partial,
-            max_shards=max_shards,
-            listener=feed.listener(task),
-        )
-        results = []
-        for shard in plan.shards:
-            shard_task = ShardTask(
-                task.session, task.index, task.region, shard
-            )
-            results.append(
-                crawl_shard(
-                    sources[task.session],
-                    task.region,
-                    shard,
-                    allow_partial=allow_partial,
-                    listener=feed.listener(shard_task),
-                )
-            )
-        result = merge_region_shards(plan, results)
-    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
-        with failures_lock:
-            failures.append((task.key, exc))
-        feed.failed(task)
-        return False
-    grid[task.session][task.index] = result
-    feed.region_finished(task.session, task.index, result)
-    return True
-
-
-def _finish_completion(
-    scheduler: SubtreeScheduler,
-    completion: RegionCompletion,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-) -> None:
-    """Merge a drained region's shards and file the result."""
-    task = completion.task
-    try:
-        result = merge_region_shards(completion.plan, completion.results)
-    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
-        scheduler.fail_region(task.key)
-        with failures_lock:
-            failures.append((task.key, exc))
-        feed.failed(task)
-        return
-    scheduler.complete_region(task.key, result.cost)
-    grid[task.session][task.index] = result
-    feed.region_finished(task.session, task.index, result)
-
-
-def _sharded_steal_loop(
-    scheduler: SubtreeScheduler,
-    home_session: int,
-    sources: Sequence,
-    grid,
-    failures: list[_Failure],
-    failures_lock: threading.Lock,
-    feed: _AggregatorFeed,
-    crawler_factory: Callable[..., Crawler],
-    allow_partial: bool,
-    max_shards: int,
-) -> None:
-    """Two-level stealing dispatch: regions first, then subtree shards.
-
-    Acquiring a region means presplitting it and publishing its shard
-    plan; acquiring a shard means crawling one subtree.  Whichever
-    worker lands a region's last shard performs the deterministic merge
-    and files the result at the region's plan position.
-    """
-    while True:
-        task = scheduler.acquire(home_session)
-        if task is None:
-            return
-        if isinstance(task, ShardTask):
-            try:
-                result = crawl_shard(
-                    sources[task.session],
-                    task.region,
-                    task.shard,
-                    allow_partial=allow_partial,
-                    listener=feed.listener(task),
-                )
-            except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                scheduler.fail(task)
-                with failures_lock:
-                    failures.append((task.key, exc))
-                feed.failed(task)
-                continue
-            completion = scheduler.complete_shard(task, result)
-        else:
-            try:
-                plan = presplit_region(
-                    sources[task.session],
-                    task.region,
-                    crawler_factory=crawler_factory,
-                    allow_partial=allow_partial,
-                    max_shards=max_shards,
-                    listener=feed.listener(task),
-                )
-            except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                scheduler.fail(task)
-                with failures_lock:
-                    failures.append((task.key, exc))
-                feed.failed(task)
-                continue
-            completion = scheduler.publish(task, plan)
-        if completion is not None:
-            _finish_completion(
-                scheduler, completion, grid, failures, failures_lock, feed
-            )
-
-
-def _steal_setup(plan: PartitionPlan, estimator, shard_subtrees):
-    """(scheduler, worker loop, trailing args, pool upper bound).
-
-    The one place that decides between one-level and two-level stealing
-    for the thread-style backends (thread, async); keeping it here
-    means the backends cannot drift apart in how they wire the loops.
-    """
-    if shard_subtrees is not None:
-        scheduler = SubtreeScheduler(plan.bundles, estimator)
-        # Subtree shards expose more parallelism than whole regions
-        # alone, so cap the pool by the larger of the two.
-        upper = max(1, scheduler.total_tasks, shard_subtrees)
-        return scheduler, _sharded_steal_loop, (shard_subtrees,), upper
-    scheduler = WorkStealingScheduler(plan.bundles, estimator)
-    return scheduler, _steal_loop, (), max(1, scheduler.total_tasks)
-
-
 class CrawlExecutor(abc.ABC):
     """Runs a partition plan's region grid and merges deterministically.
 
-    Subclasses implement :meth:`_execute`, which must fill ``grid`` (or
-    record failures) however it likes; :meth:`run` owns validation, the
-    deterministic merge, and the drain-then-raise failure contract.
+    Subclasses implement :meth:`_execute` -- the *transport*: spawn
+    workers on some substrate and point them at the runtime's drive
+    loops (:mod:`repro.crawl.runtime`), which own all scheduling
+    semantics.  :meth:`run` owns validation, shard-policy resolution,
+    the deterministic merge, and the drain-then-raise failure contract.
 
     Examples
     --------
@@ -574,6 +187,22 @@ class CrawlExecutor(abc.ABC):
             workers = default_workers(upper)
         return max(1, min(workers, upper))
 
+    def _policy_fleet(self, plan: PartitionPlan, rebalance: bool) -> int:
+        """Concurrency the adaptive shard planner should assume.
+
+        The fair-share rule only makes sense against workers that can
+        actually *take* a heavy region's shards: without work stealing
+        a presplit region's shards are crawled serially by its own
+        session's worker, so static dispatch reports a fleet of 1 and
+        ``shard_subtrees="auto"`` correctly presplits nothing.
+        Single-worker backends override this to 1 outright.
+        """
+        if not rebalance:
+            return 1
+        return self._workers(
+            max(1, sum(len(bundle) for bundle in plan.bundles))
+        )
+
     def run(
         self,
         sources: Sequence,
@@ -584,7 +213,7 @@ class CrawlExecutor(abc.ABC):
         aggregator: ProgressAggregator | None = None,
         rebalance: bool = False,
         estimator: CostEstimator | None = None,
-        shard_subtrees: int | None = None,
+        shard_subtrees: int | str | None = None,
         shared_limits: bool = False,
     ) -> PartitionedResult:
         """Crawl every region of ``plan`` and merge deterministically.
@@ -613,25 +242,32 @@ class CrawlExecutor(abc.ABC):
             session with the largest estimated remaining cost.
         estimator:
             Optional :class:`~repro.crawl.rebalance.CostEstimator`
-            seeding the stealing decisions (e.g. built with
+            seeding the stealing decisions and the adaptive shard /
+            lease-chunk planners (e.g. built with
             ``CostEstimator.from_stats`` from a previous crawl).
-            Ignored unless ``rebalance`` is set.
         shard_subtrees:
-            Split every region's crawl into up to this many subtree
-            shards (:mod:`repro.crawl.sharding`).  Combined with
-            ``rebalance``, idle workers then steal *subqueries of a
-            live region* -- the only way to parallelise a plan whose
-            cost is concentrated in one heavy region.  The merged
-            result stays byte-identical to the unsharded sequential
-            executor's.  ``None`` (default) disables sharding.
+            ``None`` (default) disables sharding.  An ``int`` splits
+            every region's crawl into up to that many subtree shards
+            (:mod:`repro.crawl.sharding`); ``"auto"`` presplits only
+            regions whose estimated cost exceeds the fleet's fair
+            share (:meth:`~repro.crawl.runtime.ShardPolicy.adaptive`)
+            -- and, since static dispatch cannot move shards between
+            workers, nothing at all unless ``rebalance`` is set.
+            Combined with ``rebalance``, idle workers then steal
+            *subqueries of a live region* -- the only way to
+            parallelise a plan whose cost is concentrated in one heavy
+            region.  The merged result stays byte-identical to the
+            unsharded sequential executor's under every setting.
         shared_limits:
             Route server-side limits, clocks and stats through the
             shared-state control plane
             (:mod:`repro.crawl.coordinator`) so admission stays
-            exactly-once across a process pool.  Only the process
-            backend changes behaviour: the in-process backends already
-            share those objects by reference, so the flag is an exact
-            no-op there (accepted for CLI uniformity).
+            exactly-once across a process pool -- lease-batched, so it
+            costs ~one coordinator round trip per budget chunk instead
+            of one per query.  Only the process backend changes
+            behaviour: the in-process backends already share those
+            objects by reference, so the flag is an exact no-op there
+            (accepted for CLI uniformity).
 
         Raises
         ------
@@ -648,33 +284,30 @@ class CrawlExecutor(abc.ABC):
                 f"aggregator tracks {aggregator.sessions} sessions but "
                 f"the plan has {plan.sessions}"
             )
-        if shard_subtrees is not None and shard_subtrees < 1:
-            raise ValueError(
-                f"shard_subtrees must be positive, got {shard_subtrees}"
-            )
-        feed = _AggregatorFeed(aggregator, plan)
-        grid: list[list[CrawlResult | None]] = [
-            [None] * len(bundle) for bundle in plan.bundles
-        ]
-        failures: list[_Failure] = []
+        policy = ShardPolicy.resolve(
+            shard_subtrees,
+            plan,
+            estimator,
+            self._policy_fleet(plan, rebalance),
+        )
+        feed = AggregatorFeed(aggregator, plan)
+        sink = GridSink(plan, feed)
         self._execute(
             sources,
             plan,
-            grid,
-            failures,
-            feed,
+            sink,
             crawler_factory,
             allow_partial,
             rebalance,
             estimator,
-            shard_subtrees,
+            policy,
             shared_limits,
         )
-        if failures:
-            failures.sort(key=lambda failure: failure[0])
-            raise failures[0][1]
+        if sink.failures:
+            sink.failures.sort(key=lambda failure: failure[0])
+            raise sink.failures[0][1]
         return _merge_session_results(
-            plan, tuple(tuple(session) for session in grid)
+            plan, tuple(tuple(session) for session in sink.grid)
         )
 
     @abc.abstractmethod
@@ -682,17 +315,15 @@ class CrawlExecutor(abc.ABC):
         self,
         sources: Sequence,
         plan: PartitionPlan,
-        grid,
-        failures: list[_Failure],
-        feed: _AggregatorFeed,
+        sink: GridSink,
         crawler_factory: Callable[..., Crawler],
         allow_partial: bool,
         rebalance: bool,
         estimator: CostEstimator | None,
-        shard_subtrees: int | None,
+        policy: ShardPolicy | None,
         shared_limits: bool,
     ) -> None:
-        """Fill ``grid`` with per-region results; record failures."""
+        """Spawn workers and point them at the runtime's drive loops."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_workers={self._max_workers})"
@@ -709,52 +340,48 @@ class SequentialExecutor(CrawlExecutor):
 
     name = "sequential"
 
+    def _policy_fleet(self, plan, rebalance):
+        # One worker: no region can be the straggler relative to a
+        # fleet, so the adaptive shard planner must presplit nothing.
+        return 1
+
     def _execute(
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
         shared_limits,
     ):
-        failures_lock = threading.Lock()
+        runner = LocalUnitRunner(
+            sources, crawler_factory, allow_partial, feed=sink.feed
+        )
         for session in range(plan.sessions):
-            _session_loop(
-                session,
-                sources,
-                plan,
-                grid,
-                failures,
-                failures_lock,
-                feed,
-                crawler_factory,
-                allow_partial,
-                max_shards=shard_subtrees,
+            ok = drive_session(
+                session, plan.bundles[session], runner, sink, policy
             )
-            if failures:
+            if not ok:
                 # Stopping at the first failure abandons the remaining
                 # sessions; mark them cancelled so aggregator snapshots
                 # never show a never-started session as running.
                 for later in range(session + 1, plan.sessions):
-                    feed.cancelled(later)
+                    sink.feed.cancelled(later)
                 return
 
 
 class ThreadExecutor(CrawlExecutor):
     """One worker thread per session; work stealing when rebalancing.
 
-    Without ``rebalance`` this is exactly PR 1's executor: one task per
-    session, each draining its bundle in plan order, on a pool of
-    ``max_workers`` threads.  With ``rebalance`` the pool runs
-    region-level workers over a
-    :class:`~repro.crawl.rebalance.WorkStealingScheduler`; worker ``j``
-    calls session ``j % sessions`` home.
+    Without ``rebalance`` the pool runs one static
+    :func:`~repro.crawl.runtime.drive_session` per session; with it,
+    ``max_workers`` threads run the shared
+    :func:`~repro.crawl.runtime.drive_stealing` loop (worker ``j``
+    calls session ``j % sessions`` home).  Sources are shared by
+    reference, so limits and stats are exact without any coordination.
     """
 
     name = "thread"
@@ -763,17 +390,17 @@ class ThreadExecutor(CrawlExecutor):
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
         shared_limits,
     ):
-        failures_lock = threading.Lock()
+        runner = LocalUnitRunner(
+            sources, crawler_factory, allow_partial, feed=sink.feed
+        )
         if not rebalance:
             workers = self._workers(plan.sessions)
             with ThreadPoolExecutor(
@@ -781,43 +408,31 @@ class ThreadExecutor(CrawlExecutor):
             ) as pool:
                 tasks = [
                     pool.submit(
-                        _session_loop,
+                        drive_session,
                         session,
-                        sources,
-                        plan,
-                        grid,
-                        failures,
-                        failures_lock,
-                        feed,
-                        crawler_factory,
-                        allow_partial,
-                        max_shards=shard_subtrees,
+                        plan.bundles[session],
+                        runner,
+                        sink,
+                        policy,
                     )
                     for session in range(plan.sessions)
                 ]
                 for task in tasks:
                     task.result()
             return
-        scheduler, loop, extra, upper = _steal_setup(
-            plan, estimator, shard_subtrees
-        )
+        scheduler, upper = steal_setup(plan, estimator, policy)
         workers = self._workers(upper)
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="crawl-steal"
         ) as pool:
             tasks = [
                 pool.submit(
-                    loop,
+                    drive_stealing,
                     scheduler,
                     worker % plan.sessions,
-                    sources,
-                    grid,
-                    failures,
-                    failures_lock,
-                    feed,
-                    crawler_factory,
-                    allow_partial,
-                    *extra,
+                    runner,
+                    sink,
+                    policy,
                 )
                 for worker in range(workers)
             ]
@@ -826,55 +441,68 @@ class ThreadExecutor(CrawlExecutor):
 
 
 # ----------------------------------------------------------------------
-# Process backend: per-worker source copies, region tasks over pickle
+# Process transport: per-worker source copies, units over pickle
 # ----------------------------------------------------------------------
 _WORKER_SOURCES: tuple | None = None
 _WORKER_FACTORY: Callable[..., Crawler] | None = None
+_WORKER_STUBS: list = []
 
 
 def _process_init(payload: bytes) -> None:
-    """Pool initializer: unpickle the sources once per worker process."""
-    global _WORKER_SOURCES, _WORKER_FACTORY
-    _WORKER_SOURCES, _WORKER_FACTORY = pickle.loads(payload)
+    """Pool initializer: unpickle the sources once per worker process.
+
+    The payload also carries the coordinator's shared-limit stubs
+    (empty except under ``shared_limits``); pickled in one stream with
+    the sources, the unpickled stubs are exactly the objects the source
+    clones reference, so the worker's runners can flush leases and
+    buffered stats at every region boundary.
+    """
+    global _WORKER_SOURCES, _WORKER_FACTORY, _WORKER_STUBS
+    _WORKER_SOURCES, _WORKER_FACTORY, stubs = pickle.loads(payload)
+    _WORKER_STUBS = list(stubs)
 
 
-def _process_region(session: int, region, allow_partial: bool) -> CrawlResult:
-    """Crawl one region in a pool worker, against the worker's copy."""
+def _flush_worker_stubs() -> None:
+    """Return leases / land buffered stats for this worker's stubs."""
+    for stub in _WORKER_STUBS:
+        stub.flush()
+
+
+def _worker_runner(allow_partial: bool) -> LocalUnitRunner:
+    """This pool worker's runner over its unpickled source copies."""
     assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
-    return _crawl_region(
-        _WORKER_SOURCES[session],
-        region,
-        crawler_factory=_WORKER_FACTORY,
-        allow_partial=allow_partial,
+    return LocalUnitRunner(
+        _WORKER_SOURCES,
+        _WORKER_FACTORY,
+        allow_partial,
+        flush=_flush_worker_stubs if _WORKER_STUBS else None,
     )
 
 
-def _process_session(
-    session: int, bundle, allow_partial: bool
-) -> tuple[CrawlResult, ...]:
-    """Crawl a whole bundle in a pool worker, in plan order."""
-    return tuple(
-        _process_region(session, region, allow_partial) for region in bundle
+def _pool_session(session: int, bundle, allow_partial: bool, policy):
+    """Wire form of :func:`~repro.crawl.runtime.drive_session`."""
+    sink = BatchSink()
+    drive_session(session, bundle, _worker_runner(allow_partial), sink, policy)
+    return sink.batch
+
+
+def _pool_region(session: int, index: int, region, allow_partial: bool):
+    """Crawl one region in a pool worker, against the worker's copy."""
+    return _worker_runner(allow_partial).region(
+        RegionTask(session, index, region)
     )
 
 
-def _process_presplit(
-    session: int, region, allow_partial: bool, max_shards: int
+def _pool_presplit(
+    session: int, index: int, region, allow_partial: bool, max_shards: int
 ):
     """Presplit one region in a pool worker; the plan pickles back."""
-    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
-    return presplit_region(
-        _WORKER_SOURCES[session],
-        region,
-        crawler_factory=_WORKER_FACTORY,
-        allow_partial=allow_partial,
-        max_shards=max_shards,
+    return _worker_runner(allow_partial).presplit(
+        RegionTask(session, index, region), max_shards
     )
 
 
-def _process_shard(
-    session: int, region, shard, allow_partial: bool
-) -> CrawlResult:
+def _pool_shard(session: int, index: int, region, shard, allow_partial: bool):
     """Crawl one subtree shard in a pool worker.
 
     The shard may run in a different worker than its region's presplit
@@ -882,153 +510,31 @@ def _process_shard(
     the responses -- and therefore the results -- are identical (the
     per-worker copy semantics the process backend documents).
     """
-    assert _WORKER_SOURCES is not None
-    return crawl_shard(
-        _WORKER_SOURCES[session], region, shard, allow_partial=allow_partial
+    return _worker_runner(allow_partial).shard(
+        ShardTask(session, index, region, shard)
     )
 
 
-def _process_session_sharded(
-    session: int, bundle, allow_partial: bool, max_shards: int
-) -> tuple[CrawlResult, ...]:
-    """Crawl a bundle in a pool worker, sharding each region locally."""
-    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
-    out = []
-    for region in bundle:
-        plan = presplit_region(
-            _WORKER_SOURCES[session],
-            region,
-            crawler_factory=_WORKER_FACTORY,
-            allow_partial=allow_partial,
-            max_shards=max_shards,
-        )
-        results = [
-            crawl_shard(
-                _WORKER_SOURCES[session],
-                region,
-                shard,
-                allow_partial=allow_partial,
-            )
-            for shard in plan.shards
-        ]
-        out.append(merge_region_shards(plan, results))
-    return tuple(out)
-
-
-#: Worker-batch wire form: completed (key, result) pairs + failures.
-_WorkerBatch = tuple[list[tuple[tuple[int, int], CrawlResult]], list[_Failure]]
-
-
-def _process_shared_steal_loop(
-    scheduler, plane, home_session: int, allow_partial: bool
-) -> _WorkerBatch:
-    """Cross-process work stealing: one pool worker's pull loop.
+def _pool_steal(
+    scheduler, plane, home_session: int, allow_partial: bool, policy
+):
+    """Wire form of :func:`~repro.crawl.runtime.drive_stealing`.
 
     The scheduler lives in the coordinator process; ``acquire`` /
-    ``complete`` go through its proxy, so this worker steals regions
-    from *other workers' sessions* the moment its own run dry -- the
-    same two-phase protocol as the thread backend's ``_steal_loop``,
-    across process boundaries.  Completed results are batched into the
-    return value (they would be dead weight in the coordinator);
+    ``complete`` / ``publish`` go through its proxy, so this worker
+    steals regions -- and, under a shard policy, subtree shards of live
+    regions -- from *other workers' sessions* the moment its own run
+    dry, across process boundaries.  Completed results are batched into
+    the return value (they would be dead weight in the coordinator);
     completions and failures are additionally pushed to the control
     plane as compact progress events for the parent's live aggregator
     feed.
     """
-    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
-    results: list[tuple[tuple[int, int], CrawlResult]] = []
-    failures: list[_Failure] = []
-    while True:
-        task = scheduler.acquire(home_session)
-        if task is None:
-            return results, failures
-        try:
-            result = _crawl_region(
-                _WORKER_SOURCES[task.session],
-                task.region,
-                crawler_factory=_WORKER_FACTORY,
-                allow_partial=allow_partial,
-            )
-        except Exception as exc:  # noqa: BLE001 - re-raised by run()
-            scheduler.fail(task)
-            failures.append((task.key, exc))
-            plane.push_event(("failed", task.session))
-            continue
-        scheduler.complete(task, result.cost)
-        results.append((task.key, result))
-        plane.push_event(
-            ("region", task.session, task.index, result.cost, len(result.rows))
-        )
-
-
-def _process_shared_sharded_loop(
-    scheduler,
-    plane,
-    home_session: int,
-    allow_partial: bool,
-    max_shards: int,
-) -> _WorkerBatch:
-    """Cross-process two-level stealing: regions first, then subtrees.
-
-    The process-pool twin of ``_sharded_steal_loop`` over a
-    coordinator-hosted :class:`SubtreeScheduler`: acquiring a region
-    presplits it and publishes the shard plan through the proxy (so
-    *other worker processes* immediately see its subtrees), acquiring a
-    shard crawls one subtree, and whichever worker lands a region's
-    last shard performs the deterministic merge locally and reports the
-    exact merged cost back.  ``acquire`` blocks in the coordinator
-    while presplits in flight may still publish shards.
-    """
-    assert _WORKER_SOURCES is not None and _WORKER_FACTORY is not None
-    results: list[tuple[tuple[int, int], CrawlResult]] = []
-    failures: list[_Failure] = []
-    while True:
-        task = scheduler.acquire(home_session)
-        if task is None:
-            return results, failures
-        if isinstance(task, ShardTask):
-            try:
-                shard_result = crawl_shard(
-                    _WORKER_SOURCES[task.session],
-                    task.region,
-                    task.shard,
-                    allow_partial=allow_partial,
-                )
-            except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                scheduler.fail(task)
-                failures.append((task.key, exc))
-                plane.push_event(("failed", task.session))
-                continue
-            completion = scheduler.complete_shard(task, shard_result)
-        else:
-            try:
-                shard_plan = presplit_region(
-                    _WORKER_SOURCES[task.session],
-                    task.region,
-                    crawler_factory=_WORKER_FACTORY,
-                    allow_partial=allow_partial,
-                    max_shards=max_shards,
-                )
-            except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                scheduler.fail(task)
-                failures.append((task.key, exc))
-                plane.push_event(("failed", task.session))
-                continue
-            completion = scheduler.publish(task, shard_plan)
-        if completion is None:
-            continue
-        done = completion.task
-        try:
-            merged = merge_region_shards(completion.plan, completion.results)
-        except Exception as exc:  # noqa: BLE001 - re-raised by run()
-            scheduler.fail_region(done.key)
-            failures.append((done.key, exc))
-            plane.push_event(("failed", done.session))
-            continue
-        scheduler.complete_region(done.key, merged.cost)
-        results.append((done.key, merged))
-        plane.push_event(
-            ("region", done.session, done.index, merged.cost, len(merged.rows))
-        )
+    sink = BatchSink(plane)
+    drive_stealing(
+        scheduler, home_session, _worker_runner(allow_partial), sink, policy
+    )
+    return sink.batch
 
 
 class ProcessExecutor(CrawlExecutor):
@@ -1045,18 +551,21 @@ class ProcessExecutor(CrawlExecutor):
     ``shared_limits=True`` moves the authoritative limits, clocks and
     server stats into a coordinator process
     (:mod:`repro.crawl.coordinator`): every worker admits through a
-    thin proxy, admission is exactly-once fleet-wide, and the caller's
-    original limit objects read the exact charged totals after the
-    crawl (also after an exhaustion failure).
+    thin proxy with **lease-batched** exactly-once semantics (budget
+    chunks sized from the estimator's per-region cost estimates, or
+    ``lease_chunk`` explicitly), and the caller's original limit
+    objects read the exact charged totals -- and the fleet's
+    coordinator ``round_trips`` -- after the crawl (also after an
+    exhaustion failure).
 
     Without ``rebalance``, one pool task per session preserves the
     thread backend's dispatch shape.  With ``rebalance``, the parent
-    dispatches region tasks one at a time, always picking from the
-    session with the largest estimated remaining cost, so the pool
-    adaptively drains the slowest session first -- except under
-    ``shared_limits``, where the scheduler itself is hosted in the
-    coordinator and every worker runs its own cross-process steal loop
-    (two-level when ``shard_subtrees`` is set).
+    runs the runtime's futures dispatcher
+    (:func:`~repro.crawl.runtime.drive_futures`), always picking from
+    the session with the largest estimated remaining cost -- except
+    under ``shared_limits``, where the scheduler itself is hosted in
+    the coordinator and every worker runs the runtime's pull loop
+    against it (two-level when a shard policy is set).
 
     Progress reporting is completion-grained: the aggregator sees a
     session advance when a region (or, without rebalancing, a bundle)
@@ -1065,9 +574,20 @@ class ProcessExecutor(CrawlExecutor):
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None, *, mp_context=None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        mp_context=None,
+        lease_chunk: int | None = None,
+    ):
         super().__init__(max_workers)
         self._mp_context = mp_context
+        if lease_chunk is not None and lease_chunk < 1:
+            raise ValueError(
+                f"lease_chunk must be positive, got {lease_chunk}"
+            )
+        self._lease_chunk = lease_chunk
 
     def _workers(self, upper: int) -> int:
         """Default to the core count, not the thread executor's 4x cap.
@@ -1082,9 +602,11 @@ class ProcessExecutor(CrawlExecutor):
             workers = os.cpu_count() or 1
         return max(1, min(workers, upper))
 
-    def _payload(self, sources, crawler_factory) -> bytes:
+    def _payload(self, sources, crawler_factory, stubs=()) -> bytes:
         try:
-            return pickle.dumps((tuple(sources), crawler_factory))
+            return pickle.dumps(
+                (tuple(sources), crawler_factory, tuple(stubs))
+            )
         except Exception as exc:
             raise TypeError(
                 "the process executor needs picklable sources and a "
@@ -1096,81 +618,54 @@ class ProcessExecutor(CrawlExecutor):
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
         shared_limits,
     ):
         if shared_limits:
             self._execute_shared(
                 sources,
                 plan,
-                grid,
-                failures,
-                feed,
+                sink,
                 crawler_factory,
                 allow_partial,
                 rebalance,
                 estimator,
-                shard_subtrees,
+                policy,
             )
             return
         payload = self._payload(sources, crawler_factory)
-        workers = self._workers(
-            self._pool_upper(plan, rebalance, shard_subtrees)
-        )
+        workers = self._workers(self._pool_upper(plan, rebalance, policy))
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._mp_context,
             initializer=_process_init,
             initargs=(payload,),
         ) as pool:
-            if rebalance and shard_subtrees is not None:
-                self._drain_rebalanced_sharded(
-                    pool,
-                    workers,
-                    plan,
-                    grid,
-                    failures,
-                    feed,
-                    allow_partial,
-                    estimator,
-                    shard_subtrees,
-                )
-            elif rebalance:
+            if rebalance:
                 self._drain_rebalanced(
                     pool,
                     workers,
                     plan,
-                    grid,
-                    failures,
-                    feed,
+                    sink,
                     allow_partial,
                     estimator,
+                    policy,
                 )
             else:
-                self._drain_static(
-                    pool,
-                    plan,
-                    grid,
-                    failures,
-                    feed,
-                    allow_partial,
-                    shard_subtrees,
-                )
+                self._drain_static(pool, plan, sink, allow_partial, policy)
 
     @staticmethod
-    def _pool_upper(plan, rebalance, shard_subtrees) -> int:
+    def _pool_upper(plan, rebalance, policy) -> int:
         """How many pool workers the plan can possibly keep busy."""
         if rebalance:
             upper = sum(len(bundle) for bundle in plan.bundles)
-            if shard_subtrees is not None:
-                upper = max(upper, shard_subtrees)
+            if policy is not None:
+                upper = max(upper, policy.max_budget)
             return max(1, upper)
         return max(1, plan.sessions)
 
@@ -1178,34 +673,47 @@ class ProcessExecutor(CrawlExecutor):
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
     ):
         """The shared-limit mode: one authoritative copy of every limit.
 
         A :class:`~repro.crawl.coordinator.LimitCoordinator` owns the
         sources' limits, clocks and stats for the duration of the
         crawl; the pool receives rewired source clones whose admissions
-        all charge the coordinator.  With ``rebalance`` the scheduler
-        is hosted there too and workers run pull loops against it --
-        cross-process stealing.  Whatever happens, the authoritative
-        counters are written back into the caller's original objects,
-        so ``budget.used`` is exact even after an exhaustion failure.
+        all charge the coordinator -- in budget chunks sized from the
+        estimator (or ``lease_chunk``), not per query.  With
+        ``rebalance`` the scheduler is hosted there too and workers run
+        the runtime's pull loop against it -- cross-process stealing.
+        Whatever happens, the authoritative counters are written back
+        into the caller's original objects, so ``budget.used`` is exact
+        even after an exhaustion failure.
         """
-        from repro.crawl.coordinator import LimitCoordinator
+        from repro.crawl.coordinator import (
+            LimitCoordinator,
+            lease_chunk_for_plan,
+        )
 
         with LimitCoordinator(mp_context=self._mp_context) as coordinator:
             try:
                 shared_sources = coordinator.share_sources(sources)
-                payload = self._payload(shared_sources, crawler_factory)
                 workers = self._workers(
-                    self._pool_upper(plan, rebalance, shard_subtrees)
+                    self._pool_upper(plan, rebalance, policy)
+                )
+                chunk = self._lease_chunk
+                if chunk is None:
+                    chunk = coordinator.clamp_lease_chunk(
+                        lease_chunk_for_plan(plan, estimator), workers
+                    )
+                coordinator.set_lease_chunk(chunk)
+                payload = self._payload(
+                    shared_sources,
+                    crawler_factory,
+                    coordinator.shared_stubs(),
                 )
                 with ProcessPoolExecutor(
                     max_workers=workers,
@@ -1218,65 +726,127 @@ class ProcessExecutor(CrawlExecutor):
                             pool,
                             workers,
                             plan,
-                            grid,
-                            failures,
-                            feed,
+                            sink,
                             allow_partial,
                             estimator,
-                            shard_subtrees,
+                            policy,
                             coordinator,
                         )
                     else:
                         self._drain_static(
-                            pool,
-                            plan,
-                            grid,
-                            failures,
-                            feed,
-                            allow_partial,
-                            shard_subtrees,
+                            pool, plan, sink, allow_partial, policy
                         )
             finally:
                 coordinator.writeback()
+
+    def _drain_static(self, pool, plan, sink, allow_partial, policy):
+        """One pool task per session, each a worker-side session loop."""
+        tasks = {
+            pool.submit(
+                _pool_session,
+                session,
+                plan.bundles[session],
+                allow_partial,
+                policy,
+            ): session
+            for session in range(plan.sessions)
+        }
+        for future, session in tasks.items():
+            bundle = plan.bundles[session]
+            try:
+                results, failures = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                if bundle:
+                    sink.region_failed((session, 0), session, exc)
+                else:
+                    # An empty bundle has no region to attribute a pool
+                    # failure to (its session is already marked done).
+                    sink.file_batch(
+                        [], [((session, 0), exc)], update_feed=False
+                    )
+                continue
+            sink.file_batch(results, failures)
+
+    def _drain_rebalanced(
+        self, pool, workers, plan, sink, allow_partial, estimator, policy
+    ):
+        """Parent-side futures dispatch over the per-copy pool.
+
+        The pool workers cannot see the parent's scheduler, so the
+        parent runs :func:`~repro.crawl.runtime.drive_futures`: it is
+        the only dispatcher, acquiring units non-blockingly and
+        shipping each to the pool as its own future.
+        """
+        scheduler, _ = steal_setup(plan, estimator, policy)
+
+        def submit(task, budget):
+            if isinstance(task, ShardTask):
+                return pool.submit(
+                    _pool_shard,
+                    task.session,
+                    task.index,
+                    task.region,
+                    task.shard,
+                    allow_partial,
+                )
+            if budget is not None:
+                return pool.submit(
+                    _pool_presplit,
+                    task.session,
+                    task.index,
+                    task.region,
+                    allow_partial,
+                    budget,
+                )
+            return pool.submit(
+                _pool_region,
+                task.session,
+                task.index,
+                task.region,
+                allow_partial,
+            )
+
+        drive_futures(scheduler, submit, sink, workers, policy)
 
     def _drain_shared_rebalanced(
         self,
         pool,
         workers,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         allow_partial,
         estimator,
-        shard_subtrees,
+        policy,
         coordinator,
     ):
         """Worker-pull dispatch over a coordinator-hosted scheduler.
 
-        Unlike the per-worker-copy rebalanced modes (where the parent
-        is the only dispatcher), every pool worker runs its own steal
-        loop against the shared scheduler, so stealing decisions and
-        exact observed-cost feedback cross process boundaries without a
-        parent round trip per task.  The parent meanwhile relays the
-        workers' progress events into the aggregator feed and collects
-        each worker's result batch as its loop drains.
+        Unlike the per-worker-copy rebalanced mode (where the parent
+        is the only dispatcher), every pool worker runs the runtime's
+        :func:`~repro.crawl.runtime.drive_stealing` loop against the
+        shared scheduler, so stealing decisions and exact observed-cost
+        feedback cross process boundaries without a parent round trip
+        per task.  The parent meanwhile relays the workers' progress
+        events into the aggregator feed and collects each worker's
+        result batch as its loop drains.
         """
         scheduler = coordinator.make_scheduler(
-            plan.bundles, estimator, subtree=shard_subtrees is not None
+            plan.bundles,
+            estimator,
+            subtree=policy is not None and policy.sharded,
         )
-        if shard_subtrees is not None:
-            loop, extra = _process_shared_sharded_loop, (shard_subtrees,)
-        else:
-            loop, extra = _process_shared_steal_loop, ()
+        # Per-region progress events exist only for a live aggregator
+        # view; without one, streaming them would be pure control-plane
+        # chatter (one round trip per region for nobody to read).
+        plane = coordinator.plane if sink.feed.active else None
         pending = {
             pool.submit(
-                loop,
+                _pool_steal,
                 scheduler,
-                coordinator.plane,
+                plane,
                 worker % plan.sessions,
                 allow_partial,
-                *extra,
+                policy,
             )
             for worker in range(workers)
         }
@@ -1285,10 +855,10 @@ class ProcessExecutor(CrawlExecutor):
             done, pending = wait(
                 pending, timeout=0.05, return_when=FIRST_COMPLETED
             )
-            self._relay_events(coordinator, feed)
+            self._relay_events(coordinator, sink.feed)
             for future in done:
                 try:
-                    batch, worker_failures = future.result()
+                    results, worker_failures = future.result()
                 except Exception as exc:  # noqa: BLE001 - re-raised by run()
                     # A worker loop died outside its per-task handling
                     # (e.g. the process was killed).  Its in-flight
@@ -1297,15 +867,15 @@ class ProcessExecutor(CrawlExecutor):
                     # after every real region failure.
                     scheduler.abort()
                     aborted = True
-                    failures.append(((plan.sessions, 0), exc))
+                    sink.file_batch(
+                        [], [((plan.sessions, 0), exc)], update_feed=False
+                    )
                     continue
-                for key, result in batch:
-                    grid[key[0]][key[1]] = result
-                failures.extend(worker_failures)
-        self._relay_events(coordinator, feed)
+                sink.file_batch(results, worker_failures, update_feed=False)
+        self._relay_events(coordinator, sink.feed)
         if aborted:
             for session in range(plan.sessions):
-                feed.cancelled(session)
+                sink.feed.cancelled(session)
         if estimator is not None:
             for key, cost in scheduler.completed_costs().items():
                 estimator.record(key, cost)
@@ -1313,6 +883,8 @@ class ProcessExecutor(CrawlExecutor):
     @staticmethod
     def _relay_events(coordinator, feed):
         """Translate worker progress events into aggregator updates."""
+        if not feed.active:
+            return
         for event in coordinator.plane.pop_events():
             if event[0] == "region":
                 _, session, index, cost, tuples = event
@@ -1320,169 +892,9 @@ class ProcessExecutor(CrawlExecutor):
             elif event[0] == "failed":
                 feed.failed_session(event[1])
 
-    def _drain_static(
-        self, pool, plan, grid, failures, feed, allow_partial, shard_subtrees
-    ):
-        if shard_subtrees is not None:
-            tasks: dict[Future, int] = {
-                pool.submit(
-                    _process_session_sharded,
-                    session,
-                    plan.bundles[session],
-                    allow_partial,
-                    shard_subtrees,
-                ): session
-                for session in range(plan.sessions)
-            }
-        else:
-            tasks = {
-                pool.submit(
-                    _process_session,
-                    session,
-                    plan.bundles[session],
-                    allow_partial,
-                ): session
-                for session in range(plan.sessions)
-            }
-        for future, session in tasks.items():
-            bundle = plan.bundles[session]
-            try:
-                session_results = future.result()
-            except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                failures.append(((session, 0), exc))
-                # An empty bundle has no region to attribute a pool
-                # failure to (its session is already marked done).
-                if bundle:
-                    feed.failed(RegionTask(session, 0, bundle[0]))
-                continue
-            for index, result in enumerate(session_results):
-                task = RegionTask(session, index, bundle[index])
-                grid[session][index] = result
-                feed.finished(task, result)
-
-    def _drain_rebalanced(
-        self,
-        pool,
-        workers,
-        plan,
-        grid,
-        failures,
-        feed,
-        allow_partial,
-        estimator,
-    ):
-        scheduler = WorkStealingScheduler(plan.bundles, estimator)
-        in_flight: dict[Future, RegionTask] = {}
-
-        def submit_next() -> bool:
-            task = scheduler.acquire()
-            if task is None:
-                return False
-            future = pool.submit(
-                _process_region, task.session, task.region, allow_partial
-            )
-            in_flight[future] = task
-            return True
-
-        for _ in range(workers):
-            if not submit_next():
-                break
-        while in_flight:
-            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
-            for future in done:
-                task = in_flight.pop(future)
-                try:
-                    result = future.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                    scheduler.fail(task)
-                    failures.append((task.key, exc))
-                    feed.failed(task)
-                else:
-                    scheduler.complete(task, result.cost)
-                    grid[task.session][task.index] = result
-                    feed.finished(task, result)
-                submit_next()
-
-    def _drain_rebalanced_sharded(
-        self,
-        pool,
-        workers,
-        plan,
-        grid,
-        failures,
-        feed,
-        allow_partial,
-        estimator,
-        max_shards,
-    ):
-        """Parent-side two-level dispatch over the process pool.
-
-        The parent polls the :class:`SubtreeScheduler` non-blockingly
-        (it is the only dispatcher, so nothing can publish behind its
-        back while it holds no futures), ships presplits and shard
-        crawls to pool workers, and performs the deterministic merges
-        itself as regions drain.
-        """
-        scheduler = SubtreeScheduler(plan.bundles, estimator)
-        failures_lock = threading.Lock()
-        in_flight: dict[Future, RegionTask | ShardTask] = {}
-
-        def submit_next() -> bool:
-            task = scheduler.acquire(block=False)
-            if task is None:
-                return False
-            if isinstance(task, ShardTask):
-                future = pool.submit(
-                    _process_shard,
-                    task.session,
-                    task.region,
-                    task.shard,
-                    allow_partial,
-                )
-            else:
-                future = pool.submit(
-                    _process_presplit,
-                    task.session,
-                    task.region,
-                    allow_partial,
-                    max_shards,
-                )
-            in_flight[future] = task
-            return True
-
-        for _ in range(workers):
-            if not submit_next():
-                break
-        while in_flight:
-            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
-            for future in done:
-                task = in_flight.pop(future)
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised by run()
-                    scheduler.fail(task)
-                    failures.append((task.key, exc))
-                    feed.failed(task)
-                else:
-                    if isinstance(task, ShardTask):
-                        completion = scheduler.complete_shard(task, payload)
-                    else:
-                        completion = scheduler.publish(task, payload)
-                    if completion is not None:
-                        _finish_completion(
-                            scheduler,
-                            completion,
-                            grid,
-                            failures,
-                            failures_lock,
-                            feed,
-                        )
-                while len(in_flight) < workers and submit_next():
-                    pass
-
 
 # ----------------------------------------------------------------------
-# Async backend: event-loop coordination, awaitable sources bridged
+# Async transport: event-loop coordination, awaitable sources bridged
 # ----------------------------------------------------------------------
 class _LoopBridge:
     """Sync facade over an awaitable source, for crawler worker threads.
@@ -1535,7 +947,9 @@ class AsyncExecutor(CrawlExecutor):
     :class:`~repro.server.client.AwaitableClient` over a web adapter --
     is awaited on the executor's event loop, so simulated round trips
     and future async I/O multiplex there instead of pinning threads in
-    ``time.sleep``.  Purely synchronous sources work unchanged.
+    ``time.sleep``.  Purely synchronous sources work unchanged.  The
+    worker threads run the exact same runtime drive loops as the
+    thread backend, just over bridged sources.
 
     Must be called from a thread with no running event loop (it owns
     one for the duration of the crawl).
@@ -1547,28 +961,24 @@ class AsyncExecutor(CrawlExecutor):
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
         shared_limits,
     ):
         asyncio.run(
             self._amain(
                 sources,
                 plan,
-                grid,
-                failures,
-                feed,
+                sink,
                 crawler_factory,
                 allow_partial,
                 rebalance,
                 estimator,
-                shard_subtrees,
+                policy,
             )
         )
 
@@ -1576,59 +986,47 @@ class AsyncExecutor(CrawlExecutor):
         self,
         sources,
         plan,
-        grid,
-        failures,
-        feed,
+        sink,
         crawler_factory,
         allow_partial,
         rebalance,
         estimator,
-        shard_subtrees,
+        policy,
     ):
         loop = asyncio.get_running_loop()
         bridged = [_bridge_source(source, loop) for source in sources]
-        failures_lock = threading.Lock()
+        runner = LocalUnitRunner(
+            bridged, crawler_factory, allow_partial, feed=sink.feed
+        )
         # Session loops run on a dedicated pool, NEVER asyncio's shared
         # default executor: an awaitable source's ``arun`` may itself
         # need a default-executor thread (AwaitableClient does), and
         # session loops blocking in _LoopBridge.run while occupying
         # every default-pool slot would deadlock the crawl.
         if rebalance:
-            scheduler, steal, extra, upper = _steal_setup(
-                plan, estimator, shard_subtrees
-            )
+            scheduler, upper = steal_setup(plan, estimator, policy)
             workers = self._workers(upper)
             jobs = [
-                (
-                    steal,
+                functools.partial(
+                    drive_stealing,
                     scheduler,
                     worker % plan.sessions,
-                    bridged,
-                    grid,
-                    failures,
-                    failures_lock,
-                    feed,
-                    crawler_factory,
-                    allow_partial,
-                    *extra,
+                    runner,
+                    sink,
+                    policy,
                 )
                 for worker in range(workers)
             ]
         else:
             workers = self._workers(plan.sessions)
             jobs = [
-                (
-                    _session_loop,
+                functools.partial(
+                    drive_session,
                     session,
-                    bridged,
-                    plan,
-                    grid,
-                    failures,
-                    failures_lock,
-                    feed,
-                    crawler_factory,
-                    allow_partial,
-                    shard_subtrees,
+                    plan.bundles[session],
+                    runner,
+                    sink,
+                    policy,
                 )
                 for session in range(plan.sessions)
             ]
@@ -1636,10 +1034,7 @@ class AsyncExecutor(CrawlExecutor):
             max_workers=workers, thread_name_prefix="crawl-async"
         ) as pool:
             await asyncio.gather(
-                *(
-                    loop.run_in_executor(pool, functools.partial(*job))
-                    for job in jobs
-                )
+                *(loop.run_in_executor(pool, job) for job in jobs)
             )
 
 

@@ -48,7 +48,7 @@ def crawl_partitioned_parallel(
     executor: str | CrawlExecutor = "thread",
     rebalance: bool = False,
     estimator: CostEstimator | None = None,
-    shard_subtrees: int | None = None,
+    shard_subtrees: int | str | None = None,
     shared_limits: bool = False,
 ) -> PartitionedResult:
     """Crawl every region of ``plan``, sessions running concurrently.
@@ -90,8 +90,11 @@ def crawl_partitioned_parallel(
         (:mod:`repro.crawl.sharding`), letting idle workers steal
         subqueries of a live region; with a skewed plan this is what
         keeps every worker busy while one heavy region dominates.
-        ``None`` disables sharding; the merged result is identical
-        either way.
+        ``"auto"`` presplits only regions whose estimated cost exceeds
+        the fleet's fair share
+        (:meth:`~repro.crawl.runtime.ShardPolicy.adaptive`); ``None``
+        disables sharding.  The merged result is identical under every
+        setting.
     shared_limits:
         Keep server-side limits, clocks and stats *globally exact* on
         the process backend by routing them through the shared-state

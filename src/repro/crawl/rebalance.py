@@ -324,15 +324,23 @@ class WorkStealingScheduler:
         """Number of regions the scheduler was built with."""
         return self._total
 
-    def acquire(self, worker_session: int | None = None) -> RegionTask | None:
+    def acquire(
+        self, worker_session: int | None = None, *, block: bool = True
+    ) -> RegionTask | None:
         """Hand out the next region for a worker, or ``None`` when dry.
 
         ``worker_session`` is the worker's home session: its own queue
         is drained first (in plan order); afterwards the worker steals.
         ``None`` means the caller has no home queue (e.g. the process
         backend's parent-side dispatcher) and always picks by estimate.
+        ``block`` is accepted for signature parity with
+        :meth:`SubtreeScheduler.acquire` (the runtime's futures
+        dispatcher polls either scheduler the same way); this one-level
+        scheduler never blocks, so the flag changes nothing.
         """
         with self._lock:
+            if self._aborted:
+                return None
             return self._acquire_region_locked(worker_session)
 
     def _acquire_region_locked(
@@ -434,8 +442,25 @@ class WorkStealingScheduler:
         their exact recorded costs, and surviving workers that report
         an aborted task afterwards are drained silently instead of
         tripping the exactly-once check.
+
+        Idempotent and safe against concurrent workers: abort-on-abort
+        is a no-op (the shared-limit drain calls it once per dead
+        worker), and a worker racing :meth:`acquire` either gets a task
+        the abort writes off or observes the aborted state and drains.
+
+        Examples
+        --------
+        ::
+
+            task = scheduler.acquire(0)
+            scheduler.abort()
+            scheduler.abort()               # no-op, still aborted
+            scheduler.complete(task, 5)     # silently dropped
+            assert scheduler.acquire(0) is None
         """
         with self._lock:
+            if self._aborted:
+                return
             self._abort_locked()
 
     def _abort_locked(self) -> None:
@@ -569,6 +594,12 @@ class SubtreeScheduler(WorkStealingScheduler):
         """
         with self._cond:
             while True:
+                # The fast path out for workers woken by (or racing) an
+                # abort: everything is written off, so return without
+                # consulting the queue state -- a waiter blocked in
+                # wait() is guaranteed to observe this on wake-up.
+                if self._aborted:
+                    return None
                 task = self._acquire_region_locked(worker_session)
                 if task is not None:
                     return task
@@ -688,8 +719,17 @@ class SubtreeScheduler(WorkStealingScheduler):
             )
 
     def complete_region(self, key: RegionKey, cost: int) -> None:
-        """Record a merged region's exact total cost (after the merge)."""
+        """Record a merged region's exact total cost (after the merge).
+
+        After :meth:`abort` the call is silently dropped: the abort
+        already wrote the pending merge off as failed, and recording a
+        completed cost for a failed key would corrupt the accounting a
+        surviving worker reads.
+        """
         with self._cond:
+            if self._aborted:
+                self._cond.notify_all()
+                return
             self._merging.discard(key)
             self._completed[key] = int(cost)
             self._cond.notify_all()
@@ -749,14 +789,17 @@ class SubtreeScheduler(WorkStealingScheduler):
         Extends :meth:`WorkStealingScheduler.abort` one level down:
         live regions (published shard plans) and pending merges are
         failed too, and waiters blocked in :meth:`acquire` are notified
-        so they observe the drained state and return ``None``.
+        so they observe the aborted state and return ``None``.
+        Idempotent like the base class -- a repeated abort only
+        re-notifies the waiters, it never re-fails anything.
         """
         with self._cond:
-            self._abort_locked()
-            self._failed.update(self._live)
-            self._live.clear()
-            self._failed.update(self._merging)
-            self._merging.clear()
+            if not self._aborted:
+                self._abort_locked()
+                self._failed.update(self._live)
+                self._live.clear()
+                self._failed.update(self._merging)
+                self._merging.clear()
             self._cond.notify_all()
 
     # ------------------------------------------------------------------

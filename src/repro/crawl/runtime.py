@@ -1,0 +1,885 @@
+"""The crawl runtime: one transport-agnostic drive loop for every backend.
+
+The paper's optimality argument is about *which queries* a crawl issues,
+never about *where* they run.  The execution layer grew four backends
+(sequential, thread, process, async), each times rebalancing, subtree
+sharding and shared limits -- and until this module existed, the
+dispatch logic was written once per combination: six near-identical
+drive loops that had to be hand-ported for every scheduling improvement.
+This module is the single copy.  It owns the **session lifecycle state
+machine** over :class:`~repro.crawl.rebalance.RegionTask` /
+:class:`~repro.crawl.rebalance.ShardTask` units -- acquire, run,
+complete / publish / merge, fail, abort-drain -- plus the aggregator and
+estimator feedback, parameterised by two small protocols:
+
+:class:`UnitRunner`
+    *How one unit of work executes* on a substrate: crawl a region,
+    presplit it, crawl one subtree shard.  The in-process backends use
+    :class:`LocalUnitRunner` over the caller's sources; the process
+    backend builds one per pool worker over its pickled source copies.
+:class:`ResultSink`
+    *Where outcomes go*: the parent files them straight into the result
+    grid (:class:`GridSink`); a pool worker batches them for the return
+    trip and pushes compact progress events to the control plane
+    (:class:`BatchSink`).
+
+Three drive shapes cover every backend x feature combination:
+
+* :func:`drive_session` -- static dispatch: one session's bundle in
+  plan order (sequential, thread, async and process backends without
+  rebalancing);
+* :func:`drive_stealing` -- the work-stealing loop, one-level
+  (:class:`~repro.crawl.rebalance.WorkStealingScheduler`) or two-level
+  (:class:`~repro.crawl.rebalance.SubtreeScheduler`), run by worker
+  threads in the parent *or* by pool worker processes against a
+  coordinator-hosted scheduler proxy -- the same code either way;
+* :func:`drive_futures` -- the parent-side dispatcher for transports
+  whose unit execution returns futures (the process backend's
+  per-worker-copy rebalanced modes).
+
+:class:`ShardPolicy` decides which regions are presplit into subtree
+shards and how finely -- uniformly (the classic ``shard_subtrees=N``)
+or adaptively (``"auto"``: only regions whose estimated cost exceeds
+the fleet's fair share).  Because sharding is result-invariant (an
+exact prefix decomposition; see :mod:`repro.crawl.sharding`), any
+policy yields the same merged bytes.
+
+Determinism contract: nothing in this module may influence *what* a
+region crawl computes -- only when and where it runs.  Every unit files
+its result at its plan position, failures are ranked by lowest plan
+position after a full drain, and the merge in
+:class:`~repro.crawl.executors.CrawlExecutor` stays byte-identical to
+the sequential reference.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.crawl.base import (
+    Crawler,
+    CrawlResult,
+    ProgressAggregator,
+    ProgressPoint,
+)
+from repro.crawl.partition import PartitionPlan, _crawl_region
+from repro.crawl.rebalance import (
+    CostEstimator,
+    RegionCompletion,
+    RegionKey,
+    RegionTask,
+    ShardTask,
+    SubtreeScheduler,
+    WorkStealingScheduler,
+)
+from repro.crawl.sharding import (
+    DEFAULT_MAX_SHARDS,
+    crawl_shard,
+    merge_region_shards,
+    presplit_region,
+)
+
+__all__ = [
+    "AggregatorFeed",
+    "UnitRunner",
+    "LocalUnitRunner",
+    "ResultSink",
+    "GridSink",
+    "BatchSink",
+    "ShardPolicy",
+    "drive_session",
+    "drive_stealing",
+    "drive_futures",
+    "steal_setup",
+]
+
+#: One recorded failure: the region's plan position and its exception
+#: (:data:`~repro.crawl.rebalance.RegionKey` is the position type).
+Failure = tuple[RegionKey, Exception]
+
+
+class AggregatorFeed:
+    """Per-session progress and terminal-state bookkeeping.
+
+    Translates region-level progress samples into the session-level
+    absolute (queries, tuples) points a
+    :class:`~repro.crawl.base.ProgressAggregator` expects, tolerating
+    regions of one session running concurrently (after a steal).  Also
+    marks sessions ``done`` when their last region lands and ``failed``
+    when a region crawl raises, so aggregator snapshots never show a
+    dead worker as in-flight.
+
+    Examples
+    --------
+    Executors build one feed per run and thread it through the drive
+    loops; a monitor only ever talks to the aggregator::
+
+        feed = AggregatorFeed(aggregator, plan)
+        feed.region_counts(session=0, index=0, cost=7, tuples=40)
+        aggregator.totals()  # -> ProgressPoint(7, 40)
+    """
+
+    def __init__(
+        self, aggregator: ProgressAggregator | None, plan: PartitionPlan
+    ):
+        self._aggregator = aggregator
+        self._lock = threading.Lock()
+        self._done = [[0, 0] for _ in plan.bundles]
+        # Live points keyed by the unit's live_key -- a region and the
+        # subtree shards split off it report independently.
+        self._live: list[dict[tuple, ProgressPoint]] = [
+            {} for _ in plan.bundles
+        ]
+        self._outstanding = [len(bundle) for bundle in plan.bundles]
+        if aggregator is not None:
+            for session, bundle in enumerate(plan.bundles):
+                if not bundle:
+                    aggregator.mark_done(session)
+
+    @property
+    def active(self) -> bool:
+        """Whether anything consumes this feed (an aggregator is set).
+
+        Transports use this to skip progress plumbing that nothing
+        would read -- e.g. the shared-limit pull loops only stream
+        per-region control-plane events when a live view exists.
+        """
+        return self._aggregator is not None
+
+    def listener(
+        self, task: RegionTask | ShardTask
+    ) -> Callable[[ProgressPoint], None] | None:
+        """The progress listener to attach to ``task``'s crawler."""
+        if self._aggregator is None:
+            return None
+
+        def report(point: ProgressPoint) -> None:
+            # The aggregator call stays under the feed lock: computing
+            # the total and publishing it must be atomic, or a stale
+            # total from a preempted worker could overwrite a newer one
+            # (regions of one session run concurrently after a steal).
+            with self._lock:
+                self._live[task.session][task.live_key] = point
+                self._aggregator.report(
+                    task.session, self._session_total(task.session)
+                )
+
+        return report
+
+    def _session_total(self, session: int) -> ProgressPoint:
+        # Caller holds self._lock.
+        queries, tuples = self._done[session]
+        for point in self._live[session].values():
+            queries += point.queries
+            tuples += point.tuples
+        return ProgressPoint(queries, tuples)
+
+    def region_finished(
+        self, session: int, index: int, result: CrawlResult
+    ) -> None:
+        """Fold a region's merged result, clearing its live units.
+
+        With subtree sharding, a region's trunk and each of its shards
+        report live points under separate keys; once the region merges,
+        every key of that region (``live_key[1] == index``) is replaced
+        by the exact merged totals.
+        """
+        self.region_counts(session, index, result.cost, len(result.rows))
+
+    def region_counts(
+        self, session: int, index: int, cost: int, tuples: int
+    ) -> None:
+        """Fold a finished region given its bare (cost, tuples) counts.
+
+        The wire form of :meth:`region_finished`: the shared-limit
+        process mode relays region completions from pool workers as
+        compact events, not result objects (those return with the
+        worker's final batch), so the live aggregator view advances as
+        regions land rather than when the pool drains.
+        """
+        if self._aggregator is None:
+            return
+        with self._lock:
+            live = self._live[session]
+            for key in [k for k in live if k[1] == index]:
+                del live[key]
+            self._done[session][0] += cost
+            self._done[session][1] += tuples
+            self._outstanding[session] -= 1
+            # Atomic with the total's computation; see listener().
+            self._aggregator.report(session, self._session_total(session))
+            if self._outstanding[session] == 0:
+                self._aggregator.mark_done(session)
+
+    def failed_session(self, session: int) -> None:
+        """Mark ``session`` failed (a region or shard of it raised)."""
+        if self._aggregator is None:
+            return
+        self._aggregator.mark_failed(session)
+
+    def cancelled(self, session: int) -> None:
+        """Mark a session the executor abandoned before running it.
+
+        A no-op for sessions already terminal (e.g. an empty bundle
+        marked done at construction).
+        """
+        if self._aggregator is None:
+            return
+        if not self._aggregator.state(session).terminal:
+            self._aggregator.mark_cancelled(session)
+
+
+# ----------------------------------------------------------------------
+# The backend protocol: how a unit runs, where its outcome goes
+# ----------------------------------------------------------------------
+class UnitRunner(abc.ABC):
+    """How one unit of work executes on a backend's substrate.
+
+    The drive loops never touch sources, crawlers or caches directly;
+    they hand each acquired unit to a runner.  A runner must be safe to
+    call from several workers at once (the in-process backends share
+    one across their worker threads).
+
+    Examples
+    --------
+    The built-in :class:`LocalUnitRunner` covers every backend; a test
+    double only needs the three unit methods::
+
+        class Recording(UnitRunner):
+            def region(self, task):
+                return crawl_somehow(task)
+            def presplit(self, task, max_shards):
+                raise NotImplementedError
+            def shard(self, task):
+                raise NotImplementedError
+    """
+
+    @abc.abstractmethod
+    def region(self, task: RegionTask) -> CrawlResult:
+        """Crawl one whole region."""
+
+    @abc.abstractmethod
+    def presplit(self, task: RegionTask, max_shards: int):
+        """Presplit one region into a trunk + subtree shard plan."""
+
+    @abc.abstractmethod
+    def shard(self, task: ShardTask) -> CrawlResult:
+        """Crawl one subtree shard of a presplit region."""
+
+    def region_boundary(self) -> None:
+        """Hook fired after each region-level unit completes or fails.
+
+        The lease-batching seam: the process backend's pool workers
+        flush unused :class:`~repro.server.limits.LimitLease` chunks
+        and buffered stats back to the shared-limit control plane here,
+        so admission headroom never idles in a worker past the region
+        that leased it.  In-process backends need nothing (they share
+        the limit objects by reference) and inherit this no-op.
+        """
+
+    def drained(self) -> None:
+        """Hook fired once when a worker's drive loop runs dry."""
+        self.region_boundary()
+
+
+class LocalUnitRunner(UnitRunner):
+    """Run units against in-memory sources, one fresh crawler per unit.
+
+    The one concrete runner every backend uses: the parent's worker
+    threads run it over the caller's sources (with live progress
+    listeners wired to an :class:`AggregatorFeed`), and each process
+    pool worker builds one over its unpickled source copies (no feed --
+    progress travels as events instead).
+
+    Examples
+    --------
+    ::
+
+        runner = LocalUnitRunner(
+            sources, Hybrid, allow_partial=False, feed=feed
+        )
+        result = runner.region(RegionTask(0, 0, region))
+    """
+
+    def __init__(
+        self,
+        sources: Sequence,
+        crawler_factory: Callable[..., Crawler],
+        allow_partial: bool,
+        *,
+        feed: AggregatorFeed | None = None,
+        flush: Callable[[], None] | None = None,
+    ):
+        self._sources = sources
+        self._factory = crawler_factory
+        self._allow_partial = allow_partial
+        self._feed = feed
+        self._flush = flush
+
+    def _listener(self, task):
+        if self._feed is None:
+            return None
+        return self._feed.listener(task)
+
+    def region(self, task: RegionTask) -> CrawlResult:
+        """Crawl one whole region against its session's source."""
+        return _crawl_region(
+            self._sources[task.session],
+            task.region,
+            crawler_factory=self._factory,
+            allow_partial=self._allow_partial,
+            listener=self._listener(task),
+        )
+
+    def presplit(self, task: RegionTask, max_shards: int):
+        """Presplit one region; the trunk's progress reports live."""
+        return presplit_region(
+            self._sources[task.session],
+            task.region,
+            crawler_factory=self._factory,
+            allow_partial=self._allow_partial,
+            max_shards=max_shards,
+            listener=self._listener(task),
+        )
+
+    def shard(self, task: ShardTask) -> CrawlResult:
+        """Crawl one subtree shard against its session's source."""
+        return crawl_shard(
+            self._sources[task.session],
+            task.region,
+            task.shard,
+            allow_partial=self._allow_partial,
+            listener=self._listener(task),
+        )
+
+    def region_boundary(self) -> None:
+        """Flush shared-limit leases/stats when the transport has any."""
+        if self._flush is not None:
+            self._flush()
+
+
+class ResultSink(abc.ABC):
+    """Where a drive loop files unit outcomes.
+
+    Exactly two implementations exist -- :class:`GridSink` in the
+    parent, :class:`BatchSink` in pool workers -- and the drive loops
+    cannot tell them apart, which is what makes one loop serve both
+    in-process and cross-process transports.
+    """
+
+    @abc.abstractmethod
+    def region_done(self, key: RegionKey, result: CrawlResult) -> None:
+        """File one region's (merged) result at its plan position."""
+
+    @abc.abstractmethod
+    def region_failed(
+        self, key: RegionKey, session: int, exc: Exception
+    ) -> None:
+        """Record a region (or shard) failure at its plan position."""
+
+
+class GridSink(ResultSink):
+    """The parent-side sink: results into the grid, failures ranked.
+
+    Owns the mutable result grid and failure list the executor's
+    deterministic merge consumes, plus the :class:`AggregatorFeed`
+    that keeps live progress truthful.  Thread-safe: worker threads of
+    the in-process backends all file through one instance.
+
+    Examples
+    --------
+    ::
+
+        sink = GridSink(plan, feed)
+        drive_session(0, plan.bundles[0], runner, sink)
+        sink.grid[0][0]      # the region's CrawlResult
+        sink.failures        # [] on success
+    """
+
+    def __init__(self, plan: PartitionPlan, feed: AggregatorFeed):
+        self.grid: list[list[CrawlResult | None]] = [
+            [None] * len(bundle) for bundle in plan.bundles
+        ]
+        self.failures: list[Failure] = []
+        self.feed = feed
+        self._lock = threading.Lock()
+
+    def region_done(self, key: RegionKey, result: CrawlResult) -> None:
+        """File the result and advance the session's progress totals."""
+        session, index = key
+        self.grid[session][index] = result
+        self.feed.region_finished(session, index, result)
+
+    def region_failed(
+        self, key: RegionKey, session: int, exc: Exception
+    ) -> None:
+        """Record the failure and mark the session failed."""
+        with self._lock:
+            self.failures.append((key, exc))
+        self.feed.failed_session(session)
+
+    def file_batch(
+        self,
+        results: list[tuple[RegionKey, CrawlResult]],
+        failures: list[Failure],
+        *,
+        update_feed: bool = True,
+    ) -> None:
+        """Fold a pool worker's returned batch into the grid.
+
+        ``update_feed=False`` for transports that already relayed the
+        worker's progress events into the feed (the shared-limit pull
+        loops) -- feeding the batch again would double-count.
+        """
+        for key, result in results:
+            if update_feed:
+                self.region_done(key, result)
+            else:
+                self.grid[key[0]][key[1]] = result
+        for key, exc in failures:
+            if update_feed:
+                self.region_failed(key, key[0], exc)
+            else:
+                with self._lock:
+                    self.failures.append((key, exc))
+
+
+class BatchSink(ResultSink):
+    """The pool-worker sink: batch results home, stream events.
+
+    Results are dead weight in the coordinator, so they accumulate
+    locally and return with the worker's final batch; completions and
+    failures are additionally pushed to the control plane as compact
+    progress events (``("region", session, index, cost, tuples)`` /
+    ``("failed", session)``) so the parent's live aggregator view
+    advances while the pool still runs.  ``plane=None`` (the per-copy
+    static mode) skips the events and just batches.
+
+    Examples
+    --------
+    ::
+
+        sink = BatchSink(plane)
+        drive_stealing(scheduler, 0, runner, sink)
+        results, failures = sink.batch
+    """
+
+    def __init__(self, plane=None):
+        self._plane = plane
+        self._results: list[tuple[RegionKey, CrawlResult]] = []
+        self._failures: list[Failure] = []
+
+    def region_done(self, key: RegionKey, result: CrawlResult) -> None:
+        """Batch the result; stream a compact completion event."""
+        self._results.append((key, result))
+        if self._plane is not None:
+            self._plane.push_event(
+                ("region", key[0], key[1], result.cost, len(result.rows))
+            )
+
+    def region_failed(
+        self, key: RegionKey, session: int, exc: Exception
+    ) -> None:
+        """Batch the failure; stream a compact failure event."""
+        self._failures.append((key, exc))
+        if self._plane is not None:
+            self._plane.push_event(("failed", session))
+
+    @property
+    def batch(
+        self,
+    ) -> tuple[list[tuple[RegionKey, CrawlResult]], list[Failure]]:
+        """The worker's return payload: (completed results, failures)."""
+        return self._results, self._failures
+
+
+# ----------------------------------------------------------------------
+# Shard policy: which regions presplit, and how finely
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Which regions are presplit into subtree shards, and how finely.
+
+    ``budgets`` maps a region's plan position to its ``max_shards``
+    target; regions absent from the map crawl whole.  Policies are
+    plain data (picklable into pool workers) and -- because subtree
+    sharding is result-invariant -- *any* policy produces the same
+    merged bytes; the policy only decides where scheduling effort is
+    spent.
+
+    Examples
+    --------
+    The classic fixed target presplits every region; the adaptive
+    planner spends shards only on regions estimated to exceed the
+    fleet's fair share::
+
+        uniform = ShardPolicy.uniform(plan, 8)
+        auto = ShardPolicy.adaptive(plan, estimator, workers=4)
+        auto.budget_for((0, 0))   # int target, or None (crawl whole)
+    """
+
+    budgets: Mapping[RegionKey, int]
+
+    def budget_for(self, key: RegionKey) -> int | None:
+        """The region's shard target, or ``None`` to crawl it whole."""
+        return self.budgets.get(key)
+
+    @property
+    def max_budget(self) -> int:
+        """The largest per-region shard target (0 when none presplit)."""
+        return max(self.budgets.values(), default=0)
+
+    @property
+    def sharded(self) -> bool:
+        """Whether any region is presplit under this policy."""
+        return bool(self.budgets)
+
+    @classmethod
+    def uniform(cls, plan: PartitionPlan, max_shards: int) -> "ShardPolicy":
+        """Presplit every region to the same ``max_shards`` target."""
+        if max_shards < 1:
+            raise ValueError(
+                f"shard_subtrees must be positive, got {max_shards}"
+            )
+        budgets = {
+            (session, index): max_shards
+            for session, bundle in enumerate(plan.bundles)
+            for index in range(len(bundle))
+        }
+        return cls(budgets)
+
+    @classmethod
+    def adaptive(
+        cls,
+        plan: PartitionPlan,
+        estimator: CostEstimator | None,
+        workers: int,
+        *,
+        target: int = DEFAULT_MAX_SHARDS,
+    ) -> "ShardPolicy":
+        """Presplit only regions estimated above the fleet's fair share.
+
+        The fair share is ``total estimated cost / workers``: a region
+        below it cannot be the straggler, so splitting it buys nothing
+        and costs presplit overhead.  A region above it gets a shard
+        target proportional to how many fair shares it spans (capped at
+        ``target``), so the fleet can spread exactly the regions that
+        would otherwise serialise the crawl.  With a fresh (flat)
+        estimator and at least as many regions as workers, *nothing*
+        is presplit -- whole-region stealing already balances that.
+        """
+        estimator = estimator if estimator is not None else CostEstimator()
+        estimates = {
+            (session, index): estimator.estimate((session, index))
+            for session, bundle in enumerate(plan.bundles)
+            for index in range(len(bundle))
+        }
+        total = sum(estimates.values())
+        if not estimates or total <= 0:
+            return cls({})
+        fair_share = total / max(1, workers)
+        budgets = {
+            key: max(2, min(target, math.ceil(estimate / fair_share)))
+            for key, estimate in estimates.items()
+            if estimate > fair_share
+        }
+        return cls(budgets)
+
+    @classmethod
+    def resolve(
+        cls,
+        shard_subtrees: "int | str | None",
+        plan: PartitionPlan,
+        estimator: CostEstimator | None,
+        workers: int,
+    ) -> "ShardPolicy | None":
+        """Map an executor's ``shard_subtrees`` argument to a policy.
+
+        ``None`` disables sharding, an ``int`` is the uniform target,
+        and ``"auto"`` selects the estimator-driven adaptive planner.
+        Raises :class:`ValueError` for anything else.
+        """
+        if shard_subtrees is None:
+            return None
+        if shard_subtrees == "auto":
+            return cls.adaptive(plan, estimator, workers)
+        if isinstance(shard_subtrees, bool) or not isinstance(
+            shard_subtrees, int
+        ):
+            raise ValueError(
+                "shard_subtrees must be a positive int, 'auto' or None, "
+                f"got {shard_subtrees!r}"
+            )
+        return cls.uniform(plan, shard_subtrees)
+
+
+# ----------------------------------------------------------------------
+# The drive loops: the one session lifecycle state machine
+# ----------------------------------------------------------------------
+def _run_whole_region(
+    task: RegionTask,
+    runner: UnitRunner,
+    sink: ResultSink,
+    policy: ShardPolicy | None,
+) -> bool:
+    """Run one region end to end locally (presplit+merge if budgeted)."""
+    budget = policy.budget_for(task.key) if policy is not None else None
+    try:
+        if budget is None:
+            result = runner.region(task)
+        else:
+            plan = runner.presplit(task, budget)
+            results = [
+                runner.shard(
+                    ShardTask(task.session, task.index, task.region, shard)
+                )
+                for shard in plan.shards
+            ]
+            result = merge_region_shards(plan, results)
+    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        sink.region_failed(task.key, task.session, exc)
+        runner.region_boundary()
+        return False
+    sink.region_done(task.key, result)
+    runner.region_boundary()
+    return True
+
+
+def drive_session(
+    session: int,
+    bundle: Sequence,
+    runner: UnitRunner,
+    sink: ResultSink,
+    policy: ShardPolicy | None = None,
+) -> bool:
+    """Static dispatch: crawl one session's regions in plan order.
+
+    Stops at the session's first failure (later regions of a failed
+    session are never crawled -- exactly the sequential semantics) and
+    reports whether the whole bundle succeeded.  With a
+    :class:`ShardPolicy`, budgeted regions go through the sharded unit
+    of work (presplit, shards in canonical order, merge) -- same
+    result, same failure semantics.
+
+    Examples
+    --------
+    One worker per session is the whole static thread backend::
+
+        for session in range(plan.sessions):
+            pool.submit(
+                drive_session, session, plan.bundles[session],
+                runner, sink,
+            )
+    """
+    for index, region in enumerate(bundle):
+        task = RegionTask(session, index, region)
+        if not _run_whole_region(task, runner, sink, policy):
+            return False
+    return True
+
+
+def _finish_completion(
+    scheduler: SubtreeScheduler,
+    completion: RegionCompletion,
+    sink: ResultSink,
+) -> None:
+    """Merge a drained region's shards and file the result."""
+    task = completion.task
+    try:
+        result = merge_region_shards(completion.plan, completion.results)
+    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        scheduler.fail_region(task.key)
+        sink.region_failed(task.key, task.session, exc)
+        return
+    scheduler.complete_region(task.key, result.cost)
+    sink.region_done(task.key, result)
+
+
+def _transition(
+    scheduler,
+    task: RegionTask | ShardTask,
+    payload,
+    sink: ResultSink,
+    presplit: bool,
+) -> bool:
+    """Advance the state machine after one unit ran successfully.
+
+    ``payload`` is the unit's output (a :class:`CrawlResult`, or a
+    shard plan when ``presplit``).  Returns whether a region-level
+    boundary was crossed (a region completed or merged).
+    """
+    if isinstance(task, ShardTask):
+        completion = scheduler.complete_shard(task, payload)
+    elif presplit:
+        completion = scheduler.publish(task, payload)
+    else:
+        scheduler.complete(task, payload.cost)
+        sink.region_done(task.key, payload)
+        return True
+    if completion is not None:
+        _finish_completion(scheduler, completion, sink)
+        return True
+    return False
+
+
+def drive_stealing(
+    scheduler,
+    home_session: int | None,
+    runner: UnitRunner,
+    sink: ResultSink,
+    policy: ShardPolicy | None = None,
+) -> None:
+    """One worker's work-stealing drive loop, any transport.
+
+    Drains the scheduler until it runs dry: acquire the next unit
+    (own-session regions first, then stolen regions, then -- under a
+    :class:`~repro.crawl.rebalance.SubtreeScheduler` -- subtree shards
+    of the costliest live region), execute it through ``runner``, and
+    advance the scheduler's state machine (complete / publish /
+    merge-on-last-shard / fail).  Whichever worker lands a region's
+    last shard performs the deterministic merge and files the result at
+    the region's plan position.
+
+    The exact same function is the thread backend's worker loop, the
+    async backend's per-thread loop over bridged sources, and the
+    process backend's cross-process pull loop (where ``scheduler`` is a
+    coordinator-hosted proxy and ``sink`` a :class:`BatchSink`) -- the
+    transports differ only in what they pass in.
+
+    Examples
+    --------
+    ::
+
+        scheduler = WorkStealingScheduler(plan.bundles)
+        drive_stealing(scheduler, home_session=0, runner=runner,
+                       sink=sink)
+        assert scheduler.done()
+    """
+    while True:
+        task = scheduler.acquire(home_session)
+        if task is None:
+            runner.drained()
+            return
+        if isinstance(task, ShardTask):
+            try:
+                payload = runner.shard(task)
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                sink.region_failed(task.key, task.session, exc)
+                runner.region_boundary()
+                continue
+            if _transition(scheduler, task, payload, sink, presplit=False):
+                runner.region_boundary()
+            continue
+        budget = policy.budget_for(task.key) if policy is not None else None
+        try:
+            if budget is None:
+                payload = runner.region(task)
+            else:
+                payload = runner.presplit(task, budget)
+        except Exception as exc:  # noqa: BLE001 - re-raised by run()
+            scheduler.fail(task)
+            sink.region_failed(task.key, task.session, exc)
+            runner.region_boundary()
+            continue
+        if _transition(
+            scheduler, task, payload, sink, presplit=budget is not None
+        ):
+            runner.region_boundary()
+
+
+def drive_futures(
+    scheduler,
+    submit: Callable[[RegionTask | ShardTask, int | None], Future],
+    sink: ResultSink,
+    workers: int,
+    policy: ShardPolicy | None = None,
+) -> None:
+    """Parent-side dispatch over a future-returning transport.
+
+    The same state machine as :func:`drive_stealing`, driven from a
+    single dispatcher thread: units are acquired non-blockingly (the
+    dispatcher is the only acquirer, so an empty poll really means
+    nothing is runnable yet), shipped through ``submit`` (which returns
+    a future -- e.g. ``ProcessPoolExecutor.submit`` of a pool wire
+    function), and transitioned as their futures land.  ``submit``
+    receives the unit and its shard budget (``None`` = crawl the region
+    whole, an int = presplit it that finely).
+
+    Used by the process backend's per-worker-copy rebalanced modes,
+    where the pool workers cannot see the parent's scheduler.
+
+    Examples
+    --------
+    ::
+
+        def submit(task, budget):
+            return pool.submit(crawl_region_in_worker, task)
+
+        drive_futures(scheduler, submit, sink, workers=4)
+    """
+    in_flight: dict[Future, RegionTask | ShardTask] = {}
+
+    def submit_next() -> bool:
+        task = scheduler.acquire(block=False)
+        if task is None:
+            return False
+        if isinstance(task, ShardTask) or policy is None:
+            budget = None
+        else:
+            budget = policy.budget_for(task.key)
+        in_flight[submit(task, budget)] = task
+        return True
+
+    for _ in range(workers):
+        if not submit_next():
+            break
+    while in_flight:
+        done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+        for future in done:
+            task = in_flight.pop(future)
+            try:
+                payload = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                scheduler.fail(task)
+                sink.region_failed(task.key, task.session, exc)
+            else:
+                presplit = (
+                    policy is not None
+                    and not isinstance(task, ShardTask)
+                    and policy.budget_for(task.key) is not None
+                )
+                _transition(scheduler, task, payload, sink, presplit)
+            while len(in_flight) < workers and submit_next():
+                pass
+
+
+def steal_setup(
+    plan: PartitionPlan,
+    estimator: CostEstimator | None,
+    policy: ShardPolicy | None,
+) -> tuple[WorkStealingScheduler, int]:
+    """Build the right scheduler for a rebalanced run.
+
+    Returns ``(scheduler, upper)``: a two-level
+    :class:`~repro.crawl.rebalance.SubtreeScheduler` whenever the
+    policy presplits anything (subtree shards expose more parallelism
+    than whole regions alone, so ``upper`` -- the number of workers the
+    plan can keep busy -- grows accordingly), otherwise a plain
+    :class:`~repro.crawl.rebalance.WorkStealingScheduler`.  The one
+    place that decides between one- and two-level stealing, so the
+    transports cannot drift apart in how they wire the loops.
+    """
+    if policy is not None and policy.sharded:
+        scheduler: WorkStealingScheduler = SubtreeScheduler(
+            plan.bundles, estimator
+        )
+        upper = max(1, scheduler.total_tasks, policy.max_budget)
+        return scheduler, upper
+    scheduler = WorkStealingScheduler(plan.bundles, estimator)
+    return scheduler, max(1, scheduler.total_tasks)

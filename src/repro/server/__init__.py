@@ -17,6 +17,7 @@ from repro.server.interface import QueryInterface
 from repro.server.latency import AsyncLatencySource, LatencySource
 from repro.server.limits import (
     DailyRateLimit,
+    LimitLease,
     QueryBudget,
     QueryLimit,
     SimulatedClock,
@@ -38,6 +39,7 @@ __all__ = [
     "LatencySource",
     "VectorEngine",
     "DailyRateLimit",
+    "LimitLease",
     "QueryBudget",
     "QueryLimit",
     "SimulatedClock",

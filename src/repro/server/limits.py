@@ -32,6 +32,24 @@ Every limit (and the clock) exposes ``state()`` / ``restore_state()``
 -- a plain-dict snapshot of its counters -- which is how the
 coordinator seeds its authoritative copy from a local object and
 writes the final counts back after a crawl.
+
+Leasing
+-------
+``admit()`` charges one query per call -- the right granularity in
+process, and one *coordinator round trip* per query when the limit is
+authoritative in a control-plane process.  :meth:`QueryLimit.lease`
+amortises that: it admits up to ``n`` queries in one atomic call and
+returns a :class:`LimitLease` the caller consumes locally
+(:meth:`LimitLease.take`), returning whatever went unused via
+:meth:`QueryLimit.release` when its unit of work completes.  Accounting
+stays exact: a crawl that completes within its limits charges exactly
+the queries it issued (leased-but-unused units come back), and a limit
+that *refuses* a lease is terminally exhausted -- it reads fully
+charged and later releases are void, exactly the state per-query
+admission would have left it in.  :class:`QueryBudget` implements real
+chunked leasing; limits without a natural chunk semantics (e.g. a
+:class:`DailyRateLimit`, whose quota resets under the lessee's feet at
+day boundaries) inherit the safe per-query default.
 """
 
 from __future__ import annotations
@@ -42,7 +60,56 @@ import threading
 from repro.exceptions import QueryBudgetExhausted
 from repro.server.pickling import LocklessPickle
 
-__all__ = ["QueryLimit", "QueryBudget", "DailyRateLimit", "SimulatedClock"]
+__all__ = [
+    "QueryLimit",
+    "LimitLease",
+    "QueryBudget",
+    "DailyRateLimit",
+    "SimulatedClock",
+]
+
+
+class LimitLease:
+    """A chunk of pre-admitted queries held locally by one client.
+
+    Produced by :meth:`QueryLimit.lease`: ``granted`` queries are
+    already charged against the limit, so the holder may issue that
+    many without consulting it again -- :meth:`take` consumes one unit
+    locally.  Whatever stays :attr:`unused` must go back through
+    :meth:`QueryLimit.release` when the holder's unit of work ends, so
+    the limit's counters read exactly the queries actually issued.
+
+    Examples
+    --------
+    >>> budget = QueryBudget(10)
+    >>> lease = budget.lease(4)
+    >>> lease.take(), lease.take()
+    (True, True)
+    >>> budget.release(lease)   # 2 unused units flow back
+    >>> budget.used
+    2
+    """
+
+    __slots__ = ("granted", "consumed")
+
+    def __init__(self, granted: int):
+        self.granted = int(granted)
+        self.consumed = 0
+
+    @property
+    def unused(self) -> int:
+        """Units still held: granted but not consumed."""
+        return self.granted - self.consumed
+
+    def take(self) -> bool:
+        """Consume one unit locally; ``False`` when the lease is dry."""
+        if self.consumed >= self.granted:
+            return False
+        self.consumed += 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"LimitLease(granted={self.granted}, used={self.consumed})"
 
 
 class QueryLimit(abc.ABC):
@@ -52,6 +119,28 @@ class QueryLimit(abc.ABC):
     def admit(self) -> None:
         """Account for one query, raising :class:`QueryBudgetExhausted`
         if it may not be issued."""
+
+    def lease(self, n: int) -> LimitLease:
+        """Admit up to ``n`` queries in one call; raise when none fit.
+
+        The default implementation admits exactly one query per call
+        (a degenerate lease), which keeps any :class:`QueryLimit`
+        subclass correct under a leasing client at per-query
+        granularity; limits with a safe chunk semantics override this
+        (see :meth:`QueryBudget.lease`).
+        """
+        if n < 1:
+            raise ValueError(f"lease size must be positive, got {n}")
+        self.admit()
+        return LimitLease(1)
+
+    def release(self, lease: LimitLease) -> None:
+        """Return a lease's unused units.  Default: nothing to return
+        (the degenerate one-query lease is consumed by definition).
+        Always idempotent: a released lease reads fully consumed, so a
+        second release (an explicit call plus a finally-block flush)
+        returns nothing twice."""
+        lease.consumed = lease.granted
 
 
 class QueryBudget(LocklessPickle, QueryLimit):
@@ -68,6 +157,11 @@ class QueryBudget(LocklessPickle, QueryLimit):
             raise ValueError("max_queries must be non-negative")
         self._max = max_queries
         self._used = 0
+        # Once an admission or lease has been *refused*, the budget is
+        # terminally exhausted: releases of leased-but-unused units are
+        # void, so it keeps reading fully charged -- exactly the state
+        # per-query admission leaves behind.  refill() re-opens it.
+        self._refused = False
         self._lock = threading.Lock()
 
     @property
@@ -85,10 +179,50 @@ class QueryBudget(LocklessPickle, QueryLimit):
     def admit(self) -> None:
         with self._lock:
             if self._used >= self._max:
+                self._refused = True
                 raise QueryBudgetExhausted(
                     f"query budget of {self._max} exhausted", issued=self._used
                 )
             self._used += 1
+
+    def lease(self, n: int) -> LimitLease:
+        """Atomically admit up to ``n`` queries as one chunk.
+
+        Grants ``min(n, remaining)`` units (charged immediately) and
+        raises :class:`~repro.exceptions.QueryBudgetExhausted` -- with
+        the budget fully charged -- when nothing remains.  The one call
+        replaces up to ``n`` :meth:`admit` round trips when the budget
+        is authoritative in a coordinator process (see
+        :class:`~repro.crawl.coordinator.SharedLimitClient`).
+        """
+        if n < 1:
+            raise ValueError(f"lease size must be positive, got {n}")
+        with self._lock:
+            granted = min(n, self._max - self._used)
+            if granted <= 0:
+                self._refused = True
+                raise QueryBudgetExhausted(
+                    f"query budget of {self._max} exhausted", issued=self._used
+                )
+            self._used += granted
+            return LimitLease(granted)
+
+    def release(self, lease: LimitLease) -> None:
+        """Return a lease's unused units to the budget.
+
+        Idempotent (the lease reads fully consumed afterwards, so a
+        double release returns nothing twice) and void once the budget
+        has refused an admission (it is then terminally exhausted and
+        keeps reading fully charged; see ``__init__``).
+        """
+        unused = lease.unused
+        lease.consumed = lease.granted
+        if unused <= 0:
+            return
+        with self._lock:
+            if self._refused:
+                return
+            self._used = max(0, self._used - unused)
 
     def refill(self, extra: int) -> None:
         """Grow the budget (e.g. the operator raised the quota)."""
@@ -96,17 +230,28 @@ class QueryBudget(LocklessPickle, QueryLimit):
             raise ValueError("extra must be non-negative")
         with self._lock:
             self._max += extra
+            self._refused = False
 
     def state(self) -> dict:
-        """A plain-dict snapshot of the budget's counters."""
+        """A plain-dict snapshot of the budget's counters.
+
+        Carries the terminal ``refused`` flag, so a snapshot of an
+        exhausted budget restores with its void-release semantics
+        intact -- and restoring a healthy snapshot clears it.
+        """
         with self._lock:
-            return {"max_queries": self._max, "used": self._used}
+            return {
+                "max_queries": self._max,
+                "used": self._used,
+                "refused": self._refused,
+            }
 
     def restore_state(self, state: dict) -> None:
         """Overwrite the counters from a :meth:`state` snapshot."""
         with self._lock:
             self._max = int(state["max_queries"])
             self._used = int(state["used"])
+            self._refused = bool(state.get("refused", False))
 
 
 class SimulatedClock(LocklessPickle):

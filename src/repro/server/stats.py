@@ -27,12 +27,21 @@ __all__ = ["QueryStats"]
 
 @dataclass
 class QueryStats(LocklessPickle):
-    """Mutable counters describing the queries seen so far."""
+    """Mutable counters describing the queries seen so far.
+
+    ``round_trips`` counts *coordinator* round trips, not queries: on a
+    local crawl it stays 0, and after a shared-limit process crawl the
+    control plane's write-back fills it with the fleet-wide number of
+    admission/accounting calls that crossed the process boundary (the
+    chatter lease batching exists to shrink; see
+    :mod:`repro.crawl.coordinator`).
+    """
 
     queries: int = 0
     resolved: int = 0
     overflowed: int = 0
     tuples_returned: int = 0
+    round_trips: int = 0
     phase_costs: dict[str, int] = field(default_factory=dict)
     _phase: str | None = field(default=None, repr=False)
     _lock: threading.Lock = field(
@@ -84,6 +93,26 @@ class QueryStats(LocklessPickle):
         with self._lock:
             return self._phase
 
+    def merge_counts(self, delta: dict) -> None:
+        """Fold another stats snapshot's counters into this one.
+
+        The batched twin of :meth:`record_counts`: the shared-state
+        control plane's :class:`~repro.crawl.coordinator.SharedStats`
+        buffers a worker's recordings locally and ships the aggregate
+        as one ``state()``-shaped delta -- one coordinator round trip
+        per flush instead of one per query.  Atomic, like every other
+        mutation.
+        """
+        with self._lock:
+            self.queries += int(delta["queries"])
+            self.resolved += int(delta["resolved"])
+            self.overflowed += int(delta["overflowed"])
+            self.tuples_returned += int(delta["tuples_returned"])
+            for phase, cost in delta["phase_costs"].items():
+                self.phase_costs[phase] = (
+                    self.phase_costs.get(phase, 0) + int(cost)
+                )
+
     def snapshot(self) -> "QueryStats":
         """An independent, consistent copy of the current counters."""
         with self._lock:
@@ -92,6 +121,7 @@ class QueryStats(LocklessPickle):
                 resolved=self.resolved,
                 overflowed=self.overflowed,
                 tuples_returned=self.tuples_returned,
+                round_trips=self.round_trips,
                 phase_costs=dict(self.phase_costs),
             )
         return copy
@@ -109,6 +139,7 @@ class QueryStats(LocklessPickle):
                 "resolved": self.resolved,
                 "overflowed": self.overflowed,
                 "tuples_returned": self.tuples_returned,
+                "round_trips": self.round_trips,
                 "phase_costs": dict(self.phase_costs),
             }
 
@@ -119,6 +150,7 @@ class QueryStats(LocklessPickle):
             self.resolved = int(state["resolved"])
             self.overflowed = int(state["overflowed"])
             self.tuples_returned = int(state["tuples_returned"])
+            self.round_trips = int(state.get("round_trips", 0))
             self.phase_costs = dict(state["phase_costs"])
 
     def __str__(self) -> str:

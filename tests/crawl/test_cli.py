@@ -58,6 +58,14 @@ class TestParser:
         )
         assert args.shard_subtrees == 12
         assert args.max_regions == 64
+        args = build_parser().parse_args(
+            [path, "--k", "8", "--shard-subtrees", "auto"]
+        )
+        assert args.shard_subtrees == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [path, "--k", "8", "--shard-subtrees", "many"]
+            )
 
 
 class TestMain:
@@ -180,6 +188,27 @@ class TestExecutors:
         assert main([path, "--k", "8", "--workers", "2", *flags]) == 0
         out = capsys.readouterr().out
         assert "subtree shards" in out
+        assert "complete" in out
+
+    def test_shard_subtrees_auto_verifies_complete(self, mixed_csv, capsys):
+        path, _ = mixed_csv
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--rebalance",
+                    "--shard-subtrees",
+                    "auto",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive subtree shards" in out
         assert "complete" in out
 
     def test_shard_subtrees_must_be_positive(self, mixed_csv, capsys):

@@ -153,6 +153,18 @@ class TestProcessBackend:
         )
         assert_identical(result, reference)
 
+    def test_rebalanced_failure_drains_and_raises(self, dataset, plan):
+        """The futures dispatcher: a region raising in a pool worker is
+        filed at its plan position, the rest of the plan drains, and
+        run() raises the lowest failure."""
+        sources = [
+            TopKServer(dataset, k=32, limits=[QueryBudget(1)]),
+            TopKServer(dataset, k=32),
+            TopKServer(dataset, k=32),
+        ]
+        with pytest.raises(QueryBudgetExhausted):
+            ProcessExecutor(max_workers=2).run(sources, plan, rebalance=True)
+
     def test_unpicklable_factory_is_a_clear_error(self, dataset, plan):
         executor = ProcessExecutor(max_workers=2)
         with pytest.raises(TypeError, match="picklable"):

@@ -179,3 +179,91 @@ def test_any_schedule_keeps_cost_accounting_exact(data):
         key: costs[key] for key in completed
     }
     assert scheduler.failed_keys() == failed
+
+
+class TestAbortHardening:
+    """Satellite regression suite: abort() is idempotent and safe
+    against workers blocked in (or racing) a concurrent acquire."""
+
+    def test_abort_after_abort_is_a_noop(self):
+        scheduler = WorkStealingScheduler(bundles_of([2, 2]))
+        task = scheduler.acquire(0)
+        scheduler.complete(task, 3)
+        scheduler.abort()
+        failed_after_first = scheduler.failed_keys()
+        costs_after_first = scheduler.completed_costs()
+        scheduler.abort()  # must not re-fail or wipe anything
+        assert scheduler.failed_keys() == failed_after_first
+        assert scheduler.completed_costs() == costs_after_first
+        assert costs_after_first == {task.key: 3}
+        assert scheduler.acquire(0) is None
+
+    def test_subtree_abort_after_abort_is_a_noop(self):
+        from repro.crawl.rebalance import SubtreeScheduler
+
+        scheduler = SubtreeScheduler(bundles_of([2, 1]))
+        scheduler.acquire(0)  # leave one region presplitting
+        scheduler.abort()
+        snapshot = (scheduler.failed_keys(), scheduler.completed_costs())
+        scheduler.abort()
+        after = (scheduler.failed_keys(), scheduler.completed_costs())
+        assert after == snapshot
+        assert scheduler.acquire(0, block=False) is None
+        assert scheduler.acquire(1, block=True) is None
+
+    def test_acquire_after_abort_returns_none_even_with_queued_work(self):
+        scheduler = WorkStealingScheduler(bundles_of([3]))
+        scheduler.abort()
+        assert scheduler.acquire(0) is None
+        assert scheduler.acquire(None, block=False) is None
+        assert scheduler.done()
+
+    def test_abort_wakes_a_blocked_acquire(self):
+        """The abort-during-acquire race: a worker blocked in a
+        SubtreeScheduler.acquire must observe the abort and drain out
+        instead of waiting forever."""
+        import threading
+
+        from repro.crawl.rebalance import SubtreeScheduler
+
+        scheduler = SubtreeScheduler(bundles_of([1]))
+        assert scheduler.acquire(0) is not None  # region now in flight
+        results = []
+
+        def blocked_worker():
+            results.append(scheduler.acquire(0, block=True))
+
+        worker = threading.Thread(target=blocked_worker)
+        worker.start()
+        # Wait until the worker is actually parked in the condition.
+        deadline = 50
+        while deadline and not scheduler._cond._waiters:  # noqa: SLF001
+            deadline -= 1
+            threading.Event().wait(0.01)
+        scheduler.abort()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive(), "abort did not wake the waiter"
+        assert results == [None]
+
+    def test_complete_region_after_abort_is_dropped(self):
+        from repro.crawl.rebalance import SubtreeScheduler
+
+        scheduler = SubtreeScheduler(bundles_of([1, 1]))
+        task = scheduler.acquire(0)
+
+        class _Plan:
+            shards = ()
+
+        completion = scheduler.publish(task, _Plan())
+        assert completion is not None  # zero-shard plan merges directly
+        scheduler.abort()
+        scheduler.complete_region(task.key, 99)  # written off: dropped
+        assert scheduler.completed_costs() == {}
+        assert task.key in scheduler.failed_keys()
+
+    def test_block_flag_is_accepted_by_the_one_level_scheduler(self):
+        scheduler = WorkStealingScheduler(bundles_of([1]))
+        task = scheduler.acquire(None, block=False)
+        assert task is not None
+        scheduler.complete(task, 1)
+        assert scheduler.acquire(None, block=False) is None

@@ -602,3 +602,98 @@ class TestSchedulerInterleavingProperty:
         total, count = scheduler.estimator.shard_observed(task.key)
         assert count == n
         assert total == sum(costs)
+
+
+class TestAdaptiveShardBudgets:
+    """Satellite: --shard-subtrees auto presplits only regions whose
+    estimated cost exceeds the fleet's fair share, and stays
+    byte-identical to the unsharded sequential reference on every
+    backend."""
+
+    AUTO_MATRIX = [
+        ("sequential", False),
+        ("thread", False),
+        ("thread", True),
+        ("async", True),
+        ("process", True),
+    ]
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return skewed_mixed_dataset()
+
+    @pytest.fixture(scope="class")
+    def plan(self, dataset):
+        return partition_space(dataset.space, SESSIONS)
+
+    @staticmethod
+    def sources(dataset):
+        return [TopKServer(dataset, k=24) for _ in range(SESSIONS)]
+
+    @pytest.fixture(scope="class")
+    def reference(self, dataset, plan):
+        return crawl_partitioned(self.sources(dataset), plan)
+
+    @pytest.fixture(scope="class")
+    def seeded_estimator(self, dataset, plan, reference):
+        """Observed per-region costs of a previous crawl of the plan."""
+
+        def build():
+            estimator = CostEstimator()
+            for session, results in enumerate(reference.results):
+                for index, result in enumerate(results):
+                    estimator.record((session, index), result.cost)
+            return estimator
+
+        return build
+
+    @pytest.mark.parametrize("name,rebalance", AUTO_MATRIX)
+    def test_auto_matches_unsharded_sequential(
+        self, name, rebalance, dataset, plan, reference, seeded_estimator
+    ):
+        executor = make_executor(name, max_workers=SESSIONS)
+        result = executor.run(
+            self.sources(dataset),
+            plan,
+            rebalance=rebalance,
+            shard_subtrees="auto",
+            estimator=seeded_estimator(),
+        )
+        assert result.rows == reference.rows
+        assert result.cost == reference.cost
+        assert result.progress == reference.progress
+        assert sorted(result.rows) == sorted(dataset.iter_rows())
+
+    def test_auto_presplits_the_heavy_region_only(
+        self, dataset, plan, reference, seeded_estimator
+    ):
+        """The skewed plan has one dominant region; the fair-share rule
+        must budget it (and only comparable heavyweights)."""
+        from repro.crawl.runtime import ShardPolicy
+
+        estimator = seeded_estimator()
+        policy = ShardPolicy.adaptive(plan, estimator, workers=SESSIONS)
+        costs = {
+            (session, index): result.cost
+            for session, results in enumerate(reference.results)
+            for index, result in enumerate(results)
+        }
+        fair = sum(costs.values()) / SESSIONS
+        assert set(policy.budgets) == {
+            key for key, cost in costs.items() if cost > fair
+        }
+        assert policy.sharded  # the heavy region busts its fair share
+
+    def test_auto_without_estimator_runs_whole_regions(
+        self, dataset, plan, reference
+    ):
+        """No knowledge, regions >= workers: auto spends no presplits
+        but still crawls identically."""
+        result = make_executor("thread", max_workers=SESSIONS).run(
+            self.sources(dataset),
+            plan,
+            rebalance=True,
+            shard_subtrees="auto",
+        )
+        assert result.rows == reference.rows
+        assert result.cost == reference.cost

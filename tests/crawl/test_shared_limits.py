@@ -515,3 +515,255 @@ class TestRewireValidation:
         assert rewired is not session
         inner = rewired._site._server
         assert isinstance(inner._limits[0], SharedBudget)
+
+
+class TestLeaseBatching:
+    """Tentpole: chunked admission through the plane stays exact."""
+
+    def test_chunked_admit_consumes_locally_and_flush_returns(
+        self, coordinator
+    ):
+        budget = QueryBudget(100)
+        stub = coordinator.share(budget)
+        stub.lease_chunk = 8
+        for _ in range(3):
+            stub.admit()
+        # One chunk charged upfront; the extra units are held locally.
+        assert stub.used == 8
+        stub.flush()
+        assert stub.used == 3  # unused units returned exactly
+        stub.flush()  # idempotent on an empty lease
+        assert stub.used == 3
+        coordinator.writeback()
+        assert budget.used == 3
+
+    def test_writeback_flushes_parent_held_leases(self, coordinator):
+        budget = QueryBudget(50)
+        stub = coordinator.share(budget)
+        stub.lease_chunk = 16
+        stub.admit()
+        coordinator.writeback()
+        assert budget.used == 1
+
+    def test_pickled_clone_starts_without_the_lease(self, coordinator):
+        budget = QueryBudget(100)
+        stub = coordinator.share(budget)
+        stub.lease_chunk = 5
+        stub.admit()  # stub now holds 4 unused units
+        clone = pickle.loads(pickle.dumps(stub))
+        assert clone.lease_chunk == 5
+        clone.admit()  # must lease afresh, not double-spend stub's
+        assert stub.used == 10
+        stub.flush()
+        clone.flush()
+        assert stub.used == 2
+
+    def test_exhaustion_via_chunked_leases_is_faithful(self, coordinator):
+        budget = QueryBudget(7)
+        stub = coordinator.share(budget)
+        stub.lease_chunk = 4
+        for _ in range(7):
+            stub.admit()
+        with pytest.raises(QueryBudgetExhausted) as excinfo:
+            stub.admit()
+        assert excinfo.value.issued == 7
+        assert stub.used == 7
+        coordinator.writeback()
+        assert budget.used == 7
+
+    def test_shared_stats_buffer_lands_on_flush(self, coordinator):
+        stats = QueryStats()
+        shared = coordinator.share(stats)
+        shared.begin_phase("traversal")
+        shared.record(QueryResponse(((1, 2),), False))
+        shared.record(QueryResponse((), True))
+        # Recordings buffer locally; a read flushes them first.
+        assert shared.queries == 2
+        assert shared.phase_costs == {"traversal": 2}
+        shared.record(QueryResponse(((3, 4),), False))
+        shared.end_phase()
+        shared.flush()
+        coordinator.writeback()
+        assert stats.queries == 3
+        assert stats.phase_costs == {"traversal": 3}
+        assert stats.round_trips > 0  # the plane's chatter, written back
+
+    def test_daily_limits_stay_per_query_under_a_budget_chunk(
+        self, coordinator
+    ):
+        """set_lease_chunk touches budgets only: clock-coupled limits
+        keep exact per-query admission."""
+        clock = SimulatedClock()
+        daily = DailyRateLimit(5, clock)
+        shared_daily = coordinator.share(daily)
+        budget_stub = coordinator.share(QueryBudget(50))
+        coordinator.set_lease_chunk(10)
+        assert budget_stub.lease_chunk == 10
+        assert shared_daily.lease_chunk == 1
+        shared_daily.admit()
+        assert shared_daily.used_today == 1
+
+    def test_set_lease_chunk_rejects_nonpositive(self, coordinator):
+        with pytest.raises(ValueError):
+            coordinator.set_lease_chunk(0)
+
+    def test_clamp_collapses_tight_budgets_to_per_query(self, coordinator):
+        """The conservative-admission guard: a chunk may never let the
+        fleet strand more than a quarter of the remaining budget, and a
+        tight budget degrades to exact per-query admission."""
+        coordinator.share(QueryBudget(12))
+        assert coordinator.clamp_lease_chunk(32, fleet=3) == 1
+        coordinator.share(QueryBudget(100_000))
+        # The tightest shared budget still governs.
+        assert coordinator.clamp_lease_chunk(32, fleet=3) == 1
+        with pytest.raises(ValueError):
+            coordinator.clamp_lease_chunk(32, fleet=0)
+
+    def test_clamp_leaves_roomy_budgets_alone(self):
+        with LimitCoordinator() as coordinator:
+            coordinator.share(QueryBudget(100_000))
+            assert coordinator.clamp_lease_chunk(32, fleet=4) == 32
+            # No budgets shared at all: nothing to clamp against.
+        with LimitCoordinator() as coordinator:
+            assert coordinator.clamp_lease_chunk(32, fleet=4) == 32
+
+
+class TestLeaseExactnessProperty:
+    """Satellite hypothesis property: for any interleaving of lease
+    sizes, demands and flush points, the charged cost is exact --
+    no over-admission ever, unused leases returned whenever no refusal
+    occurred, and a refused budget reading fully charged."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cap=st.integers(min_value=0, max_value=60),
+        clients=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=12),  # lease chunk
+                st.integers(min_value=0, max_value=25),  # demand
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # client index
+                st.booleans(),  # admit (True) or flush (False)
+            ),
+            max_size=120,
+        ),
+    )
+    def test_any_interleaving_charges_sequential_cost(
+        self, cap, clients, schedule
+    ):
+        from repro.crawl.coordinator import (
+            SharedBudget,
+            _ControlPlane,
+        )
+
+        plane = _ControlPlane()
+        budget = QueryBudget(cap)
+        handle = plane._add(budget)
+        stubs = [
+            SharedBudget(plane, handle, lease_chunk=chunk)
+            for chunk, _ in clients
+        ]
+        demands = [demand for _, demand in clients]
+        issued = [0] * len(clients)
+        refused = False
+        for index, is_admit in schedule:
+            if index >= len(stubs):
+                continue
+            stub = stubs[index]
+            if not is_admit:
+                stub.flush()
+                continue
+            if issued[index] >= demands[index]:
+                continue
+            try:
+                stub.admit()
+            except QueryBudgetExhausted as exc:
+                # A refusal reports the fully-charged budget.
+                assert exc.issued == cap
+                refused = True
+            else:
+                issued[index] += 1
+        for stub in stubs:
+            stub.flush()
+        total_issued = sum(issued)
+        # Never over-admitted, whatever the interleaving.
+        assert total_issued <= cap
+        if refused:
+            # Terminal exhaustion reads fully charged, exactly as
+            # per-query admission would have left it.
+            assert budget.used == cap
+        else:
+            # Every admitted query charged once, every unused leased
+            # unit returned: the exact sequential charge.
+            assert budget.used == total_issued
+
+
+class TestRoundTripReduction:
+    """Acceptance: lease batching cuts coordinator round trips >= 2x on
+    a limit-bearing plan, with byte-identical results and the exact
+    same charge."""
+
+    def crawl(self, dataset, plan, lease_chunk):
+        budget = QueryBudget(100_000)
+        sources = budgeted_sources(dataset, budget)
+        executor = ProcessExecutor(max_workers=2, lease_chunk=lease_chunk)
+        result = executor.run(sources, plan, shared_limits=True)
+        return result, budget.used, sources[0].stats.round_trips
+
+    def test_leased_crawl_is_identical_with_far_fewer_round_trips(
+        self, dataset, plan, reference
+    ):
+        expected, expected_charge = reference
+        per_query = self.crawl(dataset, plan, 1)
+        leased = self.crawl(dataset, plan, 16)
+        for result, charge, _ in (per_query, leased):
+            assert_identical(result, expected)
+            assert charge == expected_charge
+        assert per_query[2] > 0 and leased[2] > 0
+        assert leased[2] * 2 <= per_query[2], (
+            f"expected >= 2x fewer coordinator round trips with lease "
+            f"batching, got {per_query[2]} per-query vs {leased[2]} leased"
+        )
+
+    def test_auto_chunk_is_estimator_sized(self, dataset, plan):
+        from repro.crawl.coordinator import (
+            DEFAULT_LEASE_CHUNK,
+            MAX_LEASE_CHUNK,
+            lease_chunk_for_plan,
+        )
+
+        assert lease_chunk_for_plan(plan, None) == DEFAULT_LEASE_CHUNK
+        blank = CostEstimator()
+        assert lease_chunk_for_plan(plan, blank) == DEFAULT_LEASE_CHUNK
+        informed = CostEstimator(prior=24.0)
+        assert lease_chunk_for_plan(plan, informed) == 24
+        huge = CostEstimator(prior=100_000.0)
+        assert lease_chunk_for_plan(plan, huge) == MAX_LEASE_CHUNK
+
+    def test_round_trips_land_in_caller_stats(self, dataset, plan):
+        budget = QueryBudget(100_000)
+        sources = budgeted_sources(dataset, budget)
+        assert sources[0].stats.round_trips == 0
+        ProcessExecutor(max_workers=2).run(
+            sources, plan, shared_limits=True, rebalance=True
+        )
+        # Fleet-wide plane chatter written back into every stats object.
+        totals = {source.stats.round_trips for source in sources}
+        assert len(totals) == 1
+        assert totals.pop() > 0
+
+    def test_explicit_release_returns_the_prior_chunk(self, coordinator):
+        """Re-leasing over an undrained lease must not strand its
+        charged units: the prior chunk flows back first."""
+        budget = QueryBudget(100)
+        stub = coordinator.share(budget)
+        first = stub.lease(8)
+        assert first.take()
+        stub.lease(8)  # prior lease: 7 unused units released, not lost
+        stub.flush()
+        assert stub.used == 1

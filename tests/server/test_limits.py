@@ -70,3 +70,99 @@ class TestDailyRateLimit:
     def test_validates_per_day(self):
         with pytest.raises(ValueError):
             DailyRateLimit(0, SimulatedClock())
+
+
+class TestLeasing:
+    """LimitLease: chunked admission with exact give-back semantics."""
+
+    def test_budget_lease_charges_upfront_and_release_returns_unused(self):
+        from repro.server.limits import LimitLease
+
+        budget = QueryBudget(10)
+        lease = budget.lease(4)
+        assert isinstance(lease, LimitLease)
+        assert (lease.granted, lease.unused) == (4, 4)
+        assert budget.used == 4  # charged at lease time
+        assert lease.take() and lease.take()
+        assert lease.unused == 2
+        budget.release(lease)
+        assert budget.used == 2  # exactly the consumed units remain
+
+    def test_partial_grant_when_less_remains_than_requested(self):
+        budget = QueryBudget(3)
+        lease = budget.lease(8)
+        assert lease.granted == 3
+        assert budget.remaining == 0
+
+    def test_refused_lease_raises_with_budget_fully_charged(self):
+        budget = QueryBudget(2)
+        held = budget.lease(2)
+        with pytest.raises(QueryBudgetExhausted) as excinfo:
+            budget.lease(1)
+        assert excinfo.value.issued == 2
+        # Terminal exhaustion: releasing after a refusal is void, so
+        # the budget keeps reading fully charged -- the observable
+        # state per-query admission would have left behind.
+        budget.release(held)
+        assert budget.used == 2
+        assert budget.remaining == 0
+
+    def test_refill_reopens_a_refused_budget(self):
+        budget = QueryBudget(1)
+        budget.admit()
+        with pytest.raises(QueryBudgetExhausted):
+            budget.admit()
+        budget.refill(2)
+        lease = budget.lease(2)
+        assert lease.granted == 2
+        budget.release(lease)
+        assert budget.used == 1  # releases apply again after refill
+
+    def test_lease_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            QueryBudget(5).lease(0)
+
+    def test_default_lease_is_per_query(self):
+        """Limits without a chunk semantics degrade to admit()-per-call:
+        exact at any chunk size a client asks for."""
+        clock = SimulatedClock()
+        daily = DailyRateLimit(2, clock)
+        lease = daily.lease(10)  # base-class default
+        assert lease.granted == 1
+        assert daily.used_today == 1
+        daily.release(lease)  # no-op: the unit is consumed by contract
+        assert daily.used_today == 1
+
+    def test_take_runs_dry(self):
+        from repro.server.limits import LimitLease
+
+        lease = LimitLease(2)
+        assert lease.take() and lease.take()
+        assert not lease.take()
+        assert lease.unused == 0
+        assert "used=2" in repr(lease)
+
+    def test_release_is_idempotent(self):
+        budget = QueryBudget(10)
+        lease = budget.lease(4)
+        lease.take()
+        lease.take()
+        budget.release(lease)
+        budget.release(lease)  # a second release returns nothing twice
+        assert budget.used == 2
+        assert lease.unused == 0
+
+    def test_refused_flag_survives_the_state_round_trip(self):
+        exhausted = QueryBudget(2)
+        held = exhausted.lease(2)
+        with pytest.raises(QueryBudgetExhausted):
+            exhausted.lease(1)
+        clone = QueryBudget(2)
+        clone.restore_state(exhausted.state())
+        clone.release(held)  # still terminally refused: void
+        assert clone.used == 2
+        healthy = QueryBudget(5)
+        healthy.restore_state({"max_queries": 5, "used": 1})
+        lease = healthy.lease(2)
+        healthy.release(lease)  # legacy snapshot: not refused, applies
+        assert healthy.used == 1

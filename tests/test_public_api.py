@@ -58,6 +58,36 @@ class TestDocstrings:
                 ">>>" in doc or "::" in doc or "Examples" in doc
             ), f"{obj.__name__} lacks a usage example in its docstring"
 
+    def test_runtime_api_carries_usage_examples(self):
+        """The runtime core's public surface shows example usage too."""
+        from repro.crawl import (
+            AggregatorFeed,
+            GridSink,
+            LocalUnitRunner,
+            ShardPolicy,
+            UnitRunner,
+            drive_futures,
+            drive_session,
+            drive_stealing,
+        )
+        from repro.server import LimitLease
+
+        for obj in (
+            AggregatorFeed,
+            UnitRunner,
+            LocalUnitRunner,
+            GridSink,
+            ShardPolicy,
+            drive_session,
+            drive_stealing,
+            drive_futures,
+            LimitLease,
+        ):
+            doc = obj.__doc__ or ""
+            assert (
+                ">>>" in doc or "::" in doc or "Examples" in doc
+            ), f"{obj.__name__} lacks a usage example in its docstring"
+
 
 class TestExceptionHierarchy:
     def test_all_errors_derive_from_repro_error(self):

@@ -35,14 +35,21 @@ import shutil
 import sys
 from pathlib import Path
 
-#: Higher-is-better ratio metrics, by dotted path into the report dict,
-#: with the conditions under which a comparison is meaningful.
+#: Gated metrics, by dotted path into the report dict, with the
+#: conditions under which a comparison is meaningful.  ``direction``
+#: is ``"higher"`` (default; speedup ratios) or ``"lower"`` (counts
+#: where growth is the regression, e.g. coordinator round trips).
 METRICS: dict[str, dict] = {
     "process_over_thread": {"min_cpus": 2},
     "speedup_vs_sequential.thread": {"min_cpus": 2},
     "speedup_vs_sequential.process": {"min_cpus": 2},
     "speedup_vs_sequential.async": {"min_cpus": 2},
     "sharding_over_region_stealing": {},
+    # Shared-limit control-plane chatter: more round trips than the
+    # baseline means per-query admission crept back in.
+    "coordinator_round_trips": {"direction": "lower"},
+    # Lease batching's round-trip win over per-query admission.
+    "round_trip_reduction": {},
 }
 
 
@@ -74,6 +81,13 @@ def compare(
         measured = lookup(current, metric)
         if expected is None or measured is None:
             continue  # metric not in this report pair
+        if not isinstance(expected, (int, float)) or not isinstance(
+            measured, (int, float)
+        ):
+            # A nested breakdown under the metric's name (e.g. the
+            # lease report's per-mode round-trip counts); the gate
+            # compares only scalar summaries.
+            continue
         min_cpus = requirements.get("min_cpus", 1)
         if min(baseline_cpus, current_cpus) < min_cpus:
             notes.append(
@@ -81,13 +95,23 @@ def compare(
                 f"(baseline {baseline_cpus}, current {current_cpus})"
             )
             continue
-        floor = expected * (1 - tolerance)
-        verdict = "ok" if measured >= floor else "REGRESSION"
-        notes.append(
-            f"{verdict} {metric}: baseline {expected:.2f}x, "
-            f"current {measured:.2f}x (floor {floor:.2f}x)"
-        )
-        if measured < floor:
+        if requirements.get("direction", "higher") == "lower":
+            ceiling = expected * (1 + tolerance)
+            regressed = measured > ceiling
+            notes.append(
+                f"{'REGRESSION' if regressed else 'ok'} {metric}: "
+                f"baseline {expected:.2f}, current {measured:.2f} "
+                f"(ceiling {ceiling:.2f}, lower is better)"
+            )
+        else:
+            floor = expected * (1 - tolerance)
+            regressed = measured < floor
+            notes.append(
+                f"{'REGRESSION' if regressed else 'ok'} {metric}: "
+                f"baseline {expected:.2f}x, current {measured:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+        if regressed:
             regressions.append(metric)
     return regressions, notes
 
