@@ -16,6 +16,10 @@ out::
     python -m repro.crawl data.csv --k 256 --workers 4 \
         --executor process --shared-limits --budget 5000
     python -m repro.crawl data.csv --k 256 --workers 4 --progress-live
+    python -m repro.crawl data.csv --k 256 --workers 4 \
+        --checkpoint crawl.ckpt
+    python -m repro.crawl data.csv --k 256 --workers 4 \
+        --resume crawl.ckpt
 
 ``--workers N`` partitions the data space into ``N`` disjoint regions
 and crawls them concurrently, one session (with its own server
@@ -43,6 +47,17 @@ budget object and are unaffected.  ``--progress-live`` prints a
 line-per-session progress view (to stderr) while the crawl runs, with
 failed sessions marked distinctly.
 
+``--checkpoint PATH`` persists the crawl's progress to ``PATH`` as it
+runs (atomically rewritten at every region boundary with ``--workers >
+1``; the response cache on a single-session crawl, also saved when a
+budget runs out), and ``--resume PATH`` restarts a killed crawl from
+such a file: the finished prefix is restored without re-issuing a
+single query, and the final output is byte-identical to an
+uninterrupted run (see :mod:`repro.crawl.checkpoint`).  ``--resume``
+keeps checkpointing to the same file, so a crawl spread over many
+days -- the paper's per-IP quota regime -- survives any number of
+kills.
+
 This is a simulation utility: the CSV plays the role of the hidden
 content, and the reported cost is what a crawl of a real server with
 the same data would pay.
@@ -54,9 +69,16 @@ import argparse
 import functools
 import sys
 import threading
+from pathlib import Path
 
 from repro.crawl.base import ProgressAggregator, SessionState
 from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    load_crawl_checkpoint,
+    save_checkpoint,
+)
 from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.executors import EXECUTORS
 from repro.crawl.hybrid import Hybrid
@@ -72,6 +94,7 @@ from repro.exceptions import (
     QueryBudgetExhausted,
     ReproError,
 )
+from repro.server.client import CachingClient
 from repro.server.limits import QueryBudget
 from repro.server.server import TopKServer
 
@@ -179,6 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(in-process backends already share them; no-op there)",
     )
     parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="persist crawl progress to PATH while running (atomically "
+        "rewritten at every region boundary with --workers > 1, saved "
+        "on completion or budget exhaustion with --workers 1) so a "
+        "killed crawl can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume a killed crawl from a checkpoint written by "
+        "--checkpoint: the finished prefix costs zero queries and the "
+        "output is byte-identical to an uninterrupted run; progress "
+        "keeps checkpointing to the same file",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print the progressiveness curve (deciles)",
@@ -256,6 +297,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume is not None and not Path(args.resume).exists():
+        print(
+            f"error: --resume checkpoint {args.resume} does not exist "
+            "(start with --checkpoint to create one)",
+            file=sys.stderr,
+        )
+        return 2
+    # --resume keeps checkpointing to the same file unless --checkpoint
+    # points the writes somewhere else.
+    checkpoint_path = args.checkpoint or args.resume
     if args.workers == 1 and (
         args.executor != "thread"
         or args.rebalance
@@ -301,8 +352,30 @@ def main(argv: list[str] | None = None) -> int:
             server = TopKServer(
                 dataset, args.k, priority_seed=args.seed, limits=limits
             )
-            crawler = algorithm(server, max_queries=args.max_queries)
-            result = crawler.crawl()
+            if checkpoint_path is None:
+                source = server
+            else:
+                # Checkpointing a single session persists the response
+                # cache: a resumed crawl replays the finished prefix
+                # from the file instead of re-querying the server.
+                source = CachingClient(server)
+                if args.resume is not None:
+                    restored = load_checkpoint(source, args.resume)
+                    print(
+                        f"resumed from {args.resume}: {restored} cached "
+                        "responses restored",
+                        file=sys.stderr,
+                    )
+            crawler = algorithm(source, max_queries=args.max_queries)
+            try:
+                result = crawler.crawl()
+            except QueryBudgetExhausted:
+                # The cache already paid for these queries; keep them.
+                if checkpoint_path is not None:
+                    save_checkpoint(source, checkpoint_path)
+                raise
+            if checkpoint_path is not None:
+                save_checkpoint(source, checkpoint_path)
         else:
             plan = partition_space(
                 dataset.space, args.workers, max_regions=args.max_regions
@@ -313,6 +386,51 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 for _ in range(plan.sessions)
             ]
+            completed = {}
+            writer = None
+            if args.resume is not None:
+                checkpoint = load_crawl_checkpoint(
+                    args.resume, plan, args.k
+                )
+                completed = checkpoint.completed
+                if checkpoint.budget is not None and budget is not None:
+                    stored = checkpoint.budget
+                    # Same limit, not yet refused: the kill happened
+                    # mid-window, so the stored charge still counts
+                    # against this run's quota.  A different --budget
+                    # or an exhausted window is the paper's quota
+                    # *reset*: the user's limit stands untouched --
+                    # restoring the old counters here would resurrect
+                    # the exhausted window and refuse every query.
+                    same_window = (
+                        int(stored.get("max_queries", -1)) == args.budget
+                        and not stored.get("refused", False)
+                    )
+                    if same_window:
+                        budget.restore_state(stored)
+                    else:
+                        print(
+                            f"budget window reset: {args.budget} fresh "
+                            "queries (the checkpointed charge belonged "
+                            "to the previous window)",
+                            file=sys.stderr,
+                        )
+                print(
+                    f"resumed from {args.resume}: {len(completed)} of "
+                    f"{len(plan.regions)} regions restored",
+                    file=sys.stderr,
+                )
+            if checkpoint_path is not None:
+                writer = CheckpointWriter(
+                    checkpoint_path,
+                    plan,
+                    args.k,
+                    budget=budget,
+                    completed=completed,
+                )
+                # Seed the file now, so a kill before the first region
+                # boundary still leaves a loadable (empty) checkpoint.
+                writer.write()
             aggregator = None
             monitor = stop = None
             if args.progress_live:
@@ -339,6 +457,10 @@ def main(argv: list[str] | None = None) -> int:
                     shard_subtrees=args.shard_subtrees,
                     shared_limits=args.shared_limits,
                     aggregator=aggregator,
+                    completed=completed,
+                    on_region=(
+                        writer.region_done if writer is not None else None
+                    ),
                 )
             finally:
                 if monitor is not None:
@@ -375,6 +497,12 @@ def main(argv: list[str] | None = None) -> int:
             f"budget exhausted: {exc} ({used} queries charged)",
             file=sys.stderr,
         )
+        if checkpoint_path is not None:
+            print(
+                f"progress checkpointed to {checkpoint_path}; continue "
+                f"with --resume {checkpoint_path} once the limit resets",
+                file=sys.stderr,
+            )
         return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -323,21 +323,22 @@ class _ControlPlane:
             return events
 
 
-def _make_worksteal_scheduler(bundles, estimator_state):
+def _make_worksteal_scheduler(bundles, estimator_state, completed=None):
     # Manager-side factory: rebuild the caller's estimator knowledge
     # from its export_state() snapshot (the object itself holds a lock
-    # and cannot travel).
+    # and cannot travel).  ``completed`` maps a resumed crawl's
+    # already-finished plan positions to their exact costs.
     from repro.crawl.rebalance import WorkStealingScheduler
 
     estimator = CostEstimator(**estimator_state) if estimator_state else None
-    return WorkStealingScheduler(bundles, estimator)
+    return WorkStealingScheduler(bundles, estimator, completed)
 
 
-def _make_subtree_scheduler(bundles, estimator_state):
+def _make_subtree_scheduler(bundles, estimator_state, completed=None):
     from repro.crawl.rebalance import SubtreeScheduler
 
     estimator = CostEstimator(**estimator_state) if estimator_state else None
-    return SubtreeScheduler(bundles, estimator)
+    return SubtreeScheduler(bundles, estimator, completed)
 
 
 class _CoordinatorManager(BaseManager):
@@ -868,6 +869,7 @@ class LimitCoordinator:
         estimator: CostEstimator | None = None,
         *,
         subtree: bool = False,
+        completed=None,
     ):
         """A coordinator-hosted scheduler proxy for worker-pull loops.
 
@@ -879,9 +881,13 @@ class LimitCoordinator:
         with exact observed-cost accounting.  ``estimator`` knowledge
         travels via :meth:`CostEstimator.export_state`; fold the
         results back with the scheduler's ``completed_costs()``.
+        ``completed`` maps a resumed crawl's already-finished plan
+        positions to their costs -- never queued, but seeded into the
+        scheduler's estimator.
         """
         state = estimator.export_state() if estimator is not None else None
         bundles = [list(bundle) for bundle in bundles]
+        completed = dict(completed) if completed else None
         if subtree:
-            return self._manager.SubtreeScheduler(bundles, state)
-        return self._manager.WorkStealingScheduler(bundles, state)
+            return self._manager.SubtreeScheduler(bundles, state, completed)
+        return self._manager.WorkStealingScheduler(bundles, state, completed)

@@ -100,9 +100,9 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-from repro.crawl.base import Crawler, ProgressAggregator
+from repro.crawl.base import Crawler, CrawlResult, ProgressAggregator
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.partition import (
     PartitionedResult,
@@ -110,7 +110,12 @@ from repro.crawl.partition import (
     _check_sources,
     _merge_session_results,
 )
-from repro.crawl.rebalance import CostEstimator, RegionTask, ShardTask
+from repro.crawl.rebalance import (
+    CostEstimator,
+    RegionKey,
+    RegionTask,
+    ShardTask,
+)
 from repro.crawl.runtime import (
     AggregatorFeed,
     BatchSink,
@@ -122,6 +127,7 @@ from repro.crawl.runtime import (
     drive_stealing,
     steal_setup,
 )
+from repro.exceptions import SchemaError, WorkerDeparted
 
 __all__ = [
     "CrawlExecutor",
@@ -143,6 +149,18 @@ def default_workers(sessions: int) -> int:
     absurd plans.
     """
     return max(1, min(sessions, 4 * (os.cpu_count() or 1)))
+
+
+def _completed_costs(
+    completed: Mapping[RegionKey, CrawlResult],
+) -> dict[RegionKey, int]:
+    """Exact per-region costs of a resumed crawl's pre-filed results.
+
+    What the schedulers need from a checkpoint: the keys are excluded
+    from the queues, the costs seed the stealing estimator with truth
+    instead of priors.
+    """
+    return {key: result.cost for key, result in completed.items()}
 
 
 class CrawlExecutor(abc.ABC):
@@ -215,6 +233,8 @@ class CrawlExecutor(abc.ABC):
         estimator: CostEstimator | None = None,
         shard_subtrees: int | str | None = None,
         shared_limits: bool = False,
+        completed: Mapping[RegionKey, CrawlResult] | None = None,
+        on_region: Callable[[RegionKey, CrawlResult], None] | None = None,
     ) -> PartitionedResult:
         """Crawl every region of ``plan`` and merge deterministically.
 
@@ -268,11 +288,22 @@ class CrawlExecutor(abc.ABC):
             behaviour: the in-process backends already share those
             objects by reference, so the flag is an exact no-op there
             (accepted for CLI uniformity).
+        completed:
+            Already-crawled results keyed by plan position -- a resumed
+            crawl's checkpoint.  They are pre-filed into the grid and
+            never re-crawled (zero queries re-issued), and their exact
+            costs seed the rebalancing estimator.
+        on_region:
+            Callback fired (thread-safely, from whichever worker files
+            the region) for every *newly* completed region -- the
+            checkpoint-writer seam.  Pre-filed ``completed`` entries do
+            not fire it.
 
         Raises
         ------
         SchemaError
-            If ``sources`` does not match ``plan.sessions``.
+            If ``sources`` does not match ``plan.sessions``, or a
+            ``completed`` key lies outside the plan.
         QueryBudgetExhausted
             When a limit fires and ``allow_partial`` is ``False`` (the
             exception of the lowest failing plan position, after every
@@ -284,6 +315,16 @@ class CrawlExecutor(abc.ABC):
                 f"aggregator tracks {aggregator.sessions} sessions but "
                 f"the plan has {plan.sessions}"
             )
+        completed = dict(completed or {})
+        for session, index in completed:
+            if not (
+                0 <= session < plan.sessions
+                and 0 <= index < len(plan.bundles[session])
+            ):
+                raise SchemaError(
+                    f"completed region ({session}, {index}) lies outside "
+                    f"the plan"
+                )
         policy = ShardPolicy.resolve(
             shard_subtrees,
             plan,
@@ -291,7 +332,7 @@ class CrawlExecutor(abc.ABC):
             self._policy_fleet(plan, rebalance),
         )
         feed = AggregatorFeed(aggregator, plan)
-        sink = GridSink(plan, feed)
+        sink = GridSink(plan, feed, completed, on_region)
         self._execute(
             sources,
             plan,
@@ -302,6 +343,7 @@ class CrawlExecutor(abc.ABC):
             estimator,
             policy,
             shared_limits,
+            completed,
         )
         if sink.failures:
             sink.failures.sort(key=lambda failure: failure[0])
@@ -322,6 +364,7 @@ class CrawlExecutor(abc.ABC):
         estimator: CostEstimator | None,
         policy: ShardPolicy | None,
         shared_limits: bool,
+        completed: Mapping[RegionKey, CrawlResult],
     ) -> None:
         """Spawn workers and point them at the runtime's drive loops."""
 
@@ -356,13 +399,15 @@ class SequentialExecutor(CrawlExecutor):
         estimator,
         policy,
         shared_limits,
+        completed,
     ):
         runner = LocalUnitRunner(
             sources, crawler_factory, allow_partial, feed=sink.feed
         )
+        skip = frozenset(completed)
         for session in range(plan.sessions):
             ok = drive_session(
-                session, plan.bundles[session], runner, sink, policy
+                session, plan.bundles[session], runner, sink, policy, skip
             )
             if not ok:
                 # Stopping at the first failure abandons the remaining
@@ -382,6 +427,14 @@ class ThreadExecutor(CrawlExecutor):
     :func:`~repro.crawl.runtime.drive_stealing` loop (worker ``j``
     calls session ``j % sessions`` home).  Sources are shared by
     reference, so limits and stats are exact without any coordination.
+
+    The rebalanced pool is *elastic*: a worker whose loop departs
+    (:class:`~repro.exceptions.WorkerDeparted`) has already re-queued
+    its in-flight unit, and the parent submits a replacement worker in
+    its place; a worker that dies outside the loop's own unit handling
+    aborts the scheduler (so surviving workers run dry instead of
+    blocking forever on a shard that will never land) and ranks its
+    failure after every real region failure.
     """
 
     name = "thread"
@@ -397,12 +450,14 @@ class ThreadExecutor(CrawlExecutor):
         estimator,
         policy,
         shared_limits,
+        completed,
     ):
         runner = LocalUnitRunner(
             sources, crawler_factory, allow_partial, feed=sink.feed
         )
         if not rebalance:
             workers = self._workers(plan.sessions)
+            skip = frozenset(completed)
             with ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="crawl-session"
             ) as pool:
@@ -414,19 +469,29 @@ class ThreadExecutor(CrawlExecutor):
                         runner,
                         sink,
                         policy,
+                        skip,
                     )
                     for session in range(plan.sessions)
                 ]
                 for task in tasks:
                     task.result()
             return
-        scheduler, upper = steal_setup(plan, estimator, policy)
+        scheduler, upper = steal_setup(
+            plan, estimator, policy, _completed_costs(completed)
+        )
         workers = self._workers(upper)
+        # An injected departure fault may fire on every unit; cap the
+        # replacement submissions so a pathological runner cannot spin
+        # the pool forever.  Each real unit can cost at most a few
+        # departures before some worker survives long enough to run it.
+        max_spawns = 4 * (workers + scheduler.total_tasks)
+        aborted = False
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="crawl-steal"
         ) as pool:
-            tasks = [
-                pool.submit(
+
+            def spawn(worker: int):
+                return pool.submit(
                     drive_stealing,
                     scheduler,
                     worker % plan.sessions,
@@ -434,10 +499,55 @@ class ThreadExecutor(CrawlExecutor):
                     sink,
                     policy,
                 )
-                for worker in range(workers)
-            ]
-            for task in tasks:
-                task.result()
+
+            pending = {spawn(worker) for worker in range(workers)}
+            spawned = workers
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        ran_dry = future.result()
+                    except Exception as exc:  # noqa: BLE001 - see run()
+                        # A hard failure outside the loop's own unit
+                        # handling: abort so siblings blocked on a live
+                        # region's condition run dry, and rank this
+                        # failure after every real region failure.
+                        scheduler.abort()
+                        aborted = True
+                        sink.file_batch(
+                            [],
+                            [((plan.sessions, 0), exc)],
+                            update_feed=False,
+                        )
+                        continue
+                    if ran_dry or aborted:
+                        continue
+                    if spawned < max_spawns:
+                        pending.add(spawn(spawned))
+                        spawned += 1
+                    elif not pending:
+                        # Every worker departed and the replacement
+                        # budget is spent: abort so the failure is loud
+                        # instead of a half-filled grid.
+                        scheduler.abort()
+                        aborted = True
+                        sink.file_batch(
+                            [],
+                            [
+                                (
+                                    (plan.sessions, 0),
+                                    WorkerDeparted(
+                                        "every replacement worker "
+                                        "departed; giving up after "
+                                        f"{spawned} spawns"
+                                    ),
+                                )
+                            ],
+                            update_feed=False,
+                        )
+        if aborted:
+            for session in range(plan.sessions):
+                sink.feed.cancelled(session)
 
 
 # ----------------------------------------------------------------------
@@ -479,10 +589,18 @@ def _worker_runner(allow_partial: bool) -> LocalUnitRunner:
     )
 
 
-def _pool_session(session: int, bundle, allow_partial: bool, policy):
+def _pool_session(
+    session: int,
+    bundle,
+    allow_partial: bool,
+    policy,
+    skip: frozenset = frozenset(),
+):
     """Wire form of :func:`~repro.crawl.runtime.drive_session`."""
     sink = BatchSink()
-    drive_session(session, bundle, _worker_runner(allow_partial), sink, policy)
+    drive_session(
+        session, bundle, _worker_runner(allow_partial), sink, policy, skip
+    )
     return sink.batch
 
 
@@ -529,12 +647,18 @@ def _pool_steal(
     completions and failures are additionally pushed to the control
     plane as compact progress events for the parent's live aggregator
     feed.
+
+    Returns ``(results, failures, drained)``; ``drained=False`` means
+    the worker *departed* mid-crawl (its in-flight unit is already back
+    on the shared queue, its leases flushed) and the parent should
+    submit a replacement to keep the fleet at strength.
     """
     sink = BatchSink(plane)
-    drive_stealing(
+    drained = drive_stealing(
         scheduler, home_session, _worker_runner(allow_partial), sink, policy
     )
-    return sink.batch
+    results, failures = sink.batch
+    return results, failures, drained
 
 
 class ProcessExecutor(CrawlExecutor):
@@ -625,6 +749,7 @@ class ProcessExecutor(CrawlExecutor):
         estimator,
         policy,
         shared_limits,
+        completed,
     ):
         if shared_limits:
             self._execute_shared(
@@ -636,6 +761,7 @@ class ProcessExecutor(CrawlExecutor):
                 rebalance,
                 estimator,
                 policy,
+                completed,
             )
             return
         payload = self._payload(sources, crawler_factory)
@@ -655,9 +781,12 @@ class ProcessExecutor(CrawlExecutor):
                     allow_partial,
                     estimator,
                     policy,
+                    completed,
                 )
             else:
-                self._drain_static(pool, plan, sink, allow_partial, policy)
+                self._drain_static(
+                    pool, plan, sink, allow_partial, policy, completed
+                )
 
     @staticmethod
     def _pool_upper(plan, rebalance, policy) -> int:
@@ -679,6 +808,7 @@ class ProcessExecutor(CrawlExecutor):
         rebalance,
         estimator,
         policy,
+        completed,
     ):
         """The shared-limit mode: one authoritative copy of every limit.
 
@@ -731,16 +861,20 @@ class ProcessExecutor(CrawlExecutor):
                             estimator,
                             policy,
                             coordinator,
+                            completed,
                         )
                     else:
                         self._drain_static(
-                            pool, plan, sink, allow_partial, policy
+                            pool, plan, sink, allow_partial, policy, completed
                         )
             finally:
                 coordinator.writeback()
 
-    def _drain_static(self, pool, plan, sink, allow_partial, policy):
+    def _drain_static(
+        self, pool, plan, sink, allow_partial, policy, completed
+    ):
         """One pool task per session, each a worker-side session loop."""
+        skip = frozenset(completed)
         tasks = {
             pool.submit(
                 _pool_session,
@@ -748,6 +882,7 @@ class ProcessExecutor(CrawlExecutor):
                 plan.bundles[session],
                 allow_partial,
                 policy,
+                skip,
             ): session
             for session in range(plan.sessions)
         }
@@ -768,16 +903,28 @@ class ProcessExecutor(CrawlExecutor):
             sink.file_batch(results, failures)
 
     def _drain_rebalanced(
-        self, pool, workers, plan, sink, allow_partial, estimator, policy
+        self,
+        pool,
+        workers,
+        plan,
+        sink,
+        allow_partial,
+        estimator,
+        policy,
+        completed,
     ):
         """Parent-side futures dispatch over the per-copy pool.
 
         The pool workers cannot see the parent's scheduler, so the
         parent runs :func:`~repro.crawl.runtime.drive_futures`: it is
         the only dispatcher, acquiring units non-blockingly and
-        shipping each to the pool as its own future.
+        shipping each to the pool as its own future.  A unit raising
+        :class:`~repro.exceptions.WorkerDeparted` is re-queued by the
+        dispatcher and re-submitted to a surviving pool slot.
         """
-        scheduler, _ = steal_setup(plan, estimator, policy)
+        scheduler, _ = steal_setup(
+            plan, estimator, policy, _completed_costs(completed)
+        )
 
         def submit(task, budget):
             if isinstance(task, ShardTask):
@@ -818,6 +965,7 @@ class ProcessExecutor(CrawlExecutor):
         estimator,
         policy,
         coordinator,
+        completed,
     ):
         """Worker-pull dispatch over a coordinator-hosted scheduler.
 
@@ -828,19 +976,24 @@ class ProcessExecutor(CrawlExecutor):
         feedback cross process boundaries without a parent round trip
         per task.  The parent meanwhile relays the workers' progress
         events into the aggregator feed and collects each worker's
-        result batch as its loop drains.
+        result batch as its loop drains.  The fleet is *elastic*: a
+        worker whose loop departed (``drained=False``) already
+        re-queued its unit and flushed its leases, and the parent
+        submits a replacement pull loop in its place.
         """
         scheduler = coordinator.make_scheduler(
             plan.bundles,
             estimator,
             subtree=policy is not None and policy.sharded,
+            completed=_completed_costs(completed),
         )
         # Per-region progress events exist only for a live aggregator
         # view; without one, streaming them would be pure control-plane
         # chatter (one round trip per region for nobody to read).
         plane = coordinator.plane if sink.feed.active else None
-        pending = {
-            pool.submit(
+
+        def spawn(worker: int):
+            return pool.submit(
                 _pool_steal,
                 scheduler,
                 plane,
@@ -848,8 +1001,12 @@ class ProcessExecutor(CrawlExecutor):
                 allow_partial,
                 policy,
             )
-            for worker in range(workers)
-        }
+
+        pending = {spawn(worker) for worker in range(workers)}
+        spawned = workers
+        # Replacement budget; mirrors the thread backend's elastic cap.
+        total_regions = sum(len(b) for b in plan.bundles) - len(completed)
+        max_spawns = 4 * (workers + max(1, total_regions))
         aborted = False
         while pending:
             done, pending = wait(
@@ -858,7 +1015,7 @@ class ProcessExecutor(CrawlExecutor):
             self._relay_events(coordinator, sink.feed)
             for future in done:
                 try:
-                    results, worker_failures = future.result()
+                    results, worker_failures, drained = future.result()
                 except Exception as exc:  # noqa: BLE001 - re-raised by run()
                     # A worker loop died outside its per-task handling
                     # (e.g. the process was killed).  Its in-flight
@@ -872,6 +1029,27 @@ class ProcessExecutor(CrawlExecutor):
                     )
                     continue
                 sink.file_batch(results, worker_failures, update_feed=False)
+                if drained or aborted:
+                    continue
+                if spawned < max_spawns:
+                    pending.add(spawn(spawned))
+                    spawned += 1
+                elif not pending:
+                    scheduler.abort()
+                    aborted = True
+                    sink.file_batch(
+                        [],
+                        [
+                            (
+                                (plan.sessions, 0),
+                                WorkerDeparted(
+                                    "every replacement worker departed; "
+                                    f"giving up after {spawned} spawns"
+                                ),
+                            )
+                        ],
+                        update_feed=False,
+                    )
         self._relay_events(coordinator, sink.feed)
         if aborted:
             for session in range(plan.sessions):
@@ -968,6 +1146,7 @@ class AsyncExecutor(CrawlExecutor):
         estimator,
         policy,
         shared_limits,
+        completed,
     ):
         asyncio.run(
             self._amain(
@@ -979,6 +1158,7 @@ class AsyncExecutor(CrawlExecutor):
                 rebalance,
                 estimator,
                 policy,
+                completed,
             )
         )
 
@@ -992,6 +1172,7 @@ class AsyncExecutor(CrawlExecutor):
         rebalance,
         estimator,
         policy,
+        completed,
     ):
         loop = asyncio.get_running_loop()
         bridged = [_bridge_source(source, loop) for source in sources]
@@ -1004,21 +1185,48 @@ class AsyncExecutor(CrawlExecutor):
         # session loops blocking in _LoopBridge.run while occupying
         # every default-pool slot would deadlock the crawl.
         if rebalance:
-            scheduler, upper = steal_setup(plan, estimator, policy)
+            scheduler, upper = steal_setup(
+                plan, estimator, policy, _completed_costs(completed)
+            )
             workers = self._workers(upper)
-            jobs = [
-                functools.partial(
-                    drive_stealing,
-                    scheduler,
-                    worker % plan.sessions,
-                    runner,
-                    sink,
-                    policy,
+            rejoin_cap = 4 * (workers + scheduler.total_tasks)
+
+            def drive_elastic(home_session: int) -> None:
+                # A departed worker's thread is still a perfectly good
+                # pool slot, so elasticity here is a rejoin: re-enter
+                # the loop (the departed iteration already re-queued
+                # its unit).  Past the cap, abort *before* giving up so
+                # sibling loops run dry instead of deadlocking the
+                # gather, and rank the failure after every real one.
+                for _ in range(rejoin_cap):
+                    if drive_stealing(
+                        scheduler, home_session, runner, sink, policy
+                    ):
+                        return
+                scheduler.abort()
+                sink.file_batch(
+                    [],
+                    [
+                        (
+                            (plan.sessions, 0),
+                            WorkerDeparted(
+                                f"worker of session {home_session} "
+                                f"departed {rejoin_cap} times; giving up"
+                            ),
+                        )
+                    ],
+                    update_feed=False,
                 )
+                for session in range(plan.sessions):
+                    sink.feed.cancelled(session)
+
+            jobs = [
+                functools.partial(drive_elastic, worker % plan.sessions)
                 for worker in range(workers)
             ]
         else:
             workers = self._workers(plan.sessions)
+            skip = frozenset(completed)
             jobs = [
                 functools.partial(
                     drive_session,
@@ -1027,6 +1235,7 @@ class AsyncExecutor(CrawlExecutor):
                     runner,
                     sink,
                     policy,
+                    skip,
                 )
                 for session in range(plan.sessions)
             ]

@@ -50,6 +50,8 @@ def crawl_partitioned_parallel(
     estimator: CostEstimator | None = None,
     shard_subtrees: int | str | None = None,
     shared_limits: bool = False,
+    completed=None,
+    on_region=None,
 ) -> PartitionedResult:
     """Crawl every region of ``plan``, sessions running concurrently.
 
@@ -104,6 +106,15 @@ def crawl_partitioned_parallel(
         exact fleet-wide counts after the crawl.  A no-op on the
         in-process backends, which already share those objects by
         reference.
+    completed:
+        Already-crawled results keyed by plan position (a resumed
+        crawl's :class:`~repro.crawl.checkpoint.CrawlCheckpoint`
+        ``completed`` map): pre-filed into the merge, never re-crawled.
+    on_region:
+        Callback fired for every newly completed region -- typically a
+        :class:`~repro.crawl.checkpoint.CheckpointWriter`'s
+        ``region_done``, so the checkpoint advances at every region
+        boundary.
 
     Raises
     ------
@@ -144,4 +155,6 @@ def crawl_partitioned_parallel(
         estimator=estimator,
         shard_subtrees=shard_subtrees,
         shared_limits=shared_limits,
+        completed=completed,
+        on_region=on_region,
     )

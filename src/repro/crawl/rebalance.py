@@ -35,6 +35,14 @@ the :class:`CostEstimator` (:meth:`CostEstimator.record_shard`), so the
 "costliest live region" signal sharpens as the region progresses.  The
 same invariants hold one level down: each shard is handed out at most
 once, filed at its canonical position, and merged deterministically.
+
+Both schedulers are *elastic*: a worker that leaves a running crawl
+(:class:`~repro.exceptions.WorkerDeparted`) hands its acquired region
+or shard back via ``requeue()`` -- the unit returns to the front of its
+home queue, any surviving or newly joined worker picks it up, and the
+exactly-once accounting is untouched.  Both also accept a ``completed``
+map of pre-crawled region costs (a resumed crawl's checkpoint), which
+enter the books as done without ever being enqueued.
 """
 
 from __future__ import annotations
@@ -284,20 +292,35 @@ class WorkStealingScheduler:
     #: regions -- still the right coarse signal.
     _REFRESH_LIMIT = 512
 
-    def __init__(self, bundles, estimator: CostEstimator | None = None):
+    def __init__(
+        self,
+        bundles,
+        estimator: CostEstimator | None = None,
+        completed: Mapping[RegionKey, int] | None = None,
+    ):
         self.estimator = (
             estimator if estimator is not None else CostEstimator()
         )
+        # Resume support: regions already crawled (e.g. restored from a
+        # CrawlCheckpoint) are never enqueued -- they enter the books as
+        # completed with their exact recorded costs, and the estimator
+        # learns them up front so the first stealing decisions of the
+        # resumed crawl start from measured reality.
+        self._completed: dict[RegionKey, int] = {
+            key: int(cost) for key, cost in dict(completed or {}).items()
+        }
+        for key, cost in self._completed.items():
+            self.estimator.record(key, cost)
         self._queues: list[deque[RegionTask]] = [
             deque(
                 RegionTask(session, index, region)
                 for index, region in enumerate(bundle)
+                if (session, index) not in self._completed
             )
             for session, bundle in enumerate(bundles)
         ]
         self._total = sum(len(q) for q in self._queues)
         self._in_flight: dict[RegionKey, int | None] = {}
-        self._completed: dict[RegionKey, int] = {}
         self._failed: set[RegionKey] = set()
         self._aborted = False
         self._steals: list[tuple[RegionKey, int | None]] = []
@@ -321,7 +344,7 @@ class WorkStealingScheduler:
 
     @property
     def total_tasks(self) -> int:
-        """Number of regions the scheduler was built with."""
+        """Number of schedulable regions (pre-completed ones excluded)."""
         return self._total
 
     def acquire(
@@ -417,6 +440,47 @@ class WorkStealingScheduler:
                 return
             del self._in_flight[task.key]
             self._failed.add(task.key)
+
+    def requeue(self, task: RegionTask) -> bool:
+        """Return an in-flight region to the *front* of its home queue.
+
+        The departed-worker contract: when a worker leaves a running
+        crawl (:class:`~repro.exceptions.WorkerDeparted`), its acquired
+        unit goes back to the scheduler instead of failing the session
+        -- any surviving (or newly joined) worker picks it up next, and
+        the crawl completes with full parity.  The task returns to the
+        front of its own session's queue so plan order is preserved for
+        that session's next acquirer.  Returns ``False`` (and drops the
+        task silently) when an abort already wrote the task off; raises
+        :class:`~repro.exceptions.AlgorithmInvariantError` if the task
+        was never in flight -- only an acquirer may hand work back.
+
+        Examples
+        --------
+        ::
+
+            task = scheduler.acquire(0)
+            scheduler.requeue(task)            # the worker departed
+            assert scheduler.acquire(0) == task  # another worker resumes
+        """
+        with self._lock:
+            return self._requeue_locked(task)
+
+    def _requeue_locked(self, task: RegionTask) -> bool:
+        # Caller holds self._lock.
+        if task.key not in self._in_flight:
+            if self._aborted:
+                return False
+            raise AlgorithmInvariantError(
+                f"region {task.key} is not in flight; only its acquirer "
+                "may requeue it"
+            )
+        del self._in_flight[task.key]
+        self._queues[task.session].appendleft(task)
+        value = self.estimator.estimate(task.key)
+        self._cached_estimate[task.key] = value
+        self._queued_cost[task.session] += value
+        return True
 
     def _check_in_flight(self, task: RegionTask) -> bool:
         # Caller holds self._lock.  Returns False when the task should
@@ -571,8 +635,13 @@ class SubtreeScheduler(WorkStealingScheduler):
     non-blocking poll (the process backend's parent-side dispatcher).
     """
 
-    def __init__(self, bundles, estimator: CostEstimator | None = None):
-        super().__init__(bundles, estimator)
+    def __init__(
+        self,
+        bundles,
+        estimator: CostEstimator | None = None,
+        completed: Mapping[RegionKey, int] | None = None,
+    ):
+        super().__init__(bundles, estimator, completed)
         self._cond = threading.Condition(self._lock)
         self._live: dict[RegionKey, _LiveRegion] = {}
         self._merging: set[RegionKey] = set()
@@ -782,6 +851,45 @@ class SubtreeScheduler(WorkStealingScheduler):
             self._merging.discard(key)
             self._failed.add(key)
             self._cond.notify_all()
+
+    def requeue(self, task) -> bool:
+        """Hand a departed worker's region *or shard* back to the queue.
+
+        A region (pre-presplit) returns to the front of its home queue
+        exactly as in the base class.  A shard returns to the front of
+        its live region's pending deque, so the next acquirer resumes
+        the region where the departed worker left it.  Either way,
+        waiters blocked in :meth:`acquire` are notified -- requeued work
+        is new work.  A shard of a region a sibling failure already
+        wrote off is drained silently (``False``), mirroring
+        :meth:`fail`'s drain semantics.
+        """
+        if not isinstance(task, ShardTask):
+            with self._cond:
+                requeued = self._requeue_locked(task)
+                if requeued:
+                    self._cond.notify_all()
+                return requeued
+        with self._cond:
+            live = self._live.get(task.key)
+            if live is None:
+                if self._aborted:
+                    return False
+                raise AlgorithmInvariantError(
+                    f"shard {task.shard.order} of region {task.key} is "
+                    "not in flight; only its acquirer may requeue it"
+                )
+            live.in_flight -= 1
+            if live.failed:
+                # A sibling shard already failed the whole region; the
+                # returned shard drains like a late completion would.
+                if live.in_flight == 0 and not live.pending:
+                    del self._live[task.key]
+                self._cond.notify_all()
+                return False
+            live.pending.appendleft(task)
+            self._cond.notify_all()
+            return True
 
     def abort(self) -> None:
         """Discard all unfinished work and wake every blocked worker.

@@ -83,6 +83,7 @@ from repro.crawl.sharding import (
     merge_region_shards,
     presplit_region,
 )
+from repro.exceptions import WorkerDeparted
 
 __all__ = [
     "AggregatorFeed",
@@ -399,21 +400,39 @@ class GridSink(ResultSink):
         drive_session(0, plan.bundles[0], runner, sink)
         sink.grid[0][0]      # the region's CrawlResult
         sink.failures        # [] on success
+
+    ``completed`` pre-files already-crawled results (a resumed crawl's
+    checkpoint) into the grid -- they advance the progress totals but
+    never fire ``on_region``, which is the checkpoint-writer callback
+    invoked (thread-safely, by whichever worker files the region) for
+    every *newly* completed region.
     """
 
-    def __init__(self, plan: PartitionPlan, feed: AggregatorFeed):
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        feed: AggregatorFeed,
+        completed: Mapping[RegionKey, CrawlResult] | None = None,
+        on_region: Callable[[RegionKey, CrawlResult], None] | None = None,
+    ):
         self.grid: list[list[CrawlResult | None]] = [
             [None] * len(bundle) for bundle in plan.bundles
         ]
         self.failures: list[Failure] = []
         self.feed = feed
+        self._on_region = on_region
         self._lock = threading.Lock()
+        for (session, index), result in sorted((completed or {}).items()):
+            self.grid[session][index] = result
+            self.feed.region_finished(session, index, result)
 
     def region_done(self, key: RegionKey, result: CrawlResult) -> None:
         """File the result and advance the session's progress totals."""
         session, index = key
         self.grid[session][index] = result
         self.feed.region_finished(session, index, result)
+        if self._on_region is not None:
+            self._on_region(key, result)
 
     def region_failed(
         self, key: RegionKey, session: int, exc: Exception
@@ -656,6 +675,7 @@ def drive_session(
     runner: UnitRunner,
     sink: ResultSink,
     policy: ShardPolicy | None = None,
+    skip: frozenset[RegionKey] = frozenset(),
 ) -> bool:
     """Static dispatch: crawl one session's regions in plan order.
 
@@ -664,7 +684,9 @@ def drive_session(
     reports whether the whole bundle succeeded.  With a
     :class:`ShardPolicy`, budgeted regions go through the sharded unit
     of work (presplit, shards in canonical order, merge) -- same
-    result, same failure semantics.
+    result, same failure semantics.  ``skip`` holds plan positions a
+    resumed crawl already completed (pre-filed into the sink by the
+    executor); they are never re-crawled.
 
     Examples
     --------
@@ -677,6 +699,8 @@ def drive_session(
             )
     """
     for index, region in enumerate(bundle):
+        if (session, index) in skip:
+            continue
         task = RegionTask(session, index, region)
         if not _run_whole_region(task, runner, sink, policy):
             return False
@@ -733,7 +757,7 @@ def drive_stealing(
     runner: UnitRunner,
     sink: ResultSink,
     policy: ShardPolicy | None = None,
-) -> None:
+) -> bool:
     """One worker's work-stealing drive loop, any transport.
 
     Drains the scheduler until it runs dry: acquire the next unit
@@ -744,6 +768,17 @@ def drive_stealing(
     merge-on-last-shard / fail).  Whichever worker lands a region's
     last shard performs the deterministic merge and files the result at
     the region's plan position.
+
+    Returns ``True`` when the loop ran the scheduler dry, ``False``
+    when the worker *departed* mid-crawl: a unit that raises
+    :class:`~repro.exceptions.WorkerDeparted` is re-queued on the
+    scheduler (:meth:`~repro.crawl.rebalance.WorkStealingScheduler.
+    requeue`) for the surviving fleet, and the loop returns so the
+    transport can ship the worker's completed batch home.  Either way
+    ``runner.drained()`` runs in a ``finally``, so unreturned
+    :class:`~repro.server.limits.LimitLease` headroom and buffered
+    stats always flush back to the control plane -- budget accounting
+    stays exact on every exit path, including hard failures.
 
     The exact same function is the thread backend's worker loop, the
     async backend's per-thread loop over bridged sources, and the
@@ -760,37 +795,49 @@ def drive_stealing(
                        sink=sink)
         assert scheduler.done()
     """
-    while True:
-        task = scheduler.acquire(home_session)
-        if task is None:
-            runner.drained()
-            return
-        if isinstance(task, ShardTask):
+    try:
+        while True:
+            task = scheduler.acquire(home_session)
+            if task is None:
+                return True
+            if isinstance(task, ShardTask):
+                try:
+                    payload = runner.shard(task)
+                except WorkerDeparted:
+                    scheduler.requeue(task)
+                    return False
+                except Exception as exc:  # noqa: BLE001 - re-raised by run()
+                    scheduler.fail(task)
+                    sink.region_failed(task.key, task.session, exc)
+                    runner.region_boundary()
+                    continue
+                if _transition(
+                    scheduler, task, payload, sink, presplit=False
+                ):
+                    runner.region_boundary()
+                continue
+            budget = (
+                policy.budget_for(task.key) if policy is not None else None
+            )
             try:
-                payload = runner.shard(task)
+                if budget is None:
+                    payload = runner.region(task)
+                else:
+                    payload = runner.presplit(task, budget)
+            except WorkerDeparted:
+                scheduler.requeue(task)
+                return False
             except Exception as exc:  # noqa: BLE001 - re-raised by run()
                 scheduler.fail(task)
                 sink.region_failed(task.key, task.session, exc)
                 runner.region_boundary()
                 continue
-            if _transition(scheduler, task, payload, sink, presplit=False):
+            if _transition(
+                scheduler, task, payload, sink, presplit=budget is not None
+            ):
                 runner.region_boundary()
-            continue
-        budget = policy.budget_for(task.key) if policy is not None else None
-        try:
-            if budget is None:
-                payload = runner.region(task)
-            else:
-                payload = runner.presplit(task, budget)
-        except Exception as exc:  # noqa: BLE001 - re-raised by run()
-            scheduler.fail(task)
-            sink.region_failed(task.key, task.session, exc)
-            runner.region_boundary()
-            continue
-        if _transition(
-            scheduler, task, payload, sink, presplit=budget is not None
-        ):
-            runner.region_boundary()
+    finally:
+        runner.drained()
 
 
 def drive_futures(
@@ -845,6 +892,11 @@ def drive_futures(
             task = in_flight.pop(future)
             try:
                 payload = future.result()
+            except WorkerDeparted:
+                # The worker is gone, not the unit: put it back on the
+                # queue and let the refill below re-dispatch it to a
+                # surviving pool slot.
+                scheduler.requeue(task)
             except Exception as exc:  # noqa: BLE001 - re-raised by run()
                 scheduler.fail(task)
                 sink.region_failed(task.key, task.session, exc)
@@ -863,6 +915,7 @@ def steal_setup(
     plan: PartitionPlan,
     estimator: CostEstimator | None,
     policy: ShardPolicy | None,
+    completed: Mapping[RegionKey, int] | None = None,
 ) -> tuple[WorkStealingScheduler, int]:
     """Build the right scheduler for a rebalanced run.
 
@@ -874,12 +927,15 @@ def steal_setup(
     :class:`~repro.crawl.rebalance.WorkStealingScheduler`.  The one
     place that decides between one- and two-level stealing, so the
     transports cannot drift apart in how they wire the loops.
+    ``completed`` maps a resumed crawl's already-finished plan
+    positions to their costs; the scheduler never queues them but
+    seeds its estimator from their true costs.
     """
     if policy is not None and policy.sharded:
         scheduler: WorkStealingScheduler = SubtreeScheduler(
-            plan.bundles, estimator
+            plan.bundles, estimator, completed
         )
         upper = max(1, scheduler.total_tasks, policy.max_budget)
         return scheduler, upper
-    scheduler = WorkStealingScheduler(plan.bundles, estimator)
+    scheduler = WorkStealingScheduler(plan.bundles, estimator, completed)
     return scheduler, max(1, scheduler.total_tasks)

@@ -13,6 +13,9 @@ still distinguishing the interesting cases:
 * :class:`AlgorithmInvariantError` -- an internal sanity check failed
   (for instance, a crawler exceeded its configured ``max_queries``); this
   always indicates a bug, never a property of the input.
+* :class:`WorkerDeparted` -- a fleet worker left a running crawl; its
+  in-flight work is re-queued, never lost (see
+  :mod:`repro.crawl.rebalance`).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ __all__ = [
     "InfeasibleCrawlError",
     "QueryBudgetExhausted",
     "AlgorithmInvariantError",
+    "WorkerDeparted",
     "WebProtocolError",
 ]
 
@@ -91,6 +95,20 @@ class AlgorithmInvariantError(ReproError, AssertionError):
     Theorem 1 upper bounds; exceeding the cap means the implementation no
     longer enjoys its proven guarantee, and we fail loudly rather than
     loop.
+    """
+
+
+class WorkerDeparted(ReproError, RuntimeError):
+    """A fleet worker left a running crawl (shutdown, preemption, kill).
+
+    Raised *through* a worker's unit of work -- e.g. by a query source
+    whose identity was revoked, or injected by a fault-tolerance
+    harness -- to signal that the worker is gone, not that the unit is
+    bad.  The drive loops react by re-queueing the in-flight unit on
+    the scheduler (:meth:`~repro.crawl.rebalance.WorkStealingScheduler.
+    requeue`) and flushing the worker's unreturned lease headroom, so a
+    departure costs wall-clock time only -- the crawl still completes
+    with full sequential parity and exact budget accounting.
     """
 
 

@@ -381,3 +381,190 @@ class TestLiveProgressRendering:
         aggregator = ProgressAggregator(1)
         aggregator.mark_cancelled(0)
         assert "CANCELLED" in render_live_progress(aggregator)
+
+
+class TestCheckpointResume:
+    """--checkpoint / --resume: kill a crawl, restart it for free."""
+
+    def test_parser_defaults_and_paths(self, mixed_csv):
+        path, _ = mixed_csv
+        args = build_parser().parse_args([path, "--k", "8"])
+        assert args.checkpoint is None
+        assert args.resume is None
+        args = build_parser().parse_args(
+            [path, "--k", "8", "--checkpoint", "c.json", "--resume", "r.json"]
+        )
+        assert args.checkpoint == "c.json"
+        assert args.resume == "r.json"
+
+    def test_resume_missing_file_exits_2(self, mixed_csv, tmp_path, capsys):
+        path, _ = mixed_csv
+        missing = tmp_path / "missing.json"
+        assert main([path, "--k", "8", "--resume", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert str(missing) in err
+        assert "start with --checkpoint to create one" in err
+
+    def test_single_worker_exhaust_then_resume(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        path, _ = mixed_csv
+        ckpt = tmp_path / "crawl.json"
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--budget",
+                    "5",
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 4
+        )
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert f"progress checkpointed to {ckpt}" in err
+        assert f"continue with --resume {ckpt}" in err
+        assert ckpt.exists()
+        assert main([path, "--k", "8", "--resume", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert (
+            f"resumed from {ckpt}: 5 cached responses restored"
+            in captured.err
+        )
+        assert "complete" in captured.out
+
+    def test_multi_worker_checkpoint_then_resume_is_identical(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        path, _ = mixed_csv
+        ckpt = tmp_path / "crawl.json"
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        assert (
+            main([path, "--k", "8", "--workers", "2", "--resume", str(ckpt)])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "regions restored" in captured.err
+        # Every region came back from the file, none were re-crawled...
+        import json
+
+        payload = json.loads(ckpt.read_text())
+        regions = len(payload["completed"])
+        assert f"{regions} of {regions} regions restored" in captured.err
+        # ...and the reported crawl is byte-identical to the first run.
+        first_crawl = [
+            line for line in first.splitlines() if line.startswith("crawl:")
+        ]
+        second_crawl = [
+            line
+            for line in captured.out.splitlines()
+            if line.startswith("crawl:")
+        ]
+        assert first_crawl == second_crawl
+        assert "complete" in captured.out
+
+    def test_multi_worker_exhaustion_hints_resume(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        path, _ = mixed_csv
+        ckpt = tmp_path / "crawl.json"
+        assert (
+            main(
+                [
+                    path,
+                    "--k",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--budget",
+                    "3",
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 4
+        )
+        err = capsys.readouterr().err
+        assert f"continue with --resume {ckpt}" in err
+        # A kill before the first boundary still leaves a loadable file.
+        assert ckpt.exists()
+
+    def test_budget_window_reset_completes_across_runs(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        # The paper's quota regime: a per-identity limit that resets
+        # between runs.  Re-running with the same --budget must treat
+        # an exhausted checkpoint as a fresh window (not resurrect the
+        # refused one) so the crawl eventually completes.
+        path, _ = mixed_csv
+        ckpt = tmp_path / "crawl.json"
+        argv = [
+            path,
+            "--k",
+            "8",
+            "--workers",
+            "2",
+            "--budget",
+            "12",
+            "--checkpoint",
+            str(ckpt),
+        ]
+        assert main(argv) == 4
+        capsys.readouterr()
+        resume_argv = argv[:-2] + ["--resume", str(ckpt)]
+        saw_reset = False
+        for _ in range(20):
+            code = main(resume_argv)
+            captured = capsys.readouterr()
+            saw_reset = saw_reset or "budget window reset" in captured.err
+            if code == 0:
+                break
+            assert code == 4
+        assert code == 0
+        assert saw_reset
+        assert "complete" in captured.out
+
+    def test_same_window_restores_budget_charge(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        # A kill *without* exhaustion (same limit, refused never set)
+        # continues the same quota window: the stored charge counts.
+        path, _ = mixed_csv
+        ckpt = tmp_path / "crawl.json"
+        argv = [
+            path,
+            "--k",
+            "8",
+            "--workers",
+            "2",
+            "--budget",
+            "1000",
+            "--checkpoint",
+            str(ckpt),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv[:-2] + ["--resume", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert "budget window reset" not in captured.err
+        assert "regions restored" in captured.err
+        assert "complete" in captured.out

@@ -50,6 +50,10 @@ METRICS: dict[str, dict] = {
     "coordinator_round_trips": {"direction": "lower"},
     # Lease batching's round-trip win over per-query admission.
     "round_trip_reduction": {},
+    # Queries a resume from a complete checkpoint re-issues; the
+    # baseline is 0 and any growth means resume re-crawls finished
+    # regions.
+    "reissued_on_resume": {"direction": "lower"},
 }
 
 
