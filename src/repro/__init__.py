@@ -34,6 +34,7 @@ from repro.crawl import (
     Crawler,
     CrawlExecutor,
     CrawlResult,
+    CrawlSpec,
     DependencyFilteringClient,
     DepthFirstSearch,
     Hybrid,
@@ -95,6 +96,7 @@ __all__ = [
     "CrawlResult",
     "CostEstimator",
     "CrawlExecutor",
+    "CrawlSpec",
     "DependencyFilteringClient",
     "DepthFirstSearch",
     "Hybrid",

@@ -35,6 +35,7 @@ from repro.crawl.coordinator import (
     SharedDailyLimit,
     SharedLimitClient,
     SharedStats,
+    TenantLimitRegistry,
 )
 from repro.crawl.dependency import (
     DependencyFilteringClient,
@@ -86,6 +87,7 @@ from repro.crawl.runtime import (
     drive_futures,
     drive_session,
     drive_stealing,
+    run_region,
 )
 from repro.crawl.sampling import RandomProber
 from repro.crawl.sharding import (
@@ -99,6 +101,7 @@ from repro.crawl.sharding import (
     presplit_region,
 )
 from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.spec import ALGORITHMS, CrawlSpec, spec_from_args
 from repro.crawl.verify import (
     VerificationReport,
     assert_complete,
@@ -120,12 +123,16 @@ __all__ = [
     "AsyncExecutor",
     "EXECUTORS",
     "make_executor",
+    "ALGORITHMS",
+    "CrawlSpec",
+    "spec_from_args",
     "LimitCoordinator",
     "SharedLimitClient",
     "SharedBudget",
     "SharedDailyLimit",
     "SharedClock",
     "SharedStats",
+    "TenantLimitRegistry",
     "CostEstimator",
     "RegionTask",
     "ShardTask",
@@ -139,6 +146,7 @@ __all__ = [
     "GridSink",
     "BatchSink",
     "ShardPolicy",
+    "run_region",
     "drive_session",
     "drive_stealing",
     "drive_futures",

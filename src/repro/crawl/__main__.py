@@ -66,27 +66,22 @@ the same data would pay.
 from __future__ import annotations
 
 import argparse
-import functools
 import sys
 import threading
 from pathlib import Path
 
 from repro.crawl.base import ProgressAggregator, SessionState
-from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.checkpoint import (
     CheckpointWriter,
     load_checkpoint,
     load_crawl_checkpoint,
     save_checkpoint,
 )
-from repro.crawl.dfs import DepthFirstSearch
 from repro.crawl.executors import EXECUTORS
-from repro.crawl.hybrid import Hybrid
 from repro.crawl.parallel import crawl_partitioned_parallel
 from repro.crawl.partition import DEFAULT_MAX_REGIONS, partition_space
-from repro.crawl.rank_shrink import RankShrink
 from repro.crawl.sharding import DEFAULT_MAX_SHARDS
-from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.crawl.spec import ALGORITHMS, spec_from_args
 from repro.crawl.verify import verify_complete
 from repro.datasets.io import load_csv, save_csv
 from repro.exceptions import (
@@ -97,15 +92,6 @@ from repro.exceptions import (
 from repro.server.client import CachingClient
 from repro.server.limits import QueryBudget
 from repro.server.server import TopKServer
-
-ALGORITHMS = {
-    "hybrid": Hybrid,
-    "rank-shrink": RankShrink,
-    "binary-shrink": BinaryShrink,
-    "dfs": DepthFirstSearch,
-    "slice-cover": SliceCover,
-    "lazy-slice-cover": LazySliceCover,
-}
 
 
 def _shard_subtrees_value(value: str):
@@ -442,26 +428,19 @@ def main(argv: list[str] | None = None) -> int:
                     daemon=True,
                 )
                 monitor.start()
+            # One flag->spec mapping, shared with repro-serve: the
+            # parser's namespace becomes the spec's backend + run
+            # halves; only the run-scoped extras (live aggregator,
+            # resume prefix, checkpoint seam) are grafted on here.
+            spec = spec_from_args(args).replace(
+                aggregator=aggregator,
+                completed=completed,
+                on_region=(
+                    writer.region_done if writer is not None else None
+                ),
+            )
             try:
-                merged = crawl_partitioned_parallel(
-                    sources,
-                    plan,
-                    max_workers=args.workers,
-                    # functools.partial (not a lambda) so the factory is
-                    # picklable for the process backend.
-                    crawler_factory=functools.partial(
-                        algorithm, max_queries=args.max_queries
-                    ),
-                    executor=args.executor,
-                    rebalance=args.rebalance,
-                    shard_subtrees=args.shard_subtrees,
-                    shared_limits=args.shared_limits,
-                    aggregator=aggregator,
-                    completed=completed,
-                    on_region=(
-                        writer.region_done if writer is not None else None
-                    ),
-                )
+                merged = crawl_partitioned_parallel(sources, plan, spec=spec)
             finally:
                 if monitor is not None:
                     stop.set()

@@ -59,6 +59,10 @@ __all__ = [
     "save_crawl_checkpoint",
     "load_crawl_checkpoint",
     "CheckpointWriter",
+    "encode_result",
+    "decode_result",
+    "plan_signature",
+    "space_signature",
 ]
 
 _FORMAT_VERSION = 2
@@ -123,7 +127,8 @@ def _load_payload(path: Path, expected_kind: str) -> dict:
     return payload
 
 
-def _space_signature(space: DataSpace) -> list[str]:
+def space_signature(space: DataSpace) -> list[str]:
+    """The JSON-able identity of a data space (one string per attribute)."""
     return [str(attr) for attr in space]
 
 
@@ -168,7 +173,7 @@ def save_checkpoint(client: CachingClient, path: str | Path) -> Path:
     payload = {
         "version": _FORMAT_VERSION,
         "kind": "cache",
-        "space": _space_signature(client.space),
+        "space": space_signature(client.space),
         "k": client.k,
         "entries": entries,
     }
@@ -193,10 +198,10 @@ def load_checkpoint(client: CachingClient, path: str | Path) -> int:
     """
     path = Path(path)
     payload = _load_payload(path, "cache")
-    if payload["space"] != _space_signature(client.space):
+    if payload["space"] != space_signature(client.space):
         raise SchemaError(
             "checkpoint was taken against a different data space: "
-            f"{payload['space']} vs {_space_signature(client.space)}"
+            f"{payload['space']} vs {space_signature(client.space)}"
         )
     if payload["k"] != client.k:
         raise SchemaError(
@@ -219,7 +224,8 @@ def load_checkpoint(client: CachingClient, path: str | Path) -> int:
 # ----------------------------------------------------------------------
 # Runtime checkpoints: completed regions + budget counters
 # ----------------------------------------------------------------------
-def _encode_result(result: CrawlResult) -> dict:
+def encode_result(result: CrawlResult) -> dict:
+    """One region result as a JSON-able dict (rows, cost, progress...)."""
     return {
         "algorithm": result.algorithm,
         "rows": [list(row) for row in result.rows],
@@ -230,7 +236,8 @@ def _encode_result(result: CrawlResult) -> dict:
     }
 
 
-def _decode_result(entry: dict, space: DataSpace) -> CrawlResult:
+def decode_result(entry: dict, space: DataSpace) -> CrawlResult:
+    """Inverse of :func:`encode_result`, rebinding ``space``."""
     return CrawlResult(
         algorithm=str(entry["algorithm"]),
         space=space,
@@ -247,7 +254,8 @@ def _decode_result(entry: dict, space: DataSpace) -> CrawlResult:
     )
 
 
-def _plan_signature(plan: PartitionPlan) -> dict:
+def plan_signature(plan: PartitionPlan) -> dict:
+    """The JSON-able identity of a partition plan (attribute + regions)."""
     return {
         "attribute": plan.attribute,
         "bundles": [
@@ -293,14 +301,14 @@ def save_crawl_checkpoint(
     payload = {
         "version": _FORMAT_VERSION,
         "kind": "runtime",
-        "space": _space_signature(plan.space),
+        "space": space_signature(plan.space),
         "k": int(k),
-        "plan": _plan_signature(plan),
+        "plan": plan_signature(plan),
         "completed": [
             {
                 "session": session,
                 "index": index,
-                "result": _encode_result(result),
+                "result": encode_result(result),
             }
             for (session, index), result in sorted(completed.items())
         ],
@@ -325,17 +333,17 @@ def load_crawl_checkpoint(
     """
     path = Path(path)
     payload = _load_payload(path, "runtime")
-    if payload["space"] != _space_signature(plan.space):
+    if payload["space"] != space_signature(plan.space):
         raise SchemaError(
             "runtime checkpoint was taken against a different data "
-            f"space: {payload['space']} vs {_space_signature(plan.space)}"
+            f"space: {payload['space']} vs {space_signature(plan.space)}"
         )
     if payload["k"] != int(k):
         raise SchemaError(
             f"runtime checkpoint was taken at k={payload['k']}, the "
             f"resume requests k={k}; results would be inconsistent"
         )
-    if payload["plan"] != _plan_signature(plan):
+    if payload["plan"] != plan_signature(plan):
         raise SchemaError(
             "runtime checkpoint was taken for a different partition "
             "plan (sessions, regions or split attribute differ); its "
@@ -352,7 +360,7 @@ def load_crawl_checkpoint(
                 f"runtime checkpoint entry ({session}, {index}) lies "
                 "outside the plan"
             )
-        completed[(session, index)] = _decode_result(
+        completed[(session, index)] = decode_result(
             entry["result"], plan.space
         )
     return CrawlCheckpoint(completed=completed, budget=payload["budget"])
@@ -375,7 +383,8 @@ class CheckpointWriter:
     ::
 
         writer = CheckpointWriter(path, plan, k=64, budget=budget)
-        executor.run(sources, plan, on_region=writer.region_done)
+        spec = CrawlSpec(on_region=writer.region_done)
+        executor.run(sources, plan, spec)
     """
 
     def __init__(

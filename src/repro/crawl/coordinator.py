@@ -111,6 +111,7 @@ __all__ = [
     "SharedDailyLimit",
     "SharedClock",
     "SharedStats",
+    "TenantLimitRegistry",
     "lease_chunk_for_plan",
 ]
 
@@ -148,6 +149,187 @@ def lease_chunk_for_plan(plan, estimator: CostEstimator | None) -> int:
         return DEFAULT_LEASE_CHUNK
     mean = sum(estimator.estimate(key) for key in keys) / len(keys)
     return max(1, min(MAX_LEASE_CHUNK, round(mean)))
+
+
+class TenantLimitRegistry:
+    """Per-tenant admission limits, one authoritative set per tenant.
+
+    The multi-tenant counterpart of the paper's interface limits: every
+    tenant of the job service gets its *own*
+    :class:`~repro.server.limits.QueryBudget` and (optionally)
+    :class:`~repro.server.limits.DailyRateLimit`, so one tenant
+    exhausting a quota can never refuse another tenant's queries.  The
+    registry owns the objects; every source serving a tenant's jobs
+    references the same instances, which is what makes per-tenant
+    charges exact across however many jobs and workers the tenant runs
+    at once (the limits' own locks serialise admission).
+
+    On an in-process fleet the objects are shared by reference; for a
+    process fleet, :meth:`share` rehosts a tenant's limits on a
+    :class:`LimitCoordinator` so admission stays exactly-once across
+    the pool -- same objects, same registry bookkeeping.
+
+    Examples
+    --------
+    Two tenants, separate budgets, zero cross-tenant admission::
+
+        registry = TenantLimitRegistry()
+        registry.register("acme", budget=500)
+        registry.register("umbrella", budget=80, per_day=40)
+        server = TopKServer(
+            dataset, k, limits=registry.limits("acme")
+        )
+    """
+
+    def __init__(self, *, clock: SimulatedClock | None = None):
+        self._lock = threading.Lock()
+        self._clock = clock if clock is not None else SimulatedClock()
+        self._budgets: dict[str, QueryBudget] = {}
+        self._dailies: dict[str, DailyRateLimit] = {}
+        self._quotas: dict[str, tuple[int | None, int | None]] = {}
+
+    @property
+    def clock(self) -> SimulatedClock:
+        """The one simulated clock every tenant's daily quota ticks on."""
+        return self._clock
+
+    def register(
+        self,
+        tenant: str,
+        *,
+        budget: int | None = None,
+        per_day: int | None = None,
+    ) -> None:
+        """Create ``tenant``'s limits (idempotent for equal quotas).
+
+        ``budget`` caps the tenant's total queries across all of its
+        jobs; ``per_day`` its daily quota on the registry clock; either
+        may be ``None`` for unlimited.  Re-registering with the same
+        quotas is a no-op (a restarted server re-declares its tenants);
+        different quotas raise :class:`ValueError` -- changing a live
+        tenant's quota mid-flight would corrupt its exact charge.
+        """
+        if budget is not None and budget < 1:
+            raise ValueError(f"budget must be positive, got {budget}")
+        if per_day is not None and per_day < 1:
+            raise ValueError(f"per_day must be positive, got {per_day}")
+        with self._lock:
+            quota = (budget, per_day)
+            existing = self._quotas.get(tenant)
+            if existing is not None:
+                if existing != quota:
+                    raise ValueError(
+                        f"tenant {tenant!r} is already registered with "
+                        f"quota {existing}, not {quota}"
+                    )
+                return
+            self._quotas[tenant] = quota
+            if budget is not None:
+                self._budgets[tenant] = QueryBudget(budget)
+            if per_day is not None:
+                self._dailies[tenant] = DailyRateLimit(
+                    per_day, self._clock
+                )
+
+    def _known(self, tenant: str) -> None:
+        if tenant not in self._quotas:
+            known = ", ".join(sorted(self._quotas)) or "(none)"
+            raise KeyError(
+                f"unknown tenant {tenant!r}; registered: {known}"
+            )
+
+    def tenants(self) -> list[str]:
+        """Registered tenant names, sorted."""
+        with self._lock:
+            return sorted(self._quotas)
+
+    def limits(self, tenant: str) -> list[QueryLimit]:
+        """The tenant's limit objects, for a server's ``limits=``.
+
+        Always the same instances for the same tenant -- hand them to
+        every source that serves the tenant's jobs and the charges add
+        up in one place.
+        """
+        with self._lock:
+            self._known(tenant)
+            limits: list[QueryLimit] = []
+            if tenant in self._budgets:
+                limits.append(self._budgets[tenant])
+            if tenant in self._dailies:
+                limits.append(self._dailies[tenant])
+            return limits
+
+    def budget(self, tenant: str) -> QueryBudget | None:
+        """The tenant's budget object (``None`` if unlimited)."""
+        with self._lock:
+            self._known(tenant)
+            return self._budgets.get(tenant)
+
+    def charges(self) -> dict[str, dict]:
+        """Every tenant's exact charge so far, as ``state()`` snapshots.
+
+        ``{tenant: {"budget": state | None, "daily": state | None}}`` --
+        JSON-able, which is how the job service persists per-tenant
+        admission state across a server death.
+        """
+        with self._lock:
+            return {
+                tenant: {
+                    "budget": (
+                        self._budgets[tenant].state()
+                        if tenant in self._budgets
+                        else None
+                    ),
+                    "daily": (
+                        self._dailies[tenant].state()
+                        if tenant in self._dailies
+                        else None
+                    ),
+                }
+                for tenant in self._quotas
+            }
+
+    def restore(self, tenant: str, charge: dict) -> bool:
+        """Restore a tenant's persisted charge (same-window semantics).
+
+        A stored budget charge counts only while it belongs to the
+        *same admission window*: the stored ``max_queries`` still
+        matches the registered quota and the window was not already
+        refused.  A changed quota or an exhausted window is the quota
+        *reset* -- the fresh limits stand untouched, exactly the CLI's
+        ``--resume`` contract.  Returns whether anything was restored.
+        """
+        with self._lock:
+            self._known(tenant)
+            quota_budget, quota_daily = self._quotas[tenant]
+            restored = False
+            stored = charge.get("budget")
+            budget = self._budgets.get(tenant)
+            if stored is not None and budget is not None:
+                same_window = int(
+                    stored.get("max_queries", -1)
+                ) == quota_budget and not stored.get("refused", False)
+                if same_window:
+                    budget.restore_state(stored)
+                    restored = True
+            stored = charge.get("daily")
+            daily = self._dailies.get(tenant)
+            if stored is not None and daily is not None:
+                if int(stored.get("per_day", -1)) == quota_daily:
+                    daily.restore_state(stored)
+                    restored = True
+            return restored
+
+    def share(self, tenant: str, coordinator: "LimitCoordinator") -> list:
+        """The tenant's limits as coordinator-hosted shared stubs.
+
+        For process fleets: each limit object is rehosted on
+        ``coordinator`` (identity-memoised, so repeated calls return
+        the same stubs) and admission happens in the coordinator
+        process; ``coordinator.writeback()`` lands the exact charges
+        back in the registry's objects.
+        """
+        return [coordinator.share(limit) for limit in self.limits(tenant)]
 
 
 class _ControlPlane:

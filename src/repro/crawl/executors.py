@@ -94,6 +94,7 @@ import asyncio
 import functools
 import os
 import pickle
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -102,8 +103,7 @@ from concurrent.futures import (
 )
 from typing import Callable, Mapping, Sequence
 
-from repro.crawl.base import Crawler, CrawlResult, ProgressAggregator
-from repro.crawl.hybrid import Hybrid
+from repro.crawl.base import Crawler, CrawlResult
 from repro.crawl.partition import (
     PartitionedResult,
     PartitionPlan,
@@ -127,6 +127,7 @@ from repro.crawl.runtime import (
     drive_stealing,
     steal_setup,
 )
+from repro.crawl.spec import CrawlSpec
 from repro.exceptions import SchemaError, WorkerDeparted
 
 __all__ = [
@@ -177,14 +178,17 @@ class CrawlExecutor(abc.ABC):
     Pick a backend by registry name and crawl a plan; whatever backend
     runs, the merged result is byte-identical::
 
-        from repro import TopKServer, make_executor, partition_space
+        from repro import CrawlSpec, TopKServer, make_executor
+        from repro import partition_space
 
         plan = partition_space(dataset.space, 4)
         sources = [TopKServer(dataset, k=64) for _ in range(4)]
-        executor = make_executor("process", max_workers=4)
-        merged = executor.run(
-            sources, plan, rebalance=True, shard_subtrees=8
+        spec = CrawlSpec(
+            executor="process", max_workers=4,
+            rebalance=True, shard_subtrees=8,
         )
+        executor = make_executor(spec=spec)
+        merged = executor.run(sources, plan, spec)
         assert merged.complete
     """
 
@@ -221,20 +225,48 @@ class CrawlExecutor(abc.ABC):
             max(1, sum(len(bundle) for bundle in plan.bundles))
         )
 
+    def _resolve_spec(
+        self, spec: CrawlSpec | None, legacy: dict
+    ) -> CrawlSpec:
+        """The run configuration: a spec, or legacy kwargs shimmed."""
+        if legacy:
+            if spec is not None:
+                raise TypeError(
+                    "pass either spec= or legacy keyword arguments, "
+                    "not both"
+                )
+            unknown = set(legacy) - CrawlSpec.RUN_FIELDS
+            if unknown:
+                raise TypeError(
+                    "run() got unexpected keyword arguments: "
+                    f"{sorted(unknown)}"
+                )
+            warnings.warn(
+                "passing crawl configuration as individual keyword "
+                "arguments to CrawlExecutor.run() is deprecated; build "
+                "a repro.crawl.spec.CrawlSpec and call "
+                "run(sources, plan, spec)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            spec = CrawlSpec(**legacy)
+        if spec is None:
+            spec = CrawlSpec()
+        if spec.executor is not None and spec.executor != self.name:
+            raise ValueError(
+                f"spec names executor {spec.executor!r} but run() was "
+                f"called on the {self.name!r} backend; build the "
+                "executor with make_executor(spec=spec) so they cannot "
+                "disagree"
+            )
+        return spec
+
     def run(
         self,
         sources: Sequence,
         plan: PartitionPlan,
-        *,
-        crawler_factory: Callable[..., Crawler] = Hybrid,
-        allow_partial: bool = False,
-        aggregator: ProgressAggregator | None = None,
-        rebalance: bool = False,
-        estimator: CostEstimator | None = None,
-        shard_subtrees: int | str | None = None,
-        shared_limits: bool = False,
-        completed: Mapping[RegionKey, CrawlResult] | None = None,
-        on_region: Callable[[RegionKey, CrawlResult], None] | None = None,
+        spec: CrawlSpec | None = None,
+        **legacy,
     ) -> PartitionedResult:
         """Crawl every region of ``plan`` and merge deterministically.
 
@@ -245,59 +277,24 @@ class CrawlExecutor(abc.ABC):
             :func:`~repro.crawl.partition.crawl_partitioned`.
         plan:
             The partition plan; the unit of scheduling is one region
-            (or, with ``shard_subtrees``, one subtree shard of one).
-        crawler_factory:
-            Crawler class (or factory) applied to each region's
-            :class:`~repro.crawl.partition.SubspaceView`.  The process
-            backend additionally requires it to be picklable (a class
-            or a :func:`functools.partial` over one -- not a lambda).
-        allow_partial:
-            Forwarded to each region crawl; a budget-interrupted region
-            marks the merged result incomplete.
-        aggregator:
-            Optional live progress sink; sessions are marked ``done``
-            and ``failed`` as they terminate.
-        rebalance:
-            Enable work stealing: idle workers take regions from the
-            session with the largest estimated remaining cost.
-        estimator:
-            Optional :class:`~repro.crawl.rebalance.CostEstimator`
-            seeding the stealing decisions and the adaptive shard /
-            lease-chunk planners (e.g. built with
-            ``CostEstimator.from_stats`` from a previous crawl).
-        shard_subtrees:
-            ``None`` (default) disables sharding.  An ``int`` splits
-            every region's crawl into up to that many subtree shards
-            (:mod:`repro.crawl.sharding`); ``"auto"`` presplits only
-            regions whose estimated cost exceeds the fleet's fair
-            share (:meth:`~repro.crawl.runtime.ShardPolicy.adaptive`)
-            -- and, since static dispatch cannot move shards between
-            workers, nothing at all unless ``rebalance`` is set.
-            Combined with ``rebalance``, idle workers then steal
-            *subqueries of a live region* -- the only way to
-            parallelise a plan whose cost is concentrated in one heavy
-            region.  The merged result stays byte-identical to the
-            unsharded sequential executor's under every setting.
-        shared_limits:
-            Route server-side limits, clocks and stats through the
-            shared-state control plane
-            (:mod:`repro.crawl.coordinator`) so admission stays
-            exactly-once across a process pool -- lease-batched, so it
-            costs ~one coordinator round trip per budget chunk instead
-            of one per query.  Only the process backend changes
-            behaviour: the in-process backends already share those
-            objects by reference, so the flag is an exact no-op there
-            (accepted for CLI uniformity).
-        completed:
-            Already-crawled results keyed by plan position -- a resumed
-            crawl's checkpoint.  They are pre-filed into the grid and
-            never re-crawled (zero queries re-issued), and their exact
-            costs seed the rebalancing estimator.
-        on_region:
-            Callback fired (thread-safely, from whichever worker files
-            the region) for every *newly* completed region -- the
-            checkpoint-writer seam.  Pre-filed ``completed`` entries do
-            not fire it.
+            (or, with ``spec.shard_subtrees``, one subtree shard of
+            one).
+        spec:
+            The crawl configuration, a
+            :class:`~repro.crawl.spec.CrawlSpec` (default: a default
+            spec).  Its *run half* is consumed here; the field
+            semantics are documented on the spec.  A spec whose
+            ``executor`` field names a different backend than this
+            instance is rejected -- build the instance with
+            :func:`make_executor(spec=spec) <make_executor>` so the
+            two cannot disagree.
+        **legacy:
+            The pre-spec keyword arguments (``crawler_factory``,
+            ``allow_partial``, ``aggregator``, ``rebalance``,
+            ``estimator``, ``shard_subtrees``, ``shared_limits``,
+            ``completed``, ``on_region``) are still accepted through a
+            :class:`DeprecationWarning` shim that folds them into a
+            spec; new code should build the spec directly.
 
         Raises
         ------
@@ -309,13 +306,15 @@ class CrawlExecutor(abc.ABC):
             exception of the lowest failing plan position, after every
             worker drained).
         """
+        spec = self._resolve_spec(spec, legacy)
         _check_sources(sources, plan)
+        aggregator = spec.aggregator
         if aggregator is not None and aggregator.sessions != plan.sessions:
             raise ValueError(
                 f"aggregator tracks {aggregator.sessions} sessions but "
                 f"the plan has {plan.sessions}"
             )
-        completed = dict(completed or {})
+        completed = dict(spec.completed or {})
         for session, index in completed:
             if not (
                 0 <= session < plan.sessions
@@ -326,23 +325,23 @@ class CrawlExecutor(abc.ABC):
                     f"the plan"
                 )
         policy = ShardPolicy.resolve(
-            shard_subtrees,
+            spec.shard_subtrees,
             plan,
-            estimator,
-            self._policy_fleet(plan, rebalance),
+            spec.estimator,
+            self._policy_fleet(plan, spec.rebalance),
         )
         feed = AggregatorFeed(aggregator, plan)
-        sink = GridSink(plan, feed, completed, on_region)
+        sink = GridSink(plan, feed, completed, spec.on_region)
         self._execute(
             sources,
             plan,
             sink,
-            crawler_factory,
-            allow_partial,
-            rebalance,
-            estimator,
+            spec.crawler_factory,
+            spec.allow_partial,
+            spec.rebalance,
+            spec.estimator,
             policy,
-            shared_limits,
+            spec.shared_limits,
             completed,
         )
         if sink.failures:
@@ -1257,9 +1256,36 @@ EXECUTORS: dict[str, type[CrawlExecutor]] = {
 
 
 def make_executor(
-    name: str, *, max_workers: int | None = None
+    name: str | None = None,
+    *,
+    max_workers: int | None = None,
+    spec: CrawlSpec | None = None,
 ) -> CrawlExecutor:
-    """Build a backend by registry name (see :data:`EXECUTORS`)."""
+    """Build a backend by registry name (see :data:`EXECUTORS`).
+
+    With ``spec=`` the backend half of a
+    :class:`~repro.crawl.spec.CrawlSpec` drives construction: the
+    registry name comes from ``spec.executor`` (explicit ``name`` wins,
+    ``"thread"`` if neither is set), ``spec.max_workers`` fills in when
+    ``max_workers`` is not given, and backend-specific knobs ride along
+    -- today ``spec.lease_chunk`` reaches the process backend's
+    constructor, which has no other spec-able home.
+
+    Examples
+    --------
+    ::
+
+        spec = CrawlSpec(executor="process", max_workers=4, lease_chunk=8)
+        executor = make_executor(spec=spec)
+        merged = executor.run(sources, plan, spec)
+    """
+    if spec is not None:
+        if name is None:
+            name = spec.executor or "thread"
+        if max_workers is None:
+            max_workers = spec.max_workers
+    elif name is None:
+        raise TypeError("make_executor() needs a name or a spec")
     try:
         cls = EXECUTORS[name]
     except KeyError:
@@ -1267,4 +1293,10 @@ def make_executor(
         raise ValueError(
             f"unknown executor {name!r}; expected one of: {known}"
         ) from None
+    if (
+        spec is not None
+        and spec.lease_chunk is not None
+        and cls is ProcessExecutor
+    ):
+        return cls(max_workers=max_workers, lease_chunk=spec.lease_chunk)
     return cls(max_workers=max_workers)

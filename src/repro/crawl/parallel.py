@@ -33,6 +33,7 @@ from repro.crawl.executors import (
 from repro.crawl.hybrid import Hybrid
 from repro.crawl.partition import PartitionedResult, PartitionPlan
 from repro.crawl.rebalance import CostEstimator
+from repro.crawl.spec import CrawlSpec
 
 __all__ = ["crawl_partitioned_parallel", "default_workers"]
 
@@ -41,6 +42,7 @@ def crawl_partitioned_parallel(
     sources: Sequence,
     plan: PartitionPlan,
     *,
+    spec: CrawlSpec | None = None,
     max_workers: int | None = None,
     crawler_factory: Callable[..., Crawler] = Hybrid,
     allow_partial: bool = False,
@@ -62,6 +64,14 @@ def crawl_partitioned_parallel(
         :func:`~repro.crawl.partition.crawl_partitioned`.
     plan:
         The partition plan.
+    spec:
+        A :class:`~repro.crawl.spec.CrawlSpec` carrying the *whole*
+        configuration -- backend half and run half.  When given, every
+        other keyword argument must stay at its default (rejected
+        otherwise, so a flag cannot silently lose to the spec).  When
+        omitted, the individual keyword arguments below are folded into
+        a spec internally, so this front door never emits the
+        executor-layer deprecation warning.
     max_workers:
         Worker count for the chosen backend; defaults to
         :func:`~repro.crawl.executors.default_workers`.  ``1``
@@ -138,23 +148,44 @@ def crawl_partitioned_parallel(
         )
         assert sorted(merged.rows) == sorted(dataset.iter_rows())
     """
+    if spec is not None:
+        overridden = (
+            max_workers is not None
+            or crawler_factory is not Hybrid
+            or allow_partial
+            or aggregator is not None
+            or executor != "thread"
+            or rebalance
+            or estimator is not None
+            or shard_subtrees is not None
+            or shared_limits
+            or completed is not None
+            or on_region is not None
+        )
+        if overridden:
+            raise ValueError(
+                "pass either spec= or individual keyword arguments, "
+                "not both"
+            )
+    else:
+        spec = CrawlSpec(
+            executor=executor if isinstance(executor, str) else None,
+            max_workers=max_workers,
+            crawler_factory=crawler_factory,
+            allow_partial=allow_partial,
+            aggregator=aggregator,
+            rebalance=rebalance,
+            estimator=estimator,
+            shard_subtrees=shard_subtrees,
+            shared_limits=shared_limits,
+            completed=completed,
+            on_region=on_region,
+        )
     if isinstance(executor, str):
-        executor = make_executor(executor, max_workers=max_workers)
+        executor = make_executor(spec=spec)
     elif max_workers is not None:
         raise ValueError(
             "pass max_workers with an executor *name*; a CrawlExecutor "
             "instance already carries its own worker count"
         )
-    return executor.run(
-        sources,
-        plan,
-        crawler_factory=crawler_factory,
-        allow_partial=allow_partial,
-        aggregator=aggregator,
-        rebalance=rebalance,
-        estimator=estimator,
-        shard_subtrees=shard_subtrees,
-        shared_limits=shared_limits,
-        completed=completed,
-        on_region=on_region,
-    )
+    return executor.run(sources, plan, spec)

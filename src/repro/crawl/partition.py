@@ -410,13 +410,12 @@ def crawl_partitioned(
     True
     """
     from repro.crawl.executors import SequentialExecutor
+    from repro.crawl.spec import CrawlSpec
 
-    return SequentialExecutor().run(
-        sources,
-        plan,
-        crawler_factory=crawler_factory,
-        allow_partial=allow_partial,
+    spec = CrawlSpec(
+        crawler_factory=crawler_factory, allow_partial=allow_partial
     )
+    return SequentialExecutor().run(sources, plan, spec)
 
 
 # ----------------------------------------------------------------------

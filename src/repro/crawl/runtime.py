@@ -93,6 +93,7 @@ __all__ = [
     "GridSink",
     "BatchSink",
     "ShardPolicy",
+    "run_region",
     "drive_session",
     "drive_stealing",
     "drive_futures",
@@ -640,13 +641,29 @@ class ShardPolicy:
 # ----------------------------------------------------------------------
 # The drive loops: the one session lifecycle state machine
 # ----------------------------------------------------------------------
-def _run_whole_region(
+def run_region(
     task: RegionTask,
     runner: UnitRunner,
     sink: ResultSink,
-    policy: ShardPolicy | None,
+    policy: ShardPolicy | None = None,
 ) -> bool:
-    """Run one region end to end locally (presplit+merge if budgeted)."""
+    """Run one region end to end locally (presplit+merge if budgeted).
+
+    The smallest complete unit of work the runtime knows: crawl
+    ``task``'s region through ``runner`` (as a whole, or -- when
+    ``policy`` budgets the region -- presplit into subtree shards and
+    merged back byte-identically), file the outcome into ``sink``, and
+    flush the runner's region boundary.  Returns whether the region
+    succeeded; the failure is filed, never raised.  Every drive loop
+    bottoms out here, and schedulers that dispatch single regions from
+    their own queues (the job service's fleet) call it directly.
+
+    Examples
+    --------
+    One region, no sharding::
+
+        ok = run_region(RegionTask(0, 0, region), runner, sink)
+    """
     budget = policy.budget_for(task.key) if policy is not None else None
     try:
         if budget is None:
@@ -702,7 +719,7 @@ def drive_session(
         if (session, index) in skip:
             continue
         task = RegionTask(session, index, region)
-        if not _run_whole_region(task, runner, sink, policy):
+        if not run_region(task, runner, sink, policy):
             return False
     return True
 

@@ -1,0 +1,35 @@
+"""Crawl-as-a-service: a multi-tenant job server over a durable store.
+
+The paper models one crawl as one batch run; the service layer turns
+the same machinery into a long-running server that multiplexes many
+concurrent crawl jobs from many tenants over one shared worker fleet:
+
+* :class:`~repro.service.store.ResultStore` -- rows stream into SQLite
+  as regions complete (the executor layer's ``on_region`` seam), so a
+  job's output survives process death and is queryable mid-crawl;
+* :class:`~repro.service.jobs.JobManager` -- admission through
+  per-tenant limits
+  (:class:`~repro.crawl.coordinator.TenantLimitRegistry`), round-robin
+  fairness across tenants on top of
+  :class:`~repro.crawl.rebalance.WorkStealingScheduler`, and per-job
+  lifecycle (``PENDING -> RUNNING -> DONE/FAILED/CANCELLED``);
+* :class:`~repro.service.api.CrawlService` -- the thin facade
+  (``submit`` / ``status`` / ``cancel`` / ``rows``) the ``repro-serve``
+  CLI (:mod:`repro.service.__main__`) exposes.
+
+Jobs are submitted as :class:`~repro.crawl.spec.CrawlSpec` objects --
+the same config the batch CLI builds from its flags -- so a crawl means
+exactly the same thing as a service job as it does on the command line.
+"""
+
+from repro.service.api import CrawlService
+from repro.service.jobs import JobManager, JobState, JobStatus
+from repro.service.store import ResultStore
+
+__all__ = [
+    "CrawlService",
+    "JobManager",
+    "JobState",
+    "JobStatus",
+    "ResultStore",
+]

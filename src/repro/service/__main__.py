@@ -1,0 +1,209 @@
+"""CLI: serve multi-tenant crawl jobs over a durable SQLite store.
+
+``repro-serve`` (also ``python -m repro.service``) drives
+:class:`~repro.service.api.CrawlService` from a *jobs file* -- tenants
+with their quotas, plus one entry per crawl job::
+
+    {
+      "tenants": {"acme": {"budget": 500}, "umbrella": {}},
+      "jobs": [
+        {"tenant": "acme", "name": "demo", "csv": "demo.csv", "k": 64,
+         "algorithm": "hybrid", "workers": 2}
+      ]
+    }
+
+Each job entry carries exactly the batch CLI's crawl flags as keys
+(``algorithm``, ``workers``, ``rebalance``, ``shard_subtrees``, ...):
+both front ends build their :class:`~repro.crawl.spec.CrawlSpec`
+through the one :func:`~repro.crawl.spec.spec_from_args` mapping, so a
+flag cannot mean two things.  Usage::
+
+    repro-serve run jobs.json --store crawl.db --fleet 4
+    repro-serve status --store crawl.db
+    repro-serve rows --store crawl.db --tenant acme --name demo
+
+``run`` submits every job (resuming any with committed regions already
+in the store -- those re-issue zero queries), waits for the fleet, and
+prints one status line per job; it exits 0 only when every job is
+done.  ``status`` lists the store's jobs with their committed
+progress.  ``rows`` prints a job's committed rows (merge-ordered,
+mid-crawl included) as comma-separated values, or writes them to
+``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from types import SimpleNamespace
+
+from repro.crawl.spec import spec_from_args
+from repro.datasets.io import load_csv
+from repro.exceptions import ReproError
+from repro.service.api import CrawlService
+from repro.service.jobs import DEFAULT_FLEET, JobState
+from repro.service.store import ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve multi-tenant crawl jobs over a durable "
+        "SQLite store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="submit a jobs file and wait for the fleet"
+    )
+    run.add_argument("jobs", help="jobs file (JSON: tenants + jobs)")
+    run.add_argument(
+        "--store", required=True, help="SQLite result store path"
+    )
+    run.add_argument(
+        "--fleet",
+        type=int,
+        default=DEFAULT_FLEET,
+        help=f"shared worker fleet size (default: {DEFAULT_FLEET})",
+    )
+
+    status = commands.add_parser(
+        "status", help="list the store's jobs and committed progress"
+    )
+    status.add_argument("--store", required=True)
+    status.add_argument(
+        "--tenant", default=None, help="restrict to one tenant"
+    )
+
+    rows = commands.add_parser(
+        "rows", help="print a job's committed rows, merge-ordered"
+    )
+    rows.add_argument("--store", required=True)
+    rows.add_argument("--tenant", required=True)
+    rows.add_argument("--name", required=True)
+    rows.add_argument(
+        "--output", default=None, help="write rows here instead of stdout"
+    )
+    return parser
+
+
+def _status_line(status) -> str:
+    state = getattr(status, "state", None)
+    label = state.value if state is not None else status["status"]
+    get = (
+        (lambda key: getattr(status, key))
+        if state is not None
+        else status.__getitem__
+    )
+    line = (
+        f"{get('tenant')}/{get('name')}: {label} "
+        f"[{get('regions_done')}/{get('regions_total')} regions, "
+        f"{get('cost')} queries, {get('tuples')} tuples]"
+    )
+    error = get("error")
+    if error:
+        line += f" -- {error}"
+    return line
+
+
+def _run(args) -> int:
+    try:
+        with open(args.jobs) as handle:
+            config = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.jobs}: {exc}", file=sys.stderr)
+        return 2
+    entries = config.get("jobs", [])
+    if not entries:
+        print(f"error: {args.jobs} declares no jobs", file=sys.stderr)
+        return 2
+    datasets = {}
+    with CrawlService(args.store, workers=args.fleet) as service:
+        for tenant, quota in config.get("tenants", {}).items():
+            service.register_tenant(
+                tenant,
+                budget=quota.get("budget"),
+                per_day=quota.get("per_day"),
+            )
+        submitted = []
+        for entry in entries:
+            for field in ("tenant", "name", "csv", "k"):
+                if field not in entry:
+                    print(
+                        f"error: job entry missing {field!r}: {entry}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            path = entry["csv"]
+            try:
+                if path not in datasets:
+                    datasets[path] = load_csv(path)
+            except (OSError, ReproError) as exc:
+                print(
+                    f"error: cannot load {path}: {exc}", file=sys.stderr
+                )
+                return 2
+            spec = spec_from_args(SimpleNamespace(**entry))
+            job_id = service.submit(
+                entry["tenant"],
+                datasets[path],
+                int(entry["k"]),
+                name=entry["name"],
+                spec=spec,
+                sessions=entry.get("workers"),
+                seed=int(entry.get("seed", 0)),
+            )
+            submitted.append(job_id)
+        failed = 0
+        for job_id in submitted:
+            status = service.wait(job_id)
+            print(_status_line(status))
+            if status.state is not JobState.DONE:
+                failed += 1
+    return 1 if failed else 0
+
+
+def _status(args) -> int:
+    with ResultStore(args.store) as store:
+        jobs = store.list_jobs(args.tenant)
+    if not jobs:
+        print("no jobs in store")
+        return 0
+    for snapshot in jobs:
+        print(_status_line(snapshot))
+    return 0
+
+
+def _rows(args) -> int:
+    with ResultStore(args.store) as store:
+        job_id = store.find_job(args.tenant, args.name)
+        if job_id is None:
+            print(
+                f"error: no job {args.tenant}/{args.name} in "
+                f"{args.store}",
+                file=sys.stderr,
+            )
+            return 2
+        rows = store.rows(job_id)
+    lines = "".join(",".join(str(v) for v in row) + "\n" for row in rows)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(lines)
+        print(f"{len(rows)} rows written to {args.output}")
+    else:
+        sys.stdout.write(lines)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    if args.command == "status":
+        return _status(args)
+    return _rows(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,456 @@
+"""The job server's scheduling core: one fleet, many tenants, fairness.
+
+A :class:`JobManager` runs a fixed fleet of worker threads over every
+active job at once.  Each job keeps its own
+:class:`~repro.crawl.rebalance.WorkStealingScheduler` (regions in plan
+order, estimate-guided stealing *within* the job) and its own
+:class:`~repro.crawl.runtime.GridSink`; the manager's dispatch loop
+round-robins **across tenants** on top of them: every time a worker
+asks for work, the next tenant in rotation that has an acquirable
+region gets the slot.  A tenant running ten jobs and a tenant running
+one therefore drain at the same per-tenant rate -- the fairness
+contract -- and a tenant whose budget is exhausted merely fails *its
+own* regions (the per-tenant limits of
+:class:`~repro.crawl.coordinator.TenantLimitRegistry` admit
+independently), never stalling anyone else's.
+
+Regions execute through the runtime's
+:func:`~repro.crawl.runtime.run_region` -- the same unit of work every
+batch executor bottoms out in -- so a job's stored output is
+byte-identical to the standalone crawl of the same spec.  Completed
+regions stream into the :class:`~repro.service.store.ResultStore`
+(rows plus the tenant's exact charge, one transaction per region), and
+a job resubmitted after a server death resumes from the store with its
+committed regions pre-filed: zero queries re-issued.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+from repro.crawl.base import CrawlResult
+from repro.crawl.coordinator import TenantLimitRegistry
+from repro.crawl.partition import (
+    PartitionedResult,
+    PartitionPlan,
+    _merge_session_results,
+    partition_space,
+)
+from repro.crawl.rebalance import RegionKey, WorkStealingScheduler
+from repro.crawl.runtime import (
+    AggregatorFeed,
+    GridSink,
+    LocalUnitRunner,
+    ShardPolicy,
+    run_region,
+)
+from repro.crawl.spec import CrawlSpec
+from repro.service.store import ResultStore
+from repro.server.server import TopKServer
+
+__all__ = ["JobManager", "JobState", "JobStatus"]
+
+#: Fleet size when the caller does not choose one.
+DEFAULT_FLEET = 4
+
+
+class JobState(enum.Enum):
+    """One job's lifecycle state.
+
+    ``PENDING`` (submitted, no region started yet) -> ``RUNNING`` ->
+    one of the terminal states: ``DONE`` (every region committed),
+    ``FAILED`` (a region raised; the lowest failing plan position's
+    error is kept) or ``CANCELLED``.  The running/terminal split
+    mirrors :class:`~repro.crawl.base.SessionState`, lifted from one
+    session to one job.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """``True`` once the job can no longer make progress."""
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One job's externally visible status snapshot.
+
+    ``regions_done`` / ``cost`` / ``tuples`` count the regions
+    *committed to the store* -- exactly the progress that survives a
+    kill -- and ``error`` carries a failed job's first (lowest plan
+    position) failure message.
+    """
+
+    job_id: int
+    tenant: str
+    name: str
+    state: JobState
+    regions_done: int
+    regions_total: int
+    cost: int
+    tuples: int
+    error: str | None = None
+
+
+class _Job:
+    """Manager-internal live state of one active job."""
+
+    def __init__(
+        self,
+        job_id: int,
+        tenant: str,
+        name: str,
+        plan: PartitionPlan,
+        scheduler: WorkStealingScheduler,
+        sink: GridSink,
+        runner: LocalUnitRunner,
+        policy: ShardPolicy | None,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.name = name
+        self.plan = plan
+        self.scheduler = scheduler
+        self.sink = sink
+        self.runner = runner
+        self.policy = policy
+        self.state = JobState.PENDING
+        self.error: str | None = None
+
+
+class JobManager:
+    """A shared worker fleet multiplexing many tenants' crawl jobs.
+
+    Construction starts ``workers`` daemon threads; :meth:`submit`
+    hands them jobs, :meth:`shutdown` drains them (each finishes its
+    in-flight region, nothing else starts).  All public methods are
+    thread-safe.
+
+    Examples
+    --------
+    Two tenants share the fleet but not their budgets::
+
+        registry = TenantLimitRegistry()
+        registry.register("acme", budget=500)
+        registry.register("umbrella", budget=80)
+        with ResultStore("crawl.db") as store:
+            manager = JobManager(store, registry, workers=4)
+            job = manager.submit(
+                "acme", dataset, k=64, name="demo",
+                spec=CrawlSpec(max_workers=2),
+            )
+            manager.wait(job)
+            manager.shutdown()
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        registry: TenantLimitRegistry,
+        *,
+        workers: int = DEFAULT_FLEET,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._store = store
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[int, _Job] = {}
+        self._order: list[int] = []
+        self._rotation = 0
+        self._stop = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"job-fleet-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission and lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        dataset,
+        k: int,
+        *,
+        name: str,
+        spec: CrawlSpec | None = None,
+        sessions: int | None = None,
+        seed: int = 0,
+        wrap_source=None,
+    ) -> int:
+        """Queue one crawl job; returns its durable job id.
+
+        The job crawls ``dataset`` behind per-session
+        :class:`~repro.server.server.TopKServer` fronts carrying the
+        tenant's registered limits, partitioned into ``sessions``
+        regions (default: the spec's ``max_workers``, else the fleet
+        size is a sensible ceiling -- one region can occupy at most one
+        worker).  ``spec`` is the crawl configuration -- the same
+        :class:`~repro.crawl.spec.CrawlSpec` the batch CLI builds.
+        ``wrap_source`` optionally wraps each session server (e.g. a
+        :class:`~repro.server.latency.LatencySource` simulating network
+        round trips, as the service benchmark does).
+
+        Resubmitting an existing ``(tenant, name)`` resumes it: regions
+        already committed to the store are pre-filed and re-issue zero
+        queries.  A job whose stored identity (space, plan, ``k``)
+        differs raises :class:`~repro.exceptions.SchemaError`.
+        """
+        with self._lock:
+            if self._stop:
+                raise RuntimeError("JobManager is shut down")
+        if spec is None:
+            spec = CrawlSpec()
+        count = sessions or spec.max_workers or len(self._threads)
+        plan = partition_space(dataset.space, count)
+        job_id, completed = self._store.open_job(tenant, name, plan, k)
+        limits = self._registry.limits(tenant)
+        sources = [
+            TopKServer(dataset, k, priority_seed=seed, limits=limits)
+            for _ in range(plan.sessions)
+        ]
+        if wrap_source is not None:
+            sources = [wrap_source(source) for source in sources]
+        feed = AggregatorFeed(spec.aggregator, plan)
+
+        def on_region(key: RegionKey, result: CrawlResult) -> None:
+            # The durability boundary: the region, its rows and the
+            # tenant's exact charge commit as one transaction.  The
+            # charge snapshot is a callable so the store reads it at
+            # commit time, inside its critical section -- workers
+            # committing concurrently for one tenant would otherwise
+            # race stale snapshots into the last write.
+            self._store.region_done(
+                job_id,
+                key,
+                result,
+                tenant_charge=(
+                    tenant,
+                    lambda: self._registry.charges()[tenant],
+                ),
+            )
+            if spec.on_region is not None:
+                spec.on_region(key, result)
+
+        sink = GridSink(plan, feed, completed, on_region)
+        scheduler = WorkStealingScheduler(
+            plan.bundles,
+            spec.estimator,
+            {key: result.cost for key, result in completed.items()},
+        )
+        policy = ShardPolicy.resolve(
+            spec.shard_subtrees, plan, spec.estimator, len(self._threads)
+        )
+        runner = LocalUnitRunner(
+            sources, spec.crawler_factory, spec.allow_partial, feed=feed
+        )
+        job = _Job(
+            job_id, tenant, name, plan, scheduler, sink, runner, policy
+        )
+        with self._cond:
+            if self._stop:
+                raise RuntimeError("JobManager is shut down")
+            if job_id in self._jobs and not self._jobs[job_id].state.terminal:
+                raise ValueError(
+                    f"job {tenant!r}/{name!r} is already active"
+                )
+            self._jobs[job_id] = job
+            if job_id not in self._order:
+                self._order.append(job_id)
+            if scheduler.done():
+                # Every region was already in the store: the resumed
+                # job is complete before a single worker touches it.
+                self._finalize_locked(job)
+            self._cond.notify_all()
+        return job_id
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel an active job; returns whether anything was stopped.
+
+        Queued regions are discarded (the scheduler's ``abort`` drains
+        them); a region already mid-crawl finishes its queries but its
+        completion is dropped.  Terminal and unknown jobs return
+        ``False``.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state.terminal:
+                return False
+            job.scheduler.abort()
+            job.state = JobState.CANCELLED
+            self._store.set_status(job_id, "cancelled")
+            self._cond.notify_all()
+            return True
+
+    def wait(self, job_id: int, timeout: float | None = None) -> JobStatus:
+        """Block until the job is terminal; returns its final status.
+
+        Raises :class:`TimeoutError` if ``timeout`` (seconds) elapses
+        first.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is not None and not self._cond.wait_for(
+                lambda: job.state.terminal, timeout
+            ):
+                raise TimeoutError(
+                    f"job {job_id} still {job.state.value} after "
+                    f"{timeout}s"
+                )
+        return self.status(job_id)
+
+    def status(self, job_id: int) -> JobStatus:
+        """The job's current status (live state, durable counters)."""
+        snapshot = self._store.job_status(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                state = job.state
+                error = job.error
+            else:
+                state = JobState(snapshot["status"])
+                error = snapshot["error"]
+        return JobStatus(
+            job_id=snapshot["job_id"],
+            tenant=snapshot["tenant"],
+            name=snapshot["name"],
+            state=state,
+            regions_done=snapshot["regions_done"],
+            regions_total=snapshot["regions_total"],
+            cost=snapshot["cost"],
+            tuples=snapshot["tuples"],
+            error=error,
+        )
+
+    def result(self, job_id: int) -> PartitionedResult:
+        """A finished job's merged result, byte-identical to batch.
+
+        Only for jobs completed in this server's lifetime (the result
+        grid lives in memory; rows of older jobs come from
+        :meth:`ResultStore.rows <repro.service.store.ResultStore.rows>`).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"job {job_id} is not active in this server")
+            if job.state is not JobState.DONE:
+                raise ValueError(
+                    f"job {job_id} is {job.state.value}, not done"
+                )
+            grid = tuple(tuple(session) for session in job.sink.grid)
+        return _merge_session_results(job.plan, grid)
+
+    def shutdown(self) -> None:
+        """Stop the fleet (idempotent).
+
+        Each worker finishes the region it is crawling -- committed
+        work is never torn -- and nothing further is dispatched;
+        non-terminal jobs stay resumable from the store.
+        """
+        with self._cond:
+            if self._stop:
+                return
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # The fleet
+    # ------------------------------------------------------------------
+    def _next_work_locked(self):
+        """The next (job, task) under tenant round-robin, or ``None``.
+
+        Walks tenants in rotation order starting after the tenant
+        served last; within a tenant, jobs are tried in submission
+        order.  Advancing the rotation *past* the tenant that got the
+        slot is what makes dispatch fair: a tenant is served at most
+        once per full rotation, however many jobs or regions it has
+        queued.
+        """
+        tenants: list[str] = []
+        by_tenant: dict[str, list[_Job]] = {}
+        for job_id in self._order:
+            job = self._jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            if job.tenant not in by_tenant:
+                tenants.append(job.tenant)
+                by_tenant[job.tenant] = []
+            by_tenant[job.tenant].append(job)
+        if not tenants:
+            return None
+        start = self._rotation % len(tenants)
+        for offset in range(len(tenants)):
+            tenant = tenants[(start + offset) % len(tenants)]
+            for job in by_tenant[tenant]:
+                task = job.scheduler.acquire(block=False)
+                if task is not None:
+                    if job.state is JobState.PENDING:
+                        job.state = JobState.RUNNING
+                        self._store.set_status(job.job_id, "running")
+                    self._rotation = (start + offset + 1) % len(tenants)
+                    return job, task
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                item = None
+                while not self._stop:
+                    item = self._next_work_locked()
+                    if item is not None:
+                        break
+                    self._cond.wait()
+                if item is None:
+                    return
+            job, task = item
+            ok = run_region(task, job.runner, job.sink, job.policy)
+            if ok:
+                result = job.sink.grid[task.session][task.index]
+                job.scheduler.complete(task, result.cost)
+            else:
+                job.scheduler.fail(task)
+            with self._cond:
+                if not job.state.terminal and job.scheduler.done():
+                    self._finalize_locked(job)
+                self._cond.notify_all()
+
+    def _finalize_locked(self, job: _Job) -> None:
+        # Caller holds self._lock.
+        if job.sink.failures:
+            job.sink.failures.sort(key=lambda failure: failure[0])
+            job.error = str(job.sink.failures[0][1])
+            job.state = JobState.FAILED
+            self._store.set_status(
+                job.job_id, "failed", error=job.error
+            )
+        else:
+            job.state = JobState.DONE
+            self._store.set_status(job.job_id, "done")

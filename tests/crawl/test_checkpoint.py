@@ -5,6 +5,7 @@ import shutil
 
 import pytest
 
+from repro.crawl.spec import CrawlSpec
 from repro.crawl.checkpoint import (
     CheckpointWriter,
     load_checkpoint,
@@ -245,7 +246,11 @@ class TestRuntimeCheckpoint:
         SequentialExecutor().run(
             self._sources(dataset),
             plan,
-            on_region=lambda key, result: completed.__setitem__(key, result),
+            CrawlSpec(
+                on_region=lambda key, result: completed.__setitem__(
+                    key, result
+                )
+            ),
         )
         path = save_crawl_checkpoint(
             tmp_path / "run.json", plan, 16, completed
@@ -305,15 +310,17 @@ class TestRuntimeCheckpoint:
         SequentialExecutor().run(
             self._sources(dataset),
             plan,
-            on_region=lambda key, result: completed.__setitem__(key, result),
+            CrawlSpec(
+                on_region=lambda key, result: completed.__setitem__(
+                    key, result
+                )
+            ),
         )
         some_result = next(iter(completed.values()))
         with pytest.raises(SchemaError, match="outside the plan"):
             SequentialExecutor().run(
                 self._sources(dataset),
-                plan,
-                completed={(9, 9): some_result},
-            )
+                plan, CrawlSpec(completed={(9, 9): some_result}))
 
     def test_budget_state_round_trip(self, dataset, tmp_path):
         plan = self._plan(dataset)
@@ -359,8 +366,7 @@ class TestRuntimeCheckpoint:
             snapshots.append(copy)
 
         SequentialExecutor().run(
-            self._sources(dataset), plan, on_region=snapshot
-        )
+            self._sources(dataset), plan, CrawlSpec(on_region=snapshot))
         assert count == len(plan.regions)
         for boundary, snapshot_path in enumerate(snapshots):
             checkpoint = load_crawl_checkpoint(snapshot_path, plan, 16)
@@ -369,8 +375,9 @@ class TestRuntimeCheckpoint:
             resumed = ThreadExecutor(max_workers=self.SESSIONS).run(
                 sources,
                 plan,
-                rebalance=True,
-                completed=checkpoint.completed,
+                CrawlSpec(
+                    rebalance=True, completed=checkpoint.completed
+                ),
             )
             self._assert_identical(resumed, reference)
             if boundary == len(plan.regions):
@@ -385,7 +392,11 @@ class TestRuntimeCheckpoint:
         SequentialExecutor().run(
             self._sources(dataset),
             plan,
-            on_region=lambda key, result: completed.__setitem__(key, result),
+            CrawlSpec(
+                on_region=lambda key, result: completed.__setitem__(
+                    key, result
+                )
+            ),
         )
         # Checkpoint exactly session 0's regions.
         prefix = {key: completed[key] for key in completed if key[0] == 0}
@@ -395,8 +406,7 @@ class TestRuntimeCheckpoint:
         checkpoint = load_crawl_checkpoint(path, plan, 16)
         sources = self._sources(dataset)
         resumed = SequentialExecutor().run(
-            sources, plan, completed=checkpoint.completed
-        )
+            sources, plan, CrawlSpec(completed=checkpoint.completed))
         assert resumed.complete
         assert sources[0].stats.queries == 0  # fully restored session
         assert sources[1].stats.queries > 0  # still had work to do

@@ -15,6 +15,7 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.crawl.spec import CrawlSpec
 from repro.crawl.base import ProgressAggregator, SessionState
 from repro.crawl.executors import (
     EXECUTORS,
@@ -106,7 +107,9 @@ class TestParity:
         self, name, rebalance, dataset, plan, reference
     ):
         executor = make_executor(name, max_workers=SESSIONS)
-        result = executor.run(make_sources(dataset), plan, rebalance=rebalance)
+        result = executor.run(
+            make_sources(dataset), plan, CrawlSpec(rebalance=rebalance)
+        )
         assert_identical(result, reference)
         assert result.complete
         assert sorted(result.rows) == sorted(dataset.iter_rows())
@@ -114,7 +117,9 @@ class TestParity:
     def test_fewer_workers_than_sessions(self, dataset, plan, reference):
         for name in ("thread", "async"):
             executor = make_executor(name, max_workers=2)
-            result = executor.run(make_sources(dataset), plan, rebalance=True)
+            result = executor.run(
+                make_sources(dataset), plan, CrawlSpec(rebalance=True)
+            )
             assert_identical(result, reference)
 
     def test_rebalance_with_seeded_estimator(self, dataset, plan, reference):
@@ -123,7 +128,9 @@ class TestParity:
         stats.queries = reference.cost
         estimator = CostEstimator.from_stats(stats, len(plan.regions))
         result = ThreadExecutor(max_workers=SESSIONS).run(
-            make_sources(dataset), plan, rebalance=True, estimator=estimator
+            make_sources(dataset),
+            plan,
+            CrawlSpec(rebalance=True, estimator=estimator),
         )
         assert_identical(result, reference)
         # Every region's exact cost was recorded on the way through.
@@ -139,8 +146,7 @@ class TestParity:
 
         reference = crawl_partitioned(wrapped(LatencySource), plan)
         result = AsyncExecutor(max_workers=SESSIONS).run(
-            wrapped(AsyncLatencySource), plan, rebalance=True
-        )
+            wrapped(AsyncLatencySource), plan, CrawlSpec(rebalance=True))
         assert_identical(result, reference)
 
 
@@ -148,9 +154,7 @@ class TestProcessBackend:
     def test_pickles_sources_once_and_matches(self, dataset, plan, reference):
         result = ProcessExecutor(max_workers=2).run(
             make_sources(dataset),
-            plan,
-            crawler_factory=functools.partial(Hybrid),
-        )
+            plan, CrawlSpec(crawler_factory=functools.partial(Hybrid)))
         assert_identical(result, reference)
 
     def test_rebalanced_failure_drains_and_raises(self, dataset, plan):
@@ -163,16 +167,16 @@ class TestProcessBackend:
             TopKServer(dataset, k=32),
         ]
         with pytest.raises(QueryBudgetExhausted):
-            ProcessExecutor(max_workers=2).run(sources, plan, rebalance=True)
+            ProcessExecutor(max_workers=2).run(
+                sources, plan, CrawlSpec(rebalance=True)
+            )
 
     def test_unpicklable_factory_is_a_clear_error(self, dataset, plan):
         executor = ProcessExecutor(max_workers=2)
         with pytest.raises(TypeError, match="picklable"):
             executor.run(
                 make_sources(dataset),
-                plan,
-                crawler_factory=lambda view: Hybrid(view),
-            )
+                plan, CrawlSpec(crawler_factory=lambda view: Hybrid(view)))
 
     def test_client_pickle_drops_listeners_keeps_cache(self, dataset):
         client = CachingClient(TopKServer(dataset, k=32))
@@ -223,8 +227,7 @@ class TestAsyncBackend:
 
         reference = crawl_partitioned(sources(), plan)
         result = AsyncExecutor(max_workers=plan.sessions).run(
-            sources(), plan, rebalance=True
-        )
+            sources(), plan, CrawlSpec(rebalance=True))
         assert_identical(result, reference)
 
     def test_awaitable_client_arun_off_loop(self, dataset):
@@ -257,9 +260,7 @@ class TestValidation:
         with pytest.raises(ValueError):
             ThreadExecutor(max_workers=2).run(
                 make_sources(dataset),
-                plan,
-                aggregator=ProgressAggregator(SESSIONS + 2),
-            )
+                plan, CrawlSpec(aggregator=ProgressAggregator(SESSIONS + 2)))
 
     def test_default_workers_bounds(self):
         assert default_workers(1) == 1
@@ -288,10 +289,7 @@ class TestTerminalStates:
         aggregator = ProgressAggregator(SESSIONS)
         merged = ThreadExecutor(max_workers=SESSIONS).run(
             make_sources(dataset),
-            plan,
-            aggregator=aggregator,
-            rebalance=rebalance,
-        )
+            plan, CrawlSpec(aggregator=aggregator, rebalance=rebalance))
         assert aggregator.states() == (SessionState.DONE,) * SESSIONS
         assert aggregator.all_terminal()
         totals = aggregator.totals()
@@ -309,8 +307,7 @@ class TestTerminalStates:
         aggregator = ProgressAggregator(SESSIONS)
         with pytest.raises(QueryBudgetExhausted):
             ThreadExecutor(max_workers=SESSIONS).run(
-                sources, plan, aggregator=aggregator
-            )
+                sources, plan, CrawlSpec(aggregator=aggregator))
         assert aggregator.state(0) is SessionState.FAILED
         assert aggregator.state(1) is SessionState.DONE
         assert aggregator.state(2) is SessionState.DONE
@@ -331,7 +328,9 @@ class TestTerminalStates:
         ]
         aggregator = ProgressAggregator(SESSIONS)
         with pytest.raises(QueryBudgetExhausted):
-            SequentialExecutor().run(sources, plan, aggregator=aggregator)
+            SequentialExecutor().run(
+                sources, plan, CrawlSpec(aggregator=aggregator)
+            )
         assert aggregator.states() == (
             SessionState.FAILED,
             SessionState.CANCELLED,

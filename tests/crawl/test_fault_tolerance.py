@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
+from repro.crawl.spec import CrawlSpec
 from repro.crawl.executors import (
     AsyncExecutor,
     ProcessExecutor,
@@ -416,10 +417,7 @@ class TestElasticThread:
         for nth in range(1, total + 2):
             result = ThreadExecutor(max_workers=SESSIONS).run(
                 make_sources(dataset),
-                plan,
-                rebalance=True,
-                crawler_factory=DepartAt(nth),
-            )
+                plan, CrawlSpec(rebalance=True, crawler_factory=DepartAt(nth)))
             assert_identical(result, reference)
 
     def test_budget_charge_is_exact_after_a_departure(
@@ -433,7 +431,9 @@ class TestElasticThread:
             for i in range(SESSIONS)
         ]
         result = ThreadExecutor(max_workers=SESSIONS).run(
-            sources, plan, rebalance=True, crawler_factory=DepartAt(2)
+            sources,
+            plan,
+            CrawlSpec(rebalance=True, crawler_factory=DepartAt(2)),
         )
         assert_identical(result, reference)
         assert [b.used for b in budgets] == baseline_queries
@@ -452,10 +452,7 @@ class TestElasticThread:
         ]
         result = ThreadExecutor(max_workers=SESSIONS).run(
             sources,
-            plan,
-            rebalance=True,
-            shard_subtrees=3,
-        )
+            plan, CrawlSpec(rebalance=True, shard_subtrees=3))
         assert_identical(result, reference)
 
     def test_fleet_that_never_survives_fails_loudly(self, dataset, plan):
@@ -464,9 +461,11 @@ class TestElasticThread:
             ThreadExecutor(max_workers=SESSIONS).run(
                 make_sources(dataset),
                 plan,
-                rebalance=True,
-                aggregator=aggregator,
-                crawler_factory=AlwaysDepart(),
+                CrawlSpec(
+                    rebalance=True,
+                    aggregator=aggregator,
+                    crawler_factory=AlwaysDepart(),
+                ),
             )
         # No session is left reading as in-flight after the give-up.
         assert aggregator.all_terminal()
@@ -483,8 +482,9 @@ class TestElasticProcess:
         result = ProcessExecutor(max_workers=2).run(
             make_sources(dataset),
             plan,
-            rebalance=True,
-            crawler_factory=DepartAt(2, marker=marker),
+            CrawlSpec(
+                rebalance=True, crawler_factory=DepartAt(2, marker=marker)
+            ),
         )
         assert_identical(result, reference)
         # The fault really fired inside a pool worker.
@@ -506,9 +506,11 @@ class TestElasticProcess:
         result = ProcessExecutor(max_workers=2).run(
             sources,
             plan,
-            rebalance=True,
-            shared_limits=True,
-            crawler_factory=DepartAt(2, marker=marker),
+            CrawlSpec(
+                rebalance=True,
+                shared_limits=True,
+                crawler_factory=DepartAt(2, marker=marker),
+            ),
         )
         assert_identical(result, reference)
         assert [b.used for b in budgets] == baseline_queries
@@ -519,8 +521,5 @@ class TestElasticAsync:
     def test_rejoin_after_departure_matches(self, dataset, plan, reference):
         result = AsyncExecutor(max_workers=SESSIONS).run(
             make_sources(dataset),
-            plan,
-            rebalance=True,
-            crawler_factory=DepartAt(3),
-        )
+            plan, CrawlSpec(rebalance=True, crawler_factory=DepartAt(3)))
         assert_identical(result, reference)

@@ -27,6 +27,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crawl.spec import CrawlSpec
 from repro.crawl.base import ProgressAggregator, SessionState
 from repro.crawl.binary_shrink import BinaryShrink
 from repro.crawl.dfs import DepthFirstSearch
@@ -315,10 +316,7 @@ class TestExecutorParity:
         executor = make_executor(name, max_workers=SESSIONS)
         result = executor.run(
             self.sources(dataset),
-            plan,
-            rebalance=rebalance,
-            shard_subtrees=6,
-        )
+            plan, CrawlSpec(rebalance=rebalance, shard_subtrees=6))
         self.assert_identical(result, reference)
         assert sorted(result.rows) == sorted(dataset.iter_rows())
 
@@ -329,10 +327,12 @@ class TestExecutorParity:
         result = make_executor("thread", max_workers=SESSIONS).run(
             self.sources(dataset),
             plan,
-            rebalance=True,
-            shard_subtrees=6,
-            estimator=estimator,
-            aggregator=aggregator,
+            CrawlSpec(
+                rebalance=True,
+                shard_subtrees=6,
+                estimator=estimator,
+                aggregator=aggregator,
+            ),
         )
         self.assert_identical(result, reference)
         assert aggregator.states() == (SessionState.DONE,) * SESSIONS
@@ -345,7 +345,7 @@ class TestExecutorParity:
     def test_invalid_shard_count_rejected(self, dataset, plan):
         with pytest.raises(ValueError, match="shard_subtrees"):
             make_executor("thread").run(
-                self.sources(dataset), plan, shard_subtrees=0
+                self.sources(dataset), plan, CrawlSpec(shard_subtrees=0)
             )
 
     def test_failed_session_surfaces_with_sharding(self, dataset, plan):
@@ -359,9 +359,11 @@ class TestExecutorParity:
             make_executor("thread", max_workers=SESSIONS).run(
                 sources,
                 plan,
-                rebalance=True,
-                shard_subtrees=4,
-                aggregator=aggregator,
+                CrawlSpec(
+                    rebalance=True,
+                    shard_subtrees=4,
+                    aggregator=aggregator,
+                ),
             )
         assert aggregator.state(0) is SessionState.FAILED
         assert aggregator.all_terminal()
@@ -655,9 +657,11 @@ class TestAdaptiveShardBudgets:
         result = executor.run(
             self.sources(dataset),
             plan,
-            rebalance=rebalance,
-            shard_subtrees="auto",
-            estimator=seeded_estimator(),
+            CrawlSpec(
+                rebalance=rebalance,
+                shard_subtrees="auto",
+                estimator=seeded_estimator(),
+            ),
         )
         assert result.rows == reference.rows
         assert result.cost == reference.cost
@@ -691,9 +695,6 @@ class TestAdaptiveShardBudgets:
         but still crawls identically."""
         result = make_executor("thread", max_workers=SESSIONS).run(
             self.sources(dataset),
-            plan,
-            rebalance=True,
-            shard_subtrees="auto",
-        )
+            plan, CrawlSpec(rebalance=True, shard_subtrees="auto"))
         assert result.rows == reference.rows
         assert result.cost == reference.cost

@@ -39,6 +39,7 @@ from repro.crawl.coordinator import (
 from repro.crawl.executors import ProcessExecutor, make_executor
 from repro.crawl.partition import crawl_partitioned, partition_space
 from repro.crawl.rebalance import CostEstimator
+from repro.crawl.spec import CrawlSpec
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
 from repro.exceptions import QueryBudgetExhausted
@@ -266,8 +267,7 @@ class TestProcessSharedParity:
         result = ProcessExecutor(max_workers=2).run(
             budgeted_sources(dataset, budget),
             plan,
-            shared_limits=True,
-            **kwargs,
+            CrawlSpec(shared_limits=True, **kwargs),
         )
         assert_identical(result, expected)
         assert budget.used == expected_charge
@@ -278,7 +278,9 @@ class TestProcessSharedParity:
         shared_budget = QueryBudget(100_000)
         shared_sources = budgeted_sources(dataset, shared_budget)
         ProcessExecutor(max_workers=2).run(
-            shared_sources, plan, shared_limits=True, rebalance=True
+            shared_sources,
+            plan,
+            CrawlSpec(shared_limits=True, rebalance=True),
         )
         for sequential, shared in zip(seq_sources, shared_sources):
             assert shared.stats.queries == sequential.stats.queries
@@ -296,9 +298,9 @@ class TestProcessSharedParity:
         result = ProcessExecutor(max_workers=2).run(
             budgeted_sources(dataset, QueryBudget(100_000)),
             plan,
-            shared_limits=True,
-            rebalance=True,
-            estimator=estimator,
+            CrawlSpec(
+                shared_limits=True, rebalance=True, estimator=estimator
+            ),
         )
         assert_identical(result, expected)
         # Every region's exact cost crossed the process boundary back.
@@ -311,9 +313,7 @@ class TestProcessSharedParity:
         merged = ProcessExecutor(max_workers=2).run(
             budgeted_sources(dataset, QueryBudget(100_000)),
             plan,
-            shared_limits=True,
-            aggregator=aggregator,
-            **kwargs,
+            CrawlSpec(shared_limits=True, aggregator=aggregator, **kwargs),
         )
         assert aggregator.states() == (SessionState.DONE,) * SESSIONS
         totals = aggregator.totals()
@@ -351,7 +351,9 @@ class TestLimitExhaustion:
         budget = QueryBudget(self.CAP)
         executor = make_executor(name, max_workers=SESSIONS)
         with pytest.raises(QueryBudgetExhausted) as excinfo:
-            executor.run(budgeted_sources(dataset, budget), plan, **kwargs)
+            executor.run(
+                budgeted_sources(dataset, budget), plan, CrawlSpec(**kwargs)
+            )
         assert excinfo.value.issued == self.CAP
         assert budget.used == self.CAP
         assert budget.remaining == 0
@@ -365,8 +367,7 @@ class TestLimitExhaustion:
         result = executor.run(
             budgeted_sources(dataset, budget),
             plan,
-            allow_partial=True,
-            **kwargs,
+            CrawlSpec(allow_partial=True, **kwargs),
         )
         assert not result.complete
         assert budget.used == self.CAP
@@ -380,8 +381,7 @@ class TestLimitExhaustion:
         result = ProcessExecutor(max_workers=2).run(
             budgeted_sources(dataset, budget),
             plan,
-            allow_partial=True,
-            rebalance=True,
+            CrawlSpec(allow_partial=True, rebalance=True),
         )
         # Each worker's copy stopped at CAP, but the fleet's total
         # spend exceeded it -- and the caller's budget saw nothing.
@@ -712,7 +712,9 @@ class TestRoundTripReduction:
         budget = QueryBudget(100_000)
         sources = budgeted_sources(dataset, budget)
         executor = ProcessExecutor(max_workers=2, lease_chunk=lease_chunk)
-        result = executor.run(sources, plan, shared_limits=True)
+        result = executor.run(
+            sources, plan, CrawlSpec(shared_limits=True)
+        )
         return result, budget.used, sources[0].stats.round_trips
 
     def test_leased_crawl_is_identical_with_far_fewer_round_trips(
@@ -750,7 +752,7 @@ class TestRoundTripReduction:
         sources = budgeted_sources(dataset, budget)
         assert sources[0].stats.round_trips == 0
         ProcessExecutor(max_workers=2).run(
-            sources, plan, shared_limits=True, rebalance=True
+            sources, plan, CrawlSpec(shared_limits=True, rebalance=True)
         )
         # Fleet-wide plane chatter written back into every stats object.
         totals = {source.stats.round_trips for source in sources}

@@ -88,6 +88,38 @@ class TestDocstrings:
                 ">>>" in doc or "::" in doc or "Examples" in doc
             ), f"{obj.__name__} lacks a usage example in its docstring"
 
+    def test_spec_and_service_carry_usage_examples(self):
+        """The service-era entry points show example usage as well."""
+        from repro.crawl import (
+            CrawlSpec,
+            TenantLimitRegistry,
+            run_region,
+            spec_from_args,
+        )
+        from repro.service import CrawlService, JobManager, ResultStore
+
+        for obj in (
+            CrawlSpec,
+            spec_from_args,
+            run_region,
+            TenantLimitRegistry,
+            CrawlService,
+            JobManager,
+            ResultStore,
+        ):
+            doc = obj.__doc__ or ""
+            assert (
+                ">>>" in doc or "::" in doc or "Examples" in doc
+            ), f"{obj.__name__} lacks a usage example in its docstring"
+
+    def test_service_exports_are_documented(self):
+        import repro.service as service
+
+        for name in service.__all__:
+            obj = getattr(service, name)
+            doc = getattr(obj, "__doc__", None)
+            assert doc and doc.strip(), f"service.{name} lacks a docstring"
+
 
 class TestExceptionHierarchy:
     def test_all_errors_derive_from_repro_error(self):

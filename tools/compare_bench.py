@@ -54,6 +54,14 @@ METRICS: dict[str, dict] = {
     # baseline is 0 and any growth means resume re-crawls finished
     # regions.
     "reissued_on_resume": {"direction": "lower"},
+    # Job-service throughput under contention (8 tenants over a
+    # 4-worker fleet, latency-dominated so the ratio is a scheduler
+    # property, not a host property).
+    "jobs_per_sec": {},
+    # The fairness tail: submission to first committed row, worst
+    # tenant.  Growth means the rotation stopped protecting late
+    # tenants from earlier jobs' queues.
+    "p99_time_to_first_row_s": {"direction": "lower"},
 }
 
 
