@@ -331,6 +331,51 @@ class TenantLimitRegistry:
         """
         return [coordinator.share(limit) for limit in self.limits(tenant)]
 
+    def pull_shared(self, tenant: str, stubs: list) -> dict:
+        """Land a shared tenant's authoritative charge in the registry.
+
+        The per-commit counterpart of ``coordinator.writeback()``: each
+        stub in ``stubs`` (from :meth:`share`, same order as
+        :meth:`limits`) is flushed -- returning any parked lease
+        headroom -- and its authoritative state is restored into the
+        registry's local objects, so in-process reads
+        (:meth:`charges`, :meth:`budget`) stay exact while the fleet
+        runs on another process.  Returns the tenant's
+        :meth:`charges`-shaped snapshot ``{"budget": ..., "daily":
+        ...}``, which is what the job service persists at each region
+        commit.
+        """
+        states = []
+        for stub in stubs:
+            stub.flush()
+            states.append(stub.state())
+        with self._lock:
+            self._known(tenant)
+            index = 0
+            if tenant in self._budgets:
+                self._budgets[tenant].restore_state(states[index])
+                index += 1
+            if tenant in self._dailies:
+                self._dailies[tenant].restore_state(states[index])
+                index += 1
+            if index != len(states):
+                raise ValueError(
+                    f"tenant {tenant!r} has {index} registered limits "
+                    f"but {len(states)} shared stubs"
+                )
+            return {
+                "budget": (
+                    self._budgets[tenant].state()
+                    if tenant in self._budgets
+                    else None
+                ),
+                "daily": (
+                    self._dailies[tenant].state()
+                    if tenant in self._dailies
+                    else None
+                ),
+            }
+
 
 class _ControlPlane:
     """The coordinator-process side: owns the authoritative objects.

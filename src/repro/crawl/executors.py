@@ -139,6 +139,7 @@ __all__ = [
     "EXECUTORS",
     "make_executor",
     "default_workers",
+    "pickle_payload",
 ]
 
 
@@ -557,6 +558,26 @@ _WORKER_FACTORY: Callable[..., Crawler] | None = None
 _WORKER_STUBS: list = []
 
 
+def pickle_payload(sources, crawler_factory, stubs=()) -> bytes:
+    """Pickle ``(sources, crawler_factory, stubs)`` in one stream.
+
+    One stream matters: pickle memoisation preserves object identity
+    *within* a payload, so the shared-limit stubs referenced by the
+    source clones unpickle as the very objects in the ``stubs`` tuple --
+    flushing those flushes the sources' leases.  Raises a
+    :class:`TypeError` naming the usual culprit (a lambda factory) when
+    anything in the payload refuses to pickle.
+    """
+    try:
+        return pickle.dumps((tuple(sources), crawler_factory, tuple(stubs)))
+    except Exception as exc:
+        raise TypeError(
+            "the process executor needs picklable sources and a "
+            "picklable crawler_factory (a class or functools.partial, "
+            f"not a lambda): {exc}"
+        ) from exc
+
+
 def _process_init(payload: bytes) -> None:
     """Pool initializer: unpickle the sources once per worker process.
 
@@ -726,16 +747,7 @@ class ProcessExecutor(CrawlExecutor):
         return max(1, min(workers, upper))
 
     def _payload(self, sources, crawler_factory, stubs=()) -> bytes:
-        try:
-            return pickle.dumps(
-                (tuple(sources), crawler_factory, tuple(stubs))
-            )
-        except Exception as exc:
-            raise TypeError(
-                "the process executor needs picklable sources and a "
-                "picklable crawler_factory (a class or functools.partial, "
-                f"not a lambda): {exc}"
-            ) from exc
+        return pickle_payload(sources, crawler_factory, stubs)
 
     def _execute(
         self,

@@ -93,6 +93,7 @@ __all__ = [
     "GridSink",
     "BatchSink",
     "ShardPolicy",
+    "crawl_region_unit",
     "run_region",
     "drive_session",
     "drive_stealing",
@@ -641,6 +642,34 @@ class ShardPolicy:
 # ----------------------------------------------------------------------
 # The drive loops: the one session lifecycle state machine
 # ----------------------------------------------------------------------
+def crawl_region_unit(task: RegionTask, runner: UnitRunner, budget=None):
+    """Crawl one region unit and *raise* on failure.
+
+    The raising core of :func:`run_region`: crawl ``task``'s region
+    through ``runner`` -- as a whole, or presplit into ``budget``-sized
+    subtree shards and merged back byte-identically -- and return the
+    :class:`~repro.crawl.parallel.CrawlResult`.  The runner's region
+    boundary is always flushed, success or failure, so leased budget
+    headroom never outlives the attempt.  Callers that must distinguish
+    failure *kinds* (the job service treats :class:`WorkerDeparted` as
+    retriable, everything else as a region failure) use this directly;
+    drive loops that only need pass/fail wrap it via :func:`run_region`.
+    """
+    try:
+        if budget is None:
+            return runner.region(task)
+        plan = runner.presplit(task, budget)
+        results = [
+            runner.shard(
+                ShardTask(task.session, task.index, task.region, shard)
+            )
+            for shard in plan.shards
+        ]
+        return merge_region_shards(plan, results)
+    finally:
+        runner.region_boundary()
+
+
 def run_region(
     task: RegionTask,
     runner: UnitRunner,
@@ -666,23 +695,11 @@ def run_region(
     """
     budget = policy.budget_for(task.key) if policy is not None else None
     try:
-        if budget is None:
-            result = runner.region(task)
-        else:
-            plan = runner.presplit(task, budget)
-            results = [
-                runner.shard(
-                    ShardTask(task.session, task.index, task.region, shard)
-                )
-                for shard in plan.shards
-            ]
-            result = merge_region_shards(plan, results)
-    except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+        result = crawl_region_unit(task, runner, budget)
+    except Exception as exc:  # noqa: BLE001 - filed, never raised
         sink.region_failed(task.key, task.session, exc)
-        runner.region_boundary()
         return False
     sink.region_done(task.key, result)
-    runner.region_boundary()
     return True
 
 

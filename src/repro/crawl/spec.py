@@ -221,8 +221,14 @@ def spec_from_args(args: Any) -> CrawlSpec:
     # for the process backend.
     factory = functools.partial(crawler, max_queries=max_queries)
     workers = getattr(args, "workers", None)
+    # The service layer calls the knob "backend" (it picks where region
+    # units *run*, not how a standalone crawl is driven); both names
+    # land in the same spec field, explicit "executor" winning.
+    executor = getattr(args, "executor", None) or getattr(
+        args, "backend", None
+    )
     return CrawlSpec(
-        executor=getattr(args, "executor", None),
+        executor=executor,
         max_workers=int(workers) if workers is not None else None,
         lease_chunk=getattr(args, "lease_chunk", None),
         crawler_factory=factory,

@@ -16,6 +16,9 @@ still distinguishing the interesting cases:
 * :class:`WorkerDeparted` -- a fleet worker left a running crawl; its
   in-flight work is re-queued, never lost (see
   :mod:`repro.crawl.rebalance`).
+* :class:`RetryAfter` -- a service admission bound refused a submission;
+  the job was *not* enqueued and may be resubmitted once the tenant's
+  pending queue drains (see :mod:`repro.service.jobs`).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ __all__ = [
     "QueryBudgetExhausted",
     "AlgorithmInvariantError",
     "WorkerDeparted",
+    "RetryAfter",
     "WebProtocolError",
 ]
 
@@ -110,6 +114,37 @@ class WorkerDeparted(ReproError, RuntimeError):
     departure costs wall-clock time only -- the crawl still completes
     with full sequential parity and exact budget accounting.
     """
+
+
+class RetryAfter(ReproError, RuntimeError):
+    """A tenant's pending-job queue is full; the submission was refused.
+
+    The refusal is *clean*: nothing was enqueued, no budget was charged,
+    and no store row was written.  Callers should wait for the tenant's
+    queue to drain (``JobManager.wait_for_slot``) and resubmit.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose bound refused the submission, when known.
+    depth:
+        Number of jobs pending or running for the tenant at refusal time.
+    bound:
+        The configured per-tenant admission bound.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        depth: int = 0,
+        bound: int = 0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.depth = depth
+        self.bound = bound
 
 
 class WebProtocolError(ReproError, RuntimeError):

@@ -16,11 +16,21 @@ Each job entry carries exactly the batch CLI's crawl flags as keys
 (``algorithm``, ``workers``, ``rebalance``, ``shard_subtrees``, ...):
 both front ends build their :class:`~repro.crawl.spec.CrawlSpec`
 through the one :func:`~repro.crawl.spec.spec_from_args` mapping, so a
-flag cannot mean two things.  Usage::
+flag cannot mean two things.  Two service-only keys ride along:
+``priority`` (integer admission class; higher classes drain strictly
+first) and ``backend`` (override the server's unit backend for one
+job).  Usage::
 
     repro-serve run jobs.json --store crawl.db --fleet 4
+    repro-serve run jobs.json --store crawl.db --backend process
     repro-serve status --store crawl.db
     repro-serve rows --store crawl.db --tenant acme --name demo
+
+``--backend process`` crawls region units on a worker-process pool
+(per-tenant limits hosted on a coordinator process, admission
+exactly-once); ``--max-pending N`` bounds each tenant's pending +
+running jobs -- the CLI then waits for a slot and resubmits when the
+service refuses with ``RetryAfter``.
 
 ``run`` submits every job (resuming any with committed regions already
 in the store -- those re-issue zero queries), waits for the fleet, and
@@ -40,9 +50,9 @@ from types import SimpleNamespace
 
 from repro.crawl.spec import spec_from_args
 from repro.datasets.io import load_csv
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, RetryAfter
 from repro.service.api import CrawlService
-from repro.service.jobs import DEFAULT_FLEET, JobState
+from repro.service.jobs import BACKENDS, DEFAULT_FLEET, JobState
 from repro.service.store import ResultStore
 
 
@@ -67,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_FLEET,
         help=f"shared worker fleet size (default: {DEFAULT_FLEET})",
     )
+    run.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="thread",
+        help="where region units crawl (default: thread; a job entry's "
+        "'backend' key overrides per job)",
+    )
+    run.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="per-tenant bound on pending + running jobs (default: "
+        "unbounded); the CLI waits and resubmits on refusal",
+    )
 
     status = commands.add_parser(
         "status", help="list the store's jobs and committed progress"
@@ -85,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     rows.add_argument(
         "--output", default=None, help="write rows here instead of stdout"
     )
+    rows.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="skip this many rows of the merge order (default: 0)",
+    )
+    rows.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="print at most this many rows (default: all)",
+    )
     return parser
 
 
@@ -101,6 +137,9 @@ def _status_line(status) -> str:
         f"[{get('regions_done')}/{get('regions_total')} regions, "
         f"{get('cost')} queries, {get('tuples')} tuples]"
     )
+    priority = get("priority")
+    if priority:
+        line += f" (priority {priority})"
     error = get("error")
     if error:
         line += f" -- {error}"
@@ -119,7 +158,12 @@ def _run(args) -> int:
         print(f"error: {args.jobs} declares no jobs", file=sys.stderr)
         return 2
     datasets = {}
-    with CrawlService(args.store, workers=args.fleet) as service:
+    with CrawlService(
+        args.store,
+        workers=args.fleet,
+        backend=args.backend,
+        max_pending=args.max_pending,
+    ) as service:
         for tenant, quota in config.get("tenants", {}).items():
             service.register_tenant(
                 tenant,
@@ -145,15 +189,28 @@ def _run(args) -> int:
                 )
                 return 2
             spec = spec_from_args(SimpleNamespace(**entry))
-            job_id = service.submit(
-                entry["tenant"],
-                datasets[path],
-                int(entry["k"]),
-                name=entry["name"],
-                spec=spec,
-                sessions=entry.get("workers"),
-                seed=int(entry.get("seed", 0)),
-            )
+            while True:
+                try:
+                    job_id = service.submit(
+                        entry["tenant"],
+                        datasets[path],
+                        int(entry["k"]),
+                        name=entry["name"],
+                        spec=spec,
+                        sessions=entry.get("workers"),
+                        seed=int(entry.get("seed", 0)),
+                        priority=int(entry.get("priority", 0)),
+                    )
+                    break
+                except RetryAfter as refusal:
+                    # Backpressure, not failure: the tenant is at its
+                    # pending bound.  Wait for one of its jobs to
+                    # drain, then resubmit this entry.
+                    print(
+                        f"waiting: {refusal}",
+                        file=sys.stderr,
+                    )
+                    service.wait_for_slot(entry["tenant"])
             submitted.append(job_id)
         failed = 0
         for job_id in submitted:
@@ -185,7 +242,7 @@ def _rows(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        rows = store.rows(job_id)
+        rows = store.rows(job_id, offset=args.offset, limit=args.limit)
     lines = "".join(",".join(str(v) for v in row) + "\n" for row in rows)
     if args.output:
         with open(args.output, "w") as handle:

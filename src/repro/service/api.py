@@ -33,6 +33,12 @@ class CrawlService:
     jobs, and each resumes from its committed regions re-issuing zero
     queries -- with every tenant's exact admission charge restored.
 
+    ``backend`` picks where region units crawl -- ``thread`` (inline
+    on the fleet), ``process`` (a worker-process pool, per-tenant
+    limits coordinator-hosted for exactly-once admission) or ``async``
+    -- and ``max_pending`` bounds each tenant's pending + running jobs
+    (refusals raise :class:`~repro.exceptions.RetryAfter`).
+
     Examples
     --------
     Serve two tenants' jobs concurrently over one fleet::
@@ -53,12 +59,18 @@ class CrawlService:
         store_path: str | Path,
         *,
         workers: int = DEFAULT_FLEET,
+        backend: str = "thread",
+        max_pending: int | None = None,
         clock: SimulatedClock | None = None,
     ):
         self.store = ResultStore(store_path)
         self.registry = TenantLimitRegistry(clock=clock)
         self.manager = JobManager(
-            self.store, self.registry, workers=workers
+            self.store,
+            self.registry,
+            workers=workers,
+            backend=backend,
+            max_pending=max_pending,
         )
 
     def register_tenant(
@@ -90,15 +102,19 @@ class CrawlService:
         spec: CrawlSpec | None = None,
         sessions: int | None = None,
         seed: int = 0,
+        priority: int = 0,
         wrap_source=None,
     ) -> int:
         """Queue a crawl job for ``tenant``; returns its durable id.
 
         See :meth:`JobManager.submit
         <repro.service.jobs.JobManager.submit>` -- the spec is the same
-        :class:`~repro.crawl.spec.CrawlSpec` the batch CLI builds, and
+        :class:`~repro.crawl.spec.CrawlSpec` the batch CLI builds
+        (its ``executor`` overrides the service backend per job),
+        ``priority`` classes drain strictly before lower ones, and
         resubmitting an existing ``(tenant, name)`` resumes it from the
-        store.
+        store.  Raises :class:`~repro.exceptions.RetryAfter` when the
+        tenant is at the service's ``max_pending`` bound.
         """
         return self.manager.submit(
             tenant,
@@ -108,6 +124,7 @@ class CrawlService:
             spec=spec,
             sessions=sessions,
             seed=seed,
+            priority=priority,
             wrap_source=wrap_source,
         )
 
@@ -119,9 +136,29 @@ class CrawlService:
         """Cancel an active job; ``False`` for terminal/unknown jobs."""
         return self.manager.cancel(job_id)
 
-    def rows(self, job_id: int) -> list[tuple[int, ...]]:
-        """The job's committed rows, merge-ordered, mid-crawl included."""
-        return self.store.rows(job_id)
+    def rows(
+        self,
+        job_id: int,
+        *,
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> list[tuple[int, ...]]:
+        """The job's committed rows, merge-ordered, mid-crawl included.
+
+        ``offset``/``limit`` page through the deterministic merge
+        order; every page is a contiguous slice of a committed prefix.
+        """
+        return self.store.rows(job_id, offset=offset, limit=limit)
+
+    def queue_depth(self, tenant: str) -> int:
+        """The tenant's admission depth (pending + running jobs)."""
+        return self.manager.queue_depth(tenant)
+
+    def wait_for_slot(
+        self, tenant: str, timeout: float | None = None
+    ) -> bool:
+        """Block until the tenant is under the ``max_pending`` bound."""
+        return self.manager.wait_for_slot(tenant, timeout)
 
     def wait(self, job_id: int, timeout: float | None = None) -> JobStatus:
         """Block until the job is terminal; returns its final status."""

@@ -14,10 +14,36 @@ own* regions (the per-tenant limits of
 :class:`~repro.crawl.coordinator.TenantLimitRegistry` admit
 independently), never stalling anyone else's.
 
+Three layers extend that core:
+
+* **Backends.**  The fleet threads are the *dispatch* plane; where a
+  region unit actually crawls is the job's ``backend``.  ``thread``
+  crawls inline on the fleet thread (the original shape), ``process``
+  ships the unit to a shared :class:`~concurrent.futures.
+  ProcessPoolExecutor` -- per-tenant limits rehosted on a
+  :class:`~repro.crawl.coordinator.LimitCoordinator` so admission
+  stays exactly-once and lease-batched across OS processes -- and
+  ``async`` bridges awaitable sources onto a shared event loop.  All
+  three commit through the same parent-side store seam, one
+  transaction per region, so kill-and-restart re-issues zero queries
+  regardless of backend.
+
+* **Admission control.**  ``max_pending`` bounds each tenant's pending
+  + running jobs; :meth:`JobManager.submit` refuses past the bound
+  with a structured :class:`~repro.exceptions.RetryAfter` (nothing
+  written, nothing charged).  Integer job ``priority`` folds into
+  dispatch as strict priority *between* classes and tenant
+  round-robin *within* a class.
+
+* **Elasticity.**  A unit that raises
+  :class:`~repro.exceptions.WorkerDeparted` (a killed pool worker, an
+  injected fault) is re-queued at the front of its home session --
+  never lost, never re-charged -- up to a per-job departure cap.
+
 Regions execute through the runtime's
-:func:`~repro.crawl.runtime.run_region` -- the same unit of work every
-batch executor bottoms out in -- so a job's stored output is
-byte-identical to the standalone crawl of the same spec.  Completed
+:func:`~repro.crawl.runtime.crawl_region_unit` -- the same unit of
+work every batch executor bottoms out in -- so a job's stored output
+is byte-identical to the standalone crawl of the same spec.  Completed
 regions stream into the :class:`~repro.service.store.ResultStore`
 (rows plus the tenant's exact charge, one transaction per region), and
 a job resubmitted after a server death resumes from the store with its
@@ -26,34 +52,82 @@ committed regions pre-filed: zero queries re-issued.
 
 from __future__ import annotations
 
+import asyncio
 import enum
+import itertools
+import pickle
 import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.crawl.base import CrawlResult
-from repro.crawl.coordinator import TenantLimitRegistry
+from repro.crawl.coordinator import (
+    LimitCoordinator,
+    SharedBudget,
+    TenantLimitRegistry,
+    lease_chunk_for_plan,
+)
+from repro.crawl.executors import _bridge_source, pickle_payload
 from repro.crawl.partition import (
     PartitionedResult,
     PartitionPlan,
     _merge_session_results,
     partition_space,
 )
-from repro.crawl.rebalance import RegionKey, WorkStealingScheduler
+from repro.crawl.rebalance import (
+    RegionKey,
+    RegionTask,
+    WorkStealingScheduler,
+)
 from repro.crawl.runtime import (
     AggregatorFeed,
     GridSink,
     LocalUnitRunner,
     ShardPolicy,
-    run_region,
+    crawl_region_unit,
 )
 from repro.crawl.spec import CrawlSpec
+from repro.exceptions import RetryAfter, WorkerDeparted
 from repro.service.store import ResultStore
 from repro.server.server import TopKServer
 
-__all__ = ["JobManager", "JobState", "JobStatus"]
+__all__ = [
+    "JobManager",
+    "JobState",
+    "JobStatus",
+    "BACKENDS",
+    "rotation_order",
+]
 
 #: Fleet size when the caller does not choose one.
 DEFAULT_FLEET = 4
+
+#: Where a job's region units crawl (the dispatch plane is always the
+#: manager's thread fleet).
+BACKENDS = ("thread", "process", "async")
+
+
+def rotation_order(tenants: list[str], cursor: int) -> list[str]:
+    """Tenants in round-robin order, starting at ``cursor``.
+
+    The pure core of the dispatch rotation: ``tenants`` is one
+    priority class's tenants in first-submission order, ``cursor`` the
+    class's rotation state, and the result is the order in which the
+    next free worker offers them the slot.  Serving the tenant at
+    offset ``i`` advances the cursor *past* it
+    (``cursor % n + i + 1``), which is what bounds any tenant's wait
+    to one full rotation -- the starvation-freedom contract the
+    property tests pin down.
+    """
+    if not tenants:
+        return []
+    start = cursor % len(tenants)
+    return [
+        tenants[(start + offset) % len(tenants)]
+        for offset in range(len(tenants))
+    ]
 
 
 class JobState(enum.Enum):
@@ -90,7 +164,8 @@ class JobStatus:
     ``regions_done`` / ``cost`` / ``tuples`` count the regions
     *committed to the store* -- exactly the progress that survives a
     kill -- and ``error`` carries a failed job's first (lowest plan
-    position) failure message.
+    position) failure message.  ``priority`` is the job's admission
+    class (higher is served strictly first).
     """
 
     job_id: int
@@ -102,6 +177,7 @@ class JobStatus:
     cost: int
     tuples: int
     error: str | None = None
+    priority: int = 0
 
 
 class _Job:
@@ -115,8 +191,14 @@ class _Job:
         plan: PartitionPlan,
         scheduler: WorkStealingScheduler,
         sink: GridSink,
-        runner: LocalUnitRunner,
+        runner: LocalUnitRunner | None,
         policy: ShardPolicy | None,
+        *,
+        priority: int = 0,
+        backend: str = "thread",
+        allow_partial: bool = False,
+        payload: bytes | None = None,
+        ticket: int = 0,
     ):
         self.job_id = job_id
         self.tenant = tenant
@@ -126,8 +208,79 @@ class _Job:
         self.sink = sink
         self.runner = runner
         self.policy = policy
+        self.priority = priority
+        self.backend = backend
+        self.allow_partial = allow_partial
+        self.payload = payload
+        self.ticket = ticket
         self.state = JobState.PENDING
         self.error: str | None = None
+        self.departures = 0
+        total = sum(len(bundle) for bundle in plan.bundles)
+        #: Departures tolerated before a unit's next departure is a
+        #: region failure: generous enough for every region to ride out
+        #: a few kills, small enough that a permanently departing fleet
+        #: terminates instead of spinning.
+        self.departure_cap = 4 * (total + 1)
+
+
+# ----------------------------------------------------------------------
+# Process-backend wire: per-worker cached runners keyed by job ticket
+# ----------------------------------------------------------------------
+#: Unpickled (runner) per job ticket, one cache per pool worker.  Keyed
+#: by the manager's monotonically increasing ticket -- never the job
+#: id -- so a *resubmitted* job (new sources, fresh crawler state)
+#: can never hit a stale cache entry from its previous life.
+_UNIT_RUNNERS: OrderedDict[int, LocalUnitRunner] = OrderedDict()
+_UNIT_RUNNER_LIMIT = 16
+
+
+def _unit_runner(
+    ticket: int, payload: bytes, allow_partial: bool
+) -> LocalUnitRunner:
+    """This pool worker's runner for one job, unpickled once."""
+    runner = _UNIT_RUNNERS.get(ticket)
+    if runner is not None:
+        _UNIT_RUNNERS.move_to_end(ticket)
+        return runner
+    sources, factory, stubs = pickle.loads(payload)
+
+    def flush() -> None:
+        for stub in stubs:
+            stub.flush()
+
+    runner = LocalUnitRunner(
+        sources, factory, allow_partial, flush=flush if stubs else None
+    )
+    _UNIT_RUNNERS[ticket] = runner
+    while len(_UNIT_RUNNERS) > _UNIT_RUNNER_LIMIT:
+        _UNIT_RUNNERS.popitem(last=False)
+    return runner
+
+
+def _pool_run_unit(
+    ticket: int,
+    payload: bytes,
+    session: int,
+    index: int,
+    region,
+    budget: int | None,
+    allow_partial: bool,
+):
+    """Crawl one region unit in a pool worker; the result pickles back.
+
+    The payload rides along with every task (the pool outlives any one
+    job, so an initializer cannot know future jobs' sources) but is
+    unpickled once per worker per job.  The runner's region boundary
+    flushes the worker's shared-limit leases on every exit path, so
+    the authoritative charge is exact by the time the parent commits
+    the result -- and a :class:`~repro.exceptions.WorkerDeparted`
+    raised mid-unit travels back pickled for the parent to re-queue.
+    """
+    runner = _unit_runner(ticket, payload, allow_partial)
+    return crawl_region_unit(
+        RegionTask(session, index, region), runner, budget
+    )
 
 
 class JobManager:
@@ -135,8 +288,11 @@ class JobManager:
 
     Construction starts ``workers`` daemon threads; :meth:`submit`
     hands them jobs, :meth:`shutdown` drains them (each finishes its
-    in-flight region, nothing else starts).  All public methods are
-    thread-safe.
+    in-flight region, nothing else starts).  ``backend`` picks where
+    region units crawl (``thread``, ``process`` or ``async``; a job
+    spec's ``executor`` overrides per job), and ``max_pending`` bounds
+    each tenant's pending + running jobs (``None`` = unbounded).  All
+    public methods are thread-safe.
 
     Examples
     --------
@@ -161,17 +317,43 @@ class JobManager:
         registry: TenantLimitRegistry,
         *,
         workers: int = DEFAULT_FLEET,
+        backend: str = "thread",
+        max_pending: int | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of: {known}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be positive or None, got {max_pending}"
+            )
         self._store = store
         self._registry = registry
+        self._backend = backend
+        self._max_pending = max_pending
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._jobs: dict[int, _Job] = {}
         self._order: list[int] = []
-        self._rotation = 0
+        #: Per-priority-class tenant rotation cursors.
+        self._rotation: dict[int, int] = {}
+        #: Submissions past the admission check but not yet inserted.
+        self._reserved: dict[str, int] = {}
         self._stop = False
+        # Lazily created multi-process / async plumbing.  Guarded by
+        # its own lock so coordinator round trips never park the
+        # dispatch lock; ordering is always backend lock -> job lock.
+        self._backend_lock = threading.Lock()
+        self._coordinator: LimitCoordinator | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._shared_stubs: dict[str, list] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._tickets = itertools.count(1)
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -196,6 +378,7 @@ class JobManager:
         spec: CrawlSpec | None = None,
         sessions: int | None = None,
         seed: int = 0,
+        priority: int = 0,
         wrap_source=None,
     ) -> int:
         """Queue one crawl job; returns its durable job id.
@@ -206,10 +389,18 @@ class JobManager:
         regions (default: the spec's ``max_workers``, else the fleet
         size is a sensible ceiling -- one region can occupy at most one
         worker).  ``spec`` is the crawl configuration -- the same
-        :class:`~repro.crawl.spec.CrawlSpec` the batch CLI builds.
+        :class:`~repro.crawl.spec.CrawlSpec` the batch CLI builds; its
+        ``executor`` field overrides the manager backend for this job.
+        ``priority`` is the job's admission class: classes drain in
+        strictly descending order, tenants round-robin within one.
         ``wrap_source`` optionally wraps each session server (e.g. a
         :class:`~repro.server.latency.LatencySource` simulating network
         round trips, as the service benchmark does).
+
+        When the manager's ``max_pending`` bound is set and the tenant
+        already has that many jobs pending or running, the submission
+        is refused with :class:`~repro.exceptions.RetryAfter` *before*
+        anything is written or charged.
 
         Resubmitting an existing ``(tenant, name)`` resumes it: regions
         already committed to the store are pre-filed and re-issue zero
@@ -221,10 +412,54 @@ class JobManager:
                 raise RuntimeError("JobManager is shut down")
         if spec is None:
             spec = CrawlSpec()
+        backend = self._resolve_backend(spec)
+        self._reserve_slot(tenant)
+        try:
+            return self._submit_reserved(
+                tenant,
+                dataset,
+                k,
+                name=name,
+                spec=spec,
+                backend=backend,
+                sessions=sessions,
+                seed=seed,
+                priority=priority,
+                wrap_source=wrap_source,
+            )
+        finally:
+            self._release_slot(tenant)
+
+    def _submit_reserved(
+        self,
+        tenant: str,
+        dataset,
+        k: int,
+        *,
+        name: str,
+        spec: CrawlSpec,
+        backend: str,
+        sessions: int | None,
+        seed: int,
+        priority: int,
+        wrap_source,
+    ) -> int:
         count = sessions or spec.max_workers or len(self._threads)
         plan = partition_space(dataset.space, count)
-        job_id, completed = self._store.open_job(tenant, name, plan, k)
-        limits = self._registry.limits(tenant)
+        job_id, completed = self._store.open_job(
+            tenant, name, plan, k, priority=priority
+        )
+        if backend == "process":
+            stubs = self._share_tenant(tenant)
+        else:
+            with self._backend_lock:
+                stubs = self._shared_stubs.get(tenant)
+        # Once a tenant's limits are rehosted on the coordinator, every
+        # job of that tenant -- whatever its backend -- admits through
+        # the stubs: one authoritative copy, one exact charge.
+        limits = (
+            stubs if stubs is not None else self._registry.limits(tenant)
+        )
         sources = [
             TopKServer(dataset, k, priority_seed=seed, limits=limits)
             for _ in range(plan.sessions)
@@ -232,6 +467,17 @@ class JobManager:
         if wrap_source is not None:
             sources = [wrap_source(source) for source in sources]
         feed = AggregatorFeed(spec.aggregator, plan)
+
+        if stubs:
+            # Commit-time charge reads pull the authoritative counters
+            # out of the coordinator (flushing parked leases) and land
+            # them in the registry's local objects on the way.
+            def charge() -> dict:
+                return self._registry.pull_shared(tenant, stubs)
+        else:
+
+            def charge() -> dict:
+                return self._registry.charges()[tenant]
 
         def on_region(key: RegionKey, result: CrawlResult) -> None:
             # The durability boundary: the region, its rows and the
@@ -241,13 +487,7 @@ class JobManager:
             # committing concurrently for one tenant would otherwise
             # race stale snapshots into the last write.
             self._store.region_done(
-                job_id,
-                key,
-                result,
-                tenant_charge=(
-                    tenant,
-                    lambda: self._registry.charges()[tenant],
-                ),
+                job_id, key, result, tenant_charge=(tenant, charge)
             )
             if spec.on_region is not None:
                 spec.on_region(key, result)
@@ -261,11 +501,56 @@ class JobManager:
         policy = ShardPolicy.resolve(
             spec.shard_subtrees, plan, spec.estimator, len(self._threads)
         )
-        runner = LocalUnitRunner(
-            sources, spec.crawler_factory, spec.allow_partial, feed=feed
-        )
+        runner: LocalUnitRunner | None = None
+        payload: bytes | None = None
+        ticket = 0
+        if backend == "process":
+            if stubs:
+                chunk = spec.lease_chunk
+                if chunk is None:
+                    chunk = self._clamp_tenant_chunk(
+                        stubs, lease_chunk_for_plan(plan, spec.estimator)
+                    )
+                for stub in stubs:
+                    if isinstance(stub, SharedBudget):
+                        stub.lease_chunk = chunk
+            payload = pickle_payload(sources, spec.crawler_factory, stubs)
+            ticket = next(self._tickets)
+            self._ensure_pool()
+        else:
+            if backend == "async":
+                loop = self._ensure_loop()
+                sources = [
+                    _bridge_source(source, loop) for source in sources
+                ]
+            flush = None
+            if stubs:
+
+                def flush() -> None:
+                    for stub in stubs:
+                        stub.flush()
+
+            runner = LocalUnitRunner(
+                sources,
+                spec.crawler_factory,
+                spec.allow_partial,
+                feed=feed,
+                flush=flush,
+            )
         job = _Job(
-            job_id, tenant, name, plan, scheduler, sink, runner, policy
+            job_id,
+            tenant,
+            name,
+            plan,
+            scheduler,
+            sink,
+            runner,
+            policy,
+            priority=priority,
+            backend=backend,
+            allow_partial=spec.allow_partial,
+            payload=payload,
+            ticket=ticket,
         )
         with self._cond:
             if self._stop:
@@ -340,7 +625,37 @@ class JobManager:
             cost=snapshot["cost"],
             tuples=snapshot["tuples"],
             error=error,
+            priority=snapshot["priority"],
         )
+
+    def queue_depth(self, tenant: str) -> int:
+        """The tenant's admission depth: pending + running + reserved.
+
+        Exactly the number :meth:`submit` checks against
+        ``max_pending``, and the ``depth`` a refusal's
+        :class:`~repro.exceptions.RetryAfter` carries.
+        """
+        with self._lock:
+            return self._depth_locked(tenant)
+
+    def wait_for_slot(
+        self, tenant: str, timeout: float | None = None
+    ) -> bool:
+        """Block until the tenant is under its admission bound.
+
+        Returns ``True`` when a slot is free (always, when the manager
+        is unbounded), ``False`` on timeout.  The natural retry loop
+        around a :class:`~repro.exceptions.RetryAfter` refusal -- but
+        note the slot is not *held*: a racing submitter can still take
+        it first.
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._stop
+                or self._max_pending is None
+                or self._depth_locked(tenant) < self._max_pending,
+                timeout,
+            )
 
     def result(self, job_id: int) -> PartitionedResult:
         """A finished job's merged result, byte-identical to batch.
@@ -365,7 +680,10 @@ class JobManager:
 
         Each worker finishes the region it is crawling -- committed
         work is never torn -- and nothing further is dispatched;
-        non-terminal jobs stay resumable from the store.
+        non-terminal jobs stay resumable from the store.  Backend
+        resources (process pool, limit coordinator, event loop) are
+        torn down after the fleet drains, with every shared tenant's
+        authoritative charge landed back in the registry first.
         """
         with self._cond:
             if self._stop:
@@ -374,6 +692,31 @@ class JobManager:
             self._cond.notify_all()
         for thread in self._threads:
             thread.join()
+        with self._backend_lock:
+            pool = self._pool
+            self._pool = None
+            coordinator = self._coordinator
+            self._coordinator = None
+            shared = dict(self._shared_stubs)
+            self._shared_stubs.clear()
+            loop = self._loop
+            self._loop = None
+            loop_thread = self._loop_thread
+            self._loop_thread = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if coordinator is not None:
+            # Land the exact authoritative charges in the registry's
+            # local objects before the coordinator process goes away;
+            # the store already holds them from the last region commit.
+            for tenant, stubs in shared.items():
+                self._registry.pull_shared(tenant, stubs)
+            coordinator.shutdown()
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if loop_thread is not None:
+                loop_thread.join()
+            loop.close()
 
     def __enter__(self) -> "JobManager":
         return self
@@ -382,42 +725,239 @@ class JobManager:
         self.shutdown()
 
     # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _depth_locked(self, tenant: str) -> int:
+        depth = self._reserved.get(tenant, 0)
+        for job in self._jobs.values():
+            if job.tenant == tenant and not job.state.terminal:
+                depth += 1
+        return depth
+
+    def _reserve_slot(self, tenant: str) -> None:
+        """Admit one submission against the tenant's pending bound.
+
+        The reservation closes the check-then-insert window: two
+        racing submitters both seeing ``bound - 1`` jobs must not both
+        pass.  Refusal is clean -- raised before the store, the
+        registry or the backend plumbing is touched.
+        """
+        with self._cond:
+            if self._max_pending is not None:
+                depth = self._depth_locked(tenant)
+                if depth >= self._max_pending:
+                    raise RetryAfter(
+                        f"tenant {tenant!r} has {depth} jobs pending or "
+                        f"running (bound {self._max_pending}); retry "
+                        "after one drains",
+                        tenant=tenant,
+                        depth=depth,
+                        bound=self._max_pending,
+                    )
+            self._reserved[tenant] = self._reserved.get(tenant, 0) + 1
+
+    def _release_slot(self, tenant: str) -> None:
+        with self._cond:
+            remaining = self._reserved.get(tenant, 0) - 1
+            if remaining > 0:
+                self._reserved[tenant] = remaining
+            else:
+                self._reserved.pop(tenant, None)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, spec: CrawlSpec) -> str:
+        backend = spec.executor or self._backend
+        if backend == "sequential":
+            # The batch CLI's sequential executor is the thread
+            # backend's dispatch shape with a one-worker fleet; at the
+            # service layer the fleet size is the manager's, so the
+            # unit still crawls inline on a fleet thread.
+            backend = "thread"
+        if backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of: {known}"
+            )
+        return backend
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._backend_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=len(self._threads)
+                )
+            return self._pool
+
+    def _revive_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool (a worker process actually died)."""
+        with self._backend_lock:
+            if self._pool is broken:
+                broken.shutdown(wait=False)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=len(self._threads)
+                )
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._backend_lock:
+            if self._loop is None:
+                self._loop = asyncio.new_event_loop()
+                self._loop_thread = threading.Thread(
+                    target=self._loop.run_forever,
+                    name="job-async-loop",
+                    daemon=True,
+                )
+                self._loop_thread.start()
+            return self._loop
+
+    def _share_tenant(self, tenant: str) -> list:
+        """The tenant's limits as coordinator stubs (hosted lazily).
+
+        First process-backed submission for a tenant rehosts its
+        registered limits on the manager's
+        :class:`~repro.crawl.coordinator.LimitCoordinator`; afterwards
+        *every* job of the tenant admits through the stubs.  Rehosting
+        under the tenant's active in-process jobs would strand their
+        local charges, so that is refused.
+        """
+        limits = self._registry.limits(tenant)
+        with self._backend_lock:
+            stubs = self._shared_stubs.get(tenant)
+            if stubs is not None:
+                return stubs
+            if limits:
+                with self._lock:
+                    active = sum(
+                        1
+                        for job in self._jobs.values()
+                        if job.tenant == tenant and not job.state.terminal
+                    )
+                if active:
+                    raise ValueError(
+                        f"cannot rehost tenant {tenant!r} limits on the "
+                        f"coordinator while {active} of its jobs admit "
+                        "in-process; drain them first"
+                    )
+            if self._coordinator is None:
+                self._coordinator = LimitCoordinator().start()
+            stubs = self._registry.share(tenant, self._coordinator)
+            self._shared_stubs[tenant] = stubs
+            return stubs
+
+    def _clamp_tenant_chunk(self, stubs: list, chunk: int) -> int:
+        """Cap a lease chunk against *this tenant's* budget headroom.
+
+        The coordinator's own ``clamp_lease_chunk`` scans every shared
+        budget it hosts -- across tenants -- which would let one poor
+        tenant shrink a rich tenant's batching.  The service clamps
+        per tenant: only the stubs at hand bound the chunk.
+        """
+        fleet = len(self._threads)
+        for stub in stubs:
+            if isinstance(stub, SharedBudget):
+                cap = max(1, stub.remaining // (4 * fleet))
+                chunk = min(chunk, cap)
+        return max(1, chunk)
+
+    # ------------------------------------------------------------------
     # The fleet
     # ------------------------------------------------------------------
     def _next_work_locked(self):
-        """The next (job, task) under tenant round-robin, or ``None``.
+        """The next (job, task) under priority + tenant round-robin.
 
-        Walks tenants in rotation order starting after the tenant
-        served last; within a tenant, jobs are tried in submission
-        order.  Advancing the rotation *past* the tenant that got the
-        slot is what makes dispatch fair: a tenant is served at most
-        once per full rotation, however many jobs or regions it has
+        Active jobs group into priority classes; classes are walked in
+        strictly descending priority (a lower class is served only
+        when every higher class has nothing acquirable).  Within a
+        class, tenants are walked in rotation order starting after the
+        tenant served last (:func:`rotation_order`); within a tenant,
+        jobs are tried in submission order.  Advancing the class's
+        cursor *past* the tenant that got the slot is what makes
+        dispatch fair: a tenant is served at most once per full
+        rotation of its class, however many jobs or regions it has
         queued.
         """
-        tenants: list[str] = []
-        by_tenant: dict[str, list[_Job]] = {}
+        classes: dict[int, list[str]] = {}
+        by_tenant: dict[tuple[int, str], list[_Job]] = {}
         for job_id in self._order:
             job = self._jobs.get(job_id)
             if job is None or job.state.terminal:
                 continue
-            if job.tenant not in by_tenant:
-                tenants.append(job.tenant)
-                by_tenant[job.tenant] = []
-            by_tenant[job.tenant].append(job)
-        if not tenants:
-            return None
-        start = self._rotation % len(tenants)
-        for offset in range(len(tenants)):
-            tenant = tenants[(start + offset) % len(tenants)]
-            for job in by_tenant[tenant]:
-                task = job.scheduler.acquire(block=False)
-                if task is not None:
-                    if job.state is JobState.PENDING:
-                        job.state = JobState.RUNNING
-                        self._store.set_status(job.job_id, "running")
-                    self._rotation = (start + offset + 1) % len(tenants)
-                    return job, task
+            bucket = by_tenant.setdefault((job.priority, job.tenant), [])
+            if not bucket:
+                classes.setdefault(job.priority, []).append(job.tenant)
+            bucket.append(job)
+        for priority in sorted(classes, reverse=True):
+            tenants = classes[priority]
+            cursor = self._rotation.get(priority, 0)
+            start = cursor % len(tenants)
+            for offset, tenant in enumerate(rotation_order(tenants, cursor)):
+                for job in by_tenant[(priority, tenant)]:
+                    task = job.scheduler.acquire(block=False)
+                    if task is not None:
+                        if job.state is JobState.PENDING:
+                            job.state = JobState.RUNNING
+                            self._store.set_status(job.job_id, "running")
+                        self._rotation[priority] = (
+                            start + offset + 1
+                        ) % len(tenants)
+                        return job, task
         return None
+
+    def _run_unit(self, job: _Job, task) -> CrawlResult:
+        """Crawl one acquired unit on the job's backend (raises)."""
+        budget = (
+            job.policy.budget_for(task.key)
+            if job.policy is not None
+            else None
+        )
+        if job.backend != "process":
+            return crawl_region_unit(task, job.runner, budget)
+        pool = self._pool
+        if pool is None:
+            pool = self._ensure_pool()
+        try:
+            future = pool.submit(
+                _pool_run_unit,
+                job.ticket,
+                job.payload,
+                task.session,
+                task.index,
+                task.region,
+                budget,
+                job.allow_partial,
+            )
+            return future.result()
+        except BrokenProcessPool as exc:
+            self._revive_pool(pool)
+            raise WorkerDeparted(
+                f"process pool worker died mid-unit: {exc}"
+            ) from exc
+
+    def _requeue_departed(self, job: _Job, task) -> bool:
+        """Put a departed unit back at the front of its home session.
+
+        Returns whether the unit was re-queued; past the job's
+        departure cap (or on a terminal job, whose scheduler is
+        aborted) the departure is handled as a region failure instead.
+        """
+        with self._cond:
+            job.departures += 1
+            if job.state.terminal or job.departures > job.departure_cap:
+                return False
+            if not job.scheduler.requeue(task):
+                return False
+            self._cond.notify_all()
+            return True
+
+    def _fail_unit(self, job: _Job, task, exc: BaseException) -> None:
+        job.sink.region_failed(task.key, task.session, exc)
+        job.scheduler.fail(task)
+        with self._cond:
+            if not job.state.terminal and job.scheduler.done():
+                self._finalize_locked(job)
+            self._cond.notify_all()
 
     def _worker_loop(self) -> None:
         while True:
@@ -431,16 +971,23 @@ class JobManager:
                 if item is None:
                     return
             job, task = item
-            ok = run_region(task, job.runner, job.sink, job.policy)
-            if ok:
-                result = job.sink.grid[task.session][task.index]
-                job.scheduler.complete(task, result.cost)
+            try:
+                result = self._run_unit(job, task)
+            except WorkerDeparted as exc:
+                # The worker is gone, not the unit: requeue and let
+                # the fleet re-attempt (exactly-once charges survive
+                # because doomed attempts flushed their leases).
+                if not self._requeue_departed(job, task):
+                    self._fail_unit(job, task, exc)
+            except Exception as exc:  # noqa: BLE001 - filed, not raised
+                self._fail_unit(job, task, exc)
             else:
-                job.scheduler.fail(task)
-            with self._cond:
-                if not job.state.terminal and job.scheduler.done():
-                    self._finalize_locked(job)
-                self._cond.notify_all()
+                job.sink.region_done(task.key, result)
+                job.scheduler.complete(task, result.cost)
+                with self._cond:
+                    if not job.state.terminal and job.scheduler.done():
+                        self._finalize_locked(job)
+                    self._cond.notify_all()
 
     def _finalize_locked(self, job: _Job) -> None:
         # Caller holds self._lock.

@@ -49,6 +49,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     space         TEXT NOT NULL,
     plan          TEXT NOT NULL,
     regions_total INTEGER NOT NULL,
+    priority      INTEGER NOT NULL DEFAULT 0,
     error         TEXT,
     UNIQUE (tenant, name)
 );
@@ -110,6 +111,18 @@ class ResultStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            # Databases created before job priorities existed lack the
+            # column; add it in place (default 0 = the old behaviour)
+            # so an upgraded server opens its old store unchanged.
+            columns = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(jobs)")
+            }
+            if "priority" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN priority "
+                    "INTEGER NOT NULL DEFAULT 0"
+                )
             self._conn.commit()
 
     @property
@@ -132,7 +145,13 @@ class ResultStore:
     # Jobs
     # ------------------------------------------------------------------
     def open_job(
-        self, tenant: str, name: str, plan: PartitionPlan, k: int
+        self,
+        tenant: str,
+        name: str,
+        plan: PartitionPlan,
+        k: int,
+        *,
+        priority: int = 0,
     ) -> tuple[int, dict[RegionKey, CrawlResult]]:
         """Create -- or resume -- the job ``(tenant, name)``.
 
@@ -143,7 +162,9 @@ class ResultStore:
         regions are returned as a ``completed`` map: pre-file them into
         the executor and those regions re-issue **zero** queries.  A
         non-terminal existing job is reset to ``pending`` (the previous
-        server died mid-crawl).
+        server died mid-crawl).  ``priority`` is recorded either way --
+        a resubmission may re-class a job (the rows it already
+        committed are priority-independent).
         """
         space = json.dumps(space_signature(plan.space))
         signature = json.dumps(plan_signature(plan), sort_keys=True)
@@ -156,8 +177,8 @@ class ResultStore:
             if row is None:
                 cursor = self._conn.execute(
                     "INSERT INTO jobs (tenant, name, status, k, space, "
-                    "plan, regions_total) VALUES (?, ?, 'pending', ?, "
-                    "?, ?, ?)",
+                    "plan, regions_total, priority) VALUES (?, ?, "
+                    "'pending', ?, ?, ?, ?, ?)",
                     (
                         tenant,
                         name,
@@ -165,6 +186,7 @@ class ResultStore:
                         space,
                         signature,
                         len(plan.regions),
+                        int(priority),
                     ),
                 )
                 self._conn.commit()
@@ -189,11 +211,16 @@ class ResultStore:
                 )
             if status not in ("done", "cancelled"):
                 self._conn.execute(
-                    "UPDATE jobs SET status = 'pending', error = NULL "
-                    "WHERE job_id = ?",
-                    (job_id,),
+                    "UPDATE jobs SET status = 'pending', error = NULL, "
+                    "priority = ? WHERE job_id = ?",
+                    (int(priority), job_id),
                 )
-                self._conn.commit()
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET priority = ? WHERE job_id = ?",
+                    (int(priority), job_id),
+                )
+            self._conn.commit()
             return int(job_id), self._completed(int(job_id), plan)
 
     def find_job(self, tenant: str, name: str) -> int | None:
@@ -222,14 +249,15 @@ class ResultStore:
         """One job's durable status row, with live region aggregates.
 
         ``{"job_id", "tenant", "name", "status", "k", "regions_done",
-        "regions_total", "cost", "tuples", "error"}`` -- ``cost`` and
-        ``tuples`` sum the *committed* regions, so a mid-crawl read
-        reports exactly the progress that would survive a kill.
+        "regions_total", "cost", "tuples", "error", "priority"}`` --
+        ``cost`` and ``tuples`` sum the *committed* regions, so a
+        mid-crawl read reports exactly the progress that would survive
+        a kill.
         """
         with self._lock:
             row = self._conn.execute(
                 "SELECT job_id, tenant, name, status, k, regions_total, "
-                "error FROM jobs WHERE job_id = ?",
+                "error, priority FROM jobs WHERE job_id = ?",
                 (job_id,),
             ).fetchone()
             if row is None:
@@ -250,6 +278,7 @@ class ResultStore:
             "cost": int(cost),
             "tuples": int(tuples),
             "error": row[6],
+            "priority": int(row[7]),
         }
 
     def list_jobs(self, tenant: str | None = None) -> list[dict]:
@@ -378,21 +407,36 @@ class ResultStore:
         with self._lock:
             return self._completed(job_id, plan)
 
-    def rows(self, job_id: int) -> list[tuple[int, ...]]:
-        """Every committed row of a job, in deterministic merge order.
+    def rows(
+        self,
+        job_id: int,
+        *,
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> list[tuple[int, ...]]:
+        """Committed rows of a job, in deterministic merge order.
 
         Ordered by (session, region index, extraction position) --
         exactly the finished crawl's ``result.rows`` order -- and
         queryable **mid-crawl**: the answer is always the committed
-        prefix of the final bag.
+        prefix of the final bag.  ``offset``/``limit`` page through
+        that order (``limit=None`` reads to the end); because a page
+        is read under the same lock region commits take, every page is
+        a contiguous slice of some committed prefix -- never a torn
+        view of a region mid-commit.
         """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0 or None, got {limit}")
         with self._lock:
             return [
                 tuple(json.loads(row))
                 for (row,) in self._conn.execute(
                     "SELECT row FROM rows WHERE job_id = ? "
-                    "ORDER BY session, region_index, position",
-                    (job_id,),
+                    "ORDER BY session, region_index, position "
+                    "LIMIT ? OFFSET ?",
+                    (job_id, -1 if limit is None else int(limit), int(offset)),
                 )
             ]
 

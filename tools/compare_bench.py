@@ -62,6 +62,14 @@ METRICS: dict[str, dict] = {
     # tenant.  Growth means the rotation stopped protecting late
     # tenants from earlier jobs' queues.
     "p99_time_to_first_row_s": {"direction": "lower"},
+    # The service's multi-core win: the CPU-bound tenant burst under
+    # backend=process vs backend=thread.  Only meaningful off the
+    # GIL's one core, like every other process-vs-thread ratio.
+    "service_process_over_thread": {"min_cpus": 2},
+    # Per-backend throughput of the CPU-bound burst; the thread side
+    # is GIL-bound and comparable on any host.
+    "backends.thread.jobs_per_sec": {},
+    "backends.process.jobs_per_sec": {"min_cpus": 2},
 }
 
 
