@@ -1,0 +1,215 @@
+"""Single-core hot path: sequential queries/sec, gated per PR.
+
+``BENCH_executors.json`` tracks how well the fleet scales *out*; this
+benchmark tracks the thing the fleet multiplies: how fast **one**
+worker's inner loop answers queries.  The workload is the same
+CPU-bound linear-engine crawl the executor benchmark uses, run strictly
+sequentially, so the measured ``queries_per_sec`` is pure inner-loop
+cost -- predicate evaluation, engine top-k, response/cache hashing --
+with no scheduling in the way.
+
+Two engines crawl the identical plan:
+
+* the **interpreted** reference -- a frozen copy of the pre-compiled-
+  matcher ``LinearScanEngine.top`` (per-row predicate-method dispatch
+  over numpy scalar reads), i.e. the pre-optimisation sequential path;
+* the **compiled** engine -- today's :class:`LinearScanEngine`: one
+  :func:`repro.query.compile_matcher` codegen pass per query over
+  cached plain-int row tuples.
+
+The crawl results must be byte-identical (rows, cost, progress) and the
+query counts exactly equal -- the speedup may only come from doing the
+same work faster.  ``hot_path_speedup`` (interpreted / compiled wall
+clock) is asserted ``>= 1.5`` on any host, single-core included, and
+both it and ``queries_per_sec`` are gated by ``tools/compare_bench.py``
+against ``benchmarks/baselines/BENCH_hot_path.json``.
+
+A second measurement times the batched top-k seam: answering a vector
+of sibling slice queries through :meth:`QueryEngine.top_batch` (one
+shared mask/candidate context) vs a per-query loop, on the vector and
+indexed engines.  Recorded as ``batch_speedup`` for trend-watching; it
+is not gated (sub-millisecond ratios are too noisy on shared CI).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace
+from repro.query.query import Query
+from repro.server.engines import (
+    IndexedEngine,
+    QueryEngine,
+    VectorEngine,
+)
+from repro.server.response import Row
+from repro.server.server import TopKServer
+
+K = 16
+SESSIONS = 4
+
+
+class InterpretedLinearScanEngine(QueryEngine):
+    """The pre-compiled-matcher linear scan, frozen for comparison.
+
+    A faithful copy of ``LinearScanEngine.top`` before predicate
+    compilation and row-tuple caching: one ``pred.matches`` dispatch
+    per attribute per row, rows materialised per response.  This is
+    the benchmark's "pre-PR sequential path".
+    """
+
+    def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        rows: list[Row] = []
+        preds = query.predicates
+        for i in range(self.n):
+            raw = self._matrix[i]
+            if all(pred.matches(int(v)) for pred, v in zip(preds, raw)):
+                if len(rows) == k:
+                    return rows, True
+                rows.append(tuple(int(v) for v in raw))
+        return rows, False
+
+
+def cpu_bound_dataset(n: int, seed: int = 11) -> Dataset:
+    """The executor benchmark's CPU-bound mixed-space dataset."""
+    rng = np.random.default_rng(seed)
+    space = DataSpace.mixed(
+        [("make", 8), ("body", 4)],
+        ["price"],
+        numeric_bounds=[(0, 1999)],
+    )
+    rows = np.column_stack(
+        [
+            rng.integers(1, 9, n),
+            rng.integers(1, 5, n),
+            rng.integers(0, 2000, n),
+        ]
+    ).astype(np.int64)
+    return Dataset(space, rows)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def write_report(report: dict) -> str:
+    path = os.environ.get("REPRO_BENCH_OUT", "BENCH_hot_path.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return path
+
+
+def interpreted_sources(dataset: Dataset, sessions: int) -> list[TopKServer]:
+    """Servers whose engine is the frozen pre-optimisation scan."""
+    sources = []
+    for _ in range(sessions):
+        server = TopKServer(dataset, K, engine="linear")
+        # Swap in the frozen reference over the identical
+        # priority-ordered matrix: same responses, old inner loop.
+        server._engine = InterpretedLinearScanEngine(  # noqa: SLF001
+            server._engine._matrix  # noqa: SLF001
+        )
+        sources.append(server)
+    return sources
+
+
+def measure_batch_seam(dataset: Dataset, reps: int = 20) -> dict:
+    """Sibling slice queries: top_batch vs a per-query loop.
+
+    The engine is warmed first (lazy indexes and row-tuple cache built
+    outside the timed region) and the sibling set is answered ``reps``
+    times, so the measured ratio is the seam itself -- shared mask /
+    candidate reuse -- not index-build noise on a microsecond workload.
+    Each ``top_batch`` call opens a fresh evaluation context, so no
+    cache leaks between repetitions.
+    """
+    space = dataset.space
+    report = {}
+    base = Query.full(space)
+    queries = [
+        base.with_value(0, make).with_value(1, body)
+        for make in range(1, 9)
+        for body in range(1, 5)
+    ]
+    engine_classes = (("vector", VectorEngine), ("indexed", IndexedEngine))
+    for name, engine_cls in engine_classes:
+        engine = engine_cls(dataset.rows)
+        expected = [engine.top(q, K) for q in queries]  # warm the engine
+        looped, loop_seconds = timed(
+            lambda e=engine: [
+                [e.top(q, K) for q in queries] for _ in range(reps)
+            ]
+        )
+        batched, batch_seconds = timed(
+            lambda e=engine: [e.top_batch(queries, K) for _ in range(reps)]
+        )
+        assert all(rep == expected for rep in looped), name
+        assert all(rep == expected for rep in batched), name
+        report[name] = round(loop_seconds / max(batch_seconds, 1e-9), 2)
+    return report
+
+
+def test_single_core_queries_per_sec(benchmark):
+    """Compiled vs interpreted inner loop on one sequential crawl."""
+    n = max(4000, int(16000 * bench_scale()))
+    dataset = cpu_bound_dataset(n)
+    plan = partition_space(dataset.space, SESSIONS)
+
+    interpreted, interp_seconds = timed(
+        lambda: crawl_partitioned(
+            interpreted_sources(dataset, plan.sessions), plan
+        )
+    )
+
+    def compiled_sources():
+        return [
+            TopKServer(dataset, K, engine="linear")
+            for _ in range(plan.sessions)
+        ]
+
+    compiled = benchmark.pedantic(
+        lambda: crawl_partitioned(compiled_sources(), plan),
+        rounds=1,
+        iterations=1,
+    )
+    compiled_seconds = benchmark.stats.stats.mean
+
+    # Byte-identical results, exact query counts: the speedup must come
+    # from doing the same work faster, never from doing different work.
+    assert compiled.rows == interpreted.rows
+    assert compiled.cost == interpreted.cost
+    assert compiled.progress == interpreted.progress
+
+    queries_per_sec = round(compiled.cost / max(compiled_seconds, 1e-9), 1)
+    speedup = round(interp_seconds / max(compiled_seconds, 1e-9), 2)
+    report = {
+        "workload": "cpu-bound sequential (linear engine)",
+        "cpu_count": os.cpu_count(),
+        "scale": bench_scale(),
+        "n": dataset.n,
+        "total_queries": compiled.cost,
+        "seconds": {
+            "interpreted": round(interp_seconds, 3),
+            "compiled": round(compiled_seconds, 3),
+        },
+        "queries_per_sec": queries_per_sec,
+        "hot_path_speedup": speedup,
+        "batch_speedup": measure_batch_seam(dataset),
+    }
+    path = write_report(report)
+    benchmark.extra_info.update(report)
+    benchmark.extra_info["report_path"] = path
+
+    assert speedup >= 1.5, (
+        f"expected the compiled hot path >= 1.5x over the interpreted "
+        f"reference on the CPU-bound sequential crawl, got {speedup}x "
+        f"({interp_seconds:.2f}s interpreted, {compiled_seconds:.2f}s "
+        f"compiled)"
+    )

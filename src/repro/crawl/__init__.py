@@ -13,6 +13,7 @@ Quick map (paper section -> class):
 callers who just want the database crawled.
 """
 
+from repro.crawl import profiling
 from repro.crawl.base import (
     Crawler,
     CrawlResult,
@@ -109,6 +110,7 @@ from repro.crawl.verify import (
 )
 
 __all__ = [
+    "profiling",
     "Crawler",
     "CrawlResult",
     "ProgressAggregator",

@@ -70,6 +70,7 @@ import sys
 import threading
 from pathlib import Path
 
+from repro.crawl import profiling
 from repro.crawl.base import ProgressAggregator, SessionState
 from repro.crawl.checkpoint import (
     CheckpointWriter,
@@ -211,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the progressiveness curve (deciles)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-clock phase breakdown of the crawl hot path "
+        "to stderr after the run (cache traffic, engine time, region "
+        "phases; see docs/performance.md) -- the crawl itself is "
+        "unchanged: same queries, same cost, byte-identical results",
+    )
+    parser.add_argument(
         "--progress-live",
         action="store_true",
         help="print a live line-per-session progress view to stderr "
@@ -260,6 +269,19 @@ def _watch_progress(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if not args.profile:
+        return _main(args)
+    # --profile wraps the whole run in an active profiling seam; the
+    # phase table goes to stderr so stdout stays byte-identical to an
+    # unprofiled run (tests/crawl/test_profiling.py pins this).
+    with profiling.profile() as profiler:
+        code = _main(args)
+    print("profile (wall-clock phases):", file=sys.stderr)
+    print(profiler.format(), file=sys.stderr)
+    return code
+
+
+def _main(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(
             f"error: --workers must be positive, got {args.workers}",

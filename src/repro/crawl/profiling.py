@@ -1,0 +1,49 @@
+"""Public face of the profiling seam (``repro.crawl.profiling``).
+
+Wall-clock phase breakdowns for the crawl hot path: where a
+single-worker crawl actually spends its time, query by query.  Activate
+with :func:`profile` (or the CLI's ``--profile`` flag) and every
+instrumented site -- the caching client, the top-k server's engine
+call, and the runtime's region units -- records into one shared
+:class:`Profiler`:
+
+* ``client.cache_hit`` / ``client.cache_miss`` -- response-cache
+  traffic (counters);
+* ``client.server_wait`` -- wall clock spent inside ``server.run``
+  per cache miss;
+* ``server.engine_top`` -- wall clock of the engine's top-k evaluation;
+* ``runtime.region_unit`` / ``runtime.presplit`` / ``runtime.shard`` /
+  ``runtime.merge`` -- region-unit phases of the execution runtime.
+
+The seam is documented in ``docs/performance.md`` (hot-path anatomy)
+and ``docs/architecture.md`` (what the determinism contract forbids it
+from touching).  The implementation lives in
+:mod:`repro.server.profiling` so the server stack can import it without
+an import cycle; this module is the supported import path.
+
+Examples
+--------
+>>> from repro.crawl import profiling
+>>> profiling.active() is None
+True
+>>> with profiling.profile() as prof:
+...     prof.record("server.engine_top", 0.002)
+>>> prof.report()["phases"]["server.engine_top"]["calls"]
+1
+"""
+
+from repro.server.profiling import (
+    PhaseStat,
+    Profiler,
+    active,
+    clock,
+    profile,
+)
+
+__all__ = [
+    "PhaseStat",
+    "Profiler",
+    "active",
+    "clock",
+    "profile",
+]

@@ -61,6 +61,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from repro.crawl import profiling
 from repro.crawl.base import (
     Crawler,
     CrawlResult,
@@ -331,34 +332,52 @@ class LocalUnitRunner(UnitRunner):
 
     def region(self, task: RegionTask) -> CrawlResult:
         """Crawl one whole region against its session's source."""
-        return _crawl_region(
-            self._sources[task.session],
-            task.region,
-            crawler_factory=self._factory,
-            allow_partial=self._allow_partial,
-            listener=self._listener(task),
-        )
+        prof = profiling.active()
+        start = profiling.clock() if prof is not None else 0.0
+        try:
+            return _crawl_region(
+                self._sources[task.session],
+                task.region,
+                crawler_factory=self._factory,
+                allow_partial=self._allow_partial,
+                listener=self._listener(task),
+            )
+        finally:
+            if prof is not None:
+                prof.record("runtime.region", profiling.clock() - start)
 
     def presplit(self, task: RegionTask, max_shards: int):
         """Presplit one region; the trunk's progress reports live."""
-        return presplit_region(
-            self._sources[task.session],
-            task.region,
-            crawler_factory=self._factory,
-            allow_partial=self._allow_partial,
-            max_shards=max_shards,
-            listener=self._listener(task),
-        )
+        prof = profiling.active()
+        start = profiling.clock() if prof is not None else 0.0
+        try:
+            return presplit_region(
+                self._sources[task.session],
+                task.region,
+                crawler_factory=self._factory,
+                allow_partial=self._allow_partial,
+                max_shards=max_shards,
+                listener=self._listener(task),
+            )
+        finally:
+            if prof is not None:
+                prof.record("runtime.presplit", profiling.clock() - start)
 
     def shard(self, task: ShardTask) -> CrawlResult:
         """Crawl one subtree shard against its session's source."""
-        return crawl_shard(
-            self._sources[task.session],
-            task.region,
-            task.shard,
-            allow_partial=self._allow_partial,
-            listener=self._listener(task),
-        )
+        prof = profiling.active()
+        start = profiling.clock() if prof is not None else 0.0
+        try:
+            return crawl_shard(
+                self._sources[task.session],
+                task.region,
+                task.shard,
+                allow_partial=self._allow_partial,
+                listener=self._listener(task),
+            )
+        finally:
+            if prof is not None:
+                prof.record("runtime.shard", profiling.clock() - start)
 
     def region_boundary(self) -> None:
         """Flush shared-limit leases/stats when the transport has any."""
@@ -654,7 +673,18 @@ def crawl_region_unit(task: RegionTask, runner: UnitRunner, budget=None):
     failure *kinds* (the job service treats :class:`WorkerDeparted` as
     retriable, everything else as a region failure) use this directly;
     drive loops that only need pass/fail wrap it via :func:`run_region`.
+
+    When the profiling seam (:mod:`repro.crawl.profiling`) is active,
+    ``runtime.region_unit`` times the whole attempt; the finer phases
+    (``runtime.region`` / ``runtime.presplit`` / ``runtime.shard``,
+    recorded by :class:`LocalUnitRunner`, and ``runtime.merge`` by
+    :func:`~repro.crawl.sharding.merge_region_shards`) are recorded at
+    the seams every drive shape shares.  Timers only read wall clocks
+    around the existing calls; the queries issued and the result
+    returned are identical with profiling on or off.
     """
+    prof = profiling.active()
+    start = profiling.clock() if prof is not None else 0.0
     try:
         if budget is None:
             return runner.region(task)
@@ -668,6 +698,8 @@ def crawl_region_unit(task: RegionTask, runner: UnitRunner, budget=None):
         return merge_region_shards(plan, results)
     finally:
         runner.region_boundary()
+        if prof is not None:
+            prof.record("runtime.region_unit", profiling.clock() - start)
 
 
 def run_region(

@@ -61,6 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.crawl import profiling
 from repro.crawl.base import Crawler, CrawlResult, ProgressPoint
 from repro.crawl.binary_shrink import (
     BinaryShrink,
@@ -601,6 +602,19 @@ def merge_region_shards(
             f"plan has {len(plan.shards)} shards but "
             f"{len(shard_results)} results were supplied"
         )
+    prof = profiling.active()
+    if prof is not None:
+        start = profiling.clock()
+        try:
+            return _merge_region_shards(plan, shard_results)
+        finally:
+            prof.record("runtime.merge", profiling.clock() - start)
+    return _merge_region_shards(plan, shard_results)
+
+
+def _merge_region_shards(
+    plan: RegionShardPlan, shard_results: Sequence[CrawlResult]
+) -> CrawlResult:
     rows: list[Row] = []
     progress: list[ProgressPoint] = [ProgressPoint(0, 0)]
     base_queries = 0

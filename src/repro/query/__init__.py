@@ -1,12 +1,20 @@
 """Query model: predicates, queries, splits and slice queries."""
 
-from repro.query.predicates import EqualityPredicate, Predicate, RangePredicate
+from repro.query.predicates import (
+    EqualityPredicate,
+    Predicate,
+    RangePredicate,
+    compile_matcher,
+    compile_predicate,
+)
 from repro.query.query import Query, full_query, point_query, slice_query
 
 __all__ = [
     "EqualityPredicate",
     "Predicate",
     "RangePredicate",
+    "compile_matcher",
+    "compile_predicate",
     "Query",
     "full_query",
     "point_query",

@@ -66,6 +66,12 @@ class Query:
                 raise SchemaError(
                     f"value {pred.value} outside the domain of {attr.name!r}"
                 )
+        # Queries are hashed on every cache probe of the hot path; the
+        # predicate-vector hash is immutable, so pay for it once here.
+        object.__setattr__(self, "_hash", hash(self.predicates))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -46,6 +46,7 @@ from collections.abc import Callable
 
 from repro.exceptions import QueryBudgetExhausted
 from repro.query.query import Query
+from repro.server import profiling
 from repro.server.limits import SimulatedClock
 from repro.server.pickling import LocklessPickle
 from repro.server.response import QueryResponse
@@ -104,18 +105,62 @@ class CachingClient(LocklessPickle):
         """Answer ``query``, issuing it to the server only once ever."""
         cached = self._cache.get(query)
         if cached is not None:
+            prof = profiling.active()
+            if prof is not None:
+                prof.count("client.cache_hit")
             return cached
         with self._lock:
             cached = self._cache.get(query)
             if cached is not None:
+                prof = profiling.active()
+                if prof is not None:
+                    prof.count("client.cache_hit")
                 return cached
-            response = self._server.run(query)
+            prof = profiling.active()
+            if prof is None:
+                response = self._server.run(query)
+            else:
+                prof.count("client.cache_miss")
+                start = profiling.clock()
+                response = self._server.run(query)
+                prof.record("client.server_wait", profiling.clock() - start)
             self._cache[query] = response
             self._history.append(query)
             self._stats.record(response)
             for listener in self._listeners:
                 listener(query, response)
         return response
+
+    def run_batch(self, queries: list[Query]) -> list[QueryResponse]:
+        """Answer a vector of sibling queries, sharing engine work.
+
+        Exactly equivalent to ``[self.run(q) for q in queries]`` --
+        every cache probe, history append, stats recording and listener
+        call happens per query, in order, so cost accounting and budget
+        exhaustion behave identically -- but when the underlying source
+        is a :class:`TopKServer`, the misses of the batch evaluate
+        through one shared
+        :meth:`~repro.server.server.TopKServer.batch_context`.
+
+        Examples
+        --------
+        >>> from repro import CachingClient, DataSpace, TopKServer
+        >>> from repro.datasets import random_dataset
+        >>> from repro.query import slice_query
+        >>> space = DataSpace.mixed([("color", 3)], [])
+        >>> client = CachingClient(
+        ...     TopKServer(random_dataset(space, 30, seed=1), k=50)
+        ... )
+        >>> queries = [slice_query(space, 0, value) for value in (1, 2, 3)]
+        >>> responses = client.run_batch(queries)
+        >>> client.cost, client.run_batch(queries) == responses
+        (3, True)
+        """
+        batch_context = getattr(self._server, "batch_context", None)
+        if batch_context is None:
+            return [self.run(query) for query in queries]
+        with self._lock, batch_context():
+            return [self.run(query) for query in queries]
 
     def peek(self, query: Query) -> QueryResponse | None:
         """The cached response for ``query``, or ``None`` -- never a query."""

@@ -7,8 +7,8 @@ single job is, given a query and the limit ``k``, to find the first
 Three interchangeable implementations are provided:
 
 * :class:`LinearScanEngine` -- the obviously correct reference: walk the
-  rows in priority order, test each predicate in Python, stop at the
-  ``k+1``-st match.  Used in tests as ground truth.
+  rows in priority order, stop at the ``k+1``-st match.  Used in tests
+  as ground truth.
 * :class:`VectorEngine` -- numpy-vectorised predicate masks, used for the
   paper-scale experiments (tens of thousands of tuples, tens of
   thousands of queries).
@@ -18,11 +18,32 @@ Three interchangeable implementations are provided:
   queries are selective (deep crawl queries usually are), degrades to a
   full scan otherwise.
 
+Two hot-path mechanisms are shared by all engines (profiled in
+``docs/performance.md``):
+
+* **Compiled predicate evaluation** -- row-wise verification goes
+  through :func:`repro.query.compile_matcher`: one codegen pass per
+  query instead of one predicate-method dispatch per row per attribute.
+* **Cached row materialisation** -- the priority-ordered rows are
+  converted from the numpy matrix to plain-int tuples once
+  (:meth:`QueryEngine._rows`) instead of per response, so returning
+  rows is list slicing.  The cache is derived data and is dropped from
+  pickles.
+
+Engines also expose a **batched top-k seam**: :meth:`QueryEngine.batch`
+returns a :class:`BatchTopK` evaluation context whose per-query answers
+are bit-identical to :meth:`QueryEngine.top`, but sibling queries (same
+plan prefix, one varying attribute) share per-(attribute, predicate)
+masks/candidate sets -- mirroring how lease batching amortised
+admission round trips.  :meth:`QueryEngine.top_batch` answers a whole
+vector of queries through one such context.
+
 A property-based test (``tests/server/test_engines.py``) checks all
 engines agree on arbitrary datasets and queries -- including under
-concurrent ``top()`` calls: engines hold no per-query mutable state,
-and the lazily built index structures are guarded by a lock so racing
-builders produce one consistent index.
+concurrent ``top()`` calls and between batched and per-query
+evaluation: engines hold no per-query mutable state, and the lazily
+built index structures are guarded by a lock so racing builders
+produce one consistent index.
 
 Engines are picklable (the index lock is dropped and rebuilt; indexes
 already built travel with the engine), so a whole server can be
@@ -34,16 +55,22 @@ from __future__ import annotations
 
 import abc
 import threading
+from typing import Sequence
 
 import numpy as np
 
-from repro.query.predicates import EqualityPredicate, RangePredicate
+from repro.query.predicates import (
+    EqualityPredicate,
+    RangePredicate,
+    compile_matcher,
+)
 from repro.query.query import Query
 from repro.server.pickling import LocklessPickle
 from repro.server.response import Row
 
 __all__ = [
     "QueryEngine",
+    "BatchTopK",
     "LinearScanEngine",
     "VectorEngine",
     "IndexedEngine",
@@ -58,6 +85,7 @@ class QueryEngine(abc.ABC):
         if matrix.ndim != 2:
             raise ValueError("engine expects an (n, d) matrix")
         self._matrix = matrix
+        self._rows_cache: list[Row] | None = None
 
     @property
     def n(self) -> int:
@@ -68,23 +96,142 @@ class QueryEngine(abc.ABC):
     def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
         """First ``k`` matches in priority order and an overflow flag."""
 
+    # ------------------------------------------------------------------
+    # Batched top-k seam
+    # ------------------------------------------------------------------
+    def batch(self) -> "BatchTopK":
+        """A fresh evaluation context for a vector of sibling queries.
+
+        The context's :meth:`BatchTopK.top` answers exactly like
+        :meth:`top`, but engines with shareable per-predicate work
+        (masks, candidate sets) reuse it across the queries evaluated
+        through one context.  Contexts are cheap, single-use and not
+        thread-safe -- make one per batch.
+        """
+        return BatchTopK(self)
+
+    def top_batch(
+        self, queries: Sequence[Query], k: int
+    ) -> list[tuple[list[Row], bool]]:
+        """Answer a vector of queries in one call, sharing predicate work.
+
+        Equivalent to ``[self.top(q, k) for q in queries]`` -- same
+        rows, same order, same overflow flags -- but sibling queries
+        evaluated together reuse per-(attribute, predicate) masks and
+        candidate sets through one :meth:`batch` context.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro import DataSpace
+        >>> from repro.query import slice_query
+        >>> space = DataSpace.mixed([("color", 3)], [])
+        >>> engine = VectorEngine(np.array([[1], [2], [2], [3]]))
+        >>> queries = [slice_query(space, 0, value) for value in (1, 2, 3)]
+        >>> engine.top_batch(queries, k=2)
+        [([(1,)], False), ([(2,), (2,)], False), ([(3,)], False)]
+        """
+        evaluator = self.batch()
+        return [evaluator.top(query, k) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Row materialisation (cached, derived data)
+    # ------------------------------------------------------------------
+    def _rows(self) -> list[Row]:
+        """The matrix as plain-int tuples in priority order (cached).
+
+        Built lazily on first use; concurrent builders race benignly
+        (both produce the identical list).  The cache never travels in
+        pickles -- it is rebuilt on the other side on demand.
+        """
+        rows = self._rows_cache
+        if rows is None:
+            rows = [tuple(values) for values in self._matrix.tolist()]
+            self._rows_cache = rows
+        return rows
+
     def _row(self, i: int) -> Row:
-        return tuple(int(v) for v in self._matrix[i])
+        return self._rows()[i]
+
+    # ------------------------------------------------------------------
+    # Pickling: the row cache is derived data and must not travel.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_rows_cache"] = None
+        return state
+
+    def _pickle_trim(self, state: dict) -> dict:
+        # Same policy for LocklessPickle subclasses (their __getstate__
+        # routes through this hook instead).
+        state["_rows_cache"] = None
+        return state
+
+
+class BatchTopK:
+    """Evaluation context for answering a vector of sibling queries.
+
+    The base context shares nothing -- it simply forwards to the
+    engine's :meth:`~QueryEngine.top`, so answers are trivially
+    identical to per-query evaluation.  :class:`VectorEngine` and
+    :class:`IndexedEngine` return subclasses that cache
+    per-(attribute, predicate) masks / candidate sets across the
+    queries of one context.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DataSpace
+    >>> from repro.query import full_query
+    >>> space = DataSpace.mixed([("color", 2)], [])
+    >>> engine = LinearScanEngine(np.array([[1], [2]]))
+    >>> context = engine.batch()
+    >>> context.top(full_query(space), k=5)
+    ([(1,), (2,)], False)
+    """
+
+    def __init__(self, engine: QueryEngine):
+        self._engine = engine
+
+    def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        """Answer one query of the batch (identical to ``engine.top``)."""
+        return self._engine.top(query, k)
 
 
 class LinearScanEngine(QueryEngine):
-    """Reference engine: per-row predicate evaluation in pure Python."""
+    """Reference engine: compiled-conjunction scan in pure Python.
+
+    Per query, :func:`repro.query.compile_matcher` emits one closure
+    with the predicate constants inlined; the scan then walks the
+    cached plain-int row tuples in priority order and stops at the
+    ``k+1``-st match.  Semantics are the paper's reference evaluation
+    -- only the per-row interpretation cost is gone.
+    """
 
     def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
-        rows: list[Row] = []
-        preds = query.predicates
-        for i in range(self.n):
-            raw = self._matrix[i]
-            if all(pred.matches(int(v)) for pred, v in zip(preds, raw)):
-                if len(rows) == k:
-                    return rows, True
-                rows.append(self._row(i))
-        return rows, False
+        rows = self._rows()
+        match = compile_matcher(query.predicates)
+        if match is None:
+            # The all-wildcard query: every tuple matches.
+            return rows[:k], len(rows) > k
+        out: list[Row] = []
+        for row in rows:
+            if match(row):
+                if len(out) == k:
+                    return out, True
+                out.append(row)
+        return out, False
+
+
+class _VectorBatch(BatchTopK):
+    """Vector-engine context: full-column masks shared across queries."""
+
+    def __init__(self, engine: "VectorEngine"):
+        super().__init__(engine)
+        self._masks: dict = {}
+
+    def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        return self._engine._top(query, k, self._masks)  # noqa: SLF001
 
 
 class VectorEngine(LocklessPickle, QueryEngine):
@@ -100,6 +247,10 @@ class VectorEngine(LocklessPickle, QueryEngine):
     queries of DFS/slice-cover crawls orders of magnitude cheaper than a
     full-column scan.  Row indices are stored in priority order, so the
     top-``k`` semantics are untouched.
+
+    Batched evaluation (:meth:`~QueryEngine.batch`) caches full-column
+    predicate masks by ``(attribute, predicate)``: sibling queries that
+    differ in one attribute recompute only that attribute's mask.
     """
 
     #: Use the value-index path only when the candidate set is this much
@@ -124,7 +275,15 @@ class VectorEngine(LocklessPickle, QueryEngine):
                     self._value_index[key] = rows
         return rows
 
+    def batch(self) -> BatchTopK:
+        return _VectorBatch(self)
+
     def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        return self._top(query, k, None)
+
+    def _top(
+        self, query: Query, k: int, mask_cache: dict | None
+    ) -> tuple[list[Row], bool]:
         # Pick the most selective equality predicate as the candidate set.
         candidates: np.ndarray | None = None
         skip_attribute = -1
@@ -137,17 +296,41 @@ class VectorEngine(LocklessPickle, QueryEngine):
         if candidates is not None and (
             candidates.size * self._INDEX_SELECTIVITY <= self.n
         ):
-            return self._top_on_subset(query, k, candidates, skip_attribute)
-        return self._top_full_scan(query, k)
+            return self._top_on_subset(
+                query, k, candidates, skip_attribute, mask_cache
+            )
+        return self._top_full_scan(query, k, mask_cache)
+
+    def _full_mask(
+        self, attribute: int, pred, mask_cache: dict | None
+    ) -> np.ndarray | None:
+        """Full-column mask for ``pred``, cached per batch context."""
+        if mask_cache is None:
+            return self._predicate_mask(pred, self._matrix[:, attribute])
+        key = (attribute, pred)
+        if key in mask_cache:
+            return mask_cache[key]
+        part = self._predicate_mask(pred, self._matrix[:, attribute])
+        mask_cache[key] = part
+        return part
 
     def _top_on_subset(
-        self, query: Query, k: int, candidates: np.ndarray, skip_attribute: int
+        self,
+        query: Query,
+        k: int,
+        candidates: np.ndarray,
+        skip_attribute: int,
+        mask_cache: dict | None = None,
     ) -> tuple[list[Row], bool]:
         mask: np.ndarray | None = None
         for j, pred in enumerate(query.predicates):
             if j == skip_attribute:
                 continue
-            part = self._predicate_mask(pred, self._matrix[candidates, j])
+            if mask_cache is None:
+                part = self._predicate_mask(pred, self._matrix[candidates, j])
+            else:
+                full = self._full_mask(j, pred, mask_cache)
+                part = None if full is None else full[candidates]
             if part is None:
                 continue
             mask = part if mask is None else mask & part
@@ -155,25 +338,27 @@ class VectorEngine(LocklessPickle, QueryEngine):
         overflow = indices.size > k
         if overflow:
             indices = indices[:k]
-        return [self._row(int(i)) for i in indices], overflow
+        rows = self._rows()
+        return [rows[i] for i in indices.tolist()], overflow
 
-    def _top_full_scan(self, query: Query, k: int) -> tuple[list[Row], bool]:
+    def _top_full_scan(
+        self, query: Query, k: int, mask_cache: dict | None = None
+    ) -> tuple[list[Row], bool]:
         mask: np.ndarray | None = None
         for j, pred in enumerate(query.predicates):
-            part = self._predicate_mask(pred, self._matrix[:, j])
+            part = self._full_mask(j, pred, mask_cache)
             if part is None:
                 continue
             mask = part if mask is None else mask & part
+        rows = self._rows()
         if mask is None:
             # The all-wildcard query: every tuple matches.
-            overflow = self.n > k
-            indices = np.arange(min(self.n, k))
-        else:
-            indices = np.flatnonzero(mask)
-            overflow = indices.size > k
-            if overflow:
-                indices = indices[:k]
-        return [self._row(int(i)) for i in indices], overflow
+            return rows[:k], self.n > k
+        indices = np.flatnonzero(mask)
+        overflow = indices.size > k
+        if overflow:
+            indices = indices[:k]
+        return [rows[i] for i in indices.tolist()], overflow
 
     @staticmethod
     def _predicate_mask(pred, column: np.ndarray) -> np.ndarray | None:
@@ -197,6 +382,17 @@ class VectorEngine(LocklessPickle, QueryEngine):
         return (column >= pred.lo) & (column <= pred.hi)
 
 
+class _IndexedBatch(BatchTopK):
+    """Indexed-engine context: candidate sets shared across queries."""
+
+    def __init__(self, engine: "IndexedEngine"):
+        super().__init__(engine)
+        self._candidates: dict = {}
+
+    def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        return self._engine._top(query, k, self._candidates)  # noqa: SLF001
+
+
 class IndexedEngine(LocklessPickle, QueryEngine):
     """Binary-search engine over lazily built per-column sorted indexes.
 
@@ -210,10 +406,15 @@ class IndexedEngine(LocklessPickle, QueryEngine):
     The query is answered from the *smallest* candidate set among its
     constrained attributes: the ids are re-sorted into priority order
     (the matrix is stored priority-descending) and the remaining
-    predicates are verified only on those rows.  Wildcard-heavy but
-    selective crawl queries therefore cost ``O(log n + m log m)`` for a
-    candidate count ``m``, independent of ``n``.  A query with no
-    constrained attribute falls back to "first ``k`` rows".
+    predicates are verified only on those rows, through one compiled
+    matcher per query.  Wildcard-heavy but selective crawl queries
+    therefore cost ``O(log n + m log m)`` for a candidate count ``m``,
+    independent of ``n``.  A query with no constrained attribute falls
+    back to "first ``k`` rows".
+
+    Batched evaluation (:meth:`~QueryEngine.batch`) caches candidate
+    sets by ``(attribute, predicate)``, so sibling queries re-run the
+    binary search only for the attribute they differ in.
     """
 
     _pickle_lock_attr = "_index_lock"
@@ -254,34 +455,45 @@ class IndexedEngine(LocklessPickle, QueryEngine):
         )
         return order[left:right]
 
+    def batch(self) -> BatchTopK:
+        return _IndexedBatch(self)
+
     def top(self, query: Query, k: int) -> tuple[list[Row], bool]:
+        return self._top(query, k, None)
+
+    def _top(
+        self, query: Query, k: int, candidate_cache: dict | None
+    ) -> tuple[list[Row], bool]:
         best: np.ndarray | None = None
         best_attribute = -1
         for j, pred in enumerate(query.predicates):
-            rows = self._candidates(j, pred)
+            if candidate_cache is None:
+                rows = self._candidates(j, pred)
+            else:
+                key = (j, pred)
+                if key in candidate_cache:
+                    rows = candidate_cache[key]
+                else:
+                    rows = self._candidates(j, pred)
+                    candidate_cache[key] = rows
             if rows is not None and (best is None or rows.size < best.size):
                 best = rows
                 best_attribute = j
+        all_rows = self._rows()
         if best is None:
             # All-wildcard query: the first k rows in priority order.
-            overflow = self.n > k
-            return [self._row(i) for i in range(min(self.n, k))], overflow
-        ordered = np.sort(best)  # ascending row id == descending priority
+            return all_rows[:k], self.n > k
+        # ascending row id == descending priority
+        ordered = np.sort(best).tolist()
+        match = compile_matcher(query.predicates, skip=best_attribute)
+        if match is None:
+            return [all_rows[i] for i in ordered[:k]], len(ordered) > k
         matches: list[Row] = []
-        preds = query.predicates
         for i in ordered:
-            raw = self._matrix[i]
-            qualified = True
-            for j, pred in enumerate(preds):
-                if j == best_attribute:
-                    continue
-                if not pred.matches(int(raw[j])):
-                    qualified = False
-                    break
-            if qualified:
+            if match(all_rows[i]):
                 if len(matches) == k:
                     return matches, True
-                matches.append(self._row(int(i)))
+                matches.append(all_rows[i])
         return matches, False
 
 

@@ -1,0 +1,207 @@
+"""The profiling seam: per-phase counters/timers for the hot path.
+
+This module holds the *implementation* of the profiling seam whose
+public face is :mod:`repro.crawl.profiling`.  It lives next to the
+serving stack (rather than under ``repro.crawl``) so that
+``client.py``/``server.py`` can import it without creating an import
+cycle -- the crawl package imports the server package, never the other
+way around.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  The seam is a single module-level
+   ``Profiler | None``; every instrumentation site does one ``active()``
+   check (a global read) and skips all ``perf_counter`` calls when it is
+   ``None``.  Profiling never changes *what* runs -- only whether wall
+   clocks are read around it -- so results and query counts are
+   byte-identical with profiling on or off (pinned by
+   ``tests/crawl/test_profiling.py``).
+2. **Deterministic shape.**  :meth:`Profiler.report` returns phases in
+   sorted key order with a fixed per-phase schema, so tooling (and
+   tests) can rely on the structure even though the timings themselves
+   vary run to run.
+3. **Thread-safe aggregation.**  One profiler aggregates across every
+   session thread of a crawl; recording takes an internal lock.  The
+   seam does **not** cross process boundaries: pool workers of the
+   process backend run in their own interpreters and their phases are
+   not collected (the coordinator's round-trip accounting in
+   ``QueryStats`` still is).
+
+Examples
+--------
+>>> from repro.crawl import profiling
+>>> with profiling.profile() as prof:
+...     t0 = profiling.clock()
+...     prof.count("demo.events", 3)
+...     prof.record("demo.work", profiling.clock() - t0)
+>>> report = prof.report()
+>>> sorted(report["phases"])
+['demo.events', 'demo.work']
+>>> report["phases"]["demo.events"]["calls"]
+3
+>>> profiling.active() is None
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.stats import QueryStats
+
+__all__ = [
+    "PhaseStat",
+    "Profiler",
+    "active",
+    "clock",
+    "profile",
+]
+
+#: Wall clock used by every instrumentation site (re-exported so call
+#: sites and docs agree on the clock).
+clock = perf_counter
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate of one named phase: how often, and how long in total."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class Profiler:
+    """Aggregates per-phase counters and timers across session threads.
+
+    Instrumentation sites call :meth:`record` (timed phases) or
+    :meth:`count` (pure counters); :meth:`report` renders the aggregate
+    as a deterministic-shape dict, optionally folding in the per-phase
+    *query* costs that :class:`repro.server.stats.QueryStats` already
+    tracks -- wall-clock seconds and query counts side by side is
+    exactly the view the paper's cost model lacks.
+
+    Examples
+    --------
+    >>> prof = Profiler()
+    >>> prof.record("engine.top", 0.25)
+    >>> prof.record("engine.top", 0.75)
+    >>> prof.phases()["engine.top"]
+    PhaseStat(calls=2, seconds=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phases: dict[str, PhaseStat] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Add ``seconds`` of wall clock (and ``calls`` events) to a phase."""
+        with self._lock:
+            stat = self._phases.get(phase)
+            if stat is None:
+                stat = self._phases[phase] = PhaseStat()
+            stat.calls += calls
+            stat.seconds += seconds
+
+    def count(self, phase: str, events: int = 1) -> None:
+        """Bump a pure counter phase (no wall clock attached)."""
+        self.record(phase, 0.0, events)
+
+    # ------------------------------------------------------------------
+    def phases(self) -> dict[str, PhaseStat]:
+        """Snapshot of the per-phase aggregates, keyed in sorted order."""
+        with self._lock:
+            return {
+                name: PhaseStat(stat.calls, stat.seconds)
+                for name, stat in sorted(self._phases.items())
+            }
+
+    def report(self, stats: "QueryStats | None" = None) -> dict:
+        """The aggregate as a deterministic-shape dict.
+
+        The top-level keys are always ``{"phases"}``, plus
+        ``{"queries", "query_phases"}`` when a :class:`QueryStats` is
+        given (the ``QueryStats`` extension of the seam: its per-phase
+        *query* counts join the profiler's per-phase *seconds*).  Phase
+        keys are sorted; each phase maps to ``{"calls", "seconds"}``.
+        """
+        report: dict = {
+            "phases": {
+                name: {"calls": stat.calls, "seconds": stat.seconds}
+                for name, stat in self.phases().items()
+            }
+        }
+        if stats is not None:
+            snapshot = stats.snapshot()
+            report["queries"] = snapshot.queries
+            report["query_phases"] = dict(
+                sorted(snapshot.phase_costs.items())
+            )
+        return report
+
+    def format(self, stats: "QueryStats | None" = None) -> str:
+        """Render :meth:`report` as an aligned text table (CLI output)."""
+        report = self.report(stats)
+        lines = ["phase                          calls      seconds"]
+        for name, stat in report["phases"].items():
+            lines.append(
+                f"{name:<30} {stat['calls']:>6} {stat['seconds']:>12.6f}"
+            )
+        query_phases: Mapping[str, int] = report.get("query_phases", {})
+        if query_phases:
+            lines.append("query phase                          queries")
+            for name, queries in query_phases.items():
+                lines.append(f"{name:<30} {queries:>12}")
+        if "queries" in report:
+            lines.append(f"total queries: {report['queries']}")
+        return "\n".join(lines)
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's aggregates into this one."""
+        for name, stat in other.phases().items():
+            self.record(name, stat.seconds, stat.calls)
+
+
+# ----------------------------------------------------------------------
+# Module-level activation: the one global every hot-path site checks.
+# ----------------------------------------------------------------------
+_ACTIVE: Profiler | None = None
+_activation_lock = threading.Lock()
+
+
+def active() -> Profiler | None:
+    """The currently installed profiler, or ``None`` (the common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def profile(profiler: Profiler | None = None) -> Iterator[Profiler]:
+    """Install a profiler for the duration of the ``with`` block.
+
+    Activation is process-global (every session thread records into the
+    same profiler) and re-entrant: the previous profiler, if any, is
+    restored on exit.
+
+    Examples
+    --------
+    >>> from repro.crawl import profiling
+    >>> with profiling.profile() as prof:
+    ...     profiling.active() is prof
+    True
+    """
+    global _ACTIVE
+    if profiler is None:
+        profiler = Profiler()
+    with _activation_lock:
+        previous = _ACTIVE
+        _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        with _activation_lock:
+            _ACTIVE = previous

@@ -23,7 +23,10 @@ sequential calls would, and the workload counters stay exact.
 from __future__ import annotations
 
 import copy
+import threading
 from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from typing import Iterator
 
 import numpy as np
 
@@ -31,6 +34,7 @@ from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
 from repro.exceptions import SchemaError
 from repro.query.query import Query
+from repro.server import profiling
 from repro.server.engines import make_engine
 from repro.server.limits import QueryLimit
 from repro.server.response import QueryResponse
@@ -94,6 +98,8 @@ class TopKServer:
         self._engine = make_engine(engine, dataset.rows[order])
         self._limits = tuple(limits)
         self._stats = QueryStats()
+        # Per-thread batched-evaluation context (see batch_context()).
+        self._batch = threading.local()
 
     # ------------------------------------------------------------------
     # The public interface a crawler may rely on
@@ -121,10 +127,73 @@ class TopKServer:
             raise SchemaError("query was built against a different data space")
         for limit in self._limits:
             limit.admit()
-        rows, overflow = self._engine.top(query, self._k)
+        evaluator = getattr(self._batch, "evaluator", None) or self._engine
+        prof = profiling.active()
+        if prof is None:
+            rows, overflow = evaluator.top(query, self._k)
+        else:
+            start = profiling.clock()
+            rows, overflow = evaluator.top(query, self._k)
+            prof.record("server.engine_top", profiling.clock() - start)
         response = QueryResponse(tuple(rows), overflow)
         self._stats.record(response)
         return response
+
+    @contextmanager
+    def batch_context(self) -> Iterator[None]:
+        """Share engine work across the :meth:`run` calls of one batch.
+
+        Inside the ``with`` block, this thread's ``run()`` calls
+        evaluate through one :class:`~repro.server.engines.BatchTopK`
+        context, so sibling queries reuse per-(attribute, predicate)
+        masks/candidate sets.  Everything else about ``run`` --
+        admission order, per-query stats, responses, exceptions -- is
+        untouched, which is what keeps batched evaluation
+        byte-identical to sequential calls.  The context is
+        thread-local: concurrent sessions on other threads are
+        unaffected.
+        """
+        self._batch.evaluator = self._engine.batch()
+        try:
+            yield
+        finally:
+            self._batch.evaluator = None
+
+    def run_batch(self, queries: Sequence[Query]) -> list[QueryResponse]:
+        """Answer a vector of sibling queries in one call.
+
+        Exactly equivalent to ``[self.run(q) for q in queries]`` --
+        per-query admission, per-query stats recording, identical
+        responses, and a limit refusal raises at the same query it
+        would have sequentially -- but the engine evaluates the batch
+        through one shared context.
+
+        Examples
+        --------
+        >>> from repro import DataSpace, TopKServer
+        >>> from repro.datasets import random_dataset
+        >>> from repro.query import slice_query
+        >>> space = DataSpace.mixed([("color", 3)], [])
+        >>> server = TopKServer(random_dataset(space, 30, seed=1), k=50)
+        >>> responses = server.run_batch(
+        ...     [slice_query(space, 0, value) for value in (1, 2, 3)]
+        ... )
+        >>> sum(len(r.rows) for r in responses)
+        30
+        >>> server.stats.queries
+        3
+        """
+        with self.batch_context():
+            return [self.run(query) for query in queries]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_batch"]  # threading.local does not pickle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._batch = threading.local()
 
     def with_accounting(
         self,

@@ -1,0 +1,200 @@
+"""The profiling seam: deterministic shape, inert by default, zero drift.
+
+The contract under test is the one ``docs/performance.md`` documents:
+
+* nothing is recorded unless a :func:`repro.crawl.profiling.profile`
+  context is active -- the disabled path is a ``None`` check;
+* with profiling active, a crawl issues exactly the same queries and
+  returns byte-identical results -- the profiler observes, never
+  steers;
+* the report/format output has a deterministic shape (phase names and
+  counts; only the seconds vary between runs);
+* the CLI ``--profile`` flag leaves stdout byte-identical and puts the
+  phase table on stderr.
+"""
+
+import pickle
+
+from repro.crawl import profiling
+from repro.crawl.__main__ import main
+from repro.crawl.partition import crawl_partitioned, partition_space
+from repro.datasets.io import save_csv
+from repro.datasets.synthetic import random_dataset
+from repro.dataspace.space import DataSpace
+from repro.server.client import CachingClient
+from repro.server.server import TopKServer
+from tests.conftest import make_dataset
+
+
+def small_dataset(seed=3, n=80):
+    space = DataSpace.mixed([("c", 3), ("d", 2)], ["x"])
+    return random_dataset(space, n, seed=seed, numeric_range=(0, 40))
+
+
+class TestProfilerObject:
+    def test_inactive_by_default(self):
+        assert profiling.active() is None
+
+    def test_profile_context_installs_and_restores(self):
+        with profiling.profile() as prof:
+            assert profiling.active() is prof
+        assert profiling.active() is None
+
+    def test_profile_context_is_reentrant(self):
+        with profiling.profile() as outer:
+            with profiling.profile() as inner:
+                assert profiling.active() is inner
+            assert profiling.active() is outer
+        assert profiling.active() is None
+
+    def test_record_and_count_accumulate(self):
+        prof = profiling.Profiler()
+        prof.record("a", 0.5)
+        prof.record("a", 0.25, calls=2)
+        prof.count("b", 3)
+        phases = prof.phases()
+        assert phases["a"].calls == 3
+        assert phases["a"].seconds == 0.75
+        assert phases["b"].calls == 3
+        assert phases["b"].seconds == 0.0
+
+    def test_phases_sorted_and_copied(self):
+        prof = profiling.Profiler()
+        prof.count("z")
+        prof.count("a")
+        assert list(prof.phases()) == ["a", "z"]
+        prof.phases()["a"].calls = 99
+        assert prof.phases()["a"].calls == 1
+
+    def test_merge(self):
+        left, right = profiling.Profiler(), profiling.Profiler()
+        left.record("x", 1.0)
+        right.record("x", 2.0, calls=2)
+        right.count("y")
+        left.merge(right)
+        assert left.phases()["x"].calls == 3
+        assert left.phases()["x"].seconds == 3.0
+        assert left.phases()["y"].calls == 1
+
+    def test_report_shape(self):
+        prof = profiling.Profiler()
+        prof.record("server.engine_top", 0.1)
+        report = prof.report()
+        assert set(report) == {"phases"}
+        assert report["phases"]["server.engine_top"] == {
+            "calls": 1,
+            "seconds": 0.1,
+        }
+
+    def test_report_with_query_stats(self):
+        dataset = small_dataset()
+        client = CachingClient(TopKServer(dataset, k=8))
+        from repro.crawl.hybrid import Hybrid
+
+        Hybrid(client).crawl()
+        report = profiling.Profiler().report(client.stats)
+        assert set(report) == {"phases", "queries", "query_phases"}
+        assert report["queries"] == client.cost
+
+    def test_format_is_a_table(self):
+        prof = profiling.Profiler()
+        prof.record("client.server_wait", 0.5, calls=4)
+        text = prof.format()
+        lines = text.splitlines()
+        assert lines[0].split() == ["phase", "calls", "seconds"]
+        assert lines[1].split() == ["client.server_wait", "4", "0.500000"]
+
+
+class TestCrawlUnderProfiling:
+    def test_results_and_cost_identical(self):
+        from repro.crawl.hybrid import Hybrid
+
+        dataset = small_dataset()
+        plain = CachingClient(TopKServer(dataset, k=8))
+        baseline = Hybrid(plain).crawl()
+
+        profiled = CachingClient(TopKServer(dataset, k=8))
+        with profiling.profile() as prof:
+            observed = Hybrid(profiled).crawl()
+
+        assert observed.rows == baseline.rows
+        assert observed.cost == baseline.cost
+        assert observed.progress == baseline.progress
+        assert profiled.history == plain.history
+        # The profiler saw every miss, and hits cost no queries.
+        phases = prof.phases()
+        assert phases["client.cache_miss"].calls == baseline.cost
+        assert phases["client.server_wait"].calls == baseline.cost
+
+    def test_partitioned_crawl_records_runtime_phases(self):
+        dataset = small_dataset()
+        plan = partition_space(dataset.space, 2)
+        sources = [TopKServer(dataset, k=8) for _ in range(2)]
+        with profiling.profile() as prof:
+            merged = crawl_partitioned(sources, plan)
+        baseline = crawl_partitioned(
+            [TopKServer(dataset, k=8) for _ in range(2)], plan
+        )
+        assert merged.rows == baseline.rows
+        assert merged.cost == baseline.cost
+        phases = prof.phases()
+        assert "runtime.region" in phases
+        assert "server.engine_top" in phases
+        assert phases["runtime.region"].calls == len(plan.regions)
+
+    def test_nothing_recorded_when_inactive(self):
+        dataset = small_dataset()
+        prof = profiling.Profiler()
+        # Not installed: the seam's None-check keeps it untouched.
+        crawl_partitioned(
+            [TopKServer(dataset, k=8) for _ in range(2)],
+            partition_space(dataset.space, 2),
+        )
+        assert prof.phases() == {}
+        assert profiling.active() is None
+
+    def test_server_pickles_inside_batch_epoch(self):
+        # threading.local state must not leak into pickles.
+        server = TopKServer(small_dataset(), k=8)
+        with server.batch_context():
+            clone = pickle.loads(pickle.dumps(server))
+        space = server.space
+        from repro.query.query import Query
+
+        query = Query.full(space).with_value(0, 1)
+        assert clone.run(query).rows == server.run(query).rows
+
+
+class TestCliProfileFlag:
+    def csv(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "data.csv"
+        save_csv(dataset, path)
+        return str(path)
+
+    def test_stdout_byte_identical(self, tmp_path, capsys):
+        path = self.csv(tmp_path)
+        assert main([path, "--k", "8"]) == 0
+        plain = capsys.readouterr()
+        assert main([path, "--k", "8", "--profile"]) == 0
+        profiled = capsys.readouterr()
+        assert profiled.out == plain.out
+        assert "profile (wall-clock phases):" in profiled.err
+        assert "client.cache_miss" in profiled.err
+
+    def test_profile_restores_inactive(self, tmp_path, capsys):
+        path = self.csv(tmp_path)
+        assert main([path, "--k", "8", "--profile"]) == 0
+        capsys.readouterr()
+        assert profiling.active() is None
+
+    def test_infeasible_dataset_still_inactive_after(self, tmp_path, capsys):
+        # Error paths must tear the seam down too.
+        dataset = make_dataset(
+            DataSpace.categorical([3]), [[1]] * 9 + [[2]]
+        )
+        path = tmp_path / "dup.csv"
+        save_csv(dataset, path)
+        assert main([str(path), "--k", "4", "--profile"]) == 3
+        capsys.readouterr()
+        assert profiling.active() is None

@@ -78,3 +78,102 @@ class TestEqualityPredicate:
         assert len({EqualityPredicate(3), EqualityPredicate(3)}) == 1
         assert RangePredicate(1, 2) == RangePredicate(1, 2)
         assert len({RangePredicate(1, 2), RangePredicate(1, 2)}) == 1
+
+
+def interpreted(predicates, row):
+    return all(pred.matches(v) for pred, v in zip(predicates, row))
+
+
+predicate_strategy = st.one_of(
+    st.builds(
+        lambda v: EqualityPredicate(v),
+        st.one_of(st.none(), st.integers(-20, 20)),
+    ),
+    st.builds(
+        lambda lo, width: RangePredicate(
+            lo, None if width is None else (lo or 0) + width
+        ),
+        st.one_of(st.none(), st.integers(-20, 20)),
+        st.one_of(st.none(), st.integers(0, 15)),
+    ),
+)
+
+
+class TestCompiledPredicates:
+    """The codegen path answers exactly like predicate-method dispatch."""
+
+    def test_unconstrained_compiles_to_none(self):
+        from repro.query.predicates import compile_matcher, compile_predicate
+
+        assert compile_predicate(RangePredicate()) is None
+        assert compile_predicate(EqualityPredicate(None)) is None
+        preds = [RangePredicate(), EqualityPredicate(None)]
+        assert compile_matcher(preds) is None
+
+    def test_point_and_half_open_shapes(self):
+        from repro.query.predicates import compile_predicate
+
+        assert compile_predicate(RangePredicate(2, 2))(2)
+        assert not compile_predicate(RangePredicate(2, 2))(3)
+        assert compile_predicate(RangePredicate(None, 9))(9)
+        assert not compile_predicate(RangePredicate(10, None))(9)
+        assert compile_predicate(EqualityPredicate(4))(4)
+
+    def test_skip_drops_one_attribute(self):
+        from repro.query.predicates import compile_matcher
+
+        preds = [EqualityPredicate(1), EqualityPredicate(2)]
+        match = compile_matcher(preds, skip=0)
+        assert match((99, 2)) and not match((1, 3))
+        # Skipping the only constrained attribute: unconstrained.
+        assert compile_matcher([EqualityPredicate(1)], skip=0) is None
+
+    @given(pred=predicate_strategy, v=st.integers(-60, 60))
+    def test_compile_predicate_agrees_with_matches(self, pred, v):
+        from repro.query.predicates import compile_predicate
+
+        compiled = compile_predicate(pred)
+        if compiled is None:
+            assert pred.matches(v)
+        else:
+            assert compiled(v) == pred.matches(v)
+
+    @given(
+        preds=st.lists(predicate_strategy, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_compile_matcher_agrees_with_interpreted(self, preds, data):
+        from repro.query.predicates import compile_matcher
+
+        row = tuple(
+            data.draw(st.integers(-60, 60)) for _ in range(len(preds))
+        )
+        match = compile_matcher(preds)
+        if match is None:
+            assert interpreted(preds, row)
+        else:
+            assert match(row) == interpreted(preds, row)
+
+    @given(
+        preds=st.lists(predicate_strategy, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_skip_equals_interpreting_without_that_attribute(
+        self, preds, data
+    ):
+        from repro.query.predicates import compile_matcher
+
+        skip = data.draw(st.integers(0, len(preds) - 1))
+        row = tuple(
+            data.draw(st.integers(-60, 60)) for _ in range(len(preds))
+        )
+        expected = all(
+            pred.matches(v)
+            for i, (pred, v) in enumerate(zip(preds, row))
+            if i != skip
+        )
+        match = compile_matcher(preds, skip=skip)
+        if match is None:
+            assert expected
+        else:
+            assert match(row) == expected

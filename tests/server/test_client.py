@@ -84,3 +84,53 @@ class TestCaching:
         client = CachingClient(server)
         assert client.k == server.k
         assert client.space == server.space
+
+
+class TestRunBatch:
+    """run_batch ≡ a run() loop, with or without a server batch seam."""
+
+    def queries(self, server):
+        return [slice_query(server.space, 0, v) for v in (1, 2, 3)]
+
+    def test_equals_per_query_loop(self, server):
+        batched = CachingClient(server)
+        responses = batched.run_batch(self.queries(server))
+        reference = CachingClient(TopKServer(server.dataset, k=server.k))
+        expected = [reference.run(q) for q in self.queries(server)]
+        assert responses == expected
+        assert batched.cost == reference.cost == 3
+        assert batched.history == reference.history
+
+    def test_second_batch_is_free(self, server):
+        client = CachingClient(server)
+        first = client.run_batch(self.queries(server))
+        assert client.run_batch(self.queries(server)) == first
+        assert client.cost == 3
+
+    def test_stats_and_listeners_fire_per_miss(self, server):
+        client = CachingClient(server)
+        seen = []
+        client.add_listener(lambda q, r: seen.append(q))
+        client.run_batch(self.queries(server))
+        assert seen == list(self.queries(server))
+        assert client.stats.queries == 3
+
+    def test_source_without_batch_context_falls_back(self, server):
+        # Sources that are not TopKServers (web sessions, adversaries)
+        # expose no batch_context; run_batch degrades to the loop.
+        class PlainSource:
+            space = server.space
+            k = server.k
+
+            def run(self, query):
+                return server.run(query)
+
+        client = CachingClient(PlainSource())
+        responses = client.run_batch(self.queries(server))
+        assert [len(r.rows) for r in responses] == [4, 4, 4]
+        assert client.cost == 3
+
+    def test_server_run_batch_matches_run(self, server):
+        fresh = TopKServer(server.dataset, k=server.k)
+        expected = [fresh.run(q) for q in self.queries(server)]
+        assert server.run_batch(self.queries(server)) == expected

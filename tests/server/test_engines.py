@@ -170,3 +170,61 @@ class TestEquivalence:
                 ]
                 answers = [f.result() for f in futures]
             assert answers == expected * 4
+
+
+class TestBatchSeam:
+    """``top_batch`` answers exactly like a per-query ``top`` loop."""
+
+    @pytest.mark.parametrize(
+        "engine_cls", [LinearScanEngine, VectorEngine, IndexedEngine]
+    )
+    def test_empty_batch(self, engine_cls, matrix):
+        assert engine_cls(matrix).top_batch([], 3) == []
+
+    @pytest.mark.parametrize(
+        "engine_cls", [LinearScanEngine, VectorEngine, IndexedEngine]
+    )
+    def test_sibling_slices(self, engine_cls, matrix, space):
+        engine = engine_cls(matrix)
+        queries = [Query.full(space).with_value(0, v) for v in (1, 2)]
+        queries += [
+            Query.full(space).with_value(0, v).with_range(1, 15, 45)
+            for v in (1, 2)
+        ]
+        assert engine.top_batch(queries, 2) == [
+            engine.top(q, 2) for q in queries
+        ]
+
+    @pytest.mark.parametrize(
+        "engine_cls", [LinearScanEngine, VectorEngine, IndexedEngine]
+    )
+    def test_repeated_queries_share_cached_work(
+        self, engine_cls, matrix, space
+    ):
+        # The same query twice in one batch must hit the context's
+        # mask/candidate cache and still answer identically.
+        engine = engine_cls(matrix)
+        query = Query.full(space).with_value(0, 1).with_range(1, 10, 50)
+        first, second = engine.top_batch([query, query], 2)
+        assert first == second == engine.top(query, 2)
+
+    @given(instance=small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_agrees_across_engines(self, instance):
+        dataset, k = instance
+        queries = [Query.full(dataset.space)]
+        for i, attr in enumerate(dataset.space):
+            if attr.is_categorical:
+                for v in range(1, attr.domain_size + 1):
+                    queries.append(queries[0].with_value(i, v))
+            else:
+                queries.append(queries[0].with_range(i, 0, 5))
+                queries.append(queries[0].with_range(i, 3, 3))
+        linear = LinearScanEngine(dataset.rows)
+        expected = [linear.top(q, k) for q in queries]
+        for engine in (
+            LinearScanEngine(dataset.rows),
+            VectorEngine(dataset.rows),
+            IndexedEngine(dataset.rows),
+        ):
+            assert engine.top_batch(queries, k) == expected

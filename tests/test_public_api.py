@@ -120,6 +120,30 @@ class TestDocstrings:
             doc = getattr(obj, "__doc__", None)
             assert doc and doc.strip(), f"service.{name} lacks a docstring"
 
+    def test_hot_path_surface_carries_usage_examples(self):
+        """The profiling seam and batch/compile APIs show example usage."""
+        from repro.crawl import profiling
+        from repro.query import compile_matcher, compile_predicate
+        from repro.server.client import CachingClient
+        from repro.server.engines import BatchTopK, QueryEngine
+        from repro.server.server import TopKServer
+
+        for obj in (
+            profiling.Profiler,
+            profiling.profile,
+            compile_predicate,
+            compile_matcher,
+            BatchTopK,
+            QueryEngine.top_batch,
+            TopKServer.run_batch,
+            CachingClient.run_batch,
+        ):
+            doc = obj.__doc__ or ""
+            assert (
+                ">>>" in doc or "::" in doc or "Examples" in doc
+            ), f"{obj.__qualname__} lacks a usage example in its docstring"
+        assert profiling.__doc__ and ">>>" in profiling.__doc__
+
 
 class TestExceptionHierarchy:
     def test_all_errors_derive_from_repro_error(self):

@@ -4,8 +4,8 @@
 Three passes, any failure is fatal:
 
 1. ``doctest`` over the markdown docs -- every ``>>>`` example in
-   ``README.md`` and ``docs/architecture.md`` runs and must produce
-   its printed output.
+   ``README.md``, ``docs/architecture.md`` and ``docs/performance.md``
+   runs and must produce its printed output.
 2. Every fenced ```` ```bash ```` block in ``README.md`` is executed
    line by line in a scratch directory (with ``src/`` on
    ``PYTHONPATH``), exactly as a reader would paste it.  Blocks fenced
@@ -30,7 +30,7 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOCTEST_DOCS = ["README.md", "docs/architecture.md"]
+DOCTEST_DOCS = ["README.md", "docs/architecture.md", "docs/performance.md"]
 EXEC_DOCS = ["README.md"]
 FENCE = re.compile(r"^```(\w+)\s*$")
 
