@@ -29,6 +29,24 @@ of sibling slice queries through :meth:`QueryEngine.top_batch` (one
 shared mask/candidate context) vs a per-query loop, on the vector and
 indexed engines.  Recorded as ``batch_speedup`` for trend-watching; it
 is not gated (sub-millisecond ratios are too noisy on shared CI).
+
+A third measurement drives the seam end to end: one deterministic DFS
+crawl over a dense categorical space on the vector engine, run with
+batteries on (sibling queries under one
+:meth:`~repro.server.client.CachingClient.batch` epoch, sharing the
+engine's per-predicate masks) and off (the plain per-query loop).  The
+two crawls must be byte-identical (rows, cost, progress, phase costs);
+``battery_speedup`` is asserted ``>= 1.2`` and gated against the
+baseline.  Profiled companion runs record ``admission_overhead_s`` per
+mode -- wall clock inside ``client.server_wait`` but outside
+``server.engine_top``, i.e. locks + admission + accounting -- which is
+the share battery batching exists to shrink.
+
+Finally ``payload_bytes`` records the pickled process payload of the
+crawl's per-session sources (what :class:`ProcessExecutor` ships to
+every pool worker).  Content-equal engine matrices ship once and
+derived caches are trimmed, and the lower-is-better gate keeps it
+that way.
 """
 
 import json
@@ -38,6 +56,9 @@ import time
 import numpy as np
 
 from benchmarks.conftest import bench_scale
+from repro.crawl import profiling
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.executors import pickle_payload
 from repro.crawl.partition import crawl_partitioned, partition_space
 from repro.dataspace.dataset import Dataset
 from repro.dataspace.space import DataSpace
@@ -52,6 +73,14 @@ from repro.server.server import TopKServer
 
 K = 16
 SESSIONS = 4
+
+#: Shape of the battery workload's dense categorical space.  Fan 3
+#: keeps every equality's selectivity above the vector engine's
+#: subset-index threshold (1/4), so each query takes the full-scan
+#: path whose per-(attribute, predicate) masks the batch context
+#: shares -- the seam under measurement.
+BATTERY_DEPTH = 7
+BATTERY_FAN = 3
 
 
 class InterpretedLinearScanEngine(QueryEngine):
@@ -156,6 +185,103 @@ def measure_batch_seam(dataset: Dataset, reps: int = 20) -> dict:
     return report
 
 
+def battery_dataset(dups: int) -> Dataset:
+    """Every point of the dense categorical space, ``dups`` times each.
+
+    Fully deterministic: with ``k == dups`` every point query resolves
+    exactly and every inner node overflows, so DFS walks the whole
+    space tree and fires a leaf battery under every level-``d-1`` node
+    -- identical work in battery and loop mode by construction.
+    """
+    grids = np.meshgrid(
+        *[np.arange(1, BATTERY_FAN + 1)] * BATTERY_DEPTH, indexing="ij"
+    )
+    points = np.stack([g.ravel() for g in grids], axis=1)
+    rows = np.repeat(points, dups, axis=0).astype(np.int64)
+    space = DataSpace.categorical([BATTERY_FAN] * BATTERY_DEPTH)
+    return Dataset(space, rows)
+
+
+def battery_crawl(dataset: Dataset, k: int, batteries: bool):
+    """One full DFS crawl on a fresh vector-engine server."""
+    crawler = DepthFirstSearch(
+        TopKServer(dataset, k, engine="vector"), batteries=batteries
+    )
+    return crawler.crawl()
+
+
+def best_of(fn, reps: int = 2):
+    """Result plus the minimum wall clock over ``reps`` runs."""
+    result, seconds = None, float("inf")
+    for _ in range(reps):
+        result, elapsed = timed(fn)
+        seconds = min(seconds, elapsed)
+    return result, seconds
+
+
+def measure_battery_crawl() -> dict:
+    """Battery-batched vs looped DFS: speedup and admission overhead.
+
+    The timed runs are unprofiled (the seam check is a global read
+    either way); one profiled companion run per mode then splits the
+    wall clock at the engine boundary: ``admission_overhead_s`` is
+    ``client.server_wait`` seconds minus ``server.engine_top`` seconds
+    -- everything the client waits on that is not the engine (locks,
+    admission, response/stat bookkeeping).
+    """
+    dups = max(8, int(240 * bench_scale()))
+    dataset = battery_dataset(dups)
+    k = dups
+    looped, loop_seconds = best_of(lambda: battery_crawl(dataset, k, False))
+    batched, battery_seconds = best_of(
+        lambda: battery_crawl(dataset, k, True)
+    )
+
+    # Byte-identical crawls: the speedup must come from sharing work,
+    # never from doing different work.
+    assert batched.rows == looped.rows
+    assert batched.cost == looped.cost
+    assert batched.progress == looped.progress
+    assert batched.phase_costs == looped.phase_costs
+
+    overhead = {}
+    for label, batteries in (("loop", False), ("battery", True)):
+        with profiling.profile() as prof:
+            battery_crawl(dataset, k, batteries)
+        phases = prof.phases()
+        overhead[label] = round(
+            phases["client.server_wait"].seconds
+            - phases["server.engine_top"].seconds,
+            4,
+        )
+
+    speedup = round(loop_seconds / max(battery_seconds, 1e-9), 2)
+    report = {
+        "battery_workload": (
+            f"DFS over the dense {BATTERY_FAN}^{BATTERY_DEPTH} "
+            f"categorical space x {dups} duplicates, vector engine"
+        ),
+        "battery_n": dataset.n,
+        "battery_cost": batched.cost,
+        "battery_seconds": {
+            "loop": round(loop_seconds, 3),
+            "battery": round(battery_seconds, 3),
+        },
+        "battery_queries_per_sec": round(
+            batched.cost / max(battery_seconds, 1e-9), 1
+        ),
+        "battery_speedup": speedup,
+        "admission_overhead_s": overhead,
+    }
+
+    assert speedup >= 1.2, (
+        f"expected battery-batched DFS >= 1.2x over the per-query loop "
+        f"on the vector engine, got {speedup}x ({loop_seconds:.2f}s "
+        f"loop, {battery_seconds:.2f}s battery)"
+    )
+    return report
+
+
 def test_single_core_queries_per_sec(benchmark):
     """Compiled vs interpreted inner loop on one sequential crawl."""
     n = max(4000, int(16000 * bench_scale()))
@@ -202,7 +328,14 @@ def test_single_core_queries_per_sec(benchmark):
         "queries_per_sec": queries_per_sec,
         "hot_path_speedup": speedup,
         "batch_speedup": measure_batch_seam(dataset),
+        # What ProcessExecutor would ship per pool worker for this
+        # crawl's sources: one deduplicated matrix for all sessions,
+        # derived caches trimmed.  Gated lower-is-better.
+        "payload_bytes": len(
+            pickle_payload(compiled_sources(), DepthFirstSearch)
+        ),
     }
+    report.update(measure_battery_crawl())
     path = write_report(report)
     benchmark.extra_info.update(report)
     benchmark.extra_info["report_path"] = path

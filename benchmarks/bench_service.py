@@ -236,6 +236,14 @@ def test_process_backend_beats_threads_on_cpu_bound_burst(
                 status = service.wait(job, timeout=600)
                 assert status.state is JobState.DONE, status
             makespan = time.perf_counter() - start
+            if backend == "process":
+                # What the dispatcher pickled per region unit: the
+                # deduplicated per-session sources.  Gated
+                # lower-is-better so rebuildable engine caches can
+                # never creep back into worker payloads.
+                measurements["payload_bytes"] = (
+                    service.manager.last_payload_bytes
+                )
             # The acceptance contract, per backend: byte-identical
             # rows and exact admission charges for every tenant.
             for job in jobs.values():
@@ -279,6 +287,7 @@ def test_process_backend_beats_threads_on_cpu_bound_burst(
             },
         },
         "service_process_over_thread": round(ratio, 3),
+        "payload_bytes": measurements["payload_bytes"],
     }
     path = write_report(report)
     benchmark.extra_info.update(report)

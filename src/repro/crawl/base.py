@@ -347,6 +347,13 @@ class Crawler(abc.ABC):
         :class:`AlgorithmInvariantError` -- tests set the cap from the
         Theorem 1 bounds so a regression that breaks a guarantee fails
         fast instead of looping.
+    batteries:
+        When ``True`` (default), :meth:`_run_battery` issues sibling
+        queries under one client batch epoch (shared engine context,
+        one lock acquisition, batched accounting).  ``False`` degrades
+        every battery to a plain :meth:`_run_query` loop -- the
+        reference path batteries are byte-identical to by construction
+        (same calls, same order, same exception points).
     """
 
     #: Human-readable algorithm name; subclasses override.
@@ -357,12 +364,14 @@ class Crawler(abc.ABC):
         source: TopKServer | CachingClient,
         *,
         max_queries: int | None = None,
+        batteries: bool = True,
     ):
         if isinstance(source, CachingClient):
             self._client = source
         else:
             self._client = CachingClient(source)
         self._max_queries = max_queries
+        self._batteries = batteries
         self._confirmed: list[Row] = []
         self._progress: list[ProgressPoint] = []
         self._progress_listeners: list[Callable[[ProgressPoint], None]] = []
@@ -457,6 +466,25 @@ class Crawler(abc.ABC):
                 )
             self._snapshot()
         return response
+
+    def _run_battery(self, queries: Sequence[Query]) -> list[QueryResponse]:
+        """Issue sibling queries through one client batch epoch.
+
+        The battery is exactly ``[self._run_query(q) for q in
+        queries]`` -- per-query cache probes, admission order, cost
+        deltas, progress snapshots, sanity-cap checks and exception
+        points are untouched, so a mid-battery budget refusal raises at
+        the identical query index either way -- but under one
+        :meth:`~repro.server.client.CachingClient.batch` epoch the
+        misses share the server's engine context and the accounting
+        merges once at the boundary.  With ``batteries=False`` (or a
+        degenerate battery) the epoch is skipped entirely, which is the
+        reference loop the parity property tests compare against.
+        """
+        if not self._batteries or len(queries) < 2:
+            return [self._run_query(query) for query in queries]
+        with self._client.batch():
+            return [self._run_query(query) for query in queries]
 
     def _confirm(self, rows) -> None:
         """Record tuples extracted with certainty (resolved coverage)."""

@@ -78,6 +78,9 @@ def _drain_binary(
         # [lo, x-1], the right part [x, hi] (paper Section 2.1).
         x = -((lo + hi) // -2)
         q_left, q_right = query.split_2way(dim, x)
+        # Prefetch the halving pair as one sibling battery, in pop
+        # order; the pops replay the cached responses at zero cost.
+        crawler._run_battery([q_left, q_right])
         stack.append(q_right)
         stack.append(q_left)
     return []
@@ -88,8 +91,14 @@ class BinaryShrink(Crawler):
 
     name = "binary-shrink"
 
-    def __init__(self, source, *, max_queries: int | None = None):
-        super().__init__(source, max_queries=max_queries)
+    def __init__(
+        self,
+        source,
+        *,
+        max_queries: int | None = None,
+        batteries: bool = True,
+    ):
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         if self.space.kind is not SpaceKind.NUMERIC:
             raise SchemaError(
                 "binary-shrink handles purely numeric spaces; got "

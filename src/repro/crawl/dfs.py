@@ -26,8 +26,14 @@ class DepthFirstSearch(Crawler):
 
     name = "DFS"
 
-    def __init__(self, source, *, max_queries: int | None = None):
-        super().__init__(source, max_queries=max_queries)
+    def __init__(
+        self,
+        source,
+        *,
+        max_queries: int | None = None,
+        batteries: bool = True,
+    ):
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         if self.space.kind is not SpaceKind.CATEGORICAL:
             raise SchemaError(
                 "DFS handles purely categorical spaces; got "
@@ -52,5 +58,24 @@ class DepthFirstSearch(Crawler):
                 )
             attr = self.space[level]
             assert attr.domain_size is not None
+            if level + 1 == d:
+                # Point-level children push nothing back, so the
+                # sequential walk issues them consecutively anyway --
+                # a sibling battery preserves the depth-first issue
+                # order exactly while sharing one engine context.
+                children = [
+                    query.with_value(level, value)
+                    for value in range(1, attr.domain_size + 1)
+                ]
+                for child, child_response in zip(
+                    children, self._run_battery(children)
+                ):
+                    if child_response.overflow:
+                        raise InfeasibleCrawlError(
+                            f"point query {child} overflowed: more than "
+                            f"k={self.k} duplicates at one point"
+                        )
+                    self._confirm(child_response.rows)
+                continue
             for value in range(attr.domain_size, 0, -1):
                 stack.append((query.with_value(level, value), level + 1))

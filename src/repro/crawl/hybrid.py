@@ -61,8 +61,9 @@ class Hybrid(Crawler):
         lazy: bool = True,
         max_queries: int | None = None,
         threshold_divisor: int = 4,
+        batteries: bool = True,
     ):
-        super().__init__(source, max_queries=max_queries)
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         self._lazy = lazy
         self._threshold_divisor = threshold_divisor
 

@@ -40,6 +40,7 @@ the price of parallelism and is measured in the tests.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -299,6 +300,21 @@ class SubspaceView:
         if merged is None:
             return QueryResponse((), overflow=False)
         return self._source.run(merged)
+
+    def batch_context(self):
+        """Delegate the batch seam, so region crawls share engine work.
+
+        A view is transparent to batching exactly as it is to queries:
+        when the wrapped source exposes
+        :meth:`~repro.server.server.TopKServer.batch_context`, a
+        battery against the view evaluates through the source's shared
+        context; otherwise the epoch is a no-op (sources without the
+        seam simply answer query by query).
+        """
+        inner = getattr(self._source, "batch_context", None)
+        if inner is None:
+            return nullcontext()
+        return inner()
 
     def __repr__(self) -> str:
         return f"SubspaceView({self._region})"

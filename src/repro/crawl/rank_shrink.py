@@ -183,12 +183,19 @@ def _drain_numeric(
             q_left, q_right = query.split_2way(dim, x)
             if tracer is not None:
                 tracer.mark_split(node, "2way", dim, x)
+            # Prefetch the shrink probe pair as one sibling battery, in
+            # the order the stack would pop them; the pops then replay
+            # the cached responses at zero cost.
+            crawler._run_battery([q_left, q_right])
             stack.append((q_right, pos, node, "right"))
             stack.append((q_left, pos, node, "left"))
         else:
             q_left, q_mid, q_right = query.split_3way(dim, x)
             if tracer is not None:
                 tracer.mark_split(node, "3way", dim, x)
+            crawler._run_battery(
+                [q for q in (q_mid, q_left, q_right) if q is not None]
+            )
             if q_right is not None:
                 stack.append((q_right, pos, node, "right"))
             if q_left is not None:
@@ -217,8 +224,9 @@ class RankShrink(Crawler):
         max_queries: int | None = None,
         threshold_divisor: int = 4,
         tracer=None,
+        batteries: bool = True,
     ):
-        super().__init__(source, max_queries=max_queries)
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         if self.space.kind is not SpaceKind.NUMERIC:
             raise SchemaError(
                 "rank-shrink handles purely numeric spaces; use Hybrid for "

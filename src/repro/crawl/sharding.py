@@ -361,7 +361,11 @@ class _RegionPlanner:
                 dims=task.dims,
                 algo=task.algo,
                 threshold_divisor=task.threshold_divisor,
-                seed=None,  # frontier roots are never issued by the trunk
+                # A split-time sibling battery may have prefetched a
+                # frontier root before the drain loop cut off; carry
+                # the trunk's cached response so the shard replays it
+                # at zero cost instead of re-charging it.
+                seed=crawler.client.peek(query),
                 phase=task.phase,
             )
             for query in pending

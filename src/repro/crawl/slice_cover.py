@@ -44,14 +44,23 @@ LeafHandler = Callable[[Query], None]
 
 
 def preprocess_slice_table(crawler: Crawler) -> None:
-    """Eagerly run every slice query (slice-cover's first phase)."""
+    """Eagerly run every slice query (slice-cover's first phase).
+
+    Each attribute's slices are siblings by construction, so they go
+    out as one battery -- the identical queries in the identical order
+    as the plain loop, sharing one engine context per attribute.
+    """
     crawler.client.begin_phase("slice-table")
     try:
         for index in range(crawler.space.cat):
             attr = crawler.space[index]
             assert attr.domain_size is not None
-            for value in range(1, attr.domain_size + 1):
-                crawler._run_query(slice_query(crawler.space, index, value))
+            crawler._run_battery(
+                [
+                    slice_query(crawler.space, index, value)
+                    for value in range(1, attr.domain_size + 1)
+                ]
+            )
     finally:
         crawler.client.end_phase()
 
@@ -117,6 +126,18 @@ def extended_dfs(
     cat = crawler.space.cat
     attr = crawler.space[level]
     assert attr.domain_size is not None
+    if lazy:
+        # Lazy mode consults the slice of *every* child below, so
+        # prefetching the uncached ones as one sibling battery issues
+        # exactly the queries the loop would -- grouped up front,
+        # sharing one engine context, instead of interleaved with the
+        # descents.
+        uncached = []
+        for value in range(1, attr.domain_size + 1):
+            slice_q = slice_query(crawler.space, level, value)
+            if crawler.client.peek(slice_q) is None:
+                uncached.append(slice_q)
+        crawler._run_battery(uncached)
     for value in range(1, attr.domain_size + 1):
         child_query = node_query.with_value(level, value)
         table_entry = slice_response(crawler, level, value, lazy=lazy)
@@ -151,8 +172,14 @@ class SliceCover(Crawler):
 
     name = "slice-cover"
 
-    def __init__(self, source, *, max_queries: int | None = None):
-        super().__init__(source, max_queries=max_queries)
+    def __init__(
+        self,
+        source,
+        *,
+        max_queries: int | None = None,
+        batteries: bool = True,
+    ):
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         if self.space.kind is not SpaceKind.CATEGORICAL:
             raise SchemaError(
                 "slice-cover handles purely categorical spaces; use Hybrid "
@@ -185,8 +212,14 @@ class LazySliceCover(Crawler):
 
     name = "lazy-slice-cover"
 
-    def __init__(self, source, *, max_queries: int | None = None):
-        super().__init__(source, max_queries=max_queries)
+    def __init__(
+        self,
+        source,
+        *,
+        max_queries: int | None = None,
+        batteries: bool = True,
+    ):
+        super().__init__(source, max_queries=max_queries, batteries=batteries)
         if self.space.kind is not SpaceKind.CATEGORICAL:
             raise SchemaError(
                 "lazy-slice-cover handles purely categorical spaces; use "

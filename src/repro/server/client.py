@@ -42,7 +42,8 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 
 from repro.exceptions import QueryBudgetExhausted
 from repro.query.query import Query
@@ -51,7 +52,7 @@ from repro.server.limits import SimulatedClock
 from repro.server.pickling import LocklessPickle
 from repro.server.response import QueryResponse
 from repro.server.server import TopKServer
-from repro.server.stats import QueryStats
+from repro.server.stats import QueryStats, StatsDelta
 
 __all__ = ["CachingClient", "PatientClient", "AwaitableClient"]
 
@@ -71,6 +72,9 @@ class CachingClient(LocklessPickle):
         self._history: list[Query] = []
         self._listeners: list[Callable[[Query, QueryResponse], None]] = []
         self._stats = QueryStats()
+        # Unlocked stats buffer of the active batch epoch, or None (the
+        # common case); see batch().
+        self._delta: StatsDelta | None = None
         # Held across the miss path so a query reaches the server at
         # most once even when threads race on the same cold query.
         self._lock = threading.RLock()
@@ -81,8 +85,10 @@ class CachingClient(LocklessPickle):
 
     def _pickle_trim(self, state: dict) -> dict:
         # Listeners are arbitrary closures; they do not survive the
-        # trip (the cache and accounting do).
+        # trip (the cache and accounting do).  A mid-epoch pickle (not
+        # a supported pattern) must not carry the buffer either.
         state["_listeners"] = []
+        state["_delta"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -126,10 +132,52 @@ class CachingClient(LocklessPickle):
                 prof.record("client.server_wait", profiling.clock() - start)
             self._cache[query] = response
             self._history.append(query)
-            self._stats.record(response)
+            delta = self._delta
+            if delta is not None:
+                # Inside a batch epoch: buffer unlocked, merge at the
+                # epoch boundary (batch() holds the client lock, so
+                # only this thread can reach the miss path).
+                delta.record_counts(
+                    response.overflow, len(response.rows), self._stats._phase
+                )
+            else:
+                self._stats.record(response)
             for listener in self._listeners:
                 listener(query, response)
         return response
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """One batch epoch: shared engine context, batched accounting.
+
+        Inside the ``with`` block this thread holds the client lock
+        once for the whole battery, the underlying server (when it is
+        one) shares engine work across the misses through
+        :meth:`~repro.server.server.TopKServer.batch_context`, and
+        stats recording is buffered into a
+        :class:`~repro.server.stats.StatsDelta` merged atomically when
+        the epoch closes.  Sources without a batch seam (web sessions,
+        adversaries, subspace views over them) get the identical epoch
+        semantics minus the engine sharing, so accounting, profiling
+        phases and exception points never depend on the source kind.
+        Re-entrant: a nested epoch joins the outer one.
+        """
+        with self._lock:
+            if self._delta is not None:
+                yield  # nested epoch: keep the outer buffer
+                return
+            delta = StatsDelta()
+            self._delta = delta
+            batch_context = getattr(self._server, "batch_context", None)
+            try:
+                if batch_context is None:
+                    yield
+                else:
+                    with batch_context():
+                        yield
+            finally:
+                self._delta = None
+                delta.flush_into(self._stats)
 
     def run_batch(self, queries: list[Query]) -> list[QueryResponse]:
         """Answer a vector of sibling queries, sharing engine work.
@@ -137,10 +185,12 @@ class CachingClient(LocklessPickle):
         Exactly equivalent to ``[self.run(q) for q in queries]`` --
         every cache probe, history append, stats recording and listener
         call happens per query, in order, so cost accounting and budget
-        exhaustion behave identically -- but when the underlying source
-        is a :class:`TopKServer`, the misses of the batch evaluate
-        through one shared
-        :meth:`~repro.server.server.TopKServer.batch_context`.
+        exhaustion behave identically -- but the batch runs under one
+        :meth:`batch` epoch: the misses of the batch evaluate through
+        one shared server context, and accounting merges once at the
+        epoch boundary.  Sources without a server batch seam take the
+        identical path minus the engine sharing, so ``--profile``
+        tables match between batched and looped runs on every source.
 
         Examples
         --------
@@ -156,10 +206,7 @@ class CachingClient(LocklessPickle):
         >>> client.cost, client.run_batch(queries) == responses
         (3, True)
         """
-        batch_context = getattr(self._server, "batch_context", None)
-        if batch_context is None:
-            return [self.run(query) for query in queries]
-        with self._lock, batch_context():
+        with self.batch():
             return [self.run(query) for query in queries]
 
     def peek(self, query: Query) -> QueryResponse | None:
@@ -180,8 +227,19 @@ class CachingClient(LocklessPickle):
     # ------------------------------------------------------------------
     @property
     def cost(self) -> int:
-        """Number of distinct queries issued so far (the Problem 1 cost)."""
-        return self._stats.queries
+        """Number of distinct queries issued so far (the Problem 1 cost).
+
+        Exact inside a batch epoch too: the epoch's unlocked buffer is
+        added to the merged counters, so per-query cost deltas (the
+        crawler's progress accounting) read identically with batching
+        on or off.
+        """
+        # Read the merged counter first: the epoch clears the buffer
+        # reference before merging, so this order can transiently lag
+        # for a concurrent reader but never over-count.
+        queries = self._stats.queries
+        delta = self._delta
+        return queries + (delta.queries if delta is not None else 0)
 
     @property
     def history(self) -> tuple[Query, ...]:

@@ -275,6 +275,16 @@ class VectorEngine(LocklessPickle, QueryEngine):
                     self._value_index[key] = rows
         return rows
 
+    def _pickle_trim(self, state: dict) -> dict:
+        # Route through QueryEngine's trim explicitly: the MRO puts
+        # LocklessPickle's no-op hook first, which silently shipped the
+        # row-tuple cache.  The per-(attribute, value) row index is
+        # derived data too, rebuilt lazily on first use; neither
+        # belongs in a process payload.
+        state = QueryEngine._pickle_trim(self, state)
+        state["_value_index"] = {}
+        return state
+
     def batch(self) -> BatchTopK:
         return _VectorBatch(self)
 
@@ -454,6 +464,15 @@ class IndexedEngine(LocklessPickle, QueryEngine):
             np.searchsorted(values, hi, "right")
         )
         return order[left:right]
+
+    def _pickle_trim(self, state: dict) -> dict:
+        # Route through QueryEngine's trim explicitly (the MRO puts
+        # LocklessPickle's no-op hook first, which silently shipped the
+        # row-tuple cache) and drop the sorted column indexes -- both
+        # are derived data, rebuilt lazily in the worker.
+        state = QueryEngine._pickle_trim(self, state)
+        state["_columns"] = {}
+        return state
 
     def batch(self) -> BatchTopK:
         return _IndexedBatch(self)

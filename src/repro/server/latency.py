@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import nullcontext
 
 from repro.query.query import Query
 from repro.server.response import QueryResponse
@@ -74,6 +75,13 @@ class LatencySource:
         if self._seconds:
             time.sleep(self._seconds)
         return self._source.run(query)
+
+    def batch_context(self):
+        """Delegate the batch seam; latency applies per query regardless."""
+        inner = getattr(self._source, "batch_context", None)
+        if inner is None:
+            return nullcontext()
+        return inner()
 
     def __repr__(self) -> str:
         return f"LatencySource({self._source!r}, seconds={self._seconds})"

@@ -75,6 +75,20 @@ class PhaseStat:
     seconds: float = 0.0
 
 
+#: Canonical seam order of the pipeline's phase prefixes: a query flows
+#: client -> server -> runtime orchestration, and the ``--profile``
+#: table prints in that order (see :meth:`Profiler.format`).
+_SEAM_PREFIXES = ("client.", "server.", "runtime.")
+
+
+def _seam_order(name: str) -> tuple[int, str]:
+    """Sort key placing a phase in its pipeline seam, then by name."""
+    for rank, prefix in enumerate(_SEAM_PREFIXES):
+        if name.startswith(prefix):
+            return (rank, name)
+    return (len(_SEAM_PREFIXES), name)
+
+
 class Profiler:
     """Aggregates per-phase counters and timers across session threads.
 
@@ -145,10 +159,20 @@ class Profiler:
         return report
 
     def format(self, stats: "QueryStats | None" = None) -> str:
-        """Render :meth:`report` as an aligned text table (CLI output)."""
+        """Render :meth:`report` as an aligned text table (CLI output).
+
+        Rows follow the pipeline's seam order (``client.*`` before
+        ``server.*`` before ``runtime.*``, alphabetical within a seam
+        and for unknown prefixes after them), never first-hit order --
+        so two ``--profile`` runs of the same workload print the same
+        table shape regardless of which phase happened to record
+        first.  :meth:`report` keeps plain sorted keys; the seam order
+        is presentation only.
+        """
         report = self.report(stats)
         lines = ["phase                          calls      seconds"]
-        for name, stat in report["phases"].items():
+        for name in sorted(report["phases"], key=_seam_order):
+            stat = report["phases"][name]
             lines.append(
                 f"{name:<30} {stat['calls']:>6} {stat['seconds']:>12.6f}"
             )

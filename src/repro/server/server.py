@@ -38,7 +38,7 @@ from repro.server import profiling
 from repro.server.engines import make_engine
 from repro.server.limits import QueryLimit
 from repro.server.response import QueryResponse
-from repro.server.stats import QueryStats
+from repro.server.stats import QueryStats, StatsDelta
 
 __all__ = ["TopKServer"]
 
@@ -125,9 +125,13 @@ class TopKServer:
         """
         if query.space != self._dataset.space:
             raise SchemaError("query was built against a different data space")
-        for limit in self._limits:
-            limit.admit()
-        evaluator = getattr(self._batch, "evaluator", None) or self._engine
+        # Lean admission: the common unlimited server skips the loop
+        # setup entirely -- no admission locks touched per query.
+        if self._limits:
+            for limit in self._limits:
+                limit.admit()
+        batch = self._batch
+        evaluator = getattr(batch, "evaluator", None) or self._engine
         prof = profiling.active()
         if prof is None:
             rows, overflow = evaluator.top(query, self._k)
@@ -136,7 +140,14 @@ class TopKServer:
             rows, overflow = evaluator.top(query, self._k)
             prof.record("server.engine_top", profiling.clock() - start)
         response = QueryResponse(tuple(rows), overflow)
-        self._stats.record(response)
+        delta = getattr(batch, "stats_delta", None)
+        if delta is not None:
+            # Inside a batch epoch: buffer unlocked, merge at epoch end.
+            delta.record_counts(
+                overflow, len(response.rows), self._stats._phase
+            )
+        else:
+            self._stats.record(response)
         return response
 
     @contextmanager
@@ -146,18 +157,36 @@ class TopKServer:
         Inside the ``with`` block, this thread's ``run()`` calls
         evaluate through one :class:`~repro.server.engines.BatchTopK`
         context, so sibling queries reuse per-(attribute, predicate)
-        masks/candidate sets.  Everything else about ``run`` --
-        admission order, per-query stats, responses, exceptions -- is
-        untouched, which is what keeps batched evaluation
-        byte-identical to sequential calls.  The context is
-        thread-local: concurrent sessions on other threads are
-        unaffected.
+        masks/candidate sets, and stats recording is buffered into an
+        unlocked :class:`~repro.server.stats.StatsDelta` that merges
+        atomically when the epoch closes -- one lock acquisition per
+        battery instead of one per query.  Everything else about
+        ``run`` -- admission order, responses, exceptions -- is
+        untouched, and every observation point outside the epoch sees
+        exactly the counters per-query recording would have produced,
+        which is what keeps batched evaluation byte-identical to
+        sequential calls.  The context is thread-local (concurrent
+        sessions on other threads are unaffected) and re-entrant (a
+        nested epoch joins the outer one).
         """
-        self._batch.evaluator = self._engine.batch()
+        batch = self._batch
+        if getattr(batch, "evaluator", None) is not None:
+            yield  # nested epoch: keep the outer context
+            return
+        batch.evaluator = self._engine.batch()
+        # Only a plain QueryStats supports the deferred merge; shared-
+        # state proxies (coordinator mode) keep per-query recording,
+        # which is already a cheap local buffer there.
+        stats = self._stats
+        delta = StatsDelta() if isinstance(stats, QueryStats) else None
+        batch.stats_delta = delta
         try:
             yield
         finally:
-            self._batch.evaluator = None
+            batch.evaluator = None
+            batch.stats_delta = None
+            if delta is not None:
+                delta.flush_into(stats)
 
     def run_batch(self, queries: Sequence[Query]) -> list[QueryResponse]:
         """Answer a vector of sibling queries in one call.
@@ -212,6 +241,10 @@ class TopKServer:
         proxies so every worker charges the one authoritative copy.
         """
         clone = copy.copy(self)
+        # A shallow copy would share the thread-local batch state; give
+        # the clone its own so an epoch on one never buffers (or
+        # flushes) stats through the other.
+        clone._batch = threading.local()
         if limits is not None:
             clone._limits = tuple(limits)
         if stats is not None:

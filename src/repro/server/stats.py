@@ -12,6 +12,15 @@ totals -- ``queries == resolved + overflowed`` holds at every instant.
 The lock is dropped on pickling and rebuilt on load, so stats ride
 along when a server is shipped to a process-pool worker (see
 :class:`~repro.crawl.executors.ProcessExecutor`).
+
+Inside a batch epoch the per-query locked update is replaced by a
+:class:`StatsDelta` -- a plain unlocked counter buffer owned by the
+epoch's thread -- folded in with one :meth:`QueryStats.merge_counts`
+call when the epoch closes.  Every observation point outside an epoch
+(``state()``, write-back, checkpoints) therefore sees exactly the
+counters per-query recording would have produced; concurrent readers
+*during* an epoch may lag by at most the epoch's in-flight queries,
+always by a consistent (queries, resolved, overflowed) triple.
 """
 
 from __future__ import annotations
@@ -22,7 +31,62 @@ from dataclasses import dataclass, field
 from repro.server.pickling import LocklessPickle
 from repro.server.response import QueryResponse
 
-__all__ = ["QueryStats"]
+__all__ = ["QueryStats", "StatsDelta"]
+
+
+class StatsDelta:
+    """Unlocked counter buffer for one batch epoch.
+
+    Owned by exactly one thread (the epoch holder), so recording needs
+    no lock; the aggregate ships through
+    :meth:`QueryStats.merge_counts` once, when the epoch closes.  Phase
+    attribution is captured per record (the owning stats' current
+    phase), so the merged ``phase_costs`` equal what per-query locked
+    recording would have written.
+    """
+
+    __slots__ = (
+        "queries",
+        "resolved",
+        "overflowed",
+        "tuples_returned",
+        "phase_costs",
+    )
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.resolved = 0
+        self.overflowed = 0
+        self.tuples_returned = 0
+        self.phase_costs: dict[str, int] = {}
+
+    def record_counts(
+        self, overflow: bool, tuples: int, phase: str | None
+    ) -> None:
+        """Buffer one answered query (the epoch twin of ``record``)."""
+        self.queries += 1
+        if overflow:
+            self.overflowed += 1
+        else:
+            self.resolved += 1
+        self.tuples_returned += tuples
+        if phase is not None:
+            self.phase_costs[phase] = self.phase_costs.get(phase, 0) + 1
+
+    def state(self) -> dict:
+        """The buffered counters in :meth:`QueryStats.merge_counts` form."""
+        return {
+            "queries": self.queries,
+            "resolved": self.resolved,
+            "overflowed": self.overflowed,
+            "tuples_returned": self.tuples_returned,
+            "phase_costs": self.phase_costs,
+        }
+
+    def flush_into(self, stats: "QueryStats") -> None:
+        """Fold the buffer into ``stats`` atomically; no-op when empty."""
+        if self.queries:
+            stats.merge_counts(self.state())
 
 
 @dataclass

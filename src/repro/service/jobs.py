@@ -354,6 +354,8 @@ class JobManager:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         self._tickets = itertools.count(1)
+        #: Bytes of the last process-job payload shipped to the pool.
+        self.last_payload_bytes = 0
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -515,6 +517,9 @@ class JobManager:
                     if isinstance(stub, SharedBudget):
                         stub.lease_chunk = chunk
             payload = pickle_payload(sources, spec.crawler_factory, stubs)
+            # Operator-side introspection: bytes shipped per dispatched
+            # process job (benchmarks gate this; lower is better).
+            self.last_payload_bytes = len(payload)
             ticket = next(self._tickets)
             self._ensure_pool()
         else:

@@ -1,0 +1,149 @@
+"""Battery batching parity: batteries on == batteries off, byte for byte.
+
+``Crawler._run_battery`` promises that a sibling battery is *exactly*
+``[self._run_query(q) for q in queries]`` -- the batch epoch may share
+engine work and defer accounting, but every observable of the crawl
+must be untouched.  These tests pin the promise:
+
+* property test over random instances of every space kind: for every
+  crawler that accepts the space, the battery-mode crawl and the
+  loop-mode crawl produce identical rows, cost, progress curves, phase
+  costs, issue histories, cached responses and stats counters;
+* budget sweep on a dense deterministic instance: for *every* budget
+  value from 1 to the full crawl cost, a mid-battery
+  :class:`QueryBudgetExhausted` fires at the identical query index in
+  both modes, leaving identical partial state behind.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.crawl.binary_shrink import BinaryShrink
+from repro.crawl.dfs import DepthFirstSearch
+from repro.crawl.hybrid import Hybrid
+from repro.crawl.rank_shrink import RankShrink
+from repro.crawl.slice_cover import LazySliceCover, SliceCover
+from repro.dataspace.dataset import Dataset
+from repro.dataspace.space import DataSpace, SpaceKind
+from repro.exceptions import QueryBudgetExhausted
+from repro.server.client import CachingClient
+from repro.server.limits import QueryBudget
+from repro.server.server import TopKServer
+from tests.conftest import small_instances
+
+_SETTINGS = dict(max_examples=50, deadline=None)
+
+
+def crawler_classes(space):
+    """Every crawler class that accepts ``space``."""
+    classes = [Hybrid]
+    if space.kind is SpaceKind.CATEGORICAL:
+        classes += [DepthFirstSearch, SliceCover, LazySliceCover]
+    if space.kind is SpaceKind.NUMERIC:
+        classes.append(RankShrink)
+    return classes
+
+
+def run_mode(dataset, k, crawler_cls, batteries, *, budget=None):
+    """One crawl in the given battery mode on a fresh server + client.
+
+    Returns ``(result_or_exception, client)`` so callers can compare
+    partial state after a budget refusal too.
+    """
+    limits = [QueryBudget(budget)] if budget is not None else ()
+    server = TopKServer(dataset, k, priority_seed=3, limits=limits)
+    client = CachingClient(server)
+    crawler = crawler_cls(client, batteries=batteries)
+    try:
+        outcome = crawler.crawl()
+    except QueryBudgetExhausted as exc:
+        outcome = exc
+    return outcome, client
+
+
+def assert_client_parity(battery_client, loop_client):
+    """The two clients saw byte-identical traffic and accounting."""
+    assert battery_client.cost == loop_client.cost
+    assert battery_client.history == loop_client.history
+    # Cache contents: same queries, same responses (including
+    # locally-derived zero-cost entries like slice-cover's lookups).
+    assert battery_client._cache == loop_client._cache  # noqa: SLF001
+    assert battery_client.stats.state() == loop_client.stats.state()
+
+
+class TestBatteryParity:
+    @given(instance=small_instances())
+    @settings(**_SETTINGS)
+    def test_every_crawler_byte_identical(self, instance):
+        dataset, k = instance
+        for crawler_cls in crawler_classes(dataset.space):
+            battery, battery_client = run_mode(dataset, k, crawler_cls, True)
+            loop, loop_client = run_mode(dataset, k, crawler_cls, False)
+            assert battery.rows == loop.rows
+            assert battery.cost == loop.cost
+            assert battery.progress == loop.progress
+            assert battery.phase_costs == loop.phase_costs
+            assert_client_parity(battery_client, loop_client)
+
+    @given(instance=small_instances(max_dim=2))
+    @settings(**_SETTINGS)
+    def test_binary_shrink_byte_identical(self, instance):
+        dataset, k = instance
+        if dataset.space.kind is not SpaceKind.NUMERIC or dataset.n == 0:
+            return
+        bounded = dataset.with_bounds_from_data()
+        battery, battery_client = run_mode(bounded, k, BinaryShrink, True)
+        loop, loop_client = run_mode(bounded, k, BinaryShrink, False)
+        assert battery.rows == loop.rows
+        assert battery.cost == loop.cost
+        assert battery.progress == loop.progress
+        assert_client_parity(battery_client, loop_client)
+
+
+def dense_categorical(depth=4, fan=3, dups=2):
+    """Every point ``dups`` times: DFS fires a battery per leaf group."""
+    grids = np.meshgrid(*[np.arange(1, fan + 1)] * depth, indexing="ij")
+    points = np.stack([g.ravel() for g in grids], axis=1)
+    rows = np.repeat(points, dups, axis=0).astype(np.int64)
+    return Dataset(DataSpace.categorical([fan] * depth), rows)
+
+
+class TestMidBatteryBudget:
+    """A budget refusal fires at the identical query index either way."""
+
+    def full_cost(self, dataset, k, crawler_cls):
+        result, _ = run_mode(dataset, k, crawler_cls, True)
+        assert not isinstance(result, QueryBudgetExhausted)
+        return result.cost
+
+    def sweep(self, dataset, k, crawler_cls):
+        cost = self.full_cost(dataset, k, crawler_cls)
+        assert cost > 2
+        for budget in range(1, cost + 1):
+            battery, battery_client = run_mode(
+                dataset, k, crawler_cls, True, budget=budget
+            )
+            loop, loop_client = run_mode(
+                dataset, k, crawler_cls, False, budget=budget
+            )
+            raised = isinstance(battery, QueryBudgetExhausted)
+            assert raised == isinstance(loop, QueryBudgetExhausted), budget
+            assert raised == (budget < cost), budget
+            # Identical partial state at the refusal point: the budget
+            # cut both modes at the very same query.
+            assert_client_parity(battery_client, loop_client)
+
+    def test_dfs_budget_sweep(self):
+        dataset = dense_categorical()
+        self.sweep(dataset, 2, DepthFirstSearch)
+
+    def test_rank_shrink_budget_sweep(self):
+        rng = np.random.default_rng(5)
+        space = DataSpace.numeric(1, bounds=[(0, 63)])
+        rows = rng.integers(0, 64, size=(40, 1))
+        dataset = Dataset(space, rows.astype(np.int64))
+        self.sweep(dataset, int(dataset.max_multiplicity()) + 2, RankShrink)
+
+    def test_hybrid_budget_sweep(self):
+        dataset = dense_categorical(depth=3, fan=3, dups=2)
+        self.sweep(dataset, 2, Hybrid)

@@ -352,3 +352,89 @@ class TestTerminalStates:
             SessionState.CANCELLED,
         )
         assert aggregator.all_terminal()
+
+
+class TestPayloadSlimming:
+    """Process payloads carry data, never rebuildable derived state."""
+
+    def sources(self, dataset, warmed=True):
+        from repro.query.query import Query
+
+        sources = [
+            TopKServer(dataset, k=8, priority_seed=0)
+            for _ in range(SESSIONS)
+        ]
+        if warmed:
+            # Build row-tuple caches and lazy value indexes: exactly
+            # the derived state that must not travel.
+            for server in sources:
+                query = Query.full(server.space).with_value(0, 1)
+                server.run(query)
+        return sources
+
+    def test_warmed_caches_do_not_inflate_the_payload(self, dataset):
+        from repro.crawl.executors import pickle_payload
+
+        cold = len(pickle_payload(self.sources(dataset, False), Hybrid))
+        warm = len(pickle_payload(self.sources(dataset, True), Hybrid))
+        assert warm == cold
+
+    def test_duplicate_matrices_ship_once(self, dataset):
+        from repro.crawl.executors import pickle_payload
+
+        one = len(pickle_payload(self.sources(dataset)[:1], Hybrid))
+        all_sessions = len(pickle_payload(self.sources(dataset), Hybrid))
+        # Each extra session adds bookkeeping, not another copy of the
+        # (deduplicated) engine matrix / dataset rows.
+        matrix_bytes = dataset.rows.nbytes
+        assert all_sessions - one < matrix_bytes
+
+    def test_payload_unpickles_to_working_sources(self, dataset):
+        from repro.crawl.executors import pickle_payload
+        from repro.query.query import Query
+
+        sources = self.sources(dataset)
+        payload = pickle_payload(sources, Hybrid)
+        clones, factory, stubs = pickle.loads(payload)
+        assert factory is Hybrid
+        assert stubs == ()
+        query = Query.full(dataset.space).with_value(0, 2)
+        for clone, original in zip(clones, sources):
+            assert clone.run(query) == original.run(query)
+
+    def test_dedup_respects_dtype_and_shape(self):
+        from repro.crawl.executors import _PayloadPickler
+        import io
+
+        same = np.arange(64, dtype=np.int64)
+        pairs = (
+            (same, same.copy()),  # content-equal: deduplicated
+            (same, same.astype(np.int32)),  # dtype differs: kept apart
+            (same, same.reshape(8, 8)),  # shape differs: kept apart
+        )
+        sizes = []
+        for left, right in pairs:
+            buffer = io.BytesIO()
+            _PayloadPickler(buffer).dump((left, right))
+            sizes.append(len(buffer.getvalue()))
+        deduped, dtype_kept, shape_kept = sizes
+        assert deduped < dtype_kept
+        assert deduped < shape_kept
+        # And the deduplicated pair still round-trips content-equal.
+        buffer = io.BytesIO()
+        _PayloadPickler(buffer).dump((same, same.copy()))
+        left, right = pickle.loads(buffer.getvalue())
+        assert np.array_equal(left, right)
+
+    def test_process_executor_records_payload_bytes(
+        self, dataset, plan, reference
+    ):
+        executor = ProcessExecutor(max_workers=2)
+        assert executor.payload_bytes == 0
+        result = executor.run(
+            make_sources(dataset),
+            plan,
+            CrawlSpec(crawler_factory=functools.partial(Hybrid)),
+        )
+        assert_identical(result, reference)
+        assert executor.payload_bytes > 0

@@ -104,6 +104,26 @@ class TestProfilerObject:
         assert lines[0].split() == ["phase", "calls", "seconds"]
         assert lines[1].split() == ["client.server_wait", "4", "0.500000"]
 
+    def test_format_rows_follow_seam_order(self):
+        # Recording order is first-hit order -- deliberately scrambled
+        # here.  The table must print pipeline seams (client, server,
+        # runtime) in order, with unknown prefixes after them, so two
+        # runs of one workload always render the same table shape.
+        prof = profiling.Profiler()
+        prof.count("runtime.region")
+        prof.count("other.phase")
+        prof.count("server.engine_top")
+        prof.count("client.server_wait")
+        prof.count("client.cache_hit")
+        names = [line.split()[0] for line in prof.format().splitlines()[1:]]
+        assert names == [
+            "client.cache_hit",
+            "client.server_wait",
+            "server.engine_top",
+            "runtime.region",
+            "other.phase",
+        ]
+
 
 class TestCrawlUnderProfiling:
     def test_results_and_cost_identical(self):
@@ -181,6 +201,29 @@ class TestCliProfileFlag:
         assert profiled.out == plain.out
         assert "profile (wall-clock phases):" in profiled.err
         assert "client.cache_miss" in profiled.err
+
+    def test_profile_table_in_seam_order(self, tmp_path, capsys):
+        # The stderr table is deterministic: client seams print before
+        # server seams no matter which phase recorded first.
+        path = self.csv(tmp_path)
+        assert main([path, "--k", "8", "--profile"]) == 0
+        err = capsys.readouterr().err
+        rows = [
+            line.split()[0]
+            for line in err.splitlines()
+            if line.split() and "." in line.split()[0]
+        ]
+        seam_rows = [
+            name
+            for name in rows
+            if name.startswith(("client.", "server.", "runtime."))
+        ]
+        assert seam_rows == [
+            "client.cache_hit",
+            "client.cache_miss",
+            "client.server_wait",
+            "server.engine_top",
+        ]
 
     def test_profile_restores_inactive(self, tmp_path, capsys):
         path = self.csv(tmp_path)

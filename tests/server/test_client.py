@@ -134,3 +134,77 @@ class TestRunBatch:
         fresh = TopKServer(server.dataset, k=server.k)
         expected = [fresh.run(q) for q in self.queries(server)]
         assert server.run_batch(self.queries(server)) == expected
+
+    def profiled_phases(self, source, exercise):
+        from repro.server import profiling
+
+        client = CachingClient(source)
+        with profiling.profile() as prof:
+            exercise(client)
+        return {
+            name: stat.calls for name, stat in prof.phases().items()
+        }, client
+
+    def test_profile_identical_batched_vs_looped(self, server):
+        """--profile tables match between run_batch and a run() loop."""
+
+        def batched(client):
+            client.run_batch(self.queries(server))
+
+        def looped(client):
+            for query in self.queries(server):
+                client.run(query)
+
+        batch_calls, batch_client = self.profiled_phases(
+            TopKServer(server.dataset, k=server.k), batched
+        )
+        loop_calls, loop_client = self.profiled_phases(
+            TopKServer(server.dataset, k=server.k), looped
+        )
+        assert batch_calls == loop_calls
+        assert batch_client.stats.state() == loop_client.stats.state()
+
+    def test_profile_identical_on_fallback_source(self, server):
+        """The non-server fallback records the same profile phases too."""
+
+        class PlainSource:
+            space = server.space
+            k = server.k
+
+            def run(self, query):
+                return server.run(query)
+
+        def batched(client):
+            client.run_batch(self.queries(server))
+
+        plain_calls, plain_client = self.profiled_phases(
+            PlainSource(), batched
+        )
+        server_calls, server_client = self.profiled_phases(
+            TopKServer(server.dataset, k=server.k), batched
+        )
+        assert plain_calls == server_calls
+        assert plain_client.stats.state() == server_client.stats.state()
+
+    def test_cost_exact_inside_epoch(self, server):
+        """Per-query cost deltas read identically mid-epoch."""
+        client = CachingClient(server)
+        deltas = []
+        with client.batch():
+            for query in self.queries(server):
+                before = client.cost
+                client.run(query)
+                deltas.append(client.cost - before)
+        assert deltas == [1, 1, 1]
+        assert client.cost == 3
+        assert client.stats.queries == 3  # merged at the epoch boundary
+
+    def test_nested_epochs_join_the_outer(self, server):
+        client = CachingClient(server)
+        with client.batch():
+            with client.batch():
+                client.run(self.queries(server)[0])
+            # Inner exit must not flush or clear the outer buffer.
+            client.run(self.queries(server)[1])
+            assert client.cost == 2
+        assert client.stats.queries == 2

@@ -1,7 +1,7 @@
 """Tests for query statistics accounting."""
 
 from repro.server.response import QueryResponse
-from repro.server.stats import QueryStats
+from repro.server.stats import QueryStats, StatsDelta
 
 
 def resolved(n=2):
@@ -51,6 +51,42 @@ class TestQueryStats:
         text = str(stats)
         assert "1 queries" in text
         assert "1 resolved" in text
+
+
+class TestStatsDelta:
+    """Deferred recording merges to the exact per-query counters."""
+
+    def test_flush_equals_direct_recording(self):
+        direct = QueryStats()
+        direct.begin_phase("prep")
+        direct.record(resolved(2))
+        direct.record(overflowed(3))
+        direct.end_phase()
+
+        deferred = QueryStats()
+        deferred.begin_phase("prep")
+        delta = StatsDelta()
+        delta.record_counts(False, 2, deferred.current_phase)
+        delta.record_counts(True, 3, deferred.current_phase)
+        delta.flush_into(deferred)
+        deferred.end_phase()
+
+        assert deferred.state() == direct.state()
+
+    def test_empty_delta_flushes_nothing(self):
+        stats = QueryStats()
+        before = stats.state()
+        StatsDelta().flush_into(stats)
+        assert stats.state() == before
+
+    def test_phaseless_records_have_no_phase_costs(self):
+        delta = StatsDelta()
+        delta.record_counts(False, 1, None)
+        assert delta.state()["phase_costs"] == {}
+        stats = QueryStats()
+        delta.flush_into(stats)
+        assert stats.queries == 1
+        assert stats.phase_costs == {}
 
 
 class TestQueryResponse:

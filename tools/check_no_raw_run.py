@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Static check: crawler algorithms must not bypass the query helpers.
+
+Every query an algorithm issues has to flow through
+``Crawler._run_query`` / ``Crawler._run_battery`` (``src/repro/crawl/
+base.py``): those helpers enforce the ``max_queries`` sanity cap, keep
+the progress curve (Figure 13) honest, and route sibling queries
+through one batch epoch.  A direct ``self._client.run(...)`` (or
+``crawler.client.run_batch(...)``) inside an algorithm module silently
+skips all three -- the kind of regression that passes every result
+test and only shows up as a wrong progress curve or an uncapped
+runaway crawl.
+
+This tool walks the ASTs of every module under ``src/repro/crawl/``
+except ``base.py`` (where the helpers live, and the one legitimate
+call site) and fails on any ``<expr>.client.run(...)``,
+``<expr>._client.run(...)`` or the ``run_batch`` equivalents.  It is
+wired into CI's lint job and ``tests/test_tools.py`` pins that it
+stays green on the current tree and actually fires on a violation.
+
+Usage::
+
+    python tools/check_no_raw_run.py            # checks src/repro/crawl
+    python tools/check_no_raw_run.py PATH...    # explicit files/dirs
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules that hold the sanctioned call sites.
+ALLOWED_FILES = {"base.py"}
+
+#: Attribute names that designate the query client on a crawler.
+CLIENT_ATTRS = {"client", "_client"}
+
+#: Methods that issue queries and must go through the base helpers.
+RUN_METHODS = {"run", "run_batch"}
+
+
+def violations_in(path: Path) -> list[tuple[int, str]]:
+    """(line, rendered call) for every raw client run call in ``path``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in RUN_METHODS):
+            continue
+        target = func.value
+        if isinstance(target, ast.Attribute) and target.attr in CLIENT_ATTRS:
+            found.append((node.lineno, ast.unparse(func)))
+        elif isinstance(target, ast.Name) and target.id in CLIENT_ATTRS:
+            found.append((node.lineno, ast.unparse(func)))
+    return found
+
+
+def check(paths: list[Path]) -> list[str]:
+    """Human-readable violation lines for every file under ``paths``."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    problems: list[str] = []
+    for file in files:
+        if file.name in ALLOWED_FILES:
+            continue
+        for line, call in violations_in(file):
+            problems.append(
+                f"{file}:{line}: raw client call `{call}(...)`; route it "
+                "through Crawler._run_query / Crawler._run_battery"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    paths = (
+        [Path(arg) for arg in args]
+        if args
+        else [Path("src/repro/crawl")]
+    )
+    problems = check(paths)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(
+            f"check_no_raw_run: {len(problems)} raw client call(s); "
+            "algorithms must use the base-class query helpers"
+        )
+        return 1
+    print("check_no_raw_run: no raw client calls outside base.py")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,17 @@ METRICS: dict[str, dict] = {
     # refresh procedure in docs/performance.md is for.
     "hot_path_speedup": {"min_cpus": 1},
     "queries_per_sec": {"min_cpus": 1},
+    # Battery batching: one full DFS crawl with sibling batteries
+    # (shared engine context, one lock acquisition, merged accounting)
+    # vs the per-query loop, byte-identical results asserted in-bench.
+    # A drop means the epoch seam stopped sharing work.
+    "battery_speedup": {"min_cpus": 1},
+    "battery_queries_per_sec": {"min_cpus": 1},
+    # Pickled process payload of the workload's per-session sources
+    # (both the hot-path and the service report carry one).  Growth
+    # means rebuildable engine caches or duplicate matrices crept back
+    # into what every pool worker receives.
+    "payload_bytes": {"direction": "lower"},
 }
 
 
